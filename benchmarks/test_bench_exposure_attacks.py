@@ -1,0 +1,73 @@
+"""Extension benches: what DSAV absence exposes resolvers to.
+
+The paper names two attacks beyond cache poisoning that newly exposed
+internal resolvers face: NXNS amplification (Sections 1, 6) and — for
+the reflection side of the spoofing story — DNS amplification, which
+RRL mitigates (Section 2).  These benches quantify both on the fabric.
+"""
+
+from repro.attacks import (
+    build_nxns_world,
+    build_reflection_world,
+    run_nxns_attack,
+    run_reflection_attack,
+)
+
+
+def test_bench_nxns_amplification(benchmark, emit):
+    def run():
+        unpatched = run_nxns_attack(
+            build_nxns_world(fanout=30, max_glueless_ns=50)
+        )
+        patched = run_nxns_attack(
+            build_nxns_world(fanout=30, max_glueless_ns=2)
+        )
+        blocked = run_nxns_attack(
+            build_nxns_world(fanout=30, max_glueless_ns=50, dsav=True)
+        )
+        return unpatched, patched, blocked
+
+    unpatched, patched, blocked = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "nxns_amplification",
+        (
+            "NXNS against a closed internal resolver (30 glueless NS)\n"
+            f"unpatched resolver:  {unpatched.victim_queries} victim "
+            f"queries per trigger (x{unpatched.amplification:.0f})\n"
+            f"NXNS-patched (cap 2): {patched.victim_queries} victim "
+            f"queries per trigger\n"
+            f"DSAV border:          {blocked.victim_queries} "
+            f"(trigger never entered)"
+        ),
+    )
+    assert unpatched.amplification >= 25
+    assert patched.victim_queries <= 6
+    assert blocked.victim_queries == 0
+
+
+def test_bench_reflection_rrl(benchmark, emit):
+    def run():
+        open_ = run_reflection_attack(
+            build_reflection_world(rrl_limit=0.0), queries=40
+        )
+        limited = run_reflection_attack(
+            build_reflection_world(rrl_limit=2.0), queries=40
+        )
+        return open_, limited
+
+    open_, limited = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "reflection_rrl",
+        (
+            "Reflection via an open authoritative amplifier (40 spoofed "
+            "queries)\n"
+            f"no RRL:   victim received {open_.victim_bytes:,} bytes "
+            f"(amplification x{open_.amplification:.1f})\n"
+            f"RRL 2/s:  victim received {limited.victim_bytes:,} bytes "
+            f"(amplification x{limited.amplification:.1f})"
+        ),
+    )
+    assert open_.amplification > 5.0
+    assert limited.victim_bytes < open_.victim_bytes / 3

@@ -1,0 +1,74 @@
+"""Figure 2 and Sections 5.2.1 / 5.2.3: source-port-range distribution.
+
+Figure 2 is the frequency distribution of per-resolver source-port
+ranges (full scale and a 0-3,000 zoom), each bar split open/closed.
+Section 5.2.1 examines the zero-range population (3,810 resolvers; 59%
+closed; port 53 the most common fixed port, ahead of 32768 and 32769).
+Section 5.2.3 examines ranges 1-200 (65% strictly increasing, most
+wrapping; improbably few unique ports).
+"""
+
+from repro.core import (
+    range_histogram,
+    render_histogram,
+    render_small_range,
+    render_zero_range,
+    small_range_patterns,
+    zero_range_stats,
+)
+
+
+def test_bench_figure2_histogram(benchmark, campaign, emit, emit_csv):
+    histogram = benchmark(
+        range_histogram, campaign.ranges, bin_width=2048, split="status"
+    )
+    zoom = range_histogram(
+        campaign.ranges, max_range=3000, bin_width=100, split="status"
+    )
+    emit(
+        "figure2_port_range_histogram",
+        "Full scale (bin width 2048):\n"
+        + render_histogram(histogram)
+        + "\n\nZoom 0-3000 (bin width 100):\n"
+        + render_histogram(zoom),
+    )
+    for tag, data in (("full", histogram), ("zoom", zoom)):
+        rows = [
+            (data.bin_edges[i],)
+            + tuple(series.counts[i] for series in data.series)
+            for i in range(len(data.bin_edges) - 1)
+        ]
+        emit_csv(
+            f"figure2_{tag}",
+            ["bin_low"] + [series.label for series in data.series],
+            rows,
+        )
+    assert histogram.total() == len(campaign.ranges)
+    # The distribution is multi-modal: mass near zero (fixed ports),
+    # around the Windows pool, around the Linux pool, and at the top.
+    labels = {s.label for s in histogram.series}
+    assert labels == {"open", "closed"}
+
+
+def test_bench_zero_range_stats(benchmark, campaign, emit):
+    stats = benchmark(zero_range_stats, campaign.ranges)
+    emit("section521_zero_range", render_zero_range(stats))
+    assert stats.resolvers >= 5
+    # Port 53 is the most common fixed port, as in the paper (34%).
+    ports = dict(stats.port_counts)
+    assert ports, "no fixed-port resolvers observed"
+    top_port = stats.port_counts[0][0]
+    assert top_port == 53
+    # A meaningful share is closed: these are the resolvers DSAV would
+    # have protected (59% in the paper).
+    assert stats.closed > 0
+    assert stats.asns_with_closed >= 1
+
+
+def test_bench_small_range_patterns(benchmark, campaign, emit):
+    stats = benchmark(small_range_patterns, campaign.ranges)
+    emit("section523_small_ranges", render_small_range(stats))
+    if stats.resolvers:
+        # The majority of small-range resolvers allocate sequentially
+        # (65% in the paper).
+        assert stats.strictly_increasing / stats.resolvers > 0.4

@@ -1,0 +1,123 @@
+"""Figure 3: port-range distributions vs the Beta(9,2) model.
+
+(a) controlled lab: 10,000 queries per OS/software, chopped into
+10-query samples whose ranges cluster tightly around each pool's
+Beta(9,2) mode; (b) the Internet measurement: the same peaks appear in
+the scan's follow-up data, with the p0f split showing Windows
+concentrated in the 2,500-pool peak.
+"""
+
+import statistics
+
+from repro.core import range_histogram, render_histogram
+from repro.fingerprint.portrange import (
+    POOL_FREEBSD,
+    POOL_FULL,
+    POOL_LINUX,
+    POOL_WINDOWS_DNS,
+    range_distribution,
+)
+from repro.scenarios.lab import lab_port_study, sample_ranges
+from repro.fingerprint.portrange import adjust_wrapped_ports
+
+_MODEL_POOLS = {
+    ("ubuntu-modern", "bind-9.9.13-9.16.0"): POOL_LINUX,
+    ("freebsd", "bind-9.9.13-9.16.0"): POOL_FREEBSD,
+    ("windows-2008r2+", "windows-dns-2008r2-2019"): POOL_WINDOWS_DNS,
+    ("ubuntu-modern", "unbound-1.9.0"): POOL_FULL,
+}
+
+
+def test_bench_figure3a_lab(benchmark, emit, emit_csv):
+    study = benchmark.pedantic(
+        lab_port_study, kwargs={"n_queries": 10_000}, rounds=1, iterations=1
+    )
+    by_combo = {(r.os_name, r.software): r for r in study}
+    lines = [
+        "Figure 3a: lab 10-query sample ranges vs Beta(9,2) model",
+        f"{'OS/software':<45} {'pool':>6} {'emp.mean':>9} "
+        f"{'model.mean':>10} {'emp.sd':>8} {'model.sd':>8}",
+    ]
+    for combo, pool in _MODEL_POOLS.items():
+        result = by_combo[combo]
+        ranges = list(result.ranges)
+        if combo[0].startswith("windows"):
+            # Apply the paper's wrap adjustment before computing ranges.
+            ports = list(result.ports)
+            ranges = [
+                max(adj) - min(adj)
+                for i in range(0, len(ports) - 9, 10)
+                for adj in [adjust_wrapped_ports(ports[i : i + 10])]
+            ]
+        dist = range_distribution(pool)
+        emp_mean = statistics.fmean(ranges)
+        emp_sd = statistics.pstdev(ranges)
+        lines.append(
+            f"{combo[0] + '/' + combo[1]:<45} {pool:>6} {emp_mean:>9.0f} "
+            f"{float(dist.mean()):>10.0f} {emp_sd:>8.0f} "
+            f"{float(dist.std()):>8.0f}"
+        )
+        # The empirical sample-range distribution matches the model.
+        assert abs(emp_mean - float(dist.mean())) < 0.03 * pool
+        assert abs(emp_sd - float(dist.std())) < 0.5 * float(dist.std()) + 5
+        # Numeric series for replotting: empirical histogram + model pdf.
+        bins = 40
+        width = pool / bins
+        counts = [0] * bins
+        for value in ranges:
+            counts[min(int(value / width), bins - 1)] += 1
+        emit_csv(
+            f"figure3a_{combo[0]}_{combo[1].replace('.', '_')}",
+            ["bin_low", "count", "beta_pdf"],
+            [
+                (
+                    round(i * width, 1),
+                    counts[i],
+                    f"{float(dist.pdf((i + 0.5) * width)):.3e}",
+                )
+                for i in range(bins)
+            ],
+        )
+    emit("figure3a_lab_beta_fit", "\n".join(lines))
+
+
+def test_bench_figure3b_internet(benchmark, campaign, emit, emit_csv):
+    histogram = benchmark(
+        range_histogram, campaign.ranges, bin_width=2048, split="p0f"
+    )
+    emit(
+        "figure3b_internet_p0f_histogram",
+        render_histogram(histogram),
+    )
+    emit_csv(
+        "figure3b_internet",
+        ["bin_low"] + [series.label for series in histogram.series],
+        [
+            (histogram.bin_edges[i],)
+            + tuple(series.counts[i] for series in histogram.series)
+            for i in range(len(histogram.bin_edges) - 1)
+        ],
+    )
+    windows_series = next(
+        s for s in histogram.series if s.label == "Windows"
+    )
+    if sum(windows_series.counts):
+        # Windows-classified resolvers concentrate in the bins covering
+        # the 2,500-port pool (Figure 3b's distinctive peak).
+        windows_bin = POOL_WINDOWS_DNS // 2048
+        near_pool = sum(windows_series.counts[: windows_bin + 1])
+        assert near_pool / sum(windows_series.counts) > 0.6
+
+
+def test_bench_figure3_peaks_align(benchmark, campaign):
+    """The lab peaks (3a) appear at the same ranges in the wild (3b)."""
+    ranges = benchmark(lambda: [item.range for item in campaign.ranges])
+    linux_peak = [
+        r for r in ranges if 16332 <= r <= 28222
+    ]
+    full_peak = [r for r in ranges if r > 28222]
+    assert len(linux_peak) > 10
+    assert len(full_peak) > 10
+    # Both peaks hug their pools' Beta modes (8/9 of the pool span).
+    assert statistics.fmean(linux_peak) > 0.7 * POOL_LINUX
+    assert statistics.fmean(full_peak) > 0.7 * POOL_FULL

@@ -1,0 +1,43 @@
+"""Section 5.4: direct vs forwarded resolution.
+
+Paper: 53% of IPv4 and 85% of IPv6 targets queried the authoritative
+servers directly; 47% / 16% forwarded to an upstream.
+"""
+
+from repro.core import forwarding_stats, render_forwarding
+
+
+def test_bench_forwarding(benchmark, campaign, emit):
+    v4 = benchmark(forwarding_stats, campaign.collector, 4)
+    v6 = forwarding_stats(campaign.collector, 6)
+    emit("section54_forwarding", render_forwarding(v4, v6))
+
+    assert v4.resolved > 80
+    # IPv4: a substantial minority forwards (47% in the paper).
+    assert 0.15 < v4.forwarded_fraction < 0.60
+    assert v4.direct_fraction > 0.40
+    # IPv6 targets resolve directly far more often (85% in the paper).
+    assert v6.direct_fraction > v4.direct_fraction
+    assert v6.forwarded_fraction < v4.forwarded_fraction
+
+
+def test_bench_forwarding_ground_truth(benchmark, campaign, emit):
+    """Forwarding verdicts match the resolvers' configurations."""
+    truth = campaign.scenario.truth
+    benchmark(lambda: list(campaign.collector.observations.values()))
+    agree = total = 0
+    for obs in campaign.collector.observations.values():
+        info = truth.info_for(obs.target)
+        if info is None or not (obs.direct or obs.forwarded):
+            continue
+        total += 1
+        if (obs.forwarded and info.is_forwarder) or (
+            obs.direct and not info.is_forwarder
+        ):
+            agree += 1
+    emit(
+        "section54_verdict_accuracy",
+        f"forwarding verdicts: {agree}/{total} agree "
+        f"({100 * agree / max(total, 1):.1f}%)",
+    )
+    assert agree / max(total, 1) > 0.95

@@ -1,0 +1,37 @@
+"""Section 4 headline: reachable addresses and ASes per family.
+
+Paper: 519,447/11,204,889 IPv4 addresses (4.6%) and 49,008/784,777 IPv6
+addresses (6.2%) reachable; 26,206/53,922 (49%) IPv4 and 3,952/7,904
+(50%) IPv6 ASes lacking DSAV.  The synthetic campaign must land in the
+same bands for the AS-level rates (the primary finding); address-level
+rates sit higher because the synthetic DITL trace carries less dead
+churn than the real one (see EXPERIMENTS.md).
+"""
+
+from repro.core import headline, render_headline
+
+
+def test_bench_headline(benchmark, campaign, emit):
+    result = benchmark(headline, campaign.targets, campaign.collector)
+    emit("headline", render_headline(result))
+
+    # Roughly half of ASes lack DSAV, for both families.
+    assert 0.35 < result.v4.asn_rate < 0.65
+    assert 0.30 < result.v6.asn_rate < 0.70
+    # Address-level reachability is far below AS-level reachability.
+    assert result.v4.address_rate < 0.5 * result.v4.asn_rate
+    assert result.v6.address_rate < result.v6.asn_rate
+    # The campaign had real scale.
+    assert result.v4.targeted_addresses > 1000
+    assert result.v4.reachable_addresses > 100
+
+
+def test_bench_headline_lower_bound_property(benchmark, campaign):
+    """Reachable ASes are a *lower bound* on DSAV absence: every one is
+    genuinely DSAV-lacking in ground truth, and some DSAV-lacking ASes
+    stay undetected (dead or REFUSED-only resolvers)."""
+    truth = campaign.scenario.truth
+    reachable = benchmark(campaign.collector.reachable_asns)
+    assert reachable <= truth.dsav_lacking_asns
+    tested_lacking = truth.dsav_lacking_asns & campaign.targets.asns()
+    assert len(reachable) < len(tested_lacking)

@@ -1,0 +1,89 @@
+"""Section 2's methodology comparison, quantified on shared ground truth.
+
+The paper compares itself to the concurrent Korczynski et al. (PAM
+2020) next-IP whole-space scan — per-AS results agree within 1%
+(48.78% vs 49.34%), breadth finds more raw addresses, source diversity
+finds extra ASes — and to CAIDA's Spoofer, whose opt-in coverage and
+NAT-blindness its design removes.  Both alternatives run here against
+identically-seeded scenarios.
+"""
+
+from repro.core.methodologies import (
+    run_next_ip_methodology,
+    run_paper_methodology,
+    run_spoofer_survey,
+)
+from repro.scenarios import ScenarioParams, build_internet
+
+_PARAMS = ScenarioParams(seed=808, n_ases=120)
+
+
+def test_bench_korczynski_comparison(benchmark, emit):
+    def run():
+        ours = run_paper_methodology(build_internet(_PARAMS), duration=120.0)
+        theirs = run_next_ip_methodology(
+            build_internet(_PARAMS), duration=120.0
+        )
+        return ours, theirs
+
+    ours, theirs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "methodology_korczynski",
+        (
+            "Diverse-source DITL scan vs next-IP whole-space scan "
+            "(same ground truth)\n"
+            f"{'':24} {'per-AS rate':>12} {'addresses':>10} {'ASes':>6}\n"
+            f"{'this paper':<24} {ours.asn_rate:>11.1%} "
+            f"{len(ours.reachable_addresses):>10} "
+            f"{len(ours.reachable_asns):>6}\n"
+            f"{'korczynski next-IP':<24} {theirs.asn_rate:>11.1%} "
+            f"{len(theirs.reachable_addresses):>10} "
+            f"{len(theirs.reachable_asns):>6}\n"
+            f"ASes only diverse sources found: "
+            f"{len(ours.reachable_asns - theirs.reachable_asns)}\n"
+            f"addresses only the sweep found:  "
+            f"{len(theirs.reachable_addresses - ours.reachable_addresses)}"
+        ),
+    )
+    # Per-AS rates agree closely (paper: within 1%; our scale: <12 pts).
+    assert abs(ours.asn_rate - theirs.asn_rate) < 0.12
+    # Source diversity uncovers ASes next-IP misses ...
+    assert ours.reachable_asns - theirs.reachable_asns
+    # ... while the sweep's breadth uncovers addresses outside DITL.
+    assert theirs.reachable_addresses - ours.reachable_addresses
+
+
+def test_bench_spoofer_comparison(benchmark, emit):
+    def run():
+        scenario = build_internet(_PARAMS)
+        ours = run_paper_methodology(scenario, duration=120.0)
+        survey = run_spoofer_survey(
+            scenario, volunteer_fraction=0.35, nat_fraction=0.5, seed=4
+        )
+        return scenario, ours, survey
+
+    scenario, ours, survey = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth_lacking = scenario.truth.dsav_lacking_asns
+    emit(
+        "methodology_spoofer",
+        (
+            "Spoofer-style volunteer clients vs this paper's scan\n"
+            f"volunteer ASes: {len(survey.volunteer_asns)} of "
+            f"{_PARAMS.n_ases} "
+            f"(NATted, DSAV-untestable: {len(survey.dsav_untestable_asns)})\n"
+            f"spoofer DSAV-lacking verdicts: "
+            f"{len(survey.dsav_lacking_asns)}\n"
+            f"scan DSAV-lacking verdicts:    {len(ours.reachable_asns)}\n"
+            f"ground-truth DSAV-lacking:     {len(truth_lacking)}"
+        ),
+    )
+    # Both are sound.
+    assert survey.dsav_lacking_asns <= truth_lacking
+    assert survey.osav_lacking_asns <= {
+        s.asn for s in scenario.fabric.systems() if not s.osav
+    }
+    # The scan's coverage beats opt-in coverage (the paper's point):
+    # Spoofer can only test volunteer, un-NATted networks.
+    assert len(ours.reachable_asns) > len(survey.dsav_lacking_asns)
+    # And Spoofer uniquely measures OSAV, which the scan cannot see.
+    assert survey.osav_lacking_asns

@@ -1,0 +1,41 @@
+"""Section 5.2.1 / 6: disclosure-contact discovery over the scan output.
+
+The paper contacted operators of vulnerable resolvers by walking
+reverse DNS to an SOA RNAME.  This bench runs that pipeline for every
+resolver the campaign reached and reports contactability — the work
+list the authors' outreach started from.
+"""
+
+from repro.core import resolver_ranges
+from repro.core.outreach import contact_summary
+
+
+def test_bench_contact_discovery(benchmark, campaign, emit):
+    scenario = campaign.scenario
+    ranked = sorted(
+        resolver_ranges(campaign.collector), key=lambda item: item.range
+    )
+    targets = [item.observation.target for item in ranked[:40]]
+
+    client = scenario.make_outreach_client()
+    contacts = benchmark.pedantic(
+        client.discover, args=(targets,), rounds=1, iterations=1
+    )
+    contactable = [c for c in contacts if c.contactable]
+    emit(
+        "outreach_contacts",
+        (
+            f"most-exposed resolvers checked: {len(contacts)}\n"
+            f"contactable via PTR -> SOA RNAME: {len(contactable)} "
+            f"({100 * len(contactable) / len(contacts):.0f}%)\n"
+            + contact_summary(contacts)
+        ),
+    )
+    # PTR coverage in the population is 70%; discovery should land in
+    # that neighbourhood (allowing for loss-driven lookup failures).
+    assert 0.4 < len(contactable) / len(contacts) <= 0.95
+    # Every discovered mailbox matches ground truth.
+    for contact in contactable:
+        info = scenario.truth.info_for(contact.resolver)
+        assert info is not None
+        assert contact.mailbox == info.contact_mailbox

@@ -1,0 +1,26 @@
+"""The executable EXPERIMENTS.md: every paper claim, one verdict table.
+
+Evaluates the full set of quantitative shape claims from the paper
+against the shared benchmark campaign and emits the verdict table as an
+artifact.  This is the single-glance answer to "does the reproduction
+reproduce?".
+"""
+
+from repro.core.campaign import Campaign
+from repro.core.paper import comparison_report, evaluate
+
+
+def test_bench_paper_claims(benchmark, campaign, emit):
+    wrapped = Campaign(
+        campaign.scenario, campaign.targets, campaign.scanner,
+        campaign.collector,
+    )
+    verdicts = benchmark(evaluate, wrapped)
+    emit("paper_claims_verdicts", comparison_report(wrapped))
+
+    held = sum(1 for v in verdicts if v.holds)
+    assert held >= len(verdicts) - 1
+    # The headline claims must hold outright.
+    by_key = {v.claim.key: v for v in verdicts}
+    for key in ("asn_rate_v4", "other_gt_same_v4", "windows_bucket_open"):
+        assert by_key[key].holds, key

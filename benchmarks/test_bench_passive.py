@@ -1,0 +1,36 @@
+"""Section 5.2.2: passive (historical DITL) comparison.
+
+Paper: of the 3,810 zero-range resolvers, 51% already showed no port
+variance in the 2018 DITL data, 25% *had* variance then (their posture
+regressed), and 24% lacked sufficient historical data.
+"""
+
+from repro.core import compare_zero_range
+
+
+def test_bench_passive_comparison(benchmark, campaign, emit):
+    result = benchmark(
+        compare_zero_range,
+        campaign.ranges,
+        campaign.scenario.port_history,
+    )
+    emit(
+        "section522_passive_comparison",
+        (
+            f"zero-range resolvers: {result.zero_range_resolvers}\n"
+            f"stable (no variance historically):   {result.stable_zero} "
+            f"({100 * result.stable_fraction:.0f}%)\n"
+            f"regressed (had variance before):     {result.regressed} "
+            f"({100 * result.regressed_fraction:.0f}%)\n"
+            f"insufficient historical data:        {result.insufficient}"
+        ),
+    )
+    assert result.zero_range_resolvers >= 5
+    assert (
+        result.stable_zero + result.regressed + result.insufficient
+        == result.zero_range_resolvers
+    )
+    # The paper's striking finding: a sizable minority regressed.
+    assert result.regressed > 0
+    # And stability is the most common outcome.
+    assert result.stable_zero >= result.regressed

@@ -1,0 +1,122 @@
+"""Cache-poisoning cost ablation (the Section 5.2 stakes).
+
+Quantifies what DSAV absence plus weak port allocation buys an attacker:
+the (port, transaction-ID) search space per allocator class, and a live
+end-to-end poisoning of a fixed-port resolver on the fabric.
+"""
+
+from ipaddress import ip_address, ip_network
+from random import Random
+
+from repro.attacks import (
+    Attacker,
+    expected_windows,
+    guess_space,
+    simulate_poisoning,
+    success_probability,
+)
+from repro.fingerprint.portrange import (
+    POOL_FREEBSD,
+    POOL_FULL,
+    POOL_LINUX,
+    POOL_WINDOWS_DNS,
+)
+
+_POOLS = {
+    "fixed port (zero range)": 1,
+    "BIND 9.5.0 (8 ports)": 8,
+    "sequential 1-200": 200,
+    "Windows DNS 2008R2+": POOL_WINDOWS_DNS,
+    "FreeBSD default": POOL_FREEBSD,
+    "Linux default": POOL_LINUX,
+    "full unprivileged": POOL_FULL,
+}
+
+_FORGERIES_PER_WINDOW = 65_536  # one full ID sweep per race
+
+
+def test_bench_poisoning_cost_table(benchmark, emit):
+    def build():
+        rows = []
+        for label, pool in _POOLS.items():
+            rows.append(
+                (
+                    label,
+                    pool,
+                    guess_space(pool),
+                    success_probability(pool, _FORGERIES_PER_WINDOW),
+                    expected_windows(pool, _FORGERIES_PER_WINDOW),
+                )
+            )
+        return rows
+
+    rows = benchmark(build)
+    lines = [
+        "Poisoning cost by allocator (65,536 forgeries per race window)",
+        f"{'allocator':<26} {'pool':>6} {'search space':>14} "
+        f"{'P(win/window)':>14} {'E[windows]':>11}",
+    ]
+    for label, pool, space, probability, windows in rows:
+        lines.append(
+            f"{label:<26} {pool:>6} {space:>14,} "
+            f"{probability:>14.6f} {windows:>11.1f}"
+        )
+    emit("poisoning_cost_ablation", "\n".join(lines))
+
+    costs = {label: windows for label, _, _, _, windows in rows}
+    # A fixed port makes one race window sufficient in expectation; full
+    # randomization costs tens of thousands of windows.
+    assert costs["fixed port (zero range)"] == 1.0
+    assert costs["Linux default"] > 20_000
+    assert costs["Windows DNS 2008R2+"] < costs["FreeBSD default"]
+
+
+def test_bench_poisoning_live(benchmark, emit):
+    """End-to-end: trigger through missing DSAV, race, poisoned cache."""
+    import sys
+
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent.parent))
+    from tests.dns.helpers import RESOLVER_ADDR, build_world
+    from repro.dns.name import name
+    from repro.dns.resolver import AccessControl
+    from repro.dns.rr import A, NS, RR, RRType
+    from repro.netsim.autonomous_system import AutonomousSystem
+    from repro.oskernel.ports import FixedPortAllocator
+
+    def attack():
+        world = build_world(
+            acl=AccessControl(allowed_prefixes=(ip_network("30.0.0.0/16"),))
+        )
+        world.resolver.port_allocator = FixedPortAllocator(5353)
+        lame = ip_address("20.0.0.50")
+        org_zone = world.org.zones[name("org.")]
+        org_zone.add(
+            RR(name("victim.org."), RRType.NS, 1, 86400,
+               NS(name("ns.victim.org.")))
+        )
+        org_zone.add(RR(name("ns.victim.org."), RRType.A, 1, 86400, A(lame)))
+        attacker_as = AutonomousSystem(9, osav=False, dsav=False)
+        attacker_as.add_prefix("66.0.0.0/16")
+        world.fabric.add_system(attacker_as)
+        attacker = Attacker("attacker", 9, Random(4))
+        world.fabric.attach(attacker, ip_address("66.0.0.1"))
+        return simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[5353],
+            txid_guesses=list(range(65536)),
+        )
+
+    result = benchmark.pedantic(attack, rounds=1, iterations=1)
+    emit(
+        "poisoning_live_attack",
+        f"poisoned: {result.poisoned}; forgeries sent: "
+        f"{result.forgeries_sent:,}; cached: {result.cached_address}",
+    )
+    assert result.poisoned

@@ -1,0 +1,44 @@
+"""Scale robustness: the headline shape must not depend on the scale.
+
+Runs the campaign at three sizes and checks that the AS-level
+reachability rate — the paper's central number — stays within a stable
+band, i.e. the synthetic reproduction is not an artifact of one lucky
+scenario size.
+"""
+
+from repro.core import ScanConfig, headline
+from repro.scenarios import ScenarioParams, build_internet
+
+_SIZES = (60, 120, 240)
+
+
+def _rate(n_ases: int, seed: int = 515) -> tuple[float, int, int]:
+    scenario = build_internet(ScenarioParams(seed=seed, n_ases=n_ases))
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=120.0))
+    scanner.run()
+    result = headline(targets, collector)
+    return (
+        result.v4.asn_rate,
+        result.v4.reachable_asns,
+        result.v4.targeted_asns,
+    )
+
+
+def test_bench_scale_robustness(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: {n: _rate(n) for n in _SIZES}, rounds=1, iterations=1
+    )
+    lines = [
+        "AS-level reachability rate vs scenario scale",
+        f"{'n_ases':>8} {'reachable/tested':>18} {'rate':>7}",
+    ]
+    for n, (rate, reached, tested) in results.items():
+        lines.append(f"{n:>8} {f'{reached}/{tested}':>18} {100*rate:>6.1f}%")
+    emit("scale_robustness", "\n".join(lines))
+
+    rates = [rate for rate, _, _ in results.values()]
+    # Every scale lands in the "about half of ASes" band ...
+    assert all(0.30 < rate < 0.65 for rate in rates)
+    # ... and the spread across scales is modest.
+    assert max(rates) - min(rates) < 0.15

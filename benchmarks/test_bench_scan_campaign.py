@@ -1,0 +1,41 @@
+"""Throughput of the scan machinery itself.
+
+Times a complete small campaign — scenario build, spoofed probes,
+follow-ups, collection — and reports probe throughput.  This is the
+harness-cost benchmark, not a paper artifact.
+"""
+
+from repro.core import ScanConfig
+from repro.scenarios import ScenarioParams, build_internet
+
+
+def test_bench_full_campaign_small(benchmark, emit):
+    def campaign():
+        scenario = build_internet(ScenarioParams(seed=77, n_ases=30))
+        scanner, collector = scenario.make_scanner(ScanConfig(duration=60.0))
+        scanner.run()
+        return scenario, scanner, collector
+
+    scenario, scanner, collector = benchmark.pedantic(
+        campaign, rounds=3, iterations=1
+    )
+    emit(
+        "campaign_throughput",
+        (
+            f"probes scheduled: {scanner.probes_scheduled}\n"
+            f"client packets sent: {scenario.client.queries_sent}\n"
+            f"events processed: {scenario.fabric.loop.events_processed}\n"
+            f"authoritative records: {collector.stats.records}\n"
+            f"reachable targets: {len(collector.reachable_targets())}"
+        ),
+    )
+    assert scanner.probes_scheduled > 500
+    assert len(collector.reachable_targets()) > 10
+
+
+def test_bench_scenario_build(benchmark):
+    """Scenario construction alone (routing, zones, population)."""
+    scenario = benchmark(
+        lambda: build_internet(ScenarioParams(seed=78, n_ases=30))
+    )
+    assert len(scenario.ditl_candidates) > 100

@@ -1,0 +1,76 @@
+"""Table 4: reachable targets by port-range bucket, status, and p0f.
+
+Paper shape: the Linux (16,332-28,222) and Full Port Range buckets hold
+the bulk of the population and are overwhelmingly *closed*; the Windows
+DNS bucket (941-2,488) is overwhelmingly *open* (89%) and agrees with
+p0f's Windows verdicts; a small zero-range population persists.
+"""
+
+from repro.core import port_range_table, render_table4
+from repro.fingerprint.portrange import PortRangeClass
+
+
+def test_bench_table4(benchmark, campaign, emit):
+    rows = benchmark(port_range_table, campaign.ranges)
+    emit("table4_port_range_buckets", render_table4(rows))
+
+    by_bucket = {r.bucket: r for r in rows}
+    linux = by_bucket[PortRangeClass.LINUX]
+    full = by_bucket[PortRangeClass.FULL]
+    windows = by_bucket[PortRangeClass.WINDOWS]
+    freebsd = by_bucket[PortRangeClass.FREEBSD]
+    zero = by_bucket[PortRangeClass.ZERO]
+
+    # Population ordering: Full > Linux > FreeBSD/Windows > zero.
+    assert full.total > linux.total > windows.total
+    assert linux.total > freebsd.total
+    assert zero.total >= 3
+
+    # Linux/FreeBSD/Full buckets are mostly closed.
+    for row in (linux, full, freebsd):
+        if row.total:
+            assert row.closed / row.total > 0.6, row.bucket
+
+    # The Windows DNS bucket is mostly open (89% in the paper) ...
+    assert windows.open_ / windows.total > 0.6
+    # ... and p0f agrees with the port-range attribution for a clear
+    # majority of the SYNs it could classify.
+    assert windows.p0f_windows > 0
+    assert windows.p0f_windows >= windows.p0f_linux
+
+    # p0f's Linux verdicts land in the Linux/Full buckets.
+    assert linux.p0f_linux + full.p0f_linux >= windows.p0f_linux
+
+
+def test_bench_table4_ground_truth_accuracy(benchmark, campaign, emit):
+    """The bucket classifier attributes the right OS for the resolvers
+    whose allocator actually uses an OS-default pool."""
+    truth = campaign.scenario.truth
+    benchmark(lambda: [truth.info_for(i.observation.target) for i in campaign.ranges])
+    correct = wrong = 0
+    for item in campaign.ranges:
+        info = truth.info_for(item.observation.target)
+        if info is None or item.bucket.os_label is None:
+            continue
+        expected = {
+            "Windows": info.kind.os_name.startswith("windows")
+            and info.kind.software.startswith("windows-dns-2008"),
+            "FreeBSD": info.kind.os_name == "freebsd"
+            and info.kind.software.startswith("bind-9.9"),
+            "Linux": info.kind.os_name.startswith("ubuntu")
+            and info.kind.software
+            in ("bind-9.9.13-9.16.0", "knot-3.2.1"),
+        }[item.bucket.os_label]
+        if expected:
+            correct += 1
+        else:
+            wrong += 1
+    emit(
+        "table4_classifier_accuracy",
+        f"OS-labelled buckets: {correct} correct, {wrong} wrong "
+        f"({100 * correct / max(correct + wrong, 1):.1f}% accurate)",
+    )
+    # The paper's cutoffs tolerate a few percent misclassification
+    # between adjacent pools (Section 5.3.2); loss-shortened samples
+    # widen the tails a little further here.
+    assert correct / max(correct + wrong, 1) > 0.85

@@ -1,0 +1,84 @@
+"""Table 6: OS acceptance of destination-as-source / loopback packets.
+
+Re-derived two ways: directly against each OS's network stack, and
+end-to-end through the fabric (spoofed queries at a resolver, evidence
+at the authoritative server).  Both must reproduce the paper's table:
+
+    OS                         DS4  LB4  DS6  LB6
+    Ubuntu modern               -    -    x    -
+    Ubuntu old (<=4.4)          -    -    x    x
+    FreeBSD                     x    -    x    -
+    Windows 2008+               x    -    x    -
+    Windows 2003                x    x    x    -
+"""
+
+from repro.scenarios.lab import os_acceptance_matrix, run_acceptance_lab
+
+_EXPECTED = {
+    "ubuntu-modern": (False, False, True, False),
+    "ubuntu-old": (False, False, True, True),
+    "freebsd": (True, False, True, False),
+    "windows-2008r2+": (True, False, True, False),
+    "windows-2003": (True, True, True, False),
+}
+
+
+def _render(rows) -> str:
+    def mark(flag: bool) -> str:
+        return "x" if flag else "-"
+
+    lines = [
+        "Table 6: acceptance of spoofed-source packets per OS",
+        f"{'OS':<18} {'DS v4':>6} {'LB v4':>6} {'DS v6':>6} {'LB v6':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.os_name:<18} {mark(row.ds_v4):>6} {mark(row.lb_v4):>6} "
+            f"{mark(row.ds_v6):>6} {mark(row.lb_v6):>6}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_table6_direct(benchmark, emit):
+    rows = benchmark(os_acceptance_matrix, tuple(_EXPECTED))
+    emit("table6_os_acceptance", _render(rows))
+    for row in rows:
+        assert (
+            row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6
+        ) == _EXPECTED[row.os_name], row.os_name
+
+
+def test_bench_table6_end_to_end(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [run_acceptance_lab(os_name) for os_name in _EXPECTED],
+        rounds=1,
+        iterations=1,
+    )
+    emit("table6_os_acceptance_end_to_end", _render(rows))
+    for row in rows:
+        assert (
+            row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6
+        ) == _EXPECTED[row.os_name], row.os_name
+
+
+def test_bench_section55_wild_counts(benchmark, campaign, emit):
+    """Section 5.5's wild observation: many targets reached via
+    destination-as-source, almost none via loopback, with dst-as-src
+    far more prevalent for IPv6 than for IPv4."""
+    from repro.core import local_infiltration_stats
+
+    stats = benchmark(local_infiltration_stats, campaign.collector)
+    emit(
+        "section55_local_infiltration",
+        f"dst-as-src targets: {stats.dst_as_src_targets} "
+        f"(v4 {stats.dst_as_src_v4}, v6 {stats.dst_as_src_v6}); "
+        f"loopback targets: {stats.loopback_targets} "
+        f"(v4 {stats.loopback_v4}, v6 {stats.loopback_v6})",
+    )
+    assert stats.dst_as_src_targets > 10
+    assert stats.loopback_targets < stats.dst_as_src_targets / 5
+    v4_reach = len(campaign.collector.reachable_targets(4))
+    v6_reach = len(campaign.collector.reachable_targets(6))
+    assert (stats.dst_as_src_v6 / max(v6_reach, 1)) > 2 * (
+        stats.dst_as_src_v4 / max(v4_reach, 1)
+    )

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Why DSAV matters: poisoning a "protected" resolver end to end.
+
+Recreates the threat the paper's Section 5.2 describes.  A closed
+resolver with a fixed source port sits behind a network border:
+
+1. An outside client queries it directly — REFUSED.  The operator
+   believes the resolver is unreachable by untrusted parties.
+2. The resolver's network performs no DSAV, so an off-path attacker
+   triggers a recursive lookup with a packet spoofing an *internal*
+   client address, then floods forged responses.  With the source port
+   fixed, only the 16-bit transaction ID protects the cache: one sweep
+   of 65,536 forgeries wins the race, and the resolver now hands out
+   the attacker's address for the victim name.
+3. The same attack against an identical resolver behind a DSAV-enforcing
+   border dies at step one: the spoofed trigger never enters.
+
+Run:  python examples/cache_poisoning_demo.py
+"""
+
+from ipaddress import ip_address, ip_network
+from random import Random
+
+from repro.attacks import Attacker, guess_space, simulate_poisoning
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.message import Rcode
+from repro.dns.name import ROOT, name
+from repro.dns.resolver import AccessControl, RecursiveResolver
+from repro.dns.rr import A, NS, RR, SOA, RRType
+from repro.dns.stub import StubResolver
+from repro.dns.zone import Zone
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric
+from repro.oskernel.ports import FixedPortAllocator
+from repro.oskernel.profiles import os_profile
+
+VICTIM = name("www.bank.example.")
+MALICIOUS = ip_address("66.6.6.6")
+GENUINE = ip_address("20.0.9.9")
+
+
+def build_world(*, dsav: bool):
+    fabric = Fabric(seed=7)
+    infra = AutonomousSystem(1, osav=False, dsav=False)
+    infra.add_prefix("20.0.0.0/16")
+    corp = AutonomousSystem(2, osav=True, dsav=dsav)
+    corp.add_prefix("30.0.0.0/16")
+    attacker_as = AutonomousSystem(3, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    outsider_as = AutonomousSystem(4, osav=True, dsav=True)
+    outsider_as.add_prefix("40.0.0.0/16")
+    for system in (infra, corp, attacker_as, outsider_as):
+        fabric.add_system(system)
+
+    # One root/authority server; the victim zone is delegated to a
+    # nameserver address that never answers, giving the attacker a long
+    # race window (lame delegation).
+    auth = AuthoritativeServer("auth", 1, Random(1))
+    auth_addr = ip_address("20.0.0.1")
+    lame_addr = ip_address("20.0.0.66")
+    fabric.attach(auth, auth_addr)
+    root_zone = Zone(ROOT, SOA(name("a.root."), name("n."), 1, 60, 60, 60, 60))
+    root_zone.add(RR(ROOT, RRType.NS, 1, 60, NS(name("a.root."))))
+    root_zone.add(RR(name("a.root."), RRType.A, 1, 60, A(auth_addr)))
+    root_zone.add(RR(name("bank.example."), RRType.NS, 1, 60, NS(name("ns.bank.example."))))
+    root_zone.add(RR(name("ns.bank.example."), RRType.A, 1, 60, A(lame_addr)))
+    auth.add_zone(root_zone)
+
+    resolver = RecursiveResolver(
+        "corp-resolver",
+        2,
+        os_profile("ubuntu-old"),
+        Random(2),
+        # The Section 5.2.1 misconfiguration: a pinned source port.
+        port_allocator=FixedPortAllocator(5353),
+        acl=AccessControl(allowed_prefixes=(ip_network("30.0.0.0/16"),)),
+        root_hints=[auth_addr],
+    )
+    resolver_addr = ip_address("30.0.0.53")
+    fabric.attach(resolver, resolver_addr)
+
+    outsider = StubResolver("outsider", 4, Random(3))
+    fabric.attach(outsider, ip_address("40.0.0.1"))
+    attacker = Attacker("attacker", 3, Random(4))
+    fabric.attach(attacker, ip_address("66.0.0.1"))
+    return fabric, resolver, resolver_addr, outsider, attacker, lame_addr
+
+
+def demo(*, dsav: bool) -> None:
+    label = "WITH DSAV" if dsav else "WITHOUT DSAV"
+    print(f"\n=== Corporate network {label} ===")
+    fabric, resolver, resolver_addr, outsider, attacker, lame = build_world(
+        dsav=dsav
+    )
+
+    # Step 1: the resolver is closed to outsiders.
+    verdicts = []
+    outsider.query(resolver_addr, VICTIM, RRType.A, verdicts.append)
+    fabric.run()
+    response = verdicts[0]
+    print(
+        f"outside query -> "
+        f"{response.rcode.name if response else 'timeout'} "
+        f"(the operator believes this resolver is protected)"
+    )
+
+    # Step 2/3: trigger via spoofed internal source + forged flood.
+    space = guess_space(resolver.port_allocator.pool_size())
+    print(
+        f"attacker search space: {space:,} combinations "
+        f"(fixed port -> transaction ID only)"
+    )
+    result = simulate_poisoning(
+        fabric,
+        attacker,
+        resolver,
+        resolver_addr,
+        spoofed_client=ip_address("30.0.44.44"),
+        authority_address=lame,
+        victim_name=VICTIM,
+        malicious_address=MALICIOUS,
+        port_guesses=[5353],
+        txid_guesses=list(range(65536)),
+    )
+    print(
+        f"forgeries sent: {result.forgeries_sent:,}; "
+        f"cache now holds: {result.cached_address}"
+    )
+    if result.poisoned:
+        print(">>> POISONED: internal clients resolving "
+              f"{VICTIM} now reach {MALICIOUS}")
+    else:
+        dsav_drops = fabric.drop_counts.get("drop-dsav", 0)
+        print(
+            f">>> attack failed "
+            f"({dsav_drops} spoofed packets dropped at the border)"
+        )
+
+
+def main() -> None:
+    demo(dsav=False)
+    demo(dsav=True)
+    print(
+        "\nConclusion: identical resolver, identical misconfiguration — "
+        "the only difference is whether the border validates inbound "
+        "source addresses."
+    )
+
+
+if __name__ == "__main__":
+    main()

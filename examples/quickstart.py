@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: scan a small synthetic Internet for DSAV.
+
+Builds a deterministic ~40-AS Internet, runs the paper's spoofed-source
+DNS scan against every DITL-style candidate resolver, and prints the
+headline result: how many addresses and autonomous systems accepted
+packets that claimed to come from inside their own network.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.core import (
+    ScanConfig,
+    headline,
+    open_closed_stats,
+    render_headline,
+    render_open_closed,
+)
+from repro.scenarios import ScenarioParams, build_internet
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    print(f"Building synthetic Internet (seed={seed}) ...")
+    scenario = build_internet(ScenarioParams(seed=seed, n_ases=40))
+    targets = scenario.target_set()
+    print(
+        f"  {len(targets)} candidate resolvers in "
+        f"{len(targets.asns())} ASes "
+        f"({targets.stats.special_purpose} special-purpose and "
+        f"{targets.stats.unrouted} unrouted candidates excluded)"
+    )
+
+    print("Running spoofed-source scan with follow-ups ...")
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=90.0))
+    scanner.run()
+    print(
+        f"  {scanner.probes_scheduled} probes sent, "
+        f"{collector.stats.experiment_records} authoritative-side "
+        f"observations, {collector.stats.late_records} filtered as "
+        f"human-intervention artifacts"
+    )
+
+    print("\n--- Section 4 headline ---")
+    print(render_headline(headline(targets, collector)))
+    print("\n--- Section 5.1 open vs closed ---")
+    print(render_open_closed(open_closed_stats(collector)))
+
+    # Everything the scan claims is verifiable against ground truth.
+    truth = scenario.truth
+    assert collector.reachable_asns() <= truth.dsav_lacking_asns
+    print(
+        "\nGround-truth check passed: every AS flagged as reachable "
+        "genuinely lacks DSAV."
+    )
+
+
+if __name__ == "__main__":
+    main()

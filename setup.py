@@ -1,0 +1,13 @@
+"""Shim for environments without the `wheel` package (offline installs):
+`python setup.py develop` works where `pip install -e .` cannot build a
+wheel.  Console scripts are declared here too since the legacy path
+does not read [project.scripts] from pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro-dsav = repro.cli:main"],
+    }
+)

@@ -1,0 +1,43 @@
+"""repro: reproduction of "Behind Closed Doors: A Network Tale of
+Spoofing, Intrusion, and False DNS Security" (Deccio et al., IMC 2020).
+
+The package is layered bottom-up:
+
+* :mod:`repro.netsim` — simulated Internet: addresses, routing,
+  OSAV/DSAV border policy, packet delivery.
+* :mod:`repro.oskernel` — per-OS behaviour: ephemeral port allocation,
+  spoofed-local packet admission, TCP/IP fingerprints.
+* :mod:`repro.dns` — wire-format DNS: messages, zones, caching
+  recursive resolvers, authoritative servers.
+* :mod:`repro.fingerprint` — p0f-style SYN matching and the Beta
+  port-range OS classifier.
+* :mod:`repro.core` — the paper's methodology: spoofed-source scanning,
+  follow-ups, collection, and the analyses behind every table/figure.
+* :mod:`repro.scenarios` — deterministic synthetic-Internet and lab
+  builders.
+* :mod:`repro.attacks` — cache-poisoning simulation quantifying the
+  stakes.
+
+Quickstart::
+
+    from repro.scenarios import ScenarioParams, build_internet
+    from repro.core import ScanConfig, headline, render_headline
+
+    scenario = build_internet(ScenarioParams(seed=7, n_ases=60))
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=120.0))
+    scanner.run()
+    print(render_headline(headline(targets, collector)))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "core",
+    "dns",
+    "fingerprint",
+    "netsim",
+    "oskernel",
+    "scenarios",
+]

@@ -1,0 +1,63 @@
+"""Attack simulations motivating the paper's findings.
+
+Cache poisoning (Section 5.2), NXNS amplification against newly exposed
+resolvers (Sections 1 and 6), and reflection/amplification with the RRL
+countermeasure (Section 2 background).
+"""
+
+from .nxns import NXNSResult, NXNSWorld, build_nxns_world, run_nxns_attack
+from .poisoning import (
+    TXID_SPACE,
+    Attacker,
+    PoisoningResult,
+    case_entropy_bits,
+    expected_windows,
+    guess_space,
+    guess_space_with_0x20,
+    simulate_poisoning,
+    success_probability,
+)
+from .reflection import (
+    ByteCountingVictim,
+    ReflectionResult,
+    ReflectionWorld,
+    build_reflection_world,
+    run_reflection_attack,
+)
+from .zone_poisoning import (
+    ZonePoisoningResult,
+    ZonePoisoningWorld,
+    add_record,
+    build_zone_poisoning_world,
+    delete_rrset,
+    make_update,
+    spoofed_zone_update,
+)
+
+__all__ = [
+    "Attacker",
+    "ByteCountingVictim",
+    "NXNSResult",
+    "NXNSWorld",
+    "PoisoningResult",
+    "ReflectionResult",
+    "ReflectionWorld",
+    "TXID_SPACE",
+    "ZonePoisoningResult",
+    "ZonePoisoningWorld",
+    "add_record",
+    "build_nxns_world",
+    "build_zone_poisoning_world",
+    "build_reflection_world",
+    "case_entropy_bits",
+    "delete_rrset",
+    "expected_windows",
+    "guess_space",
+    "guess_space_with_0x20",
+    "make_update",
+    "spoofed_zone_update",
+    "run_nxns_attack",
+    "run_reflection_attack",
+    "simulate_poisoning",
+    "success_probability",
+]

@@ -1,0 +1,216 @@
+"""NXNS amplification against newly exposed resolvers.
+
+The paper's introduction and discussion warn that networks lacking DSAV
+expose otherwise-unreachable internal resolvers to "the recently
+disclosed NXNS attack" (Shafir, Afek, Bremler-Barr; USENIX Security
+2020).  NXNS abuses glueless delegations: an attacker-controlled
+authoritative server answers with a referral naming *k* nameservers
+inside the victim's domain and supplies no glue, so the resolver fans
+out address lookups for every NS target — each of which lands on the
+victim's authoritative servers.  One attacker packet thus becomes up to
+``2k`` victim-directed queries (A + AAAA per target).
+
+This module builds the full attack on the fabric: an attacker zone, a
+victim zone, a resolver reached through a DSAV-less border, and a
+measurement of the amplification factor with and without an
+NXNS-style mitigation (clamping ``max_glueless_ns``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import ip_address
+from random import Random
+
+from ..dns.auth import AuthoritativeServer
+from ..dns.message import Message
+from ..dns.name import ROOT, Name, name
+from ..dns.resolver import AccessControl, RecursiveResolver, ResolverConfig
+from ..dns.rr import A, NS, RR, SOA, RRType
+from ..dns.zone import Zone
+from ..netsim.autonomous_system import AutonomousSystem
+from ..netsim.fabric import Fabric
+from ..netsim.packet import Packet, Transport
+from ..oskernel.ports import UniformPoolAllocator
+from ..oskernel.profiles import os_profile
+
+
+@dataclass
+class NXNSWorld:
+    """The assembled attack scenario."""
+
+    fabric: Fabric
+    resolver: RecursiveResolver
+    resolver_address: object
+    attacker_auth: AuthoritativeServer
+    victim_auth: AuthoritativeServer
+    attack_domain: Name
+    victim_domain: Name
+
+
+@dataclass(frozen=True, slots=True)
+class NXNSResult:
+    """Outcome of one NXNS trigger."""
+
+    attacker_packets: int
+    victim_queries: int
+
+    @property
+    def amplification(self) -> float:
+        """Victim-directed queries per attacker packet."""
+        if self.attacker_packets == 0:
+            return 0.0
+        return self.victim_queries / self.attacker_packets
+
+
+def build_nxns_world(
+    *,
+    fanout: int = 30,
+    max_glueless_ns: int = 50,
+    dsav: bool = False,
+    seed: int = 5,
+) -> NXNSWorld:
+    """Assemble root + attacker + victim zones and a closed resolver.
+
+    ``fanout`` is the number of glueless NS names the attacker's
+    referral lists; ``max_glueless_ns`` is the resolver's chase bound
+    (large = unpatched, small = NXNS-mitigated).
+    """
+    fabric = Fabric(seed=seed)
+    infra = AutonomousSystem(1, osav=False, dsav=False)
+    infra.add_prefix("20.0.0.0/16")
+    corp = AutonomousSystem(2, osav=True, dsav=dsav)
+    corp.add_prefix("30.0.0.0/16")
+    attacker_as = AutonomousSystem(3, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    for system in (infra, corp, attacker_as):
+        fabric.add_system(system)
+
+    rng = Random(seed)
+    root = AuthoritativeServer("root", 1, Random(rng.randrange(2**32)))
+    root_addr = ip_address("20.0.0.1")
+    fabric.attach(root, root_addr)
+
+    victim_domain = name("victim.example.")
+    victim_auth = AuthoritativeServer(
+        "victim-auth", 1, Random(rng.randrange(2**32))
+    )
+    victim_addr = ip_address("20.0.0.2")
+    fabric.attach(victim_auth, victim_addr)
+
+    attack_domain = name("attacker.example.")
+    attacker_auth = AuthoritativeServer(
+        "attacker-auth", 3, Random(rng.randrange(2**32))
+    )
+    attacker_auth_addr = ip_address("66.0.0.2")
+    fabric.attach(attacker_auth, attacker_auth_addr)
+
+    root_zone = Zone(ROOT, SOA(name("a.root."), name("n."), 1, 60, 60, 60, 60))
+    root_zone.add(RR(ROOT, RRType.NS, 1, 60, NS(name("a.root."))))
+    root_zone.add(RR(name("a.root."), RRType.A, 1, 60, A(root_addr)))
+    root_zone.add(
+        RR(victim_domain, RRType.NS, 1, 60, NS(name("ns.victim.example.")))
+    )
+    root_zone.add(
+        RR(name("ns.victim.example."), RRType.A, 1, 60, A(victim_addr))
+    )
+    root_zone.add(
+        RR(attack_domain, RRType.NS, 1, 60, NS(name("ns.attacker.example.")))
+    )
+    root_zone.add(
+        RR(name("ns.attacker.example."), RRType.A, 1, 60, A(attacker_auth_addr))
+    )
+    root.add_zone(root_zone)
+
+    victim_zone = Zone(
+        victim_domain,
+        SOA(name("ns.victim.example."), name("r."), 1, 60, 60, 60, 30),
+    )
+    victim_zone.add(
+        RR(victim_domain, RRType.NS, 1, 60, NS(name("ns.victim.example.")))
+    )
+    victim_zone.add(
+        RR(name("ns.victim.example."), RRType.A, 1, 60, A(victim_addr))
+    )
+    victim_auth.add_zone(victim_zone)
+
+    # The attacker's zone: a sub-delegation listing `fanout` glueless
+    # NS names inside the victim's domain.
+    attacker_zone = Zone(
+        attack_domain,
+        SOA(name("ns.attacker.example."), name("r."), 1, 60, 60, 60, 30),
+    )
+    attacker_zone.add(
+        RR(attack_domain, RRType.NS, 1, 60, NS(name("ns.attacker.example.")))
+    )
+    attacker_zone.add(
+        RR(
+            name("ns.attacker.example."), RRType.A, 1, 60,
+            A(attacker_auth_addr),
+        )
+    )
+    sub = attack_domain.child("sub")
+    for index in range(fanout):
+        attacker_zone.add(
+            RR(
+                sub, RRType.NS, 1, 60,
+                NS(victim_domain.child(f"fake-ns-{index}")),
+            )
+        )
+    attacker_auth.add_zone(attacker_zone)
+
+    resolver = RecursiveResolver(
+        "corp-resolver",
+        2,
+        os_profile("ubuntu-modern"),
+        Random(seed + 1),
+        port_allocator=UniformPoolAllocator.linux_default(Random(seed + 2)),
+        acl=AccessControl(open_=False, allowed_prefixes=tuple(corp.prefixes())),
+        config=ResolverConfig(
+            max_glueless_ns=max_glueless_ns, task_deadline=30.0
+        ),
+        root_hints=[root_addr],
+    )
+    resolver_address = ip_address("30.0.0.53")
+    fabric.attach(resolver, resolver_address)
+
+    return NXNSWorld(
+        fabric=fabric,
+        resolver=resolver,
+        resolver_address=resolver_address,
+        attacker_auth=attacker_auth,
+        victim_auth=victim_auth,
+        attack_domain=attack_domain,
+        victim_domain=victim_domain,
+    )
+
+
+def run_nxns_attack(
+    world: NXNSWorld, *, spoofed_client=None, seed: int = 9
+) -> NXNSResult:
+    """Trigger one NXNS lookup and count victim-directed queries.
+
+    ``spoofed_client`` defaults to an internal-looking address, i.e. the
+    infiltration vector the paper measures: for a *closed* resolver the
+    trigger only works where DSAV is absent.
+    """
+    rng = Random(seed)
+    if spoofed_client is None:
+        spoofed_client = ip_address("30.0.44.44")
+    before = len(world.victim_auth.query_log)
+    qname = world.attack_domain.child("sub").child(f"r{rng.randrange(10**6)}")
+    message = Message.make_query(rng.randrange(0x10000), qname, RRType.A)
+    packet = Packet(
+        src=spoofed_client,
+        dst=world.resolver_address,
+        sport=1024 + rng.randrange(64000),
+        dport=53,
+        payload=message.to_wire(),
+        transport=Transport.UDP,
+    )
+    # Inject from the attacker's network (no OSAV there).
+    attacker_host = world.attacker_auth
+    attacker_host.send(packet)
+    world.fabric.run()
+    after = len(world.victim_auth.query_log)
+    return NXNSResult(attacker_packets=1, victim_queries=after - before)

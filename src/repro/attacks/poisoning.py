@@ -1,0 +1,231 @@
+"""Kaminsky-style cache poisoning against reachable resolvers.
+
+Section 5.2 of the paper argues that a closed resolver in a network
+lacking DSAV has "little advantage over open resolvers when it comes to
+cache poisoning": an off-path attacker can *trigger* a recursive lookup
+with a spoofed internal source, then race the authoritative server with
+forged responses.  With source-port randomization the attacker must
+guess a (port, transaction-ID) pair from up to 2^32 combinations; with a
+fixed source port only the 16-bit ID remains.
+
+This module provides both the analytic success model and a concrete
+simulation on the fabric that exercises the real resolver code path:
+trigger query, forged flood, race against the genuine answer, cache
+inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from ..dns.message import Flag, Message, Rcode
+from ..dns.name import Name
+from ..dns.resolver import RecursiveResolver
+from ..dns.rr import A, RR, RRType
+from ..netsim.addresses import Address
+from ..netsim.fabric import Fabric, Host
+from ..netsim.packet import Packet, Transport
+
+TXID_SPACE = 1 << 16
+
+
+def guess_space(port_pool_size: int, *, txid_space: int = TXID_SPACE) -> int:
+    """Size of the (port, transaction-ID) search space."""
+    if port_pool_size < 1:
+        raise ValueError("port pool must hold at least one port")
+    return port_pool_size * txid_space
+
+
+def case_entropy_bits(victim_name: Name) -> int:
+    """Extra forgery entropy DNS 0x20 adds for *victim_name*.
+
+    One bit per ASCII letter in the name: the forger must echo the
+    resolver's randomized case exactly.
+    """
+    return sum(
+        1
+        for label in victim_name.labels
+        for octet in label
+        if 65 <= (octet & ~0x20) <= 90
+    )
+
+
+def guess_space_with_0x20(
+    port_pool_size: int, victim_name: Name, *, txid_space: int = TXID_SPACE
+) -> int:
+    """Search space when the resolver deploys 0x20 case randomization."""
+    return guess_space(port_pool_size, txid_space=txid_space) * (
+        1 << case_entropy_bits(victim_name)
+    )
+
+
+def success_probability(
+    port_pool_size: int,
+    forgeries_per_window: int,
+    windows: int = 1,
+    *,
+    txid_space: int = TXID_SPACE,
+) -> float:
+    """Probability that at least one forgery lands across *windows* races.
+
+    Each race window, the attacker injects ``forgeries_per_window``
+    distinct (port, ID) guesses against one outstanding query whose true
+    pair is uniform over the guess space.
+    """
+    space = guess_space(port_pool_size, txid_space=txid_space)
+    per_window = min(forgeries_per_window, space) / space
+    return 1.0 - (1.0 - per_window) ** windows
+
+
+def expected_windows(
+    port_pool_size: int,
+    forgeries_per_window: int,
+    *,
+    txid_space: int = TXID_SPACE,
+) -> float:
+    """Expected number of race windows until the first success."""
+    space = guess_space(port_pool_size, txid_space=txid_space)
+    per_window = min(forgeries_per_window, space) / space
+    if per_window <= 0:
+        return math.inf
+    return 1.0 / per_window
+
+
+class Attacker(Host):
+    """Off-path attacker: triggers lookups and floods forged answers."""
+
+    def __init__(self, name: str, asn: int, rng: Random) -> None:
+        super().__init__(name, asn)
+        self.rng = rng
+        self.forgeries_sent = 0
+        self.triggers_sent = 0
+
+    def trigger_query(
+        self,
+        resolver: Address,
+        spoofed_client: Address,
+        victim_name: Name,
+        *,
+        qtype: int = RRType.A,
+    ) -> None:
+        """Induce a recursive lookup using a spoofed internal source.
+
+        This is exactly the infiltration the paper measures: for closed
+        resolvers the trigger only works when the resolver's network
+        lacks DSAV and the spoofed source satisfies the resolver's ACL.
+        """
+        message = Message.make_query(
+            self.rng.randrange(TXID_SPACE), victim_name, qtype
+        )
+        self.triggers_sent += 1
+        self.send(
+            Packet(
+                src=spoofed_client,
+                dst=resolver,
+                sport=1024 + self.rng.randrange(64512),
+                dport=53,
+                payload=message.to_wire(),
+                transport=Transport.UDP,
+            )
+        )
+
+    def flood_forgeries(
+        self,
+        resolver: Address,
+        spoofed_server: Address,
+        victim_name: Name,
+        malicious_address: Address,
+        *,
+        ports: list[int],
+        txids: list[int],
+        qtype: int = RRType.A,
+    ) -> int:
+        """Send one forged answer per (port, txid) guess; return count."""
+        count = 0
+        for dport in ports:
+            for txid in txids:
+                forged = Message(
+                    txid,
+                    flags=Flag.QR | Flag.AA,
+                    rcode=Rcode.NOERROR,
+                )
+                from ..dns.message import Question
+
+                forged.question = Question(victim_name, qtype)
+                forged.answers.append(
+                    RR(victim_name, RRType.A, 1, 86400, A(malicious_address))
+                )
+                self.send(
+                    Packet(
+                        src=spoofed_server,
+                        dst=resolver,
+                        sport=53,
+                        dport=dport,
+                        payload=forged.to_wire(),
+                        transport=Transport.UDP,
+                    )
+                )
+                count += 1
+        self.forgeries_sent += count
+        return count
+
+
+@dataclass
+class PoisoningResult:
+    """Outcome of one simulated poisoning attempt."""
+
+    poisoned: bool
+    forgeries_sent: int
+    cached_address: Address | None
+
+
+def simulate_poisoning(
+    fabric: Fabric,
+    attacker: Attacker,
+    resolver_host: RecursiveResolver,
+    resolver_address: Address,
+    spoofed_client: Address,
+    authority_address: Address,
+    victim_name: Name,
+    malicious_address: Address,
+    *,
+    port_guesses: list[int],
+    txid_guesses: list[int],
+    flood_delay: float = 0.6,
+) -> PoisoningResult:
+    """Run a full trigger-and-race poisoning attempt on the fabric.
+
+    The attacker triggers the lookup, waits *flood_delay* for the
+    resolver's upstream query to be in flight (the resolver must first
+    walk the delegation chain, which takes a few hundred simulated
+    milliseconds), floods forged responses attributed to
+    *authority_address*, and the event loop then settles the race
+    between forgeries and the genuine answer.  The verdict is read from
+    the resolver's cache.
+    """
+    attacker.trigger_query(resolver_address, spoofed_client, victim_name)
+    fabric.loop.schedule(
+        flood_delay,
+        lambda: attacker.flood_forgeries(
+            resolver_address,
+            authority_address,
+            victim_name,
+            malicious_address,
+            ports=port_guesses,
+            txids=txid_guesses,
+        ),
+    )
+    fabric.run()
+    cache = resolver_host.cache
+    cached_address: Address | None = None
+    if cache is not None:
+        entry = cache.get(victim_name, RRType.A)
+        if entry is not None and entry.rrset:
+            cached_address = entry.rrset[0].rdata.address  # type: ignore[union-attr]
+    return PoisoningResult(
+        poisoned=cached_address == malicious_address,
+        forgeries_sent=attacker.forgeries_sent,
+        cached_address=cached_address,
+    )

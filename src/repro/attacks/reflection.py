@@ -1,0 +1,149 @@
+"""DNS reflection/amplification and the RRL countermeasure (Section 2).
+
+The paper frames DSAV alongside its sibling problem: *origin-side* SAV
+failures let attackers spoof a victim's address in queries to DNS
+servers, which then "reflect" much larger responses at the victim.
+This module measures that amplification on the fabric — bytes received
+by the victim per byte the attacker sent — and shows Response Rate
+Limiting (which the authors studied in earlier work) collapsing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import ip_address
+from random import Random
+
+from ..dns.auth import AuthoritativeServer
+from ..dns.message import Message
+from ..dns.name import Name, name
+from ..dns.rr import RR, SOA, RRType, TXT
+from ..dns.zone import Zone
+from ..netsim.autonomous_system import AutonomousSystem
+from ..netsim.fabric import Fabric, Host
+from ..netsim.packet import Packet, Transport
+
+
+class ByteCountingVictim(Host):
+    """Records every byte of unsolicited traffic it receives."""
+
+    def __init__(self, name_: str, asn: int) -> None:
+        super().__init__(name_, asn)
+        self.bytes_received = 0
+        self.packets_received = 0
+
+    def handle_packet(self, packet: Packet) -> None:
+        self.bytes_received += len(packet.payload)
+        self.packets_received += 1
+
+
+@dataclass
+class ReflectionWorld:
+    fabric: Fabric
+    auth: AuthoritativeServer
+    auth_address: object
+    victim: ByteCountingVictim
+    victim_address: object
+    attacker: Host
+    amplifying_qname: Name
+
+
+@dataclass(frozen=True, slots=True)
+class ReflectionResult:
+    queries_sent: int
+    bytes_sent: int
+    victim_packets: int
+    victim_bytes: int
+
+    @property
+    def amplification(self) -> float:
+        """Bytes delivered to the victim per byte the attacker sent."""
+        if self.bytes_sent == 0:
+            return 0.0
+        return self.victim_bytes / self.bytes_sent
+
+
+def build_reflection_world(
+    *, rrl_limit: float = 0.0, txt_chunks: int = 14, seed: int = 3
+) -> ReflectionWorld:
+    """An open authoritative server with a large TXT record, an
+    attacker in a no-OSAV network, and a victim elsewhere."""
+    fabric = Fabric(seed=seed)
+    infra = AutonomousSystem(1, osav=True, dsav=False)
+    infra.add_prefix("20.0.0.0/16")
+    attacker_as = AutonomousSystem(2, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    victim_as = AutonomousSystem(3, osav=True, dsav=True)
+    victim_as.add_prefix("77.0.0.0/16")
+    for system in (infra, attacker_as, victim_as):
+        fabric.add_system(system)
+
+    auth = AuthoritativeServer("amplifier", 1, Random(seed))
+    auth.rrl_limit = rrl_limit
+    auth_address = ip_address("20.0.0.1")
+    fabric.attach(auth, auth_address)
+    domain = name("big.example.")
+    zone = Zone(domain, SOA(name("ns."), name("r."), 1, 60, 60, 60, 30))
+    qname = domain.child("huge")
+    zone.add(
+        RR(
+            qname,
+            RRType.TXT,
+            1,
+            3600,
+            TXT(tuple(b"A" * 255 for _ in range(txt_chunks))),
+        )
+    )
+    auth.add_zone(zone)
+
+    victim = ByteCountingVictim("victim", 3)
+    victim_address = ip_address("77.0.0.1")
+    fabric.attach(victim, victim_address)
+
+    attacker = Host("attacker", 2)
+    fabric.attach(attacker, ip_address("66.0.0.1"))
+    return ReflectionWorld(
+        fabric=fabric,
+        auth=auth,
+        auth_address=auth_address,
+        victim=victim,
+        victim_address=victim_address,
+        attacker=attacker,
+        amplifying_qname=qname,
+    )
+
+
+def run_reflection_attack(
+    world: ReflectionWorld,
+    *,
+    queries: int = 50,
+    interval: float = 0.01,
+    seed: int = 4,
+) -> ReflectionResult:
+    """Spoof the victim in *queries* requests for the large record."""
+    rng = Random(seed)
+    bytes_sent = 0
+    for index in range(queries):
+        message = Message.make_query(
+            rng.randrange(0x10000), world.amplifying_qname, RRType.TXT
+        )
+        wire = message.to_wire()
+        bytes_sent += len(wire)
+        packet = Packet(
+            src=world.victim_address,       # the reflection spoof
+            dst=world.auth_address,
+            sport=1024 + rng.randrange(64000),
+            dport=53,
+            payload=wire,
+            transport=Transport.UDP,
+        )
+        world.fabric.loop.schedule(
+            index * interval, lambda p=packet: world.attacker.send(p)
+        )
+    world.fabric.run()
+    return ReflectionResult(
+        queries_sent=queries,
+        bytes_sent=bytes_sent,
+        victim_packets=world.victim.packets_received,
+        victim_bytes=world.victim.bytes_received,
+    )

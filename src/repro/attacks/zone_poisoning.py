@@ -1,0 +1,184 @@
+"""Zone poisoning via non-secure dynamic updates (Korczynski et al.).
+
+The paper twice names "DNS zone poisoning [29]" among the attacks that
+networks lacking DSAV expose their internal servers to.  The attack
+needs an authoritative server that accepts RFC 2136 dynamic updates
+gated only by a source-prefix ACL ("non-secure dynamic updates"): an
+off-path attacker spoofs an internal source and rewrites zone records —
+no race, no guessing, one packet.
+
+This module crafts the update packets and runs the full scenario on the
+fabric: an internal-only update ACL, a spoofed UPDATE injecting a
+malicious address record, and verification via a subsequent lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..dns.auth import AuthoritativeServer
+from ..dns.message import Message, Opcode, Question
+from ..dns.name import Name
+from ..dns.rr import A, RR, RRClass, RRType  # noqa: F401 (A used by callers)
+from ..netsim.addresses import Address
+from ..netsim.fabric import Fabric, Host
+from ..netsim.packet import Packet, Transport
+
+
+def make_update(
+    msg_id: int,
+    zone_origin: Name,
+    updates: list[RR],
+) -> Message:
+    """Build an RFC 2136 UPDATE message.
+
+    The zone section rides in the question (qtype SOA, per the RFC) and
+    the update records in the authority section.
+    """
+    message = Message(msg_id, opcode=Opcode.UPDATE)
+    message.question = Question(zone_origin, RRType.SOA)
+    message.authority.extend(updates)
+    return message
+
+
+def add_record(owner: Name, rdata, *, ttl: int = 300) -> RR:
+    """An update entry that adds one record."""
+    return RR(owner, rdata.rrtype, RRClass.IN, ttl, rdata)
+
+
+def delete_rrset(owner: Name, rrtype: int) -> RR:
+    """An update entry that deletes a whole RRset (class ANY, no rdata)."""
+    from ..dns.rr import Opaque
+
+    return RR(owner, rrtype, RRClass.ANY, 0, Opaque(rrtype, b""))
+
+
+@dataclass
+class ZonePoisoningWorld:
+    """A corporate zone with non-secure dynamic updates, plus attacker."""
+
+    fabric: Fabric
+    server: AuthoritativeServer
+    server_address: Address
+    attacker: Host
+    zone_origin: Name
+    victim_owner: Name
+    legitimate_address: Address
+
+
+def build_zone_poisoning_world(
+    *, dsav: bool, seed: int = 8
+) -> ZonePoisoningWorld:
+    """A corporate authoritative server whose zone accepts dynamic
+    updates from internal prefixes only, behind a border with or
+    without DSAV."""
+    from ipaddress import ip_address as _ip, ip_network
+
+    from ..dns.name import name
+    from ..dns.resolver import AccessControl
+    from ..dns.rr import NS, SOA
+    from ..dns.zone import Zone
+    from ..netsim.autonomous_system import AutonomousSystem
+
+    zone_origin = name("corp.example.")
+    victim_owner = name("intranet.corp.example.")
+    legitimate = _ip("30.0.0.80")
+
+    fabric = Fabric(seed=seed)
+    corp = AutonomousSystem(1, osav=True, dsav=dsav)
+    corp.add_prefix("30.0.0.0/16")
+    attacker_as = AutonomousSystem(2, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    fabric.add_system(corp)
+    fabric.add_system(attacker_as)
+
+    server = AuthoritativeServer("corp-dns", 1, Random(seed))
+    server_address = _ip("30.0.0.53")
+    fabric.attach(server, server_address)
+    zone = Zone(
+        zone_origin, SOA(name("ns."), name("admin."), 1, 60, 60, 60, 30)
+    )
+    zone.add(
+        RR(zone_origin, RRType.NS, RRClass.IN, 60, NS(name("ns.corp.example.")))
+    )
+    zone.add(RR(victim_owner, RRType.A, RRClass.IN, 300, A(legitimate)))
+    server.add_zone(zone)
+    server.update_acl = AccessControl(
+        allowed_prefixes=(ip_network("30.0.0.0/16"),)
+    )
+    attacker = Host("attacker", 2)
+    fabric.attach(attacker, _ip("66.0.0.1"))
+    return ZonePoisoningWorld(
+        fabric=fabric,
+        server=server,
+        server_address=server_address,
+        attacker=attacker,
+        zone_origin=zone_origin,
+        victim_owner=victim_owner,
+        legitimate_address=legitimate,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ZonePoisoningResult:
+    """Outcome of one spoofed-update attempt."""
+
+    accepted: bool
+    zone_now_answers: Address | None
+
+    @property
+    def poisoned(self) -> bool:
+        return self.accepted and self.zone_now_answers is not None
+
+
+def spoofed_zone_update(
+    fabric: Fabric,
+    attacker: Host,
+    server: AuthoritativeServer,
+    server_address: Address,
+    zone_origin: Name,
+    spoofed_source: Address,
+    victim_owner: Name,
+    malicious_address: Address,
+    *,
+    seed: int = 6,
+) -> ZonePoisoningResult:
+    """Inject a spoofed dynamic update and check whether it took effect.
+
+    Replaces *victim_owner*'s A RRset with *malicious_address* in one
+    UPDATE message, exactly the zone-poisoning primitive: delete the
+    legitimate RRset, add the attacker's record.
+    """
+    rng = Random(seed)
+    before = server.updates_applied
+    update = make_update(
+        rng.randrange(0x10000),
+        zone_origin,
+        [
+            delete_rrset(victim_owner, RRType.A),
+            add_record(victim_owner, A(malicious_address)),
+        ],
+    )
+    attacker.send(
+        Packet(
+            src=spoofed_source,
+            dst=server_address,
+            sport=1024 + rng.randrange(64000),
+            dport=53,
+            payload=update.to_wire(),
+            transport=Transport.UDP,
+        )
+    )
+    fabric.run()
+    accepted = server.updates_applied > before
+    zone = server.zones.get(zone_origin)
+    answers: Address | None = None
+    if zone is not None:
+        rrset = zone.rrset(victim_owner, RRType.A)
+        if rrset:
+            answers = rrset[0].rdata.address  # type: ignore[union-attr]
+    return ZonePoisoningResult(
+        accepted=accepted,
+        zone_now_answers=answers if accepted else None,
+    )

@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro-dsav <command>``.
+
+Subcommands:
+
+* ``scan``   — run a full campaign and print every table of the paper.
+* ``audit``  — the Section 6 "public testing tool" against one AS.
+* ``lab``    — the controlled-lab artifacts (Tables 5/6, Figure 3a fit).
+* ``attack`` — the exposure demonstrations (poisoning, NXNS, reflection).
+
+All commands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core import ScanConfig, resolver_ranges
+from .scenarios import ScenarioParams, build_internet
+
+
+def _banner(title: str) -> None:
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from .core.campaign import Campaign
+
+    campaign = Campaign.run_default(
+        seed=args.seed, n_ases=args.n_ases, duration=args.duration
+    )
+    print(campaign.summary())
+    print()
+    print(campaign.full_report())
+    from .core.paper import comparison_report
+
+    _banner("Paper shape-claim verdicts")
+    print(comparison_report(campaign))
+    if args.json is not None:
+        campaign.save_results(args.json)
+        print(f"structured results written to {args.json}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from .attacks import expected_windows
+    from .core.targets import TargetSet
+    from .fingerprint.p0f import P0fDatabase
+
+    scenario = build_internet(
+        ScenarioParams(seed=args.seed, n_ases=args.n_ases)
+    )
+    if args.asn is None:
+        counts: dict[int, int] = {}
+        for info in scenario.truth.resolvers:
+            if info.alive and info.asn in scenario.truth.dsav_lacking_asns:
+                counts[info.asn] = counts.get(info.asn, 0) + 1
+        if not counts:
+            print("no auditable AS in this scenario")
+            return 1
+        args.asn = max(counts, key=counts.get)  # type: ignore[arg-type]
+    full = scenario.target_set()
+    scoped = TargetSet(
+        targets=[t for t in full.targets if t.asn == args.asn],
+        stats=full.stats,
+    )
+    print(f"Auditing AS{args.asn}: {len(scoped)} candidate resolvers")
+    scanner, collector = scenario.make_scanner(
+        ScanConfig(duration=60.0), targets=scoped
+    )
+    scanner.run()
+    reachable = collector.reachable_targets()
+    if not reachable:
+        print("verdict: no spoofed-source infiltration observed")
+        return 0
+    print(f"verdict: DSAV ABSENT — {len(reachable)} resolver(s) reached")
+    ranges = {
+        r.observation.target: r
+        for r in resolver_ranges(collector, P0fDatabase.default())
+    }
+    for obs in sorted(reachable, key=lambda o: str(o.target)):
+        line = (
+            f"  {obs.target}: "
+            f"{'open' if obs.open_ else 'closed'}, "
+            f"categories={{{','.join(sorted(c.value for c in obs.categories))}}}"
+        )
+        item = ranges.get(obs.target)
+        if item is not None:
+            line += f", port-range={item.range} ({item.bucket.label})"
+            if item.range == 0:
+                cost = expected_windows(1, 65536)
+                line += f" *** poisonable in ~{cost:.0f} race window"
+        elif obs.forwarded:
+            line += ", forwards upstream"
+        print(line)
+    return 0
+
+
+def cmd_lab(args: argparse.Namespace) -> int:
+    from .oskernel.profiles import SOFTWARE_PROFILES
+    from .scenarios.lab import lab_port_study, os_acceptance_matrix
+
+    _banner("Table 5: port pools per software")
+    for result in lab_port_study(n_queries=args.queries):
+        profile = SOFTWARE_PROFILES.get(result.software)
+        print(
+            f"{result.os_name:>16} / {result.software:<26} "
+            f"distinct={result.distinct_ports:<6} "
+            f"span={result.pool_span:<6} "
+            f"[{profile.pool_description if profile else 'custom'}]"
+        )
+    _banner("Table 6: spoofed-local packet acceptance")
+    for row in os_acceptance_matrix():
+        marks = "".join(
+            "x" if flag else "-"
+            for flag in (row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6)
+        )
+        print(f"{row.os_name:>18}  DS4/LB4/DS6/LB6 = {marks}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from .attacks import (
+        build_nxns_world,
+        build_reflection_world,
+        guess_space,
+        run_nxns_attack,
+        run_reflection_attack,
+    )
+
+    if args.kind in ("nxns", "all"):
+        _banner("NXNS amplification")
+        unpatched = run_nxns_attack(
+            build_nxns_world(fanout=30, max_glueless_ns=50)
+        )
+        patched = run_nxns_attack(
+            build_nxns_world(fanout=30, max_glueless_ns=2)
+        )
+        print(
+            f"unpatched resolver: x{unpatched.amplification:.0f} "
+            f"victim queries per trigger; NXNS-patched: "
+            f"x{patched.amplification:.0f}"
+        )
+    if args.kind in ("reflection", "all"):
+        _banner("Reflection / RRL")
+        open_ = run_reflection_attack(build_reflection_world(), queries=40)
+        limited = run_reflection_attack(
+            build_reflection_world(rrl_limit=2.0), queries=40
+        )
+        print(
+            f"no RRL: x{open_.amplification:.1f} byte amplification; "
+            f"RRL 2/s: x{limited.amplification:.1f}"
+        )
+    if args.kind in ("poisoning", "all"):
+        _banner("Poisoning search space")
+        for label, pool in (("fixed port", 1), ("Windows DNS", 2500),
+                            ("Linux", 28232), ("full range", 64511)):
+            print(f"{label:>12}: {guess_space(pool):,} combinations")
+    if args.kind in ("zone", "all"):
+        _banner("Zone poisoning via spoofed dynamic update")
+        from ipaddress import ip_address as _ip
+
+        from .attacks.zone_poisoning import (
+            build_zone_poisoning_world,
+            spoofed_zone_update,
+        )
+
+        for dsav in (False, True):
+            world = build_zone_poisoning_world(dsav=dsav)
+            result = spoofed_zone_update(
+                world.fabric, world.attacker, world.server,
+                world.server_address, world.zone_origin,
+                spoofed_source=_ip("30.0.44.44"),
+                victim_owner=world.victim_owner,
+                malicious_address=_ip("66.6.6.6"),
+            )
+            label = "with DSAV" if dsav else "without DSAV"
+            print(
+                f"{label}: update "
+                f"{'ACCEPTED - zone rewritten' if result.poisoned else 'blocked'}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsav",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="full campaign + all tables")
+    scan.add_argument("--n-ases", type=int, default=120)
+    scan.add_argument("--seed", type=int, default=2019)
+    scan.add_argument("--duration", type=float, default=180.0)
+    scan.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write structured results as JSON",
+    )
+    scan.set_defaults(func=cmd_scan)
+
+    audit = sub.add_parser("audit", help="audit one AS")
+    audit.add_argument("--asn", type=int, default=None)
+    audit.add_argument("--n-ases", type=int, default=80)
+    audit.add_argument("--seed", type=int, default=1234)
+    audit.set_defaults(func=cmd_audit)
+
+    lab = sub.add_parser("lab", help="controlled-lab artifacts")
+    lab.add_argument("--queries", type=int, default=10_000)
+    lab.set_defaults(func=cmd_lab)
+
+    attack = sub.add_parser("attack", help="exposure demonstrations")
+    attack.add_argument(
+        "kind",
+        choices=("poisoning", "nxns", "reflection", "zone", "all"),
+        default="all",
+        nargs="?",
+    )
+    attack.set_defaults(func=cmd_attack)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,713 @@
+"""Analysis layer: turns collected observations into the paper's results.
+
+Every public function here corresponds to a table, figure, or in-text
+statistic from the paper:
+
+* :func:`headline` — Section 4's reachable-address/AS rates.
+* :func:`country_tables` — Tables 1 and 2.
+* :func:`source_category_table` — Table 3 (inclusive and exclusive).
+* :func:`range_histogram` — Figure 2 / Figure 3b histogram series.
+* :func:`port_range_table` — Table 4.
+* :func:`zero_range_stats` — Section 5.2.1.
+* :func:`small_range_patterns` — Section 5.2.3.
+* :func:`open_closed_stats` — Section 5.1.
+* :func:`forwarding_stats` — Section 5.4.
+* :func:`qmin_stats` — Section 3.6.4.
+* :func:`local_infiltration_stats` — Section 5.5 (Table 3's DS/LB rows
+  viewed as host-stack evidence).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..fingerprint.p0f import LABEL_WINDOWS, P0fDatabase
+from ..fingerprint.portrange import (
+    PortRangeClass,
+    RangeObservation,
+    is_increasing_with_wrap,
+    is_strictly_increasing,
+    observe,
+)
+from ..netsim.geo import GeoDatabase
+from ..netsim.routing import RoutingTable
+from .collection import Collector, TargetObservation
+from .sources import SourceCategory
+from .targets import TargetSet
+
+#: Minimum direct port observations needed before a range is computed.
+MIN_PORT_SAMPLES = 5
+
+
+# ---------------------------------------------------------------------------
+# Section 4: headline reachability
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FamilyHeadline:
+    """Reachability for one address family."""
+
+    targeted_addresses: int
+    reachable_addresses: int
+    targeted_asns: int
+    reachable_asns: int
+
+    @property
+    def address_rate(self) -> float:
+        return _rate(self.reachable_addresses, self.targeted_addresses)
+
+    @property
+    def asn_rate(self) -> float:
+        return _rate(self.reachable_asns, self.targeted_asns)
+
+
+@dataclass(frozen=True, slots=True)
+class Headline:
+    v4: FamilyHeadline
+    v6: FamilyHeadline
+
+
+def _rate(part: int, whole: int) -> float:
+    return part / whole if whole else 0.0
+
+
+def headline(targets: TargetSet, collector: Collector) -> Headline:
+    """Compute the Section 4 headline numbers."""
+    def family(version: int) -> FamilyHeadline:
+        return FamilyHeadline(
+            targeted_addresses=targets.count(version),
+            reachable_addresses=len(collector.reachable_targets(version)),
+            targeted_asns=len(targets.asns(version)),
+            reachable_asns=len(collector.reachable_asns(version)),
+        )
+
+    return Headline(v4=family(4), v6=family(6))
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2: per-country reachability
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CountryRow:
+    country: str
+    total_asns: int
+    reachable_asns: int
+    total_addresses: int
+    reachable_addresses: int
+
+    @property
+    def asn_rate(self) -> float:
+        return _rate(self.reachable_asns, self.total_asns)
+
+    @property
+    def address_rate(self) -> float:
+        return _rate(self.reachable_addresses, self.total_addresses)
+
+
+def country_rows(
+    targets: TargetSet,
+    collector: Collector,
+    geo: GeoDatabase,
+    routes: RoutingTable,
+) -> list[CountryRow]:
+    """Aggregate reachability per country (both families combined).
+
+    As in the paper, an AS is associated with every country any of its
+    prefixes geolocates to, so one AS can appear in several rows.
+    """
+    asn_countries: dict[int, set[str]] = {}
+
+    def countries_for(asn: int) -> set[str]:
+        if asn not in asn_countries:
+            asn_countries[asn] = geo.countries_of_asn(asn, routes)
+        return asn_countries[asn]
+
+    total_asns: dict[str, set[int]] = defaultdict(set)
+    reachable_asns: dict[str, set[int]] = defaultdict(set)
+    total_addresses: Counter = Counter()
+    reachable_addresses: Counter = Counter()
+
+    reachable = {obs.target for obs in collector.reachable_targets()}
+    reachable_asn_set = collector.reachable_asns()
+
+    for target in targets.targets:
+        country = geo.country_of_address(target.address)
+        if country is None:
+            continue
+        total_addresses[country] += 1
+        if target.address in reachable:
+            reachable_addresses[country] += 1
+        for asn_country in countries_for(target.asn):
+            total_asns[asn_country].add(target.asn)
+            if target.asn in reachable_asn_set:
+                reachable_asns[asn_country].add(target.asn)
+
+    rows = [
+        CountryRow(
+            country=country,
+            total_asns=len(asns),
+            reachable_asns=len(reachable_asns.get(country, ())),
+            total_addresses=total_addresses.get(country, 0),
+            reachable_addresses=reachable_addresses.get(country, 0),
+        )
+        for country, asns in total_asns.items()
+    ]
+    rows.sort(key=lambda r: (-r.total_asns, r.country))
+    return rows
+
+
+def table1(rows: list[CountryRow], top: int = 10) -> list[CountryRow]:
+    """Top countries by number of ASes in the target set (Table 1)."""
+    return sorted(rows, key=lambda r: (-r.total_asns, r.country))[:top]
+
+
+def table2(rows: list[CountryRow], top: int = 10) -> list[CountryRow]:
+    """Top countries by fraction of reachable addresses (Table 2)."""
+    return sorted(
+        rows, key=lambda r: (-r.address_rate, r.country)
+    )[:top]
+
+
+# ---------------------------------------------------------------------------
+# Table 3: spoofed-source category effectiveness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryCell:
+    addresses: int
+    asns: int
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryRow:
+    category: SourceCategory
+    inclusive_v4: CategoryCell
+    inclusive_v6: CategoryCell
+    exclusive_v4: CategoryCell
+    exclusive_v6: CategoryCell
+
+
+@dataclass
+class SourceCategoryTable:
+    """Table 3: per-category inclusive and exclusive reach."""
+
+    all_reachable_v4: CategoryCell = CategoryCell(0, 0)
+    all_reachable_v6: CategoryCell = CategoryCell(0, 0)
+    rows: list[CategoryRow] = field(default_factory=list)
+    median_sources_v4: float = 0.0
+    median_sources_v6: float = 0.0
+    over_50_sources_v4: int = 0
+    over_50_sources_v6: int = 0
+    #: targets reached by only one or two sources ("for nearly half of
+    #: all reachable target IP addresses, only one or two sources
+    #: resulted in reachable queries", Section 4.1).
+    one_or_two_sources_v4: int = 0
+    one_or_two_sources_v6: int = 0
+
+
+def source_category_table(collector: Collector) -> SourceCategoryTable:
+    """Compute Table 3 plus the Section 4.1 source-count statistics."""
+    table = SourceCategoryTable()
+    reachable = {4: collector.reachable_targets(4), 6: collector.reachable_targets(6)}
+    table.all_reachable_v4 = CategoryCell(
+        len(reachable[4]), len({o.asn for o in reachable[4]})
+    )
+    table.all_reachable_v6 = CategoryCell(
+        len(reachable[6]), len({o.asn for o in reachable[6]})
+    )
+
+    for version in (4, 6):
+        counts = sorted(len(o.working_sources) for o in reachable[version])
+        median = 0.0
+        if counts:
+            mid = len(counts) // 2
+            median = (
+                counts[mid]
+                if len(counts) % 2
+                else (counts[mid - 1] + counts[mid]) / 2
+            )
+        over_50 = sum(1 for c in counts if c > 50)
+        one_or_two = sum(1 for c in counts if c <= 2)
+        if version == 4:
+            table.median_sources_v4, table.over_50_sources_v4 = median, over_50
+            table.one_or_two_sources_v4 = one_or_two
+        else:
+            table.median_sources_v6, table.over_50_sources_v6 = median, over_50
+            table.one_or_two_sources_v6 = one_or_two
+
+    def cell(
+        observations: list[TargetObservation],
+        predicate,
+    ) -> CategoryCell:
+        matched = [o for o in observations if predicate(o)]
+        return CategoryCell(len(matched), len({o.asn for o in matched}))
+
+    for category in SourceCategory:
+        row = CategoryRow(
+            category=category,
+            inclusive_v4=cell(reachable[4], lambda o: category in o.categories),
+            inclusive_v6=cell(reachable[6], lambda o: category in o.categories),
+            exclusive_v4=cell(
+                reachable[4], lambda o: o.categories == {category}
+            ),
+            exclusive_v6=cell(
+                reachable[6], lambda o: o.categories == {category}
+            ),
+        )
+        table.rows.append(row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Port ranges: Figure 2, Figure 3b, Table 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ResolverRange:
+    """One resolver's port-range observation with context."""
+
+    observation: TargetObservation
+    range_observation: RangeObservation
+    p0f_label: str | None
+
+    @property
+    def range(self) -> int:
+        return self.range_observation.range
+
+    @property
+    def bucket(self) -> PortRangeClass:
+        return self.range_observation.bucket
+
+
+def resolver_ranges(
+    collector: Collector,
+    p0f_db: P0fDatabase | None = None,
+    *,
+    min_samples: int = MIN_PORT_SAMPLES,
+) -> list[ResolverRange]:
+    """Compute per-resolver port ranges for directly-querying targets.
+
+    Only resolvers that contacted the authoritative servers directly are
+    analyzed (Section 5.2), and the Windows wrapped-pool adjustment is
+    applied to resolvers p0f identified as Windows (Section 5.3.2).
+    """
+    db = p0f_db or P0fDatabase.default()
+    results: list[ResolverRange] = []
+    for observation in collector.observations.values():
+        ports = observation.ports
+        if len(ports) < min_samples:
+            continue
+        label = db.classify(
+            observation.tcp_signature, observation.observed_ttl
+        )
+        range_observation = observe(
+            ports, windows_adjust=label == LABEL_WINDOWS
+        )
+        results.append(ResolverRange(observation, range_observation, label))
+    return results
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSeries:
+    """Binned counts for one split of a range histogram."""
+
+    label: str
+    counts: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RangeHistogram:
+    """Figure 2 / 3b: binned range frequencies, split open vs closed."""
+
+    bin_edges: tuple[int, ...]
+    series: tuple[HistogramSeries, ...]
+
+    def total(self) -> int:
+        return sum(sum(s.counts) for s in self.series)
+
+
+def range_histogram(
+    ranges: list[ResolverRange],
+    *,
+    max_range: int = 65536,
+    bin_width: int = 512,
+    split: str = "status",
+) -> RangeHistogram:
+    """Bin resolver ranges for plotting.
+
+    ``split`` selects the bar composition: ``"status"`` (open/closed,
+    Figure 2) or ``"p0f"`` (Windows/Linux/other, Figure 3b).
+    """
+    edges = tuple(range(0, max_range + bin_width, bin_width))
+    n_bins = len(edges) - 1
+
+    def bin_of(value: int) -> int | None:
+        """Bin index, or ``None`` for values beyond the plotted range
+        (a zoomed plot cuts off; it does not pile overflow into the
+        last bar)."""
+        index = value // bin_width
+        return index if index < n_bins else None
+
+    if split == "status":
+        groups = {"open": [0] * n_bins, "closed": [0] * n_bins}
+        for item in ranges:
+            index = bin_of(item.range)
+            if index is None:
+                continue
+            key = "open" if item.observation.open_ else "closed"
+            groups[key][index] += 1
+    elif split == "p0f":
+        groups = {
+            "Windows": [0] * n_bins,
+            "Linux": [0] * n_bins,
+            "other/unclassified": [0] * n_bins,
+        }
+        for item in ranges:
+            index = bin_of(item.range)
+            if index is None:
+                continue
+            if item.p0f_label in ("Windows", "Linux"):
+                key = item.p0f_label
+            else:
+                key = "other/unclassified"
+            groups[key][index] += 1
+    else:
+        raise ValueError(f"unknown split: {split!r}")
+
+    return RangeHistogram(
+        bin_edges=edges,
+        series=tuple(
+            HistogramSeries(label, tuple(counts))
+            for label, counts in groups.items()
+        ),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Row:
+    bucket: PortRangeClass
+    total: int
+    open_: int
+    closed: int
+    p0f_windows: int
+    p0f_linux: int
+
+
+def port_range_table(ranges: list[ResolverRange]) -> list[Table4Row]:
+    """Compute Table 4: bucket x (status, p0f) counts."""
+    rows = []
+    for bucket in PortRangeClass:
+        members = [r for r in ranges if r.bucket is bucket]
+        rows.append(
+            Table4Row(
+                bucket=bucket,
+                total=len(members),
+                open_=sum(1 for r in members if r.observation.open_),
+                closed=sum(1 for r in members if not r.observation.open_),
+                p0f_windows=sum(
+                    1 for r in members if r.p0f_label == "Windows"
+                ),
+                p0f_linux=sum(1 for r in members if r.p0f_label == "Linux"),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2.1: zero source-port randomization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ZeroRangeStats:
+    resolvers: int
+    asns: int
+    closed: int
+    open_: int
+    port_counts: tuple[tuple[int, int], ...]   # (port, resolver count)
+    asns_with_closed: int
+
+    @property
+    def closed_fraction(self) -> float:
+        return _rate(self.closed, self.resolvers)
+
+
+def zero_range_stats(ranges: list[ResolverRange]) -> ZeroRangeStats:
+    """Summarize the fixed-source-port population (Section 5.2.1)."""
+    zero = [r for r in ranges if r.range == 0]
+    port_counter: Counter = Counter()
+    asns: set[int] = set()
+    asns_with_closed: set[int] = set()
+    closed = 0
+    for item in zero:
+        port_counter[item.range_observation.ports[0]] += 1
+        asns.add(item.observation.asn)
+        if not item.observation.open_:
+            closed += 1
+            asns_with_closed.add(item.observation.asn)
+    return ZeroRangeStats(
+        resolvers=len(zero),
+        asns=len(asns),
+        closed=closed,
+        open_=len(zero) - closed,
+        port_counts=tuple(port_counter.most_common()),
+        asns_with_closed=len(asns_with_closed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2.3: ineffective allocation patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SmallRangeStats:
+    resolvers: int
+    asns: int
+    strictly_increasing: int
+    increasing_with_wrap: int
+    few_unique: int          # <= 7 unique ports out of >= 10 observations
+
+
+def small_range_patterns(
+    ranges: list[ResolverRange], *, low: int = 1, high: int = 200
+) -> SmallRangeStats:
+    """Analyze resolvers with small non-zero ranges (Section 5.2.3)."""
+    members = [r for r in ranges if low <= r.range <= high]
+    increasing = 0
+    wrapped = 0
+    few_unique = 0
+    asns: set[int] = set()
+    for item in members:
+        ports = list(item.range_observation.ports)
+        asns.add(item.observation.asn)
+        if is_strictly_increasing(ports):
+            increasing += 1
+        elif is_increasing_with_wrap(ports):
+            increasing += 1
+            wrapped += 1
+        if len(ports) >= 10 and len(set(ports)) <= 7:
+            few_unique += 1
+    return SmallRangeStats(
+        resolvers=len(members),
+        asns=len(asns),
+        strictly_increasing=increasing,
+        increasing_with_wrap=wrapped,
+        few_unique=few_unique,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1: open vs closed
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class OpenClosedStats:
+    open_: int
+    closed: int
+    dsav_lacking_asns: int
+    asns_with_closed_resolver: int
+
+    @property
+    def closed_fraction(self) -> float:
+        return _rate(self.closed, self.open_ + self.closed)
+
+    @property
+    def asns_with_closed_fraction(self) -> float:
+        return _rate(self.asns_with_closed_resolver, self.dsav_lacking_asns)
+
+
+def open_closed_stats(collector: Collector) -> OpenClosedStats:
+    """Open/closed split and the 88%-of-ASes statistic (Section 5.1)."""
+    reachable = collector.reachable_targets()
+    open_count = sum(1 for o in reachable if o.open_)
+    asns = {o.asn for o in reachable}
+    asns_with_closed = {o.asn for o in reachable if not o.open_}
+    return OpenClosedStats(
+        open_=open_count,
+        closed=len(reachable) - open_count,
+        dsav_lacking_asns=len(asns),
+        asns_with_closed_resolver=len(asns_with_closed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.4: forwarding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardingStats:
+    resolved: int
+    direct: int
+    forwarded: int
+    both: int
+
+    @property
+    def direct_fraction(self) -> float:
+        return _rate(self.direct, self.resolved)
+
+    @property
+    def forwarded_fraction(self) -> float:
+        return _rate(self.forwarded, self.resolved)
+
+
+def forwarding_stats(collector: Collector, version: int) -> ForwardingStats:
+    """Direct vs forwarded follow-up resolution per family (Section 5.4)."""
+    observations = [
+        o
+        for o in collector.observations.values()
+        if o.target.version == version and (o.direct or o.forwarded)
+    ]
+    direct = sum(1 for o in observations if o.direct)
+    forwarded = sum(1 for o in observations if o.forwarded)
+    both = sum(1 for o in observations if o.direct and o.forwarded)
+    return ForwardingStats(
+        resolved=len(observations),
+        direct=direct,
+        forwarded=forwarded,
+        both=both,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 3.6.1: middlebox accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MiddleboxStats:
+    """Per-AS evidence classification (Section 3.6.1).
+
+    The paper verifies that its per-AS DSAV verdicts are not middlebox
+    artifacts: for most ASes at least one recursive-to-authoritative
+    query arrived *from an address inside the target AS* (86% IPv4 /
+    95% IPv6); almost all the rest forwarded through major public DNS
+    services, which "is not characteristic of middleboxes"; only 1-2%
+    remain unexplained.
+    """
+
+    reachable_asns: int
+    in_as_evidence: int
+    public_dns_only: int
+    unexplained: int
+
+    @property
+    def in_as_fraction(self) -> float:
+        return _rate(self.in_as_evidence, self.reachable_asns)
+
+    @property
+    def unexplained_fraction(self) -> float:
+        return _rate(self.unexplained, self.reachable_asns)
+
+
+def middlebox_stats(
+    collector: Collector,
+    routes: RoutingTable,
+    public_addresses: frozenset,
+    version: int | None = None,
+) -> MiddleboxStats:
+    """Classify each reachable AS by where its evidence came from.
+
+    *Direct* observations (query source equals the target address) are
+    in-AS evidence by definition; forwarded observations count as in-AS
+    when the upstream's origin ASN matches the target's, as
+    public-DNS when the upstream is one of *public_addresses*.
+    """
+    in_as: set[int] = set()
+    via_public: set[int] = set()
+    all_asns: set[int] = set()
+    for obs in collector.reachable_targets(version):
+        all_asns.add(obs.asn)
+        if obs.direct:
+            in_as.add(obs.asn)
+            continue
+        for upstream in obs.forwarder_addresses:
+            if routes.origin_asn(upstream) == obs.asn:
+                in_as.add(obs.asn)
+            elif upstream in public_addresses:
+                via_public.add(obs.asn)
+    public_only = via_public - in_as
+    unexplained = all_asns - in_as - public_only
+    return MiddleboxStats(
+        reachable_asns=len(all_asns),
+        in_as_evidence=len(in_as),
+        public_dns_only=len(public_only),
+        unexplained=len(unexplained),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 3.6.4: QNAME minimization accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class QminStats:
+    minimizing_sources: int
+    minimizing_asns: int
+    minimizing_asns_with_dsav_evidence: int
+
+    @property
+    def dsav_evidence_fraction(self) -> float:
+        return _rate(
+            self.minimizing_asns_with_dsav_evidence, self.minimizing_asns
+        )
+
+
+def qmin_stats(collector: Collector) -> QminStats:
+    """QNAME-minimization visibility accounting (Section 3.6.4)."""
+    reachable_asns = collector.reachable_asns()
+    overlap = collector.minimized_asns & reachable_asns
+    return QminStats(
+        minimizing_sources=len(collector.minimized_sources),
+        minimizing_asns=len(collector.minimized_asns),
+        minimizing_asns_with_dsav_evidence=len(overlap),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.5: local-system infiltration evidence
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LocalInfiltrationStats:
+    dst_as_src_targets: int
+    loopback_targets: int
+    dst_as_src_v4: int
+    dst_as_src_v6: int
+    loopback_v4: int
+    loopback_v6: int
+
+
+def local_infiltration_stats(collector: Collector) -> LocalInfiltrationStats:
+    """Targets reached via sources that can only be spoofed (Section 5.5)."""
+    ds4 = ds6 = lb4 = lb6 = 0
+    for observation in collector.reachable_targets():
+        version = observation.target.version
+        if SourceCategory.DST_AS_SRC in observation.categories:
+            if version == 4:
+                ds4 += 1
+            else:
+                ds6 += 1
+        if SourceCategory.LOOPBACK in observation.categories:
+            if version == 4:
+                lb4 += 1
+            else:
+                lb6 += 1
+    return LocalInfiltrationStats(
+        dst_as_src_targets=ds4 + ds6,
+        loopback_targets=lb4 + lb6,
+        dst_as_src_v4=ds4,
+        dst_as_src_v6=ds6,
+        loopback_v4=lb4,
+        loopback_v6=lb6,
+    )

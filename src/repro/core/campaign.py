@@ -1,0 +1,342 @@
+"""High-level campaign API: one call from seed to full report.
+
+Bundles scenario construction, the spoofed-source scan, and the entire
+analysis battery behind a single object, so downstream users (CLI,
+examples, notebooks) don't re-wire the pipeline by hand::
+
+    from repro.core.campaign import Campaign
+
+    campaign = Campaign.run_default(seed=2019, n_ases=150)
+    print(campaign.full_report())
+    campaign.results.headline.v4.asn_rate   # structured access
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .analysis import (
+    CountryRow,
+    ForwardingStats,
+    Headline,
+    LocalInfiltrationStats,
+    OpenClosedStats,
+    QminStats,
+    ResolverRange,
+    SmallRangeStats,
+    SourceCategoryTable,
+    Table4Row,
+    ZeroRangeStats,
+    country_rows,
+    forwarding_stats,
+    headline,
+    local_infiltration_stats,
+    open_closed_stats,
+    port_range_table,
+    qmin_stats,
+    range_histogram,
+    resolver_ranges,
+    small_range_patterns,
+    source_category_table,
+    table1,
+    table2,
+    zero_range_stats,
+)
+from .collection import Collector
+from .passive import PassiveComparison, compare_zero_range
+from .report import (
+    render_country_table,
+    render_forwarding,
+    render_headline,
+    render_histogram,
+    render_open_closed,
+    render_qmin,
+    render_small_range,
+    render_source_category_table,
+    render_table4,
+    render_zero_range,
+)
+from .scanner import ScanConfig, Scanner
+from .targets import TargetSet
+
+if TYPE_CHECKING:
+    from ..scenarios.internet import BuiltScenario
+
+
+@dataclass
+class CampaignResults:
+    """Every analysis artifact of one completed campaign."""
+
+    headline: Headline
+    countries: list[CountryRow]
+    table1: list[CountryRow]
+    table2: list[CountryRow]
+    source_categories: SourceCategoryTable
+    ranges: list[ResolverRange]
+    table4: list[Table4Row]
+    zero_range: ZeroRangeStats
+    small_ranges: SmallRangeStats
+    open_closed: OpenClosedStats
+    forwarding_v4: ForwardingStats
+    forwarding_v6: ForwardingStats
+    qmin: QminStats
+    local_infiltration: LocalInfiltrationStats
+    passive: PassiveComparison
+
+
+@dataclass
+class Campaign:
+    """A completed scan plus its analyses."""
+
+    scenario: "BuiltScenario"
+    targets: TargetSet
+    scanner: Scanner
+    collector: Collector
+    results: CampaignResults = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.results = self._analyze()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def run_default(
+        cls,
+        *,
+        seed: int = 2019,
+        n_ases: int = 150,
+        duration: float = 240.0,
+        scan_config: ScanConfig | None = None,
+    ) -> "Campaign":
+        """Build a default synthetic Internet and run the full scan."""
+        from ..scenarios import ScenarioParams, build_internet
+
+        scenario = build_internet(ScenarioParams(seed=seed, n_ases=n_ases))
+        return cls.run_on(
+            scenario, scan_config or ScanConfig(duration=duration)
+        )
+
+    @classmethod
+    def run_on(
+        cls, scenario: "BuiltScenario", config: ScanConfig | None = None
+    ) -> "Campaign":
+        """Run a campaign over an existing scenario."""
+        targets = scenario.target_set()
+        scanner, collector = scenario.make_scanner(config or ScanConfig())
+        scanner.run()
+        return cls(scenario, targets, scanner, collector)
+
+    # -- analysis ------------------------------------------------------------
+
+    def _analyze(self) -> CampaignResults:
+        rows = country_rows(
+            self.targets, self.collector, self.scenario.geo,
+            self.scenario.routes,
+        )
+        ranges = resolver_ranges(self.collector)
+        return CampaignResults(
+            headline=headline(self.targets, self.collector),
+            countries=rows,
+            table1=table1(rows),
+            table2=table2(rows),
+            source_categories=source_category_table(self.collector),
+            ranges=ranges,
+            table4=port_range_table(ranges),
+            zero_range=zero_range_stats(ranges),
+            small_ranges=small_range_patterns(ranges),
+            open_closed=open_closed_stats(self.collector),
+            forwarding_v4=forwarding_stats(self.collector, 4),
+            forwarding_v6=forwarding_stats(self.collector, 6),
+            qmin=qmin_stats(self.collector),
+            local_infiltration=local_infiltration_stats(self.collector),
+            passive=compare_zero_range(
+                ranges, self.scenario.port_history
+            ),
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def full_report(self) -> str:
+        """Render every table and statistic as one text document."""
+        results = self.results
+        sections = [
+            ("Section 4: headline DSAV results",
+             render_headline(results.headline)),
+            ("Table 1: top-10 countries by AS count",
+             render_country_table(results.table1, "")),
+            ("Table 2: top-10 countries by reachable address fraction",
+             render_country_table(results.table2, "")),
+            ("Table 3: spoofed-source category effectiveness",
+             render_source_category_table(results.source_categories)),
+            ("Figure 2: source-port-range distribution",
+             render_histogram(range_histogram(results.ranges, bin_width=2048))),
+            ("Table 4: port-range buckets",
+             render_table4(results.table4)),
+            ("Section 5.1: open vs closed",
+             render_open_closed(results.open_closed)),
+            ("Section 5.2.1: zero source-port randomization",
+             render_zero_range(results.zero_range)),
+            ("Section 5.2.2: passive comparison",
+             f"stable {results.passive.stable_zero}, "
+             f"regressed {results.passive.regressed}, "
+             f"insufficient {results.passive.insufficient}"),
+            ("Section 5.2.3: ineffective allocation",
+             render_small_range(results.small_ranges)),
+            ("Section 5.4: forwarding",
+             render_forwarding(results.forwarding_v4, results.forwarding_v6)),
+            ("Section 3.6.4: QNAME minimization",
+             render_qmin(results.qmin)),
+            ("Section 5.5: local-system infiltration",
+             f"dst-as-src: {results.local_infiltration.dst_as_src_targets} "
+             f"targets; loopback: "
+             f"{results.local_infiltration.loopback_targets}"),
+        ]
+        divider = "=" * 72
+        return "\n".join(
+            f"{divider}\n{title}\n{divider}\n{body}\n"
+            for title, body in sections
+        )
+
+    def results_dict(self) -> dict:
+        """Structured, JSON-serializable dump of every analysis result.
+
+        The shape mirrors the paper's artifacts: one key per
+        table/figure/statistic, numbers only — suitable for a data
+        release or downstream plotting.
+        """
+        results = self.results
+
+        def country(row: CountryRow) -> dict:
+            return {
+                "country": row.country,
+                "total_asns": row.total_asns,
+                "reachable_asns": row.reachable_asns,
+                "total_addresses": row.total_addresses,
+                "reachable_addresses": row.reachable_addresses,
+            }
+
+        def family(side) -> dict:
+            return {
+                "targeted_addresses": side.targeted_addresses,
+                "reachable_addresses": side.reachable_addresses,
+                "targeted_asns": side.targeted_asns,
+                "reachable_asns": side.reachable_asns,
+                "address_rate": side.address_rate,
+                "asn_rate": side.asn_rate,
+            }
+
+        categories = {
+            row.category.value: {
+                "inclusive_v4": [
+                    row.inclusive_v4.addresses, row.inclusive_v4.asns,
+                ],
+                "inclusive_v6": [
+                    row.inclusive_v6.addresses, row.inclusive_v6.asns,
+                ],
+                "exclusive_v4": [
+                    row.exclusive_v4.addresses, row.exclusive_v4.asns,
+                ],
+                "exclusive_v6": [
+                    row.exclusive_v6.addresses, row.exclusive_v6.asns,
+                ],
+            }
+            for row in results.source_categories.rows
+        }
+        return {
+            "seed": self.scenario.params.seed,
+            "n_ases": self.scenario.params.n_ases,
+            "probes": self.scanner.probes_scheduled,
+            "headline": {
+                "v4": family(results.headline.v4),
+                "v6": family(results.headline.v6),
+            },
+            "table1": [country(r) for r in results.table1],
+            "table2": [country(r) for r in results.table2],
+            "table3": categories,
+            "table4": [
+                {
+                    "bucket": row.bucket.label,
+                    "total": row.total,
+                    "open": row.open_,
+                    "closed": row.closed,
+                    "p0f_windows": row.p0f_windows,
+                    "p0f_linux": row.p0f_linux,
+                }
+                for row in results.table4
+            ],
+            "open_closed": {
+                "open": results.open_closed.open_,
+                "closed": results.open_closed.closed,
+                "asns_with_closed": (
+                    results.open_closed.asns_with_closed_resolver
+                ),
+                "dsav_lacking_asns": results.open_closed.dsav_lacking_asns,
+            },
+            "zero_range": {
+                "resolvers": results.zero_range.resolvers,
+                "asns": results.zero_range.asns,
+                "closed": results.zero_range.closed,
+                "port_counts": list(results.zero_range.port_counts),
+            },
+            "small_ranges": {
+                "resolvers": results.small_ranges.resolvers,
+                "strictly_increasing": (
+                    results.small_ranges.strictly_increasing
+                ),
+                "few_unique": results.small_ranges.few_unique,
+            },
+            "forwarding": {
+                "v4": {
+                    "resolved": results.forwarding_v4.resolved,
+                    "direct": results.forwarding_v4.direct,
+                    "forwarded": results.forwarding_v4.forwarded,
+                },
+                "v6": {
+                    "resolved": results.forwarding_v6.resolved,
+                    "direct": results.forwarding_v6.direct,
+                    "forwarded": results.forwarding_v6.forwarded,
+                },
+            },
+            "qmin": {
+                "sources": results.qmin.minimizing_sources,
+                "asns": results.qmin.minimizing_asns,
+                "with_evidence": (
+                    results.qmin.minimizing_asns_with_dsav_evidence
+                ),
+            },
+            "passive": {
+                "zero_range": results.passive.zero_range_resolvers,
+                "stable": results.passive.stable_zero,
+                "regressed": results.passive.regressed,
+                "insufficient": results.passive.insufficient,
+            },
+            "local_infiltration": {
+                "dst_as_src": results.local_infiltration.dst_as_src_targets,
+                "loopback": results.local_infiltration.loopback_targets,
+            },
+        }
+
+    def save_results(self, path) -> None:
+        """Write :meth:`results_dict` as pretty-printed JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.results_dict(), indent=2))
+
+    def summary(self) -> str:
+        """One-paragraph campaign summary."""
+        results = self.results
+        return (
+            f"{self.scanner.probes_scheduled} probes to "
+            f"{len(self.targets)} targets in "
+            f"{len(self.targets.asns())} ASes; "
+            f"{results.headline.v4.reachable_asns} IPv4 and "
+            f"{results.headline.v6.reachable_asns} IPv6 ASes lack DSAV "
+            f"({results.headline.v4.asn_rate:.0%} / "
+            f"{results.headline.v6.asn_rate:.0%}); "
+            f"{results.open_closed.closed} closed and "
+            f"{results.open_closed.open_} open resolvers reached; "
+            f"{results.zero_range.resolvers} with zero port "
+            f"randomization."
+        )

@@ -1,0 +1,211 @@
+"""Collection of authoritative-side observations (Sections 3.5-3.6).
+
+The :class:`Collector` subscribes to every authoritative server's query
+log and reassembles, per target, everything the analysis layer needs:
+which spoofed sources worked (and their categories), open/closed status,
+the source ports of direct follow-up queries, forwarding behaviour, the
+TCP SYN fingerprint, QNAME-minimization artifacts, and the
+human-intervention lifetime filter of Section 3.6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.auth import AuthoritativeServer, QueryLogRecord
+from ..netsim.addresses import Address
+from ..netsim.packet import TCPSignature, Transport
+from ..netsim.routing import RoutingTable
+from .qname import Channel, QueryNameCodec
+from .sources import SourceCategory
+from .scanner import ProbeRecord
+
+#: Lifetime above which a query is attributed to human log inspection
+#: rather than automated resolution (Section 3.6.3).
+DEFAULT_LIFETIME_THRESHOLD = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class PortObservation:
+    """One direct recursive-to-authoritative query's source port."""
+
+    time: float
+    port: int
+    channel: Channel
+
+
+@dataclass
+class TargetObservation:
+    """Everything learned about one reached target."""
+
+    target: Address
+    asn: int
+    first_seen: float = float("inf")
+    categories: set[SourceCategory] = field(default_factory=set)
+    working_sources: set[Address] = field(default_factory=set)
+    open_: bool = False
+    port_observations: list[PortObservation] = field(default_factory=list)
+    direct: bool = False
+    forwarded: bool = False
+    forwarder_addresses: set[Address] = field(default_factory=set)
+    tcp_signature: TCPSignature | None = None
+    observed_ttl: int | None = None
+
+    @property
+    def ports(self) -> list[int]:
+        """Source ports of direct follow-up queries, in arrival order."""
+        return [obs.port for obs in self.port_observations]
+
+    @property
+    def closed(self) -> bool:
+        return not self.open_
+
+
+@dataclass
+class CollectionStats:
+    """Campaign-level accounting."""
+
+    records: int = 0
+    experiment_records: int = 0
+    late_records: int = 0
+    minimized_records: int = 0
+    unattributed_records: int = 0
+
+
+@dataclass
+class Collector:
+    """Streams authoritative query logs into per-target observations."""
+
+    codec: QueryNameCodec
+    probe_index: dict[tuple[Address, Address], ProbeRecord]
+    real_addresses: frozenset[Address]
+    routes: RoutingTable
+    lifetime_threshold: float = DEFAULT_LIFETIME_THRESHOLD
+    #: server name -> channels that server terminates.  When set,
+    #: family-channel records are only trusted from their terminal
+    #: server; parent-zone servers also log those names while handing
+    #: out referrals, and counting the walk queries would corrupt the
+    #: port and forwarding analyses.  Empty mapping = trust every server.
+    channel_terminators: dict[str, frozenset[Channel]] = field(
+        default_factory=dict
+    )
+
+    observations: dict[Address, TargetObservation] = field(default_factory=dict)
+    stats: CollectionStats = field(default_factory=CollectionStats)
+    #: Targets whose only experiment queries exceeded the lifetime filter.
+    late_targets: set[Address] = field(default_factory=set)
+    #: ASNs whose resolvers sent QNAME-minimized prefix queries.
+    minimized_asns: set[int] = field(default_factory=set)
+    #: Resolver addresses that sent QNAME-minimized prefix queries.
+    minimized_sources: set[Address] = field(default_factory=set)
+
+    def attach(self, auth_servers: list[AuthoritativeServer]) -> None:
+        """Subscribe to every authoritative server's query stream."""
+        for server in auth_servers:
+            server.add_observer(self.on_record)
+
+    # -- record ingestion -----------------------------------------------------
+
+    def on_record(self, record: QueryLogRecord) -> None:
+        self.stats.records += 1
+        decoded = self.codec.decode(record.qname)
+        if decoded is None:
+            # Any prefix of an experiment name — kw.<domain>, the channel
+            # labels, or partial provenance stacks — is the footprint of
+            # a QNAME-minimizing resolver (Section 3.6.4).
+            if record.qname.is_subdomain_of(self.codec.domain):
+                self._on_minimized(record)
+            else:
+                self.stats.unattributed_records += 1
+            return
+        self.stats.experiment_records += 1
+
+        lifetime = record.time - decoded.timestamp
+        if lifetime > self.lifetime_threshold:
+            self.stats.late_records += 1
+            if decoded.dst not in self.observations:
+                self.late_targets.add(decoded.dst)
+            return
+        self.late_targets.discard(decoded.dst)
+
+        observation = self.observations.get(decoded.dst)
+        if observation is None:
+            observation = TargetObservation(decoded.dst, decoded.asn)
+            self.observations[decoded.dst] = observation
+        observation.first_seen = min(observation.first_seen, record.time)
+
+        if not self._is_terminal(record, decoded.channel):
+            return
+        if decoded.channel is Channel.MAIN:
+            self._on_main(record, decoded, observation)
+        elif decoded.channel in (Channel.V4_ONLY, Channel.V6_ONLY):
+            self._on_family_channel(record, decoded, observation)
+        elif decoded.channel is Channel.TCP:
+            self._on_tcp(record, decoded, observation)
+
+    def _is_terminal(self, record: QueryLogRecord, channel: Channel) -> bool:
+        if not self.channel_terminators:
+            return True
+        channels = self.channel_terminators.get(record.server_name)
+        return channels is not None and channel in channels
+
+    def _on_main(self, record, decoded, observation: TargetObservation) -> None:
+        if decoded.src in self.real_addresses:
+            # The non-spoofed open-resolver test succeeded.
+            observation.open_ = True
+            return
+        probe = self.probe_index.get((decoded.dst, decoded.src))
+        if probe is None:
+            self.stats.unattributed_records += 1
+            return
+        observation.categories.add(probe.category)
+        observation.working_sources.add(decoded.src)
+
+    def _on_family_channel(
+        self, record, decoded, observation: TargetObservation
+    ) -> None:
+        direct = record.src == decoded.dst
+        if direct:
+            observation.direct = True
+            observation.port_observations.append(
+                PortObservation(record.time, record.sport, decoded.channel)
+            )
+            return
+        # A query for this target arriving from a different address: the
+        # target forwarded.  Cross-family legs of a dual-stack resolver
+        # are indistinguishable from forwarding at the authoritative
+        # side, so (like the paper) directness is judged per family.
+        channel_family = 4 if decoded.channel is Channel.V4_ONLY else 6
+        if decoded.dst.version == channel_family:
+            observation.forwarded = True
+            observation.forwarder_addresses.add(record.src)
+
+    def _on_tcp(self, record, decoded, observation: TargetObservation) -> None:
+        if record.transport is not Transport.TCP:
+            return
+        if record.src != decoded.dst:
+            return  # fingerprint the target itself, not its forwarder
+        if record.tcp_signature is not None:
+            observation.tcp_signature = record.tcp_signature
+            observation.observed_ttl = record.observed_ttl
+
+    def _on_minimized(self, record: QueryLogRecord) -> None:
+        self.stats.minimized_records += 1
+        self.minimized_sources.add(record.src)  # type: ignore[arg-type]
+        asn = self.routes.origin_asn(record.src)  # type: ignore[arg-type]
+        if asn is not None:
+            self.minimized_asns.add(asn)
+
+    # -- summary views ---------------------------------------------------------
+
+    def reachable_targets(self, version: int | None = None) -> list[TargetObservation]:
+        """Targets with at least one attributed spoofed-source hit."""
+        return [
+            obs
+            for obs in self.observations.values()
+            if obs.categories
+            and (version is None or obs.target.version == version)
+        ]
+
+    def reachable_asns(self, version: int | None = None) -> set[int]:
+        return {obs.asn for obs in self.reachable_targets(version)}

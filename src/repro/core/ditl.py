@@ -1,0 +1,157 @@
+"""DITL-style trace records and serialization (Section 3.1).
+
+The paper's target list comes from the "Day in the Life of the
+Internet" collections: packet captures of queries arriving at the DNS
+root servers.  This module provides the equivalent artifact for the
+simulation — per-query records with timestamp, source address, root
+server, query name/type — and a JSON-lines serialization, so campaigns
+can be driven from files exactly as the original was driven from the
+OARC data.
+
+Two producers exist: :func:`synthesize_trace` expands a candidate
+address list into a plausible 48-hour trace (what the scenario builder
+uses), and :func:`trace_from_root_logs` converts real simulated root
+server logs (every in-simulation resolution touches the roots) into the
+same format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from ipaddress import ip_address
+from pathlib import Path
+from random import Random
+from typing import TYPE_CHECKING
+
+from ..dns.name import Name, name
+from ..netsim.addresses import Address
+
+if TYPE_CHECKING:
+    from ..dns.auth import AuthoritativeServer
+
+#: Duration of a DITL collection window, in seconds (48 hours).
+COLLECTION_WINDOW = 48 * 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class DITLRecord:
+    """One query observed at a root server."""
+
+    time: float
+    src: Address
+    root: str
+    qname: Name
+    qtype: int
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time": self.time,
+                "src": str(self.src),
+                "root": self.root,
+                "qname": str(self.qname),
+                "qtype": self.qtype,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "DITLRecord":
+        data = json.loads(line)
+        return cls(
+            time=float(data["time"]),
+            src=ip_address(data["src"]),
+            root=str(data["root"]),
+            qname=name(data["qname"]),
+            qtype=int(data["qtype"]),
+        )
+
+
+#: Query names resolvers plausibly ask the roots about.
+_BACKGROUND_QNAMES = (
+    "example.org.", "example.net.", "invalid-tld-probe.", "org.",
+    "www.example.org.", "cdn.example.net.", "mail.example.org.",
+)
+
+
+def synthesize_trace(
+    candidates: list[Address],
+    *,
+    seed: int = 0,
+    mean_queries_per_source: float = 3.0,
+    roots: tuple[str, ...] = ("a-root", "b-root"),
+) -> list[DITLRecord]:
+    """Expand a candidate source list into a 48-hour trace.
+
+    Every candidate appears at least once (it would not be a candidate
+    otherwise); busier sources emit more queries, spread over the
+    window.  The output is sorted by time, like a merged capture.
+    """
+    rng = Random(seed)
+    records: list[DITLRecord] = []
+    for source in candidates:
+        count = 1 + min(int(rng.expovariate(1 / mean_queries_per_source)), 50)
+        for _ in range(count):
+            records.append(
+                DITLRecord(
+                    time=rng.uniform(0.0, COLLECTION_WINDOW),
+                    src=source,
+                    root=rng.choice(roots),
+                    qname=name(rng.choice(_BACKGROUND_QNAMES)),
+                    qtype=rng.choice((1, 28, 2)),
+                )
+            )
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+def trace_from_root_logs(
+    root_servers: list["AuthoritativeServer"],
+) -> list[DITLRecord]:
+    """Convert simulated root-server query logs into DITL records."""
+    records = [
+        DITLRecord(
+            time=entry.time,
+            src=entry.src,  # type: ignore[arg-type]
+            root=server.name,
+            qname=entry.qname,
+            qtype=entry.qtype,
+        )
+        for server in root_servers
+        for entry in server.query_log
+    ]
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+def unique_sources(records: list[DITLRecord]) -> list[Address]:
+    """Extract the candidate target list: distinct source addresses, in
+    first-seen order (the paper's §3.1 starting point)."""
+    seen: set[Address] = set()
+    ordered: list[Address] = []
+    for record in records:
+        if record.src not in seen:
+            seen.add(record.src)
+            ordered.append(record.src)
+    return ordered
+
+
+def write_trace(path: Path | str, records: list[DITLRecord]) -> int:
+    """Write *records* as JSON lines; returns the record count."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(record.to_json() + "\n")
+    return len(records)
+
+
+def read_trace(path: Path | str) -> list[DITLRecord]:
+    """Read a JSON-lines trace written by :func:`write_trace`."""
+    path = Path(path)
+    records = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(DITLRecord.from_json(line))
+    return records

@@ -1,0 +1,88 @@
+"""Follow-up queries characterizing a reached resolver (Section 3.5).
+
+When the first spoofed probe for a target is observed at the
+authoritative servers, the engine sends — using the same spoofed source
+that worked —
+
+* 10 queries under the IPv4-only delegation and 10 under the IPv6-only
+  delegation, whose recursive-to-authoritative legs reveal the ports the
+  resolver allocates (the range statistic of Section 5.2) and whether it
+  queries directly or through a forwarder (Section 5.4);
+* one query under the truncation domain, forcing the resolver onto TCP
+  so its SYN can be fingerprinted (Section 5.3.1); and
+* one *non-spoofed* query from the client's real address — the open
+  resolver test (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..netsim.addresses import Address
+from ..netsim.fabric import Fabric
+from .qname import Channel, QueryNameCodec
+
+if TYPE_CHECKING:
+    from .scanner import ScanClient, ScanConfig
+
+
+class FollowUpEngine:
+    """Schedules the one-time follow-up battery for reached targets."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        client: "ScanClient",
+        codec: QueryNameCodec,
+        *,
+        config: "ScanConfig",
+    ) -> None:
+        self.fabric = fabric
+        self.client = client
+        self.codec = codec
+        self.config = config
+        self.launched: list[Address] = []
+
+    def launch(self, target: Address, asn: int, working_source: Address) -> None:
+        """Send the full follow-up battery toward *target*."""
+        self.launched.append(target)
+        delay = self.config.followup_spacing
+        step = 0
+
+        for channel in (Channel.V4_ONLY, Channel.V6_ONLY):
+            for _ in range(self.config.followup_count):
+                step += 1
+                self.fabric.loop.schedule(
+                    step * delay,
+                    self._sender(channel, working_source, target, asn),
+                )
+
+        # TCP-eliciting queries (truncation domain).
+        for _ in range(self.config.tcp_followup_count):
+            step += 1
+            self.fabric.loop.schedule(
+                step * delay,
+                self._sender(Channel.TCP, working_source, target, asn),
+            )
+
+        # Open-resolver test: genuine source, no spoofing.
+        real = self.client.real_address(target.version)
+        if real is not None:
+            step += 1
+            self.fabric.loop.schedule(
+                step * delay,
+                self._sender(Channel.MAIN, real, target, asn),
+            )
+
+    def _sender(
+        self, channel: Channel, source: Address, target: Address, asn: int
+    ):
+        def send() -> None:
+            qname = self.codec.encode(
+                self.fabric.now, source, target, asn, channel=channel
+            )
+            self.client.send_query(
+                qname, source, target, qtype=self.config.qtype
+            )
+
+        return send

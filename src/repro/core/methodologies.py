@@ -1,0 +1,319 @@
+"""Alternative DSAV methodologies for side-by-side comparison (Section 2).
+
+The paper situates its design against two other measurement approaches
+and draws quantitative comparisons; this module implements both so all
+three can run against the *same* synthetic ground truth:
+
+* **Korczynski et al. (PAM 2020)** — scan the whole address space,
+  spoofing, for each destination, "the source IP address just higher
+  than the selected destination".  Breadth instead of source diversity.
+  The paper reports the per-AS results agree within 1% (48.78% vs
+  49.34%) while the sweep's breadth finds more raw addresses and the
+  diverse sources find ASes a next-IP-only probe misses.
+
+* **CAIDA Spoofer** — volunteer clients *inside* networks.  The client
+  tests OSAV by emitting spoofed packets toward a measurement server;
+  the server tests DSAV by sending the client packets spoofed as
+  internal addresses.  Coverage is limited to networks hosting a
+  volunteer, and NATted clients cannot be DSAV-tested at all — the two
+  limitations the paper's design removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import ip_address
+from random import Random
+from typing import TYPE_CHECKING
+
+from ..netsim.addresses import Address, subnet_of
+from ..netsim.fabric import Host
+from ..netsim.packet import Packet, Transport
+from ..netsim.routing import RoutingTable
+from .sources import SourceCategory, SpoofedSource, SpoofPlan
+from .targets import TargetSet, select_targets
+
+if TYPE_CHECKING:
+    from ..scenarios.internet import BuiltScenario
+
+
+# ---------------------------------------------------------------------------
+# Korczynski-style next-IP scan
+# ---------------------------------------------------------------------------
+
+
+def next_ip_source(target: Address) -> Address:
+    """The PAM 2020 source choice: the address just above the target.
+
+    Stays inside the target's /24 (or /64): at the subnet's top the
+    source steps down instead, so the spoof still looks same-prefix.
+    """
+    subnet = subnet_of(target)
+    candidate = ip_address(int(target) + 1)
+    top = int(subnet.network_address) + subnet.num_addresses - 1
+    if subnet.version == 4:
+        top -= 1  # avoid the broadcast address
+    if int(candidate) > top:
+        candidate = ip_address(int(target) - 1)
+    return candidate
+
+
+class NextIPPlanner:
+    """Planner producing exactly one spoofed source per target.
+
+    Duck-types :class:`~repro.core.sources.SpoofPlanner`; the scanner
+    only calls :meth:`plan`.
+    """
+
+    def __init__(self, routes: RoutingTable) -> None:
+        self.routes = routes
+
+    def plan(self, target: Address) -> SpoofPlan | None:
+        asn = self.routes.origin_asn(target)
+        if asn is None:
+            return None
+        return SpoofPlan(
+            target,
+            asn,
+            [SpoofedSource(SourceCategory.SAME_PREFIX, next_ip_source(target))],
+        )
+
+
+def address_space_targets(
+    scenario: "BuiltScenario",
+    *,
+    empties_per_subnet: int = 1,
+    seed: int = 0,
+) -> TargetSet:
+    """The whole-address-space sweep, reduced to its effective content.
+
+    Probing all 2^32 addresses is equivalent (for reachability results)
+    to probing every address where something listens plus no-op probes
+    at empty addresses; we enumerate every resolver address the
+    scenario placed — *including those absent from the DITL trace* —
+    plus a sample of empty addresses per /24 to account for the sweep's
+    dead traffic.
+    """
+    rng = Random(seed)
+    candidates: list[Address] = []
+    for info in scenario.truth.resolvers:
+        candidates.extend(info.addresses)
+    for system in scenario.fabric.systems():
+        for prefix in system.prefixes(4):
+            from ..netsim.addresses import limited_subnets
+
+            for subnet in limited_subnets(prefix, 64):
+                for _ in range(empties_per_subnet):
+                    candidates.append(
+                        ip_address(
+                            int(subnet.network_address)
+                            + 1
+                            + rng.randrange(200)
+                        )
+                    )
+    return select_targets(candidates, scenario.routes)
+
+
+@dataclass
+class MethodologyOutcome:
+    """Reachability results of one methodology run."""
+
+    name: str
+    reachable_addresses: set[Address]
+    reachable_asns: set[int]
+    tested_asns: set[int]
+
+    @property
+    def asn_rate(self) -> float:
+        if not self.tested_asns:
+            return 0.0
+        return len(self.reachable_asns) / len(self.tested_asns)
+
+
+def run_paper_methodology(
+    scenario: "BuiltScenario", *, duration: float = 120.0
+) -> MethodologyOutcome:
+    """This paper's scan: DITL targets, up-to-101 diverse sources."""
+    from .scanner import ScanConfig
+
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=duration))
+    scanner.run()
+    return MethodologyOutcome(
+        name="deccio-diverse-sources",
+        reachable_addresses={
+            o.target for o in collector.reachable_targets()
+        },
+        reachable_asns=collector.reachable_asns(),
+        tested_asns=targets.asns(),
+    )
+
+
+def run_next_ip_methodology(
+    scenario: "BuiltScenario", *, duration: float = 120.0
+) -> MethodologyOutcome:
+    """The PAM 2020 scan: whole-space breadth, one next-IP source."""
+    from .scanner import ScanConfig
+
+    targets = address_space_targets(scenario, seed=scenario.params.seed)
+    planner = NextIPPlanner(scenario.routes)
+    scanner, collector = scenario.make_scanner(
+        ScanConfig(duration=duration), planner=planner, targets=targets
+    )
+    scanner.run()
+    return MethodologyOutcome(
+        name="korczynski-next-ip",
+        reachable_addresses={
+            o.target for o in collector.reachable_targets()
+        },
+        reachable_asns=collector.reachable_asns(),
+        tested_asns=targets.asns(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CAIDA-Spoofer-style client measurement
+# ---------------------------------------------------------------------------
+
+
+class SpooferServer(Host):
+    """Measurement server: records spoofed probes that escaped OSAV and
+    emits spoofed-as-internal probes toward clients (DSAV test)."""
+
+    def __init__(self, name: str, asn: int) -> None:
+        super().__init__(name, asn)
+        #: (claimed source, true AS) pairs received from clients.
+        self.received: list[tuple[Address, int]] = []
+
+    def handle_packet(self, packet: Packet) -> None:
+        try:
+            asn = int(packet.payload.decode("ascii"))
+        except (UnicodeDecodeError, ValueError):
+            return
+        self.received.append((packet.src, asn))
+
+    def probe_client_dsav(self, client: "SpooferClient") -> None:
+        """Send the client a packet spoofing an address inside its AS."""
+        internal = next_ip_source(client.addresses[0])
+        self.send(
+            Packet(
+                src=internal,
+                dst=client.addresses[0],
+                sport=53146,
+                dport=53146,
+                payload=b"dsav-probe",
+                transport=Transport.UDP,
+            )
+        )
+
+
+class SpooferClient(Host):
+    """Volunteer client inside a tested network."""
+
+    def __init__(self, name: str, asn: int, *, natted: bool = False) -> None:
+        super().__init__(name, asn)
+        #: NATted clients have no public address the server can target,
+        #: so their networks cannot be DSAV-tested (Section 2).
+        self.natted = natted
+        self.dsav_probe_received = False
+
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.payload == b"dsav-probe":
+            self.dsav_probe_received = True
+
+    def run_osav_test(self, server: Address) -> None:
+        """Emit a probe spoofing an address from a *different* network."""
+        spoofed = ip_address("203.0.113.7")
+        self.send(
+            Packet(
+                src=spoofed,
+                dst=server,
+                sport=53146,
+                dport=53146,
+                payload=str(self.asn).encode("ascii"),
+                transport=Transport.UDP,
+            )
+        )
+
+
+@dataclass
+class SpooferSurvey:
+    """Results of a Spoofer-style deployment across volunteer ASes."""
+
+    osav_lacking_asns: set[int] = field(default_factory=set)
+    dsav_lacking_asns: set[int] = field(default_factory=set)
+    dsav_untestable_asns: set[int] = field(default_factory=set)
+    volunteer_asns: set[int] = field(default_factory=set)
+
+
+def run_spoofer_survey(
+    scenario: "BuiltScenario",
+    *,
+    volunteer_fraction: float = 0.4,
+    nat_fraction: float = 0.5,
+    seed: int = 0,
+) -> SpooferSurvey:
+    """Deploy Spoofer-style clients in a random subset of target ASes.
+
+    Coverage is opt-in: only ``volunteer_fraction`` of ASes host a
+    client, and ``nat_fraction`` of those sit behind NAT and cannot be
+    DSAV-tested — the two limitations of Section 2.
+    """
+    from ..scenarios.internet import FIRST_TARGET_ASN, MEASUREMENT_ASN
+
+    rng = Random(seed)
+    fabric = scenario.fabric
+    # The server needs a spoofing-capable network for its outbound DSAV
+    # probes; the measurement AS (no OSAV) is exactly that.
+    server = SpooferServer("spoofer-server", MEASUREMENT_ASN)
+    measurement_prefix = fabric.system(MEASUREMENT_ASN).prefixes(4)[0]
+    fabric.attach(
+        server, ip_address(int(measurement_prefix.network_address) + 9)
+    )
+
+    survey = SpooferSurvey()
+    clients: list[SpooferClient] = []
+    offset = 0
+    for system in fabric.systems():
+        if not (
+            FIRST_TARGET_ASN
+            <= system.asn
+            < FIRST_TARGET_ASN + scenario.params.n_ases
+        ):
+            continue
+        if rng.random() >= volunteer_fraction:
+            continue
+        natted = rng.random() < nat_fraction
+        client = SpooferClient(
+            f"spoofer-{system.asn}", system.asn, natted=natted
+        )
+        prefix = system.prefixes(4)[0]
+        # Pick an unbound client address.
+        address = None
+        for _ in range(64):
+            offset += 1
+            candidate = ip_address(
+                int(prefix.network_address) + 200 + (offset % 50)
+            )
+            if fabric.host_at(candidate) is None:
+                address = candidate
+                break
+        if address is None:
+            continue
+        fabric.attach(client, address)
+        clients.append(client)
+        survey.volunteer_asns.add(system.asn)
+
+    for client in clients:
+        client.run_osav_test(server.addresses[0])
+        if client.natted:
+            survey.dsav_untestable_asns.add(client.asn)
+        else:
+            server.probe_client_dsav(client)
+    fabric.run()
+
+    survey.osav_lacking_asns = {asn for _, asn in server.received}
+    survey.dsav_lacking_asns = {
+        client.asn for client in clients if client.dsav_probe_received
+    }
+    return survey

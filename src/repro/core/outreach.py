@@ -1,0 +1,126 @@
+"""Operator contact discovery for disclosure (Sections 5.2.1 and 6).
+
+To notify the owners of vulnerable resolvers, the paper "performed a
+reverse DNS (PTR) lookup of the IP address for each resolver and then
+looked up the SOA record for the domain of the DNS name returned",
+using the SOA RNAME field as the contact address.  This module performs
+that exact pipeline inside the simulation: PTR lookup, walk up the
+returned name until a zone apex answers with an SOA, convert RNAME to
+a mailbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dns.message import Message, Rcode
+from ..dns.name import Name
+from ..dns.rr import PTR, SOA, RRType
+from ..dns.stub import StubResolver
+from ..netsim.addresses import Address
+from ..netsim.fabric import Fabric
+
+
+def rname_to_mailbox(rname: Name) -> str:
+    """Convert an SOA RNAME to the mailbox it encodes.
+
+    The first label is the local part; the rest is the domain
+    (``hostmaster.example.org.`` -> ``hostmaster@example.org``).
+    """
+    if rname.is_root or len(rname) < 2:
+        raise ValueError(f"RNAME too short: {rname}")
+    local = rname.labels[0].decode("ascii")
+    domain = ".".join(label.decode("ascii") for label in rname.labels[1:])
+    return f"{local}@{domain}"
+
+
+@dataclass(frozen=True, slots=True)
+class OutreachContact:
+    """Contact information discovered for one resolver address."""
+
+    resolver: Address
+    ptr_name: Name | None
+    soa_domain: Name | None
+    mailbox: str | None
+
+    @property
+    def contactable(self) -> bool:
+        return self.mailbox is not None
+
+
+class OutreachClient:
+    """Drives PTR + SOA lookups against a DNS server on the fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        stub: StubResolver,
+        server: Address,
+        *,
+        max_soa_walk: int = 6,
+        attempts: int = 10,
+    ) -> None:
+        self.fabric = fabric
+        self.stub = stub
+        self.server = server
+        self.max_soa_walk = max_soa_walk
+        # Plain UDP lookups over a lossy path need retries.
+        self.attempts = attempts
+
+    def _query(self, qname: Name, qtype: int) -> Message | None:
+        for _ in range(self.attempts):
+            responses: list[Message | None] = []
+            self.stub.query(self.server, qname, qtype, responses.append)
+            self.fabric.run()
+            if responses and responses[0] is not None:
+                return responses[0]
+        return None
+
+    def lookup_contact(self, resolver: Address) -> OutreachContact:
+        """Run the full PTR -> SOA -> RNAME pipeline for one address."""
+        ptr_response = self._query(
+            Name.from_text(resolver.reverse_pointer), RRType.PTR
+        )
+        ptr_name = None
+        if ptr_response is not None and ptr_response.rcode is Rcode.NOERROR:
+            for rr in ptr_response.answers:
+                if rr.rrtype == RRType.PTR and isinstance(rr.rdata, PTR):
+                    ptr_name = rr.rdata.target
+                    break
+        if ptr_name is None:
+            return OutreachContact(resolver, None, None, None)
+
+        # Walk up from the PTR name's parent looking for a zone apex.
+        candidate = ptr_name.parent() if len(ptr_name) > 1 else ptr_name
+        for _ in range(self.max_soa_walk):
+            response = self._query(candidate, RRType.SOA)
+            if response is not None and response.rcode is Rcode.NOERROR:
+                for rr in response.answers:
+                    if rr.rrtype == RRType.SOA and isinstance(rr.rdata, SOA):
+                        try:
+                            mailbox = rname_to_mailbox(rr.rdata.rname)
+                        except ValueError:
+                            mailbox = None
+                        return OutreachContact(
+                            resolver, ptr_name, candidate, mailbox
+                        )
+            if candidate.is_root or len(candidate) <= 1:
+                break
+            candidate = candidate.parent()
+        return OutreachContact(resolver, ptr_name, None, None)
+
+    def discover(self, resolvers: list[Address]) -> list[OutreachContact]:
+        """Run the pipeline over a batch of vulnerable resolvers."""
+        return [self.lookup_contact(address) for address in resolvers]
+
+
+def contact_summary(contacts: list[OutreachContact]) -> str:
+    """Render a disclosure work list."""
+    contactable = [c for c in contacts if c.contactable]
+    lines = [
+        f"contact discovery: {len(contactable)}/{len(contacts)} resolvers "
+        f"have a reachable SOA RNAME contact"
+    ]
+    for contact in contactable:
+        lines.append(f"  {contact.resolver} -> {contact.mailbox}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""The paper's published numbers, and a measured-vs-paper comparator.
+
+`PAPER` collects every quantitative claim the reproduction targets,
+with its section.  :func:`comparison_report` evaluates a finished
+campaign against each claim's *shape criterion* — a predicate over the
+measured value, since absolute counts belong to the 2019 Internet —
+and renders a verdict table.  This is `EXPERIMENTS.md` as executable
+code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .campaign import Campaign
+
+
+@dataclass(frozen=True, slots=True)
+class PaperClaim:
+    """One quantitative claim from the paper."""
+
+    key: str
+    section: str
+    paper_value: str
+    description: str
+
+
+#: Every claim the benchmark suite reproduces, keyed for lookup.
+PAPER: dict[str, PaperClaim] = {
+    claim.key: claim
+    for claim in (
+        PaperClaim(
+            "asn_rate_v4", "§4", "49%",
+            "fraction of tested IPv4 ASes lacking DSAV",
+        ),
+        PaperClaim(
+            "asn_rate_v6", "§4", "50%",
+            "fraction of tested IPv6 ASes lacking DSAV",
+        ),
+        PaperClaim(
+            "other_gt_same_v4", "§4.1 Table 3", "78% > 63%",
+            "other-prefix beats same-prefix for IPv4 addresses",
+        ),
+        PaperClaim(
+            "same_asn_coverage_v4", "§4.1 Table 3", "91% of ASNs",
+            "same-prefix reaches most reachable ASNs",
+        ),
+        PaperClaim(
+            "ds_v6_gt_v4", "§4.1 Table 3", "70% vs 17%",
+            "dst-as-src far more effective for IPv6 than IPv4",
+        ),
+        PaperClaim(
+            "median_sources", "§4.1", "3 (v4) / 2 (v6)",
+            "median number of working spoofed sources",
+        ),
+        PaperClaim(
+            "closed_majority", "§5.1", "60%",
+            "most reached resolvers are closed",
+        ),
+        PaperClaim(
+            "closed_in_lacking_asns", "§5.1", "88%",
+            "DSAV-lacking ASes hosting a reachable closed resolver",
+        ),
+        PaperClaim(
+            "zero_range_exists", "§5.2.1", "3,810 resolvers",
+            "a fixed-source-port population persists",
+        ),
+        PaperClaim(
+            "port53_top", "§5.2.1", "34% use port 53",
+            "port 53 is the most common fixed port",
+        ),
+        PaperClaim(
+            "regressions_exist", "§5.2.2", "25% regressed",
+            "some zero-range resolvers had variance 18 months earlier",
+        ),
+        PaperClaim(
+            "full_gt_linux", "§5.3.2 Table 4", "178k > 89k",
+            "full-range bucket outnumbers the Linux bucket",
+        ),
+        PaperClaim(
+            "windows_bucket_open", "§5.3.2 Table 4", "89% open",
+            "the Windows DNS bucket is predominantly open",
+        ),
+        PaperClaim(
+            "v6_direct_gt_v4", "§5.4", "85% vs 53%",
+            "IPv6 targets resolve directly more often than IPv4",
+        ),
+        PaperClaim(
+            "loopback_rare", "§5.5", "107 of 568k",
+            "loopback sources reach almost nothing",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimVerdict:
+    claim: PaperClaim
+    measured: str
+    holds: bool
+
+
+def _evaluators() -> dict[str, Callable[["Campaign"], tuple[str, bool]]]:
+    def asn_rate_v4(c):
+        rate = c.results.headline.v4.asn_rate
+        return f"{rate:.1%}", 0.3 < rate < 0.7
+
+    def asn_rate_v6(c):
+        rate = c.results.headline.v6.asn_rate
+        return f"{rate:.1%}", 0.25 < rate < 0.75
+
+    def other_gt_same_v4(c):
+        rows = {r.category.value: r for r in c.results.source_categories.rows}
+        total = max(c.results.source_categories.all_reachable_v4.addresses, 1)
+        other = rows["other-prefix"].inclusive_v4.addresses / total
+        same = rows["same-prefix"].inclusive_v4.addresses / total
+        return f"{other:.0%} vs {same:.0%}", other > same
+
+    def same_asn_coverage_v4(c):
+        rows = {r.category.value: r for r in c.results.source_categories.rows}
+        total = max(c.results.source_categories.all_reachable_v4.asns, 1)
+        coverage = rows["same-prefix"].inclusive_v4.asns / total
+        return f"{coverage:.0%}", coverage > 0.7
+
+    def ds_v6_gt_v4(c):
+        rows = {r.category.value: r for r in c.results.source_categories.rows}
+        v4_total = max(c.results.source_categories.all_reachable_v4.addresses, 1)
+        v6_total = max(c.results.source_categories.all_reachable_v6.addresses, 1)
+        v4 = rows["dst-as-src"].inclusive_v4.addresses / v4_total
+        v6 = rows["dst-as-src"].inclusive_v6.addresses / v6_total
+        return f"{v6:.0%} vs {v4:.0%}", v6 > 2 * v4
+
+    def median_sources(c):
+        table = c.results.source_categories
+        return (
+            f"{table.median_sources_v4:.0f} / {table.median_sources_v6:.0f}",
+            table.median_sources_v4 <= 6 and table.median_sources_v6 <= 4,
+        )
+
+    def closed_majority(c):
+        fraction = c.results.open_closed.closed_fraction
+        return f"{fraction:.0%}", fraction > 0.5
+
+    def closed_in_lacking_asns(c):
+        fraction = c.results.open_closed.asns_with_closed_fraction
+        return f"{fraction:.0%}", fraction > 0.7
+
+    def zero_range_exists(c):
+        count = c.results.zero_range.resolvers
+        return str(count), count > 0
+
+    def port53_top(c):
+        counts = c.results.zero_range.port_counts
+        if not counts:
+            return "none", False
+        top = counts[0][0]
+        return f"port {top}", top == 53
+
+    def regressions_exist(c):
+        count = c.results.passive.regressed
+        return str(count), count > 0
+
+    def full_gt_linux(c):
+        from ..fingerprint.portrange import PortRangeClass
+
+        by_bucket = {row.bucket: row for row in c.results.table4}
+        full = by_bucket[PortRangeClass.FULL].total
+        linux = by_bucket[PortRangeClass.LINUX].total
+        return f"{full} vs {linux}", full > linux
+
+    def windows_bucket_open(c):
+        from ..fingerprint.portrange import PortRangeClass
+
+        row = {r.bucket: r for r in c.results.table4}[PortRangeClass.WINDOWS]
+        if not row.total:
+            return "empty bucket", False
+        fraction = row.open_ / row.total
+        return f"{fraction:.0%}", fraction > 0.5
+
+    def v6_direct_gt_v4(c):
+        v4 = c.results.forwarding_v4.direct_fraction
+        v6 = c.results.forwarding_v6.direct_fraction
+        return f"{v6:.0%} vs {v4:.0%}", v6 > v4
+
+    def loopback_rare(c):
+        loopback = c.results.local_infiltration.loopback_targets
+        ds = max(c.results.local_infiltration.dst_as_src_targets, 1)
+        return f"{loopback} targets", loopback < ds / 3
+
+    return {
+        "asn_rate_v4": asn_rate_v4,
+        "asn_rate_v6": asn_rate_v6,
+        "other_gt_same_v4": other_gt_same_v4,
+        "same_asn_coverage_v4": same_asn_coverage_v4,
+        "ds_v6_gt_v4": ds_v6_gt_v4,
+        "median_sources": median_sources,
+        "closed_majority": closed_majority,
+        "closed_in_lacking_asns": closed_in_lacking_asns,
+        "zero_range_exists": zero_range_exists,
+        "port53_top": port53_top,
+        "regressions_exist": regressions_exist,
+        "full_gt_linux": full_gt_linux,
+        "windows_bucket_open": windows_bucket_open,
+        "v6_direct_gt_v4": v6_direct_gt_v4,
+        "loopback_rare": loopback_rare,
+    }
+
+
+def evaluate(campaign: "Campaign") -> list[ClaimVerdict]:
+    """Evaluate every paper claim against *campaign*."""
+    verdicts = []
+    evaluators = _evaluators()
+    for key, claim in PAPER.items():
+        measured, holds = evaluators[key](campaign)
+        verdicts.append(ClaimVerdict(claim, measured, holds))
+    return verdicts
+
+
+def comparison_report(campaign: "Campaign") -> str:
+    """Render the measured-vs-paper verdict table."""
+    verdicts = evaluate(campaign)
+    width = max(len(v.claim.description) for v in verdicts)
+    lines = [
+        f"{'claim':<{width}}  {'section':<14} {'paper':<16} "
+        f"{'measured':<14} verdict",
+    ]
+    for verdict in verdicts:
+        lines.append(
+            f"{verdict.claim.description:<{width}}  "
+            f"{verdict.claim.section:<14} "
+            f"{verdict.claim.paper_value:<16} "
+            f"{verdict.measured:<14} "
+            f"{'HOLDS' if verdict.holds else 'DIVERGES'}"
+        )
+    held = sum(1 for v in verdicts if v.holds)
+    lines.append(f"\n{held}/{len(verdicts)} shape claims hold")
+    return "\n".join(lines)

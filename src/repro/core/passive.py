@@ -1,0 +1,83 @@
+"""Passive measurement comparison (Section 5.2.2).
+
+The paper cross-checked its active zero-source-port findings against the
+2018 DITL collection: for each resolver that showed no port variance in
+the active measurement, did its root-server traffic 18 months earlier
+show variance?  The reproduction's stand-in for the 2018 DITL data is a
+historical port trace produced by the scenario builder (each resolver's
+*previous* allocator drives a burst of synthetic queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.addresses import Address
+from .analysis import ResolverRange
+
+#: Minimum historical observations needed for a fair comparison; the
+#: paper required 10 unique-name queries (or same-port evidence).
+MIN_HISTORY_SAMPLES = 10
+
+
+@dataclass(frozen=True, slots=True)
+class PassiveComparison:
+    """Outcome counts for the zero-range population (Section 5.2.2)."""
+
+    zero_range_resolvers: int
+    stable_zero: int       # already had zero variance historically (51%)
+    regressed: int         # had variance historically, none now (25%)
+    insufficient: int      # not enough historical data (24%)
+
+    @property
+    def stable_fraction(self) -> float:
+        return (
+            self.stable_zero / self.zero_range_resolvers
+            if self.zero_range_resolvers
+            else 0.0
+        )
+
+    @property
+    def regressed_fraction(self) -> float:
+        return (
+            self.regressed / self.zero_range_resolvers
+            if self.zero_range_resolvers
+            else 0.0
+        )
+
+
+def compare_zero_range(
+    ranges: list[ResolverRange],
+    history: dict[Address, list[int]],
+    *,
+    min_samples: int = MIN_HISTORY_SAMPLES,
+) -> PassiveComparison:
+    """Classify each zero-range resolver against its historical ports.
+
+    ``history`` maps resolver addresses to the source ports observed in
+    the historical (DITL-equivalent) trace.  A resolver with fewer than
+    *min_samples* historical observations is *insufficient* unless its
+    historical ports are all equal to its current fixed port — the
+    paper's second inclusion criterion.
+    """
+    zero = [r for r in ranges if r.range == 0]
+    stable = regressed = insufficient = 0
+    for item in zero:
+        current_port = item.range_observation.ports[0]
+        ports = history.get(item.observation.target, [])
+        if len(ports) < min_samples:
+            if ports and all(p == current_port for p in ports):
+                stable += 1
+            else:
+                insufficient += 1
+            continue
+        if max(ports) - min(ports) == 0:
+            stable += 1
+        else:
+            regressed += 1
+    return PassiveComparison(
+        zero_range_resolvers=len(zero),
+        stable_zero=stable,
+        regressed=regressed,
+        insufficient=insufficient,
+    )

@@ -1,0 +1,254 @@
+"""The scan driver (Sections 3.2-3.5).
+
+The :class:`ScanClient` is the spoofing-capable vantage point: a host in
+an AS that performs no OSAV, crafting DNS queries whose IP source field
+is set to whatever the spoof plan dictates.  The :class:`Scanner`
+schedules one probe per (target, spoofed source) pair, spread evenly
+over the experiment duration exactly as the paper describes, watches the
+authoritative query logs in real time, and fires the follow-up engine
+the *first* time a target is observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..dns.auth import AuthoritativeServer, QueryLogRecord
+from ..dns.message import Message
+from ..dns.rr import RRType
+from ..netsim.addresses import Address
+from ..netsim.fabric import Fabric, Host
+from ..netsim.packet import Packet, Transport
+from .followup import FollowUpEngine
+from .qname import Channel, QueryNameCodec
+from .sources import SourceCategory, SpoofPlanner
+from .targets import TargetSet
+
+
+class ScanClient(Host):
+    """Packet-crafting measurement client (the "scapy" of the setup)."""
+
+    def __init__(
+        self, name: str, asn: int, rng: Random
+    ) -> None:
+        super().__init__(name, asn)
+        self.rng = rng
+        self.queries_sent = 0
+
+    def real_address(self, version: int) -> Address | None:
+        """The client's genuine address for *version*, if configured."""
+        for address in self.addresses:
+            if address.version == version:
+                return address
+        return None
+
+    def send_query(
+        self,
+        qname,
+        src: Address,
+        dst: Address,
+        *,
+        qtype: int = RRType.A,
+    ) -> None:
+        """Emit one UDP DNS query with an arbitrary (spoofed) source."""
+        message = Message.make_query(
+            self.rng.randrange(0x10000), qname, qtype
+        )
+        packet = Packet(
+            src=src,
+            dst=dst,
+            sport=1024 + self.rng.randrange(64512),
+            dport=53,
+            payload=message.to_wire(),
+            transport=Transport.UDP,
+        )
+        self.queries_sent += 1
+        self.send(packet)
+
+
+@dataclass
+class ScanConfig:
+    """Parameters of one scan campaign."""
+
+    keyword: str = "scan"
+    duration: float = 300.0
+    enable_followups: bool = True
+    followup_count: int = 10
+    #: TC-eliciting queries per target.  The paper sent one; under
+    #: simulated packet loss a four-packet TCP exchange often dies, so
+    #: a few attempts keep SYN-fingerprint coverage comparable.
+    tcp_followup_count: int = 3
+    followup_spacing: float = 0.25
+    qtype: int = RRType.A
+    #: administrative ceiling on outbound queries per second (the
+    #: paper's vantage allowed ~700 qps, Section 3.4).  The campaign
+    #: stretches beyond ``duration`` if needed to respect it.
+    max_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.followup_count < 1:
+            raise ValueError("followup_count must be >= 1")
+        if self.max_rate is not None and self.max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+
+
+@dataclass
+class ProbeRecord:
+    """Bookkeeping for one sent probe, used for later attribution."""
+
+    target: Address
+    asn: int
+    source: Address
+    category: SourceCategory
+    send_time: float
+
+
+class Scanner:
+    """Orchestrates a full DSAV scan campaign."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        client: ScanClient,
+        codec: QueryNameCodec,
+        targets: TargetSet,
+        planner: SpoofPlanner,
+        auth_servers: list[AuthoritativeServer],
+        config: ScanConfig | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.fabric = fabric
+        self.client = client
+        self.codec = codec
+        self.targets = targets
+        self.planner = planner
+        self.auth_servers = auth_servers
+        self.config = config or ScanConfig()
+        self.rng = Random(seed)
+        #: (target, source) -> category, filled as probes are scheduled.
+        self.probe_index: dict[tuple[Address, Address], ProbeRecord] = {}
+        #: target -> asn for every probed target.
+        self.target_asn: dict[Address, int] = {}
+        self.followups = FollowUpEngine(
+            fabric, client, codec, config=self.config
+        )
+        self._followed_up: set[Address] = set()
+        self.probes_scheduled = 0
+        self.probes_suppressed = 0
+        self.targets_planned = 0
+        self.targets_unroutable = 0
+        self.effective_duration = self.config.duration
+        #: prefixes whose operators opted out (Section 3.8); checked at
+        #: send time so a mid-campaign request stops traffic instantly.
+        self._opt_out_prefixes: list = []
+
+    def opt_out(self, prefix) -> None:
+        """Stop sending any further queries toward *prefix*."""
+        from ipaddress import ip_network
+
+        if isinstance(prefix, str):
+            prefix = ip_network(prefix)
+        self._opt_out_prefixes.append(prefix)
+
+    def _opted_out(self, target: Address) -> bool:
+        return any(
+            target.version == prefix.version and target in prefix
+            for prefix in self._opt_out_prefixes
+        )
+
+    # -- campaign setup ------------------------------------------------------
+
+    def schedule_campaign(self) -> None:
+        """Plan every probe and put it on the event loop.
+
+        Each target's probes are spread evenly across the full campaign
+        duration (Section 3.4); targets are offset from each other so the
+        aggregate rate stays uniform.
+        """
+        for server in self.auth_servers:
+            server.add_observer(self._on_auth_query)
+        plans = []
+        for target in self.targets.targets:
+            plan = self.planner.plan(target.address)
+            if plan is None or not plan.sources:
+                self.targets_unroutable += 1
+                continue
+            plans.append((target, plan))
+        # Respect the vantage point's administrative rate ceiling by
+        # stretching the campaign rather than bursting (Section 3.4).
+        total_probes = sum(len(plan.sources) for _, plan in plans)
+        duration = self.config.duration
+        if self.config.max_rate is not None and total_probes:
+            duration = max(duration, total_probes / self.config.max_rate)
+        self.effective_duration = duration
+
+        total = len(plans)
+        for index, (target, plan) in enumerate(plans):
+            self.targets_planned += 1
+            self.target_asn[target.address] = target.asn
+            offset = (index / max(total, 1)) * (
+                duration / max(len(plan.sources), 1)
+            )
+            spacing = duration / len(plan.sources)
+            for j, source in enumerate(plan.sources):
+                when = offset + j * spacing
+                self.probe_index[(target.address, source.address)] = (
+                    ProbeRecord(
+                        target.address,
+                        target.asn,
+                        source.address,
+                        source.category,
+                        when,
+                    )
+                )
+                self.probes_scheduled += 1
+                self.fabric.loop.schedule_at(
+                    when,
+                    self._make_probe_sender(
+                        target.address, target.asn, source.address
+                    ),
+                )
+
+    def _make_probe_sender(self, target: Address, asn: int, source: Address):
+        def send() -> None:
+            if self._opted_out(target):
+                self.probes_suppressed += 1
+                return
+            qname = self.codec.encode(
+                self.fabric.now, source, target, asn, channel=Channel.MAIN
+            )
+            self.client.send_query(
+                qname, source, target, qtype=self.config.qtype
+            )
+
+        return send
+
+    # -- real-time reaction ----------------------------------------------------
+
+    def _on_auth_query(self, record: QueryLogRecord) -> None:
+        decoded = self.codec.decode(record.qname)
+        if decoded is None or decoded.channel is not Channel.MAIN:
+            return
+        target = decoded.dst
+        if target in self._followed_up:
+            return
+        probe = self.probe_index.get((target, decoded.src))
+        if probe is None:
+            return  # open-resolver test or stray; no follow-up trigger
+        self._followed_up.add(target)
+        if self.config.enable_followups and not self._opted_out(target):
+            self.followups.launch(target, decoded.asn, decoded.src)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, *, settle: float = 60.0, max_events: int | None = None) -> None:
+        """Run the campaign to completion plus *settle* seconds of drain."""
+        self.schedule_campaign()
+        self.fabric.loop.run(max_events)
+        # Drain any events scheduled by late follow-ups.
+        self.fabric.loop.run_until(self.fabric.now + settle)
+        self.fabric.loop.run(max_events)

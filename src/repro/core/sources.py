@@ -1,0 +1,180 @@
+"""Spoofed-source selection (Section 3.2).
+
+For every target the scan prepares up to 101 spoofed source addresses
+drawn from five categories, each probing a different filtering failure:
+
+* **other prefix** — up to 97 addresses, one from each /24 (IPv4) or /64
+  (IPv6) announced by the target's AS other than the target's own
+  subnet;
+* **same prefix** — one address from the target's own /24 or /64;
+* **private / unique local** — 192.168.0.10 or fc00::10;
+* **destination-as-source** — the target address itself;
+* **loopback** — 127.0.0.1 or ::1.
+
+IPv6 prefix selection prefers /64s containing addresses from a hit list
+(a stand-in for the Gasser et al. IPv6 hitlist the paper used), and host
+selection within a /64 is limited to the first 100 addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from random import Random
+
+from ..netsim.addresses import (
+    LOOPBACK_V4,
+    LOOPBACK_V6,
+    PRIVATE_SOURCE_V4,
+    PRIVATE_SOURCE_V6,
+    Address,
+    Network,
+    limited_subnets,
+    random_host_in_subnet,
+    subnet_of,
+)
+from ..netsim.routing import RoutingTable
+
+#: Maximum number of other-prefix sources per target (Section 3.2's 97).
+MAX_OTHER_PREFIX = 97
+
+
+class SourceCategory(enum.Enum):
+    """The five spoofed-source categories of Section 3.2."""
+
+    OTHER_PREFIX = "other-prefix"
+    SAME_PREFIX = "same-prefix"
+    PRIVATE = "private"
+    DST_AS_SRC = "dst-as-src"
+    LOOPBACK = "loopback"
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofedSource:
+    """One planned spoofed source for a target."""
+
+    category: SourceCategory
+    address: Address
+
+
+@dataclass
+class SpoofPlan:
+    """The ordered list of spoofed sources to try against one target."""
+
+    target: Address
+    asn: int
+    sources: list[SpoofedSource]
+
+    def by_category(self, category: SourceCategory) -> list[SpoofedSource]:
+        return [s for s in self.sources if s.category is category]
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+
+class SpoofPlanner:
+    """Builds :class:`SpoofPlan` objects from routing state.
+
+    ``hitlist`` maps /64 prefixes (as networks) considered "active" —
+    the IPv6 prefix-preference input.  A planner is deterministic for a
+    given seed, independent of call order, because each target derives
+    its own child RNG.
+    """
+
+    def __init__(
+        self,
+        routes: RoutingTable,
+        *,
+        seed: int = 0,
+        max_other_prefix: int = MAX_OTHER_PREFIX,
+        hitlist: frozenset[Network] = frozenset(),
+        categories: frozenset[SourceCategory] = frozenset(SourceCategory),
+    ) -> None:
+        self.routes = routes
+        self.seed = seed
+        self.max_other_prefix = max_other_prefix
+        self.hitlist = hitlist
+        self.categories = categories
+
+    def plan(self, target: Address) -> SpoofPlan | None:
+        """Return the spoof plan for *target*, or ``None`` if unroutable.
+
+        Targets whose AS announces no other prefix from which to derive
+        sources are still planned (with an empty other-prefix category),
+        but targets with no announced route at all are excluded — the
+        paper dropped 36,027 such addresses (Section 3.1).
+        """
+        asn = self.routes.origin_asn(target)
+        if asn is None:
+            return None
+        # A per-target child RNG keyed by a stable hash (str hashing is
+        # process-salted and would break reproducibility).
+        rng = Random(zlib.crc32(f"{self.seed}:{target}".encode()))
+        sources: list[SpoofedSource] = []
+        if SourceCategory.OTHER_PREFIX in self.categories:
+            sources.extend(self._other_prefix(target, asn, rng))
+        if SourceCategory.SAME_PREFIX in self.categories:
+            same = self._same_prefix(target, rng)
+            if same is not None:
+                sources.append(same)
+        if SourceCategory.PRIVATE in self.categories:
+            private = PRIVATE_SOURCE_V4 if target.version == 4 else PRIVATE_SOURCE_V6
+            sources.append(SpoofedSource(SourceCategory.PRIVATE, private))
+        if SourceCategory.DST_AS_SRC in self.categories:
+            sources.append(SpoofedSource(SourceCategory.DST_AS_SRC, target))
+        if SourceCategory.LOOPBACK in self.categories:
+            loopback = LOOPBACK_V4 if target.version == 4 else LOOPBACK_V6
+            sources.append(SpoofedSource(SourceCategory.LOOPBACK, loopback))
+        return SpoofPlan(target, asn, sources)
+
+    # -- category builders -------------------------------------------------
+
+    def _other_prefix(
+        self, target: Address, asn: int, rng: Random
+    ) -> list[SpoofedSource]:
+        target_subnet = subnet_of(target)
+        candidates: list[Network] = []
+        # Cap enumeration well above the selection limit so shuffling
+        # still has diversity to draw from, without walking sparse IPv6
+        # space subnet by subnet.
+        per_prefix_cap = max(self.max_other_prefix * 4, 8)
+        for prefix in self.routes.prefixes_for_asn(asn):
+            if prefix.version != target.version:
+                continue
+            for subnet in limited_subnets(
+                prefix, per_prefix_cap, self.hitlist
+            ):
+                if subnet == target_subnet:
+                    continue
+                candidates.append(subnet)
+        if not candidates:
+            return []
+        if target.version == 6 and self.hitlist:
+            preferred = [c for c in candidates if c in self.hitlist]
+            others = [c for c in candidates if c not in self.hitlist]
+            rng.shuffle(preferred)
+            rng.shuffle(others)
+            ordered = preferred + others
+        else:
+            rng.shuffle(ordered := candidates)
+        chosen = ordered[: self.max_other_prefix]
+        return [
+            SpoofedSource(
+                SourceCategory.OTHER_PREFIX,
+                random_host_in_subnet(subnet, rng),
+            )
+            for subnet in chosen
+        ]
+
+    def _same_prefix(
+        self, target: Address, rng: Random
+    ) -> SpoofedSource | None:
+        subnet = subnet_of(target)
+        # Draw an address distinct from the target itself; a /24 or /64
+        # always has room, but guard against pathological luck.
+        for _ in range(16):
+            address = random_host_in_subnet(subnet, rng)
+            if address != target:
+                return SpoofedSource(SourceCategory.SAME_PREFIX, address)
+        return None

@@ -1,0 +1,98 @@
+"""Target selection from a DITL-style trace (Section 3.1).
+
+The paper harvested candidate recursive resolvers from the source
+addresses of queries captured at the DNS root servers ("Day in the
+Life" collections).  The simulation produces an equivalent trace — the
+root servers in the fabric log every query they receive — and this
+module applies the paper's filters to it:
+
+* drop IANA special-purpose addresses (~4M in the paper), and
+* drop addresses with no announced route (36,027 in the paper).
+
+What remains is the target set, grouped per AS and per family.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..netsim.addresses import Address, is_special_purpose
+from ..netsim.routing import RoutingTable
+
+
+@dataclass(frozen=True, slots=True)
+class Target:
+    """One candidate resolver address with its origin AS."""
+
+    address: Address
+    asn: int
+
+
+@dataclass
+class TargetSelectionStats:
+    """Accounting of why candidates were kept or dropped."""
+
+    candidates: int = 0
+    special_purpose: int = 0
+    unrouted: int = 0
+    duplicates: int = 0
+    selected: int = 0
+
+
+@dataclass
+class TargetSet:
+    """The selected targets, with per-family and per-AS views."""
+
+    targets: list[Target] = field(default_factory=list)
+    stats: TargetSelectionStats = field(default_factory=TargetSelectionStats)
+
+    def addresses(self, version: int | None = None) -> list[Address]:
+        return [
+            t.address
+            for t in self.targets
+            if version is None or t.address.version == version
+        ]
+
+    def by_asn(self) -> dict[int, list[Target]]:
+        grouped: dict[int, list[Target]] = defaultdict(list)
+        for target in self.targets:
+            grouped[target.asn].append(target)
+        return dict(grouped)
+
+    def asns(self, version: int | None = None) -> set[int]:
+        return {
+            t.asn
+            for t in self.targets
+            if version is None or t.address.version == version
+        }
+
+    def count(self, version: int) -> int:
+        return sum(1 for t in self.targets if t.address.version == version)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+
+def select_targets(
+    candidates: list[Address], routes: RoutingTable
+) -> TargetSet:
+    """Apply the Section 3.1 filters to raw trace source addresses."""
+    result = TargetSet()
+    seen: set[Address] = set()
+    for address in candidates:
+        result.stats.candidates += 1
+        if address in seen:
+            result.stats.duplicates += 1
+            continue
+        seen.add(address)
+        if is_special_purpose(address):
+            result.stats.special_purpose += 1
+            continue
+        asn = routes.origin_asn(address)
+        if asn is None:
+            result.stats.unrouted += 1
+            continue
+        result.targets.append(Target(address, asn))
+        result.stats.selected += 1
+    return result

@@ -1,0 +1,76 @@
+"""A self-contained DNS implementation speaking real wire format.
+
+Names, resource records, messages (with compression and EDNS0), zones
+with RFC 1034 lookup semantics, a caching recursive resolver with QNAME
+minimization and forwarding, an authoritative server with query logging,
+and the UDP/TCP transport glue binding them into the simulated Internet.
+"""
+
+from .auth import AuthoritativeServer, QueryLogRecord
+from .cache import Cache, CacheEntry
+from .message import (
+    DEFAULT_UDP_PAYLOAD_SIZE,
+    Flag,
+    Message,
+    Opcode,
+    Question,
+    Rcode,
+)
+from .name import ROOT, Name, NameError_, name
+from .resolver import AccessControl, RecursiveResolver, ResolverConfig
+from .rr import (
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    PTR,
+    RR,
+    SOA,
+    TXT,
+    Opaque,
+    Rdata,
+    RRClass,
+    RRType,
+    decode_rdata,
+)
+from .stub import StubResolver
+from .transport import DNSHost
+from .zone import LookupKind, LookupResult, Zone
+
+__all__ = [
+    "A",
+    "AAAA",
+    "AccessControl",
+    "AuthoritativeServer",
+    "CNAME",
+    "Cache",
+    "CacheEntry",
+    "DEFAULT_UDP_PAYLOAD_SIZE",
+    "DNSHost",
+    "Flag",
+    "LookupKind",
+    "LookupResult",
+    "Message",
+    "NS",
+    "Name",
+    "NameError_",
+    "Opaque",
+    "Opcode",
+    "PTR",
+    "Question",
+    "QueryLogRecord",
+    "RR",
+    "RRClass",
+    "RRType",
+    "Rcode",
+    "Rdata",
+    "RecursiveResolver",
+    "ResolverConfig",
+    "ROOT",
+    "SOA",
+    "StubResolver",
+    "TXT",
+    "Zone",
+    "decode_rdata",
+    "name",
+]

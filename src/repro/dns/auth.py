@@ -1,0 +1,296 @@
+"""Authoritative DNS server with query logging.
+
+This is the observation point of the whole experiment: the scan never
+sees responses to its spoofed queries, so reachability is inferred from
+recursive-to-authoritative queries arriving here (Figure 1, step 2).
+Every query is logged with arrival time, source address and port,
+transport, and — for TCP — the client's SYN fingerprint, which is all
+the raw material Sections 4 and 5 analyze.
+
+Two behaviours from the paper's setup are modeled explicitly:
+
+* the experiment zone answers NXDOMAIN for every name that is not
+  configured (Section 3.3), with an optional wildcard mode representing
+  the "future version" fix of Section 3.6.4; and
+* names under a configured *truncation domain* are answered over UDP
+  with the TC bit set, forcing the resolver to retry over TCP
+  (Section 3.5) and thereby exposing its SYN to fingerprinting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from random import Random
+
+from ..netsim.packet import Packet, TCPSignature, Transport
+from ..oskernel.profiles import OSProfile, os_profile
+from .message import EDNS_COOKIE, Flag, Message, Opcode, Rcode
+from .name import Name
+from .resolver import AccessControl
+from .rr import RR, RRClass, RRType
+from .transport import DNSHost, Responder
+from .zone import LookupKind, Zone
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLogRecord:
+    """One query observed at the authoritative server."""
+
+    time: float
+    src: object            # Address; kept loose for cheap construction
+    sport: int
+    qname: Name
+    qtype: int
+    transport: Transport
+    tcp_signature: TCPSignature | None = None
+    observed_ttl: int | None = None
+    server_name: str = ""
+
+
+#: Observer invoked synchronously for each logged query.
+QueryObserver = Callable[[QueryLogRecord], None]
+
+
+class AuthoritativeServer(DNSHost):
+    """Authoritative-only DNS server bound into the fabric."""
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        rng: Random,
+        *,
+        profile: OSProfile | None = None,
+    ) -> None:
+        super().__init__(name, asn, profile or os_profile("freebsd"), rng)
+        self.zones: dict[Name, Zone] = {}
+        self.query_log: list[QueryLogRecord] = []
+        self.truncation_domains: list[Name] = []
+        self._observers: list[QueryObserver] = []
+        self.refuse_all = False
+        #: Response Rate Limiting (RRL): maximum UDP responses per
+        #: second toward one client /24 (or /64).  0 disables.  Every
+        #: ``rrl_slip``-th rate-limited response is sent truncated
+        #: instead of dropped, so legitimate clients can retry over TCP.
+        self.rrl_limit: float = 0.0
+        self.rrl_slip: int = 2
+        self.rrl_dropped = 0
+        self.rrl_slipped = 0
+        self._rrl_buckets: dict[object, tuple[float, float]] = {}
+        self._rrl_counter = 0
+        #: RFC 2136 dynamic updates: the source-address policy deciding
+        #: who may modify zones.  ``None`` rejects all updates.  A
+        #: prefix-based policy is the "non-secure dynamic update"
+        #: configuration behind zone-poisoning attacks — and exactly
+        #: the kind of check a spoofed internal source defeats.
+        self.update_acl: AccessControl | None = None
+        self.updates_applied = 0
+        self.updates_refused = 0
+        #: DNS cookie support (RFC 7873): echo the client cookie and
+        #: append a server cookie bound to the client address.  Set to
+        #: ``None`` to model servers without cookie support.
+        self.cookie_secret: bytes | None = bytes(
+            rng.randrange(256) for _ in range(16)
+        )
+        self.cookies_echoed = 0
+
+    def add_zone(self, zone: Zone) -> Zone:
+        """Serve *zone* from this server."""
+        self.zones[zone.origin] = zone
+        return zone
+
+    def add_truncation_domain(self, domain: Name) -> None:
+        """Answer UDP queries at/under *domain* with TC=1 (forces TCP)."""
+        self.truncation_domains.append(domain)
+
+    def add_observer(self, observer: QueryObserver) -> None:
+        """Call *observer* for every query logged (used for follow-ups)."""
+        self._observers.append(observer)
+
+    # -- query handling ----------------------------------------------------
+
+    def handle_dns(
+        self,
+        message: Message,
+        packet: Packet,
+        transport: Transport,
+        respond: Responder,
+    ) -> None:
+        if message.question is None:
+            return
+        self._log_query(message, packet, transport)
+
+        client_cookie = (
+            message.edns_option(EDNS_COOKIE)
+            if self.cookie_secret is not None
+            else None
+        )
+        if client_cookie is not None and len(client_cookie) >= 8:
+            inner_respond = respond
+
+            def respond(response: Message) -> None:  # noqa: A001
+                if response.edns_payload_size() is not None:
+                    response.set_edns_option(
+                        EDNS_COOKIE,
+                        client_cookie[:8] + self._server_cookie(packet.src),
+                    )
+                    self.cookies_echoed += 1
+                inner_respond(response)
+
+        if message.opcode is Opcode.UPDATE:
+            self._handle_update(message, packet, respond)
+            return
+
+        if transport is Transport.UDP and not self._rrl_admit(packet):
+            self._rrl_counter += 1
+            if self.rrl_slip and self._rrl_counter % self.rrl_slip == 0:
+                self.rrl_slipped += 1
+                response = message.make_response(authoritative=True)
+                response.flags |= Flag.TC
+                respond(response)
+            else:
+                self.rrl_dropped += 1
+            return
+
+        if self.refuse_all:
+            response = message.make_response()
+            response.rcode = Rcode.REFUSED
+            respond(response)
+            return
+
+        question = message.question
+        if transport is Transport.UDP and self._should_truncate(question.qname):
+            response = message.make_response(authoritative=True)
+            response.flags |= Flag.TC
+            respond(response)
+            return
+
+        zone = self._zone_for(question.qname)
+        if zone is None:
+            response = message.make_response()
+            response.rcode = Rcode.REFUSED
+            respond(response)
+            return
+
+        result = zone.lookup(question.qname, question.qtype)
+        response = message.make_response(authoritative=True)
+        response.answers.extend(result.answers)
+        response.authority.extend(result.authority)
+        response.additional.extend(
+            rr for rr in result.additional if rr.rrtype != RRType.OPT
+        )
+        if result.kind is LookupKind.NXDOMAIN:
+            response.rcode = Rcode.NXDOMAIN
+        elif result.kind is LookupKind.REFERRAL:
+            response.flags &= ~Flag.AA
+        respond(response)
+
+    def _log_query(
+        self, message: Message, packet: Packet, transport: Transport
+    ) -> None:
+        assert message.question is not None
+        signature: TCPSignature | None = None
+        observed_ttl: int | None = None
+        if transport is Transport.TCP:
+            captured = self.peer_signature(packet)
+            if captured is not None:
+                signature, observed_ttl = captured
+        record = QueryLogRecord(
+            time=self.fabric.now if self.fabric else 0.0,
+            src=packet.src,
+            sport=packet.sport,
+            qname=message.question.qname,
+            qtype=message.question.qtype,
+            transport=transport,
+            tcp_signature=signature,
+            observed_ttl=observed_ttl,
+            server_name=self.name,
+        )
+        self.query_log.append(record)
+        for observer in self._observers:
+            observer(record)
+
+    def _handle_update(
+        self, message: Message, packet: Packet, respond: Responder
+    ) -> None:
+        """Apply an RFC 2136 dynamic update.
+
+        The wire layout reuses the standard sections: the question
+        names the zone, the authority section carries the updates.
+        Class IN adds a record; class ANY with empty rdata deletes an
+        RRset; class NONE deletes one specific record.  Prerequisites
+        are not modeled (the zone-poisoning attack the paper cites
+        needs none).
+        """
+        assert message.question is not None
+        response = message.make_response()
+        response.opcode = Opcode.UPDATE
+        zone = self.zones.get(message.question.qname)
+        if zone is None:
+            self.updates_refused += 1
+            response.rcode = Rcode.NOTAUTH
+            respond(response)
+            return
+        if self.update_acl is None or not self.update_acl.allows(packet.src):  # type: ignore[arg-type]
+            self.updates_refused += 1
+            response.rcode = Rcode.REFUSED
+            respond(response)
+            return
+        try:
+            for rr in message.authority:
+                self._apply_update(zone, rr)
+        except ValueError:
+            response.rcode = Rcode.FORMERR
+            respond(response)
+            return
+        self.updates_applied += 1
+        respond(response)
+
+    def _apply_update(self, zone: Zone, rr: RR) -> None:
+        if rr.rrclass == RRClass.IN:
+            zone.add(rr)
+        elif rr.rrclass == RRClass.ANY:
+            zone.remove_rrset(rr.name, rr.rrtype)
+        elif rr.rrclass == RRClass.NONE:
+            zone.remove_record(
+                RR(rr.name, rr.rrtype, RRClass.IN, 0, rr.rdata)
+            )
+        else:
+            raise ValueError(f"unsupported update class: {rr.rrclass}")
+
+    def _server_cookie(self, src: object) -> bytes:
+        """Server cookie: a keyed hash over the client address."""
+        import hashlib
+
+        assert self.cookie_secret is not None
+        return hashlib.blake2b(
+            str(src).encode(), key=self.cookie_secret, digest_size=8
+        ).digest()
+
+    def _rrl_admit(self, packet: Packet) -> bool:
+        """Token-bucket admission per client subnet (RRL)."""
+        if self.rrl_limit <= 0:
+            return True
+        from ..netsim.addresses import subnet_of
+
+        key = subnet_of(packet.src)  # type: ignore[arg-type]
+        now = self.fabric.now if self.fabric else 0.0
+        tokens, last = self._rrl_buckets.get(key, (self.rrl_limit, now))
+        tokens = min(self.rrl_limit, tokens + (now - last) * self.rrl_limit)
+        if tokens >= 1.0:
+            self._rrl_buckets[key] = (tokens - 1.0, now)
+            return True
+        self._rrl_buckets[key] = (tokens, now)
+        return False
+
+    def _should_truncate(self, qname: Name) -> bool:
+        return any(qname.is_subdomain_of(d) for d in self.truncation_domains)
+
+    def _zone_for(self, qname: Name) -> Zone | None:
+        best: Zone | None = None
+        for origin, zone in self.zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best

@@ -1,0 +1,896 @@
+"""Recursive DNS resolver model.
+
+This is the population the experiment probes: recursive servers that may
+be *open* (answer anyone) or *closed* (answer only configured prefixes),
+that resolve iteratively from root hints or *forward* to an upstream,
+that may perform QNAME minimization (RFC 7816) with either strict or
+relaxed handling of NXDOMAIN (RFC 8020 — the interaction that cost the
+paper visibility, Section 3.6.4), that retransmit on timeout, fall back
+to TCP on truncation, and draw their UDP source ports from whatever
+allocator their OS/software combination provides (Section 5.2/5.3).
+
+The implementation is an event-driven state machine over the fabric's
+loop: client queries join a :class:`_ResolutionTask`; each task sends
+upstream queries, follows referrals (with delegation caching), and
+finally answers every waiting client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from ..netsim.addresses import Address, Network
+from ..netsim.events import ScheduledEvent
+from ..netsim.packet import Packet, Transport
+from ..oskernel.ports import PortAllocator
+from ..oskernel.profiles import OSProfile
+from .cache import Cache
+from .message import Flag, Message, Rcode
+from .name import ROOT, Name
+from .rr import RR, RRType
+from .transport import DNSHost, Responder
+
+
+class AccessControl:
+    """Source-address policy: who may use this resolver.
+
+    ``open_`` resolvers answer anyone (RFC 5358 discourages this but 40%
+    of the resolvers the paper reached were open).  Closed resolvers
+    answer only sources inside ``allowed_prefixes`` — which is exactly
+    the check a spoofed internal source defeats.
+    """
+
+    def __init__(
+        self,
+        *,
+        open_: bool = False,
+        allowed_prefixes: tuple[Network, ...] = (),
+        denied_prefixes: tuple[Network, ...] = (),
+        allow_loopback: bool = True,
+    ) -> None:
+        self.open_ = open_
+        self.allowed_prefixes = tuple(allowed_prefixes)
+        # Deny wins over allow, as in BIND address-match lists: a server
+        # farm often serves every corporate subnet *except* its own.
+        self.denied_prefixes = tuple(denied_prefixes)
+        # Stock configurations almost always admit localhost
+        # (BIND's implicit ``allow-query { localnets; localhost; }``),
+        # which is how the paper's loopback-source queries were answered
+        # by otherwise closed resolvers (Section 5.5).
+        self.allow_loopback = allow_loopback
+
+    def allows(self, address: Address) -> bool:
+        """Return whether a query sourced from *address* is served."""
+        if self.allow_loopback and address.is_loopback:
+            return True
+        if any(
+            address.version == prefix.version and address in prefix
+            for prefix in self.denied_prefixes
+        ):
+            return False
+        if self.open_:
+            return True
+        return any(
+            address.version == prefix.version and address in prefix
+            for prefix in self.allowed_prefixes
+        )
+
+    def __repr__(self) -> str:
+        if self.open_:
+            return "AccessControl(open)"
+        return f"AccessControl(closed, {len(self.allowed_prefixes)} prefixes)"
+
+
+@dataclass
+class ResolverConfig:
+    """Tunable behaviour of a recursive resolver."""
+
+    qname_minimization: str | None = None      # None | "strict" | "relaxed"
+    forwarder: Address | None = None
+    upstream_timeout: float = 1.5
+    max_retransmits: int = 1
+    max_upstream_queries: int = 40
+    max_cname_depth: int = 8
+    negative_ttl: int = 60
+    edns: bool = True
+    #: how many glueless NS targets a referral may fan out to.  Large
+    #: values reproduce the pre-NXNS behaviour the paper cites as a
+    #: danger for newly exposed internal resolvers; NXNS-patched
+    #: implementations clamp this hard.
+    max_glueless_ns: int = 10
+    #: how deep glueless NS chasing may recurse.
+    max_glueless_depth: int = 3
+    #: overall wall-clock budget for one resolution; SERVFAIL after.
+    task_deadline: float = 12.0
+    #: DNS 0x20: randomize the case of upstream query names and require
+    #: responses to echo it exactly, multiplying the off-path forgery
+    #: search space by 2^(letters in the name).
+    use_0x20: bool = False
+    #: DNS cookies (RFC 7873): attach a per-server client cookie to
+    #: upstream queries; once a server is known to support cookies,
+    #: responses lacking the correct echo are treated as forgeries.
+    use_cookies: bool = False
+
+    def __post_init__(self) -> None:
+        if self.qname_minimization not in (None, "strict", "relaxed"):
+            raise ValueError(
+                f"bad qname_minimization: {self.qname_minimization!r}"
+            )
+
+
+@dataclass
+class _Waiter:
+    """One client query waiting on a resolution task."""
+
+    query: Message
+    respond: Responder
+
+
+@dataclass
+class _ResolutionTask:
+    """State for resolving one (qname, qtype)."""
+
+    qname: Name
+    qtype: int
+    key: tuple[Name, int] | None = None
+    waiters: list[_Waiter] = field(default_factory=list)
+    cut: Name = ROOT
+    servers: list[Address] = field(default_factory=list)
+    server_index: int = 0
+    asked_qname: Name | None = None
+    qmin_active: bool = False
+    queries_sent: int = 0
+    cname_depth: int = 0
+    depth: int = 0
+    done: bool = False
+    #: callbacks of internal (glueless NS) consumers: (rcode, answers).
+    internal_callbacks: list = field(default_factory=list)
+    #: outstanding sub-resolutions while chasing glueless NS targets.
+    glueless_outstanding: int = 0
+    glueless_ns_rrset: list[RR] = field(default_factory=list)
+    deadline_event: ScheduledEvent | None = None
+
+
+@dataclass
+class _PendingQuery:
+    """One in-flight upstream query awaiting response or timeout."""
+
+    task: _ResolutionTask
+    server: Address
+    sport: int
+    msg_id: int
+    qname: Name
+    qtype: int
+    transport: Transport
+    timeout_event: ScheduledEvent | None = None
+    retransmits_left: int = 0
+    #: exact label octets sent when 0x20 is active, for echo validation.
+    encoded_labels: tuple[bytes, ...] | None = None
+    #: client cookie attached to the query, for echo validation.
+    client_cookie: bytes | None = None
+
+
+class RecursiveResolver(DNSHost):
+    """A recursive DNS server attached to the simulated Internet."""
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        os_profile: OSProfile,
+        rng: Random,
+        *,
+        port_allocator: PortAllocator,
+        acl: AccessControl,
+        config: ResolverConfig | None = None,
+        root_hints: list[Address] | None = None,
+        software: str = "unknown",
+    ) -> None:
+        super().__init__(name, asn, os_profile, rng)
+        self.port_allocator = port_allocator
+        self.acl = acl
+        self.config = config or ResolverConfig()
+        self.root_hints = list(root_hints or [])
+        self.software = software
+        self.cache: Cache | None = None   # bound on attach (needs clock)
+        self._tasks: dict[tuple[Name, int], _ResolutionTask] = {}
+        self._outstanding: dict[tuple[Address, int, int], _PendingQuery] = {}
+        # DNS-cookie state (RFC 7873).
+        self._client_cookies: dict[Address, bytes] = {}
+        self._server_cookies: dict[Address, bytes] = {}
+        self._cookie_servers: set[Address] = set()
+        self.stats = {
+            "client_queries": 0,
+            "refused": 0,
+            "cache_answers": 0,
+            "upstream_queries": 0,
+            "servfail": 0,
+            "tcp_fallbacks": 0,
+            "glueless_chases": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_cache(self) -> Cache:
+        if self.cache is None:
+            if self.fabric is None:
+                raise RuntimeError("resolver not attached to a fabric")
+            self.cache = Cache(clock=lambda: self.fabric.now)
+        return self.cache
+
+    @property
+    def is_forwarder(self) -> bool:
+        """True when this resolver forwards to an upstream resolver."""
+        return self.config.forwarder is not None
+
+    # -- client side ---------------------------------------------------------
+
+    def handle_dns(
+        self,
+        message: Message,
+        packet: Packet,
+        transport: Transport,
+        respond: Responder,
+    ) -> None:
+        if message.question is None or message.opcode is not message.opcode.QUERY:
+            return
+        self.stats["client_queries"] += 1
+        if not self.acl.allows(packet.src):
+            self.stats["refused"] += 1
+            response = message.make_response()
+            response.rcode = Rcode.REFUSED
+            respond(response)
+            return
+        if not message.flags & Flag.RD:
+            # We model recursive-only servers; iterative queries refused.
+            response = message.make_response()
+            response.rcode = Rcode.REFUSED
+            respond(response)
+            return
+
+        question = message.question
+        cache = self._ensure_cache()
+
+        cached = cache.get(question.qname, question.qtype)
+        if cached is not None:
+            self.stats["cache_answers"] += 1
+            response = message.make_response()
+            response.flags |= Flag.RA
+            response.rcode = cached.rcode
+            response.answers.extend(cached.rrset)
+            respond(response)
+            return
+        covering = cache.covering_nxdomain(question.qname)
+        if covering is not None:
+            self.stats["cache_answers"] += 1
+            response = message.make_response()
+            response.flags |= Flag.RA
+            response.rcode = Rcode.NXDOMAIN
+            respond(response)
+            return
+
+        key = (question.qname, question.qtype)
+        task = self._tasks.get(key)
+        if task is not None and not task.done:
+            task.waiters.append(_Waiter(message, respond))
+            return
+        task = _ResolutionTask(question.qname, question.qtype, key=key)
+        task.waiters.append(_Waiter(message, respond))
+        self._tasks[key] = task
+        self._start(task)
+
+    # -- task driving ------------------------------------------------------
+
+    def _start(self, task: _ResolutionTask) -> None:
+        # Arm an overall deadline so no pathology (glueless loops, lame
+        # delegations, lost packets) can leave clients unanswered.
+        assert self.fabric is not None
+        task.deadline_event = self.fabric.loop.schedule(
+            self.config.task_deadline, lambda: self._finish_servfail(task)
+        )
+        if self.is_forwarder:
+            assert self.config.forwarder is not None
+            task.servers = [self.config.forwarder]
+            task.cut = ROOT
+            self._send_upstream(
+                task,
+                self.config.forwarder,
+                task.qname,
+                task.qtype,
+                recursion_desired=True,
+            )
+            return
+        task.qmin_active = (
+            self.config.qname_minimization is not None and task.depth == 0
+        )
+        cut, servers = self._deepest_cached_cut(task.qname)
+        task.cut = cut
+        task.servers = servers
+        task.server_index = 0
+        self._advance(task)
+
+    def _deepest_cached_cut(self, qname: Name) -> tuple[Name, list[Address]]:
+        """Find the deepest cached delegation covering *qname*."""
+        cache = self._ensure_cache()
+        for ancestor in qname.ancestors():
+            entry = cache.get(ancestor, RRType.NS)
+            if entry is None or entry.is_negative:
+                continue
+            addresses = self._addresses_for_ns(entry.rrset)
+            if addresses:
+                return ancestor, addresses
+        return ROOT, [a for a in self.root_hints if self._usable_family(a)]
+
+    def _addresses_for_ns(self, ns_rrset: list[RR]) -> list[Address]:
+        cache = self._ensure_cache()
+        addresses: list[Address] = []
+        for ns_rr in ns_rrset:
+            target = ns_rr.rdata.target  # type: ignore[union-attr]
+            for rrtype in (RRType.A, RRType.AAAA):
+                entry = cache.get(target, rrtype)
+                if entry and not entry.is_negative:
+                    for rr in entry.rrset:
+                        address = rr.rdata.address  # type: ignore[union-attr]
+                        if self._usable_family(address):
+                            addresses.append(address)
+        return addresses
+
+    def _usable_family(self, address: Address) -> bool:
+        return any(a.version == address.version for a in self.addresses)
+
+    def _source_for(self, server: Address) -> Address | None:
+        for address in self.addresses:
+            if address.version == server.version:
+                return address
+        return None
+
+    def _next_ask(self, task: _ResolutionTask) -> tuple[Name, int]:
+        """Return the (qname, qtype) to send next, honouring QNAME min."""
+        if not task.qmin_active:
+            return task.qname, task.qtype
+        remaining = task.qname.relativize(task.cut)
+        if len(remaining) <= 1:
+            return task.qname, task.qtype
+        # Ask for one more label than the current cut, type NS (RFC 7816).
+        next_name = task.cut.child(remaining[-1])
+        return next_name, RRType.NS
+
+    def _advance(self, task: _ResolutionTask) -> None:
+        if task.done:
+            return
+        if task.queries_sent >= self.config.max_upstream_queries:
+            self._finish_servfail(task)
+            return
+        while task.server_index < len(task.servers):
+            server = task.servers[task.server_index]
+            if self._source_for(server) is not None:
+                qname, qtype = self._next_ask(task)
+                self._send_upstream(task, server, qname, qtype)
+                return
+            task.server_index += 1
+        self._finish_servfail(task)
+
+    def _send_upstream(
+        self,
+        task: _ResolutionTask,
+        server: Address,
+        qname: Name,
+        qtype: int,
+        *,
+        recursion_desired: bool = False,
+    ) -> None:
+        source = self._source_for(server)
+        if source is None:
+            self._finish_servfail(task)
+            return
+        sport = self.port_allocator.next_port()
+        msg_id = self.rng.randrange(0x10000)
+        wire_qname, encoded_labels = self._encode_qname(qname)
+        query = Message.make_query(
+            msg_id,
+            wire_qname,
+            qtype,
+            recursion_desired=recursion_desired,
+            edns=self.config.edns,
+        )
+        client_cookie = self._attach_cookie(query, server)
+        pending = _PendingQuery(
+            task=task,
+            server=server,
+            sport=sport,
+            msg_id=msg_id,
+            qname=qname,
+            qtype=qtype,
+            transport=Transport.UDP,
+            retransmits_left=self.config.max_retransmits,
+            encoded_labels=encoded_labels,
+            client_cookie=client_cookie,
+        )
+        task.asked_qname = qname
+        task.queries_sent += 1
+        self.stats["upstream_queries"] += 1
+        self._outstanding[(server, sport, msg_id)] = pending
+        self.send_udp_query(query, source, server, sport)
+        assert self.fabric is not None
+        pending.timeout_event = self.fabric.loop.schedule(
+            self.config.upstream_timeout, lambda: self._on_timeout(pending)
+        )
+
+    def _attach_cookie(self, query: Message, server: Address) -> bytes | None:
+        """Attach the RFC 7873 COOKIE option; return the client cookie."""
+        if not self.config.use_cookies or not self.config.edns:
+            return None
+        from .message import EDNS_COOKIE
+
+        client_cookie = self._client_cookies.get(server)
+        if client_cookie is None:
+            client_cookie = bytes(
+                self.rng.randrange(256) for _ in range(8)
+            )
+            self._client_cookies[server] = client_cookie
+        payload = client_cookie + self._server_cookies.get(server, b"")
+        query.set_edns_option(EDNS_COOKIE, payload)
+        return client_cookie
+
+    def _cookie_valid(
+        self, pending: _PendingQuery, message: Message
+    ) -> bool:
+        """RFC 7873 response validation.
+
+        A response carrying a cookie must echo the client cookie we
+        sent; once a server has demonstrated cookie support, responses
+        without one are treated as off-path forgeries (downgrade
+        protection).
+        """
+        if pending.client_cookie is None:
+            return True
+        from .message import EDNS_COOKIE
+
+        echoed = message.edns_option(EDNS_COOKIE)
+        if echoed is None:
+            return pending.server not in self._cookie_servers
+        if echoed[:8] != pending.client_cookie:
+            return False
+        self._cookie_servers.add(pending.server)
+        if len(echoed) > 8:
+            self._server_cookies[pending.server] = echoed[8:]
+        return True
+
+    def _encode_qname(
+        self, qname: Name
+    ) -> tuple[Name, tuple[bytes, ...] | None]:
+        """Apply 0x20 case randomization if configured."""
+        if not self.config.use_0x20:
+            return qname, None
+        labels = tuple(
+            bytes(
+                (octet ^ 0x20)
+                if 65 <= (octet & ~0x20) <= 90 and self.rng.random() < 0.5
+                else octet
+                for octet in label
+            )
+            for label in qname.labels
+        )
+        randomized = Name(labels)
+        return randomized, labels
+
+    def _on_timeout(self, pending: _PendingQuery) -> None:
+        self._outstanding.pop(
+            (pending.server, pending.sport, pending.msg_id), None
+        )
+        task = pending.task
+        if task.done:
+            return
+        if pending.retransmits_left > 0:
+            # Retransmit with a fresh port and ID, as real resolvers do.
+            retransmits = pending.retransmits_left - 1
+            source = self._source_for(pending.server)
+            if source is not None:
+                sport = self.port_allocator.next_port()
+                msg_id = self.rng.randrange(0x10000)
+                wire_qname, encoded_labels = self._encode_qname(pending.qname)
+                query = Message.make_query(
+                    msg_id, wire_qname, pending.qtype,
+                    recursion_desired=self.is_forwarder,
+                    edns=self.config.edns,
+                )
+                client_cookie = self._attach_cookie(query, pending.server)
+                fresh = _PendingQuery(
+                    task=task,
+                    server=pending.server,
+                    sport=sport,
+                    msg_id=msg_id,
+                    qname=pending.qname,
+                    qtype=pending.qtype,
+                    transport=Transport.UDP,
+                    retransmits_left=retransmits,
+                    encoded_labels=encoded_labels,
+                    client_cookie=client_cookie,
+                )
+                task.queries_sent += 1
+                self.stats["upstream_queries"] += 1
+                self._outstanding[(pending.server, sport, msg_id)] = fresh
+                self.send_udp_query(query, source, pending.server, sport)
+                assert self.fabric is not None
+                fresh.timeout_event = self.fabric.loop.schedule(
+                    self.config.upstream_timeout,
+                    lambda: self._on_timeout(fresh),
+                )
+                return
+        task.server_index += 1
+        self._advance(task)
+
+    # -- upstream responses --------------------------------------------------
+
+    def handle_dns_response(self, message: Message, packet: Packet) -> None:
+        key = (packet.src, packet.dport, message.msg_id)
+        pending = self._outstanding.get(key)
+        if pending is None:
+            return  # unsolicited or mis-guessed forgery
+        if (
+            message.question is None
+            or message.question.qname != pending.qname
+            or message.question.qtype != pending.qtype
+        ):
+            return  # question mismatch: reject
+        if (
+            pending.encoded_labels is not None
+            and message.question.qname.labels != pending.encoded_labels
+        ):
+            return  # 0x20 case echo mismatch: off-path forgery
+        if not self._cookie_valid(pending, message):
+            return  # cookie echo missing or wrong: off-path forgery
+        del self._outstanding[key]
+        if pending.timeout_event is not None:
+            assert self.fabric is not None
+            self.fabric.loop.cancel(pending.timeout_event)
+        self._handle_upstream(pending, message)
+
+    def _handle_upstream(
+        self, pending: _PendingQuery, message: Message
+    ) -> None:
+        task = pending.task
+        if task.done:
+            return
+        if message.is_truncated and pending.transport is Transport.UDP:
+            self._retry_over_tcp(pending)
+            return
+        if self.is_forwarder:
+            self._finish_forwarded(task, message)
+            return
+        if message.rcode is Rcode.NXDOMAIN:
+            self._handle_nxdomain(task, pending, message)
+            return
+        if message.rcode is not Rcode.NOERROR:
+            task.server_index += 1
+            self._advance(task)
+            return
+
+        answer_rrset = [
+            rr
+            for rr in message.answers
+            if rr.name == pending.qname and rr.rrtype == pending.qtype
+        ]
+        cname_rrs = [
+            rr
+            for rr in message.answers
+            if rr.name == pending.qname and rr.rrtype == RRType.CNAME
+        ]
+        if answer_rrset:
+            self._handle_answer(task, pending, message, answer_rrset)
+            return
+        if cname_rrs and pending.qtype != RRType.CNAME:
+            self._handle_cname(task, pending, message, cname_rrs)
+            return
+        referral = self._extract_referral(task, message)
+        if referral is not None:
+            cut, ns_rrset, servers = referral
+            if servers:
+                task.cut = cut
+                task.servers = servers
+                task.server_index = 0
+                self._advance(task)
+                return
+            if (
+                task.depth < self.config.max_glueless_depth
+                and self.config.max_glueless_ns > 0
+            ):
+                self._chase_glueless(task, cut, ns_rrset)
+                return
+            task.server_index += 1
+            self._advance(task)
+            return
+        # NODATA.
+        self._handle_nodata(task, pending, message)
+
+    def _retry_over_tcp(self, pending: _PendingQuery) -> None:
+        task = pending.task
+        source = self._source_for(pending.server)
+        if source is None:
+            self._finish_servfail(task)
+            return
+        self.stats["tcp_fallbacks"] += 1
+        query = Message.make_query(
+            self.rng.randrange(0x10000),
+            pending.qname,
+            pending.qtype,
+            recursion_desired=self.is_forwarder,
+            edns=self.config.edns,
+        )
+        tcp_pending = _PendingQuery(
+            task=task,
+            server=pending.server,
+            sport=0,
+            msg_id=query.msg_id,
+            qname=pending.qname,
+            qtype=pending.qtype,
+            transport=Transport.TCP,
+        )
+        task.queries_sent += 1
+
+        def on_response(response: Message, packet: Packet) -> None:
+            if (
+                response.msg_id == query.msg_id
+                and response.question is not None
+                and response.question.qname == pending.qname
+            ):
+                self._handle_upstream(tcp_pending, response)
+
+        self.send_tcp_query(query, source, pending.server, on_response)
+
+    def _extract_referral(
+        self, task: _ResolutionTask, message: Message
+    ) -> tuple[Name, list[RR], list[Address]] | None:
+        """Parse a referral; returns (cut, NS set, glue addresses).
+
+        The address list is empty for a glueless delegation — the
+        caller decides whether to chase the NS target names.
+        """
+        ns_rrset = [
+            rr
+            for rr in message.authority
+            if rr.rrtype == RRType.NS
+            and rr.name.is_subdomain_of(task.cut)
+            and len(rr.name) > len(task.cut)
+        ]
+        if not ns_rrset:
+            return None
+        cut = ns_rrset[0].name
+        cache = self._ensure_cache()
+        glue = [
+            rr
+            for rr in message.additional
+            if rr.rrtype in (RRType.A, RRType.AAAA)
+        ]
+        # Cache the delegation for future resolutions.
+        cache.put_positive(cut, RRType.NS, ns_rrset)
+        by_owner: dict[tuple[Name, int], list[RR]] = {}
+        for rr in glue:
+            by_owner.setdefault((rr.name, rr.rrtype), []).append(rr)
+        for (owner, rrtype), rrset in by_owner.items():
+            cache.put_positive(owner, rrtype, rrset)
+        addresses = [
+            rr.rdata.address  # type: ignore[union-attr]
+            for rr in glue
+            if self._usable_family(rr.rdata.address)  # type: ignore[union-attr]
+        ]
+        return cut, ns_rrset, addresses
+
+    # -- glueless delegations (the NXNS-relevant path) -----------------------
+
+    def _chase_glueless(
+        self, task: _ResolutionTask, cut: Name, ns_rrset: list[RR]
+    ) -> None:
+        """Resolve NS target addresses for a glue-free referral.
+
+        Every NS target fans out to one sub-resolution per usable
+        address family — the amplification primitive behind the NXNS
+        attack, bounded by ``max_glueless_ns``.
+        """
+        self.stats["glueless_chases"] += 1
+        task.cut = cut
+        task.glueless_ns_rrset = list(ns_rrset)
+        targets = [
+            rr.rdata.target  # type: ignore[union-attr]
+            for rr in ns_rrset[: self.config.max_glueless_ns]
+        ]
+        families = {a.version for a in self.addresses}
+        qtypes = [
+            qtype
+            for family, qtype in ((4, RRType.A), (6, RRType.AAAA))
+            if family in families
+        ]
+        pending = [
+            (target, qtype)
+            for target in targets
+            for qtype in qtypes
+            # A delegation whose NS target is the very name being
+            # resolved cannot be chased.
+            if not (target == task.qname and qtype == task.qtype)
+        ]
+        if not pending:
+            self._finish_servfail(task)
+            return
+        task.glueless_outstanding = len(pending)
+
+        def on_done(rcode: Rcode, answers: list[RR]) -> None:
+            task.glueless_outstanding -= 1
+            if task.done or task.glueless_outstanding > 0:
+                return
+            self._resume_after_glueless(task)
+
+        for target, qtype in pending:
+            self._resolve_internal(target, qtype, task.depth + 1, on_done)
+
+    def _resume_after_glueless(self, task: _ResolutionTask) -> None:
+        addresses = self._addresses_for_ns(task.glueless_ns_rrset)
+        if not addresses:
+            task.server_index += 1
+            self._advance(task)
+            return
+        task.servers = addresses
+        task.server_index = 0
+        self._advance(task)
+
+    def _resolve_internal(
+        self,
+        qname: Name,
+        qtype: int,
+        depth: int,
+        callback,
+    ) -> None:
+        """Resolve (*qname*, *qtype*) for internal use (NS targets)."""
+        cache = self._ensure_cache()
+        entry = cache.get(qname, qtype)
+        if entry is not None:
+            callback(entry.rcode, list(entry.rrset))
+            return
+        if cache.covering_nxdomain(qname) is not None:
+            callback(Rcode.NXDOMAIN, [])
+            return
+        key = (qname, qtype)
+        task = self._tasks.get(key)
+        if task is not None and not task.done:
+            # Joining an in-flight task from a glueless chase can close
+            # a dependency cycle (the in-flight task may itself be
+            # waiting on this chase).  Fail fast instead; the parent
+            # falls back to its next server.
+            callback(Rcode.SERVFAIL, [])
+            return
+        task = _ResolutionTask(qname, qtype, key=key, depth=depth)
+        task.internal_callbacks.append(callback)
+        task.qmin_active = False  # NS-target lookups are not minimized
+        self._tasks[key] = task
+        self._start(task)
+
+    def _handle_answer(
+        self,
+        task: _ResolutionTask,
+        pending: _PendingQuery,
+        message: Message,
+        answer_rrset: list[RR],
+    ) -> None:
+        cache = self._ensure_cache()
+        if pending.qname == task.qname and pending.qtype == task.qtype:
+            cache.put_positive(task.qname, task.qtype, answer_rrset)
+            self._finish(task, Rcode.NOERROR, message.answers)
+            return
+        # Positive answer to a minimized NS probe: the name exists and is
+        # a zone cut; descend using the returned servers if usable.
+        task.cut = pending.qname
+        cache.put_positive(pending.qname, RRType.NS, answer_rrset)
+        glue_addresses = [
+            rr.rdata.address  # type: ignore[union-attr]
+            for rr in message.additional
+            if rr.rrtype in (RRType.A, RRType.AAAA)
+            and self._usable_family(rr.rdata.address)  # type: ignore[union-attr]
+        ]
+        if glue_addresses:
+            task.servers = glue_addresses
+            task.server_index = 0
+        self._advance(task)
+
+    def _handle_cname(
+        self,
+        task: _ResolutionTask,
+        pending: _PendingQuery,
+        message: Message,
+        cname_rrs: list[RR],
+    ) -> None:
+        cache = self._ensure_cache()
+        cache.put_positive(pending.qname, RRType.CNAME, cname_rrs)
+        if task.cname_depth >= self.config.max_cname_depth:
+            self._finish_servfail(task)
+            return
+        target = cname_rrs[0].rdata.target  # type: ignore[union-attr]
+        task.cname_depth += 1
+        task.qname = target
+        task.qmin_active = self.config.qname_minimization is not None
+        cut, servers = self._deepest_cached_cut(target)
+        task.cut = cut
+        task.servers = servers
+        task.server_index = 0
+        self._advance(task)
+
+    def _handle_nxdomain(
+        self, task: _ResolutionTask, pending: _PendingQuery, message: Message
+    ) -> None:
+        cache = self._ensure_cache()
+        ttl = self._negative_ttl(message)
+        cache.put_negative(pending.qname, pending.qtype, Rcode.NXDOMAIN, ttl)
+        if task.qmin_active and pending.qname != task.qname:
+            if self.config.qname_minimization == "strict":
+                # RFC 8020: nothing exists under an NXDOMAIN name, so the
+                # resolver never sends the full query name (Section 3.6.4).
+                self._finish(task, Rcode.NXDOMAIN, [])
+                return
+            # Relaxed: retry with the full query name.
+            task.qmin_active = False
+            self._advance(task)
+            return
+        self._finish(task, Rcode.NXDOMAIN, [])
+
+    def _handle_nodata(
+        self, task: _ResolutionTask, pending: _PendingQuery, message: Message
+    ) -> None:
+        cache = self._ensure_cache()
+        ttl = self._negative_ttl(message)
+        if task.qmin_active and pending.qname != task.qname:
+            # The minimized name exists but has no NS set: an empty
+            # non-terminal or an in-zone node.  Descend one label.
+            task.cut = pending.qname
+            self._advance(task)
+            return
+        cache.put_negative(pending.qname, pending.qtype, Rcode.NOERROR, ttl)
+        self._finish(task, Rcode.NOERROR, [])
+
+    def _negative_ttl(self, message: Message) -> int:
+        for rr in message.authority:
+            if rr.rrtype == RRType.SOA:
+                return min(rr.ttl, rr.rdata.minimum)  # type: ignore[union-attr]
+        return self.config.negative_ttl
+
+    # -- completion ----------------------------------------------------------
+
+    def _finish_forwarded(
+        self, task: _ResolutionTask, message: Message
+    ) -> None:
+        cache = self._ensure_cache()
+        if message.rcode is Rcode.NOERROR and message.answers:
+            answer_rrset = [
+                rr
+                for rr in message.answers
+                if rr.name == task.qname and rr.rrtype == task.qtype
+            ]
+            if answer_rrset:
+                cache.put_positive(task.qname, task.qtype, answer_rrset)
+        elif message.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN):
+            cache.put_negative(
+                task.qname, task.qtype, message.rcode,
+                self._negative_ttl(message),
+            )
+        self._finish(task, message.rcode, message.answers)
+
+    def _finish_servfail(self, task: _ResolutionTask) -> None:
+        self.stats["servfail"] += 1
+        self._finish(task, Rcode.SERVFAIL, [])
+
+    def _finish(
+        self, task: _ResolutionTask, rcode: Rcode, answers: list[RR]
+    ) -> None:
+        if task.done:
+            return
+        task.done = True
+        if task.deadline_event is not None and self.fabric is not None:
+            self.fabric.loop.cancel(task.deadline_event)
+        if task.key is not None:
+            self._tasks.pop(task.key, None)
+        for waiter in task.waiters:
+            response = waiter.query.make_response()
+            response.flags |= Flag.RA
+            response.rcode = rcode
+            response.answers.extend(answers)
+            waiter.respond(response)
+        for callback in task.internal_callbacks:
+            callback(rcode, list(answers))

@@ -1,0 +1,318 @@
+"""Resource records: types, classes, and rdata encodings.
+
+Implements the record types the reproduction needs end to end — A,
+AAAA, NS, CNAME, SOA, PTR, TXT and the EDNS0 OPT pseudo-record — with
+real wire-format rdata.  Unknown types round-trip as opaque bytes
+(RFC 3597 style) so a decoder never chokes on what it does not model.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from ipaddress import IPv4Address, IPv6Address
+
+from .name import Name
+
+
+class RRType(enum.IntEnum):
+    """Resource record types (subset plus opaque fallback)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+
+    @classmethod
+    def label(cls, value: int) -> str:
+        """Return a mnemonic for *value*, or ``TYPE<n>`` if unknown."""
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"TYPE{value}"
+
+
+class RRClass(enum.IntEnum):
+    """Resource record classes (NONE/ANY have special meaning in
+    dynamic updates, RFC 2136)."""
+
+    IN = 1
+    CH = 3
+    NONE = 254
+    ANY = 255
+
+
+class Rdata:
+    """Base for typed rdata; subclasses define ``to_wire``/``from_wire``."""
+
+    rrtype: RRType
+
+    def to_wire(self) -> bytes:
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rdata)
+            and type(self) is type(other)
+            and self.to_wire() == other.to_wire()
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.to_wire()))
+
+
+@dataclass(frozen=True, eq=False)
+class A(Rdata):
+    """IPv4 address record."""
+
+    address: IPv4Address
+    rrtype = RRType.A
+
+    def to_wire(self) -> bytes:
+        return self.address.packed
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "A":
+        if len(rdata) != 4:
+            raise ValueError(f"A rdata must be 4 octets, got {len(rdata)}")
+        return cls(IPv4Address(rdata))
+
+
+@dataclass(frozen=True, eq=False)
+class AAAA(Rdata):
+    """IPv6 address record."""
+
+    address: IPv6Address
+    rrtype = RRType.AAAA
+
+    def to_wire(self) -> bytes:
+        return self.address.packed
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "AAAA":
+        if len(rdata) != 16:
+            raise ValueError(f"AAAA rdata must be 16 octets, got {len(rdata)}")
+        return cls(IPv6Address(rdata))
+
+
+@dataclass(frozen=True, eq=False)
+class NS(Rdata):
+    """Delegation to a name server."""
+
+    target: Name
+    rrtype = RRType.NS
+
+    def to_wire(self) -> bytes:
+        return self.target.to_wire()
+
+    def to_text(self) -> str:
+        return str(self.target)
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "NS":
+        target, _ = Name.from_wire(rdata, 0)
+        return cls(target)
+
+
+@dataclass(frozen=True, eq=False)
+class CNAME(Rdata):
+    """Canonical-name alias."""
+
+    target: Name
+    rrtype = RRType.CNAME
+
+    def to_wire(self) -> bytes:
+        return self.target.to_wire()
+
+    def to_text(self) -> str:
+        return str(self.target)
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "CNAME":
+        target, _ = Name.from_wire(rdata, 0)
+        return cls(target)
+
+
+@dataclass(frozen=True, eq=False)
+class PTR(Rdata):
+    """Reverse-mapping pointer."""
+
+    target: Name
+    rrtype = RRType.PTR
+
+    def to_wire(self) -> bytes:
+        return self.target.to_wire()
+
+    def to_text(self) -> str:
+        return str(self.target)
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "PTR":
+        target, _ = Name.from_wire(rdata, 0)
+        return cls(target)
+
+
+@dataclass(frozen=True, eq=False)
+class SOA(Rdata):
+    """Start of authority.
+
+    The experiment leans on two SOA fields (Section 3.7): RNAME carries
+    the researchers' contact address and MNAME points at a web server
+    describing the project, so suspicious operators can opt out.
+    """
+
+    mname: Name
+    rname: Name
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+    rrtype = RRType.SOA
+
+    def to_wire(self) -> bytes:
+        return (
+            self.mname.to_wire()
+            + self.rname.to_wire()
+            + struct.pack(
+                "!IIIII",
+                self.serial,
+                self.refresh,
+                self.retry,
+                self.expire,
+                self.minimum,
+            )
+        )
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname} {self.rname} {self.serial} {self.refresh} "
+            f"{self.retry} {self.expire} {self.minimum}"
+        )
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "SOA":
+        mname, offset = Name.from_wire(rdata, 0)
+        rname, offset = Name.from_wire(rdata, offset)
+        fields = struct.unpack_from("!IIIII", rdata, offset)
+        return cls(mname, rname, *fields)
+
+
+@dataclass(frozen=True, eq=False)
+class TXT(Rdata):
+    """Free-form text record."""
+
+    strings: tuple[bytes, ...]
+    rrtype = RRType.TXT
+
+    def to_wire(self) -> bytes:
+        out = bytearray()
+        for chunk in self.strings:
+            if len(chunk) > 255:
+                raise ValueError("TXT string longer than 255 octets")
+            out.append(len(chunk))
+            out += chunk
+        return bytes(out)
+
+    def to_text(self) -> str:
+        return " ".join(
+            '"' + chunk.decode("ascii", "replace") + '"'
+            for chunk in self.strings
+        )
+
+    @classmethod
+    def from_wire(cls, rdata: bytes) -> "TXT":
+        strings = []
+        cursor = 0
+        while cursor < len(rdata):
+            length = rdata[cursor]
+            cursor += 1
+            if cursor + length > len(rdata):
+                raise ValueError("truncated TXT string")
+            strings.append(rdata[cursor : cursor + length])
+            cursor += length
+        return cls(tuple(strings))
+
+    @classmethod
+    def from_text(cls, *strings: str) -> "TXT":
+        return cls(tuple(s.encode("ascii") for s in strings))
+
+
+@dataclass(frozen=True, eq=False)
+class Opaque(Rdata):
+    """Unknown-type rdata carried as raw octets (RFC 3597)."""
+
+    type_value: int
+    data: bytes
+
+    @property
+    def rrtype(self) -> int:  # type: ignore[override]
+        return self.type_value
+
+    def to_wire(self) -> bytes:
+        return self.data
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+
+_RDATA_DECODERS = {
+    RRType.A: A.from_wire,
+    RRType.AAAA: AAAA.from_wire,
+    RRType.NS: NS.from_wire,
+    RRType.CNAME: CNAME.from_wire,
+    RRType.PTR: PTR.from_wire,
+    RRType.SOA: SOA.from_wire,
+    RRType.TXT: TXT.from_wire,
+}
+
+
+def decode_rdata(rrtype: int, rdata: bytes) -> Rdata:
+    """Decode *rdata* for *rrtype*, falling back to :class:`Opaque`."""
+    decoder = _RDATA_DECODERS.get(rrtype)  # type: ignore[arg-type]
+    if decoder is None:
+        return Opaque(rrtype, rdata)
+    return decoder(rdata)
+
+
+@dataclass(frozen=True)
+class RR:
+    """One resource record: owner name, type, class, TTL and rdata."""
+
+    name: Name
+    rrtype: int
+    rrclass: int
+    ttl: int
+    rdata: Rdata
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 0x7FFFFFFF:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+
+    def to_text(self) -> str:
+        return (
+            f"{self.name} {self.ttl} "
+            f"{RRClass(self.rrclass).name if self.rrclass in iter(RRClass) else self.rrclass} "
+            f"{RRType.label(self.rrtype)} {self.rdata.to_text()}"
+        )
+
+    def with_ttl(self, ttl: int) -> "RR":
+        """Return a copy with a different TTL (used when caching)."""
+        return RR(self.name, self.rrtype, self.rrclass, ttl, self.rdata)

@@ -1,0 +1,91 @@
+"""Stub resolver: a simple DNS client host.
+
+Used by examples and tests to query resolvers the ordinary way (with a
+genuine source address) and collect responses.  The measurement scanner
+in :mod:`repro.core.scanner` does *not* use this class — it crafts
+packets with spoofed sources directly — but the stub demonstrates the
+legitimate client path through the same infrastructure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from random import Random
+
+from ..netsim.addresses import Address
+from ..netsim.packet import Packet
+from ..oskernel.profiles import OSProfile, os_profile
+from .message import Message
+from .name import Name
+from .transport import DNSHost
+
+#: Callback receiving (response message | None on timeout).
+StubCallback = Callable[[Message | None], None]
+
+
+@dataclass
+class _PendingStubQuery:
+    callback: StubCallback
+    qname: Name
+    qtype: int
+
+
+class StubResolver(DNSHost):
+    """A client that sends recursive queries and awaits responses."""
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        rng: Random,
+        *,
+        profile: OSProfile | None = None,
+        timeout: float = 5.0,
+    ) -> None:
+        super().__init__(name, asn, profile or os_profile("ubuntu-modern"), rng)
+        self.timeout = timeout
+        self._pending: dict[tuple[Address, int, int], _PendingStubQuery] = {}
+        self.responses: list[Message] = []
+        self.timeouts = 0
+
+    def query(
+        self,
+        server: Address,
+        qname: Name,
+        qtype: int,
+        callback: StubCallback | None = None,
+    ) -> Message:
+        """Send a recursive query to *server*; return the query message."""
+        source = next(
+            (a for a in self.addresses if a.version == server.version), None
+        )
+        if source is None:
+            raise ValueError(f"no local address for family of {server}")
+        sport = 1024 + self.rng.randrange(64512)
+        msg_id = self.rng.randrange(0x10000)
+        query = Message.make_query(msg_id, qname, qtype)
+        pending = _PendingStubQuery(callback or (lambda _: None), qname, qtype)
+        key = (server, sport, msg_id)
+        self._pending[key] = pending
+        self.send_udp_query(query, source, server, sport)
+        if self.fabric is not None:
+            self.fabric.loop.schedule(
+                self.timeout, lambda: self._on_timeout(key)
+            )
+        return query
+
+    def handle_dns_response(self, message: Message, packet: Packet) -> None:
+        key = (packet.src, packet.dport, message.msg_id)
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        self.responses.append(message)
+        pending.callback(message)
+
+    def _on_timeout(self, key: tuple[Address, int, int]) -> None:
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        pending.callback(None)

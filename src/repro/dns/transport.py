@@ -1,0 +1,219 @@
+"""Transport glue: DNS hosts speaking UDP and (simplified) TCP.
+
+:class:`DNSHost` extends the fabric's :class:`~repro.netsim.fabric.Host`
+with the kernel admission stack (Table 6 behaviour) and the plumbing to
+move wire-format DNS messages over UDP datagrams or a three-step TCP
+exchange (SYN, SYN|ACK, data).  The TCP SYN carries the sender OS's
+TCP/IP signature — that is the packet p0f fingerprints in Section 5.3.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from random import Random
+
+from ..netsim.addresses import Address
+from ..netsim.fabric import Host
+from ..netsim.packet import Packet, TCPFlag, TCPSignature, Transport
+from ..oskernel.profiles import OSProfile
+from ..oskernel.stack import NetworkStack
+from .message import Message
+
+#: Callback a server uses to send a DNS response for a given query packet.
+Responder = Callable[[Message], None]
+
+#: Callback invoked with the response message when a client exchange
+#: completes (or never, if the response is lost).
+ResponseHandler = Callable[[Message, Packet], None]
+
+
+@dataclass
+class _TCPClientState:
+    """Pending client-side TCP exchange, keyed by local (addr, port)."""
+
+    query: Message
+    handler: ResponseHandler
+
+
+class DNSHost(Host):
+    """A fabric host that talks DNS.
+
+    Subclasses implement :meth:`handle_dns`.  The host applies its OS
+    profile's packet-admission rules before anything reaches the DNS
+    layer, so spoofed-local packets live or die exactly as in the
+    paper's Table 6 lab.
+    """
+
+    def __init__(
+        self, name: str, asn: int, os_profile: OSProfile, rng: Random
+    ) -> None:
+        super().__init__(name, asn)
+        self.os_profile = os_profile
+        # Effective SYN signature; scenarios may overwrite this to model
+        # middlebox normalization or stacks absent from the p0f database.
+        self.tcp_signature = os_profile.tcp_signature
+        self.rng = rng
+        self.stack = NetworkStack(os_profile, local_addresses=self.addresses)
+        self._tcp_clients: dict[tuple[Address, int, int], _TCPClientState] = {}
+        self._peer_signatures: dict[
+            tuple[Address, int], tuple["TCPSignature", int]
+        ] = {}
+        self._tcp_sport = 20000 + rng.randrange(10000)
+        self.malformed_count = 0
+
+    # -- inbound ---------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        if not self.stack.accepts(packet):
+            return
+        if packet.transport is Transport.TCP:
+            self._handle_tcp(packet)
+            return
+        self._handle_udp(packet)
+
+    def _handle_udp(self, packet: Packet) -> None:
+        try:
+            message = Message.from_wire(packet.payload)
+        except ValueError:
+            self.malformed_count += 1
+            return
+        if message.is_response:
+            self.handle_dns_response(message, packet)
+            return
+
+        def respond(response: Message) -> None:
+            wire = response.to_wire()
+            if len(wire) > message.max_udp_size():
+                wire = response.truncated_copy().to_wire()
+            self.send(packet.reply(wire))
+
+        self.handle_dns(message, packet, Transport.UDP, respond)
+
+    def _handle_tcp(self, packet: Packet) -> None:
+        if packet.tcp_flags & TCPFlag.SYN and packet.tcp_flags & TCPFlag.ACK:
+            self._tcp_client_established(packet)
+            return
+        if packet.tcp_flags & TCPFlag.SYN:
+            # Server side: remember the fingerprintable SYN, then complete
+            # the handshake.
+            if packet.tcp_signature is not None:
+                self._peer_signatures[(packet.src, packet.sport)] = (
+                    packet.tcp_signature,
+                    packet.observed_ttl,
+                )
+            self.send(
+                packet.reply(
+                    b"",
+                    tcp_flags=TCPFlag.SYN | TCPFlag.ACK,
+                    tcp_signature=self.tcp_signature,
+                    ttl=self.tcp_signature.initial_ttl,
+                )
+            )
+            return
+        if not packet.payload:
+            return
+        try:
+            message = Message.from_wire(packet.payload)
+        except ValueError:
+            self.malformed_count += 1
+            return
+        if message.is_response:
+            key = (packet.src, packet.sport, packet.dport)
+            state = self._tcp_clients.pop(key, None)
+            if state is not None:
+                state.handler(message, packet)
+            else:
+                self.handle_dns_response(message, packet)
+            return
+
+        def respond(response: Message) -> None:
+            # No size limit over TCP; never truncate.
+            self.send(
+                packet.reply(response.to_wire(), tcp_flags=TCPFlag.ACK)
+            )
+
+        self.handle_dns(message, packet, Transport.TCP, respond)
+
+    def _tcp_client_established(self, packet: Packet) -> None:
+        state = self._tcp_clients.get((packet.src, packet.sport, packet.dport))
+        if state is None:
+            return
+        self.send(
+            packet.reply(state.query.to_wire(), tcp_flags=TCPFlag.ACK)
+        )
+
+    # -- outbound --------------------------------------------------------
+
+    def send_udp_query(
+        self,
+        query: Message,
+        src: Address,
+        dst: Address,
+        sport: int,
+        *,
+        dport: int = 53,
+    ) -> Packet:
+        """Send *query* over UDP; returns the packet for bookkeeping."""
+        packet = Packet(
+            src=src,
+            dst=dst,
+            sport=sport,
+            dport=dport,
+            payload=query.to_wire(),
+            transport=Transport.UDP,
+        )
+        self.send(packet)
+        return packet
+
+    def send_tcp_query(
+        self,
+        query: Message,
+        src: Address,
+        dst: Address,
+        handler: ResponseHandler,
+        *,
+        dport: int = 53,
+    ) -> Packet:
+        """Open a TCP exchange carrying *query*; *handler* gets the reply.
+
+        The SYN is stamped with this host's OS TCP signature, which is
+        what a passive fingerprinting tap at the server observes.
+        """
+        self._tcp_sport = 1024 + (self._tcp_sport - 1023) % 64000 + 1
+        sport = self._tcp_sport
+        self._tcp_clients[(dst, dport, sport)] = _TCPClientState(query, handler)
+        syn = Packet(
+            src=src,
+            dst=dst,
+            sport=sport,
+            dport=dport,
+            payload=b"",
+            transport=Transport.TCP,
+            tcp_flags=TCPFlag.SYN,
+            tcp_signature=self.tcp_signature,
+            ttl=self.tcp_signature.initial_ttl,
+        )
+        self.send(syn)
+        return syn
+
+    def peer_signature(
+        self, packet: Packet
+    ) -> tuple[TCPSignature, int] | None:
+        """Return the (signature, observed TTL) captured from the peer's
+        TCP SYN for the flow *packet* belongs to, if any."""
+        return self._peer_signatures.get((packet.src, packet.sport))
+
+    # -- subclass API ------------------------------------------------------
+
+    def handle_dns(
+        self,
+        message: Message,
+        packet: Packet,
+        transport: Transport,
+        respond: Responder,
+    ) -> None:
+        """Process an inbound DNS *query*; default drops it silently."""
+
+    def handle_dns_response(self, message: Message, packet: Packet) -> None:
+        """Process an inbound DNS *response*; default drops it silently."""

@@ -1,0 +1,71 @@
+"""Simulated Internet substrate: addresses, routing, borders, delivery.
+
+This package models exactly the properties of the Internet that the
+paper's measurement depends on — prefix origination, OSAV/DSAV border
+filtering, and best-effort datagram delivery — and nothing more.
+"""
+
+from .addresses import (
+    LOOPBACK_V4,
+    LOOPBACK_V6,
+    PRIVATE_SOURCE_V4,
+    PRIVATE_SOURCE_V6,
+    Address,
+    Network,
+    is_loopback,
+    is_private,
+    is_special_purpose,
+    iter_subnets,
+    limited_subnets,
+    random_host_in_subnet,
+    subnet_of,
+)
+from .autonomous_system import AutonomousSystem, BorderVerdict
+from .events import EventLoop, ScheduledEvent
+from .fabric import Fabric, Host
+from .geo import COUNTRY_WEIGHTS, GeoDatabase, draw_country
+from .packet import Packet, TCPFlag, TCPSignature, Transport
+from .routing import Announcement, RoutingTable
+from .trace import (
+    PacketTrace,
+    TraceEntry,
+    address_filter,
+    host_filter,
+    port_filter,
+)
+
+__all__ = [
+    "LOOPBACK_V4",
+    "LOOPBACK_V6",
+    "PRIVATE_SOURCE_V4",
+    "PRIVATE_SOURCE_V6",
+    "Address",
+    "Announcement",
+    "AutonomousSystem",
+    "BorderVerdict",
+    "COUNTRY_WEIGHTS",
+    "EventLoop",
+    "Fabric",
+    "GeoDatabase",
+    "Host",
+    "Network",
+    "Packet",
+    "PacketTrace",
+    "RoutingTable",
+    "TraceEntry",
+    "address_filter",
+    "host_filter",
+    "port_filter",
+    "ScheduledEvent",
+    "TCPFlag",
+    "TCPSignature",
+    "Transport",
+    "draw_country",
+    "is_loopback",
+    "is_private",
+    "is_special_purpose",
+    "iter_subnets",
+    "limited_subnets",
+    "random_host_in_subnet",
+    "subnet_of",
+]

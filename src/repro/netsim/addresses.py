@@ -1,0 +1,223 @@
+"""IP address and prefix utilities for the simulated Internet.
+
+This module collects the address-manipulation primitives the rest of the
+simulation is built on: a registry of IANA special-purpose prefixes
+(RFC 6890), helpers for carving an autonomous system's announced space
+into /24 (IPv4) or /64 (IPv6) subnets as described in Section 3.2 of the
+paper, and deterministic random selection of host addresses inside a
+subnet while respecting reserved addresses.
+
+All functions accept and return :mod:`ipaddress` objects so callers never
+juggle raw strings or integers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from ipaddress import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    ip_address,
+    ip_network,
+)
+from typing import Union
+
+Address = Union[IPv4Address, IPv6Address]
+Network = Union[IPv4Network, IPv6Network]
+
+#: IANA special-purpose IPv4 prefixes (RFC 6890 and successors).  Targets
+#: inside any of these are excluded from the experiment because no
+#: legitimate public route exists for them (Section 3.1).
+SPECIAL_PURPOSE_V4: tuple[IPv4Network, ...] = tuple(
+    ip_network(p)
+    for p in (
+        "0.0.0.0/8",          # "this host on this network"
+        "10.0.0.0/8",         # private-use
+        "100.64.0.0/10",      # shared address space (CGN)
+        "127.0.0.0/8",        # loopback
+        "169.254.0.0/16",     # link local
+        "172.16.0.0/12",      # private-use
+        "192.0.0.0/24",       # IETF protocol assignments
+        "192.0.2.0/24",       # TEST-NET-1
+        "192.88.99.0/24",     # 6to4 relay anycast
+        "192.168.0.0/16",     # private-use
+        "198.18.0.0/15",      # benchmarking
+        "198.51.100.0/24",    # TEST-NET-2
+        "203.0.113.0/24",     # TEST-NET-3
+        "224.0.0.0/4",        # multicast
+        "240.0.0.0/4",        # reserved
+        "255.255.255.255/32", # limited broadcast
+    )
+)
+
+#: IANA special-purpose IPv6 prefixes.
+SPECIAL_PURPOSE_V6: tuple[IPv6Network, ...] = tuple(
+    ip_network(p)
+    for p in (
+        "::1/128",        # loopback
+        "::/128",         # unspecified
+        "::ffff:0:0/96",  # IPv4-mapped
+        "64:ff9b::/96",   # IPv4-IPv6 translation
+        "100::/64",       # discard-only
+        "2001::/23",      # IETF protocol assignments
+        "2001:db8::/32",  # documentation
+        "fc00::/7",       # unique local
+        "fe80::/10",      # link local
+        "ff00::/8",       # multicast
+    )
+)
+
+#: The private / unique-local spoofed sources used by the experiment
+#: (Section 3.2): 192.168.0.10 and fc00::10.
+PRIVATE_SOURCE_V4: IPv4Address = ip_address("192.168.0.10")
+PRIVATE_SOURCE_V6: IPv6Address = ip_address("fc00::10")
+
+#: The loopback spoofed sources (Section 3.2): 127.0.0.1 and ::1.
+LOOPBACK_V4: IPv4Address = ip_address("127.0.0.1")
+LOOPBACK_V6: IPv6Address = ip_address("::1")
+
+#: Subnet granularity used when carving AS space (Section 3.2).
+SUBNET_PREFIX_V4 = 24
+SUBNET_PREFIX_V6 = 64
+
+
+def is_special_purpose(address: Address) -> bool:
+    """Return ``True`` if *address* falls in an IANA special-purpose block.
+
+    The experiment excludes such addresses from its target set because
+    there can be no legitimate entry for them in the public routing table
+    (Section 3.1).
+    """
+    table = SPECIAL_PURPOSE_V4 if address.version == 4 else SPECIAL_PURPOSE_V6
+    return any(address in network for network in table)
+
+
+def is_loopback(address: Address) -> bool:
+    """Return ``True`` for addresses in 127.0.0.0/8 or ::1/128."""
+    return address.is_loopback
+
+
+def is_private(address: Address) -> bool:
+    """Return ``True`` for RFC 1918 / unique-local addresses."""
+    if address.version == 4:
+        return any(
+            address in ip_network(p)
+            for p in ("10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16")
+        )
+    return address in ip_network("fc00::/7")
+
+
+def subnet_prefix_length(version: int) -> int:
+    """Return the subnet carving granularity for an IP *version* (4 or 6)."""
+    if version == 4:
+        return SUBNET_PREFIX_V4
+    if version == 6:
+        return SUBNET_PREFIX_V6
+    raise ValueError(f"unknown IP version: {version!r}")
+
+
+def subnet_of(address: Address) -> Network:
+    """Return the /24 (IPv4) or /64 (IPv6) subnet containing *address*."""
+    return ip_network(
+        (address, subnet_prefix_length(address.version)), strict=False
+    )
+
+
+def iter_subnets(prefix: Network) -> Iterator[Network]:
+    """Yield the /24 or /64 subnets making up *prefix*.
+
+    A prefix already at or beyond the carving granularity yields just the
+    enclosing subnet.
+    """
+    granularity = subnet_prefix_length(prefix.version)
+    if prefix.prefixlen >= granularity:
+        yield ip_network((prefix.network_address, granularity), strict=False)
+        return
+    yield from prefix.subnets(new_prefix=granularity)
+
+
+def limited_subnets(
+    prefix: Network,
+    limit: int,
+    preferred: frozenset[Network] | set[Network] = frozenset(),
+) -> list[Network]:
+    """Return up to *limit* carving subnets of *prefix*.
+
+    Small prefixes are fully enumerated.  For prefixes with more subnets
+    than *limit* (common for IPv6, where a /48 holds 65,536 /64s),
+    subnets appearing in *preferred* — the hit-list preference of
+    Section 3.2 — are returned first, followed by the lowest-numbered
+    remaining subnets.  This mirrors the paper's targeted IPv6 prefix
+    selection without enumerating sparse space.
+    """
+    if limit < 1:
+        return []
+    total = count_subnets(prefix)
+    if total <= limit:
+        return list(iter_subnets(prefix))
+    granularity = subnet_prefix_length(prefix.version)
+    chosen: list[Network] = [
+        subnet
+        for subnet in sorted(
+            preferred, key=lambda s: int(s.network_address)
+        )
+        if subnet.version == prefix.version
+        and subnet.prefixlen == granularity
+        and subnet.network_address in prefix
+    ][:limit]
+    seen = set(chosen)
+    base = int(prefix.network_address)
+    step = 1 << (prefix.max_prefixlen - granularity)
+    offset = 0
+    while len(chosen) < limit and offset < total:
+        subnet = ip_network((base + offset * step, granularity))
+        offset += 1
+        if subnet in seen:
+            continue
+        chosen.append(subnet)
+    return chosen
+
+
+def count_subnets(prefix: Network) -> int:
+    """Return the number of /24 or /64 subnets contained in *prefix*."""
+    granularity = subnet_prefix_length(prefix.version)
+    if prefix.prefixlen >= granularity:
+        return 1
+    return 1 << (granularity - prefix.prefixlen)
+
+
+def random_host_in_subnet(
+    subnet: Network, rng: random.Random, *, limit: int | None = None
+) -> Address:
+    """Pick a host address from *subnet* uniformly at random.
+
+    For IPv4 the first and last addresses of a /24 are excluded because of
+    their reserved status (network and broadcast; Section 3.2).  For IPv6,
+    the paper limits selection to the first 100 addresses of the /64 minus
+    the first two (often the router); pass ``limit=100`` for that
+    behaviour, which is also the default for IPv6.
+    """
+    base = int(subnet.network_address)
+    if subnet.version == 4:
+        size = subnet.num_addresses
+        # Skip network (offset 0) and broadcast (offset size-1).
+        offset = rng.randrange(1, size - 1)
+        return ip_address(base + offset)
+    if limit is None:
+        limit = 100
+    # Skip the first two addresses, often the router (Section 3.2).
+    offset = rng.randrange(2, limit)
+    return ip_address(base + offset)
+
+
+def reverse_pointer_name(address: Address) -> str:
+    """Return the in-addr.arpa / ip6.arpa name used for PTR lookups."""
+    return address.reverse_pointer
+
+
+def family_label(version: int) -> str:
+    """Return ``"IPv4"`` or ``"IPv6"`` for an IP *version* number."""
+    return f"IPv{version}"

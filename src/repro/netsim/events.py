@@ -1,0 +1,100 @@
+"""Discrete-event clock for the simulation.
+
+The scan client, resolvers and authoritative servers all share one
+:class:`EventLoop`.  Events are (time, sequence, callback) triples in a
+heap; the sequence number makes scheduling stable for events that share a
+timestamp, which keeps every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledEvent:
+    """Handle for a scheduled callback, usable for cancellation."""
+
+    when: float
+    seq: int
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+@dataclass
+class EventLoop:
+    """A minimal, deterministic discrete-event scheduler.
+
+    Time is a float in seconds.  ``run()`` drains the heap; ``run_until``
+    stops once the clock would pass a deadline.  Cancellation is handled
+    lazily with a tombstone set, the standard heapq idiom.
+    """
+
+    now: float = 0.0
+    _heap: list[tuple[float, int, Callable[[], None]]] = field(
+        default_factory=list
+    )
+    _seq: itertools.count = field(default_factory=lambda: itertools.count())
+    _cancelled: set[int] = field(default_factory=set)
+    events_processed: int = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Run *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Run *callback* at absolute simulated time *when*."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (when, seq, callback))
+        return ScheduledEvent(when, seq)
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        self._cancelled.add(event.seq)
+
+    def pending(self) -> int:
+        """Return the number of events still queued (including cancelled)."""
+        return len(self._heap)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the event heap; return the number of callbacks invoked.
+
+        ``max_events`` bounds the number of callbacks, guarding against
+        accidental livelock in tests.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            processed += self._step()
+        return processed
+
+    def run_until(self, deadline: float) -> int:
+        """Process events with timestamps <= *deadline*, then advance to it."""
+        processed = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            processed += self._step()
+        self.now = max(self.now, deadline)
+        return processed
+
+    def _step(self) -> int:
+        when, seq, callback = heapq.heappop(self._heap)
+        if seq in self._cancelled:
+            self._cancelled.discard(seq)
+            return 0
+        self.now = when
+        callback()
+        self.events_processed += 1
+        return 1

@@ -1,0 +1,213 @@
+"""The simulated Internet fabric: hosts, borders, and packet delivery.
+
+The fabric glues the other netsim pieces together.  Hosts attach to an
+autonomous system at one or more addresses; sending a packet walks it
+through the origin AS border (OSAV), the global routing table, and the
+destination AS border (DSAV / martian filtering) before handing it to
+the host bound at the destination address.  Every drop is counted by
+reason, which the test suite and the analysis layer lean on heavily.
+
+Delivery is asynchronous through the shared :class:`~repro.netsim.events.
+EventLoop`; per-path latency is deterministic for a given fabric seed so
+experiments replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .addresses import Address
+from .autonomous_system import AutonomousSystem, BorderVerdict
+from .events import EventLoop
+from .packet import Packet
+from .routing import RoutingTable
+
+
+class Host:
+    """Base class for anything attached to the fabric.
+
+    Subclasses override :meth:`handle_packet`.  A host may be bound at
+    multiple addresses (e.g. a dual-stack DNS server).
+    """
+
+    def __init__(self, name: str, asn: int) -> None:
+        self.name = name
+        self.asn = asn
+        self.addresses: list[Address] = []
+        self.fabric: "Fabric | None" = None
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process an inbound packet; default implementation discards it."""
+
+    def send(self, packet: Packet) -> None:
+        """Inject *packet* into the fabric from this host."""
+        if self.fabric is None:
+            raise RuntimeError(f"host {self.name} is not attached to a fabric")
+        self.fabric.send(self, packet)
+
+
+#: Observer invoked for every packet the fabric accepts for delivery.
+PacketTap = Callable[[Packet, Host], None]
+
+
+@dataclass
+class DropRecord:
+    """One dropped packet with the reason it was discarded."""
+
+    packet: Packet
+    reason: str
+    asn: int | None
+
+
+@dataclass
+class Fabric:
+    """Simulated Internet connecting autonomous systems and hosts."""
+
+    loop: EventLoop = field(default_factory=EventLoop)
+    routes: RoutingTable = field(default_factory=RoutingTable)
+    seed: int = 0
+    base_latency: float = 0.010
+    jitter_latency: float = 0.040
+    #: fraction of otherwise-deliverable packets dropped in flight
+    #: (congestion, rate limiting).  Deterministic for a given seed.
+    loss_rate: float = 0.0
+    record_drops: bool = False
+
+    _loss_rng: "random.Random" = field(default=None)  # type: ignore[assignment]
+    _systems: dict[int, AutonomousSystem] = field(default_factory=dict)
+    _hosts: dict[Address, Host] = field(default_factory=dict)
+    _taps: list[PacketTap] = field(default_factory=list)
+    drop_counts: Counter = field(default_factory=Counter)
+    dropped: list[DropRecord] = field(default_factory=list)
+    delivered_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self._loss_rng is None:
+            self._loss_rng = random.Random(self.seed ^ 0x105E)
+
+    # -- topology construction -------------------------------------------
+
+    def add_system(self, system: AutonomousSystem) -> AutonomousSystem:
+        """Register *system* and announce all of its prefixes."""
+        if system.asn in self._systems:
+            raise ValueError(f"duplicate ASN {system.asn}")
+        self._systems[system.asn] = system
+        for prefix in system.prefixes():
+            self.routes.announce(prefix, system.asn)
+        return system
+
+    def system(self, asn: int) -> AutonomousSystem:
+        """Return the AS registered under *asn* (KeyError if absent)."""
+        return self._systems[asn]
+
+    def systems(self) -> list[AutonomousSystem]:
+        """Return all registered autonomous systems."""
+        return list(self._systems.values())
+
+    def attach(self, host: Host, *addresses: Address) -> Host:
+        """Bind *host* at each address and wire it to this fabric."""
+        if host.asn not in self._systems:
+            raise ValueError(f"host {host.name}: unknown ASN {host.asn}")
+        for address in addresses:
+            if address in self._hosts:
+                raise ValueError(f"address already bound: {address}")
+            self._hosts[address] = host
+            host.addresses.append(address)
+        host.fabric = self
+        return host
+
+    def bind_address(self, host: Host, address: Address) -> None:
+        """Bind an additional address to an already-attached host."""
+        if host.fabric is not self:
+            raise ValueError(f"host {host.name} is not attached to this fabric")
+        if address in self._hosts:
+            raise ValueError(f"address already bound: {address}")
+        self._hosts[address] = host
+        host.addresses.append(address)
+
+    def host_at(self, address: Address) -> Host | None:
+        """Return the host bound at *address*, if any."""
+        return self._hosts.get(address)
+
+    def add_tap(self, tap: PacketTap) -> None:
+        """Register an observer called for each successfully routed packet."""
+        self._taps.append(tap)
+
+    # -- packet movement ---------------------------------------------------
+
+    def send(self, origin: Host, packet: Packet) -> None:
+        """Carry *packet* from *origin* toward its destination address.
+
+        The packet faces, in order: the origin AS egress filter (OSAV),
+        global routing on the destination address, and the destination AS
+        ingress filter (DSAV / martians).  Intra-AS traffic never crosses
+        a border and so skips both filters, mirroring the fact that DSAV
+        is a border mechanism and cannot protect against insiders.
+        """
+        origin_as = self._systems[origin.asn]
+        dst_route = self.routes.lookup(packet.dst)
+        if dst_route is None:
+            self._drop(packet, "no-route", None)
+            return
+        dest_as = self._systems.get(dst_route.asn)
+        if dest_as is None:
+            self._drop(packet, "no-route", dst_route.asn)
+            return
+
+        crossing_border = dest_as.asn != origin_as.asn
+        if crossing_border:
+            verdict = origin_as.egress_verdict(packet)
+            if verdict is not BorderVerdict.ACCEPT:
+                self._drop(packet, verdict.value, origin_as.asn)
+                return
+            verdict = dest_as.ingress_verdict(packet)
+            if verdict is not BorderVerdict.ACCEPT:
+                self._drop(packet, verdict.value, dest_as.asn)
+                return
+            packet = packet.hop()
+
+        target = self._hosts.get(packet.dst)
+        if target is None:
+            self._drop(packet, "no-host", dest_as.asn)
+            return
+
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            self._drop(packet, "loss", None)
+            return
+
+        for tap in self._taps:
+            tap(packet, target)
+        latency = self._latency(origin.asn, dest_as.asn)
+        self.loop.schedule(latency, lambda: self._deliver(target, packet))
+
+    def _deliver(self, target: Host, packet: Packet) -> None:
+        self.delivered_count += 1
+        target.handle_packet(packet)
+
+    def _drop(self, packet: Packet, reason: str, asn: int | None) -> None:
+        self.drop_counts[reason] += 1
+        if self.record_drops:
+            self.dropped.append(DropRecord(packet, reason, asn))
+
+    def _latency(self, src_asn: int, dst_asn: int) -> float:
+        """Deterministic per-AS-pair latency derived from the fabric seed."""
+        if src_asn == dst_asn:
+            return self.base_latency / 2
+        key = f"{self.seed}:{min(src_asn, dst_asn)}:{max(src_asn, dst_asn)}"
+        fraction = (zlib.crc32(key.encode()) % 1000) / 1000.0
+        return self.base_latency + fraction * self.jitter_latency
+
+    # -- convenience -------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the event loop (see :meth:`EventLoop.run`)."""
+        return self.loop.run(max_events)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.loop.now

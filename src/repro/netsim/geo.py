@@ -1,0 +1,97 @@
+"""Synthetic geolocation database standing in for MaxMind GeoLite2.
+
+The paper looked up the country of every target IP address and
+associated each AS with one or more countries based on the GeoIP of its
+constituent addresses (an AS may therefore be counted in several
+countries).  We reproduce exactly that semantics over a prefix→country
+map populated by the scenario builder.
+
+``COUNTRY_WEIGHTS`` encodes the relative AS-count mix of the paper's
+Table 1 plus a long tail of small countries (the Table 2 flavour), so a
+synthetic Internet draws countries with a realistic skew.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from random import Random
+
+from .addresses import Address, Network
+from .routing import RoutingTable
+
+#: Relative weights for assigning countries to ASes, loosely matching the
+#: AS-count ranking in Table 1 (large registries) with a small-country
+#: tail (the Table 2 flavour: few ASes, high reachable fraction).
+COUNTRY_WEIGHTS: dict[str, float] = {
+    "US": 16782, "BR": 6468, "RU": 4937, "DE": 2470, "GB": 2246,
+    "PL": 2041, "UA": 1709, "IN": 1592, "AU": 1562, "CA": 1519,
+    "FR": 1300, "NL": 1100, "IT": 900, "JP": 850, "CN": 800,
+    "ID": 700, "AR": 600, "ZA": 450, "TR": 400, "MX": 380,
+    "DZ": 15, "MA": 22, "SZ": 7, "BZ": 30, "BF": 14,
+    "XK": 5, "BA": 48, "SC": 25, "WF": 1, "CI": 15,
+}
+
+#: Countries whose networks, in the paper's data, were disproportionately
+#: reachable (Table 2 lists Algeria and Morocco at >50% of addresses).
+HIGH_EXPOSURE_COUNTRIES: frozenset[str] = frozenset(
+    {"DZ", "MA", "SZ", "BZ", "BF", "XK", "BA", "SC", "WF", "CI"}
+)
+
+
+def draw_country(rng: Random) -> str:
+    """Draw a country code from :data:`COUNTRY_WEIGHTS`."""
+    codes = list(COUNTRY_WEIGHTS)
+    weights = list(COUNTRY_WEIGHTS.values())
+    return rng.choices(codes, weights=weights, k=1)[0]
+
+
+@dataclass
+class GeoDatabase:
+    """Prefix-level country assignments with AS-level aggregation."""
+
+    _prefix_country: dict[Network, str] = field(default_factory=dict)
+
+    def assign(self, prefix: Network, country: str) -> None:
+        """Record that *prefix* geolocates to *country* (ISO-3166 alpha-2)."""
+        self._prefix_country[prefix] = country
+
+    def country_of_prefix(self, prefix: Network) -> str | None:
+        """Return the assigned country of *prefix*, if known."""
+        return self._prefix_country.get(prefix)
+
+    def country_of_address(self, address: Address) -> str | None:
+        """Return the country of the most specific prefix covering *address*."""
+        best: tuple[int, str] | None = None
+        for prefix, country in self._prefix_country.items():
+            if prefix.version == address.version and address in prefix:
+                if best is None or prefix.prefixlen > best[0]:
+                    best = (prefix.prefixlen, country)
+        return best[1] if best else None
+
+    def countries_of_asn(self, asn: int, routes: RoutingTable) -> set[str]:
+        """Return every country any of *asn*'s announced prefixes maps to.
+
+        This mirrors the paper's method: "each AS was associated with one
+        or more countries based on the GeoIP data for its constituent IP
+        addresses" (Section 4), so one AS may appear under several
+        countries in Tables 1 and 2.
+        """
+        countries: set[str] = set()
+        for prefix in routes.prefixes_for_asn(asn):
+            country = self._prefix_country.get(prefix)
+            if country is not None:
+                countries.add(country)
+        return countries
+
+    def asns_by_country(self, routes: RoutingTable) -> dict[str, set[int]]:
+        """Return country → set of ASNs with at least one prefix there."""
+        result: dict[str, set[int]] = defaultdict(set)
+        for announcement in routes.announcements():
+            country = self._prefix_country.get(announcement.prefix)
+            if country is not None:
+                result[country].add(announcement.asn)
+        return dict(result)
+
+    def __len__(self) -> int:
+        return len(self._prefix_country)

@@ -1,0 +1,130 @@
+"""BGP-style routing table with longest-prefix matching.
+
+The global table maps announced prefixes to the autonomous system that
+originates them.  Lookups use a binary radix trie over address bits, the
+same structure production routers and tools like ``pyasn`` use, so both
+insertion and longest-prefix match run in O(prefix length).
+
+This is the component that stands in for the public BGP table the paper
+consulted to map DITL source addresses to ASNs and to enumerate each
+AS's announced prefixes (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from ipaddress import ip_network
+
+from .addresses import Address, Network
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """A single BGP-style origination of *prefix* by *asn*."""
+
+    prefix: Network
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"invalid ASN: {self.asn}")
+
+
+class _TrieNode:
+    """One node of the binary radix trie; ``announcement`` marks a route."""
+
+    __slots__ = ("children", "announcement")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode | None] = [None, None]
+        self.announcement: Announcement | None = None
+
+
+def _address_bits(value: int, width: int) -> Iterator[int]:
+    """Yield the bits of *value* most-significant first over *width* bits."""
+    for shift in range(width - 1, -1, -1):
+        yield (value >> shift) & 1
+
+
+@dataclass
+class RoutingTable:
+    """Longest-prefix-match table from announced prefixes to origin ASNs.
+
+    IPv4 and IPv6 each get their own trie.  Duplicate announcements of
+    the same prefix overwrite (last announcement wins), matching the
+    "most recent RIB snapshot" semantics the paper's lookups rely on.
+    """
+
+    _roots: dict[int, _TrieNode] = field(
+        default_factory=lambda: {4: _TrieNode(), 6: _TrieNode()}
+    )
+    _announcements: dict[Network, Announcement] = field(default_factory=dict)
+
+    def announce(self, prefix: Network | str, asn: int) -> Announcement:
+        """Install an origination of *prefix* by *asn*; return the entry."""
+        if isinstance(prefix, str):
+            prefix = ip_network(prefix)
+        announcement = Announcement(prefix, asn)
+        node = self._roots[prefix.version]
+        bits = _address_bits(int(prefix.network_address), prefix.max_prefixlen)
+        for _, bit in zip(range(prefix.prefixlen), bits):
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]  # type: ignore[assignment]
+        node.announcement = announcement
+        self._announcements[prefix] = announcement
+        return announcement
+
+    def withdraw(self, prefix: Network | str) -> bool:
+        """Remove the announcement for *prefix*; return whether it existed."""
+        if isinstance(prefix, str):
+            prefix = ip_network(prefix)
+        if prefix not in self._announcements:
+            return False
+        del self._announcements[prefix]
+        node: _TrieNode | None = self._roots[prefix.version]
+        bits = _address_bits(int(prefix.network_address), prefix.max_prefixlen)
+        for _, bit in zip(range(prefix.prefixlen), bits):
+            assert node is not None
+            node = node.children[bit]
+        assert node is not None
+        node.announcement = None
+        return True
+
+    def lookup(self, address: Address) -> Announcement | None:
+        """Return the longest-prefix-match announcement covering *address*."""
+        node: _TrieNode | None = self._roots[address.version]
+        best: Announcement | None = None
+        for bit in _address_bits(int(address), address.max_prefixlen):
+            assert node is not None
+            if node.announcement is not None:
+                best = node.announcement
+            node = node.children[bit]
+            if node is None:
+                return best
+        if node is not None and node.announcement is not None:
+            best = node.announcement
+        return best
+
+    def origin_asn(self, address: Address) -> int | None:
+        """Return the ASN originating the covering prefix, or ``None``."""
+        announcement = self.lookup(address)
+        return announcement.asn if announcement else None
+
+    def prefixes_for_asn(self, asn: int) -> list[Network]:
+        """Return every prefix currently originated by *asn*, sorted."""
+        return sorted(
+            (a.prefix for a in self._announcements.values() if a.asn == asn),
+            key=lambda p: (p.version, int(p.network_address), p.prefixlen),
+        )
+
+    def announcements(self) -> Iterable[Announcement]:
+        """Iterate over all installed announcements."""
+        return self._announcements.values()
+
+    def __len__(self) -> int:
+        return len(self._announcements)
+
+    def __contains__(self, prefix: Network) -> bool:
+        return prefix in self._announcements

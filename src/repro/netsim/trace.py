@@ -1,0 +1,175 @@
+"""Packet capture for the fabric: a tcpdump for the simulated Internet.
+
+A :class:`PacketTrace` attaches to the fabric as a tap and records every
+delivered packet as a structured entry.  Traces can be filtered,
+rendered tcpdump-style, and serialized as JSON lines — the debugging
+workflow users of a measurement platform expect.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+from ipaddress import ip_address
+from pathlib import Path
+
+from .addresses import Address
+from .fabric import Fabric, Host
+from .packet import Packet, Transport
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One captured packet."""
+
+    time: float
+    src: Address
+    sport: int
+    dst: Address
+    dport: int
+    transport: Transport
+    size: int
+    host: str
+
+    def render(self) -> str:
+        """tcpdump-style one-liner."""
+        proto = self.transport.value.upper()
+        return (
+            f"{self.time:10.4f} {proto} {self.src}.{self.sport} > "
+            f"{self.dst}.{self.dport}: {self.size} bytes -> {self.host}"
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "time": self.time,
+                "src": str(self.src),
+                "sport": self.sport,
+                "dst": str(self.dst),
+                "dport": self.dport,
+                "transport": self.transport.value,
+                "size": self.size,
+                "host": self.host,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        data = json.loads(line)
+        return cls(
+            time=float(data["time"]),
+            src=ip_address(data["src"]),
+            sport=int(data["sport"]),
+            dst=ip_address(data["dst"]),
+            dport=int(data["dport"]),
+            transport=Transport(data["transport"]),
+            size=int(data["size"]),
+            host=str(data["host"]),
+        )
+
+
+#: Predicate deciding whether a packet is captured.
+TraceFilter = Callable[[Packet, Host], bool]
+
+
+def port_filter(port: int) -> TraceFilter:
+    """Capture packets with *port* as source or destination."""
+    return lambda packet, host: port in (packet.sport, packet.dport)
+
+
+def host_filter(name: str) -> TraceFilter:
+    """Capture packets delivered to the host called *name*."""
+    return lambda packet, host: host.name == name
+
+
+def address_filter(address: Address) -> TraceFilter:
+    """Capture packets to or from *address*."""
+    return lambda packet, host: address in (packet.src, packet.dst)
+
+
+class PacketTrace:
+    """A capture session over one fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        *,
+        capture_filter: TraceFilter | None = None,
+        max_entries: int = 1_000_000,
+    ) -> None:
+        self.fabric = fabric
+        self.capture_filter = capture_filter
+        self.max_entries = max_entries
+        self.entries: list[TraceEntry] = []
+        self.dropped_by_cap = 0
+        self._armed = False
+
+    def start(self) -> "PacketTrace":
+        """Attach the capture tap; returns self for chaining."""
+        if not self._armed:
+            self.fabric.add_tap(self._tap)
+            self._armed = True
+        return self
+
+    def _tap(self, packet: Packet, host: Host) -> None:
+        if self.capture_filter is not None and not self.capture_filter(
+            packet, host
+        ):
+            return
+        if len(self.entries) >= self.max_entries:
+            self.dropped_by_cap += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                time=self.fabric.now,
+                src=packet.src,
+                sport=packet.sport,
+                dst=packet.dst,
+                dport=packet.dport,
+                transport=packet.transport,
+                size=len(packet.payload),
+                host=host.name,
+            )
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    def between(self, start: float, end: float) -> list[TraceEntry]:
+        """Entries captured in the half-open interval [start, end)."""
+        return [e for e in self.entries if start <= e.time < end]
+
+    def involving(self, address: Address) -> list[TraceEntry]:
+        """Entries with *address* as source or destination."""
+        return [
+            e for e in self.entries if address in (e.src, e.dst)
+        ]
+
+    def render(self, limit: int | None = None) -> str:
+        """tcpdump-style text rendering of the capture."""
+        entries = self.entries if limit is None else self.entries[:limit]
+        return "\n".join(entry.render() for entry in entries)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Path | str) -> int:
+        """Write the capture as JSON lines; returns the entry count."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for entry in self.entries:
+                handle.write(entry.to_json() + "\n")
+        return len(self.entries)
+
+    @staticmethod
+    def load(path: Path | str) -> list[TraceEntry]:
+        """Read a capture written by :meth:`save`."""
+        entries = []
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(TraceEntry.from_json(line))
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,59 @@
+"""Operating system behaviour models: port allocation, packet admission.
+
+These are the per-host behaviours the paper's lab experiments isolate:
+ephemeral source-port pools (Table 5), acceptance of spoofed-local
+packets (Table 6), and the TCP/IP header characteristics passive
+fingerprinting reads.
+"""
+
+from .ports import (
+    IANA_EPHEMERAL_HIGH,
+    IANA_EPHEMERAL_LOW,
+    LINUX_EPHEMERAL_HIGH,
+    LINUX_EPHEMERAL_LOW,
+    UNPRIVILEGED_HIGH,
+    UNPRIVILEGED_LOW,
+    WINDOWS_DNS_POOL_SIZE,
+    FixedPortAllocator,
+    IncrementingAllocator,
+    PortAllocator,
+    SmallSetAllocator,
+    UniformPoolAllocator,
+    WindowsPoolAllocator,
+    observed_range,
+)
+from .profiles import (
+    OS_PROFILES,
+    SOFTWARE_PROFILES,
+    OSProfile,
+    SoftwareProfile,
+    SpoofAcceptance,
+    os_profile,
+    software_profile,
+)
+from .stack import NetworkStack
+
+__all__ = [
+    "IANA_EPHEMERAL_HIGH",
+    "IANA_EPHEMERAL_LOW",
+    "LINUX_EPHEMERAL_HIGH",
+    "LINUX_EPHEMERAL_LOW",
+    "UNPRIVILEGED_HIGH",
+    "UNPRIVILEGED_LOW",
+    "WINDOWS_DNS_POOL_SIZE",
+    "FixedPortAllocator",
+    "IncrementingAllocator",
+    "NetworkStack",
+    "OSProfile",
+    "OS_PROFILES",
+    "PortAllocator",
+    "SOFTWARE_PROFILES",
+    "SmallSetAllocator",
+    "SoftwareProfile",
+    "SpoofAcceptance",
+    "UniformPoolAllocator",
+    "WindowsPoolAllocator",
+    "observed_range",
+    "os_profile",
+    "software_profile",
+]

@@ -1,0 +1,226 @@
+"""Ephemeral source-port allocation strategies.
+
+Section 5.3 of the paper shows that the pool a resolver draws its UDP
+source ports from is often enough to identify its operating system or
+DNS software.  This module implements every allocation behaviour the
+paper observed in its lab (Table 5):
+
+* random selection from a contiguous OS-default pool (Linux 32768-61000,
+  FreeBSD/IANA 49152-65535),
+* random selection from the full unprivileged range 1024-65535
+  (BIND 9.5.2-9.8.8, Unbound 1.9.0, PowerDNS Recursor 4.2.0),
+* a single fixed port chosen at startup (Windows DNS 2003/2003 R2/2008,
+  BIND 8 and earlier, or a ``query-source port`` configuration),
+* a small set of ports chosen at startup (BIND 9.5.0's 8 ports),
+* Windows DNS 2008 R2+'s pool of 2,500 contiguous ports inside the IANA
+  range, wrapping from the top of the range to its bottom, and
+* a strictly increasing counter with wraparound, the "ineffective
+  allocation" pattern of Section 5.2.3.
+
+Allocators are deterministic given the :class:`random.Random` they were
+constructed with, so simulations replay exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from random import Random
+
+#: Bounds of the IANA ephemeral port range (RFC 6335).
+IANA_EPHEMERAL_LOW = 49152
+IANA_EPHEMERAL_HIGH = 65535
+
+#: Linux kernels 2.6-5.3 default ``ip_local_port_range``.
+LINUX_EPHEMERAL_LOW = 32768
+LINUX_EPHEMERAL_HIGH = 61000
+
+#: Full unprivileged range used by several DNS implementations.
+UNPRIVILEGED_LOW = 1024
+UNPRIVILEGED_HIGH = 65535
+
+#: Size of the contiguous pool Windows DNS 2008 R2+ appropriates.
+WINDOWS_DNS_POOL_SIZE = 2500
+
+
+class PortAllocator(abc.ABC):
+    """Source of UDP ephemeral ports for one running server instance."""
+
+    #: Human-readable description of the pool (for Table 5 style output).
+    pool_description: str = ""
+
+    @abc.abstractmethod
+    def next_port(self) -> int:
+        """Return the source port for the next outgoing query."""
+
+    @abc.abstractmethod
+    def pool_size(self) -> int:
+        """Return the number of distinct ports this instance can emit."""
+
+
+class FixedPortAllocator(PortAllocator):
+    """Always the same port: old software or pinned configuration.
+
+    BIND before 8.1 used port 53 exclusively; BIND 8 used one
+    unprivileged port; Windows DNS before 2008 R2 picked one unprivileged
+    port at startup; and ``query-source port NNN`` pins modern BIND the
+    same way (Section 5.2.1).
+    """
+
+    pool_description = "1 port, selected at startup"
+
+    def __init__(self, port: int) -> None:
+        if not 1 <= port <= 65535:
+            raise ValueError(f"port out of range: {port}")
+        self.port = port
+
+    def next_port(self) -> int:
+        return self.port
+
+    def pool_size(self) -> int:
+        return 1
+
+    @classmethod
+    def startup_unprivileged(cls, rng: Random) -> "FixedPortAllocator":
+        """One unprivileged port picked at startup (Windows DNS pre-2008 R2)."""
+        return cls(rng.randrange(UNPRIVILEGED_LOW, UNPRIVILEGED_HIGH + 1))
+
+
+class UniformPoolAllocator(PortAllocator):
+    """Uniform random selection from a contiguous ``[low, high]`` pool."""
+
+    def __init__(self, low: int, high: int, rng: Random) -> None:
+        if not 1 <= low <= high <= 65535:
+            raise ValueError(f"invalid pool: [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self._rng = rng
+        self.pool_description = f"{low}-{high}"
+
+    def next_port(self) -> int:
+        return self._rng.randint(self.low, self.high)
+
+    def pool_size(self) -> int:
+        return self.high - self.low + 1
+
+    @classmethod
+    def linux_default(cls, rng: Random) -> "UniformPoolAllocator":
+        """Linux ``ip_local_port_range`` default: 32768-61000."""
+        return cls(LINUX_EPHEMERAL_LOW, LINUX_EPHEMERAL_HIGH, rng)
+
+    @classmethod
+    def freebsd_default(cls, rng: Random) -> "UniformPoolAllocator":
+        """FreeBSD / IANA ephemeral range: 49152-65535."""
+        return cls(IANA_EPHEMERAL_LOW, IANA_EPHEMERAL_HIGH, rng)
+
+    @classmethod
+    def full_unprivileged(cls, rng: Random) -> "UniformPoolAllocator":
+        """Full unprivileged range 1024-65535 (BIND 9.5.2+, Unbound, ...)."""
+        return cls(UNPRIVILEGED_LOW, UNPRIVILEGED_HIGH, rng)
+
+
+class SmallSetAllocator(PortAllocator):
+    """Random selection from a small set of ports chosen at startup.
+
+    BIND 9.5.0 selected 8 ports at startup and rotated among them
+    (Table 5).  With only a handful of distinct values, 10 observed
+    queries frequently repeat ports — the Section 5.2.3 signature of a
+    pool far smaller than its observed range suggests.
+    """
+
+    def __init__(self, ports: list[int], rng: Random) -> None:
+        if not ports:
+            raise ValueError("empty port set")
+        self.ports = list(ports)
+        self._rng = rng
+        self.pool_description = f"{len(ports)} ports, selected at startup"
+
+    def next_port(self) -> int:
+        return self._rng.choice(self.ports)
+
+    def pool_size(self) -> int:
+        return len(set(self.ports))
+
+    @classmethod
+    def bind_950(cls, rng: Random) -> "SmallSetAllocator":
+        """BIND 9.5.0: 8 unprivileged ports chosen at startup."""
+        ports = rng.sample(range(UNPRIVILEGED_LOW, UNPRIVILEGED_HIGH + 1), 8)
+        return cls(ports, rng)
+
+
+class WindowsPoolAllocator(PortAllocator):
+    """Windows DNS 2008 R2+ behaviour: 2,500 contiguous ports, wrapping.
+
+    The pool's start is chosen at server startup anywhere in the IANA
+    range; if it begins within the top 2,499 ports it wraps around to the
+    bottom of the IANA range (Section 5.3.2).  Selection within the pool
+    is uniform.
+    """
+
+    pool_description = (
+        "2,500 contiguous ports (with wrapping), selected at startup"
+    )
+
+    def __init__(
+        self,
+        rng: Random,
+        *,
+        pool_size: int = WINDOWS_DNS_POOL_SIZE,
+        start: int | None = None,
+    ) -> None:
+        self._rng = rng
+        self._pool_size = pool_size
+        span = IANA_EPHEMERAL_HIGH - IANA_EPHEMERAL_LOW + 1
+        if start is None:
+            start = IANA_EPHEMERAL_LOW + rng.randrange(span)
+        if not IANA_EPHEMERAL_LOW <= start <= IANA_EPHEMERAL_HIGH:
+            raise ValueError(f"pool start outside IANA range: {start}")
+        self.start = start
+        self.ports = [
+            IANA_EPHEMERAL_LOW + (start - IANA_EPHEMERAL_LOW + i) % span
+            for i in range(pool_size)
+        ]
+
+    @property
+    def wraps(self) -> bool:
+        """Whether the pool wraps from the top of the IANA range."""
+        return self.start + self._pool_size - 1 > IANA_EPHEMERAL_HIGH
+
+    def next_port(self) -> int:
+        return self._rng.choice(self.ports)
+
+    def pool_size(self) -> int:
+        return self._pool_size
+
+
+class IncrementingAllocator(PortAllocator):
+    """Sequential ports with wraparound: the anti-pattern of §5.2.3.
+
+    65% of the resolvers with an observed range of 1-200 emitted strictly
+    increasing ports; most wrapped after hitting a maximum.  This is what
+    naive per-query ``bind(0)`` reuse on some stacks produces.
+    """
+
+    def __init__(self, low: int, high: int, *, start: int | None = None) -> None:
+        if not 1 <= low <= high <= 65535:
+            raise ValueError(f"invalid pool: [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self._next = start if start is not None else low
+        if not low <= self._next <= high:
+            raise ValueError(f"start outside pool: {self._next}")
+        self.pool_description = f"{low}-{high}, sequential"
+
+    def next_port(self) -> int:
+        port = self._next
+        self._next = self.low if self._next >= self.high else self._next + 1
+        return port
+
+    def pool_size(self) -> int:
+        return self.high - self.low + 1
+
+
+def observed_range(ports: list[int]) -> int:
+    """Return ``max(ports) - min(ports)``, the paper's range statistic."""
+    if not ports:
+        raise ValueError("no ports observed")
+    return max(ports) - min(ports)

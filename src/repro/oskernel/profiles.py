@@ -1,0 +1,223 @@
+"""Operating system and DNS software behaviour profiles.
+
+Two registries live here:
+
+* :data:`OS_PROFILES` — per-OS facts the paper establishes in its lab:
+  which spoofed-local packets the kernel accepts (destination-as-source
+  and loopback, per address family; Table 6), the kernel's default
+  ephemeral port pool, and the TCP/IP SYN signature p0f keys on.
+* :data:`SOFTWARE_PROFILES` — per-DNS-implementation source port
+  allocation behaviour (Table 5), expressed as a factory producing a
+  :class:`~repro.oskernel.ports.PortAllocator` for a given OS profile.
+
+The scenario builder composes one OS profile with one software profile
+per simulated resolver; the Table 5/6 benchmarks re-derive the paper's
+tables by driving these same profiles through the lab harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from random import Random
+
+from ..netsim.packet import TCPSignature
+from .ports import (
+    FixedPortAllocator,
+    PortAllocator,
+    SmallSetAllocator,
+    UniformPoolAllocator,
+    WindowsPoolAllocator,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofAcceptance:
+    """Whether a kernel accepts destination-as-source / loopback packets.
+
+    One instance per (OS, family) row of Table 6.  ``dst_as_src`` refers
+    to packets whose source address equals the receiving host's own
+    address; ``loopback`` to packets sourced from 127.0.0.1 / ::1.
+    """
+
+    dst_as_src: bool
+    loopback: bool
+
+
+@dataclass(frozen=True, slots=True)
+class OSProfile:
+    """One operating system's externally observable network behaviour."""
+
+    name: str
+    family: str                      # "linux", "freebsd", "windows", "other"
+    kernel: str | None
+    accepts_v4: SpoofAcceptance
+    accepts_v6: SpoofAcceptance
+    tcp_signature: TCPSignature
+    default_pool: Callable[[Random], PortAllocator]
+
+    def acceptance(self, version: int) -> SpoofAcceptance:
+        """Return the Table 6 acceptance row for IP *version*."""
+        return self.accepts_v4 if version == 4 else self.accepts_v6
+
+
+# TCP/IP SYN signatures.  Values are representative of each stack's
+# defaults: Linux and FreeBSD use TTL 64, Windows TTL 128; window sizes,
+# MSS and the option layout differ per stack, which is what lets p0f
+# tell them apart.
+_SIG_LINUX = TCPSignature(64, 29200, 1460, 7, ("mss", "sackOK", "TS", "nop", "ws"))
+_SIG_LINUX_OLD = TCPSignature(64, 14600, 1460, 7, ("mss", "sackOK", "TS", "nop", "ws"))
+_SIG_FREEBSD = TCPSignature(64, 65535, 1460, 6, ("mss", "nop", "ws", "sackOK", "TS"))
+_SIG_WINDOWS = TCPSignature(128, 8192, 1460, 8, ("mss", "nop", "ws", "nop", "nop", "sackOK"))
+_SIG_WINDOWS_2003 = TCPSignature(128, 65535, 1460, 0, ("mss", "nop", "nop", "sackOK"))
+_SIG_BAIDU = TCPSignature(64, 8192, 1424, 5, ("mss", "sackOK", "TS"))
+_SIG_GENERIC = TCPSignature(255, 4096, 1400, 0, ("mss",))
+
+# Table 6 acceptance rows.
+_LINUX_MODERN_V4 = SpoofAcceptance(dst_as_src=False, loopback=False)
+_LINUX_MODERN_V6 = SpoofAcceptance(dst_as_src=True, loopback=False)
+_LINUX_OLD_V4 = SpoofAcceptance(dst_as_src=False, loopback=False)
+_LINUX_OLD_V6 = SpoofAcceptance(dst_as_src=True, loopback=True)
+_BSD_WIN_V4 = SpoofAcceptance(dst_as_src=True, loopback=False)
+_BSD_WIN_V6 = SpoofAcceptance(dst_as_src=True, loopback=False)
+_WIN2003_V4 = SpoofAcceptance(dst_as_src=True, loopback=True)
+_WIN2003_V6 = SpoofAcceptance(dst_as_src=True, loopback=False)
+
+
+def _make_profile(
+    name: str,
+    family: str,
+    kernel: str | None,
+    v4: SpoofAcceptance,
+    v6: SpoofAcceptance,
+    signature: TCPSignature,
+    pool: Callable[[Random], PortAllocator],
+) -> OSProfile:
+    return OSProfile(name, family, kernel, v4, v6, signature, pool)
+
+
+#: The operating systems the paper's lab examined (Sections 5.3.2, 5.5),
+#: plus a BaiduSpider-like profile (observed in 20% of zero-range
+#: resolvers, Section 5.3.1) and an unclassifiable embedded stack.
+OS_PROFILES: dict[str, OSProfile] = {}
+
+def _register(profile: OSProfile) -> OSProfile:
+    OS_PROFILES[profile.name] = profile
+    return profile
+
+
+LINUX_MODERN = _register(_make_profile(
+    "ubuntu-modern", "linux", "4.15-5.3",
+    _LINUX_MODERN_V4, _LINUX_MODERN_V6, _SIG_LINUX,
+    UniformPoolAllocator.linux_default,
+))
+LINUX_OLD = _register(_make_profile(
+    "ubuntu-old", "linux", "2.6-4.4",
+    _LINUX_OLD_V4, _LINUX_OLD_V6, _SIG_LINUX_OLD,
+    UniformPoolAllocator.linux_default,
+))
+FREEBSD = _register(_make_profile(
+    "freebsd", "freebsd", None,
+    _BSD_WIN_V4, _BSD_WIN_V6, _SIG_FREEBSD,
+    UniformPoolAllocator.freebsd_default,
+))
+WINDOWS_MODERN = _register(_make_profile(
+    "windows-2008r2+", "windows", None,
+    _BSD_WIN_V4, _BSD_WIN_V6, _SIG_WINDOWS,
+    lambda rng: WindowsPoolAllocator(rng),
+))
+WINDOWS_2003 = _register(_make_profile(
+    "windows-2003", "windows", None,
+    _WIN2003_V4, _WIN2003_V6, _SIG_WINDOWS_2003,
+    FixedPortAllocator.startup_unprivileged,
+))
+BAIDU_SPIDER = _register(_make_profile(
+    "baidu-spider", "other", None,
+    _BSD_WIN_V4, _BSD_WIN_V6, _SIG_BAIDU,
+    lambda rng: FixedPortAllocator(53),
+))
+GENERIC_EMBEDDED = _register(_make_profile(
+    "generic-embedded", "other", None,
+    _BSD_WIN_V4, _BSD_WIN_V6, _SIG_GENERIC,
+    UniformPoolAllocator.full_unprivileged,
+))
+
+
+@dataclass(frozen=True, slots=True)
+class SoftwareProfile:
+    """One DNS implementation's source-port allocation behaviour.
+
+    ``allocator`` receives the host OS profile because some software
+    defers to OS defaults (BIND 9.9.13+, Knot) while other software
+    brings its own pool regardless of OS (BIND 9.5.2-9.8.8, Unbound,
+    PowerDNS use 1024-65535; Windows DNS uses its own 2,500-port pool).
+    """
+
+    name: str
+    pool_description: str
+    allocator: Callable[[OSProfile, Random], PortAllocator]
+
+
+def _os_default(os_profile: OSProfile, rng: Random) -> PortAllocator:
+    return os_profile.default_pool(rng)
+
+
+def _full_unprivileged(os_profile: OSProfile, rng: Random) -> PortAllocator:
+    return UniformPoolAllocator.full_unprivileged(rng)
+
+
+#: Table 5 of the paper: default source port allocation per DNS software.
+SOFTWARE_PROFILES: dict[str, SoftwareProfile] = {
+    "bind-9.5.0": SoftwareProfile(
+        "bind-9.5.0",
+        "8 ports, selected at startup",
+        lambda os_profile, rng: SmallSetAllocator.bind_950(rng),
+    ),
+    "bind-9.5.2-9.8.8": SoftwareProfile(
+        "bind-9.5.2-9.8.8", "1024-65535", _full_unprivileged,
+    ),
+    "bind-9.9.13-9.16.0": SoftwareProfile(
+        "bind-9.9.13-9.16.0", "OS defaults", _os_default,
+    ),
+    "knot-3.2.1": SoftwareProfile(
+        "knot-3.2.1", "OS defaults", _os_default,
+    ),
+    "unbound-1.9.0": SoftwareProfile(
+        "unbound-1.9.0", "1024-65535", _full_unprivileged,
+    ),
+    "powerdns-recursor-4.2.0": SoftwareProfile(
+        "powerdns-recursor-4.2.0", "1024-65535", _full_unprivileged,
+    ),
+    "windows-dns-2003-2008": SoftwareProfile(
+        "windows-dns-2003-2008",
+        "1 port, > 1023, selected at startup",
+        lambda os_profile, rng: FixedPortAllocator.startup_unprivileged(rng),
+    ),
+    "windows-dns-2008r2-2019": SoftwareProfile(
+        "windows-dns-2008r2-2019",
+        "2,500 contiguous ports (with wrapping), selected at startup",
+        lambda os_profile, rng: WindowsPoolAllocator(rng),
+    ),
+    # Legacy and misconfigured behaviours observed in the wild (§5.2.1,
+    # §5.2.3) beyond the Table 5 lab set:
+    "bind-pre-8.1": SoftwareProfile(
+        "bind-pre-8.1",
+        "port 53 exclusively",
+        lambda os_profile, rng: FixedPortAllocator(53),
+    ),
+    "bind-query-source-pinned": SoftwareProfile(
+        "bind-query-source-pinned",
+        "1 port, pinned by query-source configuration",
+        lambda os_profile, rng: FixedPortAllocator(53),
+    ),
+}
+
+
+def software_profile(name: str) -> SoftwareProfile:
+    """Return the software profile registered as *name* (KeyError if absent)."""
+    return SOFTWARE_PROFILES[name]
+
+
+def os_profile(name: str) -> OSProfile:
+    """Return the OS profile registered as *name* (KeyError if absent)."""
+    return OS_PROFILES[name]

@@ -1,0 +1,934 @@
+"""Synthetic-Internet scenario builder.
+
+Builds everything the experiment needs, in one deterministic pass from a
+seed: an AS topology with per-country DSAV policy, a resolver population
+drawn from :data:`~repro.scenarios.params.RESOLVER_MIX`, the DNS
+infrastructure (root servers, the ``org`` TLD, and the ``dns-lab.org``
+authoritative servers with their v4-only / v6-only / truncation
+delegations), a DITL-style candidate trace with realistic pollution, an
+IPv6 hit list, a historical port trace for the Section 5.2.2 passive
+comparison, IDS/analyst behaviour for the Section 3.6.3 lifetime filter
+— plus the ground truth needed to validate every analysis result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from ipaddress import IPv4Network, IPv6Network, ip_address, ip_network
+from random import Random
+
+from ..core.collection import Collector
+from ..core.qname import QueryNameCodec
+from ..core.scanner import ScanClient, ScanConfig, Scanner
+from ..core.sources import SourceCategory, SpoofPlanner
+from ..core.targets import TargetSet, select_targets
+from ..dns.auth import AuthoritativeServer
+from ..dns.message import Message
+from ..dns.name import Name, ROOT, name
+from ..dns.resolver import AccessControl, RecursiveResolver, ResolverConfig
+from ..dns.rr import A, AAAA, NS, RR, SOA, RRType, TXT
+from ..dns.zone import Zone
+from ..netsim.addresses import Address, Network, subnet_of
+from ..netsim.autonomous_system import AutonomousSystem
+from ..netsim.fabric import Fabric, Host
+from ..netsim.geo import GeoDatabase, draw_country
+from ..netsim.packet import Packet, TCPSignature, Transport
+from ..oskernel.ports import UniformPoolAllocator
+from ..oskernel.profiles import os_profile
+from .params import ResolverKind, ScenarioParams
+
+#: Reserved ASNs for the experiment's own infrastructure.
+MEASUREMENT_ASN = 64496
+INFRA_ASN = 64497
+PUBLIC_DNS_ASN = 64498
+
+#: First ASN handed to synthetic target networks.
+FIRST_TARGET_ASN = 1000
+
+EXPERIMENT_DOMAIN = "dns-lab.org"
+EXPERIMENT_KEYWORD = "bcd19"
+
+
+@dataclass
+class ResolverInfo:
+    """Ground truth about one candidate resolver address."""
+
+    asn: int
+    addresses: list[Address]
+    kind: ResolverKind
+    alive: bool
+    open_: bool
+    forwarder_target: Address | None
+    qmin: str | None
+    host: RecursiveResolver | None = None
+    #: disclosure contact reachable via PTR -> SOA RNAME, if any.
+    contact_mailbox: str | None = None
+
+    @property
+    def is_forwarder(self) -> bool:
+        return self.forwarder_target is not None
+
+
+@dataclass
+class GroundTruth:
+    """What the scenario actually built, for validating the analysis."""
+
+    dsav_lacking_asns: set[int] = field(default_factory=set)
+    martian_unfiltered_asns: set[int] = field(default_factory=set)
+    resolvers: list[ResolverInfo] = field(default_factory=list)
+    by_address: dict[Address, ResolverInfo] = field(default_factory=dict)
+
+    def info_for(self, address: Address) -> ResolverInfo | None:
+        return self.by_address.get(address)
+
+
+@dataclass
+class BuiltScenario:
+    """A fully wired synthetic Internet, ready to scan."""
+
+    params: ScenarioParams
+    fabric: Fabric
+    geo: GeoDatabase
+    client: ScanClient
+    codec: QueryNameCodec
+    auth_servers: list[AuthoritativeServer]
+    root_servers: list[AuthoritativeServer]
+    hosting_server: AuthoritativeServer | None
+    ditl_candidates: list[Address]
+    hitlist: frozenset[Network]
+    port_history: dict[Address, list[int]]
+    ground_truth: GroundTruth
+    truth: GroundTruth = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.truth = self.ground_truth
+
+    @property
+    def routes(self):
+        return self.fabric.routes
+
+    def target_set(self) -> TargetSet:
+        """Apply the Section 3.1 filters to the DITL-style candidates."""
+        return select_targets(self.ditl_candidates, self.routes)
+
+    def make_outreach_client(self):
+        """Build an :class:`~repro.core.outreach.OutreachClient` wired
+        to the reverse-DNS hosting provider."""
+        from random import Random as _Random
+
+        from ..core.outreach import OutreachClient
+        from ..dns.stub import StubResolver
+
+        if self.hosting_server is None:
+            raise RuntimeError("scenario has no reverse-DNS hosting server")
+        stub = StubResolver(
+            "outreach-stub", INFRA_ASN, _Random(self.params.seed ^ 0x0CE)
+        )
+        self.fabric.attach(
+            stub, ip_address(int(ip_address("20.0.0.0")) + 46)
+        )
+        return OutreachClient(
+            self.fabric, stub, self.hosting_server.addresses[0]
+        )
+
+    def ditl_trace(self):
+        """Synthesize the 48-hour DITL trace behind the candidate list.
+
+        The trace round-trips through :mod:`repro.core.ditl`'s
+        serialization, so campaigns can be driven from files exactly as
+        the original study was driven from the OARC collections.
+        """
+        from ..core.ditl import synthesize_trace
+
+        return synthesize_trace(
+            self.ditl_candidates, seed=self.params.seed
+        )
+
+    def make_planner(
+        self,
+        *,
+        categories: frozenset[SourceCategory] = frozenset(SourceCategory),
+        max_other_prefix: int | None = None,
+    ) -> SpoofPlanner:
+        kwargs = {}
+        if max_other_prefix is not None:
+            kwargs["max_other_prefix"] = max_other_prefix
+        return SpoofPlanner(
+            self.routes,
+            seed=self.params.seed,
+            hitlist=self.hitlist,
+            categories=categories,
+            **kwargs,
+        )
+
+    def make_scanner(
+        self,
+        config: ScanConfig | None = None,
+        *,
+        planner: SpoofPlanner | None = None,
+        targets: TargetSet | None = None,
+    ) -> tuple[Scanner, Collector]:
+        """Wire a scanner + collector over this scenario."""
+        targets = targets or self.target_set()
+        planner = planner or self.make_planner()
+        scanner = Scanner(
+            self.fabric,
+            self.client,
+            self.codec,
+            targets,
+            planner,
+            self.auth_servers,
+            config or ScanConfig(),
+            seed=self.params.seed,
+        )
+        from ..core.qname import Channel
+
+        terminators: dict[str, frozenset[Channel]] = {}
+        for server in self.auth_servers:
+            if server.name.endswith("-v4"):
+                terminators[server.name] = frozenset({Channel.V4_ONLY})
+            elif server.name.endswith("-v6"):
+                terminators[server.name] = frozenset({Channel.V6_ONLY})
+            else:
+                terminators[server.name] = frozenset(
+                    {Channel.MAIN, Channel.TCP}
+                )
+        collector = Collector(
+            codec=self.codec,
+            probe_index=scanner.probe_index,
+            real_addresses=frozenset(self.client.addresses),
+            routes=self.routes,
+            channel_terminators=terminators,
+        )
+        collector.attach(self.auth_servers)
+        return scanner, collector
+
+
+# ---------------------------------------------------------------------------
+# address space allocation
+# ---------------------------------------------------------------------------
+
+
+class _SpaceAllocator:
+    """Sequential, collision-free allocation of announceable prefixes."""
+
+    def __init__(self) -> None:
+        self._v4_block = 0
+        self._v6_block = 0
+
+    def next_v4(self, prefixlen: int) -> IPv4Network:
+        """Allocate a fresh v4 prefix (20 <= prefixlen <= 24)."""
+        base = int(ip_address("20.0.0.0")) + self._v4_block * (1 << 12)
+        self._v4_block += 1
+        if base >= int(ip_address("100.0.0.0")):
+            raise RuntimeError("v4 scenario space exhausted")
+        return ip_network((base, prefixlen))
+
+    def next_v6(self, prefixlen: int) -> IPv6Network:
+        """Allocate a fresh v6 prefix (56 <= prefixlen <= 64)."""
+        base = int(ip_address("2a00::")) + self._v6_block * (1 << 72)
+        self._v6_block += 1
+        return ip_network((base, prefixlen))
+
+
+def _host_in(prefix: Network, rng: Random, offset_cap: int = 200) -> Address:
+    """Pick a host address inside *prefix* deterministically."""
+    base = int(prefix.network_address)
+    span = min(prefix.num_addresses - 2, offset_cap)
+    return ip_address(base + 1 + rng.randrange(max(span, 1)))
+
+
+# ---------------------------------------------------------------------------
+# infrastructure: roots, TLD, experiment zones
+# ---------------------------------------------------------------------------
+
+
+def _soa(origin: str, mname: str, rname: str) -> SOA:
+    return SOA(
+        mname=name(mname),
+        rname=name(rname),
+        serial=2019110601,
+        refresh=7200,
+        retry=900,
+        expire=1209600,
+        minimum=60,
+    )
+
+
+@dataclass
+class _Infra:
+    root_servers: list[AuthoritativeServer]
+    org_servers: list[AuthoritativeServer]
+    auth_servers: list[AuthoritativeServer]
+    root_hints: list[Address]
+    public_resolvers: dict[int, Address]   # family -> public DNS address
+
+
+def _build_infrastructure(
+    fabric: Fabric,
+    space: _SpaceAllocator,
+    rng: Random,
+    *,
+    wildcard_answers: bool,
+) -> _Infra:
+    infra_as = AutonomousSystem(
+        INFRA_ASN, name="infra", osav=True, dsav=True, country="US"
+    )
+    v4_prefix = infra_as.add_prefix(space.next_v4(20))
+    v6_prefix = infra_as.add_prefix(space.next_v6(56))
+    fabric.add_system(infra_as)
+
+    def infra_addr(offset: int, version: int) -> Address:
+        prefix = v4_prefix if version == 4 else v6_prefix
+        return ip_address(int(prefix.network_address) + offset)
+
+    freebsd = os_profile("freebsd")
+
+    # Root servers (two, dual stack).
+    roots: list[AuthoritativeServer] = []
+    root_hints: list[Address] = []
+    root_zone = Zone(ROOT, _soa(".", "a.root.lab.", "nstld.lab."))
+    for index in (0, 1):
+        server = AuthoritativeServer(
+            f"root-{'ab'[index]}", INFRA_ASN, Random(rng.randrange(2**32)),
+            profile=freebsd,
+        )
+        v4 = infra_addr(10 + index, 4)
+        v6 = infra_addr(10 + index, 6)
+        fabric.attach(server, v4, v6)
+        roots.append(server)
+        root_hints.extend([v4, v6])
+        label = name(f"{'ab'[index]}.root.lab.")
+        root_zone.add(RR(ROOT, RRType.NS, 1, 518400, NS(label)))
+        root_zone.add(RR(label, RRType.A, 1, 518400, A(v4)))
+        root_zone.add(RR(label, RRType.AAAA, 1, 518400, AAAA(v6)))
+
+    # org TLD servers (two, dual stack), delegated from the root.
+    org_zone = Zone(name("org."), _soa("org.", "a.org-ns.lab.", "tld.lab."))
+    org_servers: list[AuthoritativeServer] = []
+    for index in (0, 1):
+        server = AuthoritativeServer(
+            f"org-{'ab'[index]}", INFRA_ASN, Random(rng.randrange(2**32)),
+            profile=freebsd,
+        )
+        v4 = infra_addr(20 + index, 4)
+        v6 = infra_addr(20 + index, 6)
+        fabric.attach(server, v4, v6)
+        org_servers.append(server)
+        ns_name = name(f"{'ab'[index]}.org-ns.lab.")
+        root_zone.add(RR(name("org."), RRType.NS, 1, 172800, NS(ns_name)))
+        root_zone.add(RR(ns_name, RRType.A, 1, 172800, A(v4)))
+        root_zone.add(RR(ns_name, RRType.AAAA, 1, 172800, AAAA(v6)))
+        org_zone.add(RR(name("org."), RRType.NS, 1, 172800, NS(ns_name)))
+    for server in roots:
+        server.add_zone(root_zone)
+    for server in org_servers:
+        server.add_zone(org_zone)
+
+    # Experiment authoritative servers: two dual-stack for the main zone,
+    # one v4-only and one v6-only for the family-restricted delegations.
+    domain = name(EXPERIMENT_DOMAIN)
+    # Section 3.7: RNAME carries a contact address, MNAME names the web
+    # server describing the project.
+    lab_zone = Zone(
+        domain, _soa(EXPERIMENT_DOMAIN, "www.dns-lab.org.", "research.dns-lab.org.")
+    )
+    auth_servers: list[AuthoritativeServer] = []
+    main_ns_addrs: list[tuple[Address, Address]] = []
+    for index in (0, 1):
+        server = AuthoritativeServer(
+            f"dns-lab-ns{index + 1}", INFRA_ASN,
+            Random(rng.randrange(2**32)), profile=freebsd,
+        )
+        v4 = infra_addr(30 + index, 4)
+        v6 = infra_addr(30 + index, 6)
+        fabric.attach(server, v4, v6)
+        server.add_truncation_domain(domain.child("tc"))
+        auth_servers.append(server)
+        main_ns_addrs.append((v4, v6))
+        ns_name = domain.child(f"ns{index + 1}")
+        org_zone.add(RR(domain, RRType.NS, 1, 86400, NS(ns_name)))
+        org_zone.add(RR(ns_name, RRType.A, 1, 86400, A(v4)))
+        org_zone.add(RR(ns_name, RRType.AAAA, 1, 86400, AAAA(v6)))
+        lab_zone.add(RR(domain, RRType.NS, 1, 86400, NS(ns_name)))
+        lab_zone.add(RR(ns_name, RRType.A, 1, 86400, A(v4)))
+        lab_zone.add(RR(ns_name, RRType.AAAA, 1, 86400, AAAA(v6)))
+
+    # v4-only and v6-only delegations (Section 3.5 follow-ups).
+    v4_origin = domain.child("v4")
+    v6_origin = domain.child("v6")
+    auth_v4 = AuthoritativeServer(
+        "dns-lab-v4", INFRA_ASN, Random(rng.randrange(2**32)), profile=freebsd
+    )
+    auth_v4_addr = infra_addr(40, 4)
+    fabric.attach(auth_v4, auth_v4_addr)
+    auth_v6 = AuthoritativeServer(
+        "dns-lab-v6", INFRA_ASN, Random(rng.randrange(2**32)), profile=freebsd
+    )
+    auth_v6_addr = infra_addr(41, 6)
+    fabric.attach(auth_v6, auth_v6_addr)
+
+    ns_v4 = v4_origin.child("ns")
+    lab_zone.add(RR(v4_origin, RRType.NS, 1, 86400, NS(ns_v4)))
+    lab_zone.add(RR(ns_v4, RRType.A, 1, 86400, A(auth_v4_addr)))
+    ns_v6 = v6_origin.child("ns")
+    lab_zone.add(RR(v6_origin, RRType.NS, 1, 86400, NS(ns_v6)))
+    lab_zone.add(RR(ns_v6, RRType.AAAA, 1, 86400, AAAA(auth_v6_addr)))
+
+    v4_zone = Zone(v4_origin, _soa("v4", "www.dns-lab.org.", "research.dns-lab.org."))
+    v4_zone.add(RR(ns_v4, RRType.A, 1, 86400, A(auth_v4_addr)))
+    v4_zone.add(RR(v4_origin, RRType.NS, 1, 86400, NS(ns_v4)))
+    v6_zone = Zone(v6_origin, _soa("v6", "www.dns-lab.org.", "research.dns-lab.org."))
+    v6_zone.add(RR(ns_v6, RRType.AAAA, 1, 86400, AAAA(auth_v6_addr)))
+    v6_zone.add(RR(v6_origin, RRType.NS, 1, 86400, NS(ns_v6)))
+
+    if wildcard_answers:
+        # The Section 3.6.4 "future version": synthesize answers from
+        # wildcards instead of returning NXDOMAIN, so QNAME-minimizing
+        # resolvers keep descending to the full query name.
+        for zone, origin in (
+            (lab_zone, domain),
+            (v4_zone, v4_origin),
+            (v6_zone, v6_origin),
+        ):
+            zone.add(
+                RR(
+                    origin.child(b"*"),
+                    RRType.TXT,
+                    1,
+                    1,
+                    TXT.from_text("behind-closed-doors-experiment"),
+                )
+            )
+
+    for server in auth_servers:
+        server.add_zone(lab_zone)
+    auth_v4.add_zone(v4_zone)
+    auth_v6.add_zone(v6_zone)
+    all_auth = auth_servers + [auth_v4, auth_v6]
+
+    # Public DNS service (the forwarding upstream of Section 5.4 /
+    # middlebox stand-in of Section 3.6.1).
+    public_as = AutonomousSystem(
+        PUBLIC_DNS_ASN, name="public-dns", osav=True, dsav=True, country="US"
+    )
+    pub_v4_prefix = public_as.add_prefix(space.next_v4(24))
+    pub_v6_prefix = public_as.add_prefix(space.next_v6(64))
+    fabric.add_system(public_as)
+    pub_v4 = ip_address(int(pub_v4_prefix.network_address) + 1)
+    pub_v6 = ip_address(int(pub_v6_prefix.network_address) + 1)
+    public = RecursiveResolver(
+        "public-dns", PUBLIC_DNS_ASN, os_profile("ubuntu-modern"),
+        Random(rng.randrange(2**32)),
+        port_allocator=UniformPoolAllocator.linux_default(
+            Random(rng.randrange(2**32))
+        ),
+        acl=AccessControl(open_=True),
+        root_hints=root_hints,
+        software="public-anycast",
+    )
+    fabric.attach(public, pub_v4, pub_v6)
+
+    return _Infra(
+        root_servers=roots,
+        org_servers=org_servers,
+        auth_servers=all_auth,
+        root_hints=root_hints,
+        public_resolvers={4: pub_v4, 6: pub_v6},
+    )
+
+
+# ---------------------------------------------------------------------------
+# target networks
+# ---------------------------------------------------------------------------
+
+
+def _perturbed_signature(base: TCPSignature, rng: Random) -> TCPSignature:
+    """A SYN signature close to *base* but outside the p0f database."""
+    return TCPSignature(
+        initial_ttl=base.initial_ttl,
+        window_size=max(512, base.window_size + rng.choice(
+            (-1460, -512, 512, 1024, 2048, 4096)
+        )),
+        mss=base.mss,
+        window_scale=base.window_scale,
+        options=base.options,
+    )
+
+
+def _draw_resolver_count(rng: Random, mean: float) -> int:
+    """Skewed per-AS resolver count with mean roughly *mean*."""
+    value = rng.expovariate(1.0 / mean)
+    return max(1, min(int(math.ceil(value)), int(mean * 5)))
+
+
+def _pick_kind(rng: Random, mix: tuple[ResolverKind, ...]) -> ResolverKind:
+    weights = [k.weight for k in mix]
+    return rng.choices(mix, weights=weights, k=1)[0]
+
+
+def _history_ports(
+    info_kind: ResolverKind,
+    current_allocator_port: int | None,
+    rng: Random,
+    params: ScenarioParams,
+) -> list[int]:
+    """Synthesize the 2018-DITL-style port history (Section 5.2.2)."""
+    roll = rng.random()
+    if roll < params.history_stable_rate:
+        port = current_allocator_port if current_allocator_port else 53
+        return [port] * 12
+    if roll < params.history_stable_rate + params.history_regressed_rate:
+        return [32768 + rng.randrange(28233) for _ in range(12)]
+    # Insufficient data: too few observations for a fair comparison.
+    return [1024 + rng.randrange(64512) for _ in range(rng.randrange(3))]
+
+
+def build_internet(
+    params: ScenarioParams | None = None,
+    *,
+    wildcard_answers: bool = False,
+) -> BuiltScenario:
+    """Construct the full synthetic Internet for one scan campaign."""
+    params = params or ScenarioParams()
+    rng = Random(params.seed)
+    fabric = Fabric(seed=params.seed, loss_rate=params.packet_loss_rate)
+    geo = GeoDatabase()
+    space = _SpaceAllocator()
+    truth = GroundTruth()
+
+    infra = _build_infrastructure(
+        fabric, space, rng, wildcard_answers=wildcard_answers
+    )
+
+    # Measurement client: an AS that performs no OSAV (Section 3.4).
+    client_as = AutonomousSystem(
+        MEASUREMENT_ASN, name="measurement", osav=False, dsav=True,
+        country="US",
+    )
+    client_v4_prefix = client_as.add_prefix(space.next_v4(24))
+    client_v6_prefix = client_as.add_prefix(space.next_v6(64))
+    fabric.add_system(client_as)
+    client = ScanClient("scan-client", MEASUREMENT_ASN, Random(params.seed))
+    fabric.attach(
+        client,
+        ip_address(int(client_v4_prefix.network_address) + 7),
+        ip_address(int(client_v6_prefix.network_address) + 7),
+    )
+
+    codec = QueryNameCodec(name(EXPERIMENT_DOMAIN), EXPERIMENT_KEYWORD)
+
+    ditl_candidates: list[Address] = []
+    hitlist: set[Network] = set()
+    port_history: dict[Address, list[int]] = {}
+    ids_asns: set[int] = set()
+
+    for index in range(params.n_ases):
+        asn = FIRST_TARGET_ASN + index
+        as_rng = Random((params.seed << 20) ^ (asn * 2654435761 % 2**31))
+        country = draw_country(as_rng)
+        bias = params.country_dsav_bias.get(country, 1.0)
+        lacking = as_rng.random() < min(
+            params.dsav_lacking_rate * bias, 0.95
+        )
+        system = AutonomousSystem(
+            asn,
+            name=f"AS{asn}-{country}",
+            osav=as_rng.random() < params.osav_rate,
+            dsav=not lacking,
+            martian_filtering=not (
+                lacking and as_rng.random() < params.martian_unfiltered_rate
+            ),
+            subnet_sav_v4=(
+                lacking and as_rng.random() < params.subnet_sav_v4_rate
+            ),
+            subnet_sav_coverage=params.subnet_sav_coverage,
+            country=country,
+        )
+        if lacking:
+            truth.dsav_lacking_asns.add(asn)
+        if not system.martian_filtering:
+            truth.martian_unfiltered_asns.add(asn)
+
+        n_v4_prefixes = 1 + min(int(as_rng.expovariate(0.8)), 6)
+        for _ in range(n_v4_prefixes):
+            prefixlen = as_rng.choice((20, 22, 22, 23, 24, 24))
+            prefix = system.add_prefix(space.next_v4(prefixlen))
+            geo.assign(
+                prefix,
+                country if as_rng.random() < 0.9 else draw_country(as_rng),
+            )
+        has_v6 = as_rng.random() < params.v6_as_fraction
+        if has_v6:
+            # Mostly single /64s: in the wild the median number of
+            # *active* IPv6 subnets per AS is tiny, which is why the
+            # paper's IPv6 reachability is dominated by same-prefix and
+            # destination-as-source rather than other-prefix sources.
+            for _ in range(1 + min(int(as_rng.expovariate(2.0)), 1)):
+                prefixlen = as_rng.choice((64, 64, 64, 60, 56))
+                prefix = system.add_prefix(space.next_v6(prefixlen))
+                geo.assign(
+                    prefix,
+                    country if as_rng.random() < 0.9 else draw_country(as_rng),
+                )
+        fabric.add_system(system)
+        if as_rng.random() < params.ids_as_fraction:
+            ids_asns.add(asn)
+
+        _populate_as_resolvers(
+            params, fabric, infra, system, as_rng, country,
+            truth, ditl_candidates, hitlist, port_history,
+        )
+
+    # DITL pollution: special-purpose and unrouted sources (Section 3.1).
+    for i in range(params.special_purpose_candidates):
+        ditl_candidates.append(ip_address(f"192.0.2.{1 + i % 250}"))
+    for i in range(params.unrouted_candidates):
+        ditl_candidates.append(ip_address(f"99.99.{i}.1"))
+
+    hosting = _build_reverse_hosting(fabric, truth, rng)
+
+    scenario = BuiltScenario(
+        params=params,
+        fabric=fabric,
+        geo=geo,
+        client=client,
+        codec=codec,
+        auth_servers=infra.auth_servers,
+        root_servers=infra.root_servers,
+        hosting_server=hosting,
+        ditl_candidates=ditl_candidates,
+        hitlist=frozenset(hitlist),
+        port_history=port_history,
+        ground_truth=truth,
+    )
+    if ids_asns:
+        _install_ids(scenario, ids_asns, infra)
+    return scenario
+
+
+def _populate_as_resolvers(
+    params: ScenarioParams,
+    fabric: Fabric,
+    infra: _Infra,
+    system: AutonomousSystem,
+    as_rng: Random,
+    country: str,
+    truth: GroundTruth,
+    ditl_candidates: list[Address],
+    hitlist: set[Network],
+    port_history: dict[Address, list[int]],
+) -> None:
+    """Create the resolver population of one AS."""
+    exposure = params.country_exposure_bias.get(country, 1.0)
+    v4_prefixes = system.prefixes(4)
+    v6_prefixes = system.prefixes(6)
+    count = _draw_resolver_count(as_rng, params.mean_resolvers_per_as)
+    central_address: dict[int, Address] = {}
+
+    for slot in range(count):
+        kind = _pick_kind(as_rng, params.resolver_mix)
+        is_central = slot == 0
+        alive = is_central or as_rng.random() >= params.dead_address_rate
+
+        v4_addr = _host_in(as_rng.choice(v4_prefixes), as_rng)
+        addresses: list[Address] = [v4_addr]
+        if v6_prefixes and (
+            is_central or as_rng.random() < params.dual_stack_rate
+        ):
+            v6_addr = _host_in(as_rng.choice(v6_prefixes), as_rng)
+            addresses.append(v6_addr)
+            if (
+                not is_central
+                and as_rng.random() < params.v6_only_rate
+            ):
+                addresses = [v6_addr]
+
+        # Avoid address collisions — against live hosts *and* against
+        # dead candidate addresses already claimed in the ground truth.
+        if any(
+            fabric.host_at(a) is not None or a in truth.by_address
+            for a in addresses
+        ):
+            continue
+
+        forwarder_target: Address | None = None
+        if not is_central:
+            # Dual-stack deployments forward far less often in the wild
+            # (Section 5.4: 47% of IPv4 vs 16% of IPv6 targets forwarded).
+            rate = (
+                params.forwarder_rate_v6
+                if len(addresses) > 1
+                else params.forwarder_rate_v4
+            )
+            if as_rng.random() < rate:
+                # Forward over a family the resolver actually has.
+                family = 4 if any(a.version == 4 for a in addresses) else 6
+                if (
+                    as_rng.random() < params.forward_to_central_rate
+                    and family in central_address
+                ):
+                    forwarder_target = central_address[family]
+                else:
+                    forwarder_target = infra.public_resolvers[family]
+
+        base_open = (
+            params.forwarder_open_rate
+            if forwarder_target is not None
+            else kind.open_probability
+        )
+        open_probability = min(base_open * exposure, 0.95)
+        open_ = as_rng.random() < open_probability
+        if open_:
+            acl = AccessControl(open_=True)
+        else:
+            roll = as_rng.random()
+            narrow_cutoff = (
+                params.acl_as_wide_rate
+                + params.acl_subnet_only_rate
+                + params.acl_narrow_rate
+            )
+            if is_central or roll < params.acl_as_wide_rate:
+                denied: tuple[Network, ...] = ()
+                if (
+                    not is_central
+                    and as_rng.random() < params.acl_exclude_own_subnet_rate
+                ):
+                    denied = tuple(subnet_of(a) for a in addresses)
+                acl = AccessControl(
+                    allowed_prefixes=tuple(system.prefixes()),
+                    denied_prefixes=denied,
+                )
+            elif roll < params.acl_as_wide_rate + params.acl_subnet_only_rate:
+                acl = AccessControl(
+                    allowed_prefixes=tuple(subnet_of(a) for a in addresses)
+                )
+            elif roll < narrow_cutoff:
+                # A couple of corporate subnets; infrastructure-segment
+                # resolvers often serve client subnets but not their
+                # own, which rejects same-prefix spoofs while one of
+                # the 97 other-prefix guesses still lands.
+                extra: list[Network] = []
+                pool = v4_prefixes + v6_prefixes
+                for _ in range(1 + as_rng.randrange(2)):
+                    donor = as_rng.choice(pool)
+                    extra.append(subnet_of(_host_in(donor, as_rng)))
+                allowed = list(extra)
+                if (
+                    as_rng.random()
+                    >= params.acl_narrow_exclude_own_rate
+                ):
+                    allowed.extend(subnet_of(a) for a in addresses)
+                acl = AccessControl(allowed_prefixes=tuple(allowed))
+            else:
+                # Admits only some unrelated corporate prefix: our spoof
+                # plan can never satisfy it (the REFUSED anecdote of
+                # Section 3.8).
+                acl = AccessControl(
+                    allowed_prefixes=(ip_network("203.0.113.0/24"),)
+                )
+
+        qmin: str | None = None
+        if as_rng.random() < params.qmin_rate:
+            qmin = (
+                "strict"
+                if as_rng.random() < params.qmin_strict_fraction
+                else "relaxed"
+            )
+
+        info = ResolverInfo(
+            asn=system.asn,
+            addresses=addresses,
+            kind=kind,
+            alive=alive,
+            open_=open_,
+            forwarder_target=forwarder_target,
+            qmin=qmin,
+        )
+        truth.resolvers.append(info)
+        # Some live resolvers never touch the roots during the DITL
+        # window (deep caches, forward-only paths) and are invisible to
+        # the trace-driven target list (Section 2's breadth discussion).
+        in_ditl = (
+            is_central
+            or not alive
+            or as_rng.random() >= params.not_in_ditl_rate
+        )
+        for address in addresses:
+            truth.by_address[address] = info
+            if in_ditl:
+                ditl_candidates.append(address)
+            if address.version == 6:
+                hitlist.add(subnet_of(address))
+
+        if alive:
+            host_rng = Random(as_rng.randrange(2**32))
+            allocator = kind.allocator(kind.os, host_rng)
+            config = ResolverConfig(
+                qname_minimization=qmin,
+                forwarder=forwarder_target,
+            )
+            host = RecursiveResolver(
+                f"res-{system.asn}-{slot}",
+                system.asn,
+                kind.os,
+                host_rng,
+                port_allocator=allocator,
+                acl=acl,
+                config=config,
+                root_hints=list(infra.root_hints),
+                software=kind.software,
+            )
+            if as_rng.random() < kind.fuzz_probability:
+                host.tcp_signature = _perturbed_signature(
+                    kind.os.tcp_signature, host_rng
+                )
+            fabric.attach(host, *addresses)
+            info.host = host
+            if is_central:
+                for address in addresses:
+                    central_address[address.version] = address
+
+        # Historical port trace for fixed-port kinds (Section 5.2.2).
+        current_port: int | None = None
+        if info.alive and info.host is not None:
+            if info.host.port_allocator.pool_size() == 1:
+                current_port = info.host.port_allocator.next_port()
+        if current_port is not None:
+            for address in addresses:
+                port_history[address] = _history_ports(
+                    kind, current_port, as_rng, params
+                )
+
+
+# ---------------------------------------------------------------------------
+# reverse DNS hosting (the §5.2.1 disclosure-contact substrate)
+# ---------------------------------------------------------------------------
+
+#: Fraction of resolvers with working PTR + SOA RNAME contact chains.
+PTR_COVERAGE = 0.70
+
+
+def _build_reverse_hosting(
+    fabric: Fabric, truth: GroundTruth, rng: Random
+) -> AuthoritativeServer:
+    """One hosting provider serving in-addr.arpa/ip6.arpa PTR records
+    plus per-network contact zones whose SOA RNAME names the operator
+    mailbox — the substrate Section 5.2.1's outreach walked."""
+    hosting = AuthoritativeServer(
+        "rdns-hosting", INFRA_ASN, Random(rng.randrange(2**32)),
+        profile=os_profile("freebsd"),
+    )
+    hosting_addr = ip_address(int(ip_address("20.0.0.0")) + 45)
+    fabric.attach(hosting, hosting_addr)
+
+    rev4 = Zone(
+        name("in-addr.arpa."),
+        _soa("in-addr.arpa.", "hosting.example.", "dns.hosting.example."),
+    )
+    rev6 = Zone(
+        name("ip6.arpa."),
+        _soa("ip6.arpa.", "hosting.example.", "dns.hosting.example."),
+    )
+    hosting.add_zone(rev4)
+    hosting.add_zone(rev6)
+
+    from ..dns.rr import PTR
+
+    contact_zones: dict[int, Zone] = {}
+    ptr_rng = Random(rng.randrange(2**32))
+    for index, info in enumerate(truth.resolvers):
+        if ptr_rng.random() >= PTR_COVERAGE:
+            continue
+        domain = name(f"as{info.asn}-net.example.")
+        zone = contact_zones.get(info.asn)
+        if zone is None:
+            zone = Zone(
+                domain,
+                _soa(
+                    str(domain),
+                    f"ns.as{info.asn}-net.example.",
+                    f"noc.as{info.asn}-net.example.",
+                ),
+            )
+            contact_zones[info.asn] = zone
+            hosting.add_zone(zone)
+        ptr_target = domain.child(f"resolver{index}")
+        info.contact_mailbox = f"noc@as{info.asn}-net.example"
+        for address in info.addresses:
+            rev_zone = rev4 if address.version == 4 else rev6
+            rev_zone.add(
+                RR(
+                    Name.from_text(address.reverse_pointer),
+                    RRType.PTR,
+                    1,
+                    3600,
+                    PTR(ptr_target),
+                )
+            )
+    return hosting
+
+
+# ---------------------------------------------------------------------------
+# IDS / analyst behaviour (Section 3.6.3)
+# ---------------------------------------------------------------------------
+
+
+class _AnalystWorkstation(Host):
+    """Sends direct follow-the-logs queries long after the original probe."""
+
+    def __init__(self, asn: int, rng: Random) -> None:
+        super().__init__("analyst", asn, )
+        self.rng = rng
+        self.queries_sent = 0
+
+    def resolve_later(self, qname: Name, auth_address: Address) -> None:
+        message = Message.make_query(self.rng.randrange(0x10000), qname, RRType.A)
+        packet = Packet(
+            src=self.addresses[0],
+            dst=auth_address,
+            sport=1024 + self.rng.randrange(64512),
+            dport=53,
+            payload=message.to_wire(),
+            transport=Transport.UDP,
+        )
+        self.queries_sent += 1
+        self.send(packet)
+
+
+def _install_ids(
+    scenario: BuiltScenario, ids_asns: set[int], infra: _Infra
+) -> None:
+    """Wire an IDS tap: a fraction of spoofed queries entering monitored
+    ASes get investigated by a human much later (Section 3.6.3)."""
+    params = scenario.params
+    rng = Random(params.seed ^ 0x1D5)
+    analyst = _AnalystWorkstation(INFRA_ASN, Random(params.seed ^ 0xA7A))
+    analyst_v4 = ip_address(
+        int(ip_address("20.0.0.0")) + 250  # inside the infra /20
+    )
+    scenario.fabric.attach(analyst, analyst_v4)
+    auth_v4 = infra.auth_servers[0].addresses[0]
+    domain = scenario.codec.domain
+
+    def tap(packet: Packet, target: Host) -> None:
+        if target.asn not in ids_asns or packet.dport != 53:
+            return
+        if rng.random() >= params.analyst_probability:
+            return
+        try:
+            message = Message.from_wire(packet.payload)
+        except ValueError:
+            return
+        if message.question is None or message.is_response:
+            return
+        qname = message.question.qname
+        if not qname.is_subdomain_of(domain):
+            return
+        delay = rng.uniform(params.analyst_delay_min, params.analyst_delay_max)
+        scenario.fabric.loop.schedule(
+            delay, lambda: analyst.resolve_later(qname, auth_v4)
+        )
+
+    scenario.fabric.add_tap(tap)

@@ -1,0 +1,55 @@
+"""Tests for the NXNS amplification scenario."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.attacks.nxns import NXNSResult, build_nxns_world, run_nxns_attack
+
+
+def test_unpatched_resolver_amplifies():
+    world = build_nxns_world(fanout=30, max_glueless_ns=50)
+    result = run_nxns_attack(world)
+    # 30 glueless NS targets, A queries each (the resolver is v4-only),
+    # all landing on the victim's authoritative server.
+    assert result.victim_queries >= 25
+    assert result.amplification >= 25
+    assert world.resolver.stats["glueless_chases"] >= 1
+
+
+def test_nxns_mitigation_caps_amplification():
+    unpatched = run_nxns_attack(
+        build_nxns_world(fanout=30, max_glueless_ns=50)
+    )
+    patched = run_nxns_attack(build_nxns_world(fanout=30, max_glueless_ns=2))
+    assert patched.victim_queries <= 6
+    assert unpatched.victim_queries > 4 * patched.victim_queries
+
+
+def test_dsav_blocks_the_trigger_for_closed_resolvers():
+    world = build_nxns_world(fanout=30, max_glueless_ns=50, dsav=True)
+    result = run_nxns_attack(world)
+    assert result.victim_queries == 0
+    assert world.fabric.drop_counts["drop-dsav"] >= 1
+
+
+def test_genuinely_external_client_refused():
+    """Without spoofing, the closed resolver refuses the trigger: the
+    attack *requires* the infiltration the paper measures."""
+    world = build_nxns_world(fanout=30, max_glueless_ns=50)
+    result = run_nxns_attack(
+        world, spoofed_client=ip_address("66.0.0.9")
+    )
+    assert result.victim_queries == 0
+
+
+def test_amplification_scales_with_fanout():
+    small = run_nxns_attack(build_nxns_world(fanout=5, max_glueless_ns=50))
+    large = run_nxns_attack(build_nxns_world(fanout=40, max_glueless_ns=50))
+    assert large.victim_queries > 3 * small.victim_queries
+
+
+def test_result_math():
+    result = NXNSResult(attacker_packets=2, victim_queries=60)
+    assert result.amplification == 30.0
+    assert NXNSResult(0, 0).amplification == 0.0

@@ -1,0 +1,228 @@
+"""Tests for the cache-poisoning simulator (Section 5.2 motivation)."""
+
+import math
+from ipaddress import ip_address, ip_network
+from random import Random
+
+import pytest
+
+from repro.attacks.poisoning import (
+    TXID_SPACE,
+    Attacker,
+    expected_windows,
+    guess_space,
+    simulate_poisoning,
+    success_probability,
+)
+from repro.dns.name import name
+from repro.dns.resolver import AccessControl, ResolverConfig
+from repro.dns.rr import RRType
+from repro.netsim.autonomous_system import AutonomousSystem
+
+from ..dns.helpers import (
+    RESOLVER_ADDR,
+    build_world,
+)
+
+
+class TestAnalytics:
+    def test_guess_space(self):
+        assert guess_space(1) == 65536
+        assert guess_space(2500) == 2500 * 65536
+        assert guess_space(28233) == 28233 * TXID_SPACE
+
+    def test_guess_space_validation(self):
+        with pytest.raises(ValueError):
+            guess_space(0)
+
+    def test_fixed_port_vs_randomized_gap(self):
+        """The paper's core point: no port randomization reduces the
+        search space from 2^32 to 2^16."""
+        fixed = success_probability(1, forgeries_per_window=1000)
+        randomized = success_probability(28233, forgeries_per_window=1000)
+        assert fixed / randomized == pytest.approx(28233, rel=0.01)
+
+    def test_probability_saturates(self):
+        assert success_probability(1, forgeries_per_window=10**9) == 1.0
+
+    def test_multiple_windows_compound(self):
+        one = success_probability(1, 100, windows=1)
+        ten = success_probability(1, 100, windows=10)
+        assert one < ten < 10 * one
+
+    def test_expected_windows(self):
+        assert expected_windows(1, 65536) == 1.0
+        assert expected_windows(1, 0) == math.inf
+        assert expected_windows(2500, 65536) == pytest.approx(2500)
+
+
+class Test0x20Analytics:
+    def test_case_entropy_counts_letters_only(self):
+        from repro.attacks.poisoning import case_entropy_bits
+
+        assert case_entropy_bits(name("www.victim.org.")) == 12
+        assert case_entropy_bits(name("123.456.")) == 0
+
+    def test_0x20_multiplies_search_space(self):
+        from repro.attacks.poisoning import guess_space_with_0x20
+
+        plain = guess_space(1)
+        with_0x20 = guess_space_with_0x20(1, name("www.victim.org."))
+        assert with_0x20 == plain * 2**12
+
+
+def build_attack_world(
+    *,
+    fixed_port: bool,
+    dsav: bool,
+    use_0x20: bool = False,
+    use_cookies: bool = False,
+):
+    """Mini-world plus a lame victim delegation and an attacker AS."""
+    from repro.dns.resolver import RecursiveResolver
+    from repro.dns.rr import A, NS, RR
+    from repro.oskernel.ports import FixedPortAllocator, UniformPoolAllocator
+    from repro.oskernel.profiles import os_profile
+
+    world = build_world(
+        acl=AccessControl(allowed_prefixes=(ip_network("30.0.0.0/16"),)),
+        dsav_resolver_as=dsav,
+        resolver_config=ResolverConfig(
+            use_0x20=use_0x20, use_cookies=use_cookies
+        ),
+    )
+    if fixed_port:
+        world.resolver.port_allocator = FixedPortAllocator(5353)
+    # Victim zone delegated to a dead (never-answering) name server.
+    lame_addr = ip_address("20.0.0.50")
+    org_zone = world.org.zones[name("org.")]
+    org_zone.add(
+        RR(name("victim.org."), RRType.NS, 1, 86400, NS(name("ns.victim.org.")))
+    )
+    org_zone.add(RR(name("ns.victim.org."), RRType.A, 1, 86400, A(lame_addr)))
+
+    attacker_as = AutonomousSystem(9, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    world.fabric.add_system(attacker_as)
+    attacker = Attacker("attacker", 9, Random(4))
+    world.fabric.attach(attacker, ip_address("66.0.0.1"))
+    return world, attacker, lame_addr
+
+
+class TestSimulation:
+    def test_fixed_port_resolver_poisoned_through_missing_dsav(self):
+        world, attacker, lame = build_attack_world(
+            fixed_port=True, dsav=False
+        )
+        victim = name("www.victim.org.")
+        malicious = ip_address("66.6.6.6")
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),  # internal-looking
+            authority_address=lame,
+            victim_name=victim,
+            malicious_address=malicious,
+            port_guesses=[5353],
+            txid_guesses=list(range(TXID_SPACE)),
+        )
+        assert result.poisoned
+        assert result.cached_address == malicious
+
+    def test_dsav_blocks_the_trigger(self):
+        world, attacker, lame = build_attack_world(fixed_port=True, dsav=True)
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[5353],
+            txid_guesses=list(range(256)),
+        )
+        assert not result.poisoned
+        assert world.fabric.drop_counts["drop-dsav"] >= 1
+
+    def test_wrong_port_guess_fails(self):
+        world, attacker, lame = build_attack_world(
+            fixed_port=True, dsav=False
+        )
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[1111],  # resolver actually uses 5353
+            txid_guesses=list(range(TXID_SPACE)),
+        )
+        assert not result.poisoned
+
+    def test_0x20_defeats_full_txid_sweep(self):
+        """Even with the port known and every transaction ID guessed,
+        0x20 case randomization defeats a lowercase-only forgery."""
+        world, attacker, lame = build_attack_world(
+            fixed_port=True, dsav=False, use_0x20=True
+        )
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[5353],
+            txid_guesses=list(range(TXID_SPACE)),
+        )
+        assert not result.poisoned
+
+    def test_cookies_alone_do_not_protect_first_contact(self):
+        """RFC 7873 nuance: cookies are opportunistic.  Against an
+        authority the resolver has never heard back from (here: a lame
+        delegation), a cookieless forgery is still accepted — unlike
+        0x20, which protects from the very first query."""
+        world, attacker, lame = build_attack_world(
+            fixed_port=True, dsav=False, use_cookies=True
+        )
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[5353],
+            txid_guesses=list(range(TXID_SPACE)),
+        )
+        assert result.poisoned
+
+    def test_randomized_ports_survive_small_flood(self):
+        world, attacker, lame = build_attack_world(
+            fixed_port=False, dsav=False
+        )
+        result = simulate_poisoning(
+            world.fabric,
+            attacker,
+            world.resolver,
+            RESOLVER_ADDR,
+            spoofed_client=ip_address("30.0.7.7"),
+            authority_address=lame,
+            victim_name=name("www.victim.org."),
+            malicious_address=ip_address("66.6.6.6"),
+            port_guesses=[32768, 32769, 32770],
+            txid_guesses=list(range(64)),
+        )
+        assert not result.poisoned
+        assert result.forgeries_sent == 3 * 64

@@ -1,0 +1,85 @@
+"""Tests for reflection amplification and RRL."""
+
+from repro.attacks.reflection import (
+    build_reflection_world,
+    run_reflection_attack,
+)
+
+
+def test_open_amplifier_multiplies_traffic():
+    world = build_reflection_world()
+    result = run_reflection_attack(world, queries=40)
+    # Every spoofed query is reflected at the victim, much larger than
+    # the request (a 3.5KB TXT answer vs a ~50 byte query).
+    assert result.victim_packets == 40
+    assert result.amplification > 5.0
+
+
+def test_rrl_collapses_amplification():
+    unlimited = run_reflection_attack(
+        build_reflection_world(rrl_limit=0.0), queries=40
+    )
+    limited_world = build_reflection_world(rrl_limit=2.0)
+    limited = run_reflection_attack(limited_world, queries=40)
+    assert limited.victim_bytes < unlimited.victim_bytes / 3
+    assert limited_world.auth.rrl_dropped > 0
+
+
+def test_rrl_slip_sends_truncated_responses():
+    world = build_reflection_world(rrl_limit=2.0)
+    run_reflection_attack(world, queries=40)
+    # SLIP: some rate-limited responses go out truncated (tiny) so real
+    # clients could retry over TCP.
+    assert world.auth.rrl_slipped > 0
+    assert world.auth.rrl_dropped >= world.auth.rrl_slipped - 1
+
+
+def test_rrl_admits_slow_legitimate_clients():
+    """A client staying under the per-subnet rate is never limited."""
+    world = build_reflection_world(rrl_limit=2.0)
+    result = run_reflection_attack(world, queries=5, interval=1.0)
+    assert result.victim_packets == 5
+    assert world.auth.rrl_dropped == 0
+
+
+def test_rrl_is_per_subnet():
+    """Limiting one abusive subnet leaves other clients untouched."""
+    from ipaddress import ip_address
+    from random import Random
+
+    from repro.dns.message import Message
+    from repro.dns.rr import RRType
+    from repro.netsim.packet import Packet, Transport
+
+    world = build_reflection_world(rrl_limit=2.0)
+    run_reflection_attack(world, queries=40)  # exhausts victim's bucket
+    dropped_before = world.auth.rrl_dropped
+
+    # A different client subnet queries normally and gets answered.
+    rng = Random(9)
+    other = ip_address("66.0.5.5")
+    message = Message.make_query(
+        rng.randrange(0x10000), world.amplifying_qname, RRType.TXT
+    )
+    world.attacker.send(
+        Packet(
+            src=other,
+            dst=world.auth_address,
+            sport=4444,
+            dport=53,
+            payload=message.to_wire(),
+            transport=Transport.UDP,
+        )
+    )
+    world.fabric.run()
+    assert world.auth.rrl_dropped == dropped_before
+
+
+def test_amplification_factor_math():
+    from repro.attacks.reflection import ReflectionResult
+
+    result = ReflectionResult(
+        queries_sent=10, bytes_sent=500, victim_packets=10, victim_bytes=5000
+    )
+    assert result.amplification == 10.0
+    assert ReflectionResult(0, 0, 0, 0).amplification == 0.0

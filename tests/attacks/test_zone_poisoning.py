@@ -1,0 +1,196 @@
+"""Tests for zone poisoning via spoofed dynamic updates."""
+
+from ipaddress import ip_address, ip_network
+from random import Random
+
+import pytest
+
+from repro.attacks.zone_poisoning import (
+    add_record,
+    delete_rrset,
+    make_update,
+    spoofed_zone_update,
+)
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.message import Message, Opcode, Rcode
+from repro.dns.name import name
+from repro.dns.resolver import AccessControl
+from repro.dns.rr import A, NS, RR, SOA, RRType
+from repro.dns.zone import Zone
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric, Host
+from repro.netsim.packet import Packet, Transport
+
+ZONE_ORIGIN = name("corp.example.")
+VICTIM = name("intranet.corp.example.")
+LEGIT = ip_address("30.0.0.80")
+MALICIOUS = ip_address("66.6.6.6")
+
+
+def build_world(*, dsav: bool):
+    fabric = Fabric(seed=8)
+    corp = AutonomousSystem(1, osav=True, dsav=dsav)
+    corp.add_prefix("30.0.0.0/16")
+    attacker_as = AutonomousSystem(2, osav=False, dsav=False)
+    attacker_as.add_prefix("66.0.0.0/16")
+    fabric.add_system(corp)
+    fabric.add_system(attacker_as)
+
+    server = AuthoritativeServer("corp-dns", 1, Random(1))
+    server_address = ip_address("30.0.0.53")
+    fabric.attach(server, server_address)
+    zone = Zone(
+        ZONE_ORIGIN, SOA(name("ns."), name("admin."), 1, 60, 60, 60, 30)
+    )
+    zone.add(RR(ZONE_ORIGIN, RRType.NS, 1, 60, NS(name("ns.corp.example."))))
+    zone.add(RR(VICTIM, RRType.A, 1, 300, A(LEGIT)))
+    server.add_zone(zone)
+    # "Non-secure dynamic updates": internal prefixes may update.
+    server.update_acl = AccessControl(
+        allowed_prefixes=(ip_network("30.0.0.0/16"),)
+    )
+
+    attacker = Host("attacker", 2)
+    fabric.attach(attacker, ip_address("66.0.0.1"))
+    return fabric, server, server_address, attacker
+
+
+def test_spoofed_update_poisons_zone_without_dsav():
+    fabric, server, server_address, attacker = build_world(dsav=False)
+    result = spoofed_zone_update(
+        fabric, attacker, server, server_address,
+        ZONE_ORIGIN,
+        spoofed_source=ip_address("30.0.44.44"),
+        victim_owner=VICTIM,
+        malicious_address=MALICIOUS,
+    )
+    assert result.accepted
+    assert result.poisoned
+    assert result.zone_now_answers == MALICIOUS
+
+
+def test_dsav_blocks_spoofed_update():
+    fabric, server, server_address, attacker = build_world(dsav=True)
+    result = spoofed_zone_update(
+        fabric, attacker, server, server_address,
+        ZONE_ORIGIN,
+        spoofed_source=ip_address("30.0.44.44"),
+        victim_owner=VICTIM,
+        malicious_address=MALICIOUS,
+    )
+    assert not result.accepted
+    assert not result.poisoned
+    assert fabric.drop_counts["drop-dsav"] >= 1
+    # The legitimate record survives.
+    zone = server.zones[ZONE_ORIGIN]
+    assert zone.rrset(VICTIM, RRType.A)[0].rdata.address == LEGIT
+
+
+def test_honest_source_refused_by_acl():
+    fabric, server, server_address, attacker = build_world(dsav=False)
+    result = spoofed_zone_update(
+        fabric, attacker, server, server_address,
+        ZONE_ORIGIN,
+        spoofed_source=ip_address("66.0.0.1"),  # attacker's real address
+        victim_owner=VICTIM,
+        malicious_address=MALICIOUS,
+    )
+    assert not result.accepted
+    assert server.updates_refused == 1
+
+
+def test_no_update_acl_rejects_everything():
+    fabric, server, server_address, attacker = build_world(dsav=False)
+    server.update_acl = None
+    result = spoofed_zone_update(
+        fabric, attacker, server, server_address,
+        ZONE_ORIGIN,
+        spoofed_source=ip_address("30.0.44.44"),
+        victim_owner=VICTIM,
+        malicious_address=MALICIOUS,
+    )
+    assert not result.accepted
+
+
+def test_unknown_zone_answers_notauth():
+    fabric, server, server_address, attacker = build_world(dsav=False)
+
+    class Recorder(Host):
+        def __init__(self):
+            super().__init__("recorder", 1)
+            self.rcodes = []
+
+        def handle_packet(self, packet):
+            self.rcodes.append(Message.from_wire(packet.payload).rcode)
+
+    recorder = Recorder()
+    fabric.attach(recorder, ip_address("30.0.99.99"))
+    update = make_update(
+        7, name("other.example."), [add_record(VICTIM, A(MALICIOUS))]
+    )
+    recorder.send(
+        Packet(
+            src=ip_address("30.0.99.99"),
+            dst=server_address,
+            sport=4000,
+            dport=53,
+            payload=update.to_wire(),
+            transport=Transport.UDP,
+        )
+    )
+    fabric.run()
+    assert recorder.rcodes == [Rcode.NOTAUTH]
+
+
+def test_update_wire_roundtrip():
+    update = make_update(
+        42,
+        ZONE_ORIGIN,
+        [delete_rrset(VICTIM, RRType.A), add_record(VICTIM, A(MALICIOUS))],
+    )
+    decoded = Message.from_wire(update.to_wire())
+    assert decoded.opcode is Opcode.UPDATE
+    assert decoded.question.qname == ZONE_ORIGIN
+    assert len(decoded.authority) == 2
+    assert decoded.authority[0].rdata.to_wire() == b""
+    assert decoded.authority[1].rdata == A(MALICIOUS)
+
+
+def test_delete_specific_record_semantics():
+    """Class NONE removes one record, leaving siblings intact."""
+    fabric, server, server_address, attacker = build_world(dsav=False)
+    zone = server.zones[ZONE_ORIGIN]
+    other = ip_address("30.0.0.81")
+    zone.add(RR(VICTIM, RRType.A, 1, 300, A(other)))
+    from repro.dns.rr import RRClass
+
+    update = make_update(
+        9, ZONE_ORIGIN,
+        [RR(VICTIM, RRType.A, RRClass.NONE, 0, A(LEGIT))],
+    )
+
+    class Sender(Host):
+        pass
+
+    sender = Sender("internal", 1)
+    fabric.attach(sender, ip_address("30.0.50.50"))
+    sender.send(
+        Packet(
+            src=ip_address("30.0.50.50"),
+            dst=server_address,
+            sport=4001,
+            dport=53,
+            payload=update.to_wire(),
+            transport=Transport.UDP,
+        )
+    )
+    fabric.run()
+    remaining = zone.rrset(VICTIM, RRType.A)
+    assert [rr.rdata.address for rr in remaining] == [other]
+
+
+def test_apex_soa_not_deletable():
+    fabric, server, server_address, attacker = build_world(dsav=False)
+    zone = server.zones[ZONE_ORIGIN]
+    assert zone.remove_rrset(ZONE_ORIGIN, RRType.SOA) == 0
+    assert zone.rrset(ZONE_ORIGIN, RRType.SOA)

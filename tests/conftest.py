@@ -1,0 +1,29 @@
+"""Shared fixtures: a small scanned Internet reused across test modules.
+
+Building and scanning a synthetic Internet takes a few seconds, so the
+full campaign runs once per session; tests that only read analysis
+results share it.  Tests that need to mutate state build their own
+scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.scenarios import ScenarioParams, build_internet
+
+
+@pytest.fixture(scope="session")
+def scan_params() -> ScenarioParams:
+    return ScenarioParams(seed=11, n_ases=60)
+
+
+@pytest.fixture(scope="session")
+def scan_results(scan_params):
+    """(scenario, targets, scanner, collector) for a completed campaign."""
+    scenario = build_internet(scan_params)
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=90.0))
+    scanner.run()
+    return scenario, targets, scanner, collector

@@ -1,0 +1,370 @@
+"""Unit tests for the analysis layer over hand-built observations."""
+
+from ipaddress import ip_address, ip_network
+
+import pytest
+
+from repro.core.analysis import (
+    country_rows,
+    forwarding_stats,
+    headline,
+    local_infiltration_stats,
+    open_closed_stats,
+    port_range_table,
+    qmin_stats,
+    range_histogram,
+    resolver_ranges,
+    small_range_patterns,
+    source_category_table,
+    table1,
+    table2,
+    zero_range_stats,
+)
+from repro.core.collection import Collector, PortObservation, TargetObservation
+from repro.core.qname import Channel, QueryNameCodec
+from repro.core.sources import SourceCategory
+from repro.core.targets import select_targets
+from repro.dns.name import name
+from repro.fingerprint.p0f import P0fDatabase
+from repro.fingerprint.portrange import PortRangeClass
+from repro.netsim.geo import GeoDatabase
+from repro.netsim.routing import RoutingTable
+from repro.oskernel.profiles import WINDOWS_MODERN
+
+
+def make_routes() -> RoutingTable:
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 100)
+    routes.announce("21.0.0.0/16", 101)
+    routes.announce("2a00::/32", 600)
+    return routes
+
+
+def make_collector() -> Collector:
+    return Collector(
+        codec=QueryNameCodec(name("dns-lab.org"), "kw"),
+        probe_index={},
+        real_addresses=frozenset(),
+        routes=make_routes(),
+    )
+
+
+def add_observation(
+    collector: Collector,
+    address: str,
+    asn: int,
+    *,
+    categories=(SourceCategory.SAME_PREFIX,),
+    open_=False,
+    ports=(),
+    direct=None,
+    forwarded=False,
+    signature=None,
+    ttl=None,
+) -> TargetObservation:
+    target = ip_address(address)
+    obs = TargetObservation(target, asn)
+    obs.categories = set(categories)
+    obs.working_sources = {ip_address("20.0.99.1")}
+    obs.open_ = open_
+    channel = Channel.V4_ONLY if target.version == 4 else Channel.V6_ONLY
+    obs.port_observations = [
+        PortObservation(float(i), p, channel) for i, p in enumerate(ports)
+    ]
+    obs.direct = bool(ports) if direct is None else direct
+    obs.forwarded = forwarded
+    obs.tcp_signature = signature
+    obs.observed_ttl = ttl
+    collector.observations[target] = obs
+    return obs
+
+
+class TestHeadline:
+    def test_counts_and_rates(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100)
+        add_observation(collector, "2a00::1", 600)
+        targets = select_targets(
+            [
+                ip_address("20.0.0.1"),
+                ip_address("20.0.0.2"),
+                ip_address("21.0.0.1"),
+                ip_address("2a00::1"),
+            ],
+            make_routes(),
+        )
+        result = headline(targets, collector)
+        assert result.v4.targeted_addresses == 3
+        assert result.v4.reachable_addresses == 1
+        assert result.v4.targeted_asns == 2
+        assert result.v4.reachable_asns == 1
+        assert result.v4.address_rate == pytest.approx(1 / 3)
+        assert result.v6.reachable_addresses == 1
+        assert result.v6.asn_rate == 1.0
+
+    def test_observation_without_category_not_reachable(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100, categories=())
+        assert collector.reachable_targets() == []
+
+
+class TestCountryTables:
+    def build(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100)
+        geo = GeoDatabase()
+        geo.assign(ip_network("20.0.0.0/16"), "US")
+        geo.assign(ip_network("21.0.0.0/16"), "BR")
+        geo.assign(ip_network("2a00::/32"), "US")
+        targets = select_targets(
+            [
+                ip_address("20.0.0.1"),
+                ip_address("21.0.0.1"),
+                ip_address("21.0.0.2"),
+                ip_address("2a00::1"),
+            ],
+            make_routes(),
+        )
+        return country_rows(targets, collector, geo, make_routes())
+
+    def test_rows(self):
+        rows = {r.country: r for r in self.build()}
+        assert rows["US"].total_addresses == 2
+        assert rows["US"].reachable_addresses == 1
+        assert rows["US"].reachable_asns == 1
+        assert rows["BR"].total_addresses == 2
+        assert rows["BR"].reachable_addresses == 0
+
+    def test_table_orderings(self):
+        rows = self.build()
+        by_as = table1(rows, top=1)
+        assert by_as[0].country in ("US", "BR")
+        by_rate = table2(rows, top=1)
+        assert by_rate[0].country == "US"  # only US has reachable IPs
+
+
+class TestSourceCategoryTable:
+    def test_inclusive_and_exclusive(self):
+        collector = make_collector()
+        add_observation(
+            collector, "20.0.0.1", 100,
+            categories=(SourceCategory.SAME_PREFIX, SourceCategory.OTHER_PREFIX),
+        )
+        add_observation(
+            collector, "20.0.0.2", 100, categories=(SourceCategory.LOOPBACK,)
+        )
+        add_observation(
+            collector, "2a00::1", 600, categories=(SourceCategory.DST_AS_SRC,)
+        )
+        table = source_category_table(collector)
+        rows = {r.category: r for r in table.rows}
+        assert table.all_reachable_v4.addresses == 2
+        assert table.all_reachable_v6.addresses == 1
+        assert rows[SourceCategory.SAME_PREFIX].inclusive_v4.addresses == 1
+        assert rows[SourceCategory.SAME_PREFIX].exclusive_v4.addresses == 0
+        assert rows[SourceCategory.LOOPBACK].exclusive_v4.addresses == 1
+        assert rows[SourceCategory.DST_AS_SRC].inclusive_v6.addresses == 1
+        assert rows[SourceCategory.DST_AS_SRC].exclusive_v6.addresses == 1
+
+    def test_median_working_sources(self):
+        collector = make_collector()
+        for i, count in enumerate((1, 3, 60)):
+            obs = add_observation(collector, f"20.0.{i}.1", 100)
+            obs.working_sources = {
+                ip_address(f"20.9.{j}.1") for j in range(count)
+            }
+        table = source_category_table(collector)
+        assert table.median_sources_v4 == 3
+        assert table.over_50_sources_v4 == 1
+        assert table.one_or_two_sources_v4 == 1
+
+
+class TestPortRangeAnalyses:
+    def build_ranges(self):
+        collector = make_collector()
+        # Fixed port 53 (closed), fixed port 32768 (open).
+        add_observation(collector, "20.0.0.1", 100, ports=[53] * 10)
+        add_observation(
+            collector, "20.0.0.2", 100, ports=[32768] * 10, open_=True
+        )
+        # Sequential small pool.
+        add_observation(
+            collector, "20.0.0.3", 101, ports=[100, 101, 102, 103, 104, 105,
+                                               106, 107, 108, 109]
+        )
+        # Windows 2,500 pool with wrap, p0f-confirmed Windows.
+        wrapped = [65530, 49160, 65500, 49200, 65520, 49170, 65510, 49180,
+                   65525, 49190]
+        add_observation(
+            collector, "20.0.0.4", 101, ports=wrapped, open_=True,
+            signature=WINDOWS_MODERN.tcp_signature, ttl=127,
+        )
+        # Too few samples: excluded.
+        add_observation(collector, "20.0.0.5", 101, ports=[1, 2])
+        return resolver_ranges(collector, P0fDatabase.default())
+
+    def test_resolver_ranges_filters_and_adjusts(self):
+        ranges = self.build_ranges()
+        assert len(ranges) == 4  # the 2-sample target dropped
+        by_target = {str(r.observation.target): r for r in ranges}
+        assert by_target["20.0.0.1"].range == 0
+        assert by_target["20.0.0.3"].bucket is PortRangeClass.TINY
+        windows = by_target["20.0.0.4"]
+        assert windows.p0f_label == "Windows"
+        assert windows.range_observation.adjusted
+        assert windows.bucket in (
+            PortRangeClass.TINY, PortRangeClass.LOW, PortRangeClass.WINDOWS
+        )
+
+    def test_table4_rows(self):
+        rows = {r.bucket: r for r in port_range_table(self.build_ranges())}
+        assert rows[PortRangeClass.ZERO].total == 2
+        assert rows[PortRangeClass.ZERO].open_ == 1
+        assert rows[PortRangeClass.ZERO].closed == 1
+
+    def test_zero_range_stats(self):
+        stats = zero_range_stats(self.build_ranges())
+        assert stats.resolvers == 2
+        assert stats.asns == 1
+        assert stats.closed == 1
+        assert dict(stats.port_counts)[53] == 1
+
+    def test_small_range_patterns(self):
+        stats = small_range_patterns(self.build_ranges())
+        assert stats.resolvers >= 1
+        assert stats.strictly_increasing >= 1
+
+    def test_histogram_by_status(self):
+        histogram = range_histogram(self.build_ranges(), bin_width=512)
+        assert histogram.total() == 4
+        labels = {s.label for s in histogram.series}
+        assert labels == {"open", "closed"}
+        closed = next(s for s in histogram.series if s.label == "closed")
+        assert closed.counts[0] >= 2  # the zero/tiny ranges
+
+    def test_histogram_by_p0f(self):
+        histogram = range_histogram(
+            self.build_ranges(), bin_width=512, split="p0f"
+        )
+        windows = next(s for s in histogram.series if s.label == "Windows")
+        assert sum(windows.counts) == 1
+
+    def test_histogram_bad_split(self):
+        with pytest.raises(ValueError):
+            range_histogram(self.build_ranges(), split="nope")
+
+    def test_zoomed_histogram_drops_overflow(self):
+        """A zoomed plot cuts off; it must not pile large ranges into
+        its last bar (Figure 2's lower plot)."""
+        ranges = self.build_ranges()
+        zoom = range_histogram(ranges, max_range=300, bin_width=100)
+        small = [r for r in ranges if r.range < 300]
+        assert zoom.total() == len(small)
+
+
+class TestOpenClosed:
+    def test_stats(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100, open_=True)
+        add_observation(collector, "20.0.0.2", 100)
+        add_observation(collector, "21.0.0.1", 101, open_=True)
+        stats = open_closed_stats(collector)
+        assert stats.open_ == 2
+        assert stats.closed == 1
+        assert stats.dsav_lacking_asns == 2
+        assert stats.asns_with_closed_resolver == 1
+        assert stats.asns_with_closed_fraction == 0.5
+
+
+class TestForwarding:
+    def test_per_family(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100, direct=True)
+        add_observation(
+            collector, "20.0.0.2", 100, direct=False, forwarded=True
+        )
+        add_observation(
+            collector, "20.0.0.3", 100, direct=True, forwarded=True
+        )
+        add_observation(collector, "2a00::1", 600, direct=True)
+        v4 = forwarding_stats(collector, 4)
+        assert v4.resolved == 3
+        assert v4.direct == 2
+        assert v4.forwarded == 2
+        assert v4.both == 1
+        v6 = forwarding_stats(collector, 6)
+        assert v6.resolved == 1
+        assert v6.direct_fraction == 1.0
+
+
+class TestQmin:
+    def test_overlap_with_reachable(self):
+        collector = make_collector()
+        add_observation(collector, "20.0.0.1", 100)
+        collector.minimized_sources = {
+            ip_address("20.0.0.9"), ip_address("21.0.0.9")
+        }
+        collector.minimized_asns = {100, 101}
+        stats = qmin_stats(collector)
+        assert stats.minimizing_sources == 2
+        assert stats.minimizing_asns == 2
+        assert stats.minimizing_asns_with_dsav_evidence == 1
+        assert stats.dsav_evidence_fraction == 0.5
+
+
+class TestMiddleboxStats:
+    def test_classification_branches(self):
+        from repro.core.analysis import middlebox_stats
+
+        collector = make_collector()
+        public = ip_address("77.0.0.1")
+        # AS 100: direct evidence.
+        add_observation(collector, "20.0.0.1", 100, direct=True)
+        # AS 101: forwards to an in-AS upstream.
+        obs = add_observation(
+            collector, "21.0.0.1", 101, direct=False, forwarded=True
+        )
+        obs.forwarder_addresses = {ip_address("21.0.0.99")}
+        # AS 600: forwards only to public DNS.
+        obs = add_observation(
+            collector, "2a00::1", 600, direct=False, forwarded=True
+        )
+        obs.forwarder_addresses = {public}
+        stats = middlebox_stats(
+            collector, make_routes(), frozenset({public})
+        )
+        assert stats.reachable_asns == 3
+        assert stats.in_as_evidence == 2
+        assert stats.public_dns_only == 1
+        assert stats.unexplained == 0
+
+    def test_unknown_upstream_unexplained(self):
+        from repro.core.analysis import middlebox_stats
+
+        collector = make_collector()
+        obs = add_observation(
+            collector, "20.0.0.1", 100, direct=False, forwarded=True
+        )
+        obs.forwarder_addresses = {ip_address("21.0.0.50")}  # other AS
+        stats = middlebox_stats(collector, make_routes(), frozenset())
+        assert stats.unexplained == 1
+        assert stats.in_as_fraction == 0.0
+
+
+class TestLocalInfiltration:
+    def test_counts(self):
+        collector = make_collector()
+        add_observation(
+            collector, "20.0.0.1", 100,
+            categories=(SourceCategory.DST_AS_SRC,),
+        )
+        add_observation(
+            collector, "2a00::1", 600,
+            categories=(SourceCategory.DST_AS_SRC, SourceCategory.LOOPBACK),
+        )
+        stats = local_infiltration_stats(collector)
+        assert stats.dst_as_src_targets == 2
+        assert stats.dst_as_src_v6 == 1
+        assert stats.loopback_targets == 1
+        assert stats.loopback_v6 == 1
+        assert stats.loopback_v4 == 0

@@ -1,0 +1,202 @@
+"""Unit tests for the Collector over synthetic query-log records."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.core.collection import Collector, TargetObservation
+from repro.core.qname import Channel, QueryNameCodec
+from repro.core.scanner import ProbeRecord
+from repro.core.sources import SourceCategory
+from repro.dns.auth import QueryLogRecord
+from repro.dns.name import name
+from repro.dns.rr import RRType
+from repro.netsim.packet import Transport
+from repro.netsim.routing import RoutingTable
+
+CODEC = QueryNameCodec(name("dns-lab.org"), "kw")
+TARGET = ip_address("20.0.0.9")
+SPOOF = ip_address("20.0.5.5")
+REAL = ip_address("40.0.0.1")
+FORWARDER_UPSTREAM = ip_address("20.0.0.77")
+
+
+def make_collector(**overrides) -> Collector:
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 100)
+    probe_index = {
+        (TARGET, SPOOF): ProbeRecord(
+            TARGET, 100, SPOOF, SourceCategory.SAME_PREFIX, 0.0
+        )
+    }
+    kwargs = dict(
+        codec=CODEC,
+        probe_index=probe_index,
+        real_addresses=frozenset({REAL}),
+        routes=routes,
+    )
+    kwargs.update(overrides)
+    return Collector(**kwargs)
+
+
+def record(
+    qname,
+    *,
+    time=1.0,
+    src=TARGET,
+    sport=40000,
+    transport=Transport.UDP,
+    server="main",
+) -> QueryLogRecord:
+    return QueryLogRecord(
+        time=time,
+        src=src,
+        sport=sport,
+        qname=qname,
+        qtype=RRType.A,
+        transport=transport,
+        server_name=server,
+    )
+
+
+def main_qname(when=0.5, src=SPOOF):
+    return CODEC.encode(when, src, TARGET, 100, channel=Channel.MAIN)
+
+
+class TestMainChannel:
+    def test_probe_attributed(self):
+        collector = make_collector()
+        collector.on_record(record(main_qname()))
+        obs = collector.observations[TARGET]
+        assert obs.categories == {SourceCategory.SAME_PREFIX}
+        assert obs.working_sources == {SPOOF}
+
+    def test_open_test_sets_flag(self):
+        collector = make_collector()
+        collector.on_record(record(main_qname(src=REAL)))
+        assert collector.observations[TARGET].open_
+        # But an open-test hit alone is not category evidence.
+        assert collector.observations[TARGET].categories == set()
+
+    def test_unknown_probe_counts_unattributed(self):
+        collector = make_collector()
+        stray = CODEC.encode(
+            0.5, ip_address("20.0.9.9"), TARGET, 100, channel=Channel.MAIN
+        )
+        collector.on_record(record(stray))
+        assert collector.stats.unattributed_records == 1
+
+
+class TestLifetimeFilter:
+    def test_late_record_excluded(self):
+        collector = make_collector()
+        collector.on_record(record(main_qname(when=0.0), time=11.0))
+        assert TARGET not in collector.observations
+        assert collector.stats.late_records == 1
+        assert TARGET in collector.late_targets
+
+    def test_prompt_record_clears_late_mark(self):
+        collector = make_collector()
+        collector.on_record(record(main_qname(when=0.0), time=11.0))
+        collector.on_record(record(main_qname(when=20.0), time=20.5))
+        assert TARGET in collector.observations
+        assert TARGET not in collector.late_targets
+
+    def test_custom_threshold(self):
+        collector = make_collector(lifetime_threshold=2.0)
+        collector.on_record(record(main_qname(when=0.0), time=3.0))
+        assert collector.stats.late_records == 1
+
+
+class TestFamilyChannels:
+    def test_direct_port_recorded(self):
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.V4_ONLY)
+        collector.on_record(record(qname, sport=12345))
+        obs = collector.observations[TARGET]
+        assert obs.direct
+        assert obs.ports == [12345]
+
+    def test_forwarded_detected_same_family(self):
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.V4_ONLY)
+        collector.on_record(record(qname, src=FORWARDER_UPSTREAM))
+        obs = collector.observations[TARGET]
+        assert obs.forwarded
+        assert not obs.direct
+        assert obs.ports == []
+        assert FORWARDER_UPSTREAM in obs.forwarder_addresses
+
+    def test_cross_family_leg_not_forwarding_evidence(self):
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.V6_ONLY)
+        collector.on_record(record(qname, src=ip_address("2a00::9")))
+        obs = collector.observations[TARGET]
+        assert not obs.forwarded  # v6 leg of a v4 target: inconclusive
+
+    def test_channel_terminator_gating(self):
+        collector = make_collector(
+            channel_terminators={"v4auth": frozenset({Channel.V4_ONLY})}
+        )
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.V4_ONLY)
+        # Logged by the parent-zone server during the walk: ignored.
+        collector.on_record(record(qname, sport=111, server="main"))
+        assert collector.observations[TARGET].ports == []
+        # Logged by the terminal server: trusted.
+        collector.on_record(record(qname, sport=222, server="v4auth"))
+        assert collector.observations[TARGET].ports == [222]
+
+
+class TestTCPChannel:
+    def test_signature_stored_for_direct_tcp(self):
+        from repro.oskernel.profiles import WINDOWS_MODERN
+
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.TCP)
+        rec = QueryLogRecord(
+            time=1.0, src=TARGET, sport=1, qname=qname, qtype=RRType.A,
+            transport=Transport.TCP,
+            tcp_signature=WINDOWS_MODERN.tcp_signature, observed_ttl=127,
+            server_name="main",
+        )
+        collector.on_record(rec)
+        obs = collector.observations[TARGET]
+        assert obs.tcp_signature == WINDOWS_MODERN.tcp_signature
+        assert obs.observed_ttl == 127
+
+    def test_forwarder_tcp_signature_ignored(self):
+        from repro.oskernel.profiles import LINUX_MODERN
+
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.TCP)
+        rec = QueryLogRecord(
+            time=1.0, src=FORWARDER_UPSTREAM, sport=1, qname=qname,
+            qtype=RRType.A, transport=Transport.TCP,
+            tcp_signature=LINUX_MODERN.tcp_signature, observed_ttl=63,
+            server_name="main",
+        )
+        collector.on_record(rec)
+        assert collector.observations[TARGET].tcp_signature is None
+
+    def test_udp_record_on_tcp_channel_ignored(self):
+        collector = make_collector()
+        qname = CODEC.encode(0.5, SPOOF, TARGET, 100, channel=Channel.TCP)
+        collector.on_record(record(qname, transport=Transport.UDP))
+        assert collector.observations[TARGET].tcp_signature is None
+
+
+class TestMinimized:
+    def test_prefix_query_counted_as_qmin(self):
+        collector = make_collector()
+        collector.on_record(
+            record(name("kw.dns-lab.org"), src=TARGET)
+        )
+        assert collector.stats.minimized_records == 1
+        assert TARGET in collector.minimized_sources
+        assert 100 in collector.minimized_asns
+
+    def test_unrelated_name_unattributed(self):
+        collector = make_collector()
+        collector.on_record(record(name("www.google.com"), src=TARGET))
+        assert collector.stats.unattributed_records == 1
+        assert collector.stats.minimized_records == 0

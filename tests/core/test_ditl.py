@@ -1,0 +1,100 @@
+"""Tests for DITL trace synthesis and serialization."""
+
+from ipaddress import ip_address
+
+from repro.core.ditl import (
+    COLLECTION_WINDOW,
+    DITLRecord,
+    read_trace,
+    synthesize_trace,
+    trace_from_root_logs,
+    unique_sources,
+    write_trace,
+)
+from repro.dns.name import name
+
+
+CANDIDATES = [
+    ip_address("20.0.0.1"),
+    ip_address("20.0.0.2"),
+    ip_address("2a00::5"),
+]
+
+
+class TestSynthesis:
+    def test_every_candidate_appears(self):
+        records = synthesize_trace(CANDIDATES, seed=1)
+        assert set(unique_sources(records)) == set(CANDIDATES)
+
+    def test_sorted_by_time_within_window(self):
+        records = synthesize_trace(CANDIDATES, seed=1)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        assert all(0 <= t <= COLLECTION_WINDOW for t in times)
+
+    def test_deterministic(self):
+        a = synthesize_trace(CANDIDATES, seed=5)
+        b = synthesize_trace(CANDIDATES, seed=5)
+        assert a == b
+        c = synthesize_trace(CANDIDATES, seed=6)
+        assert a != c
+
+    def test_unique_sources_first_seen_order(self):
+        records = [
+            DITLRecord(1.0, CANDIDATES[1], "a-root", name("org."), 1),
+            DITLRecord(2.0, CANDIDATES[0], "a-root", name("org."), 1),
+            DITLRecord(3.0, CANDIDATES[1], "b-root", name("net."), 28),
+        ]
+        assert unique_sources(records) == [CANDIDATES[1], CANDIDATES[0]]
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        records = synthesize_trace(CANDIDATES, seed=2)
+        path = tmp_path / "ditl.jsonl"
+        count = write_trace(path, records)
+        assert count == len(records)
+        assert read_trace(path) == records
+
+    def test_record_json_roundtrip(self):
+        record = DITLRecord(
+            12.5, ip_address("2a00::5"), "b-root", name("www.example.org"), 28
+        )
+        assert DITLRecord.from_json(record.to_json()) == record
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record = DITLRecord(1.0, CANDIDATES[0], "a-root", name("org."), 1)
+        path.write_text(record.to_json() + "\n\n\n")
+        assert read_trace(path) == [record]
+
+
+class TestRootLogConversion:
+    def test_trace_from_simulated_roots(self, scan_results):
+        scenario, _, _, _ = scan_results
+        records = trace_from_root_logs(scenario.root_servers)
+        # Every in-simulation resolution walks through the roots, so
+        # the converted trace names real resolver sources.
+        assert records
+        sources = set(unique_sources(records))
+        resolver_addresses = {
+            address
+            for info in scenario.truth.resolvers
+            if info.alive
+            for address in info.addresses
+        }
+        assert sources & resolver_addresses
+
+    def test_trace_sources_feed_target_selection(self, scan_results):
+        """The root-log trace can drive §3.1 target selection, closing
+        the loop: measurement output feeds measurement input."""
+        from repro.core.targets import select_targets
+
+        scenario, _, _, _ = scan_results
+        records = trace_from_root_logs(scenario.root_servers)
+        targets = select_targets(
+            unique_sources(records), scenario.routes
+        )
+        assert len(targets) > 0
+        for target in targets.targets:
+            assert scenario.routes.origin_asn(target.address) == target.asn

@@ -1,0 +1,97 @@
+"""Tests for the disclosure-contact pipeline (Section 5.2.1)."""
+
+import pytest
+
+from repro.core.outreach import contact_summary, rname_to_mailbox
+from repro.dns.name import name
+
+
+class TestRnameConversion:
+    def test_basic(self):
+        assert (
+            rname_to_mailbox(name("hostmaster.example.org."))
+            == "hostmaster@example.org"
+        )
+
+    def test_deep_domain(self):
+        assert (
+            rname_to_mailbox(name("noc.as1000-net.example."))
+            == "noc@as1000-net.example"
+        )
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            rname_to_mailbox(name("lonely."))
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def outreach(self, scan_results):
+        scenario, _, _, collector = scan_results
+        client = scenario.make_outreach_client()
+        return scenario, collector, client
+
+    def test_contact_found_for_covered_resolver(self, outreach):
+        scenario, _, client = outreach
+        covered = next(
+            info
+            for info in scenario.truth.resolvers
+            if info.contact_mailbox is not None
+        )
+        contact = client.lookup_contact(covered.addresses[0])
+        assert contact.contactable
+        assert contact.mailbox == covered.contact_mailbox
+        assert contact.ptr_name is not None
+        assert contact.soa_domain == name(f"as{covered.asn}-net.example.")
+
+    def test_no_contact_for_uncovered_resolver(self, outreach):
+        scenario, _, client = outreach
+        uncovered = next(
+            info
+            for info in scenario.truth.resolvers
+            if info.contact_mailbox is None
+        )
+        contact = client.lookup_contact(uncovered.addresses[0])
+        assert not contact.contactable
+        assert contact.ptr_name is None
+
+    def test_v6_addresses_resolvable_too(self, outreach):
+        scenario, _, client = outreach
+        covered_v6 = next(
+            (
+                (info, address)
+                for info in scenario.truth.resolvers
+                if info.contact_mailbox is not None
+                for address in info.addresses
+                if address.version == 6
+            ),
+            None,
+        )
+        if covered_v6 is None:
+            pytest.skip("no covered v6 resolver in this scenario")
+        info, address = covered_v6
+        contact = client.lookup_contact(address)
+        assert contact.contactable
+        assert contact.mailbox == info.contact_mailbox
+
+    def test_discovery_over_vulnerable_population(self, outreach):
+        """The paper's actual workflow: find the zero-range resolvers,
+        then discover whom to notify."""
+        scenario, collector, client = outreach
+        from repro.core import resolver_ranges
+
+        vulnerable = [
+            item.observation.target
+            for item in resolver_ranges(collector)
+            if item.range == 0
+        ]
+        if not vulnerable:
+            pytest.skip("no zero-range resolvers reached in this scenario")
+        contacts = client.discover(vulnerable)
+        assert len(contacts) == len(vulnerable)
+        summary = contact_summary(contacts)
+        assert "contact discovery:" in summary
+        for contact in contacts:
+            if contact.contactable:
+                info = scenario.truth.info_for(contact.resolver)
+                assert contact.mailbox == info.contact_mailbox

@@ -1,0 +1,64 @@
+"""Tests for the Section 5.2.2 passive comparison."""
+
+from ipaddress import ip_address
+
+from repro.core.passive import compare_zero_range
+
+from .test_analysis import add_observation, make_collector
+
+
+def build_zero_range():
+    collector = make_collector()
+    add_observation(collector, "20.0.0.1", 100, ports=[53] * 10)
+    add_observation(collector, "20.0.0.2", 100, ports=[1024] * 10)
+    add_observation(collector, "20.0.0.3", 100, ports=[32768] * 10)
+    add_observation(collector, "20.0.0.4", 100, ports=[9999] * 10)
+    # Non-zero range resolver: must be ignored entirely.
+    add_observation(
+        collector, "20.0.0.5", 100,
+        ports=[33000, 40000, 35000, 39000, 36000, 38000, 34000, 37000,
+               33500, 40100],
+    )
+    from repro.core.analysis import resolver_ranges
+
+    return resolver_ranges(collector)
+
+
+def test_classification():
+    ranges = build_zero_range()
+    history = {
+        ip_address("20.0.0.1"): [53] * 12,                       # stable
+        ip_address("20.0.0.2"): list(range(40000, 40012)),        # regressed
+        ip_address("20.0.0.3"): [1, 2],                           # insufficient
+        # 20.0.0.4 absent entirely: insufficient.
+    }
+    result = compare_zero_range(ranges, history)
+    assert result.zero_range_resolvers == 4
+    assert result.stable_zero == 1
+    assert result.regressed == 1
+    assert result.insufficient == 2
+    assert result.stable_fraction == 0.25
+    assert result.regressed_fraction == 0.25
+
+
+def test_short_history_matching_port_counts_stable():
+    """The paper's second inclusion criterion: even a few observations
+    count when they all use the active measurement's fixed port."""
+    ranges = build_zero_range()
+    history = {ip_address("20.0.0.1"): [53, 53, 53]}
+    result = compare_zero_range(ranges, history)
+    assert result.stable_zero == 1
+    assert result.insufficient == 3
+
+
+def test_empty_history_all_insufficient():
+    ranges = build_zero_range()
+    result = compare_zero_range(ranges, {})
+    assert result.insufficient == 4
+    assert result.stable_zero == 0
+
+
+def test_no_zero_range_resolvers():
+    result = compare_zero_range([], {})
+    assert result.zero_range_resolvers == 0
+    assert result.stable_fraction == 0.0

@@ -1,0 +1,142 @@
+"""Tests for the plain-text table renderers."""
+
+from ipaddress import ip_address
+
+from repro.core.analysis import (
+    CountryRow,
+    ForwardingStats,
+    OpenClosedStats,
+    QminStats,
+    SmallRangeStats,
+    ZeroRangeStats,
+    headline,
+    port_range_table,
+    range_histogram,
+    source_category_table,
+)
+from repro.core.report import (
+    render_country_table,
+    render_forwarding,
+    render_headline,
+    render_histogram,
+    render_open_closed,
+    render_qmin,
+    render_small_range,
+    render_source_category_table,
+    render_table4,
+    render_zero_range,
+)
+from repro.core.targets import select_targets
+
+from .test_analysis import add_observation, make_collector, make_routes
+
+
+def build_everything():
+    collector = make_collector()
+    add_observation(collector, "20.0.0.1", 100, ports=[53] * 10)
+    add_observation(collector, "20.0.0.2", 100, open_=True,
+                    ports=[33000, 40000, 35000, 39000, 36000, 38000, 34000,
+                           37000, 33500, 40100])
+    targets = select_targets(
+        [ip_address("20.0.0.1"), ip_address("20.0.0.2")], make_routes()
+    )
+    return collector, targets
+
+
+def test_render_headline():
+    collector, targets = build_everything()
+    text = render_headline(headline(targets, collector))
+    assert "IPv4" in text and "IPv6" in text
+    assert "100.0%" in text  # both v4 targets reachable
+
+
+def test_render_country_table():
+    rows = [CountryRow("US", 10, 3, 1000, 46)]
+    text = render_country_table(rows, "Table 1")
+    assert "Table 1" in text
+    assert "US" in text
+    assert "30.0%" in text
+    assert "4.6%" in text
+
+
+def test_render_source_category_table():
+    collector, _ = build_everything()
+    text = render_source_category_table(source_category_table(collector))
+    assert "same-prefix" in text
+    assert "median working sources" in text
+
+
+def test_render_table4():
+    collector, _ = build_everything()
+    from repro.core.analysis import resolver_ranges
+
+    text = render_table4(port_range_table(resolver_ranges(collector)))
+    assert "941-2,488 (Windows DNS)" in text
+    assert "Full Port Range" in text
+
+
+def test_render_histogram():
+    collector, _ = build_everything()
+    from repro.core.analysis import resolver_ranges
+
+    histogram = range_histogram(resolver_ranges(collector), bin_width=1024)
+    text = render_histogram(histogram)
+    assert "#" in text
+    assert "open" in text or "closed" in text
+
+
+def test_render_histogram_empty():
+    from repro.core.analysis import RangeHistogram
+
+    text = render_histogram(RangeHistogram((0, 512), ()))
+    assert "empty" in text
+
+
+def test_render_zero_range():
+    stats = ZeroRangeStats(
+        resolvers=10, asns=5, closed=6, open_=4,
+        port_counts=((53, 4), (32768, 2)), asns_with_closed=4,
+    )
+    text = render_zero_range(stats)
+    assert "10" in text and "60.0%" in text and "port 53: 4" in text
+
+
+def test_render_small_range():
+    text = render_small_range(
+        SmallRangeStats(
+            resolvers=5, asns=3, strictly_increasing=4,
+            increasing_with_wrap=2, few_unique=1,
+        )
+    )
+    assert "strictly increasing: 4" in text
+
+
+def test_render_open_closed():
+    text = render_open_closed(
+        OpenClosedStats(
+            open_=40, closed=60, dsav_lacking_asns=100,
+            asns_with_closed_resolver=88,
+        )
+    )
+    assert "60.0%" in text
+    assert "88/100" in text
+
+
+def test_render_forwarding():
+    text = render_forwarding(
+        ForwardingStats(resolved=100, direct=53, forwarded=47, both=3),
+        ForwardingStats(resolved=50, direct=42, forwarded=8, both=0),
+    )
+    assert "IPv4" in text and "IPv6" in text
+    assert "53.0%" in text
+
+
+def test_render_qmin():
+    text = render_qmin(
+        QminStats(
+            minimizing_sources=100,
+            minimizing_asns=50,
+            minimizing_asns_with_dsav_evidence=49,
+        )
+    )
+    assert "98.0%" in text

@@ -1,0 +1,187 @@
+"""End-to-end validation of a full campaign against ground truth.
+
+These tests run the complete pipeline — scenario build, spoofed scan,
+follow-ups, collection — on a small synthetic Internet and check that
+every inference the analysis makes is *correct* with respect to what the
+scenario actually built.
+"""
+
+import pytest
+
+from repro.core import (
+    ScanConfig,
+    SourceCategory,
+    forwarding_stats,
+    headline,
+    open_closed_stats,
+    qmin_stats,
+    resolver_ranges,
+    source_category_table,
+)
+from repro.core.qname import Channel
+from repro.scenarios import ScenarioParams, build_internet
+
+
+@pytest.fixture(scope="module")
+def results(scan_results):
+    return scan_results
+
+
+class TestSoundness:
+    """No inference may contradict ground truth."""
+
+    def test_reachable_asns_actually_lack_dsav(self, results):
+        scenario, _, _, collector = results
+        lacking = scenario.truth.dsav_lacking_asns
+        for asn in collector.reachable_asns():
+            assert asn in lacking
+
+    def test_reachable_targets_are_alive_resolvers(self, results):
+        scenario, _, _, collector = results
+        for obs in collector.reachable_targets():
+            info = scenario.truth.info_for(obs.target)
+            assert info is not None
+            assert info.alive
+
+    def test_open_flag_matches_ground_truth(self, results):
+        scenario, _, _, collector = results
+        for obs in collector.reachable_targets():
+            info = scenario.truth.info_for(obs.target)
+            if obs.open_:
+                assert info.open_
+
+    def test_forwarding_inference_matches_ground_truth(self, results):
+        scenario, _, _, collector = results
+        for obs in collector.observations.values():
+            info = scenario.truth.info_for(obs.target)
+            if info is None:
+                continue
+            if obs.forwarded and not obs.direct:
+                assert info.is_forwarder
+            if obs.direct and not obs.forwarded:
+                assert not info.is_forwarder
+
+    def test_zero_port_range_implies_single_port_allocator(self, results):
+        scenario, _, _, collector = results
+        for item in resolver_ranges(collector):
+            info = scenario.truth.info_for(item.observation.target)
+            if item.range == 0 and len(item.range_observation.ports) >= 8:
+                assert info.host.port_allocator.pool_size() == 1
+
+    def test_ports_drawn_from_resolver_allocator_pool(self, results):
+        scenario, _, _, collector = results
+        checked = 0
+        for obs in collector.observations.values():
+            info = scenario.truth.info_for(obs.target)
+            if info is None or info.host is None or info.is_forwarder:
+                continue
+            allocator = info.host.port_allocator
+            if hasattr(allocator, "low"):
+                for port in obs.ports:
+                    assert allocator.low <= port <= allocator.high
+                    checked += 1
+        assert checked > 50
+
+    def test_strict_qmin_resolvers_never_reveal_full_name(self, results):
+        scenario, _, scanner, collector = results
+        # Targets probed at strict-qmin resolvers must not appear as
+        # reachable via decoded full names *from their own address*.
+        for record_src in collector.minimized_sources:
+            info = scenario.truth.info_for(record_src)
+            if info is None:
+                continue
+            assert info.qmin is not None or info.is_forwarder is False
+
+
+class TestCompleteness:
+    """The scan must actually find the populations it is built to find."""
+
+    def test_substantial_reachable_population(self, results):
+        _, targets, _, collector = results
+        assert len(collector.reachable_targets(4)) > 30
+        assert len(collector.reachable_asns(4)) > 10
+
+    def test_headline_rates_in_paper_band(self, results):
+        _, targets, _, collector = results
+        result = headline(targets, collector)
+        # Roughly half of ASes lack DSAV (the paper's 49-50%).
+        assert 0.30 < result.v4.asn_rate < 0.70
+        # Address-level reachability far below AS-level.
+        assert result.v4.address_rate < result.v4.asn_rate
+
+    def test_every_main_category_contributes(self, results):
+        _, _, _, collector = results
+        table = source_category_table(collector)
+        rows = {r.category: r for r in table.rows}
+        for category in (
+            SourceCategory.OTHER_PREFIX,
+            SourceCategory.SAME_PREFIX,
+            SourceCategory.DST_AS_SRC,
+        ):
+            assert rows[category].inclusive_v4.addresses > 0
+
+    def test_followups_fired_once_per_target(self, results):
+        _, _, scanner, collector = results
+        launched = scanner.followups.launched
+        assert len(launched) == len(set(launched))
+        assert len(launched) >= len(collector.reachable_targets()) * 0.8
+
+    def test_open_and_closed_both_observed(self, results):
+        _, _, _, collector = results
+        stats = open_closed_stats(collector)
+        assert stats.open_ > 0
+        assert stats.closed > 0
+        assert stats.closed_fraction > 0.4
+
+    def test_forwarders_detected_v4(self, results):
+        _, _, _, collector = results
+        stats = forwarding_stats(collector, 4)
+        assert stats.direct > 0
+        assert stats.forwarded > 0
+
+    def test_port_observations_only_from_direct_resolvers(self, results):
+        scenario, _, _, collector = results
+        for obs in collector.observations.values():
+            if obs.ports:
+                assert obs.direct
+
+    def test_qmin_artifacts_collected(self, results):
+        _, _, _, collector = results
+        stats = qmin_stats(collector)
+        assert stats.minimizing_sources > 0
+        assert stats.minimizing_asns_with_dsav_evidence <= stats.minimizing_asns
+
+
+class TestLifetimeFilter:
+    def test_late_records_excluded(self, results):
+        _, _, _, collector = results
+        # The IDS/analyst machinery produces late queries; every one is
+        # excluded from observations by the 10-second threshold.
+        if collector.stats.late_records:
+            for obs in collector.observations.values():
+                assert obs.first_seen < float("inf")
+
+    def test_no_dsav_claim_from_late_only_targets(self, results):
+        _, _, _, collector = results
+        for target in collector.late_targets:
+            assert target not in collector.observations
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_campaign(self):
+        outcomes = []
+        for _ in range(2):
+            scenario = build_internet(ScenarioParams(seed=33, n_ases=12))
+            targets = scenario.target_set()
+            scanner, collector = scenario.make_scanner(
+                ScanConfig(duration=30.0)
+            )
+            scanner.run()
+            outcomes.append(
+                (
+                    sorted(str(t) for t in collector.observations),
+                    collector.stats.experiment_records,
+                    scenario.fabric.loop.events_processed,
+                )
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,117 @@
+"""Tests for scan-policy machinery: rate ceiling (§3.4), opt-out (§3.8)."""
+
+from ipaddress import ip_network
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.scenarios import ScenarioParams, build_internet
+
+
+def build(config: ScanConfig):
+    scenario = build_internet(ScenarioParams(seed=17, n_ases=12))
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(config, targets=targets)
+    return scenario, targets, scanner, collector
+
+
+class TestRateCeiling:
+    def test_campaign_stretches_to_respect_rate(self):
+        scenario, _, scanner, _ = build(
+            ScanConfig(duration=10.0, max_rate=5.0)
+        )
+        scanner.schedule_campaign()
+        assert scanner.probes_scheduled > 50
+        expected = scanner.probes_scheduled / 5.0
+        assert scanner.effective_duration == pytest.approx(expected)
+        assert scanner.effective_duration > 10.0
+
+    def test_generous_rate_keeps_requested_duration(self):
+        scenario, _, scanner, _ = build(
+            ScanConfig(duration=50.0, max_rate=1e6)
+        )
+        scanner.schedule_campaign()
+        assert scanner.effective_duration == 50.0
+
+    def test_observed_rate_stays_under_ceiling(self):
+        scenario, _, scanner, collector = build(
+            ScanConfig(duration=10.0, max_rate=8.0)
+        )
+        scanner.run()
+        elapsed = scanner.effective_duration
+        # Average probe rate respects the ceiling (follow-ups are the
+        # paper's separate one-time budget).
+        assert scanner.probes_scheduled / elapsed <= 8.0 + 1e-9
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ScanConfig(max_rate=0.0)
+
+
+class TestOptOut:
+    def test_opted_out_prefix_receives_nothing_after_request(self):
+        scenario, targets, scanner, collector = build(
+            ScanConfig(duration=40.0)
+        )
+        victim_asn = targets.targets[0].asn
+        prefixes = scenario.fabric.system(victim_asn).prefixes(4)
+        scanner.schedule_campaign()
+        # The operator writes in before any packet flies (Section 3.8).
+        for prefix in prefixes:
+            scanner.opt_out(prefix)
+        scenario.fabric.loop.run()
+        assert scanner.probes_suppressed > 0
+        sent = scenario.client.queries_sent
+        records = [
+            record
+            for server in scenario.auth_servers
+            for record in server.query_log
+        ]
+        for record in records:
+            decoded = scenario.codec.decode(record.qname)
+            if decoded is None:
+                continue
+            assert not any(
+                decoded.dst.version == p.version and decoded.dst in p
+                for p in prefixes
+            ), f"query for opted-out target {decoded.dst} observed"
+        assert sent > 0  # the rest of the campaign proceeded
+
+    def test_mid_campaign_opt_out(self):
+        scenario, targets, scanner, collector = build(
+            ScanConfig(duration=40.0)
+        )
+        scanner.schedule_campaign()
+        victim_asn = targets.targets[0].asn
+        prefixes = scenario.fabric.system(victim_asn).prefixes()
+
+        # Let a third of the campaign run, then the operator opts out.
+        scenario.fabric.loop.run_until(13.0)
+
+        def late_queries():
+            return [
+                r.time
+                for s in scenario.auth_servers
+                for r in s.query_log
+                if (d := scenario.codec.decode(r.qname)) is not None
+                and any(
+                    d.dst.version == p.version and d.dst in p
+                    for p in prefixes
+                )
+            ]
+
+        for prefix in prefixes:
+            scanner.opt_out(prefix)
+        cutoff = scenario.fabric.now
+        scenario.fabric.loop.run()
+        # No query toward the opted-out space was *sent* after the
+        # request (allow in-flight packets a latency grace window).
+        assert all(t <= cutoff + 1.0 for t in late_queries())
+
+    def test_opt_out_accepts_strings(self):
+        _, _, scanner, _ = build(ScanConfig(duration=10.0))
+        scanner.opt_out("203.0.113.0/24")
+        from ipaddress import ip_address
+
+        assert scanner._opted_out(ip_address("203.0.113.7"))
+        assert not scanner._opted_out(ip_address("20.0.0.7"))

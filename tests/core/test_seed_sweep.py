@@ -1,0 +1,65 @@
+"""Soundness must hold for every seed, not just the tested ones.
+
+Runs small campaigns across a sweep of seeds and checks the invariants
+that may never break, whatever the random topology looks like.
+"""
+
+import pytest
+
+from repro.core import ScanConfig, SourceCategory, headline
+from repro.scenarios import ScenarioParams, build_internet
+
+SEEDS = (1, 2, 3, 5, 8)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def swept(request):
+    scenario = build_internet(ScenarioParams(seed=request.param, n_ases=18))
+    targets = scenario.target_set()
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=40.0))
+    scanner.run()
+    return scenario, targets, collector
+
+
+def test_reachability_always_sound(swept):
+    scenario, _, collector = swept
+    assert collector.reachable_asns() <= scenario.truth.dsav_lacking_asns
+    for obs in collector.reachable_targets():
+        info = scenario.truth.info_for(obs.target)
+        assert info is not None and info.alive
+
+
+def test_open_verdicts_never_false_positive(swept):
+    scenario, _, collector = swept
+    for obs in collector.reachable_targets():
+        if obs.open_:
+            assert scenario.truth.info_for(obs.target).open_
+
+
+def test_categories_only_from_actual_probes(swept):
+    _, _, collector = swept
+    for obs in collector.observations.values():
+        for source in obs.working_sources:
+            probe = collector.probe_index.get((obs.target, source))
+            assert probe is not None
+            assert probe.category in obs.categories
+
+
+def test_port_observations_imply_directness(swept):
+    _, _, collector = swept
+    for obs in collector.observations.values():
+        if obs.ports:
+            assert obs.direct
+
+
+def test_headline_rates_bounded(swept):
+    _, targets, collector = swept
+    result = headline(targets, collector)
+    assert 0.0 <= result.v4.address_rate <= result.v4.asn_rate <= 1.0
+
+
+def test_loopback_hits_only_from_martian_unfiltered(swept):
+    scenario, _, collector = swept
+    for obs in collector.reachable_targets():
+        if SourceCategory.LOOPBACK in obs.categories:
+            assert obs.asn in scenario.truth.martian_unfiltered_asns

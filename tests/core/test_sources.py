@@ -1,0 +1,147 @@
+"""Tests for spoofed-source planning (Section 3.2)."""
+
+from ipaddress import ip_address, ip_network
+
+from repro.core.sources import (
+    MAX_OTHER_PREFIX,
+    SourceCategory,
+    SpoofPlanner,
+)
+from repro.netsim.addresses import (
+    LOOPBACK_V4,
+    LOOPBACK_V6,
+    PRIVATE_SOURCE_V4,
+    PRIVATE_SOURCE_V6,
+    subnet_of,
+)
+from repro.netsim.routing import RoutingTable
+
+
+def make_routes() -> RoutingTable:
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/22", 100)   # 4 /24s
+    routes.announce("20.4.0.0/24", 100)   # 1 more /24
+    routes.announce("30.0.0.0/16", 200)   # big AS: 256 /24s
+    routes.announce("2a00::/62", 300)     # 4 /64s
+    routes.announce("2a01::/64", 301)     # single /64
+    return routes
+
+
+TARGET_V4 = ip_address("20.0.0.10")
+TARGET_V6 = ip_address("2a00::10")
+
+
+class TestPlanShape:
+    def test_all_categories_present(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V4)
+        categories = {s.category for s in plan.sources}
+        assert categories == set(SourceCategory)
+
+    def test_v4_fixed_category_addresses(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V4)
+        assert plan.by_category(SourceCategory.PRIVATE)[0].address == PRIVATE_SOURCE_V4
+        assert plan.by_category(SourceCategory.LOOPBACK)[0].address == LOOPBACK_V4
+        assert plan.by_category(SourceCategory.DST_AS_SRC)[0].address == TARGET_V4
+
+    def test_v6_fixed_category_addresses(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V6)
+        assert plan.by_category(SourceCategory.PRIVATE)[0].address == PRIVATE_SOURCE_V6
+        assert plan.by_category(SourceCategory.LOOPBACK)[0].address == LOOPBACK_V6
+
+    def test_other_prefix_count_and_exclusion(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V4)
+        others = plan.by_category(SourceCategory.OTHER_PREFIX)
+        # AS 100 has 5 /24s; the target's own /24 is excluded.
+        assert len(others) == 4
+        target_subnet = subnet_of(TARGET_V4)
+        for source in others:
+            assert source.address not in target_subnet
+            assert source.address.version == 4
+
+    def test_other_prefix_capped_at_97(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(ip_address("30.0.0.10"))
+        others = plan.by_category(SourceCategory.OTHER_PREFIX)
+        assert len(others) == MAX_OTHER_PREFIX
+        # Max plan size mirrors the paper's 101.
+        assert len(plan) == MAX_OTHER_PREFIX + 4
+
+    def test_same_prefix_in_target_subnet_but_distinct(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V4)
+        same = plan.by_category(SourceCategory.SAME_PREFIX)[0]
+        assert same.address in subnet_of(TARGET_V4)
+        assert same.address != TARGET_V4
+
+    def test_single_prefix_v6_as_has_no_other_prefix(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(ip_address("2a01::10"))
+        assert plan.by_category(SourceCategory.OTHER_PREFIX) == []
+        assert len(plan) == 4
+
+    def test_unrouted_target_returns_none(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        assert planner.plan(ip_address("99.0.0.1")) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        plan_a = SpoofPlanner(make_routes(), seed=7).plan(TARGET_V4)
+        plan_b = SpoofPlanner(make_routes(), seed=7).plan(TARGET_V4)
+        assert [s.address for s in plan_a.sources] == [
+            s.address for s in plan_b.sources
+        ]
+
+    def test_different_seed_differs(self):
+        plan_a = SpoofPlanner(make_routes(), seed=7).plan(ip_address("30.0.0.10"))
+        plan_b = SpoofPlanner(make_routes(), seed=8).plan(ip_address("30.0.0.10"))
+        assert [s.address for s in plan_a.sources] != [
+            s.address for s in plan_b.sources
+        ]
+
+    def test_plan_independent_of_call_order(self):
+        planner = SpoofPlanner(make_routes(), seed=7)
+        first = planner.plan(TARGET_V4)
+        planner.plan(ip_address("30.0.0.10"))
+        second = SpoofPlanner(make_routes(), seed=7).plan(TARGET_V4)
+        assert [s.address for s in first.sources] == [
+            s.address for s in second.sources
+        ]
+
+
+class TestHitlist:
+    def test_hitlist_prefixes_preferred_for_v6(self):
+        hit = ip_network("2a00:0:0:3::/64")
+        planner = SpoofPlanner(
+            make_routes(), seed=1, hitlist=frozenset({hit})
+        )
+        plan = planner.plan(TARGET_V6)
+        others = plan.by_category(SourceCategory.OTHER_PREFIX)
+        assert others[0].address in hit
+
+    def test_v6_host_selection_within_first_100(self):
+        planner = SpoofPlanner(make_routes(), seed=1)
+        plan = planner.plan(TARGET_V6)
+        for source in plan.by_category(SourceCategory.OTHER_PREFIX):
+            offset = int(source.address) - int(
+                subnet_of(source.address).network_address
+            )
+            assert 2 <= offset < 100
+
+
+class TestCategoryRestriction:
+    def test_restricted_planner_only_emits_requested_categories(self):
+        planner = SpoofPlanner(
+            make_routes(),
+            seed=1,
+            categories=frozenset({SourceCategory.SAME_PREFIX}),
+        )
+        plan = planner.plan(TARGET_V4)
+        assert {s.category for s in plan.sources} == {
+            SourceCategory.SAME_PREFIX
+        }
+        assert len(plan) == 1

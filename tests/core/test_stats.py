@@ -1,0 +1,77 @@
+"""Tests for the statistical helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stats import Proportion, rates_compatible, wilson_interval
+
+
+class TestWilson:
+    def test_basic_interval(self):
+        result = wilson_interval(50, 100)
+        assert result.point == 0.5
+        assert 0.40 < result.low < 0.5 < result.high < 0.60
+
+    def test_extremes(self):
+        zero = wilson_interval(0, 100)
+        assert zero.low == 0.0
+        assert zero.high < 0.05
+        full = wilson_interval(100, 100)
+        assert full.high == 1.0
+        assert full.low > 0.95
+
+    def test_zero_trials_vacuous(self):
+        result = wilson_interval(0, 0)
+        assert (result.low, result.high) == (0.0, 1.0)
+        assert result.point == 0.0
+
+    def test_small_sample_wide_interval(self):
+        small = wilson_interval(2, 4)
+        large = wilson_interval(200, 400)
+        assert (small.high - small.low) > (large.high - large.low)
+
+    def test_higher_confidence_wider(self):
+        narrow = wilson_interval(30, 100, confidence=0.90)
+        wide = wilson_interval(30, 100, confidence=0.99)
+        assert wide.low < narrow.low
+        assert wide.high > narrow.high
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+
+    def test_contains_and_str(self):
+        result = wilson_interval(49, 100)
+        assert result.contains(0.5)
+        assert not result.contains(0.9)
+        assert "%" in str(result)
+
+
+class TestCompatibility:
+    def test_same_rate_compatible(self):
+        assert rates_compatible(49, 100, 4900, 10000)
+
+    def test_clearly_different_incompatible(self):
+        assert not rates_compatible(10, 100, 900, 1000)
+
+    def test_paper_scale_comparison(self):
+        """A 240-AS campaign finding ~40% reachable is compatible with
+        the paper's 49% at 54k ASes only when the interval covers it."""
+        paper = wilson_interval(26206, 53922)
+        ours = wilson_interval(95, 240)
+        assert paper.contains(0.486)
+        # Our small-sample interval is wide enough to reason with.
+        assert ours.high - ours.low > 0.1
+
+
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+def test_wilson_properties(successes, trials):
+    successes = min(successes, trials)
+    result = wilson_interval(successes, trials)
+    assert 0.0 <= result.low <= result.point <= result.high <= 1.0
+    assert result.contains(result.point)

@@ -1,0 +1,60 @@
+"""Tests for DITL-style target selection (Section 3.1)."""
+
+from ipaddress import ip_address
+
+from repro.core.targets import select_targets
+from repro.netsim.routing import RoutingTable
+
+
+def make_routes() -> RoutingTable:
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 100)
+    routes.announce("2a00::/32", 600)
+    return routes
+
+
+def test_filters_applied():
+    candidates = [
+        ip_address("20.0.0.1"),       # good
+        ip_address("20.0.0.1"),       # duplicate
+        ip_address("10.0.0.1"),       # special purpose (private)
+        ip_address("192.0.2.7"),      # special purpose (TEST-NET)
+        ip_address("99.0.0.1"),       # unrouted
+        ip_address("2a00::5"),        # good v6
+        ip_address("fe80::1"),        # special purpose v6
+    ]
+    result = select_targets(candidates, make_routes())
+    assert result.stats.candidates == 7
+    assert result.stats.duplicates == 1
+    assert result.stats.special_purpose == 3
+    assert result.stats.unrouted == 1
+    assert result.stats.selected == 2
+    assert len(result) == 2
+
+
+def test_asn_attribution():
+    result = select_targets(
+        [ip_address("20.0.0.1"), ip_address("2a00::5")], make_routes()
+    )
+    by_asn = result.by_asn()
+    assert set(by_asn) == {100, 600}
+    assert result.asns() == {100, 600}
+    assert result.asns(4) == {100}
+    assert result.asns(6) == {600}
+
+
+def test_family_views():
+    result = select_targets(
+        [ip_address("20.0.0.1"), ip_address("20.0.0.2"), ip_address("2a00::5")],
+        make_routes(),
+    )
+    assert result.count(4) == 2
+    assert result.count(6) == 1
+    assert len(result.addresses(4)) == 2
+    assert len(result.addresses()) == 3
+
+
+def test_empty_input():
+    result = select_targets([], make_routes())
+    assert len(result) == 0
+    assert result.stats.selected == 0

@@ -1,0 +1,134 @@
+"""A hand-built mini-Internet for DNS behaviour tests.
+
+Three ASes: infrastructure (root + example.org authoritative), a
+resolver AS, and a client AS with no OSAV (so tests can spoof).  The
+example.org zone carries a wildcard-free static record set plus a
+truncation subdomain, mirroring the shapes the experiment relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import ip_address
+from random import Random
+
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.name import ROOT, Name, name
+from repro.dns.resolver import AccessControl, RecursiveResolver, ResolverConfig
+from repro.dns.rr import A, NS, RR, SOA, TXT, RRType
+from repro.dns.stub import StubResolver
+from repro.dns.zone import Zone
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric
+from repro.oskernel.ports import UniformPoolAllocator
+from repro.oskernel.profiles import os_profile
+
+INFRA_ASN = 1
+RESOLVER_ASN = 2
+CLIENT_ASN = 3
+
+ROOT_ADDR = ip_address("20.0.0.1")
+ORG_ADDR = ip_address("20.0.0.2")
+EXAMPLE_ADDR = ip_address("20.0.0.3")
+RESOLVER_ADDR = ip_address("30.0.0.1")
+CLIENT_ADDR = ip_address("40.0.0.1")
+
+EXAMPLE = name("example.org")
+
+
+def _soa(mname: str) -> SOA:
+    return SOA(name(mname), name("root.example.org"), 1, 60, 60, 60, 30)
+
+
+@dataclass
+class MiniWorld:
+    fabric: Fabric
+    root: AuthoritativeServer
+    org: AuthoritativeServer
+    example: AuthoritativeServer
+    resolver: RecursiveResolver
+    stub: StubResolver
+
+    def run(self) -> None:
+        self.fabric.run()
+
+    def example_queries(self, qname: Name) -> list:
+        return [r for r in self.example.query_log if r.qname == qname]
+
+
+def build_world(
+    *,
+    resolver_config: ResolverConfig | None = None,
+    acl: AccessControl | None = None,
+    resolver_os: str = "ubuntu-modern",
+    seed: int = 5,
+    dsav_resolver_as: bool = False,
+) -> MiniWorld:
+    fabric = Fabric(seed=seed)
+    infra = AutonomousSystem(INFRA_ASN, osav=False, dsav=False, martian_filtering=False)
+    infra.add_prefix("20.0.0.0/16")
+    resolver_as = AutonomousSystem(
+        RESOLVER_ASN, osav=False, dsav=dsav_resolver_as, martian_filtering=False
+    )
+    resolver_as.add_prefix("30.0.0.0/16")
+    client_as = AutonomousSystem(CLIENT_ASN, osav=False, dsav=False)
+    client_as.add_prefix("40.0.0.0/16")
+    for system in (infra, resolver_as, client_as):
+        fabric.add_system(system)
+
+    rng = Random(seed)
+    root = AuthoritativeServer("root", INFRA_ASN, Random(rng.randrange(2**32)))
+    org = AuthoritativeServer("org", INFRA_ASN, Random(rng.randrange(2**32)))
+    example = AuthoritativeServer(
+        "example", INFRA_ASN, Random(rng.randrange(2**32))
+    )
+    fabric.attach(root, ROOT_ADDR)
+    fabric.attach(org, ORG_ADDR)
+    fabric.attach(example, EXAMPLE_ADDR)
+
+    root_zone = Zone(ROOT, _soa("root-server."))
+    root_zone.add(RR(ROOT, RRType.NS, 1, 518400, NS(name("root-server."))))
+    root_zone.add(RR(name("root-server."), RRType.A, 1, 518400, A(ROOT_ADDR)))
+    root_zone.add(RR(name("org."), RRType.NS, 1, 172800, NS(name("ns.org."))))
+    root_zone.add(RR(name("ns.org."), RRType.A, 1, 172800, A(ORG_ADDR)))
+    root.add_zone(root_zone)
+
+    org_zone = Zone(name("org."), _soa("ns.org."))
+    org_zone.add(RR(name("org."), RRType.NS, 1, 172800, NS(name("ns.org."))))
+    org_zone.add(RR(name("ns.org."), RRType.A, 1, 172800, A(ORG_ADDR)))
+    org_zone.add(RR(EXAMPLE, RRType.NS, 1, 86400, NS(name("ns.example.org."))))
+    org_zone.add(RR(name("ns.example.org."), RRType.A, 1, 86400, A(EXAMPLE_ADDR)))
+    org.add_zone(org_zone)
+
+    example_zone = Zone(EXAMPLE, _soa("ns.example.org."))
+    example_zone.add(RR(EXAMPLE, RRType.NS, 1, 86400, NS(name("ns.example.org."))))
+    example_zone.add(RR(name("ns.example.org."), RRType.A, 1, 86400, A(EXAMPLE_ADDR)))
+    example_zone.add(
+        RR(name("www.example.org."), RRType.A, 1, 300, A(ip_address("20.0.9.9")))
+    )
+    example_zone.add(
+        RR(name("txt.example.org."), RRType.TXT, 1, 300, TXT.from_text("hello"))
+    )
+    example.add_zone(example_zone)
+    example.add_truncation_domain(name("tc.example.org."))
+    # tc.* names also need data so TCP retries resolve.
+    example_zone.add(
+        RR(name("x.tc.example.org."), RRType.A, 1, 300, A(ip_address("20.0.9.10")))
+    )
+
+    resolver = RecursiveResolver(
+        "resolver",
+        RESOLVER_ASN,
+        os_profile(resolver_os),
+        Random(seed + 1),
+        port_allocator=UniformPoolAllocator.linux_default(Random(seed + 2)),
+        acl=acl or AccessControl(open_=True),
+        config=resolver_config,
+        root_hints=[ROOT_ADDR],
+    )
+    fabric.attach(resolver, RESOLVER_ADDR)
+
+    stub = StubResolver("stub", CLIENT_ASN, Random(seed + 3))
+    fabric.attach(stub, CLIENT_ADDR)
+
+    return MiniWorld(fabric, root, org, example, resolver, stub)

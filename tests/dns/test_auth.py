@@ -1,0 +1,148 @@
+"""Tests for the authoritative server: logging, negatives, truncation."""
+
+from ipaddress import ip_address
+from random import Random
+
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.message import Flag, Message, Rcode
+from repro.dns.name import name
+from repro.dns.rr import A, NS, RR, SOA, RRType
+from repro.dns.zone import Zone
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric, Host
+from repro.netsim.packet import Packet, Transport
+
+AUTH_ADDR = ip_address("20.0.0.1")
+CLIENT_ADDR = ip_address("20.0.0.2")
+
+
+class Probe(Host):
+    def __init__(self):
+        super().__init__("probe", 1)
+        self.responses = []
+
+    def handle_packet(self, packet):
+        self.responses.append(Message.from_wire(packet.payload))
+
+
+def build():
+    fabric = Fabric()
+    system = AutonomousSystem(1, osav=False, dsav=False)
+    system.add_prefix("20.0.0.0/16")
+    fabric.add_system(system)
+    auth = AuthoritativeServer("auth", 1, Random(1))
+    fabric.attach(auth, AUTH_ADDR)
+    zone = Zone(
+        name("example.org"),
+        SOA(name("ns."), name("root."), 1, 60, 60, 60, 30),
+    )
+    zone.add(RR(name("example.org"), RRType.NS, 1, 60, NS(name("ns.example.org"))))
+    zone.add(RR(name("ns.example.org"), RRType.A, 1, 60, A(ip_address("20.0.0.1"))))
+    zone.add(RR(name("www.example.org"), RRType.A, 1, 60, A(ip_address("20.0.9.9"))))
+    auth.add_zone(zone)
+    probe = Probe()
+    fabric.attach(probe, CLIENT_ADDR)
+    return fabric, auth, probe
+
+
+def send_query(fabric, probe, qname, qtype=RRType.A, msg_id=7):
+    query = Message.make_query(msg_id, qname, qtype)
+    probe.send(
+        Packet(
+            src=CLIENT_ADDR,
+            dst=AUTH_ADDR,
+            sport=4444,
+            dport=53,
+            payload=query.to_wire(),
+        )
+    )
+    fabric.run()
+
+
+def test_answer_and_log():
+    fabric, auth, probe = build()
+    send_query(fabric, probe, name("www.example.org"))
+    assert len(probe.responses) == 1
+    response = probe.responses[0]
+    assert response.rcode is Rcode.NOERROR
+    assert response.flags & Flag.AA
+    assert len(auth.query_log) == 1
+    record = auth.query_log[0]
+    assert record.qname == name("www.example.org")
+    assert record.src == CLIENT_ADDR
+    assert record.sport == 4444
+    assert record.transport is Transport.UDP
+    assert record.server_name == "auth"
+
+
+def test_nxdomain_with_soa():
+    fabric, auth, probe = build()
+    send_query(fabric, probe, name("nothing.example.org"))
+    response = probe.responses[0]
+    assert response.rcode is Rcode.NXDOMAIN
+    assert any(rr.rrtype == RRType.SOA for rr in response.authority)
+
+
+def test_off_zone_query_refused_but_logged():
+    fabric, auth, probe = build()
+    send_query(fabric, probe, name("www.elsewhere.net"))
+    assert probe.responses[0].rcode is Rcode.REFUSED
+    assert len(auth.query_log) == 1
+
+
+def test_truncation_domain_sets_tc():
+    fabric, auth, probe = build()
+    auth.add_truncation_domain(name("tc.example.org"))
+    send_query(fabric, probe, name("x.tc.example.org"))
+    response = probe.responses[0]
+    assert response.is_truncated
+    assert response.answers == []
+
+
+def test_refuse_all_mode():
+    fabric, auth, probe = build()
+    auth.refuse_all = True
+    send_query(fabric, probe, name("www.example.org"))
+    assert probe.responses[0].rcode is Rcode.REFUSED
+
+
+def test_observers_called_in_real_time():
+    fabric, auth, probe = build()
+    seen = []
+    auth.add_observer(lambda record: seen.append(record.qname))
+    send_query(fabric, probe, name("www.example.org"))
+    assert seen == [name("www.example.org")]
+
+
+def test_response_id_matches_query():
+    fabric, auth, probe = build()
+    send_query(fabric, probe, name("www.example.org"), msg_id=4242)
+    assert probe.responses[0].msg_id == 4242
+
+
+def test_most_specific_zone_selected():
+    fabric, auth, probe = build()
+    child_zone = Zone(
+        name("sub.example.org"),
+        SOA(name("ns."), name("root."), 1, 60, 60, 60, 30),
+    )
+    child_zone.add(
+        RR(name("h.sub.example.org"), RRType.A, 1, 60, A(ip_address("20.0.8.8")))
+    )
+    auth.add_zone(child_zone)
+    send_query(fabric, probe, name("h.sub.example.org"))
+    response = probe.responses[0]
+    assert response.rcode is Rcode.NOERROR
+    assert response.answers[0].rdata.address == ip_address("20.0.8.8")
+
+
+def test_malformed_payload_counted_not_crashing():
+    fabric, auth, probe = build()
+    probe.send(
+        Packet(
+            src=CLIENT_ADDR, dst=AUTH_ADDR, sport=1, dport=53, payload=b"nonsense"
+        )
+    )
+    fabric.run()
+    assert auth.malformed_count == 1
+    assert auth.query_log == []

@@ -1,0 +1,126 @@
+"""Tests for the resolver cache (positive, negative, RFC 8020 cuts)."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns.cache import Cache
+from repro.dns.message import Rcode
+from repro.dns.name import name
+from repro.dns.rr import A, RR, RRType
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return Cache(clock=clock)
+
+
+def a_rr(owner: str, ttl: int = 300) -> RR:
+    return RR(name(owner), RRType.A, 1, ttl, A(IPv4Address("1.2.3.4")))
+
+
+class TestPositive:
+    def test_hit_before_expiry(self, cache, clock):
+        cache.put_positive(name("a.org"), RRType.A, [a_rr("a.org", 100)])
+        clock.now = 99.0
+        entry = cache.get(name("a.org"), RRType.A)
+        assert entry is not None
+        assert not entry.is_negative
+        assert cache.hits == 1
+
+    def test_miss_after_expiry(self, cache, clock):
+        cache.put_positive(name("a.org"), RRType.A, [a_rr("a.org", 100)])
+        clock.now = 100.0
+        assert cache.get(name("a.org"), RRType.A) is None
+        assert cache.misses == 1
+
+    def test_min_ttl_governs(self, cache, clock):
+        cache.put_positive(
+            name("a.org"), RRType.A, [a_rr("a.org", 100), a_rr("a.org", 10)]
+        )
+        clock.now = 11.0
+        assert cache.get(name("a.org"), RRType.A) is None
+
+    def test_empty_positive_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.put_positive(name("a.org"), RRType.A, [])
+
+    def test_case_insensitive_keys(self, cache):
+        cache.put_positive(name("A.ORG"), RRType.A, [a_rr("a.org")])
+        assert cache.get(name("a.org"), RRType.A) is not None
+
+
+class TestNegative:
+    def test_nodata_entry(self, cache):
+        cache.put_negative(name("a.org"), RRType.TXT, Rcode.NOERROR, 60)
+        entry = cache.get(name("a.org"), RRType.TXT)
+        assert entry.is_negative
+        assert entry.rcode is Rcode.NOERROR
+
+    def test_nxdomain_entry(self, cache):
+        cache.put_negative(name("a.org"), RRType.A, Rcode.NXDOMAIN, 60)
+        entry = cache.get(name("a.org"), RRType.A)
+        assert entry.rcode is Rcode.NXDOMAIN
+
+    def test_bad_rcode_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.put_negative(name("a.org"), RRType.A, Rcode.SERVFAIL, 60)
+
+
+class TestRFC8020:
+    def test_covering_nxdomain_for_descendants(self, cache):
+        cache.put_negative(name("b.org"), RRType.A, Rcode.NXDOMAIN, 60)
+        assert cache.covering_nxdomain(name("x.y.b.org")) == name("b.org")
+        assert cache.covering_nxdomain(name("b.org")) == name("b.org")
+
+    def test_no_covering_for_siblings(self, cache):
+        cache.put_negative(name("b.org"), RRType.A, Rcode.NXDOMAIN, 60)
+        assert cache.covering_nxdomain(name("c.org")) is None
+
+    def test_covering_expires(self, cache, clock):
+        cache.put_negative(name("b.org"), RRType.A, Rcode.NXDOMAIN, 60)
+        clock.now = 61.0
+        assert cache.covering_nxdomain(name("x.b.org")) is None
+
+    def test_nodata_does_not_create_cut(self, cache):
+        cache.put_negative(name("b.org"), RRType.A, Rcode.NOERROR, 60)
+        assert cache.covering_nxdomain(name("x.b.org")) is None
+
+
+class TestEviction:
+    def test_flush(self, cache):
+        cache.put_positive(name("a.org"), RRType.A, [a_rr("a.org")])
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_expired_entries_evicted_at_capacity(self, clock):
+        cache = Cache(clock=clock, max_entries=5)
+        for i in range(5):
+            cache.put_positive(name(f"h{i}.org"), RRType.A, [a_rr(f"h{i}.org", 10)])
+        clock.now = 11.0
+        cache.put_positive(name("new.org"), RRType.A, [a_rr("new.org", 100)])
+        assert len(cache) == 1
+        assert cache.get(name("new.org"), RRType.A) is not None
+
+    def test_closest_expiry_evicted_when_full(self, clock):
+        cache = Cache(clock=clock, max_entries=3)
+        cache.put_positive(name("a.org"), RRType.A, [a_rr("a.org", 10)])
+        cache.put_positive(name("b.org"), RRType.A, [a_rr("b.org", 100)])
+        cache.put_positive(name("c.org"), RRType.A, [a_rr("c.org", 100)])
+        cache.put_positive(name("d.org"), RRType.A, [a_rr("d.org", 100)])
+        assert len(cache) == 3
+        assert cache.get(name("a.org"), RRType.A) is None  # evicted
+        assert cache.get(name("d.org"), RRType.A) is not None

@@ -1,0 +1,173 @@
+"""Tests for DNS cookies (RFC 7873): EDNS options, echo, forgery defense."""
+
+import pytest
+
+from repro.dns.message import (
+    EDNS_COOKIE,
+    Message,
+    Rcode,
+    decode_edns_options,
+    encode_edns_options,
+)
+from repro.dns.name import name
+from repro.dns.resolver import ResolverConfig
+from repro.dns.rr import RRType
+
+from .helpers import EXAMPLE_ADDR, RESOLVER_ADDR, build_world
+
+
+class TestEdnsOptionCodec:
+    def test_roundtrip(self):
+        options = [(10, b"\x01" * 8), (15, b"hi")]
+        assert decode_edns_options(encode_edns_options(options)) == options
+
+    def test_empty(self):
+        assert decode_edns_options(b"") == []
+        assert encode_edns_options([]) == b""
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            decode_edns_options(b"\x00\x0a\x00")
+
+    def test_truncated_data_rejected(self):
+        with pytest.raises(ValueError):
+            decode_edns_options(b"\x00\x0a\x00\x08\x01")
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(ValueError):
+            encode_edns_options([(70000, b"")])
+
+    def test_message_option_api(self):
+        query = Message.make_query(1, name("a.org"), RRType.A)
+        assert query.edns_option(EDNS_COOKIE) is None
+        query.set_edns_option(EDNS_COOKIE, b"12345678")
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_option(EDNS_COOKIE) == b"12345678"
+        # Replacement, not duplication.
+        query.set_edns_option(EDNS_COOKIE, b"abcdefgh")
+        assert [
+            data
+            for code, data in query.edns_options()
+            if code == EDNS_COOKIE
+        ] == [b"abcdefgh"]
+
+
+class TestCookieExchange:
+    def test_resolution_works_with_cookies(self):
+        world = build_world(
+            resolver_config=ResolverConfig(use_cookies=True)
+        )
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        assert responses[0].rcode is Rcode.NOERROR
+        assert world.example.cookies_echoed >= 1
+        # The resolver learned the servers support cookies and stored
+        # their server cookies.
+        assert EXAMPLE_ADDR in world.resolver._cookie_servers
+        assert EXAMPLE_ADDR in world.resolver._server_cookies
+
+    def test_server_cookie_reused_on_later_queries(self):
+        world = build_world(
+            resolver_config=ResolverConfig(use_cookies=True)
+        )
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        stored = world.resolver._server_cookies[EXAMPLE_ADDR]
+        world.stub.query(
+            RESOLVER_ADDR, name("txt.example.org"), RRType.TXT,
+            responses.append,
+        )
+        world.run()
+        # Second exchange included the stored server cookie; the server
+        # regenerates the same one (keyed hash over the client address).
+        assert world.resolver._server_cookies[EXAMPLE_ADDR] == stored
+
+    def test_cookieless_server_still_usable(self):
+        world = build_world(
+            resolver_config=ResolverConfig(use_cookies=True)
+        )
+        world.example.cookie_secret = None  # legacy server
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        assert responses[0].rcode is Rcode.NOERROR
+        assert EXAMPLE_ADDR not in world.resolver._cookie_servers
+
+
+class TestForgeryDefense:
+    def _prime(self, world):
+        """One legitimate exchange so the resolver learns the servers
+        support cookies."""
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        assert responses[0].rcode is Rcode.NOERROR
+
+    def test_cookieless_forgery_rejected_after_priming(self):
+        world = build_world(
+            resolver_config=ResolverConfig(use_cookies=True)
+        )
+        self._prime(world)
+
+        # Strip cookies from all subsequent example-server responses,
+        # as a blind off-path attacker (who cannot see the cookie)
+        # must.
+        original = world.example.handle_dns
+
+        def cookie_stripping(message, packet, transport, respond):
+            def stripped(response):
+                response.additional = [
+                    rr
+                    for rr in response.additional
+                    if rr.rrtype != RRType.OPT
+                ]
+                from repro.dns.message import _make_opt, EDNS_UDP_PAYLOAD_SIZE
+
+                response.additional.append(
+                    _make_opt(EDNS_UDP_PAYLOAD_SIZE)
+                )
+                respond(response)
+
+            original(message, packet, transport, stripped)
+
+        world.example.handle_dns = cookie_stripping
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("txt.example.org"), RRType.TXT,
+            responses.append,
+        )
+        world.run()
+        # Every cookieless response was rejected as a forgery.
+        assert responses[0].rcode is Rcode.SERVFAIL
+
+    def test_wrong_client_cookie_rejected(self):
+        world = build_world(
+            resolver_config=ResolverConfig(use_cookies=True)
+        )
+        original = world.example.handle_dns
+
+        def cookie_mangling(message, packet, transport, respond):
+            def mangled(response):
+                if response.edns_option(EDNS_COOKIE) is not None:
+                    response.set_edns_option(EDNS_COOKIE, b"\xff" * 16)
+                respond(response)
+
+            original(message, packet, transport, mangled)
+
+        world.example.handle_dns = cookie_mangling
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        assert responses[0].rcode is Rcode.SERVFAIL

@@ -1,0 +1,220 @@
+"""Unit and property tests for the DNS message wire codec."""
+
+from ipaddress import IPv4Address
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import (
+    DEFAULT_UDP_PAYLOAD_SIZE,
+    EDNS_UDP_PAYLOAD_SIZE,
+    Flag,
+    Message,
+    Opcode,
+    Question,
+    Rcode,
+)
+from repro.dns.name import Name, name
+from repro.dns.rr import A, NS, RR, SOA, TXT, RRType
+
+
+def sample_rrs():
+    return [
+        RR(name("a.example.org"), RRType.A, 1, 300, A(IPv4Address("1.2.3.4"))),
+        RR(name("example.org"), RRType.NS, 1, 86400, NS(name("ns1.example.org"))),
+        RR(
+            name("example.org"),
+            RRType.SOA,
+            1,
+            3600,
+            SOA(name("ns1.example.org"), name("root.example.org"), 1, 2, 3, 4, 5),
+        ),
+        RR(name("t.example.org"), RRType.TXT, 1, 60, TXT.from_text("hi")),
+    ]
+
+
+class TestRoundtrip:
+    def test_query_roundtrip(self):
+        query = Message.make_query(4321, name("www.example.org"), RRType.A)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.msg_id == 4321
+        assert decoded.question == Question(name("www.example.org"), RRType.A)
+        assert decoded.flags & Flag.RD
+        assert not decoded.is_response
+        assert decoded.edns_payload_size() == EDNS_UDP_PAYLOAD_SIZE
+
+    def test_query_without_edns(self):
+        query = Message.make_query(1, name("a.org"), RRType.A, edns=False)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_payload_size() is None
+        assert decoded.max_udp_size() == DEFAULT_UDP_PAYLOAD_SIZE
+
+    def test_response_with_sections(self):
+        query = Message.make_query(7, name("a.example.org"), RRType.A)
+        response = query.make_response(authoritative=True)
+        rrs = sample_rrs()
+        response.answers.append(rrs[0])
+        response.authority.append(rrs[1])
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.is_response
+        assert decoded.flags & Flag.AA
+        assert len(decoded.answers) == 1
+        assert decoded.answers[0].rdata == rrs[0].rdata
+        assert decoded.authority[0].rdata == rrs[1].rdata
+
+    def test_rcode_roundtrip(self):
+        query = Message.make_query(7, name("a.org"), RRType.A)
+        response = query.make_response()
+        response.rcode = Rcode.NXDOMAIN
+        assert Message.from_wire(response.to_wire()).rcode is Rcode.NXDOMAIN
+
+    def test_soa_in_authority_roundtrip(self):
+        query = Message.make_query(9, name("x.example.org"), RRType.A)
+        response = query.make_response()
+        response.authority.append(sample_rrs()[2])
+        decoded = Message.from_wire(response.to_wire())
+        soa = decoded.authority[0].rdata
+        assert soa.mname == name("ns1.example.org")
+        assert soa.minimum == 5
+
+
+class TestCompression:
+    def test_compression_shrinks_message(self):
+        msg = Message(1, question=Question(name("www.example.org"), RRType.A))
+        msg.answers.extend(
+            RR(name("www.example.org"), RRType.A, 1, 300, A(IPv4Address(f"1.2.3.{i}")))
+            for i in range(4)
+        )
+        wire = msg.to_wire()
+        # Uncompressed owner name is 17 bytes; pointers are 2 bytes.
+        uncompressed_estimate = len(msg.question.qname.to_wire()) * 5
+        compressed_names = len(msg.question.qname.to_wire()) + 2 * 4
+        assert len(wire) < 12 + 4 + uncompressed_estimate + 4 * 14
+        decoded = Message.from_wire(wire)
+        assert len(decoded.answers) == 4
+        assert all(rr.name == name("www.example.org") for rr in decoded.answers)
+
+    def test_case_insensitive_compression_targets(self):
+        msg = Message(1, question=Question(name("WWW.Example.ORG"), RRType.A))
+        msg.answers.append(
+            RR(name("www.example.org"), RRType.A, 1, 300, A(IPv4Address("1.2.3.4")))
+        )
+        decoded = Message.from_wire(msg.to_wire())
+        assert decoded.answers[0].name == name("www.example.org")
+
+
+class TestTruncation:
+    def test_truncated_copy_empties_sections(self):
+        query = Message.make_query(7, name("a.example.org"), RRType.TXT)
+        response = query.make_response()
+        response.answers.append(sample_rrs()[3])
+        truncated = response.truncated_copy()
+        assert truncated.is_truncated
+        assert truncated.answers == []
+        decoded = Message.from_wire(truncated.to_wire())
+        assert decoded.is_truncated
+
+
+class TestValidation:
+    def test_bad_id_rejected(self):
+        with pytest.raises(ValueError):
+            Message(70000)
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(ValueError):
+            Message.from_wire(b"\x00\x01")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Message.from_wire(b"\xff" * 11)
+
+    def test_multi_question_rejected(self):
+        header = (5).to_bytes(2, "big") + b"\x00\x00" + (2).to_bytes(2, "big") + b"\x00" * 6
+        with pytest.raises(ValueError):
+            Message.from_wire(header + name("a.org").to_wire() + b"\x00\x01\x00\x01")
+
+    def test_summary_mentions_question(self):
+        query = Message.make_query(3, name("a.org"), RRType.A)
+        assert "a.org." in query.summary()
+        assert "query" in query.summary()
+
+
+# -- fuzz: the decoder is total over arbitrary bytes -------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=200))
+def test_decoder_never_crashes_on_garbage(data):
+    """Message.from_wire either decodes or raises ValueError — never
+    anything else, whatever bytes arrive off the wire."""
+    try:
+        Message.from_wire(data)
+    except ValueError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_decoder_survives_truncated_valid_messages(data):
+    """Any prefix of a valid message either parses or ValueErrors."""
+    query = Message.make_query(7, name("www.example.org"), RRType.A)
+    wire = query.to_wire()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire)))
+    try:
+        Message.from_wire(wire[:cut])
+    except ValueError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=60), st.integers(0, 59))
+def test_decoder_survives_bit_flips(noise, position):
+    """Corrupting a valid message never escapes as a non-ValueError."""
+    query = Message.make_query(7, name("www.example.org"), RRType.A)
+    wire = bytearray(query.to_wire())
+    for index, byte in enumerate(noise):
+        wire[(position + index) % len(wire)] ^= byte
+    try:
+        Message.from_wire(bytes(wire))
+    except ValueError:
+        pass
+
+
+# -- property test: arbitrary messages survive the wire ---------------------
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10)
+_name = st.lists(_label, min_size=1, max_size=4).map(
+    lambda ls: Name(tuple(l.encode() for l in ls))
+)
+_a_rr = st.tuples(_name, st.integers(0, 2**32 - 1), st.integers(0, 3600)).map(
+    lambda t: RR(t[0], RRType.A, 1, t[2], A(IPv4Address(t[1])))
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.integers(0, 0xFFFF),
+    _name,
+    st.sampled_from([RRType.A, RRType.AAAA, RRType.NS, RRType.TXT]),
+    st.lists(_a_rr, max_size=5),
+    st.sampled_from(list(Rcode)),
+    st.booleans(),
+)
+def test_message_wire_roundtrip(msg_id, qname, qtype, answers, rcode, rd):
+    message = Message(
+        msg_id,
+        flags=(Flag.RD if rd else Flag(0)) | Flag.QR,
+        rcode=rcode,
+        question=Question(qname, qtype),
+    )
+    message.answers.extend(answers)
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.msg_id == msg_id
+    assert decoded.rcode == rcode
+    assert decoded.question == Question(qname, qtype)
+    assert bool(decoded.flags & Flag.RD) == rd
+    assert len(decoded.answers) == len(answers)
+    for got, expected in zip(decoded.answers, answers):
+        assert got.name == expected.name
+        assert got.ttl == expected.ttl
+        assert got.rdata == expected.rdata

@@ -1,0 +1,157 @@
+"""Unit and property tests for domain names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.name import MAX_LABEL_LENGTH, ROOT, Name, NameError_, name
+
+
+class TestParsing:
+    def test_simple(self):
+        parsed = name("example.org")
+        assert len(parsed) == 2
+        assert str(parsed) == "example.org."
+
+    def test_trailing_dot_optional(self):
+        assert name("example.org.") == name("example.org")
+
+    def test_root(self):
+        assert name(".") is ROOT
+        assert str(ROOT) == "."
+        assert ROOT.is_root
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(NameError_):
+            name("a..b")
+
+    def test_long_label_rejected(self):
+        with pytest.raises(NameError_):
+            name("a" * 64 + ".org")
+
+    def test_max_label_accepted(self):
+        parsed = name("a" * MAX_LABEL_LENGTH + ".org")
+        assert len(parsed.labels[0]) == 63
+
+    def test_total_length_limit(self):
+        with pytest.raises(NameError_):
+            Name(tuple(b"a" * 63 for _ in range(5)))
+
+
+class TestComparison:
+    def test_case_insensitive_equality(self):
+        assert name("EXAMPLE.ORG") == name("example.org")
+        assert hash(name("EXAMPLE.ORG")) == hash(name("example.org"))
+
+    def test_case_preserved_in_text(self):
+        assert str(name("Example.ORG")) == "Example.ORG."
+
+    def test_canonical_ordering_from_rightmost_label(self):
+        assert name("a.example.org") < name("b.example.org")
+        assert name("z.alpha.org") < name("a.beta.org")
+
+    def test_inequality_with_non_name(self):
+        assert name("a.org") != "a.org"
+
+
+class TestStructure:
+    def test_parent(self):
+        assert name("a.b.c").parent() == name("b.c")
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_child(self):
+        assert name("org").child("example") == name("example.org")
+        assert name("org").child(b"example") == name("example.org")
+
+    def test_subdomain(self):
+        assert name("a.example.org").is_subdomain_of(name("example.org"))
+        assert name("example.org").is_subdomain_of(name("example.org"))
+        assert not name("example.org").is_subdomain_of(name("a.example.org"))
+        assert not name("badexample.org").is_subdomain_of(name("example.org"))
+        assert name("anything.at.all").is_subdomain_of(ROOT)
+
+    def test_subdomain_case_insensitive(self):
+        assert name("A.EXAMPLE.ORG").is_subdomain_of(name("example.org"))
+
+    def test_relativize(self):
+        rel = name("a.b.example.org").relativize(name("example.org"))
+        assert rel == (b"a", b"b")
+        with pytest.raises(NameError_):
+            name("a.org").relativize(name("example.org"))
+
+    def test_ancestors(self):
+        chain = list(name("a.b.c").ancestors())
+        assert chain == [name("a.b.c"), name("b.c"), name("c"), ROOT]
+
+
+class TestWire:
+    def test_roundtrip_uncompressed(self):
+        original = name("www.example.org")
+        decoded, consumed = Name.from_wire(original.to_wire(), 0)
+        assert decoded == original
+        assert consumed == len(original.to_wire())
+
+    def test_root_wire(self):
+        assert ROOT.to_wire() == b"\x00"
+
+    def test_compression_pointer(self):
+        # "example.org" at offset 0, then "www" + pointer to offset 0.
+        base = name("example.org").to_wire()
+        data = base + b"\x03www" + bytes([0xC0, 0x00])
+        decoded, consumed = Name.from_wire(data, len(base))
+        assert decoded == name("www.example.org")
+        assert consumed == len(data)
+
+    def test_pointer_loop_detected(self):
+        data = bytes([0xC0, 0x00])
+        with pytest.raises(NameError_):
+            Name.from_wire(data, 0)
+
+    def test_forward_pointer_rejected(self):
+        data = bytes([0xC0, 0x05, 0, 0, 0, 0])
+        with pytest.raises(NameError_):
+            Name.from_wire(data, 0)
+
+    def test_truncated_name(self):
+        with pytest.raises(NameError_):
+            Name.from_wire(b"\x05abc", 0)
+
+    def test_truncated_pointer(self):
+        with pytest.raises(NameError_):
+            Name.from_wire(b"\xc0", 0)
+
+    def test_reserved_label_type(self):
+        with pytest.raises(NameError_):
+            Name.from_wire(b"\x80abc", 0)
+
+
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+).filter(lambda s: not s.startswith("-"))
+
+
+@given(st.lists(_label, min_size=0, max_size=6))
+def test_text_roundtrip(labels):
+    text = ".".join(labels) if labels else "."
+    parsed = name(text)
+    assert name(str(parsed)) == parsed
+
+
+@given(st.lists(_label, min_size=0, max_size=6))
+def test_wire_roundtrip(labels):
+    original = Name(tuple(l.encode() for l in labels))
+    decoded, consumed = Name.from_wire(original.to_wire(), 0)
+    assert decoded == original
+    assert consumed == len(original.to_wire())
+
+
+@given(st.lists(_label, min_size=1, max_size=4), st.lists(_label, min_size=0, max_size=3))
+def test_subdomain_composition(suffix_labels, prefix_labels):
+    suffix = Name(tuple(l.encode() for l in suffix_labels))
+    combined = suffix
+    for label in prefix_labels:
+        combined = combined.child(label)
+    assert combined.is_subdomain_of(suffix)
+    assert combined.relativize(suffix) == tuple(
+        l.encode() for l in reversed(prefix_labels)
+    )

@@ -1,0 +1,466 @@
+"""Behaviour tests for the recursive resolver over the mini-Internet."""
+
+from ipaddress import ip_network
+
+import pytest
+
+from repro.dns.message import Flag, Rcode
+from repro.dns.name import name
+from repro.dns.resolver import AccessControl, ResolverConfig
+from repro.dns.rr import RRType
+
+from .helpers import (
+    CLIENT_ADDR,
+    EXAMPLE_ADDR,
+    RESOLVER_ADDR,
+    build_world,
+)
+
+
+def query_and_collect(world, qname, qtype=RRType.A):
+    responses = []
+    world.stub.query(RESOLVER_ADDR, qname, qtype, responses.append)
+    world.run()
+    return responses
+
+
+class TestIterativeResolution:
+    def test_resolves_via_referrals(self):
+        world = build_world()
+        responses = query_and_collect(world, name("www.example.org"))
+        assert len(responses) == 1
+        response = responses[0]
+        assert response is not None
+        assert response.rcode is Rcode.NOERROR
+        assert response.flags & Flag.RA
+        assert any(rr.rrtype == RRType.A for rr in response.answers)
+        # The walk touched root, org, and the example server.
+        assert len(world.root.query_log) == 1
+        assert len(world.org.query_log) == 1
+        assert len(world.example.query_log) == 1
+
+    def test_nxdomain_propagates(self):
+        world = build_world()
+        responses = query_and_collect(world, name("missing.example.org"))
+        assert responses[0].rcode is Rcode.NXDOMAIN
+
+    def test_nodata_returns_noerror_empty(self):
+        world = build_world()
+        responses = query_and_collect(world, name("www.example.org"), RRType.TXT)
+        assert responses[0].rcode is Rcode.NOERROR
+        assert responses[0].answers == []
+
+    def test_delegations_cached_across_queries(self):
+        world = build_world()
+        query_and_collect(world, name("www.example.org"))
+        query_and_collect(world, name("txt.example.org"), RRType.TXT)
+        # Root and org were consulted only once; the delegation to
+        # example.org was cached.
+        assert len(world.root.query_log) == 1
+        assert len(world.org.query_log) == 1
+        assert len(world.example.query_log) == 2
+
+    def test_answers_cached(self):
+        world = build_world()
+        query_and_collect(world, name("www.example.org"))
+        query_and_collect(world, name("www.example.org"))
+        assert len(world.example.query_log) == 1
+        assert world.resolver.stats["cache_answers"] == 1
+
+    def test_negative_answers_cached(self):
+        world = build_world()
+        query_and_collect(world, name("missing.example.org"))
+        responses = query_and_collect(world, name("missing.example.org"))
+        assert responses[0].rcode is Rcode.NXDOMAIN
+        assert len(world.example.query_log) == 1
+
+    def test_rfc8020_cut_answers_subdomains(self):
+        world = build_world()
+        query_and_collect(world, name("missing.example.org"))
+        responses = query_and_collect(world, name("deep.missing.example.org"))
+        assert responses[0].rcode is Rcode.NXDOMAIN
+        assert len(world.example.query_log) == 1  # no new upstream query
+
+
+class TestACL:
+    def test_closed_resolver_refuses_outsider(self):
+        world = build_world(
+            acl=AccessControl(allowed_prefixes=(ip_network("30.0.0.0/16"),))
+        )
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.REFUSED
+        assert world.example.query_log == []
+        assert world.resolver.stats["refused"] == 1
+
+    def test_closed_resolver_serves_allowed_prefix(self):
+        world = build_world(
+            acl=AccessControl(allowed_prefixes=(ip_network("40.0.0.0/16"),))
+        )
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.NOERROR
+
+    def test_denied_prefix_wins_over_allow(self):
+        world = build_world(
+            acl=AccessControl(
+                allowed_prefixes=(ip_network("40.0.0.0/16"),),
+                denied_prefixes=(ip_network("40.0.0.0/24"),),
+            )
+        )
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.REFUSED
+
+    def test_non_rd_query_refused(self):
+        world = build_world()
+        from repro.dns.message import Message
+
+        message = Message.make_query(
+            77, name("www.example.org"), RRType.A, recursion_desired=False
+        )
+        from repro.netsim.packet import Packet
+
+        world.stub.send(
+            Packet(
+                src=CLIENT_ADDR,
+                dst=RESOLVER_ADDR,
+                sport=5555,
+                dport=53,
+                payload=message.to_wire(),
+            )
+        )
+        world.run()
+        assert world.example.query_log == []
+
+
+class TestQnameMinimization:
+    def test_minimized_labels_sent_upstream(self):
+        world = build_world(
+            resolver_config=ResolverConfig(qname_minimization="strict")
+        )
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.NOERROR
+        # The example server saw an NS probe for the full name's next
+        # label rather than only the full name.
+        qnames = [r.qname for r in world.example.query_log]
+        assert name("www.example.org") in qnames
+
+    def test_strict_halts_on_intermediate_nxdomain(self):
+        """RFC 8020 behaviour: NXDOMAIN for a prefix stops descent, so
+        the full query name never reaches the authoritative server
+        (the Section 3.6.4 visibility gap)."""
+        world = build_world(
+            resolver_config=ResolverConfig(qname_minimization="strict")
+        )
+        full = name("leaf.deep.missing.example.org")
+        responses = query_and_collect(world, full)
+        assert responses[0].rcode is Rcode.NXDOMAIN
+        qnames = [r.qname for r in world.example.query_log]
+        assert full not in qnames
+        assert name("missing.example.org") in qnames
+
+    def test_relaxed_falls_back_to_full_qname(self):
+        world = build_world(
+            resolver_config=ResolverConfig(qname_minimization="relaxed")
+        )
+        full = name("leaf.deep.missing.example.org")
+        responses = query_and_collect(world, full)
+        assert responses[0].rcode is Rcode.NXDOMAIN
+        qnames = [r.qname for r in world.example.query_log]
+        assert full in qnames
+
+
+class TestForwarding:
+    def test_forwarder_delegates_to_upstream(self):
+        upstream_world = build_world()
+        # Build a second resolver in the same fabric that forwards to
+        # the first.
+        from random import Random
+
+        from repro.dns.resolver import RecursiveResolver
+        from repro.oskernel.ports import UniformPoolAllocator
+        from repro.oskernel.profiles import os_profile
+        from ipaddress import ip_address
+
+        forwarder = RecursiveResolver(
+            "forwarder",
+            2,
+            os_profile("ubuntu-modern"),
+            Random(9),
+            port_allocator=UniformPoolAllocator.linux_default(Random(10)),
+            acl=AccessControl(open_=True),
+            config=ResolverConfig(forwarder=RESOLVER_ADDR),
+            root_hints=[],
+        )
+        forwarder_addr = ip_address("30.0.0.2")
+        upstream_world.fabric.attach(forwarder, forwarder_addr)
+
+        responses = []
+        upstream_world.stub.query(
+            forwarder_addr, name("www.example.org"), RRType.A, responses.append
+        )
+        upstream_world.run()
+        assert responses[0].rcode is Rcode.NOERROR
+        assert any(rr.rrtype == RRType.A for rr in responses[0].answers)
+        # The authoritative server saw the upstream, not the forwarder.
+        sources = {r.src for r in upstream_world.example.query_log}
+        assert sources == {RESOLVER_ADDR}
+
+
+class TestRobustness:
+    def test_servfail_when_authority_dead(self):
+        world = build_world()
+        # Detach the example server: its address keeps routing but no
+        # host answers, so queries time out.
+        del world.fabric._hosts[EXAMPLE_ADDR]
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.SERVFAIL
+        assert world.resolver.stats["servfail"] == 1
+
+    def test_retransmits_before_giving_up(self):
+        world = build_world()
+        del world.fabric._hosts[EXAMPLE_ADDR]
+        query_and_collect(world, name("www.example.org"))
+        # root + org + initial example query + >=1 retransmission.
+        assert world.resolver.stats["upstream_queries"] >= 4
+
+    def test_forged_response_with_wrong_id_ignored(self):
+        world = build_world()
+        from repro.dns.message import Message, Question
+        from repro.netsim.packet import Packet
+
+        # No outstanding query at all: unsolicited response dropped.
+        bogus = Message(1234, flags=Flag.QR)
+        bogus.question = Question(name("www.example.org"), RRType.A)
+        world.stub.send(
+            Packet(
+                src=EXAMPLE_ADDR,
+                dst=RESOLVER_ADDR,
+                sport=53,
+                dport=40000,
+                payload=bogus.to_wire(),
+            )
+        )
+        world.run()
+        assert world.resolver.cache is None  # nothing was ever resolved
+
+    def test_garbage_packets_do_not_disturb_resolution(self):
+        """Binary noise aimed at the resolver — both at its service
+        port and at its in-flight query 5-tuples — is ignored."""
+        world = build_world()
+        from random import Random
+
+        from repro.netsim.packet import Packet
+
+        rng = Random(1)
+
+        def noise_burst() -> None:
+            for _ in range(20):
+                world.stub.send(
+                    Packet(
+                        src=EXAMPLE_ADDR,
+                        dst=RESOLVER_ADDR,
+                        sport=53,
+                        dport=rng.randrange(1024, 65536),
+                        payload=bytes(
+                            rng.randrange(256)
+                            for _ in range(rng.randrange(1, 64))
+                        ),
+                    )
+                )
+
+        noise_burst()
+        world.fabric.loop.schedule(0.02, noise_burst)
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0] is not None
+        assert responses[0].rcode is Rcode.NOERROR
+        assert world.resolver.malformed_count > 0
+
+    def test_concurrent_clients_share_one_resolution(self):
+        world = build_world()
+        responses = []
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.stub.query(
+            RESOLVER_ADDR, name("www.example.org"), RRType.A, responses.append
+        )
+        world.run()
+        assert len(responses) == 2
+        assert all(r.rcode is Rcode.NOERROR for r in responses)
+        assert len(world.example.query_log) == 1
+
+
+class TestDns0x20:
+    def test_resolution_succeeds_with_case_randomization(self):
+        world = build_world(resolver_config=ResolverConfig(use_0x20=True))
+        responses = query_and_collect(world, name("www.example.org"))
+        assert responses[0].rcode is Rcode.NOERROR
+        assert responses[0].answers
+
+    def test_upstream_queries_actually_vary_case(self):
+        world = build_world(resolver_config=ResolverConfig(use_0x20=True))
+        for i in range(6):
+            query_and_collect(world, name(f"host{i}.example.org"))
+        observed = {
+            bytes(label)
+            for record in world.example.query_log
+            for label in record.qname.labels
+        }
+        # At least one label arrived with non-lowercase octets.
+        assert any(label != label.lower() for label in observed)
+
+    def test_case_echo_mismatch_rejected(self):
+        """A response that fails to echo the randomized case is an
+        off-path forgery and must be ignored."""
+        world = build_world(resolver_config=ResolverConfig(use_0x20=True))
+
+        # Intercept upstream queries at the example server and answer
+        # with a lowercased question, as a blind attacker would.
+        original = world.example.handle_dns
+
+        def lowercasing(message, packet, transport, respond):
+            if message.question is not None:
+                lowered = name(str(message.question.qname).lower())
+                from repro.dns.message import Question
+
+                message.question = Question(
+                    lowered, message.question.qtype, message.question.qclass
+                )
+            original(message, packet, transport, respond)
+
+        world.example.handle_dns = lowercasing
+        responses = query_and_collect(world, name("WWW.example.org"))
+        # All "responses" were rejected; the resolver eventually fails.
+        assert responses[0].rcode is Rcode.SERVFAIL
+
+
+class TestGluelessDelegations:
+    def _add_glueless_delegation(self, world):
+        """Delegate glueless.org to a nameserver named inside
+        example.org, providing no glue."""
+        from ipaddress import ip_address
+
+        from repro.dns.rr import A, NS, RR
+
+        org_zone = world.org.zones[name("org.")]
+        org_zone.add(
+            RR(
+                name("glueless.org."), RRType.NS, 1, 3600,
+                NS(name("gns.example.org.")),
+            )
+        )
+        # The NS target resolves through example.org's zone.
+        example_zone = world.example.zones[name("example.org.")]
+        glueless_auth_addr = ip_address("20.0.0.77")
+        example_zone.add(
+            RR(
+                name("gns.example.org."), RRType.A, 1, 300,
+                A(glueless_auth_addr),
+            )
+        )
+        # Stand up the glueless.org authoritative server.
+        from random import Random
+
+        from repro.dns.auth import AuthoritativeServer
+        from repro.dns.rr import SOA, TXT
+        from repro.dns.zone import Zone
+
+        auth = AuthoritativeServer("glueless-auth", 1, Random(77))
+        world.fabric.attach(auth, glueless_auth_addr)
+        zone = Zone(
+            name("glueless.org."),
+            SOA(name("gns.example.org."), name("r."), 1, 60, 60, 60, 30),
+        )
+        zone.add(
+            RR(
+                name("www.glueless.org."), RRType.TXT, 1, 60,
+                TXT.from_text("made it"),
+            )
+        )
+        auth.add_zone(zone)
+        return auth
+
+    def test_glueless_delegation_resolved(self):
+        world = build_world()
+        self._add_glueless_delegation(world)
+        responses = query_and_collect(
+            world, name("www.glueless.org"), RRType.TXT
+        )
+        assert responses[0] is not None
+        assert responses[0].rcode is Rcode.NOERROR
+        assert responses[0].answers
+        assert world.resolver.stats["glueless_chases"] == 1
+
+    def test_glueless_chase_disabled_gives_servfail(self):
+        world = build_world(
+            resolver_config=ResolverConfig(max_glueless_ns=0)
+        )
+        self._add_glueless_delegation(world)
+        responses = query_and_collect(
+            world, name("www.glueless.org"), RRType.TXT
+        )
+        assert responses[0].rcode is Rcode.SERVFAIL
+
+    def test_unresolvable_ns_target_gives_servfail(self):
+        world = build_world()
+        from repro.dns.rr import NS, RR
+
+        org_zone = world.org.zones[name("org.")]
+        org_zone.add(
+            RR(
+                name("broken.org."), RRType.NS, 1, 3600,
+                NS(name("nowhere.example.org.")),
+            )
+        )
+        responses = query_and_collect(
+            world, name("www.broken.org"), RRType.TXT
+        )
+        assert responses[0].rcode is Rcode.SERVFAIL
+
+    def test_task_deadline_answers_eventually(self):
+        """Even a pathological resolution ends within the deadline."""
+        # Deadline shorter than the stub's 5s timeout, so the client
+        # sees the SERVFAIL rather than giving up first.
+        world = build_world(
+            resolver_config=ResolverConfig(task_deadline=3.0)
+        )
+        from repro.dns.rr import NS, RR
+
+        # Circular glueless delegations: a.org's NS lives under b.org
+        # and vice versa.
+        org_zone = world.org.zones[name("org.")]
+        org_zone.add(
+            RR(name("a.org."), RRType.NS, 1, 3600, NS(name("ns.b.org.")))
+        )
+        org_zone.add(
+            RR(name("b.org."), RRType.NS, 1, 3600, NS(name("ns.a.org.")))
+        )
+        responses = query_and_collect(world, name("www.a.org"), RRType.A)
+        assert responses, "client never answered"
+        assert responses[0].rcode is Rcode.SERVFAIL
+        assert world.fabric.now < 30.0
+
+
+class TestTCPFallback:
+    def test_truncation_triggers_tcp_retry(self):
+        world = build_world()
+        responses = query_and_collect(world, name("x.tc.example.org"))
+        assert responses[0].rcode is Rcode.NOERROR
+        from repro.netsim.packet import Transport
+
+        transports = [r.transport for r in world.example.query_log]
+        assert Transport.UDP in transports
+        assert Transport.TCP in transports
+        assert world.resolver.stats["tcp_fallbacks"] == 1
+
+    def test_tcp_query_carries_resolver_signature(self):
+        world = build_world(resolver_os="windows-2008r2+")
+        query_and_collect(world, name("x.tc.example.org"))
+        from repro.netsim.packet import Transport
+
+        tcp_records = [
+            r for r in world.example.query_log
+            if r.transport is Transport.TCP
+        ]
+        assert tcp_records
+        assert tcp_records[0].tcp_signature is not None
+        assert tcp_records[0].tcp_signature.initial_ttl == 128

@@ -1,0 +1,80 @@
+"""Property test: recursive resolution agrees with the zone contents.
+
+For random zone record sets and random queries over a lossless
+mini-Internet, the resolver's answer must equal what a direct lookup of
+the authoritative data would produce — NOERROR with the exact RRset,
+NODATA, or NXDOMAIN.
+"""
+
+from ipaddress import IPv4Address
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Rcode
+from repro.dns.name import Name, name
+from repro.dns.rr import A, RR, TXT, RRType
+
+from .helpers import EXAMPLE, RESOLVER_ADDR, build_world
+
+_label = st.sampled_from(["a", "b", "host", "svc"])
+_relative = st.lists(_label, min_size=1, max_size=2)
+
+
+def _under_example(labels: list[str]) -> Name:
+    result = EXAMPLE
+    for label in reversed(labels):
+        result = result.child(label)
+    return result
+
+
+_record = st.tuples(_relative, st.sampled_from([RRType.A, RRType.TXT]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(_record, min_size=0, max_size=6),
+    _relative,
+    st.sampled_from([RRType.A, RRType.TXT]),
+    st.booleans(),
+)
+def test_resolution_matches_zone_contents(records, qlabels, qtype, qmin):
+    from repro.dns.resolver import ResolverConfig
+
+    world = build_world(
+        resolver_config=ResolverConfig(
+            qname_minimization="relaxed" if qmin else None
+        )
+    )
+    zone = world.example.zones[name("example.org.")]
+    added: dict[tuple[Name, int], int] = {}
+    for index, (labels, rrtype) in enumerate(records):
+        owner = _under_example(labels)
+        rdata = (
+            A(IPv4Address(0x14000100 + index))
+            if rrtype == RRType.A
+            else TXT.from_text(f"v{index}")
+        )
+        zone.add(RR(owner, rrtype, 1, 300, rdata))
+        added[(owner, rrtype)] = added.get((owner, rrtype), 0) + 1
+
+    qname = _under_example(qlabels)
+    responses = []
+    world.stub.query(RESOLVER_ADDR, qname, qtype, responses.append)
+    world.run()
+    response = responses[0]
+    assert response is not None, "lossless world must always answer"
+
+    expected = added.get((qname, qtype), 0)
+    if expected:
+        assert response.rcode is Rcode.NOERROR
+        matching = [
+            rr
+            for rr in response.answers
+            if rr.name == qname and rr.rrtype == qtype
+        ]
+        assert len(matching) == expected
+    elif qname in zone.names():
+        assert response.rcode is Rcode.NOERROR
+        assert response.answers == []
+    else:
+        assert response.rcode is Rcode.NXDOMAIN

@@ -1,0 +1,137 @@
+"""Tests for resource record rdata encodings."""
+
+from ipaddress import IPv4Address, IPv6Address
+
+import pytest
+
+from repro.dns.name import name
+from repro.dns.rr import (
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    PTR,
+    RR,
+    SOA,
+    TXT,
+    Opaque,
+    RRClass,
+    RRType,
+    decode_rdata,
+)
+
+
+class TestAddressRecords:
+    def test_a_roundtrip(self):
+        rdata = A(IPv4Address("20.0.0.1"))
+        assert A.from_wire(rdata.to_wire()) == rdata
+        assert rdata.to_text() == "20.0.0.1"
+
+    def test_a_wrong_length(self):
+        with pytest.raises(ValueError):
+            A.from_wire(b"\x01\x02")
+
+    def test_aaaa_roundtrip(self):
+        rdata = AAAA(IPv6Address("2a00::1"))
+        assert AAAA.from_wire(rdata.to_wire()) == rdata
+
+    def test_aaaa_wrong_length(self):
+        with pytest.raises(ValueError):
+            AAAA.from_wire(b"\x01" * 4)
+
+
+class TestNameRecords:
+    @pytest.mark.parametrize("cls", [NS, CNAME, PTR])
+    def test_roundtrip(self, cls):
+        rdata = cls(name("ns1.example.org"))
+        assert cls.from_wire(rdata.to_wire()) == rdata
+        assert rdata.to_text() == "ns1.example.org."
+
+
+class TestSOA:
+    def test_roundtrip(self):
+        rdata = SOA(
+            name("ns1.example.org"),
+            name("hostmaster.example.org"),
+            2019110601,
+            7200,
+            900,
+            1209600,
+            60,
+        )
+        decoded = SOA.from_wire(rdata.to_wire())
+        assert decoded == rdata
+        assert decoded.minimum == 60
+        assert "2019110601" in rdata.to_text()
+
+
+class TestTXT:
+    def test_roundtrip_multiple_strings(self):
+        rdata = TXT.from_text("hello", "world")
+        decoded = TXT.from_wire(rdata.to_wire())
+        assert decoded.strings == (b"hello", b"world")
+
+    def test_too_long_string_rejected(self):
+        with pytest.raises(ValueError):
+            TXT((b"x" * 256,)).to_wire()
+
+    def test_truncated_wire_rejected(self):
+        with pytest.raises(ValueError):
+            TXT.from_wire(b"\x05ab")
+
+
+class TestOpaque:
+    def test_unknown_type_roundtrips_as_opaque(self):
+        rdata = decode_rdata(999, b"\x01\x02\x03")
+        assert isinstance(rdata, Opaque)
+        assert rdata.to_wire() == b"\x01\x02\x03"
+        assert "3" in rdata.to_text()
+
+    def test_known_type_decoded(self):
+        rdata = decode_rdata(RRType.A, bytes(IPv4Address("1.2.3.4").packed))
+        assert isinstance(rdata, A)
+
+
+class TestRR:
+    def test_ttl_bounds(self):
+        with pytest.raises(ValueError):
+            RR(name("a.org"), RRType.A, RRClass.IN, -1, A(IPv4Address("1.2.3.4")))
+        with pytest.raises(ValueError):
+            RR(
+                name("a.org"), RRType.A, RRClass.IN, 2**31,
+                A(IPv4Address("1.2.3.4")),
+            )
+
+    def test_with_ttl(self):
+        rr = RR(name("a.org"), RRType.A, RRClass.IN, 300, A(IPv4Address("1.2.3.4")))
+        copy = rr.with_ttl(60)
+        assert copy.ttl == 60
+        assert copy.rdata == rr.rdata
+        assert rr.ttl == 300
+
+    def test_to_text(self):
+        rr = RR(name("a.org"), RRType.A, RRClass.IN, 300, A(IPv4Address("1.2.3.4")))
+        text = rr.to_text()
+        assert "a.org." in text
+        assert "300" in text
+        assert "A" in text
+        assert "1.2.3.4" in text
+
+    def test_rdata_equality_cross_type(self):
+        a = A(IPv4Address("1.2.3.4"))
+        ptr = PTR(name("a.org"))
+        assert a != ptr
+
+    def test_rdata_hashable(self):
+        a1 = A(IPv4Address("1.2.3.4"))
+        a2 = A(IPv4Address("1.2.3.4"))
+        assert len({a1, a2}) == 1
+
+
+class TestRRTypeLabels:
+    def test_known(self):
+        assert RRType.label(1) == "A"
+        assert RRType.label(28) == "AAAA"
+
+    def test_unknown(self):
+        assert RRType.label(4242) == "TYPE4242"

@@ -1,0 +1,66 @@
+"""Tests for the stub resolver client."""
+
+from repro.dns.name import name
+from repro.dns.message import Rcode
+from repro.dns.rr import RRType
+
+from .helpers import EXAMPLE_ADDR, RESOLVER_ADDR, build_world
+
+
+def test_stub_collects_response():
+    world = build_world()
+    results = []
+    world.stub.query(
+        RESOLVER_ADDR, name("www.example.org"), RRType.A, results.append
+    )
+    world.run()
+    assert len(results) == 1
+    assert results[0].rcode is Rcode.NOERROR
+    assert world.stub.responses == results
+
+
+def test_stub_timeout_reports_none():
+    world = build_world()
+    del world.fabric._hosts[RESOLVER_ADDR]  # resolver vanished
+    results = []
+    world.stub.query(
+        RESOLVER_ADDR, name("www.example.org"), RRType.A, results.append
+    )
+    world.run()
+    assert results == [None]
+    assert world.stub.timeouts == 1
+
+
+def test_stub_matches_responses_to_queries():
+    world = build_world()
+    results_a, results_b = [], []
+    world.stub.query(
+        RESOLVER_ADDR, name("www.example.org"), RRType.A, results_a.append
+    )
+    world.stub.query(
+        RESOLVER_ADDR, name("txt.example.org"), RRType.TXT, results_b.append
+    )
+    world.run()
+    assert results_a[0].question.qname == name("www.example.org")
+    assert results_b[0].question.qname == name("txt.example.org")
+
+
+def test_stub_rejects_wrong_family_server():
+    world = build_world()
+    import pytest
+    from ipaddress import ip_address
+
+    with pytest.raises(ValueError):
+        world.stub.query(ip_address("2a00::1"), name("a.org"), RRType.A)
+
+
+def test_direct_authoritative_query():
+    world = build_world()
+    results = []
+    world.stub.query(
+        EXAMPLE_ADDR, name("www.example.org"), RRType.A, results.append
+    )
+    world.run()
+    # Authoritative servers answer direct queries too (no recursion).
+    assert results[0] is not None
+    assert results[0].rcode is Rcode.NOERROR

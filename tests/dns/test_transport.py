@@ -1,0 +1,183 @@
+"""Tests for UDP/TCP transport glue and kernel admission wiring."""
+
+from ipaddress import ip_address
+from random import Random
+
+from repro.dns.message import Message, Rcode
+from repro.dns.name import name
+from repro.dns.rr import RRType
+from repro.dns.transport import DNSHost
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric
+from repro.netsim.packet import Packet, TCPFlag, Transport
+from repro.oskernel.profiles import os_profile
+
+A_ADDR = ip_address("20.0.0.1")
+B_ADDR = ip_address("20.0.0.2")
+
+
+class EchoServer(DNSHost):
+    """Answers every query with REFUSED; records what it saw."""
+
+    def __init__(self, name_, asn, profile, rng):
+        super().__init__(name_, asn, profile, rng)
+        self.seen = []
+
+    def handle_dns(self, message, packet, transport, respond):
+        self.seen.append((message.question.qname, transport))
+        response = message.make_response()
+        response.rcode = Rcode.REFUSED
+        respond(response)
+
+
+class Client(DNSHost):
+    def __init__(self, name_, asn, profile, rng):
+        super().__init__(name_, asn, profile, rng)
+        self.responses = []
+
+    def handle_dns_response(self, message, packet):
+        self.responses.append(message)
+
+
+def build(server_os="freebsd", client_os="ubuntu-modern"):
+    fabric = Fabric()
+    system = AutonomousSystem(1, osav=False, dsav=False, martian_filtering=False)
+    system.add_prefix("20.0.0.0/16")
+    fabric.add_system(system)
+    server = EchoServer("server", 1, os_profile(server_os), Random(1))
+    client = Client("client", 1, os_profile(client_os), Random(2))
+    fabric.attach(server, A_ADDR)
+    fabric.attach(client, B_ADDR)
+    return fabric, server, client
+
+
+def test_udp_round_trip():
+    fabric, server, client = build()
+    query = Message.make_query(5, name("q.test"), RRType.A)
+    client.send_udp_query(query, B_ADDR, A_ADDR, sport=3333)
+    fabric.run()
+    assert server.seen == [(name("q.test"), Transport.UDP)]
+    assert len(client.responses) == 1
+    assert client.responses[0].msg_id == 5
+
+
+def test_tcp_exchange_with_handler():
+    fabric, server, client = build()
+    query = Message.make_query(6, name("q.test"), RRType.A)
+    got = []
+    client.send_tcp_query(query, B_ADDR, A_ADDR, lambda m, p: got.append(m))
+    fabric.run()
+    assert server.seen == [(name("q.test"), Transport.TCP)]
+    assert len(got) == 1
+    assert got[0].rcode is Rcode.REFUSED
+
+
+def test_tcp_syn_signature_captured_by_server():
+    fabric, server, client = build(client_os="windows-2008r2+")
+    query = Message.make_query(6, name("q.test"), RRType.A)
+    holder = {}
+
+    original = server.handle_dns
+
+    def wrapper(message, packet, transport, respond):
+        holder["sig"] = server.peer_signature(packet)
+        original(message, packet, transport, respond)
+
+    server.handle_dns = wrapper
+    client.send_tcp_query(query, B_ADDR, A_ADDR, lambda m, p: None)
+    fabric.run()
+    signature, observed_ttl = holder["sig"]
+    assert signature.initial_ttl == 128
+    assert observed_ttl <= 128
+
+
+def test_udp_response_truncated_to_payload_limit():
+    fabric, server, client = build()
+
+    class BigServer(EchoServer):
+        def handle_dns(self, message, packet, transport, respond):
+            from repro.dns.rr import A as ARdata, RR
+
+            response = message.make_response()
+            for i in range(200):
+                response.answers.append(
+                    RR(
+                        message.question.qname,
+                        RRType.A,
+                        1,
+                        60,
+                        ARdata(ip_address(f"20.1.{i % 250}.1")),
+                    )
+                )
+            respond(response)
+
+    big = BigServer("big", 1, os_profile("freebsd"), Random(3))
+    fabric.attach(big, ip_address("20.0.0.3"))
+    query = Message.make_query(8, name("q.test"), RRType.A, edns=False)
+    client.send_udp_query(query, B_ADDR, ip_address("20.0.0.3"), sport=4000)
+    fabric.run()
+    assert len(client.responses) == 1
+    assert client.responses[0].is_truncated
+    assert client.responses[0].answers == []
+
+
+def test_malformed_udp_ignored():
+    fabric, server, client = build()
+    client.send(
+        Packet(src=B_ADDR, dst=A_ADDR, sport=1, dport=53, payload=b"\x01\x02")
+    )
+    fabric.run()
+    assert server.malformed_count == 1
+
+
+def test_spoofed_local_dropped_by_stack():
+    """A Linux host never sees v4 destination-as-source queries."""
+    fabric, server, client = build(server_os="ubuntu-modern")
+    query = Message.make_query(5, name("q.test"), RRType.A)
+    client.send(
+        Packet(
+            src=A_ADDR,  # the server's own address
+            dst=A_ADDR,
+            sport=999,
+            dport=53,
+            payload=query.to_wire(),
+        )
+    )
+    fabric.run()
+    assert server.seen == []
+    assert server.stack.drop_counts["dst-as-src"] == 1
+
+
+def test_stray_tcp_data_without_connection_ignored():
+    fabric, server, client = build()
+    response = Message.make_query(9, name("q.test"), RRType.A).make_response()
+    client.send(
+        Packet(
+            src=B_ADDR,
+            dst=A_ADDR,
+            sport=1,
+            dport=53,
+            payload=response.to_wire(),
+            transport=Transport.TCP,
+            tcp_flags=TCPFlag.ACK,
+        )
+    )
+    fabric.run()
+    assert server.seen == []
+
+
+def test_empty_tcp_ack_ignored():
+    fabric, server, client = build()
+    client.send(
+        Packet(
+            src=B_ADDR,
+            dst=A_ADDR,
+            sport=1,
+            dport=53,
+            payload=b"",
+            transport=Transport.TCP,
+            tcp_flags=TCPFlag.ACK,
+        )
+    )
+    fabric.run()
+    assert server.seen == []

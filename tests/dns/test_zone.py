@@ -1,0 +1,160 @@
+"""Tests for RFC 1034 zone lookup semantics."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns.name import name
+from repro.dns.rr import A, CNAME, NS, RR, SOA, TXT, RRType
+from repro.dns.zone import LookupKind, Zone
+
+ORIGIN = name("example.org")
+
+
+def make_zone() -> Zone:
+    soa = SOA(
+        name("ns1.example.org"), name("root.example.org"), 1, 2, 3, 4, 60
+    )
+    zone = Zone(ORIGIN, soa)
+    zone.add(RR(ORIGIN, RRType.NS, 1, 3600, NS(name("ns1.example.org"))))
+    zone.add(
+        RR(name("ns1.example.org"), RRType.A, 1, 3600, A(IPv4Address("20.0.0.1")))
+    )
+    zone.add(
+        RR(name("www.example.org"), RRType.A, 1, 300, A(IPv4Address("20.0.0.2")))
+    )
+    zone.add(
+        RR(name("alias.example.org"), RRType.CNAME, 1, 300, CNAME(name("www.example.org")))
+    )
+    # Delegation: sub.example.org -> ns.sub.example.org (with glue).
+    zone.add(
+        RR(name("sub.example.org"), RRType.NS, 1, 3600, NS(name("ns.sub.example.org")))
+    )
+    zone.add(
+        RR(name("ns.sub.example.org"), RRType.A, 1, 3600, A(IPv4Address("20.0.0.3")))
+    )
+    # Empty non-terminal: a.b.example.org exists, b.example.org has no RRs.
+    zone.add(
+        RR(name("a.b.example.org"), RRType.TXT, 1, 60, TXT.from_text("ent"))
+    )
+    return zone
+
+
+class TestPositive:
+    def test_exact_answer(self):
+        result = make_zone().lookup(name("www.example.org"), RRType.A)
+        assert result.kind is LookupKind.ANSWER
+        assert len(result.answers) == 1
+
+    def test_nodata_for_missing_type(self):
+        result = make_zone().lookup(name("www.example.org"), RRType.TXT)
+        assert result.kind is LookupKind.NODATA
+        assert result.authority[0].rrtype == RRType.SOA
+
+    def test_origin_soa_lookup(self):
+        result = make_zone().lookup(ORIGIN, RRType.SOA)
+        assert result.kind is LookupKind.ANSWER
+
+    def test_cname_chased_in_zone(self):
+        result = make_zone().lookup(name("alias.example.org"), RRType.A)
+        assert result.kind is LookupKind.ANSWER
+        types = [rr.rrtype for rr in result.answers]
+        assert RRType.CNAME in types
+        assert RRType.A in types
+
+    def test_cname_query_returns_cname_only(self):
+        result = make_zone().lookup(name("alias.example.org"), RRType.CNAME)
+        assert result.kind is LookupKind.ANSWER
+        assert [rr.rrtype for rr in result.answers] == [RRType.CNAME]
+
+
+class TestNegative:
+    def test_nxdomain_with_soa(self):
+        result = make_zone().lookup(name("missing.example.org"), RRType.A)
+        assert result.kind is LookupKind.NXDOMAIN
+        assert result.authority[0].rrtype == RRType.SOA
+
+    def test_not_in_zone(self):
+        result = make_zone().lookup(name("www.other.org"), RRType.A)
+        assert result.kind is LookupKind.NOT_IN_ZONE
+
+    def test_empty_non_terminal_is_nodata_not_nxdomain(self):
+        result = make_zone().lookup(name("b.example.org"), RRType.A)
+        assert result.kind is LookupKind.NODATA
+
+
+class TestReferral:
+    def test_delegation_returns_referral_with_glue(self):
+        result = make_zone().lookup(name("host.sub.example.org"), RRType.A)
+        assert result.kind is LookupKind.REFERRAL
+        assert result.authority[0].rrtype == RRType.NS
+        assert result.authority[0].name == name("sub.example.org")
+        assert any(rr.rrtype == RRType.A for rr in result.additional)
+
+    def test_query_below_cut_is_referral_even_for_existing_glue(self):
+        result = make_zone().lookup(name("deep.ns.sub.example.org"), RRType.A)
+        assert result.kind is LookupKind.REFERRAL
+
+    def test_apex_ns_not_a_referral(self):
+        result = make_zone().lookup(ORIGIN, RRType.NS)
+        assert result.kind is LookupKind.ANSWER
+
+
+class TestWildcard:
+    def make_wildcard_zone(self) -> Zone:
+        zone = make_zone()
+        zone.add(
+            RR(
+                ORIGIN.child(b"*"),
+                RRType.TXT,
+                1,
+                60,
+                TXT.from_text("wild"),
+            )
+        )
+        return zone
+
+    def test_wildcard_synthesizes_owner(self):
+        zone = self.make_wildcard_zone()
+        result = zone.lookup(name("anything.example.org"), RRType.TXT)
+        assert result.kind is LookupKind.ANSWER
+        assert result.answers[0].name == name("anything.example.org")
+
+    def test_wildcard_synthesizes_deep_names(self):
+        zone = self.make_wildcard_zone()
+        result = zone.lookup(name("a.b.c.anything.example.org"), RRType.TXT)
+        assert result.kind is LookupKind.ANSWER
+
+    def test_wildcard_nodata_for_other_type(self):
+        zone = self.make_wildcard_zone()
+        result = zone.lookup(name("anything.example.org"), RRType.A)
+        assert result.kind is LookupKind.NODATA
+
+    def test_existing_name_beats_wildcard(self):
+        zone = self.make_wildcard_zone()
+        result = zone.lookup(name("www.example.org"), RRType.TXT)
+        assert result.kind is LookupKind.NODATA  # www exists, no TXT
+
+    def test_no_synthesis_when_closest_encloser_exists(self):
+        zone = self.make_wildcard_zone()
+        # b.example.org exists (ENT), so *.example.org may not cover
+        # missing.b.example.org (RFC 4592).
+        result = zone.lookup(name("missing.b.example.org"), RRType.TXT)
+        assert result.kind is LookupKind.NXDOMAIN
+
+
+class TestStructure:
+    def test_add_out_of_zone_rejected(self):
+        with pytest.raises(ValueError):
+            make_zone().add(
+                RR(name("www.other.org"), RRType.A, 1, 1, A(IPv4Address("1.1.1.1")))
+            )
+
+    def test_record_count(self):
+        zone = make_zone()
+        assert zone.record_count() == 8  # SOA + 7 added
+
+    def test_rrset_accessor(self):
+        zone = make_zone()
+        assert len(zone.rrset(name("www.example.org"), RRType.A)) == 1
+        assert zone.rrset(name("www.example.org"), RRType.TXT) == []

@@ -1,0 +1,108 @@
+"""Property-based tests: zone lookups against a brute-force model."""
+
+from ipaddress import IPv4Address
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.name import Name, name
+from repro.dns.rr import A, NS, RR, SOA, TXT, RRType
+from repro.dns.zone import LookupKind, Zone
+
+ORIGIN = name("z.test")
+
+_label = st.sampled_from(["a", "b", "c", "d", "www", "sub"])
+_relative = st.lists(_label, min_size=1, max_size=3)
+
+
+def _make_name(labels: list[str]) -> Name:
+    result = ORIGIN
+    for label in reversed(labels):
+        result = result.child(label)
+    return result
+
+
+_rrtype = st.sampled_from([RRType.A, RRType.TXT])
+
+
+@st.composite
+def zone_and_query(draw):
+    zone = Zone(
+        ORIGIN, SOA(name("ns.z.test"), name("r.z.test"), 1, 60, 60, 60, 30)
+    )
+    contents: dict[tuple[Name, int], int] = {}
+    n_records = draw(st.integers(min_value=0, max_value=8))
+    for index in range(n_records):
+        owner = _make_name(draw(_relative))
+        rrtype = draw(_rrtype)
+        rdata = (
+            A(IPv4Address(0x14000000 + index))
+            if rrtype == RRType.A
+            else TXT.from_text(f"t{index}")
+        )
+        zone.add(RR(owner, rrtype, 1, 60, rdata))
+        contents[(owner, rrtype)] = contents.get((owner, rrtype), 0) + 1
+    qname = _make_name(draw(_relative))
+    qtype = draw(_rrtype)
+    return zone, contents, qname, qtype
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone_and_query())
+def test_lookup_matches_bruteforce_model(case):
+    """Without delegations and wildcards, lookup is fully determined by
+    set membership: ANSWER iff the exact RRset exists, NODATA iff the
+    name exists with other data, NXDOMAIN otherwise."""
+    zone, contents, qname, qtype = case
+    result = zone.lookup(qname, qtype)
+
+    exact = contents.get((qname, qtype), 0)
+    name_exists = qname in zone.names()
+
+    if exact:
+        assert result.kind is LookupKind.ANSWER
+        assert len(result.answers) == exact
+        for rr in result.answers:
+            assert rr.name == qname
+            assert rr.rrtype == qtype
+    elif name_exists:
+        assert result.kind is LookupKind.NODATA
+        assert result.authority and result.authority[0].rrtype == RRType.SOA
+    else:
+        assert result.kind is LookupKind.NXDOMAIN
+        assert result.authority and result.authority[0].rrtype == RRType.SOA
+
+
+@settings(max_examples=100, deadline=None)
+@given(zone_and_query())
+def test_lookup_never_leaks_foreign_records(case):
+    """Every record a lookup returns was actually added to the zone
+    (or is the SOA), with matching rdata."""
+    zone, contents, qname, qtype = case
+    result = zone.lookup(qname, qtype)
+    for rr in result.answers:
+        assert zone.rrset(rr.name, rr.rrtype), rr
+    for rr in result.authority:
+        assert rr.rrtype in (RRType.SOA, RRType.NS)
+
+
+@settings(max_examples=100, deadline=None)
+@given(zone_and_query(), _relative)
+def test_delegation_shadows_everything_below(case, cut_labels):
+    """Adding an NS cut turns every lookup strictly below it into a
+    referral, regardless of what data sits under the cut."""
+    zone, contents, _, qtype = case
+    cut = _make_name(cut_labels)
+    zone.add(RR(cut, RRType.NS, 1, 60, NS(name("ns.elsewhere.test"))))
+    below = cut.child("leaf")
+    result = zone.lookup(below, qtype)
+    assert result.kind is LookupKind.REFERRAL
+    assert result.authority[0].name == cut
+
+
+@settings(max_examples=100, deadline=None)
+@given(zone_and_query())
+def test_out_of_zone_never_answered(case):
+    zone, _, _, qtype = case
+    result = zone.lookup(name("outside.example"), qtype)
+    assert result.kind is LookupKind.NOT_IN_ZONE
+    assert not result.answers

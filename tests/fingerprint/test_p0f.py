@@ -1,0 +1,80 @@
+"""Tests for p0f-style passive fingerprinting."""
+
+import pytest
+
+from repro.fingerprint.p0f import (
+    LABEL_BAIDU,
+    LABEL_FREEBSD,
+    LABEL_LINUX,
+    LABEL_WINDOWS,
+    P0fDatabase,
+    estimate_initial_ttl,
+)
+from repro.netsim.packet import TCPSignature
+from repro.oskernel import profiles
+
+
+@pytest.fixture
+def db():
+    return P0fDatabase.default()
+
+
+class TestTTLEstimation:
+    @pytest.mark.parametrize(
+        "observed,expected",
+        [(64, 64), (63, 64), (33, 64), (32, 32), (128, 128), (127, 128),
+         (65, 128), (129, 255), (255, 255), (1, 32)],
+    )
+    def test_rounding(self, observed, expected):
+        assert estimate_initial_ttl(observed) == expected
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "profile,label",
+        [
+            (profiles.LINUX_MODERN, LABEL_LINUX),
+            (profiles.LINUX_OLD, LABEL_LINUX),
+            (profiles.FREEBSD, LABEL_FREEBSD),
+            (profiles.WINDOWS_MODERN, LABEL_WINDOWS),
+            (profiles.WINDOWS_2003, LABEL_WINDOWS),
+            (profiles.BAIDU_SPIDER, LABEL_BAIDU),
+        ],
+    )
+    def test_known_profiles(self, db, profile, label):
+        signature = profile.tcp_signature
+        # A few hops of TTL decay must not break the match.
+        for hops in (0, 1, 5):
+            assert (
+                db.classify(signature, signature.initial_ttl - hops) == label
+            )
+
+    def test_generic_stack_unclassified(self, db):
+        signature = profiles.GENERIC_EMBEDDED.tcp_signature
+        assert db.classify(signature, signature.initial_ttl) is None
+
+    def test_perturbed_signature_unclassified(self, db):
+        base = profiles.LINUX_MODERN.tcp_signature
+        tweaked = TCPSignature(
+            base.initial_ttl,
+            base.window_size + 512,
+            base.mss,
+            base.window_scale,
+            base.options,
+        )
+        assert db.classify(tweaked, 64) is None
+
+    def test_missing_capture_unclassified(self, db):
+        assert db.classify(None, None) is None
+        assert db.classify(profiles.FREEBSD.tcp_signature, None) is None
+
+    def test_wrong_ttl_band_unclassified(self, db):
+        # A Windows-shaped signature arriving with TTL ~64 is not a
+        # Windows host (initial TTL would be 128).
+        signature = profiles.WINDOWS_MODERN.tcp_signature
+        assert db.classify(signature, 60) is None
+
+    def test_custom_entry(self, db):
+        custom = TCPSignature(255, 1111, 1200, 2, ("mss",))
+        db.add("SolarOS", custom)
+        assert db.classify(custom, 250) == "SolarOS"

@@ -1,0 +1,200 @@
+"""Tests for the Beta port-range model and OS classification cutoffs."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fingerprint.portrange import (
+    POOL_FREEBSD,
+    POOL_FULL,
+    POOL_LINUX,
+    POOL_WINDOWS_DNS,
+    PortRangeClass,
+    adjust_wrapped_ports,
+    classify_range,
+    is_increasing_with_wrap,
+    is_strictly_increasing,
+    observe,
+    optimize_cutoff,
+    probability_unique_at_most,
+    quantile_cutoff,
+    range_distribution,
+    range_pdf,
+)
+from repro.oskernel.ports import WindowsPoolAllocator
+
+
+class TestBuckets:
+    @pytest.mark.parametrize(
+        "value,bucket",
+        [
+            (0, PortRangeClass.ZERO),
+            (1, PortRangeClass.TINY),
+            (200, PortRangeClass.TINY),
+            (201, PortRangeClass.LOW),
+            (940, PortRangeClass.LOW),
+            (941, PortRangeClass.WINDOWS),
+            (2488, PortRangeClass.WINDOWS),
+            (2489, PortRangeClass.MID),
+            (6125, PortRangeClass.FREEBSD),
+            (16331, PortRangeClass.FREEBSD),
+            (16332, PortRangeClass.LINUX),
+            (28222, PortRangeClass.LINUX),
+            (28223, PortRangeClass.FULL),
+            (65535, PortRangeClass.FULL),
+        ],
+    )
+    def test_boundaries_match_table4(self, value, bucket):
+        assert classify_range(value) is bucket
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_range(-1)
+
+    def test_os_labels(self):
+        assert PortRangeClass.WINDOWS.os_label == "Windows"
+        assert PortRangeClass.FREEBSD.os_label == "FreeBSD"
+        assert PortRangeClass.LINUX.os_label == "Linux"
+        assert PortRangeClass.FULL.os_label is None
+
+
+class TestBetaModel:
+    def test_pdf_peaks_near_pool_size(self):
+        """Beta(9,2) puts the mode at (a-1)/(a+b-2) = 8/9 of the pool."""
+        pool = 10000
+        mode = 8 / 9 * (pool - 1)
+        assert range_pdf(mode, pool) > range_pdf(pool / 2, pool)
+        assert range_pdf(mode, pool) > range_pdf(pool - 1, pool)
+
+    def test_distribution_support(self):
+        dist = range_distribution(1000)
+        assert dist.cdf(0) == 0
+        assert dist.cdf(999) == pytest.approx(1.0)
+
+    def test_small_pool_rejected(self):
+        with pytest.raises(ValueError):
+            range_distribution(1)
+
+    def test_empirical_ranges_match_model(self):
+        """Ranges of 10-samples from a uniform pool follow the model."""
+        rng = Random(5)
+        pool = 5000
+        ranges = []
+        for _ in range(800):
+            sample = [rng.randrange(pool) for _ in range(10)]
+            ranges.append(max(sample) - min(sample))
+        dist = range_distribution(pool)
+        # Empirical mean vs Beta mean (9/11 of pool).
+        assert abs(
+            sum(ranges) / len(ranges) - float(dist.mean())
+        ) < 0.02 * pool
+
+
+class TestCutoffs:
+    """The optimizer must reproduce the paper's published cutoffs."""
+
+    def test_freebsd_linux_cutoff(self):
+        cutoff, error = optimize_cutoff(POOL_FREEBSD, POOL_LINUX)
+        assert abs(cutoff - 16331) <= 5
+        assert error < 0.02
+
+    def test_linux_full_cutoff(self):
+        cutoff, error = optimize_cutoff(POOL_LINUX, POOL_FULL)
+        assert abs(cutoff - 28222) <= 5
+        assert error < 0.002
+
+    def test_windows_quantile_is_2488(self):
+        """'All other range cutoffs were selected to achieve 99.9%
+        classification accuracy' — the Windows pool's 99.9th percentile
+        is exactly the 2,488 upper bound of Table 4."""
+        assert quantile_cutoff(POOL_WINDOWS_DNS) == 2488
+
+    def test_ordering_validation(self):
+        with pytest.raises(ValueError):
+            optimize_cutoff(POOL_LINUX, POOL_FREEBSD)
+
+
+class TestWindowsAdjustment:
+    def test_wrapped_sample_unwrapped(self):
+        # Pool wraps: top 100 ports of the IANA range + bottom 2400.
+        ports = [65500, 49200, 65530, 49160]
+        adjusted = adjust_wrapped_ports(ports)
+        assert max(adjusted) - min(adjusted) < POOL_WINDOWS_DNS
+        # High-region ports unchanged; low-region lifted by 16,383.
+        assert 65500 in adjusted
+        assert 49200 + 16383 in adjusted
+
+    def test_non_wrapped_sample_untouched(self):
+        ports = [50000, 50100, 51000]
+        assert adjust_wrapped_ports(ports) == ports
+
+    def test_sample_outside_regions_untouched(self):
+        # A port in the middle of the IANA range breaks condition 1.
+        ports = [65500, 49200, 57000]
+        assert adjust_wrapped_ports(ports) == ports
+
+    def test_one_sided_sample_untouched(self):
+        assert adjust_wrapped_ports([49160, 49200]) == [49160, 49200]
+        assert adjust_wrapped_ports([65500, 65510]) == [65500, 65510]
+
+    def test_empty(self):
+        assert adjust_wrapped_ports([]) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers())
+    def test_any_windows_pool_sample_ranges_below_pool_size(self, seed):
+        allocator = WindowsPoolAllocator(Random(seed))
+        sample = [allocator.next_port() for _ in range(10)]
+        adjusted = adjust_wrapped_ports(sample)
+        assert max(adjusted) - min(adjusted) < POOL_WINDOWS_DNS
+
+
+class TestSequencePatterns:
+    def test_strictly_increasing(self):
+        assert is_strictly_increasing([1, 2, 5, 9])
+        assert not is_strictly_increasing([1, 2, 2])
+        assert not is_strictly_increasing([5, 1])
+        assert is_strictly_increasing([])
+
+    def test_increasing_with_wrap(self):
+        assert is_increasing_with_wrap([7, 8, 9, 1, 2, 3])
+        assert not is_increasing_with_wrap([1, 2, 3])       # no wrap
+        assert not is_increasing_with_wrap([7, 1, 8, 2])    # two drops
+        assert not is_increasing_with_wrap([5, 6, 7, 6, 8]) # not restarting below
+
+    def test_probability_few_unique_matches_paper(self):
+        """Paper: <=7 unique of 10 draws from a 200 pool happens ~0.066%
+        of the time (1 in 1,500)."""
+        p = probability_unique_at_most(200, 10, 7)
+        assert 0.0005 < p < 0.0009
+
+    def test_probability_monotone_in_max_unique(self):
+        p7 = probability_unique_at_most(200, 10, 7)
+        p9 = probability_unique_at_most(200, 10, 9)
+        assert p7 < p9 < 1.0
+
+    def test_probability_certain_when_pool_tiny(self):
+        assert probability_unique_at_most(3, 10, 3) == pytest.approx(1.0)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            probability_unique_at_most(0, 10, 5)
+
+
+class TestObserve:
+    def test_observation_properties(self):
+        obs = observe([100, 105, 101])
+        assert obs.range == 5
+        assert obs.unique_ports == 3
+        assert obs.bucket is PortRangeClass.TINY
+        assert not obs.adjusted
+
+    def test_windows_adjust_flag(self):
+        obs = observe([65500, 49200, 65530], windows_adjust=True)
+        assert obs.adjusted
+        assert obs.range < POOL_WINDOWS_DNS
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            observe([])

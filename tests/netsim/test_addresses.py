@@ -1,0 +1,162 @@
+"""Unit and property tests for address/prefix utilities."""
+
+from ipaddress import ip_address, ip_network
+from random import Random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.addresses import (
+    LOOPBACK_V4,
+    LOOPBACK_V6,
+    PRIVATE_SOURCE_V4,
+    PRIVATE_SOURCE_V6,
+    count_subnets,
+    is_loopback,
+    is_private,
+    is_special_purpose,
+    iter_subnets,
+    limited_subnets,
+    random_host_in_subnet,
+    subnet_of,
+    subnet_prefix_length,
+)
+
+
+class TestSpecialPurpose:
+    @pytest.mark.parametrize(
+        "address",
+        [
+            "10.1.2.3",
+            "127.0.0.1",
+            "169.254.1.1",
+            "192.168.0.10",
+            "224.0.0.1",
+            "240.1.1.1",
+            "255.255.255.255",
+            "100.64.0.1",
+            "198.18.0.5",
+        ],
+    )
+    def test_v4_special(self, address):
+        assert is_special_purpose(ip_address(address))
+
+    @pytest.mark.parametrize(
+        "address",
+        ["::1", "fe80::1", "fc00::10", "ff02::1", "2001:db8::1", "::"],
+    )
+    def test_v6_special(self, address):
+        assert is_special_purpose(ip_address(address))
+
+    @pytest.mark.parametrize(
+        "address", ["8.8.8.8", "20.0.0.1", "2a00::1", "2600:1::5"]
+    )
+    def test_public_not_special(self, address):
+        assert not is_special_purpose(ip_address(address))
+
+
+class TestClassifiers:
+    def test_private_constants_are_private(self):
+        assert is_private(PRIVATE_SOURCE_V4)
+        assert is_private(PRIVATE_SOURCE_V6)
+
+    def test_loopback_constants(self):
+        assert is_loopback(LOOPBACK_V4)
+        assert is_loopback(LOOPBACK_V6)
+        assert not is_loopback(ip_address("8.8.8.8"))
+
+    def test_public_not_private(self):
+        assert not is_private(ip_address("8.8.4.4"))
+        assert not is_private(ip_address("2a00::5"))
+
+
+class TestSubnets:
+    def test_prefix_length_per_family(self):
+        assert subnet_prefix_length(4) == 24
+        assert subnet_prefix_length(6) == 64
+        with pytest.raises(ValueError):
+            subnet_prefix_length(5)
+
+    def test_subnet_of_v4(self):
+        assert subnet_of(ip_address("20.1.2.3")) == ip_network("20.1.2.0/24")
+
+    def test_subnet_of_v6(self):
+        assert subnet_of(ip_address("2a00::1:2:3:4")) == ip_network(
+            "2a00::/64"
+        )
+
+    def test_iter_subnets_counts(self):
+        subnets = list(iter_subnets(ip_network("20.0.0.0/22")))
+        assert len(subnets) == 4
+        assert count_subnets(ip_network("20.0.0.0/22")) == 4
+
+    def test_iter_subnets_small_prefix_yields_enclosing(self):
+        subnets = list(iter_subnets(ip_network("20.0.0.0/26")))
+        assert subnets == [ip_network("20.0.0.0/24")]
+
+    def test_limited_subnets_caps(self):
+        result = limited_subnets(ip_network("2a00::/56"), 10)
+        assert len(result) == 10
+        assert len(set(result)) == 10
+        assert all(s.prefixlen == 64 for s in result)
+        assert all(s.network_address in ip_network("2a00::/56") for s in result)
+
+    def test_limited_subnets_prefers_hitlist(self):
+        preferred = {ip_network("2a00:0:0:80::/64")}
+        result = limited_subnets(ip_network("2a00::/56"), 3, preferred)
+        assert result[0] == ip_network("2a00:0:0:80::/64")
+
+    def test_limited_subnets_full_enumeration_when_small(self):
+        result = limited_subnets(ip_network("20.0.0.0/23"), 100)
+        assert len(result) == 2
+
+    def test_limited_subnets_zero_limit(self):
+        assert limited_subnets(ip_network("20.0.0.0/20"), 0) == []
+
+
+class TestRandomHost:
+    def test_v4_avoids_network_and_broadcast(self):
+        rng = Random(0)
+        subnet = ip_network("20.0.0.0/24")
+        for _ in range(200):
+            host = random_host_in_subnet(subnet, rng)
+            assert host != subnet.network_address
+            assert host != subnet.broadcast_address
+            assert host in subnet
+
+    def test_v6_respects_limit_and_router_offsets(self):
+        rng = Random(0)
+        subnet = ip_network("2a00::/64")
+        base = int(subnet.network_address)
+        for _ in range(200):
+            host = random_host_in_subnet(subnet, rng)
+            offset = int(host) - base
+            assert 2 <= offset < 100
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_subnet_of_contains_address_v4(value):
+    address = ip_address(value)
+    assert address in subnet_of(address)
+
+
+@given(st.integers(min_value=0, max_value=2**128 - 1))
+def test_subnet_of_contains_address_v6(value):
+    address = ip_address(value)
+    assert address in subnet_of(address)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**24 - 1),
+    st.integers(min_value=16, max_value=24),
+    st.integers(min_value=1, max_value=50),
+)
+def test_limited_subnets_invariants(base_bits, prefixlen, limit):
+    base = (base_bits << 8) & ~((1 << (32 - prefixlen)) - 1) & 0xFFFFFFFF
+    prefix = ip_network((base, prefixlen))
+    result = limited_subnets(prefix, limit)
+    assert len(result) <= limit
+    assert len(set(result)) == len(result)
+    for subnet in result:
+        assert subnet.prefixlen == 24
+        assert subnet.network_address in prefix

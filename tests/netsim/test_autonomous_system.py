@@ -1,0 +1,159 @@
+"""Tests for AS border policy: OSAV, DSAV, martians, subnet SAV."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.netsim.autonomous_system import AutonomousSystem, BorderVerdict
+from repro.netsim.packet import Packet
+
+INTERNAL = ip_address("20.0.0.5")
+INTERNAL_OTHER = ip_address("20.0.1.5")
+INTERNAL_SAME_SUBNET = ip_address("20.0.0.9")
+EXTERNAL = ip_address("30.0.0.5")
+PRIVATE = ip_address("192.168.0.10")
+LOOPBACK = ip_address("127.0.0.1")
+
+
+def make_as(**kwargs) -> AutonomousSystem:
+    system = AutonomousSystem(100, **kwargs)
+    system.add_prefix("20.0.0.0/16")
+    return system
+
+
+def packet(src, dst) -> Packet:
+    return Packet(src=src, dst=dst, sport=1234, dport=53, payload=b"")
+
+
+class TestEgress:
+    def test_osav_blocks_foreign_source(self):
+        system = make_as(osav=True)
+        assert (
+            system.egress_verdict(packet(EXTERNAL, ip_address("40.0.0.1")))
+            is BorderVerdict.DROP_OSAV
+        )
+
+    def test_osav_allows_own_source(self):
+        system = make_as(osav=True)
+        assert (
+            system.egress_verdict(packet(INTERNAL, EXTERNAL))
+            is BorderVerdict.ACCEPT
+        )
+
+    def test_no_osav_allows_spoofing(self):
+        system = make_as(osav=False)
+        assert (
+            system.egress_verdict(packet(EXTERNAL, ip_address("40.0.0.1")))
+            is BorderVerdict.ACCEPT
+        )
+
+    def test_osav_blocks_private_source(self):
+        system = make_as(osav=True)
+        assert (
+            system.egress_verdict(packet(PRIVATE, EXTERNAL))
+            is BorderVerdict.DROP_OSAV
+        )
+
+
+class TestIngress:
+    def test_dsav_blocks_internal_looking_source(self):
+        system = make_as(dsav=True)
+        assert (
+            system.ingress_verdict(packet(INTERNAL_OTHER, INTERNAL))
+            is BorderVerdict.DROP_DSAV
+        )
+
+    def test_no_dsav_admits_internal_looking_source(self):
+        system = make_as(dsav=False)
+        assert (
+            system.ingress_verdict(packet(INTERNAL_OTHER, INTERNAL))
+            is BorderVerdict.ACCEPT
+        )
+
+    def test_external_source_always_admitted(self):
+        system = make_as(dsav=True)
+        assert (
+            system.ingress_verdict(packet(EXTERNAL, INTERNAL))
+            is BorderVerdict.ACCEPT
+        )
+
+    @pytest.mark.parametrize("source", [PRIVATE, LOOPBACK])
+    def test_martian_filtering(self, source):
+        system = make_as(dsav=False, martian_filtering=True)
+        assert (
+            system.ingress_verdict(packet(source, INTERNAL))
+            is BorderVerdict.DROP_MARTIAN
+        )
+
+    @pytest.mark.parametrize("source", [PRIVATE, LOOPBACK])
+    def test_martians_admitted_when_unfiltered(self, source):
+        system = make_as(dsav=False, martian_filtering=False)
+        assert (
+            system.ingress_verdict(packet(source, INTERNAL))
+            is BorderVerdict.ACCEPT
+        )
+
+    def test_martian_filtering_beats_dsav_policy(self):
+        # Private sources are martians, not DSAV subjects: even a
+        # DSAV-enabled AS classifies them under martian filtering.
+        system = make_as(dsav=True, martian_filtering=True)
+        assert (
+            system.ingress_verdict(packet(PRIVATE, INTERNAL))
+            is BorderVerdict.DROP_MARTIAN
+        )
+
+
+class TestSubnetSAV:
+    def test_blocks_same_subnet_v4(self):
+        system = make_as(dsav=False, subnet_sav_v4=True)
+        assert (
+            system.ingress_verdict(packet(INTERNAL_SAME_SUBNET, INTERNAL))
+            is BorderVerdict.DROP_SUBNET_SAV
+        )
+
+    def test_blocks_dst_as_src_v4(self):
+        system = make_as(dsav=False, subnet_sav_v4=True)
+        assert (
+            system.ingress_verdict(packet(INTERNAL, INTERNAL))
+            is BorderVerdict.DROP_SUBNET_SAV
+        )
+
+    def test_other_subnet_still_admitted(self):
+        system = make_as(dsav=False, subnet_sav_v4=True)
+        assert (
+            system.ingress_verdict(packet(INTERNAL_OTHER, INTERNAL))
+            is BorderVerdict.ACCEPT
+        )
+
+    def test_v6_not_subject_to_subnet_sav(self):
+        system = AutonomousSystem(
+            100, dsav=False, subnet_sav_v4=True
+        )
+        system.add_prefix("2a00::/64")
+        v6 = ip_address("2a00::5")
+        v6_same = ip_address("2a00::9")
+        assert (
+            system.ingress_verdict(packet(v6_same, v6))
+            is BorderVerdict.ACCEPT
+        )
+
+
+class TestStructure:
+    def test_invalid_asn(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0)
+
+    def test_originates(self):
+        system = make_as()
+        assert system.originates(INTERNAL)
+        assert not system.originates(EXTERNAL)
+
+    def test_prefixes_by_family(self):
+        system = make_as()
+        system.add_prefix("2a00::/64")
+        assert len(system.prefixes(4)) == 1
+        assert len(system.prefixes(6)) == 1
+        assert len(system.prefixes()) == 2
+
+    def test_default_name(self):
+        assert make_as().name == "AS100"

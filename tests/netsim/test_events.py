@@ -1,0 +1,108 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        order = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: order.append(i))
+        loop.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        seen = []
+
+        def outer():
+            seen.append(("outer", loop.now))
+            loop.schedule(1.0, lambda: seen.append(("inner", loop.now)))
+
+        loop.schedule(1.0, outer)
+        loop.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append(1))
+        loop.cancel(handle)
+        assert loop.run() == 0
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.cancel(handle)
+        loop.cancel(handle)
+        loop.run()
+
+    def test_cancel_one_of_many(self):
+        loop = EventLoop()
+        fired = []
+        keep = loop.schedule(1.0, lambda: fired.append("keep"))
+        drop = loop.schedule(1.0, lambda: fired.append("drop"))
+        loop.cancel(drop)
+        loop.run()
+        assert fired == ["keep"]
+        assert keep.when == 1.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        processed = loop.run_until(2.0)
+        assert processed == 1
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_without_events(self):
+        loop = EventLoop()
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+        for _ in range(10):
+            loop.schedule(1.0, lambda: None)
+        assert loop.run(max_events=3) == 3
+        assert loop.pending() == 7
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(4):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.events_processed == 4

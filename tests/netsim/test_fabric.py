@@ -1,0 +1,279 @@
+"""Tests for the Internet fabric: delivery, borders, drops, taps."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric, Host
+from repro.netsim.packet import Packet
+
+
+class Sink(Host):
+    """Records every packet delivered to it."""
+
+    def __init__(self, name, asn):
+        super().__init__(name, asn)
+        self.received = []
+
+    def handle_packet(self, packet):
+        self.received.append(packet)
+
+
+def build_two_as_fabric(**as_b_kwargs):
+    """AS 1 (no OSAV, sender side) and AS 2 (policy under test)."""
+    fabric = Fabric(seed=3)
+    as_a = AutonomousSystem(1, osav=False, dsav=True)
+    as_a.add_prefix("20.0.0.0/16")
+    as_b = AutonomousSystem(2, **as_b_kwargs)
+    as_b.add_prefix("30.0.0.0/16")
+    fabric.add_system(as_a)
+    fabric.add_system(as_b)
+    sender = Sink("sender", 1)
+    fabric.attach(sender, ip_address("20.0.0.1"))
+    receiver = Sink("receiver", 2)
+    fabric.attach(receiver, ip_address("30.0.0.1"))
+    return fabric, sender, receiver
+
+
+def test_plain_delivery():
+    fabric, sender, receiver = build_two_as_fabric(dsav=False)
+    sender.send(
+        Packet(
+            src=ip_address("20.0.0.1"),
+            dst=ip_address("30.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert len(receiver.received) == 1
+    assert receiver.received[0].hops == 1
+    assert fabric.delivered_count == 1
+
+
+def test_dsav_drop_counted():
+    fabric, sender, receiver = build_two_as_fabric(dsav=True)
+    sender.send(
+        Packet(
+            src=ip_address("30.0.5.5"),  # claims to be inside AS 2
+            dst=ip_address("30.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert receiver.received == []
+    assert fabric.drop_counts["drop-dsav"] == 1
+
+
+def test_dsav_absent_admits_spoof():
+    fabric, sender, receiver = build_two_as_fabric(dsav=False)
+    sender.send(
+        Packet(
+            src=ip_address("30.0.5.5"),
+            dst=ip_address("30.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert len(receiver.received) == 1
+
+
+def test_osav_blocks_at_origin():
+    fabric = Fabric()
+    as_a = AutonomousSystem(1, osav=True)
+    as_a.add_prefix("20.0.0.0/16")
+    as_b = AutonomousSystem(2, dsav=False)
+    as_b.add_prefix("30.0.0.0/16")
+    fabric.add_system(as_a)
+    fabric.add_system(as_b)
+    sender = Sink("sender", 1)
+    fabric.attach(sender, ip_address("20.0.0.1"))
+    receiver = Sink("receiver", 2)
+    fabric.attach(receiver, ip_address("30.0.0.1"))
+    sender.send(
+        Packet(
+            src=ip_address("30.0.5.5"),
+            dst=ip_address("30.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert receiver.received == []
+    assert fabric.drop_counts["drop-osav"] == 1
+
+
+def test_intra_as_skips_borders():
+    fabric = Fabric()
+    system = AutonomousSystem(1, osav=True, dsav=True)
+    system.add_prefix("20.0.0.0/16")
+    fabric.add_system(system)
+    a = Sink("a", 1)
+    b = Sink("b", 1)
+    fabric.attach(a, ip_address("20.0.0.1"))
+    fabric.attach(b, ip_address("20.0.0.2"))
+    # Even an internal-looking spoof passes: DSAV is a border mechanism.
+    a.send(
+        Packet(
+            src=ip_address("20.0.9.9"),
+            dst=ip_address("20.0.0.2"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert len(b.received) == 1
+    assert b.received[0].hops == 0
+
+
+def test_no_route_drop():
+    fabric, sender, _ = build_two_as_fabric(dsav=False)
+    sender.send(
+        Packet(
+            src=ip_address("20.0.0.1"),
+            dst=ip_address("99.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert fabric.drop_counts["no-route"] == 1
+
+
+def test_no_host_drop():
+    fabric, sender, _ = build_two_as_fabric(dsav=False)
+    sender.send(
+        Packet(
+            src=ip_address("20.0.0.1"),
+            dst=ip_address("30.0.0.99"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert fabric.drop_counts["no-host"] == 1
+
+
+def test_tap_sees_delivered_packets_only():
+    fabric, sender, receiver = build_two_as_fabric(dsav=True)
+    seen = []
+    fabric.add_tap(lambda packet, host: seen.append((packet, host.name)))
+    ok = Packet(
+        src=ip_address("20.0.0.1"),
+        dst=ip_address("30.0.0.1"),
+        sport=1,
+        dport=2,
+        payload=b"ok",
+    )
+    blocked = Packet(
+        src=ip_address("30.0.5.5"),
+        dst=ip_address("30.0.0.1"),
+        sport=1,
+        dport=2,
+        payload=b"spoof",
+    )
+    sender.send(ok)
+    sender.send(blocked)
+    fabric.run()
+    assert [name for _, name in seen] == ["receiver"]
+
+
+def test_loss_rate_drops_deterministically():
+    results = []
+    for _ in range(2):
+        fabric, sender, receiver = build_two_as_fabric(dsav=False)
+        fabric.loss_rate = 0.5
+        fabric._loss_rng.seed(99)
+        for i in range(50):
+            sender.send(
+                Packet(
+                    src=ip_address("20.0.0.1"),
+                    dst=ip_address("30.0.0.1"),
+                    sport=1000 + i,
+                    dport=2,
+                    payload=b"x",
+                )
+            )
+        fabric.run()
+        results.append((len(receiver.received), fabric.drop_counts["loss"]))
+    assert results[0] == results[1]
+    delivered, lost = results[0]
+    assert delivered + lost == 50
+    assert 10 < delivered < 40  # roughly half
+
+
+def test_record_drops_keeps_packets():
+    fabric, sender, _ = build_two_as_fabric(dsav=True)
+    fabric.record_drops = True
+    sender.send(
+        Packet(
+            src=ip_address("30.0.5.5"),
+            dst=ip_address("30.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert len(fabric.dropped) == 1
+    assert fabric.dropped[0].reason == "drop-dsav"
+    assert fabric.dropped[0].asn == 2
+
+
+def test_duplicate_attach_rejected():
+    fabric, sender, receiver = build_two_as_fabric(dsav=False)
+    with pytest.raises(ValueError):
+        fabric.attach(Sink("dup", 2), ip_address("30.0.0.1"))
+
+
+def test_unknown_asn_attach_rejected():
+    fabric, *_ = build_two_as_fabric(dsav=False)
+    with pytest.raises(ValueError):
+        fabric.attach(Sink("x", 99), ip_address("20.0.0.9"))
+
+
+def test_bind_address():
+    fabric, sender, receiver = build_two_as_fabric(dsav=False)
+    extra = ip_address("30.0.0.7")
+    fabric.bind_address(receiver, extra)
+    assert fabric.host_at(extra) is receiver
+    assert extra in receiver.addresses
+    with pytest.raises(ValueError):
+        fabric.bind_address(receiver, extra)
+
+
+def test_latency_deterministic_per_pair():
+    fabric, *_ = build_two_as_fabric(dsav=False)
+    assert fabric._latency(1, 2) == fabric._latency(2, 1)
+    assert fabric._latency(1, 1) < fabric._latency(1, 2)
+
+
+def test_send_unattached_host_raises():
+    host = Sink("floating", 1)
+    with pytest.raises(RuntimeError):
+        host.send(
+            Packet(
+                src=ip_address("20.0.0.1"),
+                dst=ip_address("30.0.0.1"),
+                sport=1,
+                dport=2,
+                payload=b"",
+            )
+        )
+
+
+def test_duplicate_asn_rejected():
+    fabric = Fabric()
+    fabric.add_system(AutonomousSystem(5))
+    with pytest.raises(ValueError):
+        fabric.add_system(AutonomousSystem(5))

@@ -1,0 +1,70 @@
+"""Tests for the synthetic geolocation database."""
+
+from ipaddress import ip_address, ip_network
+from random import Random
+
+from repro.netsim.geo import COUNTRY_WEIGHTS, GeoDatabase, draw_country
+from repro.netsim.routing import RoutingTable
+
+
+def test_country_of_prefix_roundtrip():
+    geo = GeoDatabase()
+    geo.assign(ip_network("20.0.0.0/16"), "US")
+    assert geo.country_of_prefix(ip_network("20.0.0.0/16")) == "US"
+    assert geo.country_of_prefix(ip_network("30.0.0.0/16")) is None
+
+
+def test_country_of_address_most_specific_wins():
+    geo = GeoDatabase()
+    geo.assign(ip_network("20.0.0.0/8"), "US")
+    geo.assign(ip_network("20.1.0.0/16"), "BR")
+    assert geo.country_of_address(ip_address("20.1.2.3")) == "BR"
+    assert geo.country_of_address(ip_address("20.2.2.3")) == "US"
+    assert geo.country_of_address(ip_address("99.0.0.1")) is None
+
+
+def test_countries_of_asn_multi_country():
+    """An AS spans every country its prefixes geolocate to (Section 4)."""
+    geo = GeoDatabase()
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 7)
+    routes.announce("21.0.0.0/16", 7)
+    geo.assign(ip_network("20.0.0.0/16"), "US")
+    geo.assign(ip_network("21.0.0.0/16"), "DE")
+    assert geo.countries_of_asn(7, routes) == {"US", "DE"}
+
+
+def test_asns_by_country():
+    geo = GeoDatabase()
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 7)
+    routes.announce("30.0.0.0/16", 8)
+    geo.assign(ip_network("20.0.0.0/16"), "US")
+    geo.assign(ip_network("30.0.0.0/16"), "US")
+    by_country = geo.asns_by_country(routes)
+    assert by_country == {"US": {7, 8}}
+
+
+def test_draw_country_respects_weights():
+    rng = Random(1)
+    draws = [draw_country(rng) for _ in range(4000)]
+    us_share = draws.count("US") / len(draws)
+    expected = COUNTRY_WEIGHTS["US"] / sum(COUNTRY_WEIGHTS.values())
+    assert abs(us_share - expected) < 0.05
+    assert set(draws) <= set(COUNTRY_WEIGHTS)
+
+
+def test_len_counts_assignments():
+    geo = GeoDatabase()
+    geo.assign(ip_network("20.0.0.0/16"), "US")
+    geo.assign(ip_network("21.0.0.0/16"), "DE")
+    assert len(geo) == 2
+
+
+def test_countries_of_asn_ignores_unassigned_prefixes():
+    geo = GeoDatabase()
+    routes = RoutingTable()
+    routes.announce("20.0.0.0/16", 7)
+    routes.announce("21.0.0.0/16", 7)
+    geo.assign(ip_network("20.0.0.0/16"), "US")
+    assert geo.countries_of_asn(7, routes) == {"US"}

@@ -1,0 +1,84 @@
+"""Tests for the packet model."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.netsim.packet import Packet, TCPFlag, TCPSignature, Transport
+
+V4_A = ip_address("20.0.0.1")
+V4_B = ip_address("20.0.1.1")
+V6_A = ip_address("2a00::1")
+
+
+def make_packet(**overrides):
+    fields = dict(
+        src=V4_A, dst=V4_B, sport=4000, dport=53, payload=b"hello"
+    )
+    fields.update(overrides)
+    return Packet(**fields)
+
+
+class TestConstruction:
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(dst=V6_A)
+
+    @pytest.mark.parametrize("port", [-1, 65536, 100000])
+    def test_bad_ports_rejected(self, port):
+        with pytest.raises(ValueError):
+            make_packet(sport=port)
+
+    def test_version(self):
+        assert make_packet().version == 4
+        assert Packet(V6_A, V6_A, 1, 2, b"").version == 6
+
+    def test_packet_ids_unique(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+
+class TestReply:
+    def test_reply_swaps_endpoints(self):
+        packet = make_packet()
+        reply = packet.reply(b"resp")
+        assert reply.src == packet.dst
+        assert reply.dst == packet.src
+        assert reply.sport == packet.dport
+        assert reply.dport == packet.sport
+        assert reply.payload == b"resp"
+        assert reply.transport is packet.transport
+
+    def test_reply_overrides(self):
+        reply = make_packet(transport=Transport.TCP).reply(
+            b"", tcp_flags=TCPFlag.SYN | TCPFlag.ACK
+        )
+        assert reply.tcp_flags == TCPFlag.SYN | TCPFlag.ACK
+        assert reply.transport is Transport.TCP
+
+    def test_reply_resets_hops(self):
+        packet = make_packet().hop().hop()
+        assert packet.reply(b"").hops == 0
+
+
+class TestHops:
+    def test_hop_decrements_observed_ttl(self):
+        packet = make_packet(ttl=64)
+        assert packet.observed_ttl == 64
+        hopped = packet.hop()
+        assert hopped.hops == 1
+        assert hopped.observed_ttl == 63
+        assert packet.hops == 0  # original untouched
+
+    def test_observed_ttl_floor_zero(self):
+        packet = make_packet(ttl=1)
+        assert packet.hop().hop().observed_ttl == 0
+
+
+class TestSignature:
+    def test_summary_format(self):
+        signature = TCPSignature(64, 29200, 1460, 7, ("mss", "ws"))
+        assert signature.summary() == "64:29200:1460:7:mss,ws"
+
+    def test_flow_tuple(self):
+        packet = make_packet()
+        assert packet.flow() == (V4_A, 4000, V4_B, 53, Transport.UDP)

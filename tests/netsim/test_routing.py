@@ -1,0 +1,124 @@
+"""Unit and property tests for the routing table."""
+
+from ipaddress import ip_address, ip_network
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.routing import Announcement, RoutingTable
+
+
+class TestBasics:
+    def test_exact_match(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/24", 100)
+        assert table.origin_asn(ip_address("20.0.0.5")) == 100
+
+    def test_no_match(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/24", 100)
+        assert table.lookup(ip_address("30.0.0.1")) is None
+
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/16", 100)
+        table.announce("20.0.1.0/24", 200)
+        assert table.origin_asn(ip_address("20.0.1.7")) == 200
+        assert table.origin_asn(ip_address("20.0.2.7")) == 100
+
+    def test_default_route(self):
+        table = RoutingTable()
+        table.announce("0.0.0.0/0", 1)
+        assert table.origin_asn(ip_address("203.0.113.9")) == 1
+
+    def test_reannounce_overwrites(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/24", 100)
+        table.announce("20.0.0.0/24", 200)
+        assert table.origin_asn(ip_address("20.0.0.1")) == 200
+        assert len(table) == 1
+
+    def test_v6_independent_of_v4(self):
+        table = RoutingTable()
+        table.announce("2a00::/32", 600)
+        table.announce("20.0.0.0/8", 400)
+        assert table.origin_asn(ip_address("2a00::1")) == 600
+        assert table.origin_asn(ip_address("20.1.1.1")) == 400
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(ValueError):
+            Announcement(ip_network("20.0.0.0/24"), 0)
+
+
+class TestWithdraw:
+    def test_withdraw_removes_route(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/24", 100)
+        assert table.withdraw("20.0.0.0/24")
+        assert table.lookup(ip_address("20.0.0.1")) is None
+        assert len(table) == 0
+
+    def test_withdraw_missing_returns_false(self):
+        assert not RoutingTable().withdraw("20.0.0.0/24")
+
+    def test_withdraw_keeps_covering_route(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/16", 100)
+        table.announce("20.0.1.0/24", 200)
+        table.withdraw("20.0.1.0/24")
+        assert table.origin_asn(ip_address("20.0.1.1")) == 100
+
+
+class TestAsnViews:
+    def test_prefixes_for_asn_sorted(self):
+        table = RoutingTable()
+        table.announce("30.0.0.0/24", 7)
+        table.announce("20.0.0.0/24", 7)
+        table.announce("25.0.0.0/24", 8)
+        prefixes = table.prefixes_for_asn(7)
+        assert prefixes == [
+            ip_network("20.0.0.0/24"),
+            ip_network("30.0.0.0/24"),
+        ]
+
+    def test_contains(self):
+        table = RoutingTable()
+        table.announce("20.0.0.0/24", 7)
+        assert ip_network("20.0.0.0/24") in table
+        assert ip_network("21.0.0.0/24") not in table
+
+
+# -- property test: trie agrees with brute-force longest-prefix match -------
+
+_prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=8, max_value=28),
+).map(
+    lambda t: ip_network(
+        (t[0] & ~((1 << (32 - t[1])) - 1) & 0xFFFFFFFF, t[1])
+    )
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_prefix_strategy, min_size=1, max_size=20),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20),
+)
+def test_trie_matches_bruteforce(prefixes, probes):
+    table = RoutingTable()
+    reference: dict = {}
+    for i, prefix in enumerate(prefixes):
+        table.announce(prefix, i + 1)
+        reference[prefix] = i + 1
+    for probe_int in probes:
+        address = ip_address(probe_int)
+        covering = [p for p in reference if address in p]
+        expected = (
+            reference[max(covering, key=lambda p: p.prefixlen)]
+            if covering
+            else None
+        )
+        # Brute force ties: several distinct prefixes cannot share the
+        # same (network, prefixlen), so max() is unambiguous.
+        assert table.origin_asn(address) == expected

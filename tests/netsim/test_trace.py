@@ -1,0 +1,141 @@
+"""Tests for the fabric packet-capture tool."""
+
+from ipaddress import ip_address
+
+from repro.netsim.autonomous_system import AutonomousSystem
+from repro.netsim.fabric import Fabric, Host
+from repro.netsim.packet import Packet, Transport
+from repro.netsim.trace import (
+    PacketTrace,
+    TraceEntry,
+    address_filter,
+    host_filter,
+    port_filter,
+)
+
+A_ADDR = ip_address("20.0.0.1")
+B_ADDR = ip_address("20.0.0.2")
+
+
+class Sink(Host):
+    def handle_packet(self, packet):
+        pass
+
+
+def build():
+    fabric = Fabric()
+    system = AutonomousSystem(1, osav=False, dsav=False)
+    system.add_prefix("20.0.0.0/16")
+    fabric.add_system(system)
+    a = Sink("a", 1)
+    b = Sink("b", 1)
+    fabric.attach(a, A_ADDR)
+    fabric.attach(b, B_ADDR)
+    return fabric, a, b
+
+
+def send(sender, dst, sport=1000, dport=53, payload=b"xy"):
+    sender.send(
+        Packet(
+            src=sender.addresses[0], dst=dst, sport=sport, dport=dport,
+            payload=payload,
+        )
+    )
+
+
+def test_capture_everything():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start()
+    send(a, B_ADDR)
+    send(a, B_ADDR, dport=80)
+    fabric.run()
+    assert len(trace) == 2
+    entry = trace.entries[0]
+    assert entry.src == A_ADDR
+    assert entry.dst == B_ADDR
+    assert entry.size == 2
+    assert entry.host == "b"
+
+
+def test_port_filter():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric, capture_filter=port_filter(53)).start()
+    send(a, B_ADDR, dport=53)
+    send(a, B_ADDR, dport=80)
+    fabric.run()
+    assert len(trace) == 1
+    assert trace.entries[0].dport == 53
+
+
+def test_host_and_address_filters():
+    fabric, a, b = build()
+    by_host = PacketTrace(fabric, capture_filter=host_filter("a")).start()
+    by_addr = PacketTrace(
+        fabric, capture_filter=address_filter(A_ADDR)
+    ).start()
+    send(a, B_ADDR)
+    send(b, A_ADDR)
+    fabric.run()
+    assert len(by_host) == 1
+    assert by_host.entries[0].host == "a"
+    assert len(by_addr) == 2  # A is src of one, dst of the other
+
+
+def test_views():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start()
+    send(a, B_ADDR)
+    fabric.run()
+    send(b, A_ADDR)
+    fabric.run()
+    first_time = trace.entries[0].time
+    assert trace.between(0.0, first_time + 1e-9) == trace.entries[:1]
+    assert len(trace.involving(A_ADDR)) == 2
+
+
+def test_render_tcpdump_style():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start()
+    send(a, B_ADDR)
+    fabric.run()
+    text = trace.render()
+    assert "UDP" in text
+    assert f"{A_ADDR}.1000 > {B_ADDR}.53" in text
+
+
+def test_save_load_roundtrip(tmp_path):
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start()
+    send(a, B_ADDR)
+    send(b, A_ADDR, sport=5, dport=6, payload=b"abc")
+    fabric.run()
+    path = tmp_path / "capture.jsonl"
+    assert trace.save(path) == 2
+    loaded = PacketTrace.load(path)
+    assert loaded == trace.entries
+
+
+def test_capture_cap():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric, max_entries=3).start()
+    for _ in range(5):
+        send(a, B_ADDR)
+    fabric.run()
+    assert len(trace) == 3
+    assert trace.dropped_by_cap == 2
+
+
+def test_start_idempotent():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start().start()
+    send(a, B_ADDR)
+    fabric.run()
+    assert len(trace) == 1  # not double-tapped
+
+
+def test_entry_json_roundtrip():
+    entry = TraceEntry(
+        time=1.5, src=A_ADDR, sport=9, dst=B_ADDR, dport=53,
+        transport=Transport.TCP, size=77, host="b",
+    )
+    assert TraceEntry.from_json(entry.to_json()) == entry

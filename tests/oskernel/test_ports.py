@@ -1,0 +1,186 @@
+"""Unit and property tests for ephemeral port allocators."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oskernel.ports import (
+    IANA_EPHEMERAL_HIGH,
+    IANA_EPHEMERAL_LOW,
+    LINUX_EPHEMERAL_HIGH,
+    LINUX_EPHEMERAL_LOW,
+    UNPRIVILEGED_HIGH,
+    UNPRIVILEGED_LOW,
+    WINDOWS_DNS_POOL_SIZE,
+    FixedPortAllocator,
+    IncrementingAllocator,
+    SmallSetAllocator,
+    UniformPoolAllocator,
+    WindowsPoolAllocator,
+    observed_range,
+)
+
+
+class TestFixed:
+    def test_always_same_port(self):
+        allocator = FixedPortAllocator(53)
+        assert [allocator.next_port() for _ in range(10)] == [53] * 10
+        assert allocator.pool_size() == 1
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPortAllocator(0)
+        with pytest.raises(ValueError):
+            FixedPortAllocator(70000)
+
+    def test_startup_unprivileged_in_range(self):
+        allocator = FixedPortAllocator.startup_unprivileged(Random(1))
+        assert UNPRIVILEGED_LOW <= allocator.port <= UNPRIVILEGED_HIGH
+
+
+class TestUniform:
+    def test_linux_default_pool(self):
+        allocator = UniformPoolAllocator.linux_default(Random(1))
+        ports = [allocator.next_port() for _ in range(2000)]
+        assert min(ports) >= LINUX_EPHEMERAL_LOW
+        assert max(ports) <= LINUX_EPHEMERAL_HIGH
+        assert allocator.pool_size() == 28233
+
+    def test_freebsd_default_pool(self):
+        allocator = UniformPoolAllocator.freebsd_default(Random(1))
+        ports = [allocator.next_port() for _ in range(2000)]
+        assert min(ports) >= IANA_EPHEMERAL_LOW
+        assert max(ports) <= IANA_EPHEMERAL_HIGH
+        assert allocator.pool_size() == 16384
+
+    def test_full_unprivileged(self):
+        allocator = UniformPoolAllocator.full_unprivileged(Random(1))
+        assert allocator.pool_size() == 64512
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformPoolAllocator(100, 50, Random(1))
+
+    def test_deterministic_for_seed(self):
+        a = UniformPoolAllocator.linux_default(Random(5))
+        b = UniformPoolAllocator.linux_default(Random(5))
+        assert [a.next_port() for _ in range(20)] == [
+            b.next_port() for _ in range(20)
+        ]
+
+
+class TestSmallSet:
+    def test_bind_950_has_eight_ports(self):
+        allocator = SmallSetAllocator.bind_950(Random(2))
+        assert allocator.pool_size() == 8
+        drawn = {allocator.next_port() for _ in range(500)}
+        assert drawn <= set(allocator.ports)
+        assert len(drawn) == 8  # all used eventually
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SmallSetAllocator([], Random(1))
+
+
+class TestWindowsPool:
+    def test_pool_size_and_iana_containment(self):
+        allocator = WindowsPoolAllocator(Random(3))
+        assert allocator.pool_size() == WINDOWS_DNS_POOL_SIZE
+        assert all(
+            IANA_EPHEMERAL_LOW <= p <= IANA_EPHEMERAL_HIGH
+            for p in allocator.ports
+        )
+
+    def test_contiguous_when_not_wrapping(self):
+        allocator = WindowsPoolAllocator(Random(0), start=50000)
+        assert not allocator.wraps
+        assert allocator.ports == list(range(50000, 50000 + 2500))
+
+    def test_wraps_to_bottom_of_iana_range(self):
+        start = IANA_EPHEMERAL_HIGH - 100
+        allocator = WindowsPoolAllocator(Random(0), start=start)
+        assert allocator.wraps
+        assert allocator.ports[0] == start
+        assert allocator.ports[101] == IANA_EPHEMERAL_LOW
+        assert max(allocator.ports) == IANA_EPHEMERAL_HIGH
+        assert len(set(allocator.ports)) == 2500
+
+    def test_start_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WindowsPoolAllocator(Random(0), start=1000)
+
+    def test_draws_stay_in_pool(self):
+        allocator = WindowsPoolAllocator(Random(4))
+        pool = set(allocator.ports)
+        assert all(allocator.next_port() in pool for _ in range(500))
+
+
+class TestIncrementing:
+    def test_strictly_increasing_then_wraps(self):
+        allocator = IncrementingAllocator(100, 104)
+        assert [allocator.next_port() for _ in range(7)] == [
+            100, 101, 102, 103, 104, 100, 101,
+        ]
+
+    def test_custom_start(self):
+        allocator = IncrementingAllocator(100, 104, start=103)
+        assert allocator.next_port() == 103
+
+    def test_start_outside_pool_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementingAllocator(100, 104, start=99)
+
+    def test_pool_size(self):
+        assert IncrementingAllocator(100, 199).pool_size() == 100
+
+
+class TestObservedRange:
+    def test_range(self):
+        assert observed_range([5, 1, 9]) == 8
+        assert observed_range([7]) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            observed_range([])
+
+
+# -- property tests ---------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=65000),
+    st.integers(min_value=0, max_value=500),
+    st.integers(),
+)
+def test_uniform_allocator_stays_in_pool(low, span, seed):
+    high = min(low + span, 65535)
+    allocator = UniformPoolAllocator(low, high, Random(seed))
+    for _ in range(50):
+        assert low <= allocator.next_port() <= high
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers())
+def test_windows_pool_range_bounded_after_unwrap(seed):
+    """Any 10-draw sample spans less than the pool size once unwrapped."""
+    from repro.fingerprint.portrange import adjust_wrapped_ports
+
+    allocator = WindowsPoolAllocator(Random(seed))
+    sample = [allocator.next_port() for _ in range(10)]
+    adjusted = adjust_wrapped_ports(sample)
+    assert observed_range(adjusted) < WINDOWS_DNS_POOL_SIZE
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=60000),
+    st.integers(min_value=1, max_value=400),
+)
+def test_incrementing_allocator_cycles_every_port(low, span):
+    high = min(low + span, 65535)
+    allocator = IncrementingAllocator(low, high)
+    size = high - low + 1
+    drawn = [allocator.next_port() for _ in range(size)]
+    assert sorted(drawn) == list(range(low, high + 1))

@@ -1,0 +1,146 @@
+"""Tests for OS and DNS software behaviour profiles (Tables 5 and 6)."""
+
+from random import Random
+
+import pytest
+
+from repro.oskernel.ports import (
+    FixedPortAllocator,
+    SmallSetAllocator,
+    UniformPoolAllocator,
+    WindowsPoolAllocator,
+)
+from repro.oskernel.profiles import (
+    OS_PROFILES,
+    SOFTWARE_PROFILES,
+    os_profile,
+    software_profile,
+)
+
+
+class TestTable6Acceptance:
+    """The acceptance flags must match Table 6 exactly."""
+
+    def test_modern_linux(self):
+        profile = os_profile("ubuntu-modern")
+        assert not profile.accepts_v4.dst_as_src
+        assert not profile.accepts_v4.loopback
+        assert profile.accepts_v6.dst_as_src
+        assert not profile.accepts_v6.loopback
+
+    def test_old_linux_accepts_v6_loopback(self):
+        profile = os_profile("ubuntu-old")
+        assert not profile.accepts_v4.dst_as_src
+        assert profile.accepts_v6.dst_as_src
+        assert profile.accepts_v6.loopback
+
+    @pytest.mark.parametrize("name", ["freebsd", "windows-2008r2+"])
+    def test_bsd_and_modern_windows(self, name):
+        profile = os_profile(name)
+        assert profile.accepts_v4.dst_as_src
+        assert not profile.accepts_v4.loopback
+        assert profile.accepts_v6.dst_as_src
+        assert not profile.accepts_v6.loopback
+
+    def test_windows_2003_accepts_v4_loopback(self):
+        profile = os_profile("windows-2003")
+        assert profile.accepts_v4.dst_as_src
+        assert profile.accepts_v4.loopback
+        assert profile.accepts_v6.dst_as_src
+        assert not profile.accepts_v6.loopback
+
+    def test_every_profile_accepts_v6_dst_as_src(self):
+        """'Every OS that we analyzed allowed IPv6 destination-as-source
+        packets to be received' (Section 6)."""
+        for profile in OS_PROFILES.values():
+            assert profile.accepts_v6.dst_as_src, profile.name
+
+    def test_acceptance_selector(self):
+        profile = os_profile("freebsd")
+        assert profile.acceptance(4) is profile.accepts_v4
+        assert profile.acceptance(6) is profile.accepts_v6
+
+
+class TestTable5Software:
+    """Allocator behaviour per DNS software (Table 5)."""
+
+    def test_bind_950_small_set(self):
+        allocator = software_profile("bind-9.5.0").allocator(
+            os_profile("ubuntu-modern"), Random(1)
+        )
+        assert isinstance(allocator, SmallSetAllocator)
+        assert allocator.pool_size() == 8
+
+    @pytest.mark.parametrize(
+        "software",
+        ["bind-9.5.2-9.8.8", "unbound-1.9.0", "powerdns-recursor-4.2.0"],
+    )
+    def test_full_unprivileged_pools(self, software):
+        allocator = software_profile(software).allocator(
+            os_profile("ubuntu-modern"), Random(1)
+        )
+        assert isinstance(allocator, UniformPoolAllocator)
+        assert (allocator.low, allocator.high) == (1024, 65535)
+
+    @pytest.mark.parametrize("software", ["bind-9.9.13-9.16.0", "knot-3.2.1"])
+    def test_os_default_pools_follow_os(self, software):
+        linux = software_profile(software).allocator(
+            os_profile("ubuntu-modern"), Random(1)
+        )
+        freebsd = software_profile(software).allocator(
+            os_profile("freebsd"), Random(1)
+        )
+        assert (linux.low, linux.high) == (32768, 61000)
+        assert (freebsd.low, freebsd.high) == (49152, 65535)
+
+    def test_windows_dns_2003_single_port(self):
+        allocator = software_profile("windows-dns-2003-2008").allocator(
+            os_profile("windows-2003"), Random(1)
+        )
+        assert isinstance(allocator, FixedPortAllocator)
+        assert allocator.port > 1023
+
+    def test_windows_dns_modern_pool(self):
+        allocator = software_profile("windows-dns-2008r2-2019").allocator(
+            os_profile("windows-2008r2+"), Random(1)
+        )
+        assert isinstance(allocator, WindowsPoolAllocator)
+        assert allocator.pool_size() == 2500
+
+    def test_bind_pre81_pins_port_53(self):
+        allocator = software_profile("bind-pre-8.1").allocator(
+            os_profile("ubuntu-old"), Random(1)
+        )
+        assert allocator.next_port() == 53
+
+    def test_bind_on_windows_uses_full_range_not_windows_pool(self):
+        """BIND 9.11 on Windows Server selects from all unprivileged
+        ports, so port range alone cannot identify Windows unless it
+        runs Windows DNS (Section 5.3.2)."""
+        allocator = software_profile("bind-9.5.2-9.8.8").allocator(
+            os_profile("windows-2008r2+"), Random(1)
+        )
+        assert isinstance(allocator, UniformPoolAllocator)
+        assert allocator.pool_size() == 64512
+
+    def test_registry_lookup_errors(self):
+        with pytest.raises(KeyError):
+            software_profile("no-such-software")
+        with pytest.raises(KeyError):
+            os_profile("no-such-os")
+
+
+class TestSignatures:
+    def test_windows_uses_ttl_128(self):
+        assert os_profile("windows-2008r2+").tcp_signature.initial_ttl == 128
+        assert os_profile("windows-2003").tcp_signature.initial_ttl == 128
+
+    def test_unix_uses_ttl_64(self):
+        assert os_profile("ubuntu-modern").tcp_signature.initial_ttl == 64
+        assert os_profile("freebsd").tcp_signature.initial_ttl == 64
+
+    def test_signatures_pairwise_distinct(self):
+        summaries = [
+            p.tcp_signature.summary() for p in OS_PROFILES.values()
+        ]
+        assert len(summaries) == len(set(summaries))

@@ -1,0 +1,88 @@
+"""Tests for kernel packet admission (the Table 6 mechanism)."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.oskernel.profiles import os_profile
+from repro.oskernel.stack import NetworkStack
+
+V4_LOCAL = ip_address("20.0.0.5")
+V6_LOCAL = ip_address("2a00::5")
+V4_REMOTE = ip_address("30.0.0.9")
+V6_REMOTE = ip_address("2a01::9")
+
+
+def make_stack(os_name: str) -> NetworkStack:
+    stack = NetworkStack(os_profile(os_name))
+    stack.add_address(V4_LOCAL)
+    stack.add_address(V6_LOCAL)
+    return stack
+
+
+def packet(src, dst):
+    return Packet(src=src, dst=dst, sport=999, dport=53, payload=b"")
+
+
+def test_ordinary_traffic_always_accepted():
+    for name in ("ubuntu-modern", "freebsd", "windows-2008r2+"):
+        stack = make_stack(name)
+        assert stack.accepts(packet(V4_REMOTE, V4_LOCAL))
+        assert stack.accepts(packet(V6_REMOTE, V6_LOCAL))
+
+
+def test_linux_drops_v4_dst_as_src_accepts_v6():
+    stack = make_stack("ubuntu-modern")
+    assert not stack.accepts(packet(V4_LOCAL, V4_LOCAL))
+    assert stack.accepts(packet(V6_LOCAL, V6_LOCAL))
+    assert stack.drop_counts["dst-as-src"] == 1
+
+
+def test_freebsd_accepts_dst_as_src_both_families():
+    stack = make_stack("freebsd")
+    assert stack.accepts(packet(V4_LOCAL, V4_LOCAL))
+    assert stack.accepts(packet(V6_LOCAL, V6_LOCAL))
+
+
+def test_old_linux_accepts_v6_loopback():
+    stack = make_stack("ubuntu-old")
+    assert stack.accepts(packet(ip_address("::1"), V6_LOCAL))
+    assert not stack.accepts(packet(ip_address("127.0.0.1"), V4_LOCAL))
+
+
+def test_windows_2003_accepts_v4_loopback_only():
+    stack = make_stack("windows-2003")
+    assert stack.accepts(packet(ip_address("127.0.0.1"), V4_LOCAL))
+    assert not stack.accepts(packet(ip_address("::1"), V6_LOCAL))
+    assert stack.drop_counts["loopback"] == 1
+
+
+def test_counters_accumulate():
+    stack = make_stack("ubuntu-modern")
+    stack.accepts(packet(V4_REMOTE, V4_LOCAL))
+    stack.accepts(packet(V4_LOCAL, V4_LOCAL))
+    stack.accepts(packet(ip_address("127.0.0.1"), V4_LOCAL))
+    assert stack.accepted_count == 1
+    assert stack.drop_counts["dst-as-src"] == 1
+    assert stack.drop_counts["loopback"] == 1
+
+
+def test_other_local_address_also_checked():
+    """A packet spoofing *any* configured address is destination-as-source."""
+    stack = make_stack("ubuntu-modern")
+    other = ip_address("20.0.0.6")
+    stack.add_address(other)
+    assert not stack.accepts(packet(other, V4_LOCAL))
+
+
+def test_shared_address_list_reference():
+    """The stack can share the host's live address list."""
+    addresses = [V4_LOCAL]
+    stack = NetworkStack(os_profile("freebsd"), local_addresses=addresses)
+    addresses.append(V6_LOCAL)  # host acquires an address later
+    assert stack.accepts(packet(V6_LOCAL, V6_LOCAL))  # freebsd accepts DS
+    linux = NetworkStack(
+        os_profile("ubuntu-modern"), local_addresses=addresses
+    )
+    assert not linux.accepts(packet(V4_LOCAL, V4_LOCAL))

@@ -1,0 +1,224 @@
+"""Tests for the synthetic-Internet builder."""
+
+import pytest
+
+from repro.core.qname import Channel
+from repro.dns.name import name
+from repro.dns.rr import RRType
+from repro.scenarios import (
+    FIRST_TARGET_ASN,
+    INFRA_ASN,
+    MEASUREMENT_ASN,
+    ScenarioParams,
+    build_internet,
+)
+
+
+def is_target_asn(scenario, asn: int) -> bool:
+    return FIRST_TARGET_ASN <= asn < FIRST_TARGET_ASN + scenario.params.n_ases
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_internet(ScenarioParams(seed=21, n_ases=25))
+
+
+class TestTopology:
+    def test_measurement_as_lacks_osav(self, scenario):
+        assert not scenario.fabric.system(MEASUREMENT_ASN).osav
+
+    def test_target_as_range(self, scenario):
+        asns = {s.asn for s in scenario.fabric.systems()}
+        for i in range(25):
+            assert FIRST_TARGET_ASN + i in asns
+
+    def test_client_dual_stack(self, scenario):
+        versions = {a.version for a in scenario.client.addresses}
+        assert versions == {4, 6}
+
+    def test_every_as_has_country(self, scenario):
+        for system in scenario.fabric.systems():
+            if is_target_asn(scenario, system.asn):
+                assert system.country is not None
+
+    def test_geo_covers_target_prefixes(self, scenario):
+        for system in scenario.fabric.systems():
+            if not is_target_asn(scenario, system.asn):
+                continue
+            for prefix in system.prefixes():
+                assert scenario.geo.country_of_prefix(prefix) is not None
+
+
+class TestGroundTruth:
+    def test_dsav_flags_consistent(self, scenario):
+        for system in scenario.fabric.systems():
+            if not is_target_asn(scenario, system.asn):
+                continue
+            assert (system.asn in scenario.truth.dsav_lacking_asns) == (
+                not system.dsav
+            )
+
+    def test_resolver_index_complete(self, scenario):
+        for info in scenario.truth.resolvers:
+            for address in info.addresses:
+                assert scenario.truth.info_for(address) is info
+
+    def test_alive_resolvers_attached(self, scenario):
+        for info in scenario.truth.resolvers:
+            host = scenario.fabric.host_at(info.addresses[0])
+            if info.alive:
+                assert host is info.host
+            else:
+                assert host is None
+
+    def test_forwarder_targets_exist(self, scenario):
+        for info in scenario.truth.resolvers:
+            if info.forwarder_target is not None:
+                upstream = scenario.fabric.host_at(info.forwarder_target)
+                assert upstream is not None
+
+
+class TestCandidates:
+    def test_candidates_include_pollution(self, scenario):
+        targets = scenario.target_set()
+        assert targets.stats.special_purpose >= scenario.params.special_purpose_candidates
+        assert targets.stats.unrouted >= scenario.params.unrouted_candidates
+
+    def test_selected_targets_are_resolver_addresses(self, scenario):
+        targets = scenario.target_set()
+        for target in targets.targets:
+            assert scenario.truth.info_for(target.address) is not None
+
+    def test_hitlist_contains_v6_resolver_subnets(self, scenario):
+        from repro.netsim.addresses import subnet_of
+
+        v6_addresses = [
+            a
+            for info in scenario.truth.resolvers
+            for a in info.addresses
+            if a.version == 6
+        ]
+        if v6_addresses:
+            assert subnet_of(v6_addresses[0]) in scenario.hitlist
+
+
+class TestInfrastructure:
+    def test_experiment_zone_resolvable_via_infrastructure(self, scenario):
+        """An in-simulation resolver can walk root -> org -> dns-lab."""
+        from random import Random
+        from repro.dns.resolver import AccessControl, RecursiveResolver
+        from repro.dns.stub import StubResolver
+        from repro.oskernel.ports import UniformPoolAllocator
+        from repro.oskernel.profiles import os_profile
+        from repro.dns.message import Rcode
+
+        alive = next(
+            info for info in scenario.truth.resolvers
+            if info.alive and not info.is_forwarder
+        )
+        resolver = alive.host
+        stub = StubResolver("probe-stub", INFRA_ASN, Random(1))
+        from ipaddress import ip_address
+
+        scenario.fabric.attach(stub, ip_address("20.0.0.200"))
+        results = []
+        qname = scenario.codec.channel_base(Channel.MAIN).child("probe")
+        # Query the authoritative server directly: NXDOMAIN expected.
+        stub.query(
+            scenario.auth_servers[0].addresses[0],
+            qname,
+            RRType.A,
+            results.append,
+        )
+        scenario.fabric.run()
+        assert results and results[0] is not None
+        assert results[0].rcode is Rcode.NXDOMAIN
+
+    def test_truncation_domain_configured(self, scenario):
+        main_auth = scenario.auth_servers[0]
+        tc_base = scenario.codec.domain.child("tc")
+        assert any(
+            d == tc_base for d in main_auth.truncation_domains
+        )
+
+    def test_v4_only_server_has_no_v6_address(self, scenario):
+        v4_server = next(
+            s for s in scenario.auth_servers if s.name.endswith("-v4")
+        )
+        assert all(a.version == 4 for a in v4_server.addresses)
+        v6_server = next(
+            s for s in scenario.auth_servers if s.name.endswith("-v6")
+        )
+        assert all(a.version == 6 for a in v6_server.addresses)
+
+
+class TestV6Only:
+    def test_v6_only_resolvers_exist_and_work(self):
+        scenario = build_internet(
+            ScenarioParams(seed=29, n_ases=40, v6_as_fraction=0.5,
+                           v6_only_rate=0.5)
+        )
+        v6_only = [
+            info
+            for info in scenario.truth.resolvers
+            if all(a.version == 6 for a in info.addresses)
+        ]
+        assert v6_only, "expected v6-only resolvers at this rate"
+        # Their forwarder upstreams, when present, are v6 too.
+        for info in v6_only:
+            if info.forwarder_target is not None:
+                assert info.forwarder_target.version == 6
+
+    def test_v6_only_resolver_reachable_by_scan(self):
+        from repro.core import ScanConfig
+
+        scenario = build_internet(
+            ScenarioParams(seed=29, n_ases=40, v6_as_fraction=0.5,
+                           v6_only_rate=0.5, dsav_lacking_rate=1.0,
+                           packet_loss_rate=0.0, not_in_ditl_rate=0.0,
+                           country_dsav_bias={})
+        )
+        scanner, collector = scenario.make_scanner(ScanConfig(duration=60.0))
+        scanner.run()
+        v6_only_alive = {
+            info.addresses[0]
+            for info in scenario.truth.resolvers
+            if info.alive
+            and all(a.version == 6 for a in info.addresses)
+            and not info.is_forwarder
+        }
+        reached = {
+            o.target for o in collector.reachable_targets(6)
+        }
+        assert v6_only_alive & reached
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_internet(ScenarioParams(seed=5, n_ases=10))
+        b = build_internet(ScenarioParams(seed=5, n_ases=10))
+        assert a.ditl_candidates == b.ditl_candidates
+        assert a.truth.dsav_lacking_asns == b.truth.dsav_lacking_asns
+        assert a.hitlist == b.hitlist
+        assert sorted(map(str, a.port_history)) == sorted(
+            map(str, b.port_history)
+        )
+
+    def test_different_seed_differs(self):
+        a = build_internet(ScenarioParams(seed=5, n_ases=10))
+        b = build_internet(ScenarioParams(seed=6, n_ases=10))
+        assert a.ditl_candidates != b.ditl_candidates
+
+
+class TestWildcardMode:
+    def test_wildcard_answers_built(self):
+        scenario = build_internet(
+            ScenarioParams(seed=5, n_ases=4), wildcard_answers=True
+        )
+        zone = scenario.auth_servers[0].zones[scenario.codec.domain]
+        from repro.dns.zone import LookupKind
+
+        result = zone.lookup(
+            scenario.codec.domain.child("kw").child("anything"), RRType.TXT
+        )
+        assert result.kind is LookupKind.ANSWER

@@ -1,0 +1,163 @@
+"""Tests for the controlled-lab scenarios (Tables 5/6, Figure 3a)."""
+
+import pytest
+
+from repro.fingerprint.portrange import PortRangeClass, classify_range
+from repro.scenarios.lab import (
+    LAB_COMBINATIONS,
+    lab_port_study,
+    make_allocator,
+    os_acceptance_matrix,
+    run_acceptance_lab,
+    run_resolution_port_study,
+    sample_allocator_ports,
+    sample_ranges,
+)
+
+
+class TestFastPortStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return {
+            (r.os_name, r.software): r
+            for r in lab_port_study(n_queries=3000)
+        }
+
+    def test_all_combinations_present(self, study):
+        assert set(study) == set(LAB_COMBINATIONS)
+
+    def test_linux_pool_bounds(self, study):
+        result = study[("ubuntu-modern", "bind-9.9.13-9.16.0")]
+        assert min(result.ports) >= 32768
+        assert max(result.ports) <= 61000
+
+    def test_freebsd_pool_bounds(self, study):
+        result = study[("freebsd", "bind-9.9.13-9.16.0")]
+        assert min(result.ports) >= 49152
+        assert max(result.ports) <= 65535
+
+    def test_full_range_software_ignores_os(self, study):
+        result = study[("ubuntu-modern", "unbound-1.9.0")]
+        assert min(result.ports) < 32768
+        assert result.pool_span > 50000
+
+    def test_windows_dns_pool_tiny(self, study):
+        result = study[("windows-2008r2+", "windows-dns-2008r2-2019")]
+        assert result.distinct_ports <= 2500
+
+    def test_fixed_port_kinds(self, study):
+        result = study[("windows-2003", "windows-dns-2003-2008")]
+        assert result.distinct_ports == 1
+        assert result.pool_span == 0
+
+    def test_bind_950_eight_ports(self, study):
+        result = study[("ubuntu-modern", "bind-9.5.0")]
+        assert result.distinct_ports == 8
+
+    def test_sample_ranges_classified_into_expected_buckets(self, study):
+        """The Figure 3a peaks: each OS pool's 10-sample ranges land in
+        its own Table 4 bucket (for the vast majority of samples)."""
+        expectations = {
+            ("ubuntu-modern", "bind-9.9.13-9.16.0"): PortRangeClass.LINUX,
+            ("freebsd", "bind-9.9.13-9.16.0"): PortRangeClass.FREEBSD,
+            ("ubuntu-modern", "unbound-1.9.0"): PortRangeClass.FULL,
+        }
+        for combo, expected in expectations.items():
+            ranges = study[combo].ranges
+            hits = sum(
+                1 for value in ranges if classify_range(value) is expected
+            )
+            assert hits / len(ranges) > 0.85, combo
+
+    def test_windows_ranges_in_windows_bucket_after_model(self, study):
+        result = study[("windows-2008r2+", "windows-dns-2008r2-2019")]
+        from repro.fingerprint.portrange import adjust_wrapped_ports
+
+        buckets = []
+        ports = list(result.ports)
+        for i in range(0, len(ports) - 9, 10):
+            sample = adjust_wrapped_ports(ports[i : i + 10])
+            buckets.append(classify_range(max(sample) - min(sample)))
+        windows_hits = sum(1 for b in buckets if b is PortRangeClass.WINDOWS)
+        assert windows_hits / len(buckets) > 0.8
+
+
+class TestSampleRanges:
+    def test_consecutive_non_overlapping_samples(self):
+        ports = list(range(0, 100))
+        ranges = sample_ranges(ports, sample_size=10)
+        assert len(ranges) == 10
+        assert all(value == 9 for value in ranges)
+
+
+class TestResolutionStudy:
+    def test_end_to_end_ports_match_allocator_pool(self):
+        ports = run_resolution_port_study(
+            "freebsd", "bind-9.9.13-9.16.0", n_queries=40
+        )
+        assert len(ports) == 40
+        assert min(ports) >= 49152
+        assert max(ports) <= 65535
+
+    def test_fixed_port_software_end_to_end(self):
+        ports = run_resolution_port_study(
+            "windows-2003", "windows-dns-2003-2008", n_queries=15
+        )
+        assert len(set(ports)) == 1
+
+
+class TestAcceptanceMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {row.os_name: row for row in os_acceptance_matrix()}
+
+    def test_table6_linux_modern(self, matrix):
+        row = matrix["ubuntu-modern"]
+        assert (row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6) == (
+            False, False, True, False,
+        )
+
+    def test_table6_linux_old(self, matrix):
+        row = matrix["ubuntu-old"]
+        assert (row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6) == (
+            False, False, True, True,
+        )
+
+    @pytest.mark.parametrize("os_name", ["freebsd", "windows-2008r2+"])
+    def test_table6_bsd_windows(self, matrix, os_name):
+        row = matrix[os_name]
+        assert (row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6) == (
+            True, False, True, False,
+        )
+
+    def test_table6_windows_2003(self, matrix):
+        row = matrix["windows-2003"]
+        assert (row.ds_v4, row.lb_v4, row.ds_v6, row.lb_v6) == (
+            True, True, True, False,
+        )
+
+
+class TestAcceptanceEndToEnd:
+    """The fabric-level variant observes the same Table 6 rows."""
+
+    @pytest.mark.parametrize(
+        "os_name",
+        ["ubuntu-modern", "ubuntu-old", "freebsd", "windows-2008r2+",
+         "windows-2003"],
+    )
+    def test_matches_direct_matrix(self, os_name):
+        direct = {
+            row.os_name: row for row in os_acceptance_matrix()
+        }[os_name]
+        via_fabric = run_acceptance_lab(os_name)
+        assert via_fabric.ds_v4 == direct.ds_v4
+        assert via_fabric.lb_v4 == direct.lb_v4
+        assert via_fabric.ds_v6 == direct.ds_v6
+        assert via_fabric.lb_v6 == direct.lb_v6
+
+
+class TestMakeAllocator:
+    def test_deterministic(self):
+        a = make_allocator("windows-2008r2+", "windows-dns-2008r2-2019", 5)
+        b = make_allocator("windows-2008r2+", "windows-dns-2008r2-2019", 5)
+        assert sample_allocator_ports(a, 50) == sample_allocator_ports(b, 50)

@@ -1,0 +1,85 @@
+"""Scenario-level invariants: the scan behaves correctly at the
+extremes of the policy space."""
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.scenarios import ScenarioParams, build_internet
+
+
+def run_scan(**param_overrides):
+    params = ScenarioParams(seed=91, n_ases=20, **param_overrides)
+    scenario = build_internet(params)
+    scanner, collector = scenario.make_scanner(ScanConfig(duration=40.0))
+    scanner.run()
+    return scenario, collector
+
+
+def test_universal_dsav_blocks_everything():
+    """With every AS enforcing DSAV (and martians filtered), no spoofed
+    probe can land: the scan finds nothing."""
+    scenario, collector = run_scan(
+        dsav_lacking_rate=0.0, martian_unfiltered_rate=0.0
+    )
+    assert scenario.truth.dsav_lacking_asns == set()
+    assert collector.reachable_targets() == []
+    assert scenario.fabric.drop_counts["drop-dsav"] > 0
+
+
+def test_universal_dsav_absence_maximizes_reach():
+    """With DSAV absent (almost) everywhere, most ASes with live
+    resolvers are discovered.  Country bias must be neutralized: it
+    multiplies the base rate down for well-run registries."""
+    scenario, collector = run_scan(
+        dsav_lacking_rate=1.0, country_dsav_bias={}
+    )
+    alive_asns = {
+        info.asn for info in scenario.truth.resolvers if info.alive
+    }
+    reachable = collector.reachable_asns()
+    assert len(reachable) > 0.6 * len(alive_asns)
+
+
+def test_no_loss_no_late_records_without_ids():
+    """A lossless fabric with no IDS taps produces a clean collection."""
+    scenario, collector = run_scan(
+        packet_loss_rate=0.0,
+        ids_as_fraction=0.0,
+        analyst_probability=0.0,
+    )
+    assert collector.stats.late_records == 0
+    assert scenario.fabric.drop_counts["loss"] == 0
+
+
+def test_all_dead_addresses_scan_finds_nothing():
+    """If no candidate hosts a live resolver (other than centrals,
+    which we also suppress via mean 1), reachability collapses."""
+    scenario, collector = run_scan(dead_address_rate=1.0)
+    # Centrals are always alive, so some reach persists; but every
+    # reached address must be a central.
+    for obs in collector.reachable_targets():
+        info = scenario.truth.info_for(obs.target)
+        assert info is not None and info.alive
+
+
+def test_loss_reduces_but_does_not_break_detection():
+    _, lossless = run_scan(packet_loss_rate=0.0)
+    _, lossy = run_scan(packet_loss_rate=0.5)
+    assert len(lossy.reachable_targets()) < len(lossless.reachable_targets())
+    assert len(lossy.reachable_targets()) > 0
+
+
+def test_every_observation_consistent_with_probe_index():
+    scenario, collector = run_scan()
+    for obs in collector.observations.values():
+        for source in obs.working_sources:
+            assert (obs.target, source) in collector.probe_index
+
+
+@pytest.mark.parametrize("bad_kwargs", [
+    {"n_ases": 1},
+    {"dsav_lacking_rate": 1.5},
+])
+def test_invalid_params_rejected(bad_kwargs):
+    with pytest.raises(ValueError):
+        ScenarioParams(seed=1, **bad_kwargs)

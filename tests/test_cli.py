@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_lab_command(capsys):
+    assert main(["lab", "--queries", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+    assert "Table 6" in out
+    assert "windows-dns-2008r2-2019" in out
+    assert "DS4/LB4/DS6/LB6" in out
+
+
+def test_attack_command_all(capsys):
+    assert main(["attack", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "NXNS" in out
+    assert "Reflection" in out
+    assert "Poisoning search space" in out
+    assert "65,536 combinations" in out
+
+
+def test_attack_command_single(capsys):
+    assert main(["attack", "poisoning"]) == 0
+    out = capsys.readouterr().out
+    assert "NXNS" not in out
+    assert "combinations" in out
+
+
+def test_attack_command_zone(capsys):
+    assert main(["attack", "zone"]) == 0
+    out = capsys.readouterr().out
+    assert "without DSAV: update ACCEPTED - zone rewritten" in out
+    assert "with DSAV: update blocked" in out
+
+
+def test_scan_command_small(capsys, tmp_path):
+    json_path = tmp_path / "results.json"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Section 4: headline" in out
+    assert "Table 3" in out
+    assert "Table 4" in out
+    assert "Reachable ASes" in out
+    import json
+
+    data = json.loads(json_path.read_text())
+    assert data["seed"] == 3
+    assert "headline" in data and "table4" in data
+
+
+def test_audit_command_auto_asn(capsys):
+    assert main(["audit", "--n-ases", "20", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Auditing AS" in out
+    assert "verdict:" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_attack():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["attack", "quantum"])
