@@ -93,6 +93,9 @@ class Campaign:
     targets: TargetSet
     scanner: Scanner
     collector: Collector
+    #: wall-clock seconds the scan phase took (set by :meth:`run_on`);
+    #: the perf-pipeline benchmark reads probes/sec from here.
+    scan_wall_seconds: float = 0.0
     results: CampaignResults = field(init=False)
 
     def __post_init__(self) -> None:
@@ -122,10 +125,22 @@ class Campaign:
         cls, scenario: "BuiltScenario", config: ScanConfig | None = None
     ) -> "Campaign":
         """Run a campaign over an existing scenario."""
+        from time import perf_counter
+
         targets = scenario.target_set()
         scanner, collector = scenario.make_scanner(config or ScanConfig())
+        start = perf_counter()
         scanner.run()
-        return cls(scenario, targets, scanner, collector)
+        wall = perf_counter() - start
+        return cls(
+            scenario, targets, scanner, collector, scan_wall_seconds=wall
+        )
+
+    def probes_per_second(self) -> float:
+        """Scan-phase throughput (0.0 if timing was not captured)."""
+        if self.scan_wall_seconds <= 0:
+            return 0.0
+        return self.scanner.probes_scheduled / self.scan_wall_seconds
 
     # -- analysis ------------------------------------------------------------
 

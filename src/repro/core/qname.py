@@ -82,12 +82,22 @@ class QueryNameCodec:
     domain: Name
     keyword: str
 
+    def __post_init__(self) -> None:
+        # The four channel bases are fixed for the codec's lifetime but
+        # consulted on every encode/decode; build each name once.
+        object.__setattr__(self, "_channel_bases", {})
+
     def channel_base(self, channel: Channel) -> Name:
         """Return ``kw.<domain>`` or ``kw.<channel>.<domain>``."""
+        cached = self._channel_bases.get(channel)
+        if cached is not None:
+            return cached
         base = self.domain
         if channel.value is not None:
             base = base.child(channel.value)
-        return base.child(self.keyword)
+        base = base.child(self.keyword)
+        self._channel_bases[channel] = base
+        return base
 
     def encode(
         self,

@@ -11,18 +11,22 @@ the *first* time a target is observed.
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Iterator
 from dataclasses import dataclass
+from functools import partial
+from itertools import islice
 from random import Random
 
 from ..dns.auth import AuthoritativeServer, QueryLogRecord
 from ..dns.message import Message
 from ..dns.rr import RRType
-from ..netsim.addresses import Address
+from ..netsim.addresses import Address, IntervalTable
 from ..netsim.fabric import Fabric, Host
 from ..netsim.packet import Packet, Transport
 from .followup import FollowUpEngine
 from .qname import Channel, QueryNameCodec
-from .sources import SourceCategory, SpoofPlanner
+from .sources import SourceCategory, SpoofedSource, SpoofPlanner
 from .targets import TargetSet
 
 
@@ -85,6 +89,10 @@ class ScanConfig:
     #: paper's vantage allowed ~700 qps, Section 3.4).  The campaign
     #: stretches beyond ``duration`` if needed to respect it.
     max_rate: float | None = None
+    #: probes materialized onto the event loop per pacing step.  The
+    #: streaming scheduler keeps only this many pending probe events on
+    #: the heap at a time instead of one closure per planned probe.
+    scheduler_batch: int = 512
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -93,6 +101,8 @@ class ScanConfig:
             raise ValueError("followup_count must be >= 1")
         if self.max_rate is not None and self.max_rate <= 0:
             raise ValueError("max_rate must be positive")
+        if self.scheduler_batch < 1:
+            raise ValueError("scheduler_batch must be >= 1")
 
 
 @dataclass
@@ -138,6 +148,7 @@ class Scanner:
         )
         self._followed_up: set[Address] = set()
         self.probes_scheduled = 0
+        self.probes_sent = 0
         self.probes_suppressed = 0
         self.targets_planned = 0
         self.targets_unroutable = 0
@@ -145,6 +156,13 @@ class Scanner:
         #: prefixes whose operators opted out (Section 3.8); checked at
         #: send time so a mid-campaign request stops traffic instantly.
         self._opt_out_prefixes: list = []
+        #: compiled per-family view of the opt-out prefixes; the check
+        #: runs once per probe, so it is a bisect, not a linear scan.
+        self._opt_out_tables: dict[int, IntervalTable] = {}
+        #: time-ordered stream of probes not yet on the event loop.
+        self._probe_stream: Iterator[
+            tuple[float, int, int, Address, int, SpoofedSource]
+        ] | None = None
 
     def opt_out(self, prefix) -> None:
         """Stop sending any further queries toward *prefix*."""
@@ -153,21 +171,31 @@ class Scanner:
         if isinstance(prefix, str):
             prefix = ip_network(prefix)
         self._opt_out_prefixes.append(prefix)
+        # Opt-outs are rare (operator email scale); recompiling the
+        # whole table on each request keeps the per-probe check O(log n).
+        self._opt_out_tables = {
+            version: IntervalTable.from_networks(
+                p for p in self._opt_out_prefixes if p.version == version
+            )
+            for version in (4, 6)
+        }
 
     def _opted_out(self, target: Address) -> bool:
-        return any(
-            target.version == prefix.version and target in prefix
-            for prefix in self._opt_out_prefixes
-        )
+        table = self._opt_out_tables.get(target.version)
+        return table is not None and table.contains_value(int(target))
 
     # -- campaign setup ------------------------------------------------------
 
     def schedule_campaign(self) -> None:
-        """Plan every probe and put it on the event loop.
+        """Plan the campaign and start the streaming probe scheduler.
 
         Each target's probes are spread evenly across the full campaign
         duration (Section 3.4); targets are offset from each other so the
-        aggregate rate stays uniform.
+        aggregate rate stays uniform.  Instead of materializing one
+        closure per probe up front, a single pacing event pulls batches
+        of probes from a time-ordered generator over the spoof plans and
+        pushes each batch with :meth:`EventLoop.schedule_many`, so the
+        event heap holds O(batch) probe entries at any moment.
         """
         for server in self.auth_servers:
             server.add_observer(self._on_auth_query)
@@ -185,47 +213,74 @@ class Scanner:
         if self.config.max_rate is not None and total_probes:
             duration = max(duration, total_probes / self.config.max_rate)
         self.effective_duration = duration
+        self.probes_scheduled = total_probes
 
         total = len(plans)
-        for index, (target, plan) in enumerate(plans):
+        for target, plan in plans:
             self.targets_planned += 1
             self.target_asn[target.address] = target.asn
-            offset = (index / max(total, 1)) * (
-                duration / max(len(plan.sources), 1)
+        # Per-target streams are individually time-ordered; a heap merge
+        # yields the global schedule in (time, target index) order — the
+        # same tie-break order the eager scheduler produced.
+        self._probe_stream = heapq.merge(
+            *(
+                self._target_stream(index, target, plan, total, duration)
+                for index, (target, plan) in enumerate(plans)
             )
-            spacing = duration / len(plan.sources)
-            for j, source in enumerate(plan.sources):
-                when = offset + j * spacing
-                self.probe_index[(target.address, source.address)] = (
-                    ProbeRecord(
-                        target.address,
-                        target.asn,
-                        source.address,
-                        source.category,
-                        when,
-                    )
-                )
-                self.probes_scheduled += 1
-                self.fabric.loop.schedule_at(
-                    when,
-                    self._make_probe_sender(
-                        target.address, target.asn, source.address
-                    ),
-                )
+        )
+        self._pump()
 
-    def _make_probe_sender(self, target: Address, asn: int, source: Address):
-        def send() -> None:
-            if self._opted_out(target):
-                self.probes_suppressed += 1
-                return
-            qname = self.codec.encode(
-                self.fabric.now, source, target, asn, channel=Channel.MAIN
-            )
-            self.client.send_query(
-                qname, source, target, qtype=self.config.qtype
+    @staticmethod
+    def _target_stream(
+        index: int, target, plan, total: int, duration: float
+    ) -> Iterator[tuple[float, int, int, Address, int, SpoofedSource]]:
+        """Yield one target's probes as (when, tie-break..., probe) rows."""
+        count = len(plan.sources)
+        offset = (index / max(total, 1)) * (duration / max(count, 1))
+        spacing = duration / count
+        for j, source in enumerate(plan.sources):
+            yield (
+                offset + j * spacing,
+                index,
+                j,
+                target.address,
+                target.asn,
+                source,
             )
 
-        return send
+    def _pump(self) -> None:
+        """Materialize the next probe batch onto the event loop."""
+        stream = self._probe_stream
+        if stream is None:
+            return
+        batch = list(islice(stream, self.config.scheduler_batch))
+        if not batch:
+            self._probe_stream = None
+            return
+        events = []
+        for when, _index, _j, target, asn, source in batch:
+            self.probe_index[(target, source.address)] = ProbeRecord(
+                target, asn, source.address, source.category, when
+            )
+            events.append(
+                (when, partial(self._send_probe, target, asn, source.address))
+            )
+        loop = self.fabric.loop
+        loop.schedule_many(events)
+        # Re-arm at the batch's last timestamp: the final probe (lower
+        # seq) fires first, then the pump refills — so equal-time probes
+        # across batch boundaries still run in generator order.
+        loop.schedule_at(batch[-1][0], self._pump)
+
+    def _send_probe(self, target: Address, asn: int, source: Address) -> None:
+        if self._opted_out(target):
+            self.probes_suppressed += 1
+            return
+        self.probes_sent += 1
+        qname = self.codec.encode(
+            self.fabric.now, source, target, asn, channel=Channel.MAIN
+        )
+        self.client.send_query(qname, source, target, qtype=self.config.qtype)
 
     # -- real-time reaction ----------------------------------------------------
 

@@ -30,6 +30,7 @@ from ..netsim.addresses import (
     PRIVATE_SOURCE_V6,
     Address,
     Network,
+    intern_address,
     limited_subnets,
     random_host_in_subnet,
     subnet_of,
@@ -108,6 +109,7 @@ class SpoofPlanner:
         asn = self.routes.origin_asn(target)
         if asn is None:
             return None
+        target = intern_address(target)
         # A per-target child RNG keyed by a stable hash (str hashing is
         # process-salted and would break reproducibility).
         rng = Random(zlib.crc32(f"{self.seed}:{target}".encode()))
@@ -159,10 +161,12 @@ class SpoofPlanner:
         else:
             rng.shuffle(ordered := candidates)
         chosen = ordered[: self.max_other_prefix]
+        # Spoofed sources become packet fields and probe-index keys for
+        # the whole campaign; interned addresses hash once, not per use.
         return [
             SpoofedSource(
                 SourceCategory.OTHER_PREFIX,
-                random_host_in_subnet(subnet, rng),
+                intern_address(random_host_in_subnet(subnet, rng)),
             )
             for subnet in chosen
         ]
@@ -176,5 +180,7 @@ class SpoofPlanner:
         for _ in range(16):
             address = random_host_in_subnet(subnet, rng)
             if address != target:
-                return SpoofedSource(SourceCategory.SAME_PREFIX, address)
+                return SpoofedSource(
+                    SourceCategory.SAME_PREFIX, intern_address(address)
+                )
         return None

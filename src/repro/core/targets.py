@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from ..netsim.addresses import Address, is_special_purpose
+from ..netsim.addresses import Address, intern_address, is_special_purpose
 from ..netsim.routing import RoutingTable
 
 
@@ -93,6 +93,9 @@ def select_targets(
         if asn is None:
             result.stats.unrouted += 1
             continue
-        result.targets.append(Target(address, asn))
+        # Target addresses key the probe index and the fabric host table
+        # for the rest of the campaign; intern once here so every later
+        # dictionary operation hashes a cached value.
+        result.targets.append(Target(intern_address(address), asn))
         result.stats.selected += 1
     return result

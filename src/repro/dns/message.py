@@ -84,6 +84,11 @@ class Flag(enum.IntFlag):
     RA = 0x0080
 
 
+#: Header bits the decoder preserves; built once so parsing a message
+#: does not re-run five IntFlag ``|`` operations.
+_HEADER_FLAG_MASK = int(Flag.QR | Flag.AA | Flag.TC | Flag.RD | Flag.RA)
+
+
 @dataclass(frozen=True)
 class Question:
     """The question section entry: name, type, class."""
@@ -105,7 +110,7 @@ class _Writer:
 
     def write_name(self, name_: Name, *, compress: bool = True) -> None:
         labels = name_.labels
-        key = tuple(l.lower() for l in labels)
+        key = name_._key
         while key:
             if compress and key in self._offsets:
                 pointer = self._offsets[key]
@@ -272,11 +277,7 @@ class Message:
         )
         opcode = Opcode((flags_field >> 11) & 0xF)
         rcode = Rcode(flags_field & 0xF)
-        flags = Flag(flags_field & 0x87C0 | flags_field & 0x8000)
-        flags = Flag(
-            flags_field
-            & (Flag.QR | Flag.AA | Flag.TC | Flag.RD | Flag.RA)
-        )
+        flags = Flag(flags_field & _HEADER_FLAG_MASK)
         offset = HEADER_STRUCT.size
         question = None
         if qdcount > 1:

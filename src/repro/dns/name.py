@@ -35,7 +35,7 @@ class Name:
     name is the empty tuple of labels and renders as ``"."``.
     """
 
-    __slots__ = ("labels", "_key")
+    __slots__ = ("labels", "_key", "_hash")
 
     def __init__(self, labels: tuple[bytes, ...]) -> None:
         total = 0
@@ -48,7 +48,22 @@ class Name:
         if total + 1 > MAX_NAME_LENGTH:
             raise NameError_(f"name too long: {total + 1} octets")
         self.labels = labels
-        self._key = tuple(_casefold_label(l) for l in labels)
+        self._key = tuple(map(bytes.lower, labels))
+
+    @classmethod
+    def _from_validated(
+        cls, labels: tuple[bytes, ...], key: tuple[bytes, ...]
+    ) -> "Name":
+        """Construct from labels already known to satisfy the length
+        rules, with their casefolded key in hand.  Only for derivations
+        of existing names (:meth:`parent`, :meth:`child`), where
+        re-validating and re-casefolding every label would dominate the
+        per-packet cost of name manipulation.
+        """
+        instance = cls.__new__(cls)
+        instance.labels = labels
+        instance._key = key
+        return instance
 
     # -- construction ----------------------------------------------------
 
@@ -88,13 +103,22 @@ class Name:
         """Return the name with the leftmost label removed."""
         if self.is_root:
             raise NameError_("the root name has no parent")
-        return Name(self.labels[1:])
+        return Name._from_validated(self.labels[1:], self._key[1:])
 
     def child(self, label: str | bytes) -> "Name":
         """Return the name with *label* prepended."""
         if isinstance(label, str):
             label = label.encode("ascii")
-        return Name((label,) + self.labels)
+        if not label or len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(f"bad label length: {len(label)} octets")
+        total = sum(map(len, self.labels)) + len(self.labels)
+        if total + len(label) + 2 > MAX_NAME_LENGTH:
+            raise NameError_(
+                f"name too long: {total + len(label) + 2} octets"
+            )
+        return Name._from_validated(
+            (label,) + self.labels, (label.lower(),) + self._key
+        )
 
     def is_subdomain_of(self, other: "Name") -> bool:
         """True if *self* equals *other* or sits beneath it."""
@@ -130,7 +154,14 @@ class Name:
         return tuple(reversed(self._key)) < tuple(reversed(other._key))
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        # Names key the zone/record dicts consulted on every simulated
+        # query, so the tuple hash is computed once and memoized.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self._key)
+            self._hash = value
+            return value
 
     # -- text and wire ---------------------------------------------------
 

@@ -14,7 +14,8 @@ juggle raw strings or integers.
 from __future__ import annotations
 
 import random
-from collections.abc import Iterator
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
 from ipaddress import (
     IPv4Address,
     IPv4Network,
@@ -27,6 +28,51 @@ from typing import Union
 
 Address = Union[IPv4Address, IPv6Address]
 Network = Union[IPv4Network, IPv6Network]
+
+
+class IntervalTable:
+    """Sorted, merged integer intervals with O(log n) membership.
+
+    The flat-table idiom production LPM tools (pyasn, routeviews
+    consumers) use: prefixes collapse to inclusive ``[start, end]``
+    integer spans, overlaps are merged once at construction, and
+    membership is a single :func:`bisect.bisect_right`.  This replaces
+    the per-check linear scans over :mod:`ipaddress` objects that used
+    to dominate the packet hot path.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]]) -> None:
+        merged: list[list[int]] = []
+        for start, end in sorted(intervals):
+            if merged and start <= merged[-1][1] + 1:
+                if end > merged[-1][1]:
+                    merged[-1][1] = end
+            else:
+                merged.append([start, end])
+        self._starts = [pair[0] for pair in merged]
+        self._ends = [pair[1] for pair in merged]
+
+    @classmethod
+    def from_networks(cls, networks: Iterable[Network]) -> "IntervalTable":
+        return cls(
+            (int(n.network_address), int(n.broadcast_address))
+            for n in networks
+        )
+
+    def contains_value(self, value: int) -> bool:
+        index = bisect_right(self._starts, value) - 1
+        return index >= 0 and value <= self._ends[index]
+
+    def __contains__(self, address: Address) -> bool:
+        return self.contains_value(int(address))
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __len__(self) -> int:
+        return len(self._starts)
 
 #: IANA special-purpose IPv4 prefixes (RFC 6890 and successors).  Targets
 #: inside any of these are excluded from the experiment because no
@@ -84,6 +130,40 @@ SUBNET_PREFIX_V4 = 24
 SUBNET_PREFIX_V6 = 64
 
 
+#: RFC 1918 / unique-local prefixes backing :func:`is_private`.
+PRIVATE_V4: tuple[IPv4Network, ...] = tuple(
+    ip_network(p)
+    for p in ("10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16")
+)
+PRIVATE_V6: tuple[IPv6Network, ...] = (ip_network("fc00::/7"),)
+
+_LOOPBACK_NETS = {
+    4: (ip_network("127.0.0.0/8"),),
+    6: (ip_network("::1/128"),),
+}
+
+#: Compiled integer interval tables, built once at import.  Every
+#: per-packet classification below is a bisect over these instead of a
+#: linear scan constructing :mod:`ipaddress` objects.
+_SPECIAL_TABLE: dict[int, IntervalTable] = {
+    4: IntervalTable.from_networks(SPECIAL_PURPOSE_V4),
+    6: IntervalTable.from_networks(SPECIAL_PURPOSE_V6),
+}
+_PRIVATE_TABLE: dict[int, IntervalTable] = {
+    4: IntervalTable.from_networks(PRIVATE_V4),
+    6: IntervalTable.from_networks(PRIVATE_V6),
+}
+_LOOPBACK_TABLE: dict[int, IntervalTable] = {
+    v: IntervalTable.from_networks(nets) for v, nets in _LOOPBACK_NETS.items()
+}
+_MARTIAN_TABLE: dict[int, IntervalTable] = {
+    v: IntervalTable.from_networks(
+        tuple(_LOOPBACK_NETS[v]) + ({4: PRIVATE_V4, 6: PRIVATE_V6}[v])
+    )
+    for v in (4, 6)
+}
+
+
 def is_special_purpose(address: Address) -> bool:
     """Return ``True`` if *address* falls in an IANA special-purpose block.
 
@@ -91,23 +171,86 @@ def is_special_purpose(address: Address) -> bool:
     there can be no legitimate entry for them in the public routing table
     (Section 3.1).
     """
-    table = SPECIAL_PURPOSE_V4 if address.version == 4 else SPECIAL_PURPOSE_V6
-    return any(address in network for network in table)
+    return _SPECIAL_TABLE[address.version].contains_value(int(address))
 
 
 def is_loopback(address: Address) -> bool:
     """Return ``True`` for addresses in 127.0.0.0/8 or ::1/128."""
-    return address.is_loopback
+    return _LOOPBACK_TABLE[address.version].contains_value(int(address))
 
 
 def is_private(address: Address) -> bool:
     """Return ``True`` for RFC 1918 / unique-local addresses."""
+    return _PRIVATE_TABLE[address.version].contains_value(int(address))
+
+
+def is_martian(address: Address) -> bool:
+    """Return ``True`` for private *or* loopback sources (one bisect).
+
+    This is the combined check AS border martian filtering performs on
+    every cross-border packet; folding the two tables into one keeps it
+    a single lookup on the hot path.
+    """
+    return _MARTIAN_TABLE[address.version].contains_value(int(address))
+
+
+# -- address interning -------------------------------------------------------
+
+
+class _InternedIPv4(IPv4Address):
+    """An :class:`IPv4Address` whose hash is computed once and cached."""
+
+    __slots__ = ("_cached_hash",)
+
+    def __hash__(self) -> int:
+        return self._cached_hash
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+
+class _InternedIPv6(IPv6Address):
+    """An :class:`IPv6Address` whose hash is computed once and cached."""
+
+    __slots__ = ("_cached_hash",)
+
+    def __hash__(self) -> int:
+        return self._cached_hash
+
+    def __repr__(self) -> str:
+        return f"IPv6Address({str(self)!r})"
+
+
+_INTERNED: dict[Address, Address] = {}
+
+
+def intern_address(address: Address) -> Address:
+    """Return a canonical, hash-cached instance equal to *address*.
+
+    ``ipaddress`` objects recompute their hash on every dictionary
+    operation, which the fabric's host table and the scanner's probe
+    index pay for millions of times per campaign.  Interned addresses
+    carry a cached hash (and identity equality for the common case), so
+    keying those tables on interned objects makes each lookup cheap.
+    Interning is purely value-based: the returned object compares,
+    hashes, formats and sorts exactly like the original.
+    """
+    found = _INTERNED.get(address)
+    if found is not None:
+        return found
     if address.version == 4:
-        return any(
-            address in ip_network(p)
-            for p in ("10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16")
-        )
-    return address in ip_network("fc00::/7")
+        interned: Address = _InternedIPv4(int(address))
+        interned._cached_hash = IPv4Address.__hash__(interned)
+    else:
+        interned = _InternedIPv6(int(address))
+        interned._cached_hash = IPv6Address.__hash__(interned)
+    _INTERNED[address] = interned
+    return interned
+
+
+def clear_interned_addresses() -> None:
+    """Drop the intern table (mainly for long-lived test sessions)."""
+    _INTERNED.clear()
 
 
 def subnet_prefix_length(version: int) -> int:

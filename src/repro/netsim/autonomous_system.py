@@ -16,7 +16,13 @@ import zlib
 from dataclasses import dataclass, field
 from ipaddress import ip_network
 
-from .addresses import Address, Network, is_loopback, is_private, subnet_of
+from .addresses import (
+    Address,
+    IntervalTable,
+    Network,
+    is_martian,
+    subnet_of,
+)
 from .packet import Packet
 
 
@@ -69,6 +75,12 @@ class AutonomousSystem:
     _prefixes: dict[int, list[Network]] = field(
         default_factory=lambda: {4: [], 6: []}
     )
+    #: version -> compiled IntervalTable over announced prefixes; rebuilt
+    #: lazily after add_prefix so the per-packet border checks bisect
+    #: instead of scanning ipaddress objects.
+    _span_tables: dict[int, IntervalTable] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.asn <= 0:
@@ -81,6 +93,7 @@ class AutonomousSystem:
         if isinstance(prefix, str):
             prefix = ip_network(prefix)
         self._prefixes[prefix.version].append(prefix)
+        self._span_tables.pop(prefix.version, None)
         return prefix
 
     def prefixes(self, version: int | None = None) -> list[Network]:
@@ -89,11 +102,16 @@ class AutonomousSystem:
             return list(self._prefixes[version])
         return list(self._prefixes[4]) + list(self._prefixes[6])
 
+    def _spans(self, version: int) -> IntervalTable:
+        table = self._span_tables.get(version)
+        if table is None:
+            table = IntervalTable.from_networks(self._prefixes[version])
+            self._span_tables[version] = table
+        return table
+
     def originates(self, address: Address) -> bool:
         """Return ``True`` if *address* is inside any announced prefix."""
-        return any(
-            address in prefix for prefix in self._prefixes[address.version]
-        )
+        return self._spans(address.version).contains_value(int(address))
 
     def egress_verdict(self, packet: Packet) -> BorderVerdict:
         """Evaluate *packet* leaving this AS (OSAV / BCP 38)."""
@@ -105,7 +123,7 @@ class AutonomousSystem:
 
     def ingress_verdict(self, packet: Packet) -> BorderVerdict:
         """Evaluate *packet* entering this AS (DSAV + martian filtering)."""
-        if is_private(packet.src) or is_loopback(packet.src):
+        if is_martian(packet.src):
             if self.martian_filtering:
                 return BorderVerdict.DROP_MARTIAN
             return BorderVerdict.ACCEPT
@@ -114,7 +132,8 @@ class AutonomousSystem:
         if (
             self.subnet_sav_v4
             and packet.version == 4
-            and subnet_of(packet.src) == subnet_of(packet.dst)
+            # /24 equality as an integer shift, without building networks.
+            and int(packet.src) >> 8 == int(packet.dst) >> 8
             and self._subnet_protected(subnet_of(packet.dst))
         ):
             return BorderVerdict.DROP_SUBNET_SAV

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 
@@ -40,6 +40,10 @@ class EventLoop:
     )
     _seq: itertools.count = field(default_factory=lambda: itertools.count())
     _cancelled: set[int] = field(default_factory=set)
+    #: (when, seq) of the most recently popped event.  The heap pops in
+    #: strict (when, seq) order, so anything at or below this mark has
+    #: already run (or been reaped) and can never need a tombstone.
+    _last_popped: tuple[float, int] = (float("-inf"), -1)
     events_processed: int = 0
 
     def schedule(
@@ -60,8 +64,45 @@ class EventLoop:
         heapq.heappush(self._heap, (when, seq, callback))
         return ScheduledEvent(when, seq)
 
+    def schedule_many(
+        self, events: Iterable[tuple[float, Callable[[], None]]]
+    ) -> list[ScheduledEvent]:
+        """Batch-schedule ``(when, callback)`` pairs at absolute times.
+
+        For bursty producers (the scanner's streaming probe batches) one
+        ``heapify`` over the combined heap beats pushing each event
+        individually; small batches fall back to ordinary pushes.
+        Callbacks sharing a timestamp fire in the order given, exactly
+        as if scheduled one by one.
+        """
+        added: list[tuple[float, int, Callable[[], None]]] = []
+        for when, callback in events:
+            if when < self.now:
+                raise ValueError(
+                    f"cannot schedule in the past: {when} < {self.now}"
+                )
+            added.append((when, next(self._seq), callback))
+        if not added:
+            return []
+        heap = self._heap
+        # k pushes cost O(k log n); one heapify costs O(n + k).
+        if len(added) * 4 >= len(heap):
+            heap.extend(added)
+            heapq.heapify(heap)
+        else:
+            for item in added:
+                heapq.heappush(heap, item)
+        return [ScheduledEvent(when, seq) for when, seq, _ in added]
+
     def cancel(self, event: ScheduledEvent) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
+        """Cancel a previously scheduled event (idempotent).
+
+        Cancelling an event that already fired (or was already reaped)
+        is a no-op and leaves no tombstone behind, so the tombstone set
+        stays bounded by the number of *pending* cancellations.
+        """
+        if (event.when, event.seq) <= self._last_popped:
+            return
         self._cancelled.add(event.seq)
 
     def pending(self) -> int:
@@ -91,6 +132,7 @@ class EventLoop:
 
     def _step(self) -> int:
         when, seq, callback = heapq.heappop(self._heap)
+        self._last_popped = (when, seq)
         if seq in self._cancelled:
             self._cancelled.discard(seq)
             return 0

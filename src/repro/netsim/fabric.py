@@ -20,7 +20,7 @@ from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from .addresses import Address
+from .addresses import Address, intern_address
 from .autonomous_system import AutonomousSystem, BorderVerdict
 from .events import EventLoop
 from .packet import Packet
@@ -77,17 +77,21 @@ class Fabric:
     loss_rate: float = 0.0
     record_drops: bool = False
 
-    _loss_rng: "random.Random" = field(default=None)  # type: ignore[assignment]
+    _loss_rng: random.Random = field(init=False, repr=False)
     _systems: dict[int, AutonomousSystem] = field(default_factory=dict)
     _hosts: dict[Address, Host] = field(default_factory=dict)
     _taps: list[PacketTap] = field(default_factory=list)
+    #: deterministic per-AS-pair latency, memoized (crc32 + string
+    #: formatting per packet is measurable at campaign scale).
+    _latency_cache: dict[tuple[int, int], float] = field(
+        default_factory=dict, repr=False
+    )
     drop_counts: Counter = field(default_factory=Counter)
     dropped: list[DropRecord] = field(default_factory=list)
     delivered_count: int = 0
 
     def __post_init__(self) -> None:
-        if self._loss_rng is None:
-            self._loss_rng = random.Random(self.seed ^ 0x105E)
+        self._loss_rng = random.Random(self.seed ^ 0x105E)
 
     # -- topology construction -------------------------------------------
 
@@ -113,6 +117,7 @@ class Fabric:
         if host.asn not in self._systems:
             raise ValueError(f"host {host.name}: unknown ASN {host.asn}")
         for address in addresses:
+            address = intern_address(address)
             if address in self._hosts:
                 raise ValueError(f"address already bound: {address}")
             self._hosts[address] = host
@@ -124,6 +129,7 @@ class Fabric:
         """Bind an additional address to an already-attached host."""
         if host.fabric is not self:
             raise ValueError(f"host {host.name} is not attached to this fabric")
+        address = intern_address(address)
         if address in self._hosts:
             raise ValueError(f"address already bound: {address}")
         self._hosts[address] = host
@@ -148,7 +154,12 @@ class Fabric:
         a border and so skips both filters, mirroring the fact that DSAV
         is a border mechanism and cannot protect against insiders.
         """
-        origin_as = self._systems[origin.asn]
+        origin_as = self._systems.get(origin.asn)
+        if origin_as is None:
+            raise ValueError(
+                f"host {origin.name} sends from ASN {origin.asn}, which was "
+                f"never registered with this fabric (add_system first)"
+            )
         dst_route = self.routes.lookup(packet.dst)
         if dst_route is None:
             self._drop(packet, "no-route", None)
@@ -197,9 +208,16 @@ class Fabric:
         """Deterministic per-AS-pair latency derived from the fabric seed."""
         if src_asn == dst_asn:
             return self.base_latency / 2
-        key = f"{self.seed}:{min(src_asn, dst_asn)}:{max(src_asn, dst_asn)}"
-        fraction = (zlib.crc32(key.encode()) % 1000) / 1000.0
-        return self.base_latency + fraction * self.jitter_latency
+        pair = (
+            (src_asn, dst_asn) if src_asn < dst_asn else (dst_asn, src_asn)
+        )
+        latency = self._latency_cache.get(pair)
+        if latency is None:
+            key = f"{self.seed}:{pair[0]}:{pair[1]}"
+            fraction = (zlib.crc32(key.encode()) % 1000) / 1000.0
+            latency = self.base_latency + fraction * self.jitter_latency
+            self._latency_cache[pair] = latency
+        return latency
 
     # -- convenience -------------------------------------------------------
 

@@ -13,6 +13,7 @@ synthetic Internet draws countries with a realistic skew.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from random import Random
@@ -51,23 +52,83 @@ class GeoDatabase:
     """Prefix-level country assignments with AS-level aggregation."""
 
     _prefix_country: dict[Network, str] = field(default_factory=dict)
+    #: version -> (interval starts, interval ends, countries), compiled
+    #: lazily; address lookups bisect this instead of scanning every
+    #: assigned prefix with :mod:`ipaddress` containment checks.
+    _compiled: dict[int, tuple[list[int], list[int], list[str]]] = field(
+        default_factory=dict, repr=False
+    )
 
     def assign(self, prefix: Network, country: str) -> None:
         """Record that *prefix* geolocates to *country* (ISO-3166 alpha-2)."""
         self._prefix_country[prefix] = country
+        self._compiled.clear()
 
     def country_of_prefix(self, prefix: Network) -> str | None:
         """Return the assigned country of *prefix*, if known."""
         return self._prefix_country.get(prefix)
 
+    def _compile(self, version: int) -> tuple[list[int], list[int], list[str]]:
+        """Flatten one family's prefixes into disjoint sorted intervals.
+
+        The same nesting-stack sweep as ``RoutingTable.compile``: CIDR
+        prefixes are disjoint or nested, so sorting by (start, prefixlen)
+        and unwinding a containment stack yields most-specific coverage.
+        """
+        spans = sorted(
+            (
+                int(prefix.network_address),
+                prefix.prefixlen,
+                int(prefix.broadcast_address),
+                country,
+            )
+            for prefix, country in self._prefix_country.items()
+            if prefix.version == version
+        )
+        starts: list[int] = []
+        ends: list[int] = []
+        countries: list[str] = []
+
+        def emit(start: int, end: int, country: str) -> None:
+            if start > end:
+                return
+            if starts and ends[-1] == start - 1 and countries[-1] == country:
+                ends[-1] = end
+                return
+            starts.append(start)
+            ends.append(end)
+            countries.append(country)
+
+        stack: list[tuple[int, str]] = []
+        cursor = 0
+        for start, _prefixlen, end, country in spans:
+            while stack and stack[-1][0] < start:
+                top_end, top_country = stack.pop()
+                emit(cursor, top_end, top_country)
+                cursor = top_end + 1
+            if stack and cursor < start:
+                emit(cursor, start - 1, stack[-1][1])
+            stack.append((end, country))
+            cursor = start
+        while stack:
+            top_end, top_country = stack.pop()
+            emit(cursor, top_end, top_country)
+            cursor = top_end + 1
+        compiled = (starts, ends, countries)
+        self._compiled[version] = compiled
+        return compiled
+
     def country_of_address(self, address: Address) -> str | None:
         """Return the country of the most specific prefix covering *address*."""
-        best: tuple[int, str] | None = None
-        for prefix, country in self._prefix_country.items():
-            if prefix.version == address.version and address in prefix:
-                if best is None or prefix.prefixlen > best[0]:
-                    best = (prefix.prefixlen, country)
-        return best[1] if best else None
+        compiled = self._compiled.get(address.version)
+        if compiled is None:
+            compiled = self._compile(address.version)
+        starts, ends, countries = compiled
+        value = int(address)
+        index = bisect_right(starts, value) - 1
+        if index >= 0 and value <= ends[index]:
+            return countries[index]
+        return None
 
     def countries_of_asn(self, asn: int, routes: RoutingTable) -> set[str]:
         """Return every country any of *asn*'s announced prefixes maps to.

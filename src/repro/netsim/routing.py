@@ -1,9 +1,17 @@
 """BGP-style routing table with longest-prefix matching.
 
 The global table maps announced prefixes to the autonomous system that
-originates them.  Lookups use a binary radix trie over address bits, the
-same structure production routers and tools like ``pyasn`` use, so both
-insertion and longest-prefix match run in O(prefix length).
+originates them.  The mutable source of truth is a binary radix trie
+over address bits — the structure production routers use, O(prefix
+length) for insert and withdraw.  Lookups, however, go through a
+pyasn-style *compiled* view: once announcements settle, each family's
+prefixes flatten into sorted, disjoint integer ``(start, end)``
+intervals searched with one :func:`bisect.bisect_right`, fronted by a
+bounded per-address route cache.  Any ``announce``/``withdraw`` marks
+the compiled view dirty and drops the cache; the next lookup recompiles
+automatically, so callers never see a stale route and the packet hot
+path (:meth:`Fabric.send <repro.netsim.fabric.Fabric.send>`) always
+hits the flat table.
 
 This is the component that stands in for the public BGP table the paper
 consulted to map DITL source addresses to ASNs and to enumerate each
@@ -12,6 +20,7 @@ AS's announced prefixes (Section 3.2).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from ipaddress import ip_network
@@ -47,19 +56,40 @@ def _address_bits(value: int, width: int) -> Iterator[int]:
         yield (value >> shift) & 1
 
 
+#: Sentinel distinguishing "cached None" from "not cached".
+_CACHE_MISS = object()
+
+#: Ceiling on cached per-address routes; the cache is flushed wholesale
+#: when it fills (simple, and a full flush is cheaper than eviction
+#: bookkeeping at this size).
+ROUTE_CACHE_LIMIT = 1 << 16
+
+
 @dataclass
 class RoutingTable:
     """Longest-prefix-match table from announced prefixes to origin ASNs.
 
-    IPv4 and IPv6 each get their own trie.  Duplicate announcements of
-    the same prefix overwrite (last announcement wins), matching the
-    "most recent RIB snapshot" semantics the paper's lookups rely on.
+    IPv4 and IPv6 each get their own trie (the mutable source of truth)
+    plus a compiled flat interval view used by :meth:`lookup`.  Duplicate
+    announcements of the same prefix overwrite (last announcement wins),
+    matching the "most recent RIB snapshot" semantics the paper's
+    lookups rely on.
     """
 
     _roots: dict[int, _TrieNode] = field(
         default_factory=lambda: {4: _TrieNode(), 6: _TrieNode()}
     )
     _announcements: dict[Network, Announcement] = field(default_factory=dict)
+    #: version -> (starts, ends, announcements): disjoint sorted spans
+    #: where each span maps to its most-specific covering announcement.
+    _compiled: dict[
+        int, tuple[list[int], list[int], list[Announcement]]
+    ] = field(default_factory=dict, repr=False)
+    _by_asn: dict[int, list[Network]] = field(default_factory=dict, repr=False)
+    _dirty: bool = True
+    _cache: dict[tuple[int, int], Announcement | None] = field(
+        default_factory=dict, repr=False
+    )
 
     def announce(self, prefix: Network | str, asn: int) -> Announcement:
         """Install an origination of *prefix* by *asn*; return the entry."""
@@ -74,6 +104,7 @@ class RoutingTable:
             node = node.children[bit]  # type: ignore[assignment]
         node.announcement = announcement
         self._announcements[prefix] = announcement
+        self._invalidate()
         return announcement
 
     def withdraw(self, prefix: Network | str) -> bool:
@@ -90,10 +121,106 @@ class RoutingTable:
             node = node.children[bit]
         assert node is not None
         node.announcement = None
+        self._invalidate()
         return True
 
+    def _invalidate(self) -> None:
+        self._dirty = True
+        if self._cache:
+            self._cache.clear()
+
+    def compile(self) -> None:
+        """Flatten the current announcements into the interval view.
+
+        Prefixes of one family are proper CIDR sets — any two are
+        disjoint or nested — so a single sweep with a nesting stack
+        yields disjoint spans, each owned by its most-specific prefix.
+        Runs in O(n log n); called automatically from :meth:`lookup`
+        when the table is dirty, or explicitly to pre-warm.
+        """
+        compiled: dict[
+            int, tuple[list[int], list[int], list[Announcement]]
+        ] = {}
+        by_asn: dict[int, list[Network]] = {}
+        for announcement in self._announcements.values():
+            by_asn.setdefault(announcement.asn, []).append(
+                announcement.prefix
+            )
+        for prefixes in by_asn.values():
+            prefixes.sort(
+                key=lambda p: (p.version, int(p.network_address), p.prefixlen)
+            )
+        for version in (4, 6):
+            spans = sorted(
+                (
+                    int(a.prefix.network_address),
+                    a.prefix.prefixlen,
+                    int(a.prefix.broadcast_address),
+                    a,
+                )
+                for a in self._announcements.values()
+                if a.prefix.version == version
+            )
+            starts: list[int] = []
+            ends: list[int] = []
+            owners: list[Announcement] = []
+
+            def emit(s: int, e: int, owner: Announcement) -> None:
+                if s <= e:
+                    starts.append(s)
+                    ends.append(e)
+                    owners.append(owner)
+
+            stack: list[tuple[int, Announcement]] = []
+            cursor = 0
+            for start, _prefixlen, end, announcement in spans:
+                while stack and stack[-1][0] < start:
+                    top_end, top_ann = stack.pop()
+                    emit(cursor, top_end, top_ann)
+                    cursor = top_end + 1
+                if stack and cursor < start:
+                    emit(cursor, start - 1, stack[-1][1])
+                stack.append((end, announcement))
+                cursor = start
+            while stack:
+                top_end, top_ann = stack.pop()
+                emit(cursor, top_end, top_ann)
+                cursor = top_end + 1
+            compiled[version] = (starts, ends, owners)
+        self._compiled = compiled
+        self._by_asn = by_asn
+        self._dirty = False
+
     def lookup(self, address: Address) -> Announcement | None:
-        """Return the longest-prefix-match announcement covering *address*."""
+        """Return the longest-prefix-match announcement covering *address*.
+
+        Fast path: bounded route cache, then one bisect over the
+        compiled intervals (recompiling first if announcements changed).
+        """
+        value = int(address)
+        key = (address.version, value)
+        cached = self._cache.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            return cached  # type: ignore[return-value]
+        if self._dirty:
+            self.compile()
+        starts, ends, owners = self._compiled[address.version]
+        index = bisect_right(starts, value) - 1
+        announcement = (
+            owners[index] if index >= 0 and value <= ends[index] else None
+        )
+        if len(self._cache) >= ROUTE_CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = announcement
+        return announcement
+
+    def lookup_uncompiled(self, address: Address) -> Announcement | None:
+        """Reference longest-prefix match via the radix trie.
+
+        Kept as the independent oracle the compiled view is checked
+        against (property tests) and as the baseline the pipeline
+        benchmark measures speedups from.
+        """
         node: _TrieNode | None = self._roots[address.version]
         best: Announcement | None = None
         for bit in _address_bits(int(address), address.max_prefixlen):
@@ -114,10 +241,9 @@ class RoutingTable:
 
     def prefixes_for_asn(self, asn: int) -> list[Network]:
         """Return every prefix currently originated by *asn*, sorted."""
-        return sorted(
-            (a.prefix for a in self._announcements.values() if a.asn == asn),
-            key=lambda p: (p.version, int(p.network_address), p.prefixlen),
-        )
+        if self._dirty:
+            self.compile()
+        return list(self._by_asn.get(asn, ()))
 
     def announcements(self) -> Iterable[Announcement]:
         """Iterate over all installed announcements."""

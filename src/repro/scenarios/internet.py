@@ -589,6 +589,12 @@ def build_internet(
 
     hosting = _build_reverse_hosting(fabric, truth, rng)
 
+    # Every announcement is installed: compile the flat LPM view and the
+    # per-AS prefix index once, so the first routed packet (and the
+    # planner's prefixes_for_asn calls) already hit the fast path
+    # instead of paying the recompile inside the campaign.
+    fabric.routes.compile()
+
     scenario = BuiltScenario(
         params=params,
         fabric=fabric,

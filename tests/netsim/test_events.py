@@ -106,3 +106,100 @@ class TestRunUntil:
             loop.schedule(float(i), lambda: None)
         loop.run()
         assert loop.events_processed == 4
+
+
+class TestBatchScheduling:
+    def test_schedule_many_interleaves_with_schedule(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("single"))
+        loop.schedule_many(
+            [
+                (1.0, lambda: order.append("batch-early")),
+                (3.0, lambda: order.append("batch-late")),
+            ]
+        )
+        loop.run()
+        assert order == ["batch-early", "single", "batch-late"]
+
+    def test_schedule_many_same_time_fifo(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_many(
+            [(1.0, lambda i=i: order.append(i)) for i in range(5)]
+        )
+        loop.schedule(1.0, lambda: order.append("after"))
+        loop.run()
+        assert order == [0, 1, 2, 3, 4, "after"]
+
+    def test_schedule_many_small_batch_on_large_heap(self):
+        # Small batches take the per-event push path; order must not
+        # depend on which internal strategy was used.
+        loop = EventLoop()
+        order = []
+        for i in range(100):
+            loop.schedule(float(i), lambda i=i: order.append(i))
+        loop.schedule_many([(0.5, lambda: order.append("wedge"))])
+        loop.run()
+        assert order[:2] == [0, "wedge"]
+        assert len(order) == 101
+
+    def test_schedule_many_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_many([(0.5, lambda: None)])
+
+    def test_schedule_many_handles_cancellable(self):
+        loop = EventLoop()
+        fired = []
+        handles = loop.schedule_many(
+            [(1.0, lambda: fired.append("a")), (2.0, lambda: fired.append("b"))]
+        )
+        loop.cancel(handles[1])
+        loop.run()
+        assert fired == ["a"]
+
+    def test_schedule_many_empty(self):
+        loop = EventLoop()
+        assert loop.schedule_many([]) == []
+        assert loop.pending() == 0
+
+
+class TestTombstoneBounding:
+    def test_cancel_after_fire_leaves_no_tombstone(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.run()
+        loop.cancel(handle)  # too late: event already ran
+        assert loop._cancelled == set()
+
+    def test_pending_cancel_tombstone_is_reaped(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.cancel(handle)
+        assert loop._cancelled == {handle.seq}
+        loop.run()
+        assert loop._cancelled == set()
+
+    def test_mass_late_cancellation_stays_bounded(self):
+        # The scanner cancels probe handles it may already have fired;
+        # none of those cancellations may accumulate as tombstones.
+        loop = EventLoop()
+        handles = [loop.schedule(float(i), lambda: None) for i in range(50)]
+        loop.run()
+        for handle in handles:
+            loop.cancel(handle)
+        assert loop._cancelled == set()
+
+    def test_cancelled_event_still_counts_popped(self):
+        loop = EventLoop()
+        fired = []
+        dropped = loop.schedule(1.0, lambda: fired.append("dropped"))
+        loop.schedule(2.0, lambda: fired.append("kept"))
+        loop.cancel(dropped)
+        loop.run()
+        loop.cancel(dropped)  # idempotent, after the reap
+        assert fired == ["kept"]
+        assert loop._cancelled == set()

@@ -277,3 +277,20 @@ def test_duplicate_asn_rejected():
     fabric.add_system(AutonomousSystem(5))
     with pytest.raises(ValueError):
         fabric.add_system(AutonomousSystem(5))
+
+
+def test_send_unregistered_origin_asn_raises_clearly():
+    fabric, sender, _receiver = build_two_as_fabric(dsav=False)
+    # A host whose ASN drifted after attach (e.g. scenario-builder bug)
+    # must produce a diagnosis, not a bare KeyError from the AS table.
+    sender.asn = 99
+    with pytest.raises(ValueError, match="ASN 99.*never registered"):
+        sender.send(
+            Packet(
+                src=ip_address("20.0.0.1"),
+                dst=ip_address("30.0.0.1"),
+                sport=1,
+                dport=2,
+                payload=b"",
+            )
+        )

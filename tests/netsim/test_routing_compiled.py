@@ -1,0 +1,132 @@
+"""The compiled LPM fast path must agree with the trie, always.
+
+``RoutingTable.lookup`` answers from flattened integer intervals plus a
+bounded per-address cache; ``lookup_uncompiled`` walks the bit trie that
+remains the source of truth.  These tests drive both through randomized
+announce/withdraw/lookup schedules and assert they never diverge —
+including immediately after withdrawals, which is exactly when a stale
+compiled table or route cache would show.
+"""
+
+from ipaddress import IPv4Address, IPv6Address, ip_network
+from random import Random
+
+import pytest
+
+from repro.netsim.routing import RoutingTable
+
+
+def _random_v4_prefix(rng: Random) -> str:
+    prefixlen = rng.choice((8, 12, 16, 20, 24, 28))
+    value = rng.getrandbits(32) >> (32 - prefixlen) << (32 - prefixlen)
+    return f"{IPv4Address(value)}/{prefixlen}"
+
+def _random_v6_prefix(rng: Random) -> str:
+    prefixlen = rng.choice((16, 32, 48, 64))
+    value = rng.getrandbits(128) >> (128 - prefixlen) << (128 - prefixlen)
+    return f"{IPv6Address(value)}/{prefixlen}"
+
+
+def _probe_addresses(table: RoutingTable, rng: Random, version: int):
+    """Addresses biased toward announced space plus pure-random ones."""
+    addresses = []
+    for announcement in table.announcements():
+        prefix = announcement.prefix
+        if prefix.version != version:
+            continue
+        base = int(prefix.network_address)
+        top = int(prefix.broadcast_address)
+        addresses.append(prefix.network_address + 0)
+        addresses.append(
+            (IPv4Address if version == 4 else IPv6Address)(
+                rng.randint(base, top)
+            )
+        )
+    bits = 32 if version == 4 else 128
+    cls = IPv4Address if version == 4 else IPv6Address
+    addresses.extend(cls(rng.getrandbits(bits)) for _ in range(32))
+    return addresses
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("version", (4, 6))
+def test_compiled_matches_trie_under_churn(seed: int, version: int):
+    rng = Random(0xC0DE + seed)
+    make = _random_v4_prefix if version == 4 else _random_v6_prefix
+    table = RoutingTable()
+    announced: list[str] = []
+    for step in range(120):
+        roll = rng.random()
+        if roll < 0.55 or not announced:
+            prefix = make(rng)
+            # Overlaps (covering and covered prefixes) are the point:
+            # they exercise the nesting-stack flattening.
+            table.announce(prefix, rng.randint(1, 500))
+            announced.append(prefix)
+        elif roll < 0.75:
+            victim = announced.pop(rng.randrange(len(announced)))
+            table.withdraw(victim)
+        else:
+            for address in _probe_addresses(table, rng, version):
+                fast = table.lookup(address)
+                slow = table.lookup_uncompiled(address)
+                assert fast is slow, (
+                    f"step {step}: {address} -> compiled {fast}, trie {slow}"
+                )
+    # Final sweep after all churn, then once more to hit the cache path.
+    for _ in range(2):
+        for address in _probe_addresses(table, rng, version):
+            assert table.lookup(address) is table.lookup_uncompiled(address)
+
+
+def test_more_specific_wins_and_survives_withdraw():
+    table = RoutingTable()
+    table.announce("10.0.0.0/8", 100)
+    table.announce("10.1.0.0/16", 200)
+    table.announce("10.1.2.0/24", 300)
+    probe = IPv4Address("10.1.2.3")
+    assert table.lookup(probe).asn == 300
+    table.withdraw("10.1.2.0/24")
+    assert table.lookup(probe).asn == 200
+    table.withdraw("10.1.0.0/16")
+    assert table.lookup(probe).asn == 100
+    table.withdraw("10.0.0.0/8")
+    assert table.lookup(probe) is None
+
+
+def test_route_cache_observes_mid_campaign_withdraw():
+    """Opt-out semantics: a withdrawal must be visible on the very next
+    lookup even if the address was already answered from the cache."""
+    table = RoutingTable()
+    table.announce("203.0.113.0/24", 64500)
+    probe = IPv4Address("203.0.113.7")
+    # Two lookups: the second is served from the route cache.
+    assert table.lookup(probe).asn == 64500
+    assert table.lookup(probe).asn == 64500
+    assert table.withdraw("203.0.113.0/24")
+    assert table.lookup(probe) is None
+    # Re-announcement under a different origin is also visible at once.
+    table.announce("203.0.113.0/24", 64999)
+    assert table.lookup(probe).asn == 64999
+
+
+def test_negative_lookups_are_cached_and_invalidated():
+    table = RoutingTable()
+    table.announce("2001:db8::/32", 64496)
+    miss = IPv6Address("2001:db9::1")
+    assert table.lookup(miss) is None
+    assert table.lookup(miss) is None  # cached negative answer
+    table.announce("2001:db9::/32", 64497)
+    assert table.lookup(miss).asn == 64497
+
+
+def test_prefixes_for_asn_tracks_withdrawals():
+    table = RoutingTable()
+    table.announce("198.51.100.0/24", 64501)
+    table.announce("192.0.2.0/24", 64501)
+    assert table.prefixes_for_asn(64501) == [
+        ip_network("192.0.2.0/24"),
+        ip_network("198.51.100.0/24"),
+    ]
+    table.withdraw("192.0.2.0/24")
+    assert table.prefixes_for_asn(64501) == [ip_network("198.51.100.0/24")]
