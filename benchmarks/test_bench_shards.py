@@ -1,0 +1,100 @@
+"""Shard-parallel scan throughput (the staged-pipeline acceptance gate).
+
+Runs the same campaign through the staged pipeline at ``shards`` = 1, 2
+and 4 with real worker processes, records probes/sec for each, and
+verifies the merge invariant while it is at it: every sharding must
+produce results identical (minus the provenance header) to the
+single-shard run.
+
+Results land in machine-readable form at ``BENCH_shards.json`` in the
+repo root.  Parallel speedup is hardware-dependent (worker count is
+capped by CPU cores, and each worker pays a scenario-build tax), so the
+*assertion* is the determinism contract, not a speedup floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, run_pipeline
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_shards.json"
+
+SEED = 2019
+N_ASES = 120
+DURATION = 240.0
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _run(shards: int) -> tuple[dict, dict]:
+    spec = CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=shards,
+        config=ScanConfig(duration=DURATION),
+    )
+    start = time.perf_counter()
+    outcome = run_pipeline(spec)
+    wall = time.perf_counter() - start
+    provenance = outcome.results["provenance"]
+    row = {
+        "shards": shards,
+        "probes": outcome.results["probes"],
+        "wall_seconds": round(wall, 2),
+        "probes_per_sec": round(outcome.results["probes"] / wall, 1),
+        "worker_wall_seconds": round(provenance["wall_seconds"], 2),
+    }
+    return row, outcome.results
+
+
+def test_bench_shards(emit):
+    rows = []
+    results_by_shards = {}
+    for shards in SHARD_COUNTS:
+        row, results = _run(shards)
+        rows.append(row)
+        results_by_shards[shards] = results
+
+    reference = {
+        k: v for k, v in results_by_shards[1].items() if k != "provenance"
+    }
+    for shards in SHARD_COUNTS[1:]:
+        candidate = {
+            k: v
+            for k, v in results_by_shards[shards].items()
+            if k != "provenance"
+        }
+        assert candidate == reference, (
+            f"shards={shards} diverged from the single-shard run"
+        )
+
+    result = {
+        "harness": (
+            f"seed={SEED}, n_ases={N_ASES}, "
+            f"ScanConfig(duration={DURATION}), staged pipeline, "
+            "process workers (one per shard, capped at CPU count)"
+        ),
+        "merge_identical_minus_provenance": True,
+        "runs": rows,
+        "speedup_vs_1_shard": {
+            str(row["shards"]): round(
+                rows[0]["wall_seconds"] / row["wall_seconds"], 2
+            )
+            for row in rows
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    lines = ["shard-parallel scan throughput", ""]
+    for row in rows:
+        lines.append(
+            f"shards={row['shards']}: "
+            f"{row['probes_per_sec']:>8,.0f} probes/s  "
+            f"({row['probes']} probes in {row['wall_seconds']}s wall)"
+        )
+    lines.append("merge check: all shardings byte-identical minus provenance")
+    emit("shards", "\n".join(lines))

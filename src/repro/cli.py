@@ -25,20 +25,66 @@ def _banner(title: str) -> None:
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .core.campaign import Campaign
 
-    campaign = Campaign.run_default(
-        seed=args.seed, n_ases=args.n_ases, duration=args.duration
-    )
-    print(campaign.summary())
-    print()
-    print(campaign.full_report())
-    from .core.paper import comparison_report
+    if args.resume is not None:
+        from .core.pipeline import resume_pipeline
 
-    _banner("Paper shape-claim verdicts")
-    print(comparison_report(campaign))
+        outcome = resume_pipeline(args.resume, workers=args.workers)
+    elif args.shards > 1 or args.run_dir is not None:
+        from .core.pipeline import CampaignSpec, run_pipeline
+
+        spec = CampaignSpec.from_scan_config(
+            seed=args.seed,
+            n_ases=args.n_ases,
+            shards=args.shards,
+            config=ScanConfig(duration=args.duration),
+        )
+        outcome = run_pipeline(
+            spec, run_dir=args.run_dir, workers=args.workers
+        )
+    else:
+        campaign = Campaign.run_default(
+            seed=args.seed, n_ases=args.n_ases, duration=args.duration
+        )
+        print(campaign.summary())
+        print()
+        print(campaign.full_report())
+        from .core.paper import comparison_report
+
+        _banner("Paper shape-claim verdicts")
+        print(comparison_report(campaign))
+        if args.json is not None:
+            campaign.save_results(args.json)
+            print(f"structured results written to {args.json}")
+        return 0
+
+    if outcome.stages_skipped:
+        print(f"stages skipped (resumed): {', '.join(outcome.stages_skipped)}")
+    if outcome.stages_run:
+        print(f"stages run: {', '.join(outcome.stages_run)}")
+    if outcome.campaign is not None:
+        print(outcome.campaign.summary())
+    print()
+    print(outcome.report)
+    if outcome.campaign is not None:
+        from .core.paper import comparison_report
+
+        _banner("Paper shape-claim verdicts")
+        print(comparison_report(outcome.campaign))
+    else:
+        print(
+            "(analysis served from run-directory artifacts; "
+            "paper-claim verdicts need a live campaign)"
+        )
     if args.json is not None:
-        campaign.save_results(args.json)
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            _json.dumps(outcome.results, indent=2)
+        )
         print(f"structured results written to {args.json}")
     return 0
 
@@ -198,6 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write structured results as JSON",
+    )
+    scan.add_argument(
+        "--shards", type=int, default=1,
+        help="partition target ASes across this many scan worker "
+        "processes; results are byte-identical to --shards 1",
+    )
+    scan.add_argument(
+        "--workers", type=int, default=None,
+        help="max shard worker processes (default: one per shard, "
+        "capped at CPU count; 0 runs shards inline)",
+    )
+    scan.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="persist stage artifacts (shard scans, merged "
+        "observations, results, report) into DIR",
+    )
+    scan.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume the campaign recorded in DIR's manifest, "
+        "skipping stages whose artifacts already exist",
     )
     scan.set_defaults(func=cmd_scan)
 

@@ -64,6 +64,87 @@ if TYPE_CHECKING:
     from ..scenarios.internet import BuiltScenario
 
 
+#: Version of the :meth:`Campaign.results_dict` JSON schema.  Bumped
+#: whenever keys move or change meaning so downstream consumers of a
+#: data release can dispatch on it.  2 = added ``schema_version`` +
+#: ``provenance`` header (staged-pipeline release).
+RESULTS_SCHEMA_VERSION = 2
+
+
+@dataclass
+class ScanMetadata:
+    """Scan-phase accounting, decoupled from the live :class:`Scanner`.
+
+    A single-process campaign copies these counters straight off its
+    scanner; a sharded campaign sums them across shard workers, whose
+    scanner objects never leave their processes.  Keeping the numbers in
+    a plain dataclass lets the analysis/report layers work identically
+    over both.
+    """
+
+    probes_scheduled: int = 0
+    probes_sent: int = 0
+    probes_suppressed: int = 0
+    targets_planned: int = 0
+    targets_unroutable: int = 0
+    effective_duration: float = 0.0
+    shards: int = 1
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def from_scanner(
+        cls, scanner: Scanner, *, wall_seconds: float = 0.0, shards: int = 1
+    ) -> "ScanMetadata":
+        return cls(
+            probes_scheduled=scanner.probes_scheduled,
+            probes_sent=scanner.probes_sent,
+            probes_suppressed=scanner.probes_suppressed,
+            targets_planned=scanner.targets_planned,
+            targets_unroutable=scanner.targets_unroutable,
+            effective_duration=scanner.effective_duration,
+            shards=shards,
+            wall_seconds=wall_seconds,
+        )
+
+    @classmethod
+    def merged(cls, parts: list["ScanMetadata"]) -> "ScanMetadata":
+        """Fold per-shard metadata into campaign totals.
+
+        Counters sum (shards partition the target space); the effective
+        duration is pinned to the same value in every shard, so ``max``
+        just recovers it.  Wall seconds sum worker time — the pipeline
+        overwrites it with the parent's elapsed time afterwards.
+        """
+        return cls(
+            probes_scheduled=sum(p.probes_scheduled for p in parts),
+            probes_sent=sum(p.probes_sent for p in parts),
+            probes_suppressed=sum(p.probes_suppressed for p in parts),
+            targets_planned=sum(p.targets_planned for p in parts),
+            targets_unroutable=sum(p.targets_unroutable for p in parts),
+            effective_duration=max(
+                (p.effective_duration for p in parts), default=0.0
+            ),
+            shards=len(parts),
+            wall_seconds=sum(p.wall_seconds for p in parts),
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "probes_scheduled": self.probes_scheduled,
+            "probes_sent": self.probes_sent,
+            "probes_suppressed": self.probes_suppressed,
+            "targets_planned": self.targets_planned,
+            "targets_unroutable": self.targets_unroutable,
+            "effective_duration": self.effective_duration,
+            "shards": self.shards,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScanMetadata":
+        return cls(**payload)
+
+
 @dataclass
 class CampaignResults:
     """Every analysis artifact of one completed campaign."""
@@ -87,18 +168,31 @@ class CampaignResults:
 
 @dataclass
 class Campaign:
-    """A completed scan plus its analyses."""
+    """A completed scan plus its analyses.
+
+    ``scanner`` is ``None`` for campaigns assembled by the staged
+    pipeline from shard artifacts — the worker-process scanners no
+    longer exist by merge time; their counters live in ``metadata``.
+    """
 
     scenario: "BuiltScenario"
     targets: TargetSet
-    scanner: Scanner
+    scanner: Scanner | None
     collector: Collector
     #: wall-clock seconds the scan phase took (set by :meth:`run_on`);
     #: the perf-pipeline benchmark reads probes/sec from here.
     scan_wall_seconds: float = 0.0
+    #: scan accounting; derived from ``scanner`` when not provided.
+    metadata: ScanMetadata | None = None
     results: CampaignResults = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.metadata is None:
+            if self.scanner is None:
+                raise ValueError("campaign needs a scanner or metadata")
+            self.metadata = ScanMetadata.from_scanner(
+                self.scanner, wall_seconds=self.scan_wall_seconds
+            )
         self.results = self._analyze()
 
     # -- construction ------------------------------------------------------
@@ -111,9 +205,32 @@ class Campaign:
         n_ases: int = 150,
         duration: float = 240.0,
         scan_config: ScanConfig | None = None,
+        shards: int = 1,
+        workers: int | None = None,
+        run_dir=None,
     ) -> "Campaign":
-        """Build a default synthetic Internet and run the full scan."""
+        """Build a default synthetic Internet and run the full scan.
+
+        With ``shards > 1`` (or a ``run_dir`` to persist stage
+        artifacts into) the campaign runs through the staged pipeline:
+        the target ASes are partitioned across shard worker processes
+        and the per-shard observations merged into a result
+        byte-identical to the single-process run.
+        """
         from ..scenarios import ScenarioParams, build_internet
+
+        if shards > 1 or run_dir is not None:
+            from .pipeline import CampaignSpec, run_pipeline
+
+            spec = CampaignSpec.from_scan_config(
+                seed=seed,
+                n_ases=n_ases,
+                shards=shards,
+                config=scan_config or ScanConfig(duration=duration),
+            )
+            outcome = run_pipeline(spec, run_dir=run_dir, workers=workers)
+            assert outcome.campaign is not None
+            return outcome.campaign
 
         scenario = build_internet(ScenarioParams(seed=seed, n_ases=n_ases))
         return cls.run_on(
@@ -140,11 +257,15 @@ class Campaign:
         """Scan-phase throughput (0.0 if timing was not captured)."""
         if self.scan_wall_seconds <= 0:
             return 0.0
-        return self.scanner.probes_scheduled / self.scan_wall_seconds
+        return self.metadata.probes_scheduled / self.scan_wall_seconds
 
     # -- analysis ------------------------------------------------------------
 
     def _analyze(self) -> CampaignResults:
+        # Canonical observation order makes analysis independent of
+        # event arrival order, so a merged multi-shard collection and a
+        # single-process collection analyze byte-identically.
+        self.collector.canonicalize()
         rows = country_rows(
             self.targets, self.collector, self.scenario.geo,
             self.scenario.routes,
@@ -259,9 +380,22 @@ class Campaign:
             for row in results.source_categories.rows
         }
         return {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            # Full provenance of the run that produced these numbers.
+            # This is the only section allowed to differ between
+            # equivalent runs (wall_seconds, shards); equivalence checks
+            # compare the document minus this key.
+            "provenance": {
+                "seed": self.scenario.params.seed,
+                "n_ases": self.scenario.params.n_ases,
+                "shards": self.metadata.shards,
+                "probes_sent": self.metadata.probes_sent,
+                "effective_duration": self.metadata.effective_duration,
+                "wall_seconds": self.metadata.wall_seconds,
+            },
             "seed": self.scenario.params.seed,
             "n_ases": self.scenario.params.n_ases,
-            "probes": self.scanner.probes_scheduled,
+            "probes": self.metadata.probes_scheduled,
             "headline": {
                 "v4": family(results.headline.v4),
                 "v6": family(results.headline.v6),
@@ -292,7 +426,12 @@ class Campaign:
                 "resolvers": results.zero_range.resolvers,
                 "asns": results.zero_range.asns,
                 "closed": results.zero_range.closed,
-                "port_counts": list(results.zero_range.port_counts),
+                # lists, not tuples, so the dict equals its own
+                # JSON round trip (resume serves results from disk).
+                "port_counts": [
+                    [port, count]
+                    for port, count in results.zero_range.port_counts
+                ],
             },
             "small_ranges": {
                 "resolvers": results.small_ranges.resolvers,
@@ -343,7 +482,7 @@ class Campaign:
         """One-paragraph campaign summary."""
         results = self.results
         return (
-            f"{self.scanner.probes_scheduled} probes to "
+            f"{self.metadata.probes_scheduled} probes to "
             f"{len(self.targets)} targets in "
             f"{len(self.targets.asns())} ASes; "
             f"{results.headline.v4.reachable_asns} IPv4 and "

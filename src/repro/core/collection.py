@@ -11,6 +11,8 @@ human-intervention lifetime filter of Section 3.6.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from ipaddress import ip_address
+from typing import Any
 
 from ..dns.auth import AuthoritativeServer, QueryLogRecord
 from ..netsim.addresses import Address
@@ -59,6 +61,85 @@ class TargetObservation:
     @property
     def closed(self) -> bool:
         return not self.open_
+
+    # -- serialization -----------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """Render as a JSON-serializable dict (the shard artifact form).
+
+        Sets are emitted in a canonical sorted order so the artifact
+        bytes are reproducible; ordered fields (``port_observations``)
+        keep their arrival order, which the port analysis depends on.
+        """
+        return {
+            "target": str(self.target),
+            "asn": self.asn,
+            "first_seen": self.first_seen,
+            "categories": sorted(c.value for c in self.categories),
+            "working_sources": [
+                str(a) for a in sorted(self.working_sources, key=int)
+            ],
+            "open": self.open_,
+            "port_observations": [
+                {"time": o.time, "port": o.port, "channel": o.channel.name}
+                for o in self.port_observations
+            ],
+            "direct": self.direct,
+            "forwarded": self.forwarded,
+            "forwarder_addresses": [
+                str(a) for a in sorted(self.forwarder_addresses, key=int)
+            ],
+            "tcp_signature": (
+                None
+                if self.tcp_signature is None
+                else {
+                    "initial_ttl": self.tcp_signature.initial_ttl,
+                    "window_size": self.tcp_signature.window_size,
+                    "mss": self.tcp_signature.mss,
+                    "window_scale": self.tcp_signature.window_scale,
+                    "options": list(self.tcp_signature.options),
+                }
+            ),
+            "observed_ttl": self.observed_ttl,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TargetObservation":
+        """Inverse of :meth:`to_payload`."""
+        sig = payload["tcp_signature"]
+        return cls(
+            target=ip_address(payload["target"]),
+            asn=payload["asn"],
+            first_seen=payload["first_seen"],
+            categories={
+                SourceCategory(v) for v in payload["categories"]
+            },
+            working_sources={
+                ip_address(a) for a in payload["working_sources"]
+            },
+            open_=payload["open"],
+            port_observations=[
+                PortObservation(o["time"], o["port"], Channel[o["channel"]])
+                for o in payload["port_observations"]
+            ],
+            direct=payload["direct"],
+            forwarded=payload["forwarded"],
+            forwarder_addresses={
+                ip_address(a) for a in payload["forwarder_addresses"]
+            },
+            tcp_signature=(
+                None
+                if sig is None
+                else TCPSignature(
+                    initial_ttl=sig["initial_ttl"],
+                    window_size=sig["window_size"],
+                    mss=sig["mss"],
+                    window_scale=sig["window_scale"],
+                    options=tuple(sig["options"]),
+                )
+            ),
+            observed_ttl=payload["observed_ttl"],
+        )
 
 
 @dataclass
@@ -195,6 +276,86 @@ class Collector:
         asn = self.routes.origin_asn(record.src)  # type: ignore[arg-type]
         if asn is not None:
             self.minimized_asns.add(asn)
+
+    # -- serialization / merge -------------------------------------------------
+
+    def canonicalize(self) -> None:
+        """Rebuild ``observations`` in canonical (family, address) order.
+
+        Dict iteration order otherwise reflects insertion order — i.e.
+        event arrival order — which differs between a merged multi-shard
+        run and a single-process run.  Analysis code that breaks ties by
+        iteration order (``Counter.most_common`` et al.) sees identical
+        input once the observations are canonically ordered.
+        """
+        self.observations = {
+            obs.target: obs
+            for obs in sorted(
+                self.observations.values(),
+                key=lambda o: (o.target.version, int(o.target)),
+            )
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """Render collected state as a JSON-serializable dict."""
+        return {
+            "observations": [
+                obs.to_payload()
+                for obs in sorted(
+                    self.observations.values(),
+                    key=lambda o: (o.target.version, int(o.target)),
+                )
+            ],
+            "stats": {
+                "records": self.stats.records,
+                "experiment_records": self.stats.experiment_records,
+                "late_records": self.stats.late_records,
+                "minimized_records": self.stats.minimized_records,
+                "unattributed_records": self.stats.unattributed_records,
+            },
+            "late_targets": [
+                str(a)
+                for a in sorted(
+                    self.late_targets, key=lambda a: (a.version, int(a))
+                )
+            ],
+            "minimized_asns": sorted(self.minimized_asns),
+            "minimized_sources": [
+                str(a)
+                for a in sorted(
+                    self.minimized_sources, key=lambda a: (a.version, int(a))
+                )
+            ],
+        }
+
+    def absorb_payload(self, payload: dict[str, Any]) -> None:
+        """Fold one shard's serialized collection into this collector.
+
+        Shards partition the target space, so per-target observations
+        never collide; campaign-level counters sum and the set-valued
+        summaries union.  Call :meth:`canonicalize` after the last shard
+        is absorbed.
+        """
+        for obs_payload in payload["observations"]:
+            obs = TargetObservation.from_payload(obs_payload)
+            if obs.target in self.observations:
+                raise ValueError(
+                    f"shard overlap: target {obs.target} already collected"
+                )
+            self.observations[obs.target] = obs
+        stats = payload["stats"]
+        self.stats.records += stats["records"]
+        self.stats.experiment_records += stats["experiment_records"]
+        self.stats.late_records += stats["late_records"]
+        self.stats.minimized_records += stats["minimized_records"]
+        self.stats.unattributed_records += stats["unattributed_records"]
+        self.late_targets.update(
+            ip_address(a) for a in payload["late_targets"]
+        )
+        self.minimized_asns.update(payload["minimized_asns"])
+        self.minimized_sources.update(
+            ip_address(a) for a in payload["minimized_sources"]
+        )
 
     # -- summary views ---------------------------------------------------------
 

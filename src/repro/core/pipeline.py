@@ -1,0 +1,506 @@
+"""Staged campaign pipeline: build → scan → collect → analyze → report.
+
+The one-call :class:`~repro.core.campaign.Campaign` API runs the whole
+study inside a single process.  This module breaks the same campaign
+into five explicit stages, each consuming and producing a versioned,
+JSON-serializable artifact:
+
+====================  =====================================================
+stage                 artifact
+====================  =====================================================
+``build``             (none — the scenario is a pure function of the spec)
+``scan``              ``shard-NNN.json`` per shard: scan counters + the
+                      shard's serialized :class:`Collector` state
+``collect``           ``observations.json``: the merged collection
+``analyze``           ``results.json``: the full :meth:`results_dict`
+``report``            ``report.txt``: the rendered text report
+====================  =====================================================
+
+The scan stage is *shard-parallel*: the target ASes are partitioned into
+``shards`` disjoint subsets (``asn % shards``) and each subset is
+scanned by its own worker process against a private, independently built
+copy of the synthetic Internet.  The merge in ``collect`` folds the
+per-shard observations back together.
+
+Why the merge is byte-identical to the single-process run
+---------------------------------------------------------
+
+Sharding by AS works because every result-affecting interaction in the
+simulation is local to one target AS plus the shared (but stateless)
+measurement infrastructure:
+
+* probe identifiers, schedule offsets, packet loss, and latencies are
+  pure functions of ``(seed, packet content)`` — never a position in a
+  consumed RNG stream (see :mod:`repro.netsim.determinism`);
+* per-AS behaviour (resolvers, ACLs, forwarders) is driven by per-AS
+  RNGs derived from ``(seed, asn)``, so building the full Internet in
+  every worker yields bit-identical ASes regardless of which shard
+  scans them;
+* the shared public DNS service is *stateless* (``NullCache``), so its
+  responses are pure functions of the individual query.
+
+A shard therefore observes exactly what the full campaign would have
+observed for its targets, and :meth:`Collector.canonicalize` removes
+the one remaining difference — event-arrival insertion order — before
+analysis.
+
+Persisting the stage artifacts into a run directory makes campaigns
+resumable: ``repro-dsav scan --resume <dir>`` re-runs only the stages
+whose artifacts are missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+from .campaign import Campaign, ScanMetadata
+from .collection import Collector
+from .scanner import ScanConfig
+from .targets import TargetSet
+
+if TYPE_CHECKING:
+    from ..scenarios.internet import BuiltScenario
+
+#: Version stamped into every artifact this module writes.  Readers
+#: refuse artifacts from a different version rather than guessing.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Stage names, in execution order.
+STAGES = ("build", "scan", "collect", "analyze", "report")
+
+
+@dataclass
+class CampaignSpec:
+    """Everything needed to (re)run one campaign deterministically.
+
+    ``scan`` holds the :class:`ScanConfig` fields as a plain dict so the
+    spec survives a JSON round trip; :meth:`scan_config` rebuilds the
+    config object.  The spec is the identity of a run directory — a
+    resume against a directory created from a different spec is refused.
+    """
+
+    seed: int = 2019
+    n_ases: int = 150
+    shards: int = 1
+    scan: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+    @classmethod
+    def from_scan_config(
+        cls, *, seed: int, n_ases: int, shards: int, config: ScanConfig
+    ) -> "CampaignSpec":
+        return cls(
+            seed=seed, n_ases=n_ases, shards=shards, scan=asdict(config)
+        )
+
+    def scan_config(self) -> ScanConfig:
+        return ScanConfig(**self.scan)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "seed": self.seed,
+            "n_ases": self.n_ases,
+            "shards": self.shards,
+            "scan": dict(self.scan),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CampaignSpec":
+        _check_version(payload, "campaign spec")
+        return cls(
+            seed=payload["seed"],
+            n_ases=payload["n_ases"],
+            shards=payload["shards"],
+            scan=dict(payload["scan"]),
+        )
+
+
+def _check_version(payload: dict[str, Any], what: str) -> None:
+    version = payload.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{what} has schema_version={version!r}, "
+            f"this code reads version {ARTIFACT_SCHEMA_VERSION}"
+        )
+
+
+class RunDirectory:
+    """Artifact store for one pipeline run.
+
+    Lays out ``manifest.json`` (the spec plus stage bookkeeping),
+    ``shard-NNN.json`` per scan shard, ``observations.json``,
+    ``results.json``, and ``report.txt`` under one directory.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    def shard_path(self, shard_id: int) -> Path:
+        return self.path / f"shard-{shard_id:03d}.json"
+
+    @property
+    def observations_path(self) -> Path:
+        return self.path / "observations.json"
+
+    @property
+    def results_path(self) -> Path:
+        return self.path / "results.json"
+
+    @property
+    def report_path(self) -> Path:
+        return self.path / "report.txt"
+
+    # -- manifest --------------------------------------------------------
+
+    def read_spec(self) -> CampaignSpec:
+        """Load the spec recorded in the manifest (for ``--resume``)."""
+        manifest = _read_json(self.manifest_path)
+        return CampaignSpec.from_payload(manifest["spec"])
+
+    def bind_spec(self, spec: CampaignSpec) -> None:
+        """Record *spec* in the manifest, or verify it matches.
+
+        A run directory belongs to exactly one spec; re-entering it with
+        different parameters would silently mix artifacts from two
+        different campaigns, so that is an error.
+        """
+        if self.manifest_path.exists():
+            recorded = self.read_spec()
+            if recorded != spec:
+                raise ValueError(
+                    f"run directory {self.path} was created for "
+                    f"{recorded}, refusing to reuse it for {spec}"
+                )
+            return
+        _write_json(
+            self.manifest_path,
+            {
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
+                "spec": spec.to_payload(),
+                "stages_completed": [],
+            },
+        )
+
+    def mark_stage(self, stage: str) -> None:
+        manifest = _read_json(self.manifest_path)
+        completed = manifest.setdefault("stages_completed", [])
+        if stage not in completed:
+            completed.append(stage)
+            _write_json(self.manifest_path, manifest)
+
+
+def _read_json(path: Path) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+def _write_json(path: Path, payload: dict[str, Any]) -> None:
+    # Write-then-rename so a crash mid-write never leaves a truncated
+    # artifact that a later --resume would trust.
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# scan stage (runs in worker processes)
+# ---------------------------------------------------------------------------
+
+
+def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
+    """Scan one shard of the target space; module-level for pickling.
+
+    The worker rebuilds the entire synthetic Internet from the spec —
+    scenario construction is a pure function of the seed, so every
+    worker's copy is identical — then scans only the targets whose
+    ``asn % shards`` equals its shard id.  The campaign duration is
+    pinned to the globally computed value so probes are paced exactly
+    as in the unsharded run.
+    """
+    from ..scenarios import ScenarioParams, build_internet
+
+    spec = CampaignSpec.from_payload(payload["spec"])
+    shard_id = payload["shard_id"]
+    scenario = build_internet(
+        ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+    )
+    full = scenario.target_set()
+    shard_targets = TargetSet(
+        targets=[
+            t for t in full.targets if t.asn % spec.shards == shard_id
+        ],
+        stats=full.stats,
+    )
+    config = spec.scan_config()
+    config.pinned_duration = payload["pinned_duration"]
+    scanner, collector = scenario.make_scanner(config, targets=shard_targets)
+    start = perf_counter()
+    scanner.run()
+    wall = perf_counter() - start
+    metadata = ScanMetadata.from_scanner(scanner, wall_seconds=wall)
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "shard_id": shard_id,
+        "shards": spec.shards,
+        "spec": spec.to_payload(),
+        "metadata": metadata.to_payload(),
+        "collection": collector.to_payload(),
+    }
+
+
+def _global_duration(
+    scenario: "BuiltScenario", targets: TargetSet, config: ScanConfig
+) -> float:
+    """The effective campaign duration of the *unsharded* run.
+
+    Shards must pace probes on the full campaign's timeline, but the
+    duration/max_rate stretch in :meth:`Scanner.schedule_campaign` is
+    computed from the local probe total — a shard would stretch less.
+    The parent recomputes the global figure (the spoof planner is
+    per-target deterministic, so counting plans here matches what the
+    workers will schedule) and pins it into every shard's config.
+    """
+    if config.max_rate is None:
+        return config.duration
+    planner = scenario.make_planner()
+    total = 0
+    for target in targets.targets:
+        plan = planner.plan(target.address)
+        if plan is not None:
+            total += len(plan.sources)
+    if not total:
+        return config.duration
+    return max(config.duration, total / config.max_rate)
+
+
+# ---------------------------------------------------------------------------
+# the pipeline driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineOutcome:
+    """What one pipeline invocation produced.
+
+    ``campaign`` is ``None`` when the analyze stage was resumed from
+    disk — the numbers and report are served from the artifacts without
+    re-running anything.
+    """
+
+    campaign: Campaign | None
+    results: dict[str, Any]
+    report: str
+    run_dir: Path | None
+    stages_run: list[str]
+    stages_skipped: list[str]
+
+
+def run_pipeline(
+    spec: CampaignSpec,
+    *,
+    run_dir=None,
+    workers: int | None = None,
+) -> PipelineOutcome:
+    """Run the staged campaign described by *spec*.
+
+    ``run_dir`` persists stage artifacts (and enables resume: stages
+    whose artifacts already exist are skipped).  ``workers`` bounds the
+    shard worker processes; ``0`` runs every shard inline in this
+    process (useful under test, and what ``shards=1`` effectively is).
+    """
+    rd = RunDirectory(run_dir) if run_dir is not None else None
+    if rd is not None:
+        rd.bind_spec(spec)
+    stages_run: list[str] = []
+    stages_skipped: list[str] = []
+
+    # Fully analyzed run on disk: serve it without rebuilding anything.
+    if (
+        rd is not None
+        and rd.results_path.exists()
+        and rd.report_path.exists()
+    ):
+        results = _read_json(rd.results_path)
+        report = rd.report_path.read_text()
+        return PipelineOutcome(
+            campaign=None,
+            results=results,
+            report=report,
+            run_dir=rd.path,
+            stages_run=[],
+            stages_skipped=list(STAGES),
+        )
+
+    # -- build: the parent's scenario copy (geo/routes/port history are
+    # needed by analyze; the scan workers build their own).
+    from ..scenarios import ScenarioParams, build_internet
+
+    pipeline_start = perf_counter()
+    scenario = build_internet(
+        ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+    )
+    targets = scenario.target_set()
+    stages_run.append("build")
+
+    # -- scan + collect, or reload the merged observations artifact.
+    collector: Collector
+    if rd is not None and rd.observations_path.exists():
+        artifact = _read_json(rd.observations_path)
+        _check_version(artifact, "observations artifact")
+        collector = _fresh_collector(scenario)
+        collector.absorb_payload(artifact["collection"])
+        collector.canonicalize()
+        metadata = ScanMetadata.from_payload(artifact["metadata"])
+        stages_skipped.extend(["scan", "collect"])
+    else:
+        shard_payloads = _run_scan_stage(
+            spec, scenario, targets, rd, workers,
+            stages_run, stages_skipped,
+        )
+        collector = _fresh_collector(scenario)
+        shard_metas = []
+        for payload in shard_payloads:
+            collector.absorb_payload(payload["collection"])
+            shard_metas.append(
+                ScanMetadata.from_payload(payload["metadata"])
+            )
+        collector.canonicalize()
+        metadata = ScanMetadata.merged(shard_metas)
+        if rd is not None:
+            _write_json(
+                rd.observations_path,
+                {
+                    "schema_version": ARTIFACT_SCHEMA_VERSION,
+                    "spec": spec.to_payload(),
+                    "metadata": metadata.to_payload(),
+                    "collection": collector.to_payload(),
+                },
+            )
+            rd.mark_stage("collect")
+        stages_run.append("collect")
+
+    # -- analyze
+    metadata.wall_seconds = perf_counter() - pipeline_start
+    campaign = Campaign(
+        scenario,
+        targets,
+        None,
+        collector,
+        scan_wall_seconds=metadata.wall_seconds,
+        metadata=metadata,
+    )
+    results = campaign.results_dict()
+    if rd is not None:
+        _write_json(rd.results_path, results)
+        rd.mark_stage("analyze")
+    stages_run.append("analyze")
+
+    # -- report
+    report = campaign.full_report()
+    if rd is not None:
+        tmp = rd.report_path.with_suffix(".txt.tmp")
+        tmp.write_text(report)
+        os.replace(tmp, rd.report_path)
+        rd.mark_stage("report")
+    stages_run.append("report")
+
+    return PipelineOutcome(
+        campaign=campaign,
+        results=results,
+        report=report,
+        run_dir=rd.path if rd is not None else None,
+        stages_run=stages_run,
+        stages_skipped=stages_skipped,
+    )
+
+
+def resume_pipeline(run_dir, *, workers: int | None = None) -> PipelineOutcome:
+    """Resume the campaign recorded in *run_dir*'s manifest."""
+    rd = RunDirectory(run_dir)
+    if not rd.manifest_path.exists():
+        raise FileNotFoundError(
+            f"{rd.manifest_path} not found: not a pipeline run directory"
+        )
+    spec = rd.read_spec()
+    return run_pipeline(spec, run_dir=run_dir, workers=workers)
+
+
+def _fresh_collector(scenario: "BuiltScenario") -> Collector:
+    """An empty collector wired for merging shard payloads.
+
+    The merged collector never ingests live query records, so it needs
+    no probe index or channel terminators — only the pieces the
+    analysis layer reads.
+    """
+    return Collector(
+        codec=scenario.codec,
+        probe_index={},
+        real_addresses=frozenset(scenario.client.addresses),
+        routes=scenario.routes,
+    )
+
+
+def _run_scan_stage(
+    spec: CampaignSpec,
+    scenario: "BuiltScenario",
+    targets: TargetSet,
+    rd: RunDirectory | None,
+    workers: int | None,
+    stages_run: list[str],
+    stages_skipped: list[str],
+) -> list[dict[str, Any]]:
+    """Produce every shard artifact, reusing any already on disk."""
+    pinned = _global_duration(scenario, targets, spec.scan_config())
+    payloads: dict[int, dict[str, Any]] = {}
+    pending: list[dict[str, Any]] = []
+    for shard_id in range(spec.shards):
+        if rd is not None and rd.shard_path(shard_id).exists():
+            artifact = _read_json(rd.shard_path(shard_id))
+            _check_version(artifact, f"shard {shard_id} artifact")
+            payloads[shard_id] = artifact
+            stages_skipped.append(f"scan[{shard_id}]")
+            continue
+        pending.append(
+            {
+                "spec": spec.to_payload(),
+                "shard_id": shard_id,
+                "pinned_duration": pinned,
+            }
+        )
+
+    if pending:
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+        if workers <= 0 or len(pending) == 1:
+            results = [run_scan_shard(job) for job in pending]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                results = list(pool.map(run_scan_shard, pending))
+        for artifact in results:
+            payloads[artifact["shard_id"]] = artifact
+            if rd is not None:
+                _write_json(rd.shard_path(artifact["shard_id"]), artifact)
+            stages_run.append(f"scan[{artifact['shard_id']}]")
+    if rd is not None:
+        rd.mark_stage("scan")
+
+    # Deterministic merge order regardless of which shards ran live.
+    return [payloads[shard_id] for shard_id in range(spec.shards)]

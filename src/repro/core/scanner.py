@@ -22,6 +22,7 @@ from ..dns.auth import AuthoritativeServer, QueryLogRecord
 from ..dns.message import Message
 from ..dns.rr import RRType
 from ..netsim.addresses import Address, IntervalTable
+from ..netsim.determinism import stable_fraction, stable_hash
 from ..netsim.fabric import Fabric, Host
 from ..netsim.packet import Packet, Transport
 from .followup import FollowUpEngine
@@ -34,10 +35,15 @@ class ScanClient(Host):
     """Packet-crafting measurement client (the "scapy" of the setup)."""
 
     def __init__(
-        self, name: str, asn: int, rng: Random
+        self, name: str, asn: int, rng: Random, *, hash_seed: int = 0
     ) -> None:
         super().__init__(name, asn)
         self.rng = rng
+        #: seed mixed into the content hash that picks each probe's
+        #: transaction ID and source port.  Content-derived IDs (rather
+        #: than a consumed RNG stream) keep every probe identical
+        #: between sharded and unsharded runs of the same campaign.
+        self.hash_seed = hash_seed
         self.queries_sent = 0
 
     def real_address(self, version: int) -> Address | None:
@@ -55,14 +61,20 @@ class ScanClient(Host):
         *,
         qtype: int = RRType.A,
     ) -> None:
-        """Emit one UDP DNS query with an arbitrary (spoofed) source."""
-        message = Message.make_query(
-            self.rng.randrange(0x10000), qname, qtype
+        """Emit one UDP DNS query with an arbitrary (spoofed) source.
+
+        The transaction ID and source port are hashed from the query
+        content; experiment names are timestamp-unique, so every probe
+        still gets its own identifiers.
+        """
+        key = stable_hash(
+            self.hash_seed, "probe", qname.to_wire(), int(src), int(dst), qtype
         )
+        message = Message.make_query(key & 0xFFFF, qname, qtype)
         packet = Packet(
             src=src,
             dst=dst,
-            sport=1024 + self.rng.randrange(64512),
+            sport=1024 + (key >> 16) % 64512,
             dport=53,
             payload=message.to_wire(),
             transport=Transport.UDP,
@@ -93,6 +105,12 @@ class ScanConfig:
     #: streaming scheduler keeps only this many pending probe events on
     #: the heap at a time instead of one closure per planned probe.
     scheduler_batch: int = 512
+    #: when set, the campaign is paced over exactly this many seconds,
+    #: overriding the duration/max_rate stretch computed from the local
+    #: probe total.  The sharded pipeline pins the globally computed
+    #: duration here so every shard paces its targets on the same
+    #: timeline as the unsharded run would.
+    pinned_duration: float | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -101,6 +119,8 @@ class ScanConfig:
             raise ValueError("followup_count must be >= 1")
         if self.max_rate is not None and self.max_rate <= 0:
             raise ValueError("max_rate must be positive")
+        if self.pinned_duration is not None and self.pinned_duration <= 0:
+            raise ValueError("pinned_duration must be positive")
         if self.scheduler_batch < 1:
             raise ValueError("scheduler_batch must be >= 1")
 
@@ -138,6 +158,7 @@ class Scanner:
         self.planner = planner
         self.auth_servers = auth_servers
         self.config = config or ScanConfig()
+        self.seed = seed
         self.rng = Random(seed)
         #: (target, source) -> category, filled as probes are scheduled.
         self.probe_index: dict[tuple[Address, Address], ProbeRecord] = {}
@@ -212,32 +233,48 @@ class Scanner:
         duration = self.config.duration
         if self.config.max_rate is not None and total_probes:
             duration = max(duration, total_probes / self.config.max_rate)
+        if self.config.pinned_duration is not None:
+            duration = self.config.pinned_duration
         self.effective_duration = duration
         self.probes_scheduled = total_probes
 
-        total = len(plans)
         for target, plan in plans:
             self.targets_planned += 1
             self.target_asn[target.address] = target.asn
         # Per-target streams are individually time-ordered; a heap merge
-        # yields the global schedule in (time, target index) order — the
-        # same tie-break order the eager scheduler produced.
+        # yields the global schedule in (time, target index) order.
         self._probe_stream = heapq.merge(
             *(
-                self._target_stream(index, target, plan, total, duration)
+                self._target_stream(index, target, plan, duration)
                 for index, (target, plan) in enumerate(plans)
             )
         )
         self._pump()
 
-    @staticmethod
     def _target_stream(
-        index: int, target, plan, total: int, duration: float
+        self, index: int, target, plan, duration: float
     ) -> Iterator[tuple[float, int, int, Address, int, SpoofedSource]]:
-        """Yield one target's probes as (when, tie-break..., probe) rows."""
+        """Yield one target's probes as (when, tie-break..., probe) rows.
+
+        The per-target phase offset is hashed from the target address,
+        not derived from the target's position in the global plan: a
+        shard that scans a subset of the targets therefore sends each
+        probe at exactly the moment the full campaign would, which is
+        the foundation of the pipeline's byte-identical shard merge.
+        Offsets stay uniform in [0, spacing), so the aggregate rate is
+        as smooth as the old position-based stagger.
+        """
         count = len(plan.sources)
-        offset = (index / max(total, 1)) * (duration / max(count, 1))
         spacing = duration / count
+        offset = (
+            stable_fraction(
+                self.seed,
+                "schedule",
+                int(target.address),
+                target.address.version,
+            )
+            * spacing
+        )
         for j, source in enumerate(plan.sources):
             yield (
                 offset + j * spacing,

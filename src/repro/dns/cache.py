@@ -117,3 +117,43 @@ class Cache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class NullCache:
+    """A cache that remembers nothing.
+
+    Installed by stateless ("anycast") resolvers: a real anycast public
+    DNS frontend gives no cache-state guarantees across queries, and for
+    the simulation the absence of carried-over state is what makes each
+    resolution a pure function of its own query — the property the
+    sharded campaign pipeline relies on when different worker processes
+    talk to their own replica of the public service.
+
+    Implements the :class:`Cache` surface the resolver consumes; every
+    read misses and every write is discarded.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    def put_positive(self, qname: Name, qtype: int, rrset: list[RR]) -> None:
+        """Discard the entry."""
+
+    def put_negative(
+        self, qname: Name, qtype: int, rcode: Rcode, ttl: int
+    ) -> None:
+        """Discard the entry."""
+
+    def get(self, qname: Name, qtype: int) -> CacheEntry | None:
+        """Always miss."""
+        return None
+
+    def covering_nxdomain(self, qname: Name) -> Name | None:
+        """Never report a covering NXDOMAIN cut."""
+        return None
+
+    def flush(self) -> None:
+        """Nothing to drop."""
+
+    def __len__(self) -> int:
+        return 0

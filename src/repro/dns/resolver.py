@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 from random import Random
 
 from ..netsim.addresses import Address, Network
+from ..netsim.determinism import stable_hash
 from ..netsim.events import ScheduledEvent
 from ..netsim.packet import Packet, Transport
 from ..oskernel.ports import PortAllocator
 from ..oskernel.profiles import OSProfile
-from .cache import Cache
+from .cache import Cache, NullCache
 from .message import Flag, Message, Rcode
 from .name import ROOT, Name
 from .rr import RR, RRType
@@ -111,6 +112,14 @@ class ResolverConfig:
     #: upstream queries; once a server is known to support cookies,
     #: responses lacking the correct echo are treated as forgeries.
     use_cookies: bool = False
+    #: stateless ("anycast frontend") operation: no cache survives
+    #: between resolutions, and upstream source ports / message IDs are
+    #: derived from the query content instead of consumed RNG or
+    #: allocator streams.  Every resolution is then a pure function of
+    #: its own query, independent of whatever other traffic the server
+    #: handled first — which is what lets sharded campaign runs share
+    #: one public DNS service and still merge byte-identically.
+    stateless: bool = False
 
     def __post_init__(self) -> None:
         if self.qname_minimization not in (None, "strict", "relaxed"):
@@ -193,7 +202,7 @@ class RecursiveResolver(DNSHost):
         self.config = config or ResolverConfig()
         self.root_hints = list(root_hints or [])
         self.software = software
-        self.cache: Cache | None = None   # bound on attach (needs clock)
+        self.cache: Cache | NullCache | None = None  # bound on first use
         self._tasks: dict[tuple[Name, int], _ResolutionTask] = {}
         self._outstanding: dict[tuple[Address, int, int], _PendingQuery] = {}
         # DNS-cookie state (RFC 7873).
@@ -214,9 +223,12 @@ class RecursiveResolver(DNSHost):
 
     def _ensure_cache(self) -> Cache:
         if self.cache is None:
-            if self.fabric is None:
-                raise RuntimeError("resolver not attached to a fabric")
-            self.cache = Cache(clock=lambda: self.fabric.now)
+            if self.config.stateless:
+                self.cache = NullCache()
+            else:
+                if self.fabric is None:
+                    raise RuntimeError("resolver not attached to a fabric")
+                self.cache = Cache(clock=lambda: self.fabric.now)
         return self.cache
 
     @property
@@ -345,6 +357,42 @@ class RecursiveResolver(DNSHost):
                 return address
         return None
 
+    def _upstream_ids(
+        self,
+        task: _ResolutionTask,
+        server: Address,
+        qname: Name,
+        qtype: int,
+        *,
+        transport: Transport = Transport.UDP,
+    ) -> tuple[int, int]:
+        """Pick the (sport, msg_id) for one upstream query.
+
+        Stateful resolvers draw from their port allocator and RNG —
+        faithfully order-dependent, which is the very behaviour the
+        paper measures.  Stateless resolvers derive both from the query
+        content (with the task's send counter separating retransmits),
+        so the values never depend on unrelated interleaved traffic.
+        """
+        if not self.config.stateless:
+            if transport is Transport.TCP:
+                return 0, self.rng.randrange(0x10000)
+            return self.port_allocator.next_port(), self.rng.randrange(0x10000)
+        key = stable_hash(
+            "upstream-ids",
+            self.name,
+            transport.value,
+            int(server),
+            qname.to_wire(),
+            qtype,
+            task.queries_sent,
+        )
+        # Linux-shaped ephemeral range; the public service models a
+        # modern, well-randomized stack.
+        sport = 32768 + key % 28232
+        msg_id = (key >> 32) & 0xFFFF
+        return sport, msg_id
+
     def _next_ask(self, task: _ResolutionTask) -> tuple[Name, int]:
         """Return the (qname, qtype) to send next, honouring QNAME min."""
         if not task.qmin_active:
@@ -384,8 +432,7 @@ class RecursiveResolver(DNSHost):
         if source is None:
             self._finish_servfail(task)
             return
-        sport = self.port_allocator.next_port()
-        msg_id = self.rng.randrange(0x10000)
+        sport, msg_id = self._upstream_ids(task, server, qname, qtype)
         wire_qname, encoded_labels = self._encode_qname(qname)
         query = Message.make_query(
             msg_id,
@@ -487,8 +534,9 @@ class RecursiveResolver(DNSHost):
             retransmits = pending.retransmits_left - 1
             source = self._source_for(pending.server)
             if source is not None:
-                sport = self.port_allocator.next_port()
-                msg_id = self.rng.randrange(0x10000)
+                sport, msg_id = self._upstream_ids(
+                    task, pending.server, pending.qname, pending.qtype
+                )
                 wire_qname, encoded_labels = self._encode_qname(pending.qname)
                 query = Message.make_query(
                     msg_id, wire_qname, pending.qtype,
@@ -611,8 +659,15 @@ class RecursiveResolver(DNSHost):
             self._finish_servfail(task)
             return
         self.stats["tcp_fallbacks"] += 1
+        sport, msg_id = self._upstream_ids(
+            task,
+            pending.server,
+            pending.qname,
+            pending.qtype,
+            transport=Transport.TCP,
+        )
         query = Message.make_query(
-            self.rng.randrange(0x10000),
+            msg_id,
             pending.qname,
             pending.qtype,
             recursion_desired=self.is_forwarder,
@@ -621,7 +676,7 @@ class RecursiveResolver(DNSHost):
         tcp_pending = _PendingQuery(
             task=task,
             server=pending.server,
-            sport=0,
+            sport=sport,
             msg_id=query.msg_id,
             qname=pending.qname,
             qtype=pending.qtype,
@@ -637,7 +692,13 @@ class RecursiveResolver(DNSHost):
             ):
                 self._handle_upstream(tcp_pending, response)
 
-        self.send_tcp_query(query, source, pending.server, on_response)
+        self.send_tcp_query(
+            query,
+            source,
+            pending.server,
+            on_response,
+            sport=sport if self.config.stateless else None,
+        )
 
     def _extract_referral(
         self, task: _ResolutionTask, message: Message

@@ -174,14 +174,18 @@ class DNSHost(Host):
         handler: ResponseHandler,
         *,
         dport: int = 53,
+        sport: int | None = None,
     ) -> Packet:
         """Open a TCP exchange carrying *query*; *handler* gets the reply.
 
         The SYN is stamped with this host's OS TCP signature, which is
-        what a passive fingerprinting tap at the server observes.
+        what a passive fingerprinting tap at the server observes.  When
+        *sport* is omitted the host's incrementing ephemeral-port stream
+        is used; stateless callers pass a content-derived port instead.
         """
-        self._tcp_sport = 1024 + (self._tcp_sport - 1023) % 64000 + 1
-        sport = self._tcp_sport
+        if sport is None:
+            self._tcp_sport = 1024 + (self._tcp_sport - 1023) % 64000 + 1
+            sport = self._tcp_sport
         self._tcp_clients[(dst, dport, sport)] = _TCPClientState(query, handler)
         syn = Packet(
             src=src,

@@ -356,6 +356,23 @@ def random_host_in_subnet(
     return ip_address(base + offset)
 
 
+def host_in_prefix(
+    prefix: Network, rng: random.Random, *, offset_cap: int = 200
+) -> Address:
+    """Pick a host address inside *prefix* from an explicit *rng*.
+
+    Used by the scenario builders when placing resolvers into announced
+    space.  The offset is capped so huge prefixes still yield addresses
+    near the base (dense, router-adjacent space, as in Section 3.2's
+    observation that low addresses dominate).  The caller supplies the
+    :class:`random.Random`: no module-level RNG state is consulted, so
+    shard workers seeding their own streams stay deterministic.
+    """
+    base = int(prefix.network_address)
+    span = min(prefix.num_addresses - 2, offset_cap)
+    return ip_address(base + 1 + rng.randrange(max(span, 1)))
+
+
 def reverse_pointer_name(address: Address) -> str:
     """Return the in-addr.arpa / ip6.arpa name used for PTR lookups."""
     return address.reverse_pointer

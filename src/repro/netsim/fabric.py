@@ -14,7 +14,6 @@ experiments replay identically.
 
 from __future__ import annotations
 
-import random
 import zlib
 from collections import Counter
 from collections.abc import Callable
@@ -22,6 +21,7 @@ from dataclasses import dataclass, field
 
 from .addresses import Address, intern_address
 from .autonomous_system import AutonomousSystem, BorderVerdict
+from .determinism import stable_fraction
 from .events import EventLoop
 from .packet import Packet
 from .routing import RoutingTable
@@ -77,7 +77,6 @@ class Fabric:
     loss_rate: float = 0.0
     record_drops: bool = False
 
-    _loss_rng: random.Random = field(init=False, repr=False)
     _systems: dict[int, AutonomousSystem] = field(default_factory=dict)
     _hosts: dict[Address, Host] = field(default_factory=dict)
     _taps: list[PacketTap] = field(default_factory=list)
@@ -89,9 +88,6 @@ class Fabric:
     drop_counts: Counter = field(default_factory=Counter)
     dropped: list[DropRecord] = field(default_factory=list)
     delivered_count: int = 0
-
-    def __post_init__(self) -> None:
-        self._loss_rng = random.Random(self.seed ^ 0x105E)
 
     # -- topology construction -------------------------------------------
 
@@ -186,7 +182,7 @@ class Fabric:
             self._drop(packet, "no-host", dest_as.asn)
             return
 
-        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+        if self.loss_rate > 0 and self._loss_roll(packet) < self.loss_rate:
             self._drop(packet, "loss", None)
             return
 
@@ -198,6 +194,27 @@ class Fabric:
     def _deliver(self, target: Host, packet: Packet) -> None:
         self.delivered_count += 1
         target.handle_packet(packet)
+
+    def _loss_roll(self, packet: Packet) -> float:
+        """Per-packet loss roll, keyed on the packet's own content.
+
+        A consumed RNG stream would make every packet's fate depend on
+        how many other packets happened to precede it — which differs
+        between a sharded and an unsharded run of the same campaign.
+        Hashing the packet instead keeps the decision a pure function of
+        (fabric seed, packet), so shard merges replay losses exactly.
+        """
+        return stable_fraction(
+            self.seed,
+            "loss",
+            int(packet.src),
+            int(packet.dst),
+            packet.sport,
+            packet.dport,
+            packet.transport.value,
+            int(packet.tcp_flags),
+            packet.payload,
+        )
 
     def _drop(self, packet: Packet, reason: str, asn: int | None) -> None:
         self.drop_counts[reason] += 1

@@ -29,8 +29,9 @@ from ..dns.name import Name, ROOT, name
 from ..dns.resolver import AccessControl, RecursiveResolver, ResolverConfig
 from ..dns.rr import A, AAAA, NS, RR, SOA, RRType, TXT
 from ..dns.zone import Zone
-from ..netsim.addresses import Address, Network, subnet_of
+from ..netsim.addresses import Address, Network, host_in_prefix, subnet_of
 from ..netsim.autonomous_system import AutonomousSystem
+from ..netsim.determinism import stable_fraction, stable_hash
 from ..netsim.fabric import Fabric, Host
 from ..netsim.geo import GeoDatabase, draw_country
 from ..netsim.packet import Packet, TCPSignature, Transport
@@ -232,11 +233,10 @@ class _SpaceAllocator:
         return ip_network((base, prefixlen))
 
 
-def _host_in(prefix: Network, rng: Random, offset_cap: int = 200) -> Address:
-    """Pick a host address inside *prefix* deterministically."""
-    base = int(prefix.network_address)
-    span = min(prefix.num_addresses - 2, offset_cap)
-    return ip_address(base + 1 + rng.randrange(max(span, 1)))
+# Host placement inside announced prefixes lives with the other address
+# utilities; the explicit-rng threading is what keeps shard workers
+# deterministic.
+_host_in = host_in_prefix
 
 
 # ---------------------------------------------------------------------------
@@ -418,6 +418,13 @@ def _build_infrastructure(
     fabric.add_system(public_as)
     pub_v4 = ip_address(int(pub_v4_prefix.network_address) + 1)
     pub_v6 = ip_address(int(pub_v6_prefix.network_address) + 1)
+    # The public service is modelled as a stateless anycast frontend:
+    # no cache survives between resolutions and its upstream ports/IDs
+    # are content-derived, so its behaviour toward any one client never
+    # depends on what other clients did first.  That matches how little
+    # a real anycast fleet shares between queries — and it is what lets
+    # the sharded campaign pipeline give every worker process its own
+    # replica of this service while still merging byte-identically.
     public = RecursiveResolver(
         "public-dns", PUBLIC_DNS_ASN, os_profile("ubuntu-modern"),
         Random(rng.randrange(2**32)),
@@ -425,6 +432,7 @@ def _build_infrastructure(
             Random(rng.randrange(2**32))
         ),
         acl=AccessControl(open_=True),
+        config=ResolverConfig(stateless=True),
         root_hints=root_hints,
         software="public-anycast",
     )
@@ -510,7 +518,10 @@ def build_internet(
     client_v4_prefix = client_as.add_prefix(space.next_v4(24))
     client_v6_prefix = client_as.add_prefix(space.next_v6(64))
     fabric.add_system(client_as)
-    client = ScanClient("scan-client", MEASUREMENT_ASN, Random(params.seed))
+    client = ScanClient(
+        "scan-client", MEASUREMENT_ASN, Random(params.seed),
+        hash_seed=params.seed,
+    )
     fabric.attach(
         client,
         ip_address(int(client_v4_prefix.network_address) + 7),
@@ -884,17 +895,20 @@ def _build_reverse_hosting(
 class _AnalystWorkstation(Host):
     """Sends direct follow-the-logs queries long after the original probe."""
 
-    def __init__(self, asn: int, rng: Random) -> None:
-        super().__init__("analyst", asn, )
-        self.rng = rng
+    def __init__(self, asn: int, hash_seed: int) -> None:
+        super().__init__("analyst", asn)
+        self.hash_seed = hash_seed
         self.queries_sent = 0
 
     def resolve_later(self, qname: Name, auth_address: Address) -> None:
-        message = Message.make_query(self.rng.randrange(0x10000), qname, RRType.A)
+        # ID and port are hashed from the investigated name so the
+        # analyst's behaviour is a pure function of what it looked at.
+        key = stable_hash(self.hash_seed, "analyst", qname.to_wire())
+        message = Message.make_query(key & 0xFFFF, qname, RRType.A)
         packet = Packet(
             src=self.addresses[0],
             dst=auth_address,
-            sport=1024 + self.rng.randrange(64512),
+            sport=1024 + (key >> 16) % 64512,
             dport=53,
             payload=message.to_wire(),
             transport=Transport.UDP,
@@ -907,21 +921,32 @@ def _install_ids(
     scenario: BuiltScenario, ids_asns: set[int], infra: _Infra
 ) -> None:
     """Wire an IDS tap: a fraction of spoofed queries entering monitored
-    ASes get investigated by a human much later (Section 3.6.3)."""
+    ASes get investigated by a human much later (Section 3.6.3).
+
+    Which packets catch an analyst's eye — and how long the human takes
+    — is decided by hashing the packet itself rather than consuming a
+    shared RNG stream, so monitored ASes behave identically whether the
+    campaign runs in one process or is partitioned across shard workers.
+    """
     params = scenario.params
-    rng = Random(params.seed ^ 0x1D5)
-    analyst = _AnalystWorkstation(INFRA_ASN, Random(params.seed ^ 0xA7A))
+    analyst = _AnalystWorkstation(INFRA_ASN, params.seed)
     analyst_v4 = ip_address(
         int(ip_address("20.0.0.0")) + 250  # inside the infra /20
     )
     scenario.fabric.attach(analyst, analyst_v4)
     auth_v4 = infra.auth_servers[0].addresses[0]
     domain = scenario.codec.domain
+    seed = params.seed
 
     def tap(packet: Packet, target: Host) -> None:
         if target.asn not in ids_asns or packet.dport != 53:
             return
-        if rng.random() >= params.analyst_probability:
+        noticed = stable_fraction(
+            seed, "ids-notice",
+            int(packet.src), int(packet.dst),
+            packet.sport, packet.dport, packet.payload,
+        )
+        if noticed >= params.analyst_probability:
             return
         try:
             message = Message.from_wire(packet.payload)
@@ -932,7 +957,9 @@ def _install_ids(
         qname = message.question.qname
         if not qname.is_subdomain_of(domain):
             return
-        delay = rng.uniform(params.analyst_delay_min, params.analyst_delay_max)
+        delay = params.analyst_delay_min + stable_fraction(
+            seed, "ids-delay", packet.payload
+        ) * (params.analyst_delay_max - params.analyst_delay_min)
         scenario.fabric.loop.schedule(
             delay, lambda: analyst.resolve_later(qname, auth_v4)
         )

@@ -193,7 +193,6 @@ def test_loss_rate_drops_deterministically():
     for _ in range(2):
         fabric, sender, receiver = build_two_as_fabric(dsav=False)
         fabric.loss_rate = 0.5
-        fabric._loss_rng.seed(99)
         for i in range(50):
             sender.send(
                 Packet(
@@ -210,6 +209,43 @@ def test_loss_rate_drops_deterministically():
     delivered, lost = results[0]
     assert delivered + lost == 50
     assert 10 < delivered < 40  # roughly half
+
+
+def test_loss_roll_is_content_keyed_not_stream_positional():
+    """A packet's loss fate must not depend on traffic sent before it.
+
+    This is the property the sharded scan pipeline rests on: a shard
+    sends a subset of the full campaign's packets, and each one must
+    live or die exactly as it would have amid the full traffic.
+    """
+    outcomes = []
+    for preceding in (0, 17):
+        fabric, sender, receiver = build_two_as_fabric(dsav=False)
+        fabric.loss_rate = 0.5
+        for i in range(preceding):
+            sender.send(
+                Packet(
+                    src=ip_address("20.0.0.1"),
+                    dst=ip_address("30.0.0.1"),
+                    sport=40000 + i,
+                    dport=2,
+                    payload=b"warmup",
+                )
+            )
+        fabric.run()
+        received_before = len(receiver.received)
+        sender.send(
+            Packet(
+                src=ip_address("20.0.0.1"),
+                dst=ip_address("30.0.0.1"),
+                sport=777,
+                dport=2,
+                payload=b"probe-under-test",
+            )
+        )
+        fabric.run()
+        outcomes.append(len(receiver.received) - received_before)
+    assert outcomes[0] == outcomes[1]
 
 
 def test_record_drops_keeps_packets():
