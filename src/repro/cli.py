@@ -6,6 +6,8 @@ Subcommands:
 * ``audit``  — the Section 6 "public testing tool" against one AS.
 * ``lab``    — the controlled-lab artifacts (Tables 5/6, Figure 3a fit).
 * ``attack`` — the exposure demonstrations (poisoning, NXNS, reflection).
+* ``obs``    — render a run directory's ``telemetry.json`` (from
+  ``scan --metrics``): span timings, counters, histograms.
 
 All commands are deterministic for a given ``--seed``.
 """
@@ -33,7 +35,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
         from .core.pipeline import resume_pipeline
 
         outcome = resume_pipeline(args.resume, workers=args.workers)
-    elif args.shards > 1 or args.run_dir is not None:
+    elif args.shards > 1 or args.run_dir is not None or args.metrics:
         from .core.pipeline import CampaignSpec, run_pipeline
 
         spec = CampaignSpec.from_scan_config(
@@ -41,6 +43,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
             n_ases=args.n_ases,
             shards=args.shards,
             config=ScanConfig(duration=args.duration),
+            metrics=args.metrics,
         )
         outcome = run_pipeline(
             spec, run_dir=args.run_dir, workers=args.workers
@@ -86,6 +89,38 @@ def cmd_scan(args: argparse.Namespace) -> int:
             _json.dumps(outcome.results, indent=2)
         )
         print(f"structured results written to {args.json}")
+    if outcome.telemetry is not None:
+        from .obs.export import render_telemetry
+
+        _banner("Campaign telemetry")
+        print(render_telemetry(outcome.telemetry))
+        if outcome.run_dir is not None:
+            print(f"\ntelemetry written to {outcome.run_dir}/telemetry.json")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs.export import (
+        load_telemetry,
+        payload_to_prometheus,
+        render_telemetry,
+    )
+
+    path = Path(args.run_dir) / "telemetry.json"
+    if not path.exists():
+        print(
+            f"error: {path} not found — run "
+            f"`repro-dsav scan --metrics --run-dir {args.run_dir}` first",
+            file=sys.stderr,
+        )
+        return 1
+    payload = load_telemetry(path)
+    if args.prom:
+        print(payload_to_prometheus(payload), end="")
+    else:
+        print(render_telemetry(payload))
     return 0
 
 
@@ -265,7 +300,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the campaign recorded in DIR's manifest, "
         "skipping stages whose artifacts already exist",
     )
+    scan.add_argument(
+        "--metrics", action="store_true",
+        help="collect campaign telemetry (metrics + span traces); "
+        "written to telemetry.json when --run-dir is set.  Results "
+        "are byte-identical with or without this flag",
+    )
     scan.set_defaults(func=cmd_scan)
+
+    obs = sub.add_parser(
+        "obs", help="render a run directory's telemetry.json"
+    )
+    obs.add_argument("run_dir", metavar="RUN_DIR")
+    obs.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition format instead of the "
+        "human-readable summary",
+    )
+    obs.set_defaults(func=cmd_obs)
 
     audit = sub.add_parser("audit", help="audit one AS")
     audit.add_argument("--asn", type=int, default=None)

@@ -242,15 +242,19 @@ class Campaign:
         cls, scenario: "BuiltScenario", config: ScanConfig | None = None
     ) -> "Campaign":
         """Run a campaign over an existing scenario."""
-        from time import perf_counter
+        from ..obs.spans import SpanRecorder, activate, span
 
         targets = scenario.target_set()
         scanner, collector = scenario.make_scanner(config or ScanConfig())
-        start = perf_counter()
-        scanner.run()
-        wall = perf_counter() - start
+        recorder = SpanRecorder()
+        with activate(recorder), span("campaign.scan") as scan_span:
+            scanner.run()
         return cls(
-            scenario, targets, scanner, collector, scan_wall_seconds=wall
+            scenario,
+            targets,
+            scanner,
+            collector,
+            scan_wall_seconds=scan_span.wall,
         )
 
     def probes_per_second(self) -> float:

@@ -56,9 +56,11 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
+from ..obs.export import telemetry_payload, write_telemetry
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder, activate, span
 from .campaign import Campaign, ScanMetadata
 from .collection import Collector
 from .scanner import ScanConfig
@@ -88,6 +90,9 @@ class CampaignSpec:
     seed: int = 2019
     n_ases: int = 150
     shards: int = 1
+    #: collect campaign telemetry (metrics + spans) into
+    #: ``telemetry.json``.  Never affects ``results.json``.
+    metrics: bool = False
     scan: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -96,10 +101,20 @@ class CampaignSpec:
 
     @classmethod
     def from_scan_config(
-        cls, *, seed: int, n_ases: int, shards: int, config: ScanConfig
+        cls,
+        *,
+        seed: int,
+        n_ases: int,
+        shards: int,
+        config: ScanConfig,
+        metrics: bool = False,
     ) -> "CampaignSpec":
         return cls(
-            seed=seed, n_ases=n_ases, shards=shards, scan=asdict(config)
+            seed=seed,
+            n_ases=n_ases,
+            shards=shards,
+            metrics=metrics,
+            scan=asdict(config),
         )
 
     def scan_config(self) -> ScanConfig:
@@ -111,6 +126,7 @@ class CampaignSpec:
             "seed": self.seed,
             "n_ases": self.n_ases,
             "shards": self.shards,
+            "metrics": self.metrics,
             "scan": dict(self.scan),
         }
 
@@ -121,6 +137,7 @@ class CampaignSpec:
             seed=payload["seed"],
             n_ases=payload["n_ases"],
             shards=payload["shards"],
+            metrics=payload.get("metrics", False),
             scan=dict(payload["scan"]),
         )
 
@@ -166,6 +183,10 @@ class RunDirectory:
     @property
     def report_path(self) -> Path:
         return self.path / "report.txt"
+
+    @property
+    def telemetry_path(self) -> Path:
+        return self.path / "telemetry.json"
 
     # -- manifest --------------------------------------------------------
 
@@ -237,24 +258,65 @@ def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
 
     spec = CampaignSpec.from_payload(payload["spec"])
     shard_id = payload["shard_id"]
-    scenario = build_internet(
-        ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
-    )
-    full = scenario.target_set()
-    shard_targets = TargetSet(
-        targets=[
-            t for t in full.targets if t.asn % spec.shards == shard_id
-        ],
-        stats=full.stats,
-    )
-    config = spec.scan_config()
-    config.pinned_duration = payload["pinned_duration"]
-    scanner, collector = scenario.make_scanner(config, targets=shard_targets)
-    start = perf_counter()
-    scanner.run()
-    wall = perf_counter() - start
+    registry = MetricsRegistry() if spec.metrics else None
+    recorder = SpanRecorder() if spec.metrics else None
+
+    def _scan() -> tuple[Any, Any, float]:
+        with span("scan.shard", shard=shard_id):
+            with span("build"):
+                scenario = build_internet(
+                    ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+                )
+                full = scenario.target_set()
+                shard_targets = TargetSet(
+                    targets=[
+                        t
+                        for t in full.targets
+                        if t.asn % spec.shards == shard_id
+                    ],
+                    stats=full.stats,
+                )
+                config = spec.scan_config()
+                config.pinned_duration = payload["pinned_duration"]
+                scanner, collector = scenario.make_scanner(
+                    config, targets=shard_targets
+                )
+                if registry is not None:
+                    from ..obs.instrument import instrument_scenario
+
+                    instrument_scenario(registry, scenario)
+                    scanner.bind_metrics(registry)
+            with span("run") as run_span:
+                scanner.run()
+            if registry is not None:
+                from ..obs.instrument import harvest_scenario
+
+                harvest_scenario(registry, scenario)
+            return scanner, collector, run_span.wall if run_span else 0.0
+
+    if recorder is not None:
+        with activate(recorder):
+            scanner, collector, wall = _scan()
+        # Per-shard wall time legitimately differs run to run and
+        # between shardings, hence deterministic=False.
+        assert registry is not None
+        registry.histogram(
+            "scan_shard_wall_seconds",
+            "wall-clock seconds each scan shard took",
+            buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
+            deterministic=False,
+        ).observe(wall)
+    else:
+        from time import perf_counter
+
+        start = perf_counter()
+        scanner, collector, run_wall = _scan()
+        # Inline shards (workers=0) run under the parent pipeline's
+        # span recorder, so the run span still measured the scan
+        # proper; detached workers fall back to the outer clock.
+        wall = run_wall if run_wall else perf_counter() - start
     metadata = ScanMetadata.from_scanner(scanner, wall_seconds=wall)
-    return {
+    artifact = {
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "shard_id": shard_id,
         "shards": spec.shards,
@@ -262,6 +324,12 @@ def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
         "metadata": metadata.to_payload(),
         "collection": collector.to_payload(),
     }
+    if registry is not None and recorder is not None:
+        artifact["telemetry"] = {
+            "metrics": registry.to_payload(),
+            "spans": recorder.to_payload(),
+        }
+    return artifact
 
 
 def _global_duration(
@@ -309,6 +377,10 @@ class PipelineOutcome:
     run_dir: Path | None
     stages_run: list[str]
     stages_skipped: list[str]
+    #: full telemetry payload when the spec enabled metrics, else None.
+    #: Lives beside the results (and in ``telemetry.json``), never
+    #: inside them — results stay byte-identical with metrics on or off.
+    telemetry: dict[str, Any] | None = None
 
 
 def run_pipeline(
@@ -338,6 +410,11 @@ def run_pipeline(
     ):
         results = _read_json(rd.results_path)
         report = rd.report_path.read_text()
+        telemetry = (
+            _read_json(rd.telemetry_path)
+            if rd.telemetry_path.exists()
+            else None
+        )
         return PipelineOutcome(
             campaign=None,
             results=results,
@@ -345,80 +422,111 @@ def run_pipeline(
             run_dir=rd.path,
             stages_run=[],
             stages_skipped=list(STAGES),
+            telemetry=telemetry,
         )
 
-    # -- build: the parent's scenario copy (geo/routes/port history are
-    # needed by analyze; the scan workers build their own).
-    from ..scenarios import ScenarioParams, build_internet
+    # Span tracing is always on for the pipeline (its cost is a handful
+    # of perf_counter calls per *stage*); the metrics registry exists
+    # only when the spec asked for telemetry.
+    recorder = SpanRecorder()
+    registry = MetricsRegistry() if spec.metrics else None
 
-    pipeline_start = perf_counter()
-    scenario = build_internet(
-        ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
-    )
-    targets = scenario.target_set()
-    stages_run.append("build")
+    with activate(recorder), span("pipeline"):
+        # -- build: the parent's scenario copy (geo/routes/port history
+        # are needed by analyze; the scan workers build their own).
+        from ..scenarios import ScenarioParams, build_internet
 
-    # -- scan + collect, or reload the merged observations artifact.
-    collector: Collector
-    if rd is not None and rd.observations_path.exists():
-        artifact = _read_json(rd.observations_path)
-        _check_version(artifact, "observations artifact")
-        collector = _fresh_collector(scenario)
-        collector.absorb_payload(artifact["collection"])
-        collector.canonicalize()
-        metadata = ScanMetadata.from_payload(artifact["metadata"])
-        stages_skipped.extend(["scan", "collect"])
-    else:
-        shard_payloads = _run_scan_stage(
-            spec, scenario, targets, rd, workers,
-            stages_run, stages_skipped,
-        )
-        collector = _fresh_collector(scenario)
-        shard_metas = []
-        for payload in shard_payloads:
-            collector.absorb_payload(payload["collection"])
-            shard_metas.append(
-                ScanMetadata.from_payload(payload["metadata"])
+        with span("build"):
+            scenario = build_internet(
+                ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
             )
-        collector.canonicalize()
-        metadata = ScanMetadata.merged(shard_metas)
+            targets = scenario.target_set()
+        stages_run.append("build")
+
+        # -- scan + collect, or reload the merged observations artifact.
+        collector: Collector
+        if rd is not None and rd.observations_path.exists():
+            artifact = _read_json(rd.observations_path)
+            _check_version(artifact, "observations artifact")
+            collector = _fresh_collector(scenario)
+            collector.absorb_payload(artifact["collection"])
+            collector.canonicalize()
+            metadata = ScanMetadata.from_payload(artifact["metadata"])
+            stages_skipped.extend(["scan", "collect"])
+        else:
+            with span("scan"):
+                shard_payloads = _run_scan_stage(
+                    spec, scenario, targets, rd, workers,
+                    stages_run, stages_skipped,
+                )
+                # Fold each shard's telemetry into the campaign-wide
+                # view: metrics merge deterministically, span trees
+                # graft under this scan span.
+                for payload in shard_payloads:
+                    shard_telemetry = payload.get("telemetry")
+                    if shard_telemetry is None:
+                        continue
+                    if registry is not None:
+                        registry.merge_payload(shard_telemetry["metrics"])
+                    for node in shard_telemetry["spans"]["spans"]:
+                        recorder.graft_payload(node)
+            with span("collect"):
+                collector = _fresh_collector(scenario)
+                shard_metas = []
+                for payload in shard_payloads:
+                    collector.absorb_payload(payload["collection"])
+                    shard_metas.append(
+                        ScanMetadata.from_payload(payload["metadata"])
+                    )
+                collector.canonicalize()
+                metadata = ScanMetadata.merged(shard_metas)
+                if rd is not None:
+                    _write_json(
+                        rd.observations_path,
+                        {
+                            "schema_version": ARTIFACT_SCHEMA_VERSION,
+                            "spec": spec.to_payload(),
+                            "metadata": metadata.to_payload(),
+                            "collection": collector.to_payload(),
+                        },
+                    )
+                    rd.mark_stage("collect")
+            stages_run.append("collect")
+
+        # -- analyze
+        metadata.wall_seconds = recorder.elapsed()
+        with span("analyze"):
+            campaign = Campaign(
+                scenario,
+                targets,
+                None,
+                collector,
+                scan_wall_seconds=metadata.wall_seconds,
+                metadata=metadata,
+            )
+            results = campaign.results_dict()
         if rd is not None:
-            _write_json(
-                rd.observations_path,
-                {
-                    "schema_version": ARTIFACT_SCHEMA_VERSION,
-                    "spec": spec.to_payload(),
-                    "metadata": metadata.to_payload(),
-                    "collection": collector.to_payload(),
-                },
-            )
-            rd.mark_stage("collect")
-        stages_run.append("collect")
+            _write_json(rd.results_path, results)
+            rd.mark_stage("analyze")
+        stages_run.append("analyze")
 
-    # -- analyze
-    metadata.wall_seconds = perf_counter() - pipeline_start
-    campaign = Campaign(
-        scenario,
-        targets,
-        None,
-        collector,
-        scan_wall_seconds=metadata.wall_seconds,
-        metadata=metadata,
-    )
-    results = campaign.results_dict()
-    if rd is not None:
-        _write_json(rd.results_path, results)
-        rd.mark_stage("analyze")
-    stages_run.append("analyze")
+        # -- report
+        with span("report"):
+            report = campaign.full_report()
+        if rd is not None:
+            tmp = rd.report_path.with_suffix(".txt.tmp")
+            tmp.write_text(report)
+            os.replace(tmp, rd.report_path)
+            rd.mark_stage("report")
+        stages_run.append("report")
 
-    # -- report
-    report = campaign.full_report()
-    if rd is not None:
-        tmp = rd.report_path.with_suffix(".txt.tmp")
-        tmp.write_text(report)
-        os.replace(tmp, rd.report_path)
-        rd.mark_stage("report")
-    stages_run.append("report")
+    telemetry = None
+    if registry is not None:
+        telemetry = telemetry_payload(
+            registry, recorder, spec=spec.to_payload()
+        )
+        if rd is not None:
+            write_telemetry(rd.telemetry_path, telemetry)
 
     return PipelineOutcome(
         campaign=campaign,
@@ -427,6 +535,7 @@ def run_pipeline(
         run_dir=rd.path if rd is not None else None,
         stages_run=stages_run,
         stages_skipped=stages_skipped,
+        telemetry=telemetry,
     )
 
 

@@ -25,6 +25,7 @@ from ..netsim.addresses import Address, IntervalTable
 from ..netsim.determinism import stable_fraction, stable_hash
 from ..netsim.fabric import Fabric, Host
 from ..netsim.packet import Packet, Transport
+from ..obs.spans import span
 from .followup import FollowUpEngine
 from .qname import Channel, QueryNameCodec
 from .sources import SourceCategory, SpoofedSource, SpoofPlanner
@@ -184,6 +185,35 @@ class Scanner:
         self._probe_stream: Iterator[
             tuple[float, int, int, Address, int, SpoofedSource]
         ] | None = None
+        #: optional scan instruments (see ``bind_metrics``); ``None``
+        #: keeps the probe path at one extra attribute check each.
+        self._mx_sent = None
+        self._mx_suppressed = None
+        self._mx_penetrations = None
+        self._mx_probe_sim = None
+
+    def bind_metrics(self, registry) -> None:
+        """Count probes and penetrations into *registry* from now on.
+
+        All four instruments are content-keyed per target AS, so their
+        shard merges equal the unsharded totals exactly.
+        """
+        self._mx_sent = registry.counter(
+            "scan_probes_sent_total", "spoofed probes put on the wire"
+        )
+        self._mx_suppressed = registry.counter(
+            "scan_probes_suppressed_total",
+            "planned probes withheld by operator opt-outs",
+        )
+        self._mx_penetrations = registry.counter(
+            "scan_penetrations_total",
+            "targets whose spoofed probe reached our authoritative servers",
+        )
+        self._mx_probe_sim = registry.histogram(
+            "scan_probe_sim_seconds",
+            "simulated send time of each probe within the campaign",
+            buckets=(30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1920.0),
+        )
 
     def opt_out(self, prefix) -> None:
         """Stop sending any further queries toward *prefix*."""
@@ -312,8 +342,15 @@ class Scanner:
     def _send_probe(self, target: Address, asn: int, source: Address) -> None:
         if self._opted_out(target):
             self.probes_suppressed += 1
+            mx = self._mx_suppressed
+            if mx is not None:
+                mx.inc()
             return
         self.probes_sent += 1
+        mx = self._mx_sent
+        if mx is not None:
+            mx.inc()
+            self._mx_probe_sim.observe(self.fabric.now)
         qname = self.codec.encode(
             self.fabric.now, source, target, asn, channel=Channel.MAIN
         )
@@ -332,6 +369,9 @@ class Scanner:
         if probe is None:
             return  # open-resolver test or stray; no follow-up trigger
         self._followed_up.add(target)
+        mx = self._mx_penetrations
+        if mx is not None:
+            mx.inc()
         if self.config.enable_followups and not self._opted_out(target):
             self.followups.launch(target, decoded.asn, decoded.src)
 
@@ -339,8 +379,11 @@ class Scanner:
 
     def run(self, *, settle: float = 60.0, max_events: int | None = None) -> None:
         """Run the campaign to completion plus *settle* seconds of drain."""
-        self.schedule_campaign()
-        self.fabric.loop.run(max_events)
+        with span("scan.schedule"):
+            self.schedule_campaign()
+        with span("scan.drain"):
+            self.fabric.loop.run(max_events)
         # Drain any events scheduled by late follow-ups.
-        self.fabric.loop.run_until(self.fabric.now + settle)
-        self.fabric.loop.run(max_events)
+        with span("scan.settle"):
+            self.fabric.loop.run_until(self.fabric.now + settle)
+            self.fabric.loop.run(max_events)

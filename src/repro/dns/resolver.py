@@ -153,6 +153,8 @@ class _ResolutionTask:
     cname_depth: int = 0
     depth: int = 0
     done: bool = False
+    #: simulated time when the task started, for the duration histogram.
+    started_sim: float = 0.0
     #: callbacks of internal (glueless NS) consumers: (rcode, answers).
     internal_callbacks: list = field(default_factory=list)
     #: outstanding sub-resolutions while chasing glueless NS targets.
@@ -218,6 +220,22 @@ class RecursiveResolver(DNSHost):
             "tcp_fallbacks": 0,
             "glueless_chases": 0,
         }
+        #: optional resolution-duration histogram (see ``bind_metrics``).
+        self._mx_task_sim = None
+
+    def bind_metrics(self, registry) -> None:
+        """Record per-resolution simulated durations into *registry*.
+
+        Resolution spans are asynchronous (a task interleaves with all
+        other traffic on the event loop), so wall-clock spans would
+        measure scheduler luck; simulated time is the meaningful — and
+        deterministic — duration of a recursion.
+        """
+        self._mx_task_sim = registry.histogram(
+            "resolver_task_sim_seconds",
+            "simulated seconds from client query to final response",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -298,6 +316,7 @@ class RecursiveResolver(DNSHost):
         # Arm an overall deadline so no pathology (glueless loops, lame
         # delegations, lost packets) can leave clients unanswered.
         assert self.fabric is not None
+        task.started_sim = self.fabric.now
         task.deadline_event = self.fabric.loop.schedule(
             self.config.task_deadline, lambda: self._finish_servfail(task)
         )
@@ -943,6 +962,9 @@ class RecursiveResolver(DNSHost):
         if task.done:
             return
         task.done = True
+        hist = self._mx_task_sim
+        if hist is not None and self.fabric is not None:
+            hist.observe(self.fabric.now - task.started_sim)
         if task.deadline_event is not None and self.fabric is not None:
             self.fabric.loop.cancel(task.deadline_event)
         if task.key is not None:

@@ -45,6 +45,28 @@ class EventLoop:
     #: already run (or been reaped) and can never need a tombstone.
     _last_popped: tuple[float, int] = (float("-inf"), -1)
     events_processed: int = 0
+    #: optional peak-occupancy gauges (see ``bind_metrics``); ``None``
+    #: keeps scheduling at one extra attribute check when disabled.
+    _mx_depth: object | None = field(default=None, repr=False)
+    _mx_tombstones: object | None = field(default=None, repr=False)
+
+    def bind_metrics(self, registry) -> None:
+        """Record peak heap depth and tombstone count into *registry*.
+
+        Occupancy depends on how work interleaves (shards batch probe
+        events differently), so both gauges are excluded from
+        shard-equivalence comparisons.
+        """
+        self._mx_depth = registry.gauge(
+            "eventloop_queue_depth_peak",
+            "largest number of events simultaneously queued",
+            deterministic=False,
+        )
+        self._mx_tombstones = registry.gauge(
+            "eventloop_tombstones_peak",
+            "largest number of pending cancellations",
+            deterministic=False,
+        )
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -62,6 +84,9 @@ class EventLoop:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         seq = next(self._seq)
         heapq.heappush(self._heap, (when, seq, callback))
+        mx = self._mx_depth
+        if mx is not None:
+            mx.set_max(len(self._heap))
         return ScheduledEvent(when, seq)
 
     def schedule_many(
@@ -92,6 +117,9 @@ class EventLoop:
         else:
             for item in added:
                 heapq.heappush(heap, item)
+        mx = self._mx_depth
+        if mx is not None:
+            mx.set_max(len(heap))
         return [ScheduledEvent(when, seq) for when, seq, _ in added]
 
     def cancel(self, event: ScheduledEvent) -> None:
@@ -104,6 +132,9 @@ class EventLoop:
         if (event.when, event.seq) <= self._last_popped:
             return
         self._cancelled.add(event.seq)
+        mx = self._mx_tombstones
+        if mx is not None:
+            mx.set_max(len(self._cancelled))
 
     def pending(self) -> int:
         """Return the number of events still queued (including cancelled)."""

@@ -54,6 +54,43 @@ class Host:
 PacketTap = Callable[[Packet, Host], None]
 
 
+# -- drop reasons ----------------------------------------------------------
+#
+# Every way the fabric can discard a packet names exactly one of these
+# constants.  The same string is used for the ``drop_counts`` key, the
+# ``fabric_drops_total`` metric label, and any diagnostic message, so a
+# count in telemetry can always be traced back to one code path.
+
+#: In-flight loss roll (congestion / rate limiting), content-keyed.
+DROP_LOSS = "loss"
+#: No announcement covers the destination address.
+DROP_NO_ROUTE = "no-route"
+#: A route exists but its origin ASN was never registered as a system.
+DROP_UNROUTED_ASN = "unrouted-asn"
+#: Destination AS reached, but no host is bound at the address.
+DROP_NO_HOST = "no-host"
+#: Border filters (values shared with :class:`BorderVerdict`).
+DROP_OSAV = BorderVerdict.DROP_OSAV.value
+DROP_DSAV = BorderVerdict.DROP_DSAV.value
+DROP_MARTIAN = BorderVerdict.DROP_MARTIAN.value
+DROP_SUBNET_SAV = BorderVerdict.DROP_SUBNET_SAV.value
+
+#: The exhaustive set; ``Fabric._drop`` refuses anything else, so a new
+#: drop path cannot ship without registering its reason here.
+DROP_REASONS = frozenset(
+    {
+        DROP_LOSS,
+        DROP_NO_ROUTE,
+        DROP_UNROUTED_ASN,
+        DROP_NO_HOST,
+        DROP_OSAV,
+        DROP_DSAV,
+        DROP_MARTIAN,
+        DROP_SUBNET_SAV,
+    }
+)
+
+
 @dataclass
 class DropRecord:
     """One dropped packet with the reason it was discarded."""
@@ -88,6 +125,23 @@ class Fabric:
     drop_counts: Counter = field(default_factory=Counter)
     dropped: list[DropRecord] = field(default_factory=list)
     delivered_count: int = 0
+    #: optional observability registry; when unset the per-packet cost
+    #: of the instrumentation below is a single attribute check.
+    metrics: object | None = field(default=None, repr=False)
+    _mx_delivered: object | None = field(default=None, repr=False)
+    _mx_drops: object | None = field(default=None, repr=False)
+
+    def bind_metrics(self, registry) -> None:
+        """Collect delivery/drop counters into *registry* from now on."""
+        self.metrics = registry
+        self._mx_delivered = registry.counter(
+            "fabric_delivered_total", "packets handed to a bound host"
+        )
+        self._mx_drops = registry.counter(
+            "fabric_drops_total",
+            "packets discarded, by drop reason and border ASN",
+            ("reason", "asn"),
+        )
 
     # -- topology construction -------------------------------------------
 
@@ -158,11 +212,11 @@ class Fabric:
             )
         dst_route = self.routes.lookup(packet.dst)
         if dst_route is None:
-            self._drop(packet, "no-route", None)
+            self._drop(packet, DROP_NO_ROUTE, None)
             return
         dest_as = self._systems.get(dst_route.asn)
         if dest_as is None:
-            self._drop(packet, "no-route", dst_route.asn)
+            self._drop(packet, DROP_UNROUTED_ASN, dst_route.asn)
             return
 
         crossing_border = dest_as.asn != origin_as.asn
@@ -179,11 +233,11 @@ class Fabric:
 
         target = self._hosts.get(packet.dst)
         if target is None:
-            self._drop(packet, "no-host", dest_as.asn)
+            self._drop(packet, DROP_NO_HOST, dest_as.asn)
             return
 
         if self.loss_rate > 0 and self._loss_roll(packet) < self.loss_rate:
-            self._drop(packet, "loss", None)
+            self._drop(packet, DROP_LOSS, None)
             return
 
         for tap in self._taps:
@@ -193,6 +247,9 @@ class Fabric:
 
     def _deliver(self, target: Host, packet: Packet) -> None:
         self.delivered_count += 1
+        mx = self._mx_delivered
+        if mx is not None:
+            mx.inc()
         target.handle_packet(packet)
 
     def _loss_roll(self, packet: Packet) -> float:
@@ -217,7 +274,11 @@ class Fabric:
         )
 
     def _drop(self, packet: Packet, reason: str, asn: int | None) -> None:
+        assert reason in DROP_REASONS, f"unregistered drop reason {reason!r}"
         self.drop_counts[reason] += 1
+        mx = self._mx_drops
+        if mx is not None:
+            mx.inc(1, (reason, "" if asn is None else str(asn)))
         if self.record_drops:
             self.dropped.append(DropRecord(packet, reason, asn))
 

@@ -90,6 +90,28 @@ class RoutingTable:
     _cache: dict[tuple[int, int], Announcement | None] = field(
         default_factory=dict, repr=False
     )
+    #: optional route-cache instruments (see ``bind_metrics``); ``None``
+    #: keeps the lookup fast path at one extra attribute check.
+    _mx_hits: object | None = field(default=None, repr=False)
+    _mx_misses: object | None = field(default=None, repr=False)
+
+    def bind_metrics(self, registry) -> None:
+        """Count route-cache hits/misses into *registry* from now on.
+
+        Cache behaviour depends on how much other traffic shared the
+        table (a shard sees only its own lookups), so these counters
+        are excluded from shard-equivalence comparisons.
+        """
+        self._mx_hits = registry.counter(
+            "routing_cache_hits_total",
+            "compiled-LPM route cache hits",
+            deterministic=False,
+        )
+        self._mx_misses = registry.counter(
+            "routing_cache_misses_total",
+            "compiled-LPM route cache misses (bisect lookups)",
+            deterministic=False,
+        )
 
     def announce(self, prefix: Network | str, asn: int) -> Announcement:
         """Install an origination of *prefix* by *asn*; return the entry."""
@@ -201,7 +223,13 @@ class RoutingTable:
         key = (address.version, value)
         cached = self._cache.get(key, _CACHE_MISS)
         if cached is not _CACHE_MISS:
+            mx = self._mx_hits
+            if mx is not None:
+                mx.inc()
             return cached  # type: ignore[return-value]
+        mx = self._mx_misses
+        if mx is not None:
+            mx.inc()
         if self._dirty:
             self.compile()
         starts, ends, owners = self._compiled[address.version]

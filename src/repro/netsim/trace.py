@@ -150,6 +150,29 @@ class PacketTrace:
         entries = self.entries if limit is None else self.entries[:limit]
         return "\n".join(entry.render() for entry in entries)
 
+    def summary(self) -> dict:
+        """Aggregate view of the capture: totals and per-key breakdowns.
+
+        Returns ``entries`` (captured count), ``dropped_by_cap``,
+        ``bytes``, plus ``by_transport`` and ``by_host`` count dicts,
+        each sorted by key so the summary is stable across runs.
+        """
+        by_transport: dict[str, int] = {}
+        by_host: dict[str, int] = {}
+        total_bytes = 0
+        for entry in self.entries:
+            key = entry.transport.value
+            by_transport[key] = by_transport.get(key, 0) + 1
+            by_host[entry.host] = by_host.get(entry.host, 0) + 1
+            total_bytes += entry.size
+        return {
+            "entries": len(self.entries),
+            "dropped_by_cap": self.dropped_by_cap,
+            "bytes": total_bytes,
+            "by_transport": dict(sorted(by_transport.items())),
+            "by_host": dict(sorted(by_host.items())),
+        }
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: Path | str) -> int:

@@ -1,0 +1,40 @@
+"""Campaign observability: metrics, span tracing, and telemetry export.
+
+The paper's six-week measurement was only auditable because every stage
+left counts behind — probes sent, responses seen, follow-ups fired.
+This package gives the reproduction the same property:
+
+``metrics``
+    A process-local :class:`MetricsRegistry` of counters, gauges and
+    fixed-bucket histograms, cheap enough for the packet hot path and
+    mergeable across shard worker processes.
+``spans``
+    Lightweight wall/sim-time span tracing
+    (``with span("scan.shard", shard=3):``) recording a tree of where
+    the time went.
+``export``
+    Renders a registry as Prometheus text format and bundles registry
+    plus span tree into the versioned ``telemetry.json`` artifact the
+    staged pipeline writes next to its stage artifacts.
+``instrument``
+    Wires a registry through an already-built scenario (fabric,
+    routing, event loop, resolvers) and harvests end-of-run counters.
+
+Telemetry is strictly observational: it never enters
+``results_dict``, so campaign results stay byte-identical with metrics
+on or off, and the shard-equivalence guarantee is untouched.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, SpanRecorder, activate, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "activate",
+    "span",
+]

@@ -1,0 +1,96 @@
+"""Wiring a :class:`MetricsRegistry` through a built scenario.
+
+Two phases:
+
+:func:`instrument_scenario`
+    Bind live instruments into the hot paths *before* a scan runs —
+    fabric delivery/drop counters, routing-cache hit/miss counters,
+    event-loop occupancy gauges, resolver resolution-time histograms.
+    Each component keeps a direct reference to its instrument (or
+    ``None``), so the disabled cost stays one attribute check.
+
+:func:`harvest_scenario`
+    After the scan, fold end-of-run counters that would be too hot (or
+    pointless) to mirror live: resolver ``stats`` dicts, DNS cache
+    hit/miss totals, and the event loop's processed-event count.
+    Harvested sums are aggregated across hosts — per-resolver label
+    cardinality would dwarf the data being described.
+
+Determinism labelling: anything whose value depends on how traffic was
+interleaved across shard processes (route cache hits, queue depths,
+event counts — batching differs per shard) is registered with
+``deterministic=False`` and excluded from shard-equivalence checks.
+Per-AS traffic, loss rolls, drops and resolver behaviour are pure
+functions of (seed, content) and partition cleanly across shards, so
+those counters merge to exactly the single-process values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..scenarios.internet import BuiltScenario
+
+
+def instrument_scenario(
+    registry: MetricsRegistry, scenario: "BuiltScenario"
+) -> None:
+    """Bind hot-path instruments into *scenario*'s components."""
+    from ..dns.resolver import RecursiveResolver
+
+    scenario.fabric.bind_metrics(registry)
+    scenario.fabric.loop.bind_metrics(registry)
+    scenario.routes.bind_metrics(registry)
+    for host in _hosts(scenario):
+        if isinstance(host, RecursiveResolver):
+            host.bind_metrics(registry)
+
+
+def harvest_scenario(
+    registry: MetricsRegistry, scenario: "BuiltScenario"
+) -> None:
+    """Fold end-of-run counters from *scenario* into *registry*."""
+    from ..dns.resolver import RecursiveResolver
+
+    resolver_stats = registry.counter(
+        "resolver_events_total",
+        "recursive-resolver activity summed over all resolvers",
+        ("event",),
+    )
+    cache_hits = registry.counter(
+        "dns_cache_hits_total", "DNS cache hits across all resolvers"
+    )
+    cache_misses = registry.counter(
+        "dns_cache_misses_total", "DNS cache misses across all resolvers"
+    )
+    for host in _hosts(scenario):
+        if not isinstance(host, RecursiveResolver):
+            continue
+        for event, count in host.stats.items():
+            if count:
+                resolver_stats.inc(count, (event,))
+        if host.cache is not None:
+            if host.cache.hits:
+                cache_hits.inc(host.cache.hits)
+            if host.cache.misses:
+                cache_misses.inc(host.cache.misses)
+
+    # Event totals differ between shardings (the probe scheduler's
+    # pacing events batch differently), hence deterministic=False.
+    registry.counter(
+        "eventloop_events_total",
+        "callbacks the event loop has run",
+        deterministic=False,
+    ).inc(scenario.fabric.loop.events_processed)
+
+
+def _hosts(scenario: "BuiltScenario"):
+    """Every distinct host attached to the scenario's fabric."""
+    seen: set[int] = set()
+    for host in scenario.fabric._hosts.values():
+        if id(host) not in seen:
+            seen.add(id(host))
+            yield host

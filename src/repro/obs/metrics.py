@@ -1,0 +1,374 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order of importance:
+
+1. **Hot-path cheapness.**  Instrumented components hold a direct
+   reference to their instrument (or ``None`` when collection is
+   disabled), so the disabled cost is a single attribute check and the
+   enabled cost is one dict upsert.  No locks — the simulation is
+   single-threaded per process.
+2. **Deterministic merging.**  Shard worker processes each fill their
+   own registry; the parent folds the serialized payloads together.
+   Counters and histograms sum, gauges take the element-wise maximum
+   (they record peaks), and every serialization is sorted so the merged
+   payload is byte-stable regardless of shard completion order.
+3. **Determinism labelling.**  A metric registered with
+   ``deterministic=False`` (wall-clock timings, queue depths, cache
+   occupancy — anything that legitimately differs between an N-shard
+   and a 1-shard run of the same campaign) is excluded from the
+   shard-equivalence comparison; everything else must merge to exactly
+   the single-process values.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+#: Version stamped into every registry payload.
+METRICS_SCHEMA_VERSION = 1
+
+#: Label values are stored as tuples of strings in sample keys.
+LabelValues = tuple[str, ...]
+
+
+class Metric:
+    """Common state for one named family of samples."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "label_names", "deterministic", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        *,
+        deterministic: bool = True,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.deterministic = deterministic
+        self._values: dict[LabelValues, Any] = {}
+
+    def value(self, labels: LabelValues = ()) -> Any:
+        """Return the sample for *labels* (KeyError if never touched)."""
+        return self._values[labels]
+
+    def samples(self) -> list[tuple[LabelValues, Any]]:
+        """All samples, sorted by label values for stable output."""
+        return sorted(self._values.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"samples={len(self._values)})"
+        )
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, amount: int = 1, labels: LabelValues = ()) -> None:
+        values = self._values
+        values[labels] = values.get(labels, 0) + amount
+
+
+class Gauge(Metric):
+    """Point-in-time value; merge semantics keep the peak."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, labels: LabelValues = ()) -> None:
+        self._values[labels] = value
+
+    def set_max(self, value: float, labels: LabelValues = ()) -> None:
+        """Record *value* only if it exceeds the current sample."""
+        values = self._values
+        current = values.get(labels)
+        if current is None or value > current:
+            values[labels] = value
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram: cumulative-style buckets plus sum/count.
+
+    Bucket boundaries are upper bounds, fixed at registration time; an
+    implicit ``+Inf`` bucket catches the tail.  Samples are stored
+    per-bucket (not cumulative) and rendered cumulatively for
+    Prometheus.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...],
+        deterministic: bool = True,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be non-empty and sorted: {buckets}")
+        super().__init__(
+            name, help, label_names, deterministic=deterministic
+        )
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, labels: LabelValues = ()) -> None:
+        sample = self._values.get(labels)
+        if sample is None:
+            sample = {
+                "counts": [0] * (len(self.buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+            self._values[labels] = sample
+        sample["counts"][bisect_left(self.buckets, value)] += 1
+        sample["sum"] += value
+        sample["count"] += 1
+
+
+class MetricsRegistry:
+    """One process's worth of metrics, mergeable across processes.
+
+    Instruments are created (or retrieved) by name; re-registering a
+    name with a different kind or label set is a bug and raises.
+    Components that want hot-path collection bind the instrument object
+    once and keep a direct reference; a ``None`` reference is the
+    disabled state, so disabled overhead is one attribute check.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        *,
+        deterministic: bool = True,
+    ) -> Counter:
+        return self._register(
+            Counter, name, help, label_names, deterministic=deterministic
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        *,
+        deterministic: bool = True,
+    ) -> Gauge:
+        return self._register(
+            Gauge, name, help, label_names, deterministic=deterministic
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...],
+        deterministic: bool = True,
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check_compatible(existing, Histogram, label_names)
+            assert isinstance(existing, Histogram)
+            if existing.buckets != tuple(float(b) for b in buckets):
+                raise ValueError(
+                    f"metric {name} re-registered with different buckets"
+                )
+            return existing
+        metric = Histogram(
+            name,
+            help,
+            label_names,
+            buckets=buckets,
+            deterministic=deterministic,
+        )
+        self._metrics[name] = metric
+        return metric
+
+    def _register(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        *,
+        deterministic: bool,
+    ):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check_compatible(existing, cls, label_names)
+            return existing
+        metric = cls(name, help, label_names, deterministic=deterministic)
+        self._metrics[name] = metric
+        return metric
+
+    @staticmethod
+    def _check_compatible(
+        existing: Metric, cls: type, label_names: tuple[str, ...]
+    ) -> None:
+        if type(existing) is not cls:
+            raise ValueError(
+                f"metric {existing.name} already registered as "
+                f"{existing.kind}, not {cls.kind}"
+            )
+        if existing.label_names != tuple(label_names):
+            raise ValueError(
+                f"metric {existing.name} already registered with labels "
+                f"{existing.label_names}, not {tuple(label_names)}"
+            )
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def metrics(self) -> list[Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serializable dump, fully sorted for byte stability."""
+        families = []
+        for metric in self.metrics():
+            family: dict[str, Any] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "deterministic": metric.deterministic,
+                "samples": [
+                    [list(labels), value]
+                    for labels, value in metric.samples()
+                ],
+            }
+            if isinstance(metric, Histogram):
+                family["buckets"] = list(metric.buckets)
+            families.append(family)
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": families,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_payload(payload)
+        return registry
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a serialized registry into this one.
+
+        Counters and histogram cells sum; gauges keep the maximum.
+        Metric definitions must agree (same kind, labels, buckets).
+        """
+        version = payload.get("schema_version")
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics payload has schema_version={version!r}, "
+                f"this code reads version {METRICS_SCHEMA_VERSION}"
+            )
+        for family in payload["metrics"]:
+            name = family["name"]
+            kind = family["kind"]
+            label_names = tuple(family["label_names"])
+            deterministic = family.get("deterministic", True)
+            if kind == "counter":
+                metric: Metric = self.counter(
+                    name, family.get("help", ""), label_names,
+                    deterministic=deterministic,
+                )
+                for labels, value in family["samples"]:
+                    metric._values[tuple(labels)] = (
+                        metric._values.get(tuple(labels), 0) + value
+                    )
+            elif kind == "gauge":
+                metric = self.gauge(
+                    name, family.get("help", ""), label_names,
+                    deterministic=deterministic,
+                )
+                for labels, value in family["samples"]:
+                    key = tuple(labels)
+                    current = metric._values.get(key)
+                    if current is None or value > current:
+                        metric._values[key] = value
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, family.get("help", ""), label_names,
+                    buckets=tuple(family["buckets"]),
+                    deterministic=deterministic,
+                )
+                for labels, sample in family["samples"]:
+                    key = tuple(labels)
+                    mine = metric._values.get(key)
+                    if mine is None:
+                        metric._values[key] = {
+                            "counts": list(sample["counts"]),
+                            "sum": sample["sum"],
+                            "count": sample["count"],
+                        }
+                    else:
+                        mine["counts"] = [
+                            a + b
+                            for a, b in zip(mine["counts"], sample["counts"])
+                        ]
+                        mine["sum"] += sample["sum"]
+                        mine["count"] += sample["count"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_payload(other.to_payload())
+
+
+def deterministic_samples(payload: dict) -> dict:
+    """The shard-order-independent slice of a registry payload.
+
+    Returns ``{metric name: samples}`` for every metric flagged
+    ``deterministic`` — the set that must be identical between an
+    N-shard and a 1-shard run of the same campaign.  Wall-clock and
+    occupancy metrics (``deterministic=False``) are excluded, and so is
+    each histogram's float ``sum``: the observations themselves are
+    deterministic, but float addition is order-sensitive, so summing
+    per shard and merging lands within a few ULPs of — not exactly at —
+    the single-process total.  Bucket counts and ``count`` are integers
+    and compare exactly.
+    """
+    slice_: dict = {}
+    for family in payload["metrics"]:
+        if not family.get("deterministic", True):
+            continue
+        if family["kind"] == "histogram":
+            slice_[family["name"]] = [
+                [labels, {"counts": value["counts"], "count": value["count"]}]
+                for labels, value in family["samples"]
+            ]
+        else:
+            slice_[family["name"]] = family["samples"]
+    return slice_

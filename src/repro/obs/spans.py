@@ -1,0 +1,260 @@
+"""Lightweight span tracing: where did the wall (and sim) time go.
+
+A :class:`SpanRecorder` records a tree of named spans::
+
+    recorder = SpanRecorder()
+    with activate(recorder):
+        with span("scan.shard", shard=3):
+            with span("build"):
+                ...
+            with span("run") as run_span:
+                scanner.run()
+    print(recorder.render())
+
+``span()`` is a free function that looks up the *active* recorder so
+deep call sites (the scanner's drain loop, pipeline stages) don't need
+a recorder threaded through their signatures.  With no recorder active
+it returns a shared no-op context manager — the disabled cost is one
+module-global read.
+
+Spans record wall-clock duration always, and simulated-time duration
+when the recorder has a ``sim_clock`` bound (typically
+``lambda: fabric.loop.now``).  Worker processes serialize their span
+trees with :meth:`SpanRecorder.to_payload`; the parent grafts them into
+its own tree with :meth:`SpanRecorder.graft_payload`, producing one
+campaign-wide trace.
+
+Span timings are *not* part of the deterministic telemetry contract:
+wall durations legitimately differ run to run and are excluded from
+shard-equivalence comparisons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from time import perf_counter
+
+#: Version stamped into serialized span trees.
+SPANS_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One timed region; durations are filled when the region exits."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    #: seconds since the recorder started when this span began.
+    start: float = 0.0
+    #: wall-clock duration in seconds.
+    wall: float = 0.0
+    #: simulated-time duration in seconds (None without a sim clock).
+    sim: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start": self.start,
+            "wall": self.wall,
+            "sim": self.sim,
+            "children": [child.to_payload() for child in self.children],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            start=payload.get("start", 0.0),
+            wall=payload.get("wall", 0.0),
+            sim=payload.get("sim"),
+            children=[
+                cls.from_payload(child)
+                for child in payload.get("children", ())
+            ],
+        )
+
+
+class _SpanContext:
+    """Context manager for one span; yields the :class:`Span` object."""
+
+    __slots__ = ("_recorder", "_span", "_wall_start", "_sim_start")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> Span:
+        recorder = self._recorder
+        span = self._span
+        self._wall_start = perf_counter()
+        span.start = self._wall_start - recorder._t0
+        clock = recorder.sim_clock
+        self._sim_start = clock() if clock is not None else None
+        recorder._open(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.wall = perf_counter() - self._wall_start
+        clock = self._recorder.sim_clock
+        if clock is not None and self._sim_start is not None:
+            span.sim = clock() - self._sim_start
+        self._recorder._close(span)
+        return False
+
+
+class _NullSpan:
+    """No-op context manager used when no recorder is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects a tree of spans for one process."""
+
+    def __init__(
+        self, sim_clock: Callable[[], float] | None = None
+    ) -> None:
+        self.sim_clock = sim_clock
+        self._t0 = perf_counter()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        return _SpanContext(self, Span(name, attrs))
+
+    def _open(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate out-of-order exits (an exception unwinding through
+        # several spans closes them innermost-first anyway).
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    def graft_payload(self, payload: dict) -> Span:
+        """Attach a serialized span tree (e.g. from a shard worker)
+        under the currently open span, or as a root."""
+        span = Span.from_payload(payload)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since this recorder was created."""
+        return perf_counter() - self._t0
+
+    # -- output ----------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "schema_version": SPANS_SCHEMA_VERSION,
+            "spans": [span.to_payload() for span in self.roots],
+        }
+
+    def render(self) -> str:
+        return render_span_nodes(self.to_payload()["spans"])
+
+    def find(self, name: str) -> Span | None:
+        """Depth-first search for the first span called *name*."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            if span.name == name:
+                return span
+            stack.extend(reversed(span.children))
+        return None
+
+
+def render_span_nodes(nodes: list[dict]) -> str:
+    """Indented flame-style summary of serialized span trees.
+
+    Each line shows wall seconds, the share of the parent's wall time,
+    sim-time seconds when recorded, and any span attributes.
+    """
+    lines: list[str] = []
+
+    def visit(node: dict, depth: int, parent_wall: float | None) -> None:
+        wall = node.get("wall", 0.0)
+        share = (
+            f" {wall / parent_wall:5.1%}"
+            if parent_wall
+            else "       "
+        )
+        sim = node.get("sim")
+        sim_text = f"  sim={sim:.2f}s" if sim is not None else ""
+        attrs = node.get("attrs") or {}
+        attr_text = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{wall:9.3f}s{share}  {'  ' * depth}{node['name']}"
+            f"{attr_text}{sim_text}"
+        )
+        for child in node.get("children", ()):
+            visit(child, depth + 1, wall)
+
+    for node in nodes:
+        visit(node, 0, None)
+    return "\n".join(lines)
+
+
+#: The active recorder :func:`span` reports to, if any.
+_ACTIVE: SpanRecorder | None = None
+
+
+class _Activation:
+    """Context manager installing a recorder as the active one."""
+
+    __slots__ = ("_recorder", "_previous")
+
+    def __init__(self, recorder: SpanRecorder) -> None:
+        self._recorder = recorder
+
+    def __enter__(self) -> SpanRecorder:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._recorder
+        return self._recorder
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False
+
+
+def activate(recorder: SpanRecorder) -> _Activation:
+    """Make *recorder* the target of :func:`span` within a ``with``."""
+    return _Activation(recorder)
+
+
+def span(name: str, **attrs):
+    """Open a span on the active recorder, or do nothing if none is."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, **attrs)

@@ -1,0 +1,176 @@
+"""Campaign telemetry: shard-merge equivalence of the deterministic
+metric slice, the telemetry.json artifact, and the guarantee that
+collecting metrics never perturbs campaign results.
+
+One metrics-on 1-shard run, one metrics-on 4-shard run, and one
+metrics-off baseline execute once per module and are shared read-only.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, RunDirectory, run_pipeline
+from repro.obs.export import (
+    deterministic_counters,
+    load_telemetry,
+    validate_telemetry,
+)
+
+SEED = 7
+N_ASES = 40
+DURATION = 40.0
+
+
+def minus_provenance(results: dict) -> dict:
+    return {k: v for k, v in results.items() if k != "provenance"}
+
+
+def spec_for(shards: int, metrics: bool = True) -> CampaignSpec:
+    return CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=shards,
+        config=ScanConfig(duration=DURATION),
+        metrics=metrics,
+    )
+
+
+@pytest.fixture(scope="module")
+def one_shard(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("telemetry-one")
+    return run_dir, run_pipeline(spec_for(1), run_dir=run_dir, workers=0)
+
+
+@pytest.fixture(scope="module")
+def four_shard(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("telemetry-four")
+    return run_dir, run_pipeline(spec_for(4), run_dir=run_dir, workers=0)
+
+
+@pytest.fixture(scope="module")
+def metrics_off():
+    return run_pipeline(spec_for(1, metrics=False), workers=0)
+
+
+# -- the deterministic shard-merge contract --------------------------------
+
+
+def test_four_shard_deterministic_slice_matches_one_shard(
+    one_shard, four_shard
+):
+    _, o1 = one_shard
+    _, o4 = four_shard
+    d1 = deterministic_counters(o1.telemetry)
+    d4 = deterministic_counters(o4.telemetry)
+    assert d1 == d4
+
+
+def test_deterministic_slice_actually_covers_the_campaign(one_shard):
+    """Guard against the equivalence passing vacuously."""
+    _, outcome = one_shard
+    slice_ = deterministic_counters(outcome.telemetry)
+    assert any(
+        name.startswith("fabric_drops_total") for name in slice_
+    )
+    assert slice_["scan_probes_sent_total"][0][1] > 0
+    assert slice_["fabric_delivered_total"][0][1] > 0
+    assert slice_["resolver_task_sim_seconds"][0][1]["count"] > 0
+
+
+def test_nondeterministic_metrics_are_flagged(one_shard):
+    _, outcome = one_shard
+    flags = {
+        family["name"]: family["deterministic"]
+        for family in outcome.telemetry["metrics"]["metrics"]
+    }
+    for name in (
+        "routing_cache_hits_total",
+        "routing_cache_misses_total",
+        "eventloop_queue_depth_peak",
+        "eventloop_events_total",
+        "scan_shard_wall_seconds",
+    ):
+        assert flags[name] is False, name
+    for name in (
+        "fabric_delivered_total",
+        "fabric_drops_total",
+        "scan_probes_sent_total",
+        "scan_penetrations_total",
+        "resolver_task_sim_seconds",
+        "dns_cache_hits_total",
+    ):
+        assert flags[name] is True, name
+
+
+# -- the telemetry artifact ------------------------------------------------
+
+
+def test_telemetry_json_written_and_valid(one_shard, four_shard):
+    for run_dir, outcome in (one_shard, four_shard):
+        path = RunDirectory(run_dir).telemetry_path
+        assert path.exists()
+        payload = load_telemetry(path)
+        validate_telemetry(payload)
+        assert payload == outcome.telemetry
+        assert payload["spec"]["seed"] == SEED
+
+
+def test_span_tree_covers_pipeline_stages(one_shard):
+    _, outcome = one_shard
+    roots = outcome.telemetry["spans"]["spans"]
+    assert [r["name"] for r in roots] == ["pipeline"]
+    stage_names = [c["name"] for c in roots[0]["children"]]
+    assert stage_names == ["build", "scan", "collect", "analyze", "report"]
+    scan = roots[0]["children"][1]
+    shard_spans = [c for c in scan["children"] if c["name"] == "scan.shard"]
+    assert len(shard_spans) == 1
+    assert shard_spans[0]["attrs"] == {"shard": 0}
+    assert [c["name"] for c in shard_spans[0]["children"]] == ["build", "run"]
+
+
+def test_four_shard_span_tree_grafts_every_shard(four_shard):
+    _, outcome = four_shard
+    scan = outcome.telemetry["spans"]["spans"][0]["children"][1]
+    shards = sorted(
+        c["attrs"]["shard"]
+        for c in scan["children"]
+        if c["name"] == "scan.shard"
+    )
+    assert shards == [0, 1, 2, 3]
+
+
+def test_shard_artifacts_carry_telemetry(four_shard):
+    run_dir, _ = four_shard
+    rd = RunDirectory(run_dir)
+    for shard_id in range(4):
+        artifact = json.loads(rd.shard_path(shard_id).read_text())
+        telemetry = artifact["telemetry"]
+        assert telemetry["metrics"]["metrics"]
+        assert telemetry["spans"]["spans"][0]["name"] == "scan.shard"
+
+
+# -- results are never perturbed -------------------------------------------
+
+
+def test_results_identical_with_metrics_on_and_off(one_shard, metrics_off):
+    _, on = one_shard
+    a = json.dumps(minus_provenance(on.results), sort_keys=True)
+    b = json.dumps(minus_provenance(metrics_off.results), sort_keys=True)
+    assert a == b
+
+
+def test_metrics_off_produces_no_telemetry(metrics_off, tmp_path):
+    assert metrics_off.telemetry is None
+    spec = spec_for(1, metrics=False)
+    outcome = run_pipeline(spec, run_dir=tmp_path / "off", workers=0)
+    assert outcome.telemetry is None
+    assert not RunDirectory(tmp_path / "off").telemetry_path.exists()
+
+
+def test_resume_serves_telemetry_from_disk(one_shard):
+    run_dir, first = one_shard
+    again = run_pipeline(spec_for(1), run_dir=run_dir, workers=0)
+    assert again.stages_run == []
+    assert again.telemetry == first.telemetry

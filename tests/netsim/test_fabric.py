@@ -4,8 +4,16 @@ from ipaddress import ip_address
 
 import pytest
 
-from repro.netsim.autonomous_system import AutonomousSystem
-from repro.netsim.fabric import Fabric, Host
+from repro.netsim.autonomous_system import AutonomousSystem, BorderVerdict
+from repro.netsim.fabric import (
+    DROP_LOSS,
+    DROP_NO_HOST,
+    DROP_NO_ROUTE,
+    DROP_REASONS,
+    DROP_UNROUTED_ASN,
+    Fabric,
+    Host,
+)
 from repro.netsim.packet import Packet
 
 
@@ -313,6 +321,86 @@ def test_duplicate_asn_rejected():
     fabric.add_system(AutonomousSystem(5))
     with pytest.raises(ValueError):
         fabric.add_system(AutonomousSystem(5))
+
+
+def test_drop_reasons_are_exhaustive():
+    """Every drop path names a registered constant, and vice versa.
+
+    Border-filter verdicts share their string values with the fabric's
+    constants, so a new ``BorderVerdict`` member (or a new drop path in
+    ``Fabric``) cannot ship without updating ``DROP_REASONS``.
+    """
+    border_reasons = {
+        verdict.value
+        for verdict in BorderVerdict
+        if verdict is not BorderVerdict.ACCEPT
+    }
+    assert border_reasons <= DROP_REASONS
+    assert DROP_REASONS == border_reasons | {
+        DROP_LOSS, DROP_NO_ROUTE, DROP_UNROUTED_ASN, DROP_NO_HOST,
+    }
+
+
+def test_unregistered_drop_reason_rejected():
+    fabric, sender, _ = build_two_as_fabric(dsav=False)
+    packet = Packet(
+        src=ip_address("20.0.0.1"), dst=ip_address("30.0.0.1"),
+        sport=1, dport=2, payload=b"x",
+    )
+    with pytest.raises(AssertionError, match="unregistered drop reason"):
+        fabric._drop(packet, "made-up-reason", None)
+
+
+def test_unrouted_asn_drop_distinct_from_no_route():
+    """A route whose origin AS was never registered is its own reason."""
+    fabric, sender, _ = build_two_as_fabric(dsav=False)
+    fabric.routes.announce("99.0.0.0/16", 77)  # no add_system(77)
+    sender.send(
+        Packet(
+            src=ip_address("20.0.0.1"),
+            dst=ip_address("99.0.0.1"),
+            sport=1,
+            dport=2,
+            payload=b"x",
+        )
+    )
+    fabric.run()
+    assert fabric.drop_counts[DROP_UNROUTED_ASN] == 1
+    assert fabric.drop_counts[DROP_NO_ROUTE] == 0
+
+
+def test_bound_metrics_mirror_drop_counts():
+    from repro.obs.metrics import MetricsRegistry
+
+    fabric, sender, receiver = build_two_as_fabric(dsav=True)
+    registry = MetricsRegistry()
+    fabric.bind_metrics(registry)
+    sender.send(  # delivered
+        Packet(
+            src=ip_address("20.0.0.1"), dst=ip_address("30.0.0.1"),
+            sport=1, dport=2, payload=b"ok",
+        )
+    )
+    sender.send(  # DSAV drop at AS 2's border
+        Packet(
+            src=ip_address("30.0.5.5"), dst=ip_address("30.0.0.1"),
+            sport=1, dport=2, payload=b"spoof",
+        )
+    )
+    sender.send(  # no route at all
+        Packet(
+            src=ip_address("20.0.0.1"), dst=ip_address("99.0.0.1"),
+            sport=1, dport=2, payload=b"lost",
+        )
+    )
+    fabric.run()
+    delivered = registry.get("fabric_delivered_total")
+    drops = registry.get("fabric_drops_total")
+    assert delivered.value() == fabric.delivered_count == 1
+    assert drops.value(("drop-dsav", "2")) == 1
+    assert drops.value((DROP_NO_ROUTE, "")) == 1
+    total_dropped = sum(value for _, value in drops.samples())
+    assert total_dropped == sum(fabric.drop_counts.values())
 
 
 def test_send_unregistered_origin_asn_raises_clearly():

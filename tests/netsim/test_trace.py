@@ -139,3 +139,31 @@ def test_entry_json_roundtrip():
         transport=Transport.TCP, size=77, host="b",
     )
     assert TraceEntry.from_json(entry.to_json()) == entry
+
+
+def test_summary_counts_per_transport_and_host():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric).start()
+    send(a, B_ADDR)
+    send(a, B_ADDR, payload=b"abc")
+    send(b, A_ADDR)
+    fabric.run()
+    summary = trace.summary()
+    assert summary["entries"] == 3
+    assert summary["dropped_by_cap"] == 0
+    assert summary["bytes"] == 2 + 3 + 2
+    assert summary["by_transport"] == {"udp": 3}
+    assert summary["by_host"] == {"a": 1, "b": 2}
+    # Keys are sorted for stable output.
+    assert list(summary["by_host"]) == sorted(summary["by_host"])
+
+
+def test_summary_reflects_cap_drops():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric, max_entries=1).start()
+    send(a, B_ADDR)
+    send(a, B_ADDR)
+    fabric.run()
+    summary = trace.summary()
+    assert summary["entries"] == 1
+    assert summary["dropped_by_cap"] == 1

@@ -1,0 +1,107 @@
+"""Tests for telemetry export: schema validation, Prometheus, rendering."""
+
+import pytest
+
+from repro.obs.export import (
+    load_telemetry,
+    payload_to_prometheus,
+    render_telemetry,
+    telemetry_payload,
+    to_prometheus,
+    validate_telemetry,
+    write_telemetry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "fabric_drops_total", "drops", ("reason", "asn")
+    ).inc(4, ("loss", ""))
+    registry.gauge("depth_peak").set_max(12)
+    hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+def test_write_load_roundtrip(tmp_path):
+    recorder = SpanRecorder()
+    with recorder.span("pipeline"):
+        pass
+    payload = telemetry_payload(
+        sample_registry(), recorder, spec={"seed": 7}
+    )
+    path = tmp_path / "telemetry.json"
+    write_telemetry(path, payload)
+    assert load_telemetry(path) == payload
+
+
+def test_write_refuses_invalid(tmp_path):
+    with pytest.raises(ValueError, match="invalid telemetry"):
+        write_telemetry(tmp_path / "t.json", {"kind": "telemetry"})
+    assert not (tmp_path / "t.json").exists()
+
+
+def test_validate_diagnoses_malformations():
+    good = telemetry_payload(sample_registry())
+    validate_telemetry(good)
+
+    bad = dict(good, kind="something-else")
+    with pytest.raises(ValueError, match="kind"):
+        validate_telemetry(bad)
+
+    bad = dict(good, schema_version=99)
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_telemetry(bad)
+
+    import copy
+
+    bad = copy.deepcopy(good)
+    bad["metrics"]["metrics"][0]["samples"] = [[["only-one-label"], 1]]
+    with pytest.raises(ValueError, match="label"):
+        validate_telemetry(bad)
+
+    bad = copy.deepcopy(good)
+    for family in bad["metrics"]["metrics"]:
+        if family["kind"] == "histogram":
+            family["samples"][0][1]["counts"] = [1]
+    with pytest.raises(ValueError, match="bucket/count"):
+        validate_telemetry(bad)
+
+
+def test_prometheus_text_format():
+    text = to_prometheus(sample_registry())
+    assert "# TYPE fabric_drops_total counter" in text
+    assert 'fabric_drops_total{reason="loss",asn=""} 4' in text
+    assert "# TYPE depth_peak gauge" in text
+    assert "depth_peak 12" in text
+    # Histogram buckets are cumulative with an +Inf catch-all.
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_payload_to_prometheus_accepts_telemetry_envelope():
+    payload = telemetry_payload(sample_registry())
+    assert payload_to_prometheus(payload) == to_prometheus(sample_registry())
+
+
+def test_render_telemetry_sections():
+    recorder = SpanRecorder()
+    with recorder.span("pipeline"):
+        with recorder.span("scan"):
+            pass
+    text = render_telemetry(telemetry_payload(sample_registry(), recorder))
+    assert "Stage / span timings" in text
+    assert "pipeline" in text
+    assert "Counters" in text
+    assert 'fabric_drops_total{reason="loss",asn=""}' in text
+    assert "Gauges (peaks)" in text
+    assert "Histograms" in text
+    assert "lat_seconds: count=3" in text

@@ -1,0 +1,167 @@
+"""Tests for the metrics registry: instruments, payloads, merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    deterministic_samples,
+)
+
+
+def test_counter_inc_and_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "reqs", ("code",))
+    counter.inc(labels=("200",))
+    counter.inc(2, ("200",))
+    counter.inc(labels=("500",))
+    assert counter.value(("200",)) == 3
+    assert counter.value(("500",)) == 1
+    assert counter.samples() == [(("200",), 3), (("500",), 1)]
+
+
+def test_counter_registration_is_create_or_return():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total")
+    b = registry.counter("x_total")
+    assert a is b
+    assert len(registry) == 1
+
+
+def test_kind_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        registry.gauge("x_total")
+
+
+def test_label_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x_total", label_names=("a",))
+    with pytest.raises(ValueError, match="labels"):
+        registry.counter("x_total", label_names=("b",))
+
+
+def test_gauge_set_max_keeps_peak():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth_peak")
+    gauge.set_max(5)
+    gauge.set_max(3)
+    assert gauge.value() == 5
+    gauge.set_max(9)
+    assert gauge.value() == 9
+
+
+def test_histogram_buckets_and_observe():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    sample = hist.value()
+    assert sample["counts"] == [1, 2, 1, 1]  # per-bucket, +Inf last
+    assert sample["count"] == 5
+    assert sample["sum"] == pytest.approx(56.05)
+
+
+def test_histogram_boundary_goes_to_its_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1.0, 2.0))
+    hist.observe(1.0)  # le=1.0 bucket, Prometheus upper-bound semantics
+    assert hist.value()["counts"] == [1, 0, 0]
+
+
+def test_histogram_unsorted_buckets_rejected():
+    with pytest.raises(ValueError, match="sorted"):
+        Histogram("h", buckets=(2.0, 1.0))
+
+
+def test_histogram_bucket_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0,))
+    with pytest.raises(ValueError, match="different buckets"):
+        registry.histogram("h", buckets=(2.0,))
+
+
+def test_payload_roundtrip_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc(7)
+    registry.counter("a_total", label_names=("k",)).inc(1, ("z",))
+    registry.get("a_total").inc(1, ("a",))
+    payload = registry.to_payload()
+    assert [f["name"] for f in payload["metrics"]] == ["a_total", "b_total"]
+    assert payload["metrics"][0]["samples"] == [[["a"], 1], [["z"], 1]]
+    restored = MetricsRegistry.from_payload(payload)
+    assert restored.to_payload() == payload
+
+
+def test_merge_sums_counters_and_histograms_keeps_gauge_peaks():
+    def shard(counter_value, gauge_value, observations):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(counter_value)
+        registry.gauge("g_peak").set_max(gauge_value)
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in observations:
+            hist.observe(value)
+        return registry
+
+    merged = MetricsRegistry()
+    merged.merge(shard(3, 5, [0.5, 5.0]))
+    merged.merge(shard(4, 2, [20.0]))
+    assert merged.get("c_total").value() == 7
+    assert merged.get("g_peak").value() == 5
+    sample = merged.get("h").value()
+    assert sample["counts"] == [1, 1, 1]
+    assert sample["count"] == 3
+
+
+def test_merge_is_order_independent():
+    def shard(values):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", label_names=("k",))
+        for key, value in values:
+            counter.inc(value, (key,))
+        return registry.to_payload()
+
+    a = shard([("x", 1), ("y", 2)])
+    b = shard([("y", 10), ("z", 5)])
+    ab = MetricsRegistry()
+    ab.merge_payload(a)
+    ab.merge_payload(b)
+    ba = MetricsRegistry()
+    ba.merge_payload(b)
+    ba.merge_payload(a)
+    assert ab.to_payload() == ba.to_payload()
+
+
+def test_merge_refuses_unknown_schema_version():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="schema_version"):
+        registry.merge_payload({"schema_version": 999, "metrics": []})
+
+
+def test_deterministic_samples_excludes_flagged_and_histogram_sums():
+    registry = MetricsRegistry()
+    registry.counter("det_total").inc(1)
+    registry.counter("wall_total", deterministic=False).inc(1)
+    registry.histogram("h", buckets=(1.0,)).observe(0.3)
+    slice_ = deterministic_samples(registry.to_payload())
+    assert "det_total" in slice_
+    assert "wall_total" not in slice_
+    # Histogram float sums are FP-order sensitive; only the integer
+    # counts participate in the shard-equivalence contract.
+    assert slice_["h"] == [[[], {"counts": [1, 0], "count": 1}]]
+
+
+def test_disabled_binding_is_none():
+    """The documented disabled state: components hold None, not a stub."""
+    assert Counter("c").value.__self__ is not None  # sanity
+    assert Gauge("g").kind == "gauge"
+    # The real contract is exercised by the fabric/scanner tests: a
+    # component never touched by bind_metrics keeps a None reference.
+    from repro.netsim.fabric import Fabric
+
+    fabric = Fabric()
+    assert fabric._mx_delivered is None
+    assert fabric._mx_drops is None

@@ -1,0 +1,140 @@
+"""Tests for span tracing: trees, activation, grafting, rendering."""
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    SpanRecorder,
+    activate,
+    render_span_nodes,
+    span,
+)
+
+
+def test_spans_nest_into_a_tree():
+    recorder = SpanRecorder()
+    with recorder.span("outer"):
+        with recorder.span("inner-1"):
+            pass
+        with recorder.span("inner-2", shard=3):
+            pass
+    assert len(recorder.roots) == 1
+    outer = recorder.roots[0]
+    assert outer.name == "outer"
+    assert [child.name for child in outer.children] == ["inner-1", "inner-2"]
+    assert outer.children[1].attrs == {"shard": 3}
+    assert outer.wall >= outer.children[0].wall
+
+
+def test_free_span_is_noop_without_active_recorder():
+    assert span("anything") is NULL_SPAN
+    with span("anything") as nothing:
+        assert nothing is None
+
+
+def test_activate_routes_free_spans_and_restores():
+    recorder = SpanRecorder()
+    with activate(recorder):
+        with span("work"):
+            pass
+    assert span("after") is NULL_SPAN
+    assert [root.name for root in recorder.roots] == ["work"]
+
+
+def test_activation_nests():
+    outer_rec, inner_rec = SpanRecorder(), SpanRecorder()
+    with activate(outer_rec):
+        with activate(inner_rec):
+            with span("inner-work"):
+                pass
+        with span("outer-work"):
+            pass
+    assert [r.name for r in inner_rec.roots] == ["inner-work"]
+    assert [r.name for r in outer_rec.roots] == ["outer-work"]
+
+
+def test_sim_clock_records_sim_durations():
+    clock = {"now": 10.0}
+    recorder = SpanRecorder(sim_clock=lambda: clock["now"])
+    with recorder.span("run"):
+        clock["now"] = 250.0
+    assert recorder.roots[0].sim == 240.0
+
+
+def test_no_sim_clock_leaves_sim_none():
+    recorder = SpanRecorder()
+    with recorder.span("run"):
+        pass
+    assert recorder.roots[0].sim is None
+
+
+def test_payload_roundtrip():
+    recorder = SpanRecorder()
+    with recorder.span("a", shard=1):
+        with recorder.span("b"):
+            pass
+    payload = recorder.to_payload()
+    restored = Span.from_payload(payload["spans"][0])
+    assert restored.name == "a"
+    assert restored.attrs == {"shard": 1}
+    assert [c.name for c in restored.children] == ["b"]
+    assert restored.to_payload() == payload["spans"][0]
+
+
+def test_graft_attaches_under_open_span():
+    shard = SpanRecorder()
+    with shard.span("scan.shard", shard=2):
+        pass
+    parent = SpanRecorder()
+    with parent.span("scan"):
+        for node in shard.to_payload()["spans"]:
+            parent.graft_payload(node)
+    scan = parent.roots[0]
+    assert [c.name for c in scan.children] == ["scan.shard"]
+    assert scan.children[0].attrs == {"shard": 2}
+
+
+def test_graft_without_open_span_becomes_root():
+    parent = SpanRecorder()
+    parent.graft_payload({"name": "orphan"})
+    assert [r.name for r in parent.roots] == ["orphan"]
+
+
+def test_exception_unwinds_spans():
+    recorder = SpanRecorder()
+    try:
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert recorder._stack == []
+    assert recorder.roots[0].children[0].name == "inner"
+
+
+def test_find_depth_first():
+    recorder = SpanRecorder()
+    with recorder.span("a"):
+        with recorder.span("target", which="first"):
+            pass
+    with recorder.span("target", which="second"):
+        pass
+    assert recorder.find("target").attrs == {"which": "first"}
+    assert recorder.find("missing") is None
+
+
+def test_render_shows_names_attrs_and_percentages():
+    nodes = [
+        {
+            "name": "pipeline",
+            "wall": 10.0,
+            "children": [
+                {"name": "scan", "wall": 8.0, "attrs": {"shard": 0},
+                 "sim": 300.0, "children": []},
+            ],
+        }
+    ]
+    text = render_span_nodes(nodes)
+    assert "pipeline" in text
+    assert "scan [shard=0]" in text
+    assert "80.0%" in text
+    assert "sim=300.00s" in text

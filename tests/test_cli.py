@@ -60,6 +60,48 @@ def test_audit_command_auto_asn(capsys):
     assert "verdict:" in out
 
 
+def test_scan_metrics_then_obs(capsys, tmp_path):
+    """The ISSUE acceptance flow: scan --metrics, then obs <run-dir>."""
+    run_dir = tmp_path / "run"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--metrics", "--workers", "0",
+                 "--run-dir", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Campaign telemetry" in out
+    assert (run_dir / "telemetry.json").exists()
+
+    assert main(["obs", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Stage / span timings" in out
+    assert "pipeline" in out
+    assert "scan.shard" in out
+    assert "Counters" in out
+    assert "fabric_drops_total" in out
+    assert "scan_probes_sent_total" in out
+    assert "Histograms" in out
+
+    assert main(["obs", str(run_dir), "--prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE fabric_drops_total counter" in out
+    assert "# TYPE resolver_task_sim_seconds histogram" in out
+    assert 'le="+Inf"' in out
+
+
+def test_scan_metrics_without_run_dir_prints_telemetry(capsys):
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--metrics", "--workers", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "Campaign telemetry" in out
+    assert "scan_probes_sent_total" in out
+
+
+def test_obs_missing_telemetry_errors(capsys, tmp_path):
+    assert main(["obs", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "telemetry.json" in err
+    assert "--metrics" in err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
