@@ -8,8 +8,13 @@ Subcommands:
 * ``attack`` — the exposure demonstrations (poisoning, NXNS, reflection).
 * ``obs``    — render a run directory's ``telemetry.json`` (from
   ``scan --metrics``): span timings, counters, histograms.
+* ``explain`` — reconstruct per-probe causal chains from a run
+  directory's ``events.ndjson`` (from ``scan --journal``), or audit
+  that every classification is backed by journal evidence.
 
-All commands are deterministic for a given ``--seed``.
+All commands are deterministic for a given ``--seed``.  Reports and
+JSON go to stdout; progress and status chatter go to stderr (suppress
+with ``--quiet``), so stdout stays machine-parseable.
 """
 
 from __future__ import annotations
@@ -31,11 +36,40 @@ def cmd_scan(args: argparse.Namespace) -> int:
 
     from .core.campaign import Campaign
 
+    def status(message: str) -> None:
+        # Status chatter goes to stderr so stdout carries only the
+        # report / JSON and stays machine-parseable.
+        if not args.quiet:
+            print(message, file=sys.stderr)
+
+    if args.journal and args.resume is None and args.run_dir is None:
+        print(
+            "error: --journal requires --run-dir "
+            "(events.ndjson needs somewhere to live)",
+            file=sys.stderr,
+        )
+        return 2
+
+    progress = None
+    if not args.quiet:
+        from .obs.progress import ProgressReporter
+
+        progress = ProgressReporter(
+            total_shards=0 if args.resume is not None else args.shards
+        )
+
     if args.resume is not None:
         from .core.pipeline import resume_pipeline
 
-        outcome = resume_pipeline(args.resume, workers=args.workers)
-    elif args.shards > 1 or args.run_dir is not None or args.metrics:
+        outcome = resume_pipeline(
+            args.resume, workers=args.workers, progress=progress
+        )
+    elif (
+        args.shards > 1
+        or args.run_dir is not None
+        or args.metrics
+        or args.journal
+    ):
         from .core.pipeline import CampaignSpec, run_pipeline
 
         spec = CampaignSpec.from_scan_config(
@@ -44,14 +78,19 @@ def cmd_scan(args: argparse.Namespace) -> int:
             shards=args.shards,
             config=ScanConfig(duration=args.duration),
             metrics=args.metrics,
+            journal=args.journal,
         )
         outcome = run_pipeline(
-            spec, run_dir=args.run_dir, workers=args.workers
+            spec, run_dir=args.run_dir, workers=args.workers,
+            progress=progress,
         )
     else:
         campaign = Campaign.run_default(
-            seed=args.seed, n_ases=args.n_ases, duration=args.duration
+            seed=args.seed, n_ases=args.n_ases, duration=args.duration,
+            progress=progress,
         )
+        if progress is not None:
+            progress.finish()
         print(campaign.summary())
         print()
         print(campaign.full_report())
@@ -61,13 +100,17 @@ def cmd_scan(args: argparse.Namespace) -> int:
         print(comparison_report(campaign))
         if args.json is not None:
             campaign.save_results(args.json)
-            print(f"structured results written to {args.json}")
+            status(f"structured results written to {args.json}")
         return 0
 
+    if progress is not None:
+        progress.finish()
     if outcome.stages_skipped:
-        print(f"stages skipped (resumed): {', '.join(outcome.stages_skipped)}")
+        status(
+            f"stages skipped (resumed): {', '.join(outcome.stages_skipped)}"
+        )
     if outcome.stages_run:
-        print(f"stages run: {', '.join(outcome.stages_run)}")
+        status(f"stages run: {', '.join(outcome.stages_run)}")
     if outcome.campaign is not None:
         print(outcome.campaign.summary())
     print()
@@ -88,14 +131,22 @@ def cmd_scan(args: argparse.Namespace) -> int:
         Path(args.json).write_text(
             _json.dumps(outcome.results, indent=2)
         )
-        print(f"structured results written to {args.json}")
+        status(f"structured results written to {args.json}")
     if outcome.telemetry is not None:
         from .obs.export import render_telemetry
 
         _banner("Campaign telemetry")
         print(render_telemetry(outcome.telemetry))
         if outcome.run_dir is not None:
-            print(f"\ntelemetry written to {outcome.run_dir}/telemetry.json")
+            status(
+                f"telemetry written to {outcome.run_dir}/telemetry.json"
+            )
+    if outcome.run_dir is not None:
+        from pathlib import Path
+
+        events = Path(outcome.run_dir) / "events.ndjson"
+        if events.exists():
+            status(f"probe journal written to {events}")
     return 0
 
 
@@ -116,11 +167,102 @@ def cmd_obs(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    payload = load_telemetry(path)
+    try:
+        payload = load_telemetry(path)
+    except ValueError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 1
     if args.prom:
         print(payload_to_prometheus(payload), end="")
     else:
         print(render_telemetry(payload))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .obs.explain import (
+        audit as journal_audit,
+        load_index,
+        render_asn_summary,
+        render_narrative,
+    )
+
+    events_path = Path(args.run_dir) / "events.ndjson"
+    if not events_path.exists():
+        print(
+            f"error: {events_path} not found — run "
+            f"`repro-dsav scan --journal --run-dir {args.run_dir}` first",
+            file=sys.stderr,
+        )
+        return 1
+    index = load_index(events_path)
+
+    if args.audit:
+        results_path = Path(args.run_dir) / "results.json"
+        results = (
+            _json.loads(results_path.read_text())
+            if results_path.exists()
+            else None
+        )
+        problems = journal_audit(index, results)
+        if problems:
+            for problem in problems:
+                print(f"audit: {problem}", file=sys.stderr)
+            print(
+                f"audit FAILED: {len(problems)} problem(s)",
+                file=sys.stderr,
+            )
+            return 1
+        checked = len(index.classifications)
+        suffix = (
+            ", headline counts match results.json"
+            if results is not None
+            else ""
+        )
+        print(
+            f"audit OK: {checked} classifications backed by "
+            f"journal evidence{suffix}"
+        )
+        return 0
+
+    if args.asn is not None:
+        if args.json:
+            chains = [
+                index.chain(pid) for pid in index.probes_for_asn(args.asn)
+            ]
+            print(_json.dumps(chains, indent=2))
+        else:
+            print(render_asn_summary(index, args.asn))
+        return 0
+
+    if args.probe is not None:
+        pid = args.probe
+    elif args.qname is not None:
+        pid = index.probe_for_qname(args.qname)
+        if pid is None:
+            print(
+                f"error: qname {args.qname} not in journal",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print(
+            "error: choose one of --probe, --qname, --asn, --audit",
+            file=sys.stderr,
+        )
+        return 2
+
+    chain = index.chain(pid)
+    if chain is None:
+        print(f"error: probe {pid} not in journal", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(chain, indent=2))
+    else:
+        print(render_narrative(chain))
     return 0
 
 
@@ -306,6 +448,18 @@ def build_parser() -> argparse.ArgumentParser:
         "written to telemetry.json when --run-dir is set.  Results "
         "are byte-identical with or without this flag",
     )
+    scan.add_argument(
+        "--journal", action="store_true",
+        help="record the per-probe event journal (flight recorder) to "
+        "events.ndjson in --run-dir; explore it with `repro-dsav "
+        "explain`.  Results are byte-identical with or without this "
+        "flag",
+    )
+    scan.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live progress line and status chatter "
+        "(stderr); stdout output is unaffected",
+    )
     scan.set_defaults(func=cmd_scan)
 
     obs = sub.add_parser(
@@ -318,6 +472,36 @@ def build_parser() -> argparse.ArgumentParser:
         "human-readable summary",
     )
     obs.set_defaults(func=cmd_obs)
+
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct per-probe causal chains from events.ndjson",
+    )
+    explain.add_argument("run_dir", metavar="RUN_DIR")
+    selector = explain.add_mutually_exclusive_group()
+    selector.add_argument(
+        "--probe", default=None, metavar="ID",
+        help="explain one probe by its 16-hex-digit id",
+    )
+    selector.add_argument(
+        "--qname", default=None, metavar="NAME",
+        help="explain the probe that sent this experiment query name",
+    )
+    selector.add_argument(
+        "--asn", type=int, default=None,
+        help="summarize every probe sent toward this target AS",
+    )
+    selector.add_argument(
+        "--audit", action="store_true",
+        help="verify every classification is backed by journal "
+        "evidence and headline counts match results.json; exit 1 on "
+        "orphans",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the narrative",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     audit = sub.add_parser("audit", help="audit one AS")
     audit.add_argument("--asn", type=int, default=None)

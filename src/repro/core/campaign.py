@@ -208,6 +208,7 @@ class Campaign:
         shards: int = 1,
         workers: int | None = None,
         run_dir=None,
+        progress=None,
     ) -> "Campaign":
         """Build a default synthetic Internet and run the full scan.
 
@@ -228,24 +229,34 @@ class Campaign:
                 shards=shards,
                 config=scan_config or ScanConfig(duration=duration),
             )
-            outcome = run_pipeline(spec, run_dir=run_dir, workers=workers)
+            outcome = run_pipeline(
+                spec, run_dir=run_dir, workers=workers, progress=progress
+            )
             assert outcome.campaign is not None
             return outcome.campaign
 
         scenario = build_internet(ScenarioParams(seed=seed, n_ases=n_ases))
         return cls.run_on(
-            scenario, scan_config or ScanConfig(duration=duration)
+            scenario,
+            scan_config or ScanConfig(duration=duration),
+            progress=progress,
         )
 
     @classmethod
     def run_on(
-        cls, scenario: "BuiltScenario", config: ScanConfig | None = None
+        cls,
+        scenario: "BuiltScenario",
+        config: ScanConfig | None = None,
+        *,
+        progress=None,
     ) -> "Campaign":
         """Run a campaign over an existing scenario."""
         from ..obs.spans import SpanRecorder, activate, span
 
         targets = scenario.target_set()
         scanner, collector = scenario.make_scanner(config or ScanConfig())
+        if progress is not None:
+            scanner.bind_progress(progress)
         recorder = SpanRecorder()
         with activate(recorder), span("campaign.scan") as scan_span:
             scanner.run()

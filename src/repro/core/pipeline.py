@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -93,6 +93,9 @@ class CampaignSpec:
     #: collect campaign telemetry (metrics + spans) into
     #: ``telemetry.json``.  Never affects ``results.json``.
     metrics: bool = False
+    #: record the per-probe event journal into ``events.ndjson``.
+    #: Requires a run directory; never affects ``results.json``.
+    journal: bool = False
     scan: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -108,12 +111,14 @@ class CampaignSpec:
         shards: int,
         config: ScanConfig,
         metrics: bool = False,
+        journal: bool = False,
     ) -> "CampaignSpec":
         return cls(
             seed=seed,
             n_ases=n_ases,
             shards=shards,
             metrics=metrics,
+            journal=journal,
             scan=asdict(config),
         )
 
@@ -127,6 +132,7 @@ class CampaignSpec:
             "n_ases": self.n_ases,
             "shards": self.shards,
             "metrics": self.metrics,
+            "journal": self.journal,
             "scan": dict(self.scan),
         }
 
@@ -138,6 +144,7 @@ class CampaignSpec:
             n_ases=payload["n_ases"],
             shards=payload["shards"],
             metrics=payload.get("metrics", False),
+            journal=payload.get("journal", False),
             scan=dict(payload["scan"]),
         )
 
@@ -187,6 +194,13 @@ class RunDirectory:
     @property
     def telemetry_path(self) -> Path:
         return self.path / "telemetry.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.path / "events.ndjson"
+
+    def shard_events_path(self, shard_id: int) -> Path:
+        return self.path / f"events-{shard_id:03d}.ndjson"
 
     # -- manifest --------------------------------------------------------
 
@@ -244,7 +258,9 @@ def _write_json(path: Path, payload: dict[str, Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
+def run_scan_shard(
+    payload: dict[str, Any], progress=None
+) -> dict[str, Any]:
     """Scan one shard of the target space; module-level for pickling.
 
     The worker rebuilds the entire synthetic Internet from the spec —
@@ -253,6 +269,9 @@ def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
     ``asn % shards`` equals its shard id.  The campaign duration is
     pinned to the globally computed value so probes are paced exactly
     as in the unsharded run.
+
+    ``progress`` (a live reporter, inline shards only — it does not
+    survive pickling into a pool worker) receives per-probe callbacks.
     """
     from ..scenarios import ScenarioParams, build_internet
 
@@ -260,6 +279,17 @@ def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
     shard_id = payload["shard_id"]
     registry = MetricsRegistry() if spec.metrics else None
     recorder = SpanRecorder() if spec.metrics else None
+    journal = None
+    if spec.journal:
+        from ..obs.journal import Journal
+
+        run_dir = payload.get("run_dir")
+        if run_dir is None:
+            raise ValueError("journaled scan shard requires a run directory")
+        journal = Journal(
+            shard_id=shard_id,
+            path=Path(run_dir) / f"events-{shard_id:03d}.ndjson",
+        )
 
     def _scan() -> tuple[Any, Any, float]:
         with span("scan.shard", shard=shard_id):
@@ -286,8 +316,17 @@ def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
 
                     instrument_scenario(registry, scenario)
                     scanner.bind_metrics(registry)
+                if journal is not None:
+                    from ..obs.instrument import journal_scenario
+
+                    journal_scenario(journal, scenario)
+                    scanner.bind_journal(journal)
+                if progress is not None:
+                    scanner.bind_progress(progress)
             with span("run") as run_span:
                 scanner.run()
+            if journal is not None:
+                journal.flush()
             if registry is not None:
                 from ..obs.instrument import harvest_scenario
 
@@ -388,6 +427,7 @@ def run_pipeline(
     *,
     run_dir=None,
     workers: int | None = None,
+    progress=None,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -395,8 +435,15 @@ def run_pipeline(
     whose artifacts already exist are skipped).  ``workers`` bounds the
     shard worker processes; ``0`` runs every shard inline in this
     process (useful under test, and what ``shards=1`` effectively is).
+    ``progress`` is an optional live reporter (see
+    :class:`repro.obs.progress.ProgressReporter`) fed by the scan stage.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
+    if spec.journal and rd is None:
+        raise ValueError(
+            "journal=True requires a run directory (events.ndjson needs "
+            "somewhere to live)"
+        )
     if rd is not None:
         rd.bind_spec(spec)
     stages_run: list[str] = []
@@ -457,7 +504,7 @@ def run_pipeline(
             with span("scan"):
                 shard_payloads = _run_scan_stage(
                     spec, scenario, targets, rd, workers,
-                    stages_run, stages_skipped,
+                    stages_run, stages_skipped, progress,
                 )
                 # Fold each shard's telemetry into the campaign-wide
                 # view: metrics merge deterministically, span trees
@@ -480,6 +527,16 @@ def run_pipeline(
                     )
                 collector.canonicalize()
                 metadata = ScanMetadata.merged(shard_metas)
+                if spec.journal and rd is not None:
+                    from ..obs.journal import merge_shard_journals
+
+                    merge_shard_journals(
+                        [
+                            rd.shard_events_path(shard_id)
+                            for shard_id in range(spec.shards)
+                        ],
+                        rd.events_path,
+                    )
                 if rd is not None:
                     _write_json(
                         rd.observations_path,
@@ -505,6 +562,10 @@ def run_pipeline(
                 metadata=metadata,
             )
             results = campaign.results_dict()
+            if spec.journal and rd is not None and rd.events_path.exists():
+                from ..obs.journal import append_classifications
+
+                append_classifications(rd.events_path, collector)
         if rd is not None:
             _write_json(rd.results_path, results)
             rd.mark_stage("analyze")
@@ -539,7 +600,9 @@ def run_pipeline(
     )
 
 
-def resume_pipeline(run_dir, *, workers: int | None = None) -> PipelineOutcome:
+def resume_pipeline(
+    run_dir, *, workers: int | None = None, progress=None
+) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
     if not rd.manifest_path.exists():
@@ -547,7 +610,9 @@ def resume_pipeline(run_dir, *, workers: int | None = None) -> PipelineOutcome:
             f"{rd.manifest_path} not found: not a pipeline run directory"
         )
     spec = rd.read_spec()
-    return run_pipeline(spec, run_dir=run_dir, workers=workers)
+    return run_pipeline(
+        spec, run_dir=run_dir, workers=workers, progress=progress
+    )
 
 
 def _fresh_collector(scenario: "BuiltScenario") -> Collector:
@@ -573,37 +638,63 @@ def _run_scan_stage(
     workers: int | None,
     stages_run: list[str],
     stages_skipped: list[str],
+    progress=None,
 ) -> list[dict[str, Any]]:
     """Produce every shard artifact, reusing any already on disk."""
     pinned = _global_duration(scenario, targets, spec.scan_config())
     payloads: dict[int, dict[str, Any]] = {}
     pending: list[dict[str, Any]] = []
     for shard_id in range(spec.shards):
-        if rd is not None and rd.shard_path(shard_id).exists():
+        reusable = rd is not None and rd.shard_path(shard_id).exists()
+        if reusable and spec.journal:
+            # A journaled shard is only complete once its events file
+            # exists too; otherwise re-run to regenerate both.
+            reusable = rd.shard_events_path(shard_id).exists()
+        if reusable:
             artifact = _read_json(rd.shard_path(shard_id))
             _check_version(artifact, f"shard {shard_id} artifact")
             payloads[shard_id] = artifact
             stages_skipped.append(f"scan[{shard_id}]")
+            if progress is not None:
+                progress.shard_done()
             continue
-        pending.append(
-            {
-                "spec": spec.to_payload(),
-                "shard_id": shard_id,
-                "pinned_duration": pinned,
-            }
-        )
+        job = {
+            "spec": spec.to_payload(),
+            "shard_id": shard_id,
+            "pinned_duration": pinned,
+        }
+        if spec.journal and rd is not None:
+            job["run_dir"] = str(rd.path)
+        pending.append(job)
 
     if pending:
         if workers is None:
             workers = min(len(pending), os.cpu_count() or 1)
         if workers <= 0 or len(pending) == 1:
-            results = [run_scan_shard(job) for job in pending]
+            results = []
+            for job in pending:
+                if progress is not None:
+                    results.append(run_scan_shard(job, progress))
+                    progress.shard_done()
+                else:
+                    results.append(run_scan_shard(job))
         else:
+            results = []
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
-                results = list(pool.map(run_scan_shard, pending))
-        for artifact in results:
+                futures = [
+                    pool.submit(run_scan_shard, job) for job in pending
+                ]
+                # as_completed (not map) so the progress line advances
+                # the moment any shard lands, whatever its index.
+                for future in as_completed(futures):
+                    results.append(future.result())
+                    if progress is not None:
+                        progress.shard_done()
+        # Completion order is racy under the pool; log and persist in
+        # shard order so stage bookkeeping stays deterministic.
+        for artifact in sorted(results, key=lambda a: a["shard_id"]):
             payloads[artifact["shard_id"]] = artifact
             if rd is not None:
                 _write_json(rd.shard_path(artifact["shard_id"]), artifact)

@@ -46,6 +46,10 @@ class ScanClient(Host):
         #: between sharded and unsharded runs of the same campaign.
         self.hash_seed = hash_seed
         self.queries_sent = 0
+        #: optional event journal (set via ``Scanner.bind_journal``);
+        #: when present, each outgoing query flow is announced so the
+        #: fabric knows which traversals to journal.
+        self._journal = None
 
     def real_address(self, version: int) -> Address | None:
         """The client's genuine address for *version*, if configured."""
@@ -61,12 +65,13 @@ class ScanClient(Host):
         dst: Address,
         *,
         qtype: int = RRType.A,
-    ) -> None:
+    ) -> Packet:
         """Emit one UDP DNS query with an arbitrary (spoofed) source.
 
         The transaction ID and source port are hashed from the query
         content; experiment names are timestamp-unique, so every probe
-        still gets its own identifiers.
+        still gets its own identifiers.  Returns the sent packet so the
+        caller can record its identifiers without re-hashing.
         """
         key = stable_hash(
             self.hash_seed, "probe", qname.to_wire(), int(src), int(dst), qtype
@@ -81,7 +86,11 @@ class ScanClient(Host):
             transport=Transport.UDP,
         )
         self.queries_sent += 1
+        jr = self._journal
+        if jr is not None:
+            jr.expect_flow(src, dst, packet.sport)
         self.send(packet)
+        return packet
 
 
 @dataclass
@@ -191,6 +200,10 @@ class Scanner:
         self._mx_suppressed = None
         self._mx_penetrations = None
         self._mx_probe_sim = None
+        #: optional event journal / live progress reporter, both
+        #: duck-typed like the metrics instruments above.
+        self._journal = None
+        self._progress = None
 
     def bind_metrics(self, registry) -> None:
         """Count probes and penetrations into *registry* from now on.
@@ -214,6 +227,17 @@ class Scanner:
             "simulated send time of each probe within the campaign",
             buckets=(30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1920.0),
         )
+
+    def bind_journal(self, journal) -> None:
+        """Record probe lifecycle events into *journal* from now on."""
+        self._journal = journal
+        # The client announces each outgoing query flow so the fabric
+        # journals exactly those traversals and no other DNS traffic.
+        self.client._journal = journal
+
+    def bind_progress(self, reporter) -> None:
+        """Feed live probe/penetration counts into *reporter*."""
+        self._progress = reporter
 
     def opt_out(self, prefix) -> None:
         """Stop sending any further queries toward *prefix*."""
@@ -267,6 +291,9 @@ class Scanner:
             duration = self.config.pinned_duration
         self.effective_duration = duration
         self.probes_scheduled = total_probes
+        pg = self._progress
+        if pg is not None:
+            pg.add_planned(total_probes)
 
         for target, plan in plans:
             self.targets_planned += 1
@@ -340,11 +367,28 @@ class Scanner:
         loop.schedule_at(batch[-1][0], self._pump)
 
     def _send_probe(self, target: Address, asn: int, source: Address) -> None:
+        jr = self._journal
         if self._opted_out(target):
             self.probes_suppressed += 1
             mx = self._mx_suppressed
             if mx is not None:
                 mx.inc()
+            if jr is not None:
+                # Encode the name the probe would have carried so the
+                # suppression is attributable to a concrete probe id.
+                qname = self.codec.encode(
+                    self.fabric.now, source, target, asn, channel=Channel.MAIN
+                )
+                jr.emit(
+                    "probe.suppressed",
+                    self.fabric.now,
+                    jr.probe_for(qname),
+                    src=jr.addr(source),
+                    dst=jr.addr(target),
+                    asn=asn,
+                    qname=jr.name(qname),
+                    reason="opt-out",
+                )
             return
         self.probes_sent += 1
         mx = self._mx_sent
@@ -354,7 +398,22 @@ class Scanner:
         qname = self.codec.encode(
             self.fabric.now, source, target, asn, channel=Channel.MAIN
         )
-        self.client.send_query(qname, source, target, qtype=self.config.qtype)
+        packet = self.client.send_query(
+            qname, source, target, qtype=self.config.qtype
+        )
+        if jr is not None:
+            jr.probe_sent(
+                self.fabric.now,
+                jr.probe_for(qname),
+                jr.addr(source),
+                jr.addr(target),
+                asn,
+                packet.sport,
+                jr.name(qname),
+            )
+        pg = self._progress
+        if pg is not None:
+            pg.probe_sent()
 
     # -- real-time reaction ----------------------------------------------------
 
@@ -372,6 +431,19 @@ class Scanner:
         mx = self._mx_penetrations
         if mx is not None:
             mx.inc()
+        jr = self._journal
+        if jr is not None:
+            jr.emit(
+                "probe.penetration",
+                self.fabric.now,
+                jr.probe_for(record.qname),
+                src=jr.addr(decoded.src),
+                dst=jr.addr(target),
+                asn=decoded.asn,
+            )
+        pg = self._progress
+        if pg is not None:
+            pg.penetration()
         if self.config.enable_followups and not self._opted_out(target):
             self.followups.launch(target, decoded.asn, decoded.src)
 

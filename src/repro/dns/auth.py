@@ -94,6 +94,12 @@ class AuthoritativeServer(DNSHost):
             rng.randrange(256) for _ in range(16)
         )
         self.cookies_echoed = 0
+        #: optional event journal (duck-typed, see repro.obs.journal).
+        self._journal = None
+
+    def bind_journal(self, journal) -> None:
+        """Record an ``auth.query`` event per logged query from now on."""
+        self._journal = journal
 
     def add_zone(self, zone: Zone) -> Zone:
         """Serve *zone* from this server."""
@@ -208,6 +214,18 @@ class AuthoritativeServer(DNSHost):
             server_name=self.name,
         )
         self.query_log.append(record)
+        jr = self._journal
+        if jr is not None:
+            jr.auth_query(
+                record.time,
+                jr.probe_for(record.qname),
+                self.name,
+                jr.addr(record.src),
+                record.sport,
+                jr.name(record.qname),
+                record.qtype,
+                record.transport.value,
+            )
         for observer in self._observers:
             observer(record)
 

@@ -222,6 +222,8 @@ class RecursiveResolver(DNSHost):
         }
         #: optional resolution-duration histogram (see ``bind_metrics``).
         self._mx_task_sim = None
+        #: optional event journal, duck-typed like the histogram above.
+        self._journal = None
 
     def bind_metrics(self, registry) -> None:
         """Record per-resolution simulated durations into *registry*.
@@ -236,6 +238,10 @@ class RecursiveResolver(DNSHost):
             "simulated seconds from client query to final response",
             buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
         )
+
+    def bind_journal(self, journal) -> None:
+        """Record recursion/upstream/response events into *journal*."""
+        self._journal = journal
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -320,6 +326,21 @@ class RecursiveResolver(DNSHost):
         task.deadline_event = self.fabric.loop.schedule(
             self.config.task_deadline, lambda: self._finish_servfail(task)
         )
+        jr = self._journal
+        if jr is not None:
+            jr.recursion(
+                self.fabric.now,
+                jr.probe_for(task.qname),
+                self.name,
+                self.asn,
+                jr.name(task.qname),
+                task.qtype,
+                (
+                    None
+                    if self.config.forwarder is None
+                    else jr.addr(self.config.forwarder)
+                ),
+            )
         if self.is_forwarder:
             assert self.config.forwarder is not None
             task.servers = [self.config.forwarder]
@@ -476,6 +497,20 @@ class RecursiveResolver(DNSHost):
         task.asked_qname = qname
         task.queries_sent += 1
         self.stats["upstream_queries"] += 1
+        jr = self._journal
+        if jr is not None:
+            # Identity keys off the task's original qname: a minimized
+            # ancestor query still belongs to the probe that started it.
+            jr.upstream(
+                self.fabric.now,
+                jr.probe_for(task.qname),
+                self.name,
+                jr.addr(server),
+                jr.name(qname),
+                qtype,
+                sport,
+                msg_id,
+            )
         self._outstanding[(server, sport, msg_id)] = pending
         self.send_udp_query(query, source, server, sport)
         assert self.fabric is not None
@@ -965,6 +1000,17 @@ class RecursiveResolver(DNSHost):
         hist = self._mx_task_sim
         if hist is not None and self.fabric is not None:
             hist.observe(self.fabric.now - task.started_sim)
+        jr = self._journal
+        if jr is not None and self.fabric is not None:
+            jr.response(
+                self.fabric.now,
+                jr.probe_for(task.qname),
+                self.name,
+                jr.name(task.qname),
+                task.qtype,
+                rcode.name,
+                self.fabric.now - task.started_sim,
+            )
         if task.deadline_event is not None and self.fabric is not None:
             self.fabric.loop.cancel(task.deadline_event)
         if task.key is not None:

@@ -113,6 +113,19 @@ class AutonomousSystem:
         """Return ``True`` if *address* is inside any announced prefix."""
         return self._spans(address.version).contains_value(int(address))
 
+    def covering_prefix(self, address: Address) -> Network | None:
+        """The announced prefix containing *address*, if any.
+
+        Diagnostic companion to :meth:`originates`: names the concrete
+        filter entry a border verdict matched (the journal records it as
+        evidence).  Linear scan — only called on journaled border
+        crossings, never on the plain packet hot path.
+        """
+        for prefix in self._prefixes[address.version]:
+            if address in prefix:
+                return prefix
+        return None
+
     def egress_verdict(self, packet: Packet) -> BorderVerdict:
         """Evaluate *packet* leaving this AS (OSAV / BCP 38)."""
         if not self.osav:

@@ -130,6 +130,9 @@ class Fabric:
     metrics: object | None = field(default=None, repr=False)
     _mx_delivered: object | None = field(default=None, repr=False)
     _mx_drops: object | None = field(default=None, repr=False)
+    #: optional event journal (duck-typed, see repro.obs.journal); when
+    #: unset the per-packet cost is one attribute check in ``send``.
+    _journal: object | None = field(default=None, repr=False)
 
     def bind_metrics(self, registry) -> None:
         """Collect delivery/drop counters into *registry* from now on."""
@@ -142,6 +145,10 @@ class Fabric:
             "packets discarded, by drop reason and border ASN",
             ("reason", "asn"),
         )
+
+    def bind_journal(self, journal) -> None:
+        """Record a ``fabric.path`` event per DNS query from now on."""
+        self._journal = journal
 
     # -- topology construction -------------------------------------------
 
@@ -210,36 +217,96 @@ class Fabric:
                 f"host {origin.name} sends from ASN {origin.asn}, which was "
                 f"never registered with this fabric (add_system first)"
             )
+        # Flight-recorder entry for this traversal.  Only flows the
+        # scan client announced are probe-relevant: resolver upstream
+        # queries, retransmissions and responses have nothing a probe
+        # id can join against, and recording them would triple the
+        # journal for no forensic value.
+        jr = self._journal
+        rec: str | None = None
+        rec_to_asn: int | None = None
+        if (
+            jr is not None
+            and packet.dport == 53
+            and jr.wants_flow(packet.src, packet.dst, packet.sport)
+        ):
+            rec = jr.fabric_head(
+                self.loop.now,
+                packet.src,
+                packet.dst,
+                packet.sport,
+                packet.dport,
+                packet.transport.value,
+            )
+
         dst_route = self.routes.lookup(packet.dst)
         if dst_route is None:
+            if rec is not None:
+                jr.fabric_done(rec, origin_as.asn, None, DROP_NO_ROUTE)
             self._drop(packet, DROP_NO_ROUTE, None)
             return
         dest_as = self._systems.get(dst_route.asn)
         if dest_as is None:
+            if rec is not None:
+                jr.fabric_done(
+                    rec, origin_as.asn, dst_route.asn, DROP_UNROUTED_ASN
+                )
             self._drop(packet, DROP_UNROUTED_ASN, dst_route.asn)
             return
 
         crossing_border = dest_as.asn != origin_as.asn
         if crossing_border:
+            rec_to_asn = dest_as.asn
             verdict = origin_as.egress_verdict(packet)
+            if rec is not None:
+                rec += jr.fabric_egress(
+                    origin_as.asn,
+                    origin_as.osav,
+                    verdict.value,
+                    origin_as.covering_prefix(packet.src),
+                )
             if verdict is not BorderVerdict.ACCEPT:
+                if rec is not None:
+                    jr.fabric_done(
+                        rec, origin_as.asn, rec_to_asn, verdict.value
+                    )
                 self._drop(packet, verdict.value, origin_as.asn)
                 return
             verdict = dest_as.ingress_verdict(packet)
+            if rec is not None:
+                rec += jr.fabric_ingress(
+                    dest_as.asn,
+                    dest_as.dsav,
+                    dest_as.martian_filtering,
+                    verdict.value,
+                    dest_as.covering_prefix(packet.src),
+                )
             if verdict is not BorderVerdict.ACCEPT:
+                if rec is not None:
+                    jr.fabric_done(
+                        rec, origin_as.asn, rec_to_asn, verdict.value
+                    )
                 self._drop(packet, verdict.value, dest_as.asn)
                 return
             packet = packet.hop()
+        else:
+            rec_to_asn = dest_as.asn
 
         target = self._hosts.get(packet.dst)
         if target is None:
+            if rec is not None:
+                jr.fabric_done(rec, origin_as.asn, rec_to_asn, DROP_NO_HOST)
             self._drop(packet, DROP_NO_HOST, dest_as.asn)
             return
 
         if self.loss_rate > 0 and self._loss_roll(packet) < self.loss_rate:
+            if rec is not None:
+                jr.fabric_done(rec, origin_as.asn, rec_to_asn, DROP_LOSS)
             self._drop(packet, DROP_LOSS, None)
             return
 
+        if rec is not None:
+            jr.fabric_done(rec, origin_as.asn, rec_to_asn, "delivered")
         for tap in self._taps:
             tap(packet, target)
         latency = self._latency(origin.asn, dest_as.asn)

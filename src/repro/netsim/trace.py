@@ -9,6 +9,7 @@ workflow users of a measurement platform expect.
 from __future__ import annotations
 
 import json
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 from ipaddress import ip_address
@@ -89,21 +90,34 @@ def address_filter(address: Address) -> TraceFilter:
 
 
 class PacketTrace:
-    """A capture session over one fabric."""
+    """A capture session over one fabric.
+
+    ``max_entries`` bounds memory as a ring buffer: once full, each new
+    packet evicts the oldest entry (the most recent traffic is what a
+    debugging session wants) and ``dropped_by_cap`` counts the
+    evictions.  ``None`` captures without limit.
+    """
 
     def __init__(
         self,
         fabric: Fabric,
         *,
         capture_filter: TraceFilter | None = None,
-        max_entries: int = 1_000_000,
+        max_entries: int | None = 1_000_000,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.fabric = fabric
         self.capture_filter = capture_filter
         self.max_entries = max_entries
-        self.entries: list[TraceEntry] = []
+        self._entries: deque[TraceEntry] = deque(maxlen=max_entries)
         self.dropped_by_cap = 0
         self._armed = False
+
+    @property
+    def entries(self) -> list[TraceEntry]:
+        """Captured entries, oldest first (a snapshot list)."""
+        return list(self._entries)
 
     def start(self) -> "PacketTrace":
         """Attach the capture tap; returns self for chaining."""
@@ -117,10 +131,12 @@ class PacketTrace:
             packet, host
         ):
             return
-        if len(self.entries) >= self.max_entries:
-            self.dropped_by_cap += 1
-            return
-        self.entries.append(
+        if (
+            self.max_entries is not None
+            and len(self._entries) == self.max_entries
+        ):
+            self.dropped_by_cap += 1  # the deque evicts the oldest entry
+        self._entries.append(
             TraceEntry(
                 time=self.fabric.now,
                 src=packet.src,
@@ -137,12 +153,12 @@ class PacketTrace:
 
     def between(self, start: float, end: float) -> list[TraceEntry]:
         """Entries captured in the half-open interval [start, end)."""
-        return [e for e in self.entries if start <= e.time < end]
+        return [e for e in self._entries if start <= e.time < end]
 
     def involving(self, address: Address) -> list[TraceEntry]:
         """Entries with *address* as source or destination."""
         return [
-            e for e in self.entries if address in (e.src, e.dst)
+            e for e in self._entries if address in (e.src, e.dst)
         ]
 
     def render(self, limit: int | None = None) -> str:
@@ -160,13 +176,13 @@ class PacketTrace:
         by_transport: dict[str, int] = {}
         by_host: dict[str, int] = {}
         total_bytes = 0
-        for entry in self.entries:
+        for entry in self._entries:
             key = entry.transport.value
             by_transport[key] = by_transport.get(key, 0) + 1
             by_host[entry.host] = by_host.get(entry.host, 0) + 1
             total_bytes += entry.size
         return {
-            "entries": len(self.entries),
+            "entries": len(self._entries),
             "dropped_by_cap": self.dropped_by_cap,
             "bytes": total_bytes,
             "by_transport": dict(sorted(by_transport.items())),
@@ -179,9 +195,9 @@ class PacketTrace:
         """Write the capture as JSON lines; returns the entry count."""
         path = Path(path)
         with path.open("w") as handle:
-            for entry in self.entries:
+            for entry in self._entries:
                 handle.write(entry.to_json() + "\n")
-        return len(self.entries)
+        return len(self._entries)
 
     @staticmethod
     def load(path: Path | str) -> list[TraceEntry]:
@@ -195,4 +211,4 @@ class PacketTrace:
         return entries
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._entries)

@@ -19,22 +19,40 @@ This package gives the reproduction the same property:
 ``instrument``
     Wires a registry through an already-built scenario (fabric,
     routing, event loop, resolvers) and harvests end-of-run counters.
+``journal``
+    The per-probe flight recorder: typed lifecycle events with stable
+    probe ids, flushed to ``events.ndjson`` per shard and merged
+    deterministically (the N-shard merge is byte-identical to the
+    1-shard journal).
+``explain``
+    Causal reconstruction over a merged journal — the ``repro explain``
+    CLI: per-probe narratives, per-ASN summaries, and an audit that
+    ties every classification back to journal evidence.
+``progress``
+    A live rate/ETA progress line on stderr fed by the scanner, so
+    long campaigns are not silent.
 
 Telemetry is strictly observational: it never enters
 ``results_dict``, so campaign results stay byte-identical with metrics
-on or off, and the shard-equivalence guarantee is untouched.
+and journaling on or off, and the shard-equivalence guarantee is
+untouched.
 """
 
+from .journal import Journal, probe_id
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import ProgressReporter
 from .spans import Span, SpanRecorder, activate, span
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Journal",
     "MetricsRegistry",
+    "ProgressReporter",
     "Span",
     "SpanRecorder",
     "activate",
+    "probe_id",
     "span",
 ]

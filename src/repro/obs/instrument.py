@@ -49,6 +49,25 @@ def instrument_scenario(
             host.bind_metrics(registry)
 
 
+def journal_scenario(journal, scenario: "BuiltScenario") -> None:
+    """Bind the probe event *journal* into *scenario*'s components.
+
+    Mirrors :func:`instrument_scenario`: fabric border verdicts,
+    resolver recursion/upstream/response events and authoritative
+    query observations all land in one journal.  The scanner itself is
+    bound separately (``scanner.bind_journal``) since it is created
+    after the scenario.
+    """
+    from ..dns.resolver import RecursiveResolver
+
+    scenario.fabric.bind_journal(journal)
+    for host in _hosts(scenario):
+        if isinstance(host, RecursiveResolver):
+            host.bind_journal(journal)
+    for server in scenario.auth_servers:
+        server.bind_journal(journal)
+
+
 def harvest_scenario(
     registry: MetricsRegistry, scenario: "BuiltScenario"
 ) -> None:

@@ -1,0 +1,511 @@
+"""Per-probe event journal: the campaign's flight recorder.
+
+Aggregate counters (PR 3) say *how many* probes penetrated; they cannot
+say *why probe N did or did not*.  The journal records the lifecycle of
+every probe as typed events — emission, the border verdicts it met, the
+recursion it triggered, its observation at the authoritative servers,
+and finally the classification that cites it — into newline-delimited
+JSON that :mod:`repro.obs.explain` reconstructs into causal chains.
+
+Identity
+--------
+
+Every experiment query name is unique (it embeds the send timestamp,
+spoofed source, target and ASN), so the qname *is* the probe identity.
+:func:`probe_id` hashes the qname's wire form into a stable 16-hex-digit
+id that any component holding the name — scanner, resolver, collector,
+authoritative server — derives independently, without coordination.
+Events that carry a qname tag themselves with that id; fabric events
+(which see only packets) are joined by ``(src, dst, sport)`` instead,
+the source port being content-hashed per probe.
+
+Determinism
+-----------
+
+Journaling shares the telemetry contract: it observes, it never steers.
+Event content is a pure function of simulated traffic, which PR 2 made
+shard-invariant, so the merged ``events.ndjson`` of an N-shard run is
+byte-identical to the 1-shard run: :func:`merge_shard_journals` parses
+every shard's events, sorts by ``(sim_time, probe_id, kind rank, body)``
+— the per-shard ``seq`` is discarded and renumbered globally — and
+writes canonical JSON lines.
+
+Like ``bind_metrics``, the wiring is duck-typed: ``netsim`` and ``dns``
+components hold an opaque journal reference (or ``None``) and never
+import this package; the disabled cost is one attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..netsim.determinism import stable_hash
+
+#: Version stamped as ``v`` into every event line.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Every event kind the journal may contain, with its causal rank:
+#: events sharing a timestamp and probe sort in lifecycle order, so the
+#: merged file reads as a narrative even before `explain` touches it.
+EVENT_KINDS = {
+    "probe.sent": 0,
+    "probe.suppressed": 0,
+    "fabric.path": 1,
+    "resolver.recursion": 2,
+    "resolver.upstream": 3,
+    "resolver.response": 4,
+    "auth.query": 5,
+    "probe.penetration": 6,
+    "classify.target": 7,
+    "classify.asn": 8,
+}
+
+
+def probe_id(qname_wire: bytes) -> str:
+    """Stable probe identity derived from a query name's wire form."""
+    return f"{stable_hash('probe-id', qname_wire):016x}"
+
+
+def event_line(event: dict[str, Any]) -> str:
+    """Canonical one-line JSON serialization of *event*.
+
+    Sorted keys and compact separators make the byte representation a
+    pure function of the event content — the foundation of the
+    byte-identical shard merge.
+    """
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+#: Non-canonical encoder for the per-shard flush hot path.
+_FAST_ENCODER = json.JSONEncoder(
+    separators=(",", ":"), allow_nan=False, check_circular=False
+)
+
+
+class Journal:
+    """Bounded in-memory event buffer, flushing to an NDJSON file.
+
+    With a ``path``, the buffer flushes to disk whenever it reaches
+    ``max_buffered`` events (and on :meth:`flush`); the first flush
+    truncates any stale file from an earlier crashed run.  Without a
+    path the journal is purely in-memory and *drops* events beyond the
+    bound, counting them in ``events_dropped`` — it never grows without
+    limit on long runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        shard_id: int = 0,
+        path: Path | str | None = None,
+        max_buffered: int = 100_000,
+    ) -> None:
+        if max_buffered < 1:
+            raise ValueError("max_buffered must be >= 1")
+        self.shard_id = shard_id
+        self.path = Path(path) if path is not None else None
+        self.max_buffered = max_buffered
+        self.events_emitted = 0
+        self.events_dropped = 0
+        self._buffer: list[dict[str, Any]] = []
+        self._seq = 0
+        self._flushed_any = False
+        # Hot-path caches: probe ids are re-derived at every lifecycle
+        # stage of the same query name, and the fabric asks about every
+        # DNS packet it routes — both must cost a dict/set probe, not a
+        # hash computation.
+        self._pid_memo: dict[Any, str] = {}
+        self._addr_memo: dict[Any, str] = {}
+        self._name_memo: dict[Any, str] = {}
+        self._flows: set[tuple] = set()
+
+    # -- identity helpers (duck-called from dns/netsim, no imports) ------
+
+    def probe_for(self, qname) -> str:
+        """Probe id for *qname* (anything with a ``to_wire()``)."""
+        pid = self._pid_memo.get(qname)
+        if pid is None:
+            pid = self._pid_memo[qname] = probe_id(qname.to_wire())
+        return pid
+
+    def addr(self, address) -> str:
+        """Memoized ``str(address)`` — addresses repeat across events."""
+        s = self._addr_memo.get(address)
+        if s is None:
+            s = self._addr_memo[address] = str(address)
+        return s
+
+    def name(self, qname) -> str:
+        """Memoized ``str(qname)`` for event payloads."""
+        s = self._name_memo.get(qname)
+        if s is None:
+            s = self._name_memo[qname] = str(qname)
+        return s
+
+    def expect_flow(self, src, dst, sport: int) -> None:
+        """Mark ``(src, dst, sport)`` as a scanner-emitted query flow.
+
+        The fabric journals the traversal of these flows only: they are
+        the ones ``probe.sent`` events reference, so recording every
+        other DNS packet (resolver upstream queries, retransmissions)
+        would bloat the journal with entries nothing can join against.
+        """
+        self._flows.add((src, dst, sport))
+
+    def wants_flow(self, src, dst, sport: int) -> bool:
+        """Whether the fabric should journal this flow's traversal."""
+        return (src, dst, sport) in self._flows
+
+    # -- emission --------------------------------------------------------
+
+    def _push(self, body: str) -> None:
+        """Commit one pre-formatted event body (sans version and seq).
+
+        The buffer holds finished JSON lines, not dicts: the line is
+        completed here with the schema version and sequence number, so
+        event state dies young and the buffer itself is invisible to
+        the cyclic GC (strings are not tracked).  Holding 100k dicts
+        instead measurably slows every gen-2 collection under a scan.
+        """
+        self.events_emitted += 1
+        if self.path is None and len(self._buffer) >= self.max_buffered:
+            self.events_dropped += 1
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        self._buffer.append(
+            f'{{{body},"v":{JOURNAL_SCHEMA_VERSION},"seq":{seq}}}'
+        )
+        if self.path is not None and len(self._buffer) >= self.max_buffered:
+            self.flush()
+
+    def record(self, event: dict[str, Any]) -> None:
+        """Append a prebuilt event dict (must contain ``kind`` + ``t``).
+
+        The journal adds the schema version and the per-shard sequence
+        number.  This is the generic path for the rare kinds; the scan
+        hot paths use the typed methods below.
+        """
+        self.events_emitted += 1
+        if self.path is None and len(self._buffer) >= self.max_buffered:
+            self.events_dropped += 1
+            return
+        event["v"] = JOURNAL_SCHEMA_VERSION
+        event["seq"] = self._seq
+        self._seq += 1
+        self._buffer.append(_FAST_ENCODER.encode(event))
+        if self.path is not None and len(self._buffer) >= self.max_buffered:
+            self.flush()
+
+    def emit(
+        self, kind: str, t: float | None, probe: str | None = None, **fields
+    ) -> None:
+        """Record one event of *kind* at simulated time *t*."""
+        event: dict[str, Any] = {"kind": kind, "t": t}
+        if probe is not None:
+            event["probe"] = probe
+        event.update(fields)
+        self.record(event)
+
+    # -- typed fast paths ------------------------------------------------
+    #
+    # A scan emits tens of thousands of events; routing each through a
+    # kwargs dict and a JSON encoder costs ~7us per event where a single
+    # f-string costs well under 1us.  The instrumented call sites in
+    # ``core``/``dns``/``netsim`` therefore use these kind-specific
+    # methods, which format the line directly.  The embedded strings
+    # (qnames, addresses, enum values, host names) come from the
+    # simulation's own generators and never contain JSON-significant
+    # characters; if one ever did, the merge step's ``json.loads`` of
+    # every line would fail loudly rather than corrupt silently.
+
+    def probe_sent(self, t, probe, src, dst, asn, sport, qname) -> None:
+        self._push(
+            f'"kind":"probe.sent","t":{t!r},"probe":"{probe}",'
+            f'"src":"{src}","dst":"{dst}","asn":{asn},'
+            f'"sport":{sport},"qname":"{qname}"'
+        )
+
+    def recursion(
+        self, t, probe, resolver, asn, qname, qtype, forwarder
+    ) -> None:
+        fwd = "null" if forwarder is None else f'"{forwarder}"'
+        self._push(
+            f'"kind":"resolver.recursion","t":{t!r},"probe":"{probe}",'
+            f'"resolver":"{resolver}","asn":{asn},"qname":"{qname}",'
+            f'"qtype":{qtype},"forwarder":{fwd}'
+        )
+
+    def upstream(
+        self, t, probe, resolver, server, qname, qtype, sport, msg_id
+    ) -> None:
+        self._push(
+            f'"kind":"resolver.upstream","t":{t!r},"probe":"{probe}",'
+            f'"resolver":"{resolver}","server":"{server}",'
+            f'"qname":"{qname}","qtype":{qtype},"sport":{sport},'
+            f'"msg_id":{msg_id}'
+        )
+
+    def response(
+        self, t, probe, resolver, qname, qtype, rcode, duration
+    ) -> None:
+        self._push(
+            f'"kind":"resolver.response","t":{t!r},"probe":"{probe}",'
+            f'"resolver":"{resolver}","qname":"{qname}","qtype":{qtype},'
+            f'"rcode":"{rcode}","duration":{duration!r}'
+        )
+
+    def auth_query(
+        self, t, probe, server, src, sport, qname, qtype, transport
+    ) -> None:
+        self._push(
+            f'"kind":"auth.query","t":{t!r},"probe":"{probe}",'
+            f'"server":"{server}","src":"{src}","sport":{sport},'
+            f'"qname":"{qname}","qtype":{qtype},"transport":"{transport}"'
+        )
+
+    # A fabric.path event is assembled across the routing decision:
+    # ``fabric_head`` opens the record when the packet enters the
+    # fabric, the border helpers append egress/ingress verdict segments
+    # as filters are consulted, and ``fabric_done`` stamps the
+    # destination ASN plus outcome and commits the event.
+
+    def fabric_head(self, t, src, dst, sport, dport, transport) -> str:
+        return (
+            f'"kind":"fabric.path","t":{t!r},"src":"{self.addr(src)}",'
+            f'"dst":"{self.addr(dst)}","sport":{sport},"dport":{dport},'
+            f'"transport":"{transport}"'
+        )
+
+    def fabric_egress(self, asn, osav, verdict, prefix) -> str:
+        filt = "null" if prefix is None else f'"{self.addr(prefix)}"'
+        return (
+            f',"egress":{{"asn":{asn},'
+            f'"osav":{"true" if osav else "false"},'
+            f'"verdict":"{verdict}","filter":{filt}}}'
+        )
+
+    def fabric_ingress(self, asn, dsav, martians, verdict, prefix) -> str:
+        filt = "null" if prefix is None else f'"{self.addr(prefix)}"'
+        return (
+            f',"ingress":{{"asn":{asn},'
+            f'"dsav":{"true" if dsav else "false"},'
+            f'"martian_filtering":{"true" if martians else "false"},'
+            f'"verdict":"{verdict}","filter":{filt}}}'
+        )
+
+    def fabric_done(self, head, from_asn, to_asn, outcome) -> None:
+        self._push(
+            head + f',"from_asn":{from_asn},'
+            f'"to_asn":{"null" if to_asn is None else to_asn},'
+            f'"outcome":"{outcome}"'
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    @property
+    def pending(self) -> list[dict[str, Any]]:
+        """Events currently buffered in memory, parsed back to dicts."""
+        return [json.loads(line) for line in self._buffer]
+
+    def flush(self) -> int:
+        """Write buffered events to ``path``; returns events written.
+
+        Shard files are written with a plain (insertion-order) encoder
+        — it is measurably cheaper than the canonical form, and
+        :func:`merge_shard_journals` re-serializes every line
+        canonically anyway.
+        """
+        if self.path is None:
+            return 0
+        if not self._buffer and self._flushed_any:
+            return 0
+        mode = "a" if self._flushed_any else "w"
+        with self.path.open(mode) as handle:
+            handle.writelines(line + "\n" for line in self._buffer)
+        written = len(self._buffer)
+        self._flushed_any = True
+        self._buffer = []
+        return written
+
+
+# ---------------------------------------------------------------------------
+# reading, validation, merging
+# ---------------------------------------------------------------------------
+
+
+def load_events(path: Path | str) -> list[dict[str, Any]]:
+    """Parse an NDJSON journal file into a list of event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def validate_events(events: list[dict[str, Any]]) -> None:
+    """Structural schema check; raises ValueError with a diagnosis."""
+
+    def fail(index: int, message: str) -> None:
+        raise ValueError(f"invalid journal event {index}: {message}")
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(index, "not an object")
+        if event.get("v") != JOURNAL_SCHEMA_VERSION:
+            fail(index, f"v={event.get('v')!r}")
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            fail(index, f"unknown kind {kind!r}")
+        t = event.get("t")
+        if t is not None and not isinstance(t, (int, float)):
+            fail(index, f"non-numeric t {t!r}")
+        if not isinstance(event.get("seq"), int):
+            fail(index, "missing seq")
+        probe = event.get("probe")
+        if probe is not None and not (
+            isinstance(probe, str) and len(probe) == 16
+        ):
+            fail(index, f"malformed probe id {probe!r}")
+
+
+def _body_line(event: dict[str, Any]) -> str:
+    """The event's canonical line with the shard-local ``seq`` removed."""
+    return event_line({k: v for k, v in event.items() if k != "seq"})
+
+
+def _sort_key(event: dict[str, Any]) -> tuple:
+    t = event.get("t")
+    return (
+        t if t is not None else float("inf"),
+        event.get("probe") or "",
+        EVENT_KINDS.get(event["kind"], 99),
+        _body_line(event),
+    )
+
+
+def _write_sorted(path: Path, events: list[dict[str, Any]]) -> int:
+    """Sort, renumber and atomically write *events* as NDJSON."""
+    events.sort(key=_sort_key)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("w") as handle:
+        for seq, event in enumerate(events):
+            event["seq"] = seq
+            handle.write(event_line(event) + "\n")
+    os.replace(tmp, path)
+    return len(events)
+
+
+def merge_shard_journals(
+    shard_paths: list[Path | str], out_path: Path | str
+) -> int:
+    """Merge per-shard journal files into one deterministic journal.
+
+    Shards partition the target space, so their event sets are disjoint
+    and the union equals the unsharded run's set; sorting by
+    ``(t, probe, kind rank, body)`` and renumbering ``seq`` globally
+    therefore produces byte-identical output for any shard count.
+    Returns the merged event count.
+    """
+    events: list[dict[str, Any]] = []
+    for path in shard_paths:
+        events.extend(load_events(path))
+    validate_events(events)
+    return _write_sorted(Path(out_path), events)
+
+
+# ---------------------------------------------------------------------------
+# classification evidence
+# ---------------------------------------------------------------------------
+
+
+def append_classifications(events_path: Path | str, collector) -> int:
+    """Append ``classify.*`` events citing the probes behind each verdict.
+
+    Emits one ``classify.target`` per reachable target (the per-resolver
+    "spoofed source reached it" verdict) and one ``classify.asn`` per
+    (family, ASN) with reachable targets (the paper's "AS lacks DSAV"
+    claim), each citing the probe ids whose ``probe.sent`` events match
+    the target's working sources.  Idempotent: existing ``classify.*``
+    lines are stripped before appending, so a resumed analyze stage
+    never double-counts.  Returns the number of classification events.
+    """
+    events_path = Path(events_path)
+    events = [
+        e
+        for e in load_events(events_path)
+        if not e["kind"].startswith("classify.")
+    ]
+    # probe.sent events are the ground truth for which probe ids back a
+    # (target, spoofed source) pair.
+    by_pair: dict[tuple[str, str], list[str]] = {}
+    for event in events:
+        if event["kind"] == "probe.sent":
+            by_pair.setdefault(
+                (event["dst"], event["src"]), []
+            ).append(event["probe"])
+
+    classifications: list[dict[str, Any]] = []
+    reachable = sorted(
+        (obs for obs in collector.observations.values() if obs.categories),
+        key=lambda o: (o.target.version, int(o.target)),
+    )
+    for obs in reachable:
+        probes = sorted(
+            pid
+            for source in obs.working_sources
+            for pid in by_pair.get((str(obs.target), str(source)), [])
+        )
+        classifications.append(
+            {
+                "kind": "classify.target",
+                "t": None,
+                "target": str(obs.target),
+                "family": obs.target.version,
+                "asn": obs.asn,
+                "open": obs.open_,
+                "categories": sorted(c.value for c in obs.categories),
+                "probes": probes,
+                "v": JOURNAL_SCHEMA_VERSION,
+            }
+        )
+    for family in (4, 6):
+        by_asn: dict[int, list] = {}
+        for obs in reachable:
+            if obs.target.version == family:
+                by_asn.setdefault(obs.asn, []).append(obs)
+        for asn in sorted(by_asn):
+            targets = by_asn[asn]
+            probes = sorted(
+                {
+                    pid
+                    for obs in targets
+                    for source in obs.working_sources
+                    for pid in by_pair.get(
+                        (str(obs.target), str(source)), []
+                    )
+                }
+            )
+            classifications.append(
+                {
+                    "kind": "classify.asn",
+                    "t": None,
+                    "asn": asn,
+                    "family": family,
+                    "verdict": "no-dsav",
+                    "targets": [str(obs.target) for obs in targets],
+                    "probes": probes,
+                    "v": JOURNAL_SCHEMA_VERSION,
+                }
+            )
+    # Scan events are already in merged order; classifications go after
+    # them (t=None sorts last) in their own deterministic order.
+    _write_sorted(events_path, events + classifications)
+    return len(classifications)

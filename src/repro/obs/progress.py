@@ -1,0 +1,109 @@
+"""Live scan progress: a rate/ETA reporter on stderr.
+
+A production-scale campaign is hours of silence without this.  The
+scanner (and the pipeline's shard loop) feed the reporter through the
+same duck-typed binding as metrics and the journal — one attribute
+check when disabled — and the reporter renders a single-line status to
+stderr: probes sent vs planned, send rate, penetrations so far, shards
+done, and an ETA extrapolated from the wall-clock rate.
+
+On a terminal the line redraws in place with ``\\r``; piped to a file it
+degrades to a periodic plain line so logs stay readable.  Progress never
+touches stdout — that stream is reserved for reports and JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """Throttled progress line fed by scanner/pipeline callbacks."""
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        total_shards: int = 0,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total_shards = total_shards
+        self.min_interval = min_interval
+        self.planned = 0
+        self.sent = 0
+        self.penetrations = 0
+        self.shards_done = 0
+        self._started = time.perf_counter()
+        self._last_render = 0.0
+        self._rendered_any = False
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        # Non-tty consumers get a line every few seconds, not every 0.5s.
+        if not self._is_tty:
+            self.min_interval = max(self.min_interval, 5.0)
+
+    # -- feed callbacks (duck-called by scanner/pipeline) ----------------
+
+    def add_planned(self, count: int) -> None:
+        self.planned += count
+        self._render()
+
+    def probe_sent(self) -> None:
+        self.sent += 1
+        self._render()
+
+    def penetration(self) -> None:
+        self.penetrations += 1
+        self._render()
+
+    def shard_done(self) -> None:
+        self.shards_done += 1
+        self._render(force=True)
+
+    def finish(self) -> None:
+        """Render the final state and terminate the progress line."""
+        self._render(force=True)
+        if self._rendered_any and self._is_tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- rendering -------------------------------------------------------
+
+    def _line(self) -> str:
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        rate = self.sent / elapsed
+        parts = [f"probes {self.sent:,}/{self.planned:,}"]
+        parts.append(f"{rate:,.0f}/s")
+        parts.append(f"penetrations {self.penetrations:,}")
+        if self.total_shards:
+            parts.append(f"shards {self.shards_done}/{self.total_shards}")
+        if rate > 0 and self.planned > self.sent:
+            parts.append(
+                f"eta {_format_eta((self.planned - self.sent) / rate)}"
+            )
+        return "scan: " + "  ".join(parts)
+
+    def _render(self, *, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        line = self._line()
+        if self._is_tty:
+            # Pad to wipe leftovers from a previously longer line.
+            self.stream.write("\r" + line.ljust(78))
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._rendered_any = True

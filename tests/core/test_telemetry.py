@@ -174,3 +174,24 @@ def test_resume_serves_telemetry_from_disk(one_shard):
     again = run_pipeline(spec_for(1), run_dir=run_dir, workers=0)
     assert again.stages_run == []
     assert again.telemetry == first.telemetry
+
+
+def test_metrics_and_journal_coexist(tmp_path, metrics_off):
+    """Telemetry and the probe journal are independent observers: both
+    on at once still leaves results identical to the bare baseline."""
+    spec = CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=1,
+        config=ScanConfig(duration=DURATION),
+        metrics=True,
+        journal=True,
+    )
+    outcome = run_pipeline(spec, run_dir=tmp_path, workers=0)
+    rd = RunDirectory(tmp_path)
+    assert rd.telemetry_path.exists()
+    assert rd.events_path.exists()
+    validate_telemetry(load_telemetry(rd.telemetry_path))
+    a = json.dumps(minus_provenance(outcome.results), sort_keys=True)
+    b = json.dumps(minus_provenance(metrics_off.results), sort_keys=True)
+    assert a == b

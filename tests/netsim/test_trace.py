@@ -167,3 +167,32 @@ def test_summary_reflects_cap_drops():
     summary = trace.summary()
     assert summary["entries"] == 1
     assert summary["dropped_by_cap"] == 1
+
+
+def test_cap_is_a_ring_keeping_the_newest():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric, max_entries=3).start()
+    for sport in range(1000, 1005):
+        send(a, B_ADDR, sport=sport)
+    fabric.run()
+    # The oldest two captures were evicted; the ring holds the tail.
+    assert [e.sport for e in trace.entries] == [1002, 1003, 1004]
+    assert trace.dropped_by_cap == 2
+
+
+def test_unbounded_capture_with_none():
+    fabric, a, b = build()
+    trace = PacketTrace(fabric, max_entries=None).start()
+    for _ in range(10):
+        send(a, B_ADDR)
+    fabric.run()
+    assert len(trace) == 10
+    assert trace.dropped_by_cap == 0
+
+
+def test_degenerate_cap_rejected():
+    import pytest
+
+    fabric, a, b = build()
+    with pytest.raises(ValueError):
+        PacketTrace(fabric, max_entries=0)

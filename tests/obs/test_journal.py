@@ -1,0 +1,308 @@
+"""Probe forensics: journal round-trip, deterministic shard merge, the
+results-are-untouched guarantee, and causal reconstruction via explain.
+
+One journaled 1-shard run, one journaled 4-shard run, and one
+journal-off baseline execute once per module and are shared read-only.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, RunDirectory, run_pipeline
+from repro.obs.explain import (
+    JournalIndex,
+    audit,
+    load_index,
+    render_asn_summary,
+    render_narrative,
+)
+from repro.obs.journal import (
+    EVENT_KINDS,
+    Journal,
+    append_classifications,
+    event_line,
+    load_events,
+    merge_shard_journals,
+    probe_id,
+    validate_events,
+)
+
+SEED = 3
+N_ASES = 15
+DURATION = 40.0
+
+
+def minus_provenance(results: dict) -> dict:
+    return {k: v for k, v in results.items() if k != "provenance"}
+
+
+def spec_for(shards: int, journal: bool = True) -> CampaignSpec:
+    return CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=shards,
+        config=ScanConfig(duration=DURATION),
+        journal=journal,
+    )
+
+
+@pytest.fixture(scope="module")
+def one_shard(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("journal-one")
+    return run_dir, run_pipeline(spec_for(1), run_dir=run_dir, workers=0)
+
+
+@pytest.fixture(scope="module")
+def four_shard(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("journal-four")
+    return run_dir, run_pipeline(spec_for(4), run_dir=run_dir, workers=0)
+
+
+@pytest.fixture(scope="module")
+def journal_off():
+    return run_pipeline(spec_for(1, journal=False), workers=0)
+
+
+@pytest.fixture(scope="module")
+def index(one_shard):
+    run_dir, _ = one_shard
+    return load_index(RunDirectory(run_dir).events_path)
+
+
+# -- journal unit behaviour -------------------------------------------------
+
+
+def test_flush_and_load_round_trip(tmp_path):
+    path = tmp_path / "events.ndjson"
+    journal = Journal(shard_id=0, path=path)
+    journal.emit("probe.sent", 1.5, probe="a" * 16, src="10.0.0.1")
+    journal.emit("fabric.path", 2.0, src="10.0.0.1", outcome="delivered")
+    assert journal.flush() == 2
+    events = load_events(path)
+    assert [e["kind"] for e in events] == ["probe.sent", "fabric.path"]
+    assert events[0]["seq"] == 0 and events[1]["seq"] == 1
+    assert all(e["v"] == 1 for e in events)
+    validate_events(events)
+
+
+def test_first_flush_truncates_stale_file(tmp_path):
+    path = tmp_path / "events.ndjson"
+    path.write_text("stale line from a previous run\n")
+    journal = Journal(shard_id=0, path=path)
+    journal.emit("probe.sent", 0.0, probe="b" * 16)
+    journal.flush()
+    # A second flush appends rather than truncating again.
+    journal.emit("auth.query", 1.0, probe="b" * 16)
+    journal.flush()
+    assert [e["kind"] for e in load_events(path)] == [
+        "probe.sent",
+        "auth.query",
+    ]
+
+
+def test_unbacked_journal_drops_beyond_bound():
+    journal = Journal(shard_id=0, path=None, max_buffered=3)
+    for i in range(5):
+        journal.emit("fabric.path", float(i))
+    assert len(journal.pending) == 3
+    assert journal.events_emitted == 5
+    assert journal.events_dropped == 2
+
+
+def test_journal_rejects_degenerate_bound():
+    with pytest.raises(ValueError):
+        Journal(max_buffered=0)
+
+
+def test_probe_id_is_stable_and_distinct():
+    a = probe_id(b"t1.example.")
+    assert a == probe_id(b"t1.example.")
+    assert len(a) == 16
+    assert a != probe_id(b"t2.example.")
+
+
+def test_validate_events_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown kind"):
+        validate_events(
+            [{"kind": "probe.teleported", "t": 0.0, "seq": 0, "v": 1}]
+        )
+
+
+def test_event_line_is_canonical():
+    line = event_line({"b": 1, "a": 2, "kind": "fabric.path"})
+    assert line == '{"a":2,"b":1,"kind":"fabric.path"}'
+
+
+# -- the deterministic shard-merge contract ---------------------------------
+
+
+def test_four_shard_journal_byte_identical_to_one_shard(
+    one_shard, four_shard
+):
+    dir1, _ = one_shard
+    dir4, _ = four_shard
+    merged1 = RunDirectory(dir1).events_path.read_bytes()
+    merged4 = RunDirectory(dir4).events_path.read_bytes()
+    assert merged1 == merged4
+
+
+def test_merge_renumbers_seq_globally(four_shard):
+    run_dir, _ = four_shard
+    events = load_events(RunDirectory(run_dir).events_path)
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    times = [e["t"] for e in events if e["t"] is not None]
+    assert times == sorted(times)
+
+
+def test_merge_is_idempotent(four_shard, tmp_path):
+    """Re-merging the shard journals reproduces the scan-event prefix.
+
+    ``events.ndjson`` additionally carries the ``classify.*`` events the
+    analyze stage appended; those sort strictly after every timed scan
+    event, so the re-merge must be a byte-exact prefix of the final file.
+    """
+    run_dir, _ = four_shard
+    rd = RunDirectory(run_dir)
+    again = tmp_path / "events.ndjson"
+    merge_shard_journals(
+        [rd.shard_events_path(i) for i in range(4)], again
+    )
+    final = rd.events_path.read_bytes()
+    remerged = again.read_bytes()
+    assert final.startswith(remerged)
+    tail = final[len(remerged):].decode().splitlines()
+    assert tail and all('"kind":"classify.' in line for line in tail)
+
+
+def test_merged_journal_validates(one_shard):
+    run_dir, _ = one_shard
+    events = load_events(RunDirectory(run_dir).events_path)
+    validate_events(events)
+    kinds = {e["kind"] for e in events}
+    assert "probe.sent" in kinds
+    assert "fabric.path" in kinds
+    assert "resolver.recursion" in kinds
+    assert "auth.query" in kinds
+    assert "classify.target" in kinds and "classify.asn" in kinds
+    assert kinds <= set(EVENT_KINDS)
+
+
+def test_classification_pass_is_idempotent(one_shard):
+    run_dir, outcome = one_shard
+    path = RunDirectory(run_dir).events_path
+    before = path.read_bytes()
+    append_classifications(path, outcome.campaign.collector)
+    assert path.read_bytes() == before
+
+
+# -- results are never perturbed --------------------------------------------
+
+
+def test_results_identical_with_journal_on_and_off(one_shard, journal_off):
+    _, on = one_shard
+    a = json.dumps(minus_provenance(on.results), sort_keys=True)
+    b = json.dumps(minus_provenance(journal_off.results), sort_keys=True)
+    assert a == b
+
+
+def test_journal_off_writes_no_events(tmp_path):
+    run_pipeline(spec_for(1, journal=False), run_dir=tmp_path, workers=0)
+    assert not RunDirectory(tmp_path).events_path.exists()
+
+
+def test_journal_requires_run_dir():
+    with pytest.raises(ValueError, match="run directory"):
+        run_pipeline(spec_for(1), run_dir=None, workers=0)
+
+
+# -- causal reconstruction ---------------------------------------------------
+
+
+def _chains_by_outcome(index):
+    penetrated = dropped = None
+    for pid in index.probe_ids():
+        chain = index.chain(pid)
+        if chain["sent"] is None:
+            continue
+        if penetrated is None and chain["penetration"] is not None:
+            penetrated = chain
+        if (
+            dropped is None
+            and chain["fabric"]
+            and chain["fabric"][0]["outcome"].startswith("drop")
+        ):
+            dropped = chain
+        if penetrated and dropped:
+            break
+    return penetrated, dropped
+
+
+def test_explain_reconstructs_a_penetrating_probe(index):
+    penetrated, _ = _chains_by_outcome(index)
+    assert penetrated is not None, "scenario produced no penetration"
+    # The complete causal chain: emission, border verdicts, recursion,
+    # authoritative observation, classification.
+    assert penetrated["fabric"][0]["outcome"] == "delivered"
+    assert penetrated["fabric"][0]["ingress"]["verdict"] == "accept"
+    assert penetrated["recursion"]
+    assert penetrated["auth"]
+    assert penetrated["classifications"]
+    story = render_narrative(penetrated)
+    assert "spoofed" in story
+    assert "passed OSAV" in story
+    assert "DSAV absent" in story
+    assert "observed qname" in story
+    assert "evidence" in story
+
+
+def test_explain_reconstructs_a_dropped_probe(index):
+    _, dropped = _chains_by_outcome(index)
+    assert dropped is not None, "scenario produced no filtered probe"
+    hop = dropped["fabric"][0]
+    assert hop["outcome"].startswith("drop")
+    assert not dropped["auth"]
+    assert dropped["penetration"] is None
+    story = render_narrative(dropped)
+    assert "dropped by" in story
+    assert "never observed at the authoritative servers" in story
+
+
+def test_qname_lookup_round_trips(index):
+    pid = next(iter(index.meta))
+    qname = index.meta[pid]["qname"]
+    assert index.probe_for_qname(qname) == pid
+    assert index.probe_for_qname(qname.rstrip(".")) == pid
+
+
+def test_asn_summary_names_every_probe(index):
+    meta = next(iter(index.meta.values()))
+    asn = meta["asn"]
+    summary = render_asn_summary(index, asn)
+    assert f"AS{asn}:" in summary
+    assert summary.count("probe ") == len(index.probes_for_asn(asn))
+
+
+def test_audit_passes_on_a_full_pipeline_run(index, one_shard):
+    _, outcome = one_shard
+    assert audit(index, outcome.results) == []
+
+
+def test_audit_flags_orphan_classifications(one_shard):
+    run_dir, _ = one_shard
+    events = load_events(RunDirectory(run_dir).events_path)
+    for event in events:
+        if event["kind"] == "classify.target":
+            event["probes"] = ["f" * 16]
+            break
+    problems = audit(JournalIndex(events))
+    assert any("unknown probe" in p for p in problems)
+
+
+def test_audit_flags_headline_mismatch(index, one_shard):
+    _, outcome = one_shard
+    results = json.loads(json.dumps(outcome.results))
+    results["headline"]["v4"]["reachable_addresses"] += 1
+    problems = audit(index, results)
+    assert any("reachable addresses" in p for p in problems)

@@ -1,0 +1,73 @@
+"""Tests for the live scan progress reporter."""
+
+import io
+
+from repro.obs.progress import ProgressReporter, _format_eta
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_eta_formatting():
+    assert _format_eta(42) == "42s"
+    assert _format_eta(61) == "1m01s"
+    assert _format_eta(3600) == "1h00m"
+    assert _format_eta(7325) == "2h02m"
+
+
+def test_counts_accumulate_through_callbacks():
+    reporter = ProgressReporter(io.StringIO(), total_shards=4)
+    reporter.add_planned(100)
+    for _ in range(7):
+        reporter.probe_sent()
+    reporter.penetration()
+    reporter.shard_done()
+    assert reporter.planned == 100
+    assert reporter.sent == 7
+    assert reporter.penetrations == 1
+    assert reporter.shards_done == 1
+
+
+def test_nontty_renders_plain_lines():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream, total_shards=2)
+    # Non-tty throttling stretches to >= 5s between renders.
+    assert reporter.min_interval >= 5.0
+    reporter.add_planned(10)
+    reporter.shard_done()  # forced render
+    lines = stream.getvalue().splitlines()
+    assert lines
+    assert all(line.startswith("scan: probes") for line in lines)
+    assert "\r" not in stream.getvalue()
+    assert "shards 1/2" in lines[-1]
+
+
+def test_tty_redraws_in_place_and_finishes_with_newline():
+    stream = TtyStream()
+    reporter = ProgressReporter(stream, total_shards=1)
+    reporter.add_planned(5)
+    reporter.probe_sent()
+    reporter.finish()
+    value = stream.getvalue()
+    assert value.startswith("\r")
+    assert value.endswith("\n")
+
+
+def test_eta_appears_once_rate_is_known():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream)
+    reporter.add_planned(1_000_000)
+    reporter.probe_sent()
+    reporter.shard_done()
+    assert "eta " in stream.getvalue()
+
+
+def test_silent_when_nothing_rendered():
+    stream = TtyStream()
+    reporter = ProgressReporter(stream, min_interval=0.0)
+    # finish() on a reporter that rendered still terminates the line;
+    # a reporter created and immediately finished renders final state.
+    reporter.finish()
+    assert stream.getvalue().startswith("\r")

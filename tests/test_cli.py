@@ -102,6 +102,78 @@ def test_obs_missing_telemetry_errors(capsys, tmp_path):
     assert "--metrics" in err
 
 
+def test_scan_journal_then_explain(capsys, tmp_path):
+    """The ISSUE acceptance flow: scan --journal, then explain."""
+    run_dir = tmp_path / "run"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--journal", "--workers", "0",
+                 "--run-dir", str(run_dir)]) == 0
+    captured = capsys.readouterr()
+    assert (run_dir / "events.ndjson").exists()
+    assert "probe journal written" in captured.err
+    # stdout stays machine-parseable report text; chatter is on stderr.
+    assert "probe journal written" not in captured.out
+    assert "stages run" in captured.err
+
+    assert main(["explain", str(run_dir), "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "audit OK" in out
+    assert "headline counts match results.json" in out
+
+    # Pick a probe id out of the journal and ask for its story.
+    import json as json_module
+
+    with (run_dir / "events.ndjson").open() as handle:
+        probe = next(
+            json_module.loads(line)["probe"]
+            for line in handle
+            if '"kind":"probe.sent"' in line
+        )
+    assert main(["explain", str(run_dir), "--probe", probe]) == 0
+    out = capsys.readouterr().out
+    assert f"probe {probe} spoofed" in out
+    assert "OSAV" in out
+
+    assert main(["explain", str(run_dir), "--probe", probe,
+                 "--json"]) == 0
+    chain = json_module.loads(capsys.readouterr().out)
+    assert chain["probe"] == probe
+    assert chain["sent"]["kind"] == "probe.sent"
+
+
+def test_scan_quiet_suppresses_stderr_chatter(capsys, tmp_path):
+    run_dir = tmp_path / "run"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--journal", "--workers", "0",
+                 "--run-dir", str(run_dir), "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert "Section 4: headline" in captured.out
+
+
+def test_scan_journal_requires_run_dir(capsys):
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--journal"]) == 2
+    assert "--run-dir" in capsys.readouterr().err
+
+
+def test_explain_missing_journal_errors(capsys, tmp_path):
+    assert main(["explain", str(tmp_path), "--audit"]) == 1
+    err = capsys.readouterr().err
+    assert "events.ndjson" in err
+    assert "--journal" in err
+
+
+def test_explain_unknown_probe_errors(capsys, tmp_path):
+    run_dir = tmp_path / "run"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "40", "--journal", "--workers", "0",
+                 "--run-dir", str(run_dir), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["explain", str(run_dir), "--probe", "0" * 16]) == 1
+    assert "not in journal" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
