@@ -31,16 +31,96 @@ def _banner(title: str) -> None:
     print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
 
 
+#: Defaults for the scan flags that identify a campaign.  The argparse
+#: defaults are ``None`` sentinels so ``--resume`` can tell "flag left
+#: at its default" apart from "flag explicitly repeated" and refuse
+#: flags that contradict the recorded spec.
+_SCAN_DEFAULTS = {
+    "seed": 2019,
+    "n_ases": 120,
+    "duration": 180.0,
+    "shards": 1,
+    "retries": 0,
+}
+
+
+def _resume_mismatches(
+    args: argparse.Namespace, faults_payload
+) -> list[str]:
+    """Explicitly-passed scan flags that contradict the recorded spec."""
+    from .core.pipeline import RunDirectory
+
+    rd = RunDirectory(args.resume)
+    if not rd.manifest_path.exists():
+        return []  # resume_pipeline reports the missing manifest
+    spec = rd.read_spec()
+    recorded = {
+        "seed": spec.seed,
+        "n_ases": spec.n_ases,
+        "duration": spec.scan.get("duration"),
+        "shards": spec.shards,
+        "retries": spec.scan.get("max_retries", 0),
+    }
+    mismatches = [
+        f"{name}: run has {recorded_value}, flag says "
+        f"{getattr(args, name)}"
+        for name, recorded_value in recorded.items()
+        if getattr(args, name) is not None
+        and getattr(args, name) != recorded_value
+    ]
+    if faults_payload is not None and faults_payload != spec.faults:
+        mismatches.append(
+            f"faults: run has "
+            f"{'a different plan' if spec.faults else 'no fault plan'}, "
+            f"flag says {args.faults}"
+        )
+    # store_true flags: only the explicit-True direction is detectable.
+    if args.metrics and not spec.metrics:
+        mismatches.append("metrics: run has False, flag says True")
+    if args.journal and not spec.journal:
+        mismatches.append("journal: run has False, flag says True")
+    return mismatches
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     import json as _json
 
     from .core.campaign import Campaign
+    from .core.pipeline import PipelineError
 
     def status(message: str) -> None:
         # Status chatter goes to stderr so stdout carries only the
         # report / JSON and stays machine-parseable.
         if not args.quiet:
             print(message, file=sys.stderr)
+
+    faults_payload = None
+    if args.faults is not None:
+        from .netsim.faults import FaultPlan
+
+        try:
+            faults_payload = FaultPlan.load(args.faults).to_payload()
+        except (OSError, ValueError) as exc:
+            print(f"error: --faults {args.faults}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.resume is not None:
+        try:
+            mismatches = _resume_mismatches(args, faults_payload)
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return exc.exit_code
+        if mismatches:
+            print(
+                "error: --resume spec mismatch — "
+                + "; ".join(mismatches)
+                + " (drop the flag or start a fresh --run-dir)",
+                file=sys.stderr,
+            )
+            return 2
+    for name, default in _SCAN_DEFAULTS.items():
+        if getattr(args, name) is None:
+            setattr(args, name, default)
 
     if args.journal and args.resume is None and args.run_dir is None:
         print(
@@ -58,50 +138,66 @@ def cmd_scan(args: argparse.Namespace) -> int:
             total_shards=0 if args.resume is not None else args.shards
         )
 
-    if args.resume is not None:
-        from .core.pipeline import resume_pipeline
+    try:
+        if args.resume is not None:
+            from .core.pipeline import resume_pipeline
 
-        outcome = resume_pipeline(
-            args.resume, workers=args.workers, progress=progress
-        )
-    elif (
-        args.shards > 1
-        or args.run_dir is not None
-        or args.metrics
-        or args.journal
-    ):
-        from .core.pipeline import CampaignSpec, run_pipeline
+            outcome = resume_pipeline(
+                args.resume, workers=args.workers, progress=progress,
+                hang_timeout=args.hang_timeout,
+            )
+        elif (
+            args.shards > 1
+            or args.run_dir is not None
+            or args.metrics
+            or args.journal
+            or faults_payload is not None
+        ):
+            from .core.pipeline import CampaignSpec, run_pipeline
 
-        spec = CampaignSpec.from_scan_config(
-            seed=args.seed,
-            n_ases=args.n_ases,
-            shards=args.shards,
-            config=ScanConfig(duration=args.duration),
-            metrics=args.metrics,
-            journal=args.journal,
-        )
-        outcome = run_pipeline(
-            spec, run_dir=args.run_dir, workers=args.workers,
-            progress=progress,
-        )
-    else:
-        campaign = Campaign.run_default(
-            seed=args.seed, n_ases=args.n_ases, duration=args.duration,
-            progress=progress,
-        )
-        if progress is not None:
-            progress.finish()
-        print(campaign.summary())
-        print()
-        print(campaign.full_report())
-        from .core.paper import comparison_report
+            spec = CampaignSpec.from_scan_config(
+                seed=args.seed,
+                n_ases=args.n_ases,
+                shards=args.shards,
+                config=ScanConfig(
+                    duration=args.duration, max_retries=args.retries
+                ),
+                metrics=args.metrics,
+                journal=args.journal,
+                faults=faults_payload,
+            )
+            outcome = run_pipeline(
+                spec, run_dir=args.run_dir, workers=args.workers,
+                progress=progress, hang_timeout=args.hang_timeout,
+            )
+        else:
+            campaign = Campaign.run_default(
+                seed=args.seed, n_ases=args.n_ases,
+                duration=args.duration,
+                scan_config=ScanConfig(
+                    duration=args.duration, max_retries=args.retries
+                ),
+                progress=progress,
+            )
+            if progress is not None:
+                progress.finish()
+            print(campaign.summary())
+            print()
+            print(campaign.full_report())
+            from .core.paper import comparison_report
 
-        _banner("Paper shape-claim verdicts")
-        print(comparison_report(campaign))
-        if args.json is not None:
-            campaign.save_results(args.json)
-            status(f"structured results written to {args.json}")
-        return 0
+            _banner("Paper shape-claim verdicts")
+            print(comparison_report(campaign))
+            if args.json is not None:
+                campaign.save_results(args.json)
+                status(f"structured results written to {args.json}")
+            return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
     if progress is not None:
         progress.finish()
@@ -415,17 +511,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     scan = sub.add_parser("scan", help="full campaign + all tables")
-    scan.add_argument("--n-ases", type=int, default=120)
-    scan.add_argument("--seed", type=int, default=2019)
-    scan.add_argument("--duration", type=float, default=180.0)
+    # Campaign-identity flags default to None sentinels (resolved to
+    # _SCAN_DEFAULTS in cmd_scan) so --resume can detect explicit
+    # flags that contradict the recorded spec.
+    scan.add_argument("--n-ases", type=int, default=None)
+    scan.add_argument("--seed", type=int, default=None)
+    scan.add_argument("--duration", type=float, default=None)
     scan.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write structured results as JSON",
     )
     scan.add_argument(
-        "--shards", type=int, default=1,
+        "--shards", type=int, default=None,
         help="partition target ASes across this many scan worker "
         "processes; results are byte-identical to --shards 1",
+    )
+    scan.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retransmit unanswered probes up to N times with "
+        "exponential backoff (default 0: single-shot probes, "
+        "byte-identical to earlier releases)",
+    )
+    scan.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="inject the deterministic fault plan (JSON, see "
+        "examples/faultplans/) into the packet fabric; stored as "
+        "faults.json in the run directory",
+    )
+    scan.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and re-execute a scan shard worker whose heartbeat "
+        "goes stale this long (default: no hang detection)",
     )
     scan.add_argument(
         "--workers", type=int, default=None,

@@ -90,6 +90,15 @@ class ScanMetadata:
     effective_duration: float = 0.0
     shards: int = 1
     wall_seconds: float = 0.0
+    # -- resilience accounting (all zero when retries and faults are
+    # off, which keeps the provenance block — and so results.json —
+    # byte-identical to a build without the chaos fabric).
+    probes_retransmitted: int = 0
+    retries_recovered: int = 0
+    retries_shed: int = 0
+    retries_exhausted: int = 0
+    retry_enabled: bool = False
+    fault_clauses: int = 0
 
     @classmethod
     def from_scanner(
@@ -104,6 +113,11 @@ class ScanMetadata:
             effective_duration=scanner.effective_duration,
             shards=shards,
             wall_seconds=wall_seconds,
+            probes_retransmitted=scanner.probes_retransmitted,
+            retries_recovered=scanner.retries_recovered,
+            retries_shed=scanner.retries_shed,
+            retries_exhausted=scanner.retries_exhausted,
+            retry_enabled=scanner.config.max_retries > 0,
         )
 
     @classmethod
@@ -126,6 +140,14 @@ class ScanMetadata:
             ),
             shards=len(parts),
             wall_seconds=sum(p.wall_seconds for p in parts),
+            probes_retransmitted=sum(p.probes_retransmitted for p in parts),
+            retries_recovered=sum(p.retries_recovered for p in parts),
+            retries_shed=sum(p.retries_shed for p in parts),
+            retries_exhausted=sum(p.retries_exhausted for p in parts),
+            retry_enabled=any(p.retry_enabled for p in parts),
+            fault_clauses=max(
+                (p.fault_clauses for p in parts), default=0
+            ),
         )
 
     def to_payload(self) -> dict:
@@ -138,6 +160,12 @@ class ScanMetadata:
             "effective_duration": self.effective_duration,
             "shards": self.shards,
             "wall_seconds": self.wall_seconds,
+            "probes_retransmitted": self.probes_retransmitted,
+            "retries_recovered": self.retries_recovered,
+            "retries_shed": self.retries_shed,
+            "retries_exhausted": self.retries_exhausted,
+            "retry_enabled": self.retry_enabled,
+            "fault_clauses": self.fault_clauses,
         }
 
     @classmethod
@@ -394,20 +422,33 @@ class Campaign:
             }
             for row in results.source_categories.rows
         }
+        # Full provenance of the run that produced these numbers.  This
+        # is the only section allowed to differ between equivalent runs
+        # (wall_seconds, shards); equivalence checks compare the
+        # document minus this key.  The resilience sub-block appears
+        # only when retries or a fault plan were active, so an
+        # untouched run's results.json stays byte-identical to builds
+        # that predate the chaos fabric.
+        provenance = {
+            "seed": self.scenario.params.seed,
+            "n_ases": self.scenario.params.n_ases,
+            "shards": self.metadata.shards,
+            "probes_sent": self.metadata.probes_sent,
+            "effective_duration": self.metadata.effective_duration,
+            "wall_seconds": self.metadata.wall_seconds,
+        }
+        if self.metadata.retry_enabled or self.metadata.fault_clauses:
+            provenance["resilience"] = {
+                "retry_enabled": self.metadata.retry_enabled,
+                "probes_retransmitted": self.metadata.probes_retransmitted,
+                "retries_recovered": self.metadata.retries_recovered,
+                "retries_shed": self.metadata.retries_shed,
+                "retries_exhausted": self.metadata.retries_exhausted,
+                "fault_clauses": self.metadata.fault_clauses,
+            }
         return {
             "schema_version": RESULTS_SCHEMA_VERSION,
-            # Full provenance of the run that produced these numbers.
-            # This is the only section allowed to differ between
-            # equivalent runs (wall_seconds, shards); equivalence checks
-            # compare the document minus this key.
-            "provenance": {
-                "seed": self.scenario.params.seed,
-                "n_ases": self.scenario.params.n_ases,
-                "shards": self.metadata.shards,
-                "probes_sent": self.metadata.probes_sent,
-                "effective_duration": self.metadata.effective_duration,
-                "wall_seconds": self.metadata.wall_seconds,
-            },
+            "provenance": provenance,
             "seed": self.scenario.params.seed,
             "n_ases": self.scenario.params.n_ases,
             "probes": self.metadata.probes_scheduled,

@@ -51,13 +51,21 @@ whose artifacts are missing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import signal
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..netsim.faults import FaultPlan, ShardCrashInjected
 from ..obs.export import telemetry_payload, write_telemetry
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder, activate, span
@@ -75,6 +83,44 @@ ARTIFACT_SCHEMA_VERSION = 1
 
 #: Stage names, in execution order.
 STAGES = ("build", "scan", "collect", "analyze", "report")
+
+#: Executions allowed per scan shard (1 initial + capped re-runs of a
+#: crashed or killed worker) before the run is declared partial.
+MAX_SHARD_ATTEMPTS = 3
+
+#: Seconds between hung-worker heartbeat checks while a pool is busy.
+_HANG_POLL = 2.0
+
+
+class PipelineError(RuntimeError):
+    """Base for pipeline failures with CLI exit-code semantics."""
+
+    #: process exit code the CLI maps this failure to.
+    exit_code = 1
+
+
+class ArtifactCorruptError(PipelineError):
+    """A stage artifact failed its checksum or would not parse.
+
+    The offending file has been quarantined (renamed aside) so a
+    ``--resume`` regenerates it instead of trusting it.
+    """
+
+    exit_code = 4
+
+
+class PartialScanError(PipelineError):
+    """Some scan shards exhausted their re-execution attempts.
+
+    Every shard that did complete has its artifact persisted, so the
+    run is resumable once the underlying cause is fixed.
+    """
+
+    exit_code = 3
+
+    def __init__(self, message: str, failed_shards: list[int]) -> None:
+        super().__init__(message)
+        self.failed_shards = failed_shards
 
 
 @dataclass
@@ -96,11 +142,19 @@ class CampaignSpec:
     #: record the per-probe event journal into ``events.ndjson``.
     #: Requires a run directory; never affects ``results.json``.
     journal: bool = False
+    #: serialized :class:`~repro.netsim.faults.FaultPlan` payload, or
+    #: ``None`` for a fault-free campaign.  Stored as part of the spec
+    #: so a resumed run injects exactly the same faults.
+    faults: dict[str, Any] | None = None
     scan: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.faults is not None:
+            # Validate eagerly: a bad plan should fail at spec time,
+            # not inside a worker process mid-scan.
+            FaultPlan.from_payload(self.faults)
 
     @classmethod
     def from_scan_config(
@@ -112,6 +166,7 @@ class CampaignSpec:
         config: ScanConfig,
         metrics: bool = False,
         journal: bool = False,
+        faults: dict[str, Any] | None = None,
     ) -> "CampaignSpec":
         return cls(
             seed=seed,
@@ -119,14 +174,21 @@ class CampaignSpec:
             shards=shards,
             metrics=metrics,
             journal=journal,
+            faults=faults,
             scan=asdict(config),
         )
 
     def scan_config(self) -> ScanConfig:
         return ScanConfig(**self.scan)
 
+    def fault_plan(self) -> FaultPlan | None:
+        """The fault plan this spec injects, or ``None``."""
+        if self.faults is None:
+            return None
+        return FaultPlan.from_payload(self.faults)
+
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "schema_version": ARTIFACT_SCHEMA_VERSION,
             "seed": self.seed,
             "n_ases": self.n_ases,
@@ -135,6 +197,9 @@ class CampaignSpec:
             "journal": self.journal,
             "scan": dict(self.scan),
         }
+        if self.faults is not None:
+            payload["faults"] = dict(self.faults)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "CampaignSpec":
@@ -145,6 +210,7 @@ class CampaignSpec:
             shards=payload["shards"],
             metrics=payload.get("metrics", False),
             journal=payload.get("journal", False),
+            faults=payload.get("faults"),
             scan=dict(payload["scan"]),
         )
 
@@ -202,12 +268,63 @@ class RunDirectory:
     def shard_events_path(self, shard_id: int) -> Path:
         return self.path / f"events-{shard_id:03d}.ndjson"
 
+    @property
+    def faults_path(self) -> Path:
+        return self.path / "faults.json"
+
+    def heartbeat_path(self, shard_id: int) -> Path:
+        return self.path / f"heartbeat-{shard_id:03d}.json"
+
+    def crash_marker_glob(self, shard_id: int, clause_index: int):
+        """Markers left by already-fired shard-crash clauses."""
+        return self.path.glob(
+            f"crash-{shard_id:03d}-c{clause_index}-*.marker"
+        )
+
+    def crash_marker_path(
+        self, shard_id: int, clause_index: int, firing: int
+    ) -> Path:
+        return self.path / (
+            f"crash-{shard_id:03d}-c{clause_index}-{firing}.marker"
+        )
+
     # -- manifest --------------------------------------------------------
 
     def read_spec(self) -> CampaignSpec:
         """Load the spec recorded in the manifest (for ``--resume``)."""
-        manifest = _read_json(self.manifest_path)
+        try:
+            manifest = _read_json(self.manifest_path)
+        except ValueError as exc:
+            raise ArtifactCorruptError(
+                f"{self.manifest_path} is not valid JSON ({exc}); the "
+                "run directory cannot be trusted — delete it and rerun"
+            ) from exc
         return CampaignSpec.from_payload(manifest["spec"])
+
+    # -- checksum envelope ----------------------------------------------
+
+    def record_artifact(self, path: Path) -> None:
+        """Record *path*'s sha256 in the manifest.
+
+        Read paths verify against this digest so a truncated or
+        bit-flipped artifact is quarantined instead of silently merged
+        into a resumed run.
+        """
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        manifest = _read_json(self.manifest_path)
+        manifest.setdefault("artifacts", {})[path.name] = digest
+        _write_json(self.manifest_path, manifest)
+
+    def recorded_digest(self, name: str) -> str | None:
+        if not self.manifest_path.exists():
+            return None
+        return _read_json(self.manifest_path).get("artifacts", {}).get(name)
+
+    def quarantine(self, path: Path) -> Path:
+        """Move a corrupt artifact aside so resume regenerates it."""
+        quarantined = path.with_name(path.name + ".quarantined")
+        os.replace(path, quarantined)
+        return quarantined
 
     def bind_spec(self, spec: CampaignSpec) -> None:
         """Record *spec* in the manifest, or verify it matches.
@@ -253,6 +370,173 @@ def _write_json(path: Path, payload: dict[str, Any]) -> None:
     os.replace(tmp, path)
 
 
+def _read_artifact(
+    rd: RunDirectory | None,
+    path: Path,
+    what: str,
+    *,
+    parse_json: bool = True,
+) -> Any:
+    """Read an artifact, verifying its recorded checksum first.
+
+    Artifacts written before checksums existed have no recorded digest
+    and are read as before; anything recorded must match byte-for-byte
+    or it is quarantined and the resume fails with a clear error.
+    """
+    raw = path.read_bytes()
+    recorded = rd.recorded_digest(path.name) if rd is not None else None
+    if recorded is not None:
+        actual = hashlib.sha256(raw).hexdigest()
+        if actual != recorded:
+            quarantined = rd.quarantine(path)
+            raise ArtifactCorruptError(
+                f"{what} at {path} failed its checksum "
+                f"(recorded {recorded[:12]}…, found {actual[:12]}…); "
+                f"moved to {quarantined.name} — rerun with --resume to "
+                "regenerate it"
+            )
+    if not parse_json:
+        return raw
+    try:
+        return json.loads(raw)
+    except ValueError as exc:
+        if rd is not None:
+            quarantined = rd.quarantine(path)
+            raise ArtifactCorruptError(
+                f"{what} at {path} is not valid JSON ({exc}); moved to "
+                f"{quarantined.name} — rerun with --resume to "
+                "regenerate it"
+            ) from exc
+        raise
+
+
+# ---------------------------------------------------------------------------
+# worker liveness and scripted crashes
+# ---------------------------------------------------------------------------
+
+
+class ShardHeartbeat:
+    """Liveness file a scan worker refreshes as it sends probes.
+
+    The parent reads ``heartbeat-NNN.json`` while the pool runs; a
+    worker whose heartbeat goes stale past the hang timeout is killed
+    and its shard re-executed like any other crash.
+    """
+
+    #: minimum wall-clock seconds between refreshes.
+    interval = 2.0
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.probes = 0
+        self._last_write = 0.0
+
+    def start(self) -> None:
+        self._write()
+
+    # -- progress-reporter protocol (only probe_sent advances us) -------
+
+    def add_planned(self, count: int) -> None:
+        pass
+
+    def penetration(self) -> None:
+        pass
+
+    def probe_sent(self) -> None:
+        self.probes += 1
+        if time.time() - self._last_write >= self.interval:
+            self._write()
+
+    def _write(self) -> None:
+        self._last_write = time.time()
+        _write_json(
+            self.path,
+            {
+                "pid": os.getpid(),
+                "time": self._last_write,
+                "probes": self.probes,
+            },
+        )
+
+
+class _ScanHooks:
+    """Fan scanner progress callbacks out to several sinks.
+
+    The scanner binds exactly one progress object; this lets the live
+    reporter, the heartbeat, and the crash fuse all ride it.
+    """
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = [sink for sink in sinks if sink is not None]
+
+    def add_planned(self, count: int) -> None:
+        for sink in self._sinks:
+            sink.add_planned(count)
+
+    def probe_sent(self) -> None:
+        for sink in self._sinks:
+            sink.probe_sent()
+
+    def penetration(self) -> None:
+        for sink in self._sinks:
+            sink.penetration()
+
+
+class _CrashFuse:
+    """Fires scripted shard-crash clauses as the scan progresses.
+
+    Each firing drops a marker file into the run directory *before*
+    dying, so the re-executed shard sees the clause as spent and runs
+    to completion — exactly ``times`` crashes per clause, across any
+    number of re-executions.
+    """
+
+    def __init__(
+        self,
+        clauses,  # [(clause_index, ShardCrash)] for this shard
+        rd: RunDirectory,
+        shard_id: int,
+        in_worker: bool,
+    ) -> None:
+        self._rd = rd
+        self._shard = shard_id
+        self._in_worker = in_worker
+        self._count = 0
+        self._armed = []
+        for index, clause in clauses:
+            fired = len(list(rd.crash_marker_glob(shard_id, index)))
+            if fired < clause.times:
+                self._armed.append([index, clause, fired])
+
+    def add_planned(self, count: int) -> None:
+        pass
+
+    def penetration(self) -> None:
+        pass
+
+    def probe_sent(self) -> None:
+        self._count += 1
+        for entry in self._armed:
+            index, clause, fired = entry
+            if fired < clause.times and self._count == clause.after_probes:
+                entry[2] = fired + 1
+                self._trigger(index, clause, fired)
+
+    def _trigger(self, index, clause, firing: int) -> None:
+        self._rd.crash_marker_path(self._shard, index, firing).write_text(
+            f"pid={os.getpid()}\n"
+        )
+        # Inline shards run in the pipeline parent: killing or hanging
+        # would take the whole run down, so every mode degrades to the
+        # catchable exception there.
+        if not self._in_worker or clause.mode == "raise":
+            raise ShardCrashInjected(self._shard, index)
+        if clause.mode == "hang":
+            while True:  # parent's hang-timeout reaper SIGKILLs us
+                time.sleep(60)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 # ---------------------------------------------------------------------------
 # scan stage (runs in worker processes)
 # ---------------------------------------------------------------------------
@@ -277,19 +561,38 @@ def run_scan_shard(
 
     spec = CampaignSpec.from_payload(payload["spec"])
     shard_id = payload["shard_id"]
+    run_dir = payload.get("run_dir")
+    rd = RunDirectory(run_dir) if run_dir is not None else None
     registry = MetricsRegistry() if spec.metrics else None
     recorder = SpanRecorder() if spec.metrics else None
     journal = None
     if spec.journal:
         from ..obs.journal import Journal
 
-        run_dir = payload.get("run_dir")
         if run_dir is None:
             raise ValueError("journaled scan shard requires a run directory")
         journal = Journal(
             shard_id=shard_id,
             path=Path(run_dir) / f"events-{shard_id:03d}.ndjson",
         )
+    fault_plan = spec.fault_plan()
+    heartbeat = None
+    fuse = None
+    if rd is not None:
+        heartbeat = ShardHeartbeat(rd.heartbeat_path(shard_id))
+        heartbeat.start()
+    if fault_plan is not None:
+        crash_clauses = fault_plan.crash_clauses(shard_id)
+        if crash_clauses:
+            if rd is None:
+                raise ValueError(
+                    "shard-crash fault clauses require a run directory "
+                    "(crash markers track spent firings)"
+                )
+            fuse = _CrashFuse(
+                crash_clauses, rd, shard_id,
+                in_worker=bool(payload.get("in_worker")),
+            )
 
     def _scan() -> tuple[Any, Any, float]:
         with span("scan.shard", shard=shard_id):
@@ -308,9 +611,17 @@ def run_scan_shard(
                 )
                 config = spec.scan_config()
                 config.pinned_duration = payload["pinned_duration"]
+                if "pinned_retry_budget" in payload:
+                    config.pinned_retry_budget = payload[
+                        "pinned_retry_budget"
+                    ]
                 scanner, collector = scenario.make_scanner(
                     config, targets=shard_targets
                 )
+                if fault_plan is not None:
+                    injector = fault_plan.compile()
+                    if injector is not None:
+                        scenario.fabric.install_faults(injector)
                 if registry is not None:
                     from ..obs.instrument import instrument_scenario
 
@@ -321,8 +632,14 @@ def run_scan_shard(
 
                     journal_scenario(journal, scenario)
                     scanner.bind_journal(journal)
-                if progress is not None:
-                    scanner.bind_progress(progress)
+                if (
+                    progress is not None
+                    or heartbeat is not None
+                    or fuse is not None
+                ):
+                    scanner.bind_progress(
+                        _ScanHooks(progress, heartbeat, fuse)
+                    )
             with span("run") as run_span:
                 scanner.run()
             if journal is not None:
@@ -355,6 +672,8 @@ def run_scan_shard(
         # proper; detached workers fall back to the outer clock.
         wall = run_wall if run_wall else perf_counter() - start
     metadata = ScanMetadata.from_scanner(scanner, wall_seconds=wall)
+    if fault_plan is not None:
+        metadata.fault_clauses = len(fault_plan.clauses)
     artifact = {
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "shard_id": shard_id,
@@ -371,29 +690,119 @@ def run_scan_shard(
     return artifact
 
 
-def _global_duration(
-    scenario: "BuiltScenario", targets: TargetSet, config: ScanConfig
-) -> float:
-    """The effective campaign duration of the *unsharded* run.
+def _plan_census(
+    scenario: "BuiltScenario", targets: TargetSet, shards: int
+) -> tuple[int, list[int]]:
+    """Planned first-attempt probe counts: campaign total and per shard.
 
-    Shards must pace probes on the full campaign's timeline, but the
-    duration/max_rate stretch in :meth:`Scanner.schedule_campaign` is
-    computed from the local probe total — a shard would stretch less.
-    The parent recomputes the global figure (the spoof planner is
-    per-target deterministic, so counting plans here matches what the
-    workers will schedule) and pins it into every shard's config.
+    The spoof planner is per-target deterministic, so counting plans in
+    the parent matches exactly what each worker will schedule.  The
+    totals feed two global-to-local pinnings: the duration stretch
+    under ``max_rate`` and the per-shard retry-budget split.
     """
-    if config.max_rate is None:
-        return config.duration
     planner = scenario.make_planner()
-    total = 0
+    per_shard = [0] * shards
     for target in targets.targets:
         plan = planner.plan(target.address)
         if plan is not None:
-            total += len(plan.sources)
-    if not total:
-        return config.duration
-    return max(config.duration, total / config.max_rate)
+            per_shard[target.asn % shards] += len(plan.sources)
+    return sum(per_shard), per_shard
+
+
+def _split_budget(budget: int, weights: list[int]) -> list[int]:
+    """Split a campaign retry budget across shards, by probe share.
+
+    Largest-remainder apportionment: shares sum exactly to *budget*
+    and the split is deterministic for a given census.
+    """
+    total = sum(weights)
+    if total == 0:
+        return [0] * len(weights)
+    shares = []
+    remainders = []
+    for index, weight in enumerate(weights):
+        exact = budget * weight / total
+        base = int(exact)
+        shares.append(base)
+        remainders.append((-(exact - base), index))
+    leftover = budget - sum(shares)
+    for _, index in sorted(remainders)[:leftover]:
+        shares[index] += 1
+    return shares
+
+
+def _kill_if_hung(
+    rd: RunDirectory, shard_id: int, hang_timeout: float
+) -> None:
+    """SIGKILL a worker whose heartbeat is older than *hang_timeout*.
+
+    Stale heartbeat files from earlier attempts are deleted before a
+    job is (re)submitted, so any file present here was written by the
+    worker currently owning the shard.  The kill surfaces to the pool
+    as a broken worker, and the normal crash-recovery path re-executes
+    the shard.
+    """
+    hb_path = rd.heartbeat_path(shard_id)
+    if not hb_path.exists():
+        return  # job queued but not started yet
+    try:
+        hb = json.loads(hb_path.read_text())
+    except ValueError:
+        return  # mid-rename; next poll sees the full file
+    if time.time() - hb.get("time", 0.0) < hang_timeout:
+        return
+    pid = hb.get("pid")
+    if pid and pid != os.getpid():
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass
+
+
+def _run_pool_round(
+    jobs: list[dict[str, Any]],
+    workers: int,
+    rd: RunDirectory | None,
+    progress,
+    hang_timeout: float | None,
+) -> tuple[list[dict[str, Any]], list[tuple[dict[str, Any], BaseException]]]:
+    """One process-pool pass over *jobs*.
+
+    Returns ``(completed artifacts, [(job, exception), ...])``.  A
+    worker death (scripted SIGKILL, OOM kill, hang reaper) breaks the
+    whole pool — completed futures keep their results, everything in
+    flight fails — so the caller persists the survivors and re-submits
+    only the failures in a fresh pool.
+    """
+    completed: list[dict[str, Any]] = []
+    failed: list[tuple[dict[str, Any], BaseException]] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(jobs))
+    ) as pool:
+        futures = {pool.submit(run_scan_shard, job): job for job in jobs}
+        not_done = set(futures)
+        while not_done:
+            # Poll (rather than block) so hung workers are noticed even
+            # when no shard is completing.
+            done, not_done = wait(
+                not_done,
+                timeout=_HANG_POLL if hang_timeout is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                job = futures[future]
+                try:
+                    completed.append(future.result())
+                    if progress is not None:
+                        progress.shard_done()
+                except Exception as exc:
+                    failed.append((job, exc))
+            if not_done and hang_timeout is not None and rd is not None:
+                for future in not_done:
+                    _kill_if_hung(
+                        rd, futures[future]["shard_id"], hang_timeout
+                    )
+    return completed, failed
 
 
 # ---------------------------------------------------------------------------
@@ -420,6 +829,10 @@ class PipelineOutcome:
     #: Lives beside the results (and in ``telemetry.json``), never
     #: inside them — results stay byte-identical with metrics on or off.
     telemetry: dict[str, Any] | None = None
+    #: scan-stage execution counts ``{shard_id: executions}`` — a
+    #: reused shard counts 0, a shard re-executed after one crash 2.
+    #: ``None`` when the scan stage was served entirely from disk.
+    scan_stats: dict[int, int] | None = None
 
 
 def run_pipeline(
@@ -428,6 +841,7 @@ def run_pipeline(
     run_dir=None,
     workers: int | None = None,
     progress=None,
+    hang_timeout: float | None = None,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -437,6 +851,9 @@ def run_pipeline(
     process (useful under test, and what ``shards=1`` effectively is).
     ``progress`` is an optional live reporter (see
     :class:`repro.obs.progress.ProgressReporter`) fed by the scan stage.
+    ``hang_timeout`` (seconds) arms the hung-worker reaper: a pool
+    worker whose heartbeat goes stale that long is killed and its shard
+    re-executed like any other crash.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
     if spec.journal and rd is None:
@@ -446,6 +863,12 @@ def run_pipeline(
         )
     if rd is not None:
         rd.bind_spec(spec)
+        if spec.faults is not None:
+            # The plan is part of the spec, but a standalone artifact
+            # makes the chaos configuration of a run auditable without
+            # digging through the manifest.
+            _write_json(rd.faults_path, dict(spec.faults))
+            rd.record_artifact(rd.faults_path)
     stages_run: list[str] = []
     stages_skipped: list[str] = []
 
@@ -455,8 +878,10 @@ def run_pipeline(
         and rd.results_path.exists()
         and rd.report_path.exists()
     ):
-        results = _read_json(rd.results_path)
-        report = rd.report_path.read_text()
+        results = _read_artifact(rd, rd.results_path, "results artifact")
+        report = _read_artifact(
+            rd, rd.report_path, "report artifact", parse_json=False
+        ).decode()
         telemetry = (
             _read_json(rd.telemetry_path)
             if rd.telemetry_path.exists()
@@ -492,8 +917,11 @@ def run_pipeline(
 
         # -- scan + collect, or reload the merged observations artifact.
         collector: Collector
+        scan_stats: dict[int, int] | None = None
         if rd is not None and rd.observations_path.exists():
-            artifact = _read_json(rd.observations_path)
+            artifact = _read_artifact(
+                rd, rd.observations_path, "observations artifact"
+            )
             _check_version(artifact, "observations artifact")
             collector = _fresh_collector(scenario)
             collector.absorb_payload(artifact["collection"])
@@ -502,9 +930,10 @@ def run_pipeline(
             stages_skipped.extend(["scan", "collect"])
         else:
             with span("scan"):
-                shard_payloads = _run_scan_stage(
+                shard_payloads, scan_stats = _run_scan_stage(
                     spec, scenario, targets, rd, workers,
                     stages_run, stages_skipped, progress,
+                    hang_timeout=hang_timeout,
                 )
                 # Fold each shard's telemetry into the campaign-wide
                 # view: metrics merge deterministically, span trees
@@ -547,6 +976,7 @@ def run_pipeline(
                             "collection": collector.to_payload(),
                         },
                     )
+                    rd.record_artifact(rd.observations_path)
                     rd.mark_stage("collect")
             stages_run.append("collect")
 
@@ -568,6 +998,7 @@ def run_pipeline(
                 append_classifications(rd.events_path, collector)
         if rd is not None:
             _write_json(rd.results_path, results)
+            rd.record_artifact(rd.results_path)
             rd.mark_stage("analyze")
         stages_run.append("analyze")
 
@@ -578,6 +1009,7 @@ def run_pipeline(
             tmp = rd.report_path.with_suffix(".txt.tmp")
             tmp.write_text(report)
             os.replace(tmp, rd.report_path)
+            rd.record_artifact(rd.report_path)
             rd.mark_stage("report")
         stages_run.append("report")
 
@@ -597,11 +1029,16 @@ def run_pipeline(
         stages_run=stages_run,
         stages_skipped=stages_skipped,
         telemetry=telemetry,
+        scan_stats=scan_stats,
     )
 
 
 def resume_pipeline(
-    run_dir, *, workers: int | None = None, progress=None
+    run_dir,
+    *,
+    workers: int | None = None,
+    progress=None,
+    hang_timeout: float | None = None,
 ) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
@@ -611,7 +1048,11 @@ def resume_pipeline(
         )
     spec = rd.read_spec()
     return run_pipeline(
-        spec, run_dir=run_dir, workers=workers, progress=progress
+        spec,
+        run_dir=run_dir,
+        workers=workers,
+        progress=progress,
+        hang_timeout=hang_timeout,
     )
 
 
@@ -639,10 +1080,32 @@ def _run_scan_stage(
     stages_run: list[str],
     stages_skipped: list[str],
     progress=None,
-) -> list[dict[str, Any]]:
-    """Produce every shard artifact, reusing any already on disk."""
-    pinned = _global_duration(scenario, targets, spec.scan_config())
+    hang_timeout: float | None = None,
+) -> tuple[list[dict[str, Any]], dict[int, int]]:
+    """Produce every shard artifact, reusing any already on disk.
+
+    Returns ``(artifacts in shard order, {shard_id: executions})`` —
+    a reused shard counts zero executions, a shard that survived one
+    crash counts two.  Crashed or killed workers are re-executed up to
+    :data:`MAX_SHARD_ATTEMPTS` times; only the failed shards re-run,
+    every completed artifact is persisted the round it lands.
+    """
+    config = spec.scan_config()
+    pinned = config.duration
+    budget_shares = None
+    if config.max_rate is not None or config.retry_budget is not None:
+        total, per_shard = _plan_census(scenario, targets, spec.shards)
+        if config.max_rate is not None and total:
+            # Shards must pace probes on the full campaign's timeline,
+            # but the duration/max_rate stretch in schedule_campaign is
+            # computed from the local probe total — a shard would
+            # stretch less.  Pin the global figure into every shard.
+            pinned = max(config.duration, total / config.max_rate)
+        if config.retry_budget is not None:
+            budget_shares = _split_budget(config.retry_budget, per_shard)
+
     payloads: dict[int, dict[str, Any]] = {}
+    shard_attempts: dict[int, int] = {}
     pending: list[dict[str, Any]] = []
     for shard_id in range(spec.shards):
         reusable = rd is not None and rd.shard_path(shard_id).exists()
@@ -651,9 +1114,12 @@ def _run_scan_stage(
             # exists too; otherwise re-run to regenerate both.
             reusable = rd.shard_events_path(shard_id).exists()
         if reusable:
-            artifact = _read_json(rd.shard_path(shard_id))
+            artifact = _read_artifact(
+                rd, rd.shard_path(shard_id), f"shard {shard_id} artifact"
+            )
             _check_version(artifact, f"shard {shard_id} artifact")
             payloads[shard_id] = artifact
+            shard_attempts[shard_id] = 0
             stages_skipped.append(f"scan[{shard_id}]")
             if progress is not None:
                 progress.shard_done()
@@ -663,44 +1129,93 @@ def _run_scan_stage(
             "shard_id": shard_id,
             "pinned_duration": pinned,
         }
-        if spec.journal and rd is not None:
+        if budget_shares is not None:
+            job["pinned_retry_budget"] = budget_shares[shard_id]
+        if rd is not None:
             job["run_dir"] = str(rd.path)
+        shard_attempts[shard_id] = 0
         pending.append(job)
 
     if pending:
         if workers is None:
             workers = min(len(pending), os.cpu_count() or 1)
-        if workers <= 0 or len(pending) == 1:
-            results = []
-            for job in pending:
-                if progress is not None:
-                    results.append(run_scan_shard(job, progress))
-                    progress.shard_done()
+        inline = workers <= 0 or len(pending) == 1
+        results: list[dict[str, Any]] = []
+        remaining = pending
+        while remaining:
+            for job in remaining:
+                shard_attempts[job["shard_id"]] += 1
+                if rd is not None:
+                    # Drop stale heartbeats so the hang reaper never
+                    # acts on a file from a previous attempt.
+                    rd.heartbeat_path(job["shard_id"]).unlink(
+                        missing_ok=True
+                    )
+            failed: list[tuple[dict[str, Any], BaseException]]
+            if inline:
+                round_results, failed = [], []
+                for job in remaining:
+                    try:
+                        if progress is not None:
+                            round_results.append(
+                                run_scan_shard(job, progress)
+                            )
+                            progress.shard_done()
+                        else:
+                            round_results.append(run_scan_shard(job))
+                    except ShardCrashInjected as exc:
+                        failed.append((job, exc))
+            else:
+                for job in remaining:
+                    job["in_worker"] = True
+                round_results, failed = _run_pool_round(
+                    remaining, workers, rd, progress, hang_timeout
+                )
+            # Persist survivors immediately (in shard order, so stage
+            # bookkeeping stays deterministic despite pool races) —
+            # work completed before a crash is never redone.
+            for artifact in sorted(
+                round_results, key=lambda a: a["shard_id"]
+            ):
+                results.append(artifact)
+                if rd is not None:
+                    _write_json(
+                        rd.shard_path(artifact["shard_id"]), artifact
+                    )
+                    rd.record_artifact(rd.shard_path(artifact["shard_id"]))
+            if not failed:
+                break
+            retry_jobs: list[dict[str, Any]] = []
+            exhausted: list[tuple[int, BaseException]] = []
+            for job, exc in sorted(
+                failed, key=lambda item: item[0]["shard_id"]
+            ):
+                shard_id = job["shard_id"]
+                if shard_attempts[shard_id] >= MAX_SHARD_ATTEMPTS:
+                    exhausted.append((shard_id, exc))
                 else:
-                    results.append(run_scan_shard(job))
-        else:
-            results = []
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))
-            ) as pool:
-                futures = [
-                    pool.submit(run_scan_shard, job) for job in pending
-                ]
-                # as_completed (not map) so the progress line advances
-                # the moment any shard lands, whatever its index.
-                for future in as_completed(futures):
-                    results.append(future.result())
-                    if progress is not None:
-                        progress.shard_done()
-        # Completion order is racy under the pool; log and persist in
-        # shard order so stage bookkeeping stays deterministic.
+                    retry_jobs.append(job)
+            if exhausted:
+                detail = "; ".join(
+                    f"shard {shard_id}: {exc!r}"
+                    for shard_id, exc in exhausted
+                )
+                raise PartialScanError(
+                    f"{len(exhausted)} scan shard(s) failed after "
+                    f"{MAX_SHARD_ATTEMPTS} attempts ({detail}); "
+                    "completed shard artifacts are persisted — fix the "
+                    "cause and rerun with --resume",
+                    [shard_id for shard_id, _ in exhausted],
+                )
+            remaining = retry_jobs
         for artifact in sorted(results, key=lambda a: a["shard_id"]):
             payloads[artifact["shard_id"]] = artifact
-            if rd is not None:
-                _write_json(rd.shard_path(artifact["shard_id"]), artifact)
             stages_run.append(f"scan[{artifact['shard_id']}]")
     if rd is not None:
         rd.mark_stage("scan")
 
     # Deterministic merge order regardless of which shards ran live.
-    return [payloads[shard_id] for shard_id in range(spec.shards)]
+    return (
+        [payloads[shard_id] for shard_id in range(spec.shards)],
+        shard_attempts,
+    )

@@ -121,6 +121,31 @@ class ScanConfig:
     #: duration here so every shard paces its targets on the same
     #: timeline as the unsharded run would.
     pinned_duration: float | None = None
+    #: retransmission attempts per unanswered (target, source) pair
+    #: after the first probe (the paper's vantage retried lost probes;
+    #: skipping retries biases classification toward "filtered").  0
+    #: disables the retry machinery entirely — the event loop and the
+    #: results are then byte-identical to a build without it.
+    max_retries: int = 0
+    #: seconds to wait for the pair's first observation before the
+    #: first retransmission; doubles (see ``retry_backoff``) per
+    #: attempt.  Comfortably above the fabric's worst-case one-way
+    #: latency so a timer firing means loss, not slowness.
+    retry_timeout: float = 2.0
+    #: exponential backoff base between attempts.
+    retry_backoff: float = 2.0
+    #: fraction of the backoff delay added as content-keyed jitter so
+    #: retransmissions never synchronize into bursts.
+    retry_jitter: float = 0.5
+    #: campaign-wide ceiling on retransmissions; ``None`` is unlimited.
+    #: When the budget runs dry further retries are shed (counted, not
+    #: sent) — first-attempt probes are never shed, so degradation is
+    #: graceful: coverage narrows before it breaks.
+    retry_budget: int | None = None
+    #: the sharded pipeline's apportionment of ``retry_budget`` for one
+    #: shard (computed by the parent over the global plan census);
+    #: overrides ``retry_budget`` when set.
+    pinned_retry_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -133,6 +158,18 @@ class ScanConfig:
             raise ValueError("pinned_duration must be positive")
         if self.scheduler_batch < 1:
             raise ValueError("scheduler_batch must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
+        for name in ("retry_budget", "pinned_retry_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0")
 
 
 @dataclass
@@ -184,6 +221,29 @@ class Scanner:
         self.targets_planned = 0
         self.targets_unroutable = 0
         self.effective_duration = self.config.duration
+        # -- retransmission state (see _send_probe / _check_retry).
+        # All of it stays empty with max_retries=0, so the disabled
+        # scan's event sequence is identical to a retry-free build.
+        self._retry_enabled = self.config.max_retries > 0
+        budget = self.config.pinned_retry_budget
+        if budget is None:
+            budget = self.config.retry_budget
+        #: remaining campaign retransmission budget; None = unlimited.
+        self._retry_budget_left: int | None = budget
+        #: (target, source) -> pending timeout timer handle.
+        self._retry_timers: dict[tuple[Address, Address], object] = {}
+        #: (target, source) pairs observed at our authoritative servers.
+        self._observed_pairs: set[tuple[Address, Address]] = set()
+        #: (target, source) -> attempts sent so far (1 = first probe).
+        self._attempts: dict[tuple[Address, Address], int] = {}
+        #: (target, source) -> previous probe id, journal-only lineage.
+        self._prev_probe_id: dict[tuple[Address, Address], str] = {}
+        self.probes_retransmitted = 0
+        self.retries_recovered = 0
+        self.retries_shed = 0
+        self.retries_exhausted = 0
+        self._mx_retransmitted = None
+        self._mx_retry_outcomes = None
         #: prefixes whose operators opted out (Section 3.8); checked at
         #: send time so a mid-campaign request stops traffic instantly.
         self._opt_out_prefixes: list = []
@@ -226,6 +286,15 @@ class Scanner:
             "scan_probe_sim_seconds",
             "simulated send time of each probe within the campaign",
             buckets=(30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1920.0),
+        )
+        self._mx_retransmitted = registry.counter(
+            "scan_probes_retransmitted_total",
+            "probe retransmissions after an unanswered timeout",
+        )
+        self._mx_retry_outcomes = registry.counter(
+            "scan_retry_outcomes_total",
+            "terminal retry outcomes per (target, source) pair",
+            ("outcome",),
         )
 
     def bind_journal(self, journal) -> None:
@@ -366,7 +435,9 @@ class Scanner:
         # across batch boundaries still run in generator order.
         loop.schedule_at(batch[-1][0], self._pump)
 
-    def _send_probe(self, target: Address, asn: int, source: Address) -> None:
+    def _send_probe(
+        self, target: Address, asn: int, source: Address, attempt: int = 1
+    ) -> None:
         jr = self._journal
         if self._opted_out(target):
             self.probes_suppressed += 1
@@ -402,18 +473,98 @@ class Scanner:
             qname, source, target, qtype=self.config.qtype
         )
         if jr is not None:
+            pid = jr.probe_for(qname)
+            if attempt > 1:
+                jr.emit(
+                    "probe.retransmit",
+                    self.fabric.now,
+                    pid,
+                    src=jr.addr(source),
+                    dst=jr.addr(target),
+                    asn=asn,
+                    attempt=attempt,
+                    prev=self._prev_probe_id.get((target, source)),
+                )
             jr.probe_sent(
                 self.fabric.now,
-                jr.probe_for(qname),
+                pid,
                 jr.addr(source),
                 jr.addr(target),
                 asn,
                 packet.sport,
                 jr.name(qname),
             )
+        if self._retry_enabled:
+            pair = (target, source)
+            self._attempts[pair] = attempt
+            if jr is not None:
+                self._prev_probe_id[pair] = jr.probe_for(qname)
+            self._retry_timers[pair] = self.fabric.loop.schedule(
+                self._retry_delay(target, source, attempt),
+                partial(self._check_retry, target, asn, source, attempt),
+            )
         pg = self._progress
         if pg is not None:
             pg.probe_sent()
+
+    # -- retransmission ----------------------------------------------------
+
+    def _retry_delay(
+        self, target: Address, source: Address, attempt: int
+    ) -> float:
+        """Timeout before attempt *attempt* is declared unanswered.
+
+        Exponential backoff with content-keyed jitter: the jitter is a
+        pure function of (seed, pair, attempt), never a consumed RNG
+        stream, so a shard retries each pair at exactly the moment the
+        unsharded campaign would — the retry path preserves the
+        byte-identical shard merge.
+        """
+        base = self.config.retry_timeout * (
+            self.config.retry_backoff ** (attempt - 1)
+        )
+        jitter = stable_fraction(
+            self.seed,
+            "retry",
+            int(target),
+            target.version,
+            int(source),
+            attempt,
+        )
+        return base * (1.0 + self.config.retry_jitter * jitter)
+
+    def _check_retry(
+        self, target: Address, asn: int, source: Address, attempt: int
+    ) -> None:
+        """Timeout timer for one attempt: retransmit, shed, or give up."""
+        pair = (target, source)
+        self._retry_timers.pop(pair, None)
+        if pair in self._observed_pairs:
+            return
+        if attempt > self.config.max_retries:
+            # The pair stayed silent through the full battery; with
+            # independent per-attempt loss rolls that converges the
+            # verdict from "maybe lost" to "filtered".
+            self.retries_exhausted += 1
+            mx = self._mx_retry_outcomes
+            if mx is not None:
+                mx.inc(1, ("exhausted",))
+            return
+        budget = self._retry_budget_left
+        if budget is not None:
+            if budget <= 0:
+                self.retries_shed += 1
+                if self._mx_retry_outcomes is not None:
+                    self._mx_retry_outcomes.inc(1, ("shed",))
+                return
+            self._retry_budget_left = budget - 1
+        self.probes_retransmitted += 1
+        mx = self._mx_retransmitted
+        if mx is not None:
+            mx.inc()
+        # The fresh send time lands in the qname, so the retransmission
+        # is a new packet with independent loss/fault rolls.
+        self._send_probe(target, asn, source, attempt + 1)
 
     # -- real-time reaction ----------------------------------------------------
 
@@ -422,11 +573,25 @@ class Scanner:
         if decoded is None or decoded.channel is not Channel.MAIN:
             return
         target = decoded.dst
-        if target in self._followed_up:
-            return
         probe = self.probe_index.get((target, decoded.src))
         if probe is None:
             return  # open-resolver test or stray; no follow-up trigger
+        if self._retry_enabled:
+            # Pair-level settlement runs before the per-target follow-up
+            # gate: a target observed via one source may still have
+            # retries pending for its other sources' evidence.
+            pair = (target, decoded.src)
+            if pair not in self._observed_pairs:
+                self._observed_pairs.add(pair)
+                timer = self._retry_timers.pop(pair, None)
+                if timer is not None:
+                    self.fabric.loop.cancel(timer)
+                if self._attempts.get(pair, 1) > 1:
+                    self.retries_recovered += 1
+                    if self._mx_retry_outcomes is not None:
+                        self._mx_retry_outcomes.inc(1, ("recovered",))
+        if target in self._followed_up:
+            return
         self._followed_up.add(target)
         mx = self._mx_penetrations
         if mx is not None:

@@ -127,7 +127,11 @@ class EventLoop:
 
         Cancelling an event that already fired (or was already reaped)
         is a no-op and leaves no tombstone behind, so the tombstone set
-        stays bounded by the number of *pending* cancellations.
+        stays bounded by the number of *pending* cancellations — and
+        when those come to dominate the heap (a retry-heavy scan
+        cancels one timeout timer per answered probe), the heap is
+        compacted so neither structure grows past roughly twice the
+        live event count.
         """
         if (event.when, event.seq) <= self._last_popped:
             return
@@ -135,6 +139,27 @@ class EventLoop:
         mx = self._mx_tombstones
         if mx is not None:
             mx.set_max(len(self._cancelled))
+        if (
+            len(self._cancelled) >= self.COMPACT_MIN_TOMBSTONES
+            and len(self._cancelled) * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    #: Tombstones below this count are never worth a heap rebuild.
+    COMPACT_MIN_TOMBSTONES = 1024
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Every tombstone references an entry still in the heap (``cancel``
+        refuses already-popped events), so dropping the matching entries
+        clears the whole set.  O(n) now against O(n) dead weight on
+        every subsequent push/pop.
+        """
+        cancelled = self._cancelled
+        self._heap = [e for e in self._heap if e[1] not in cancelled]
+        heapq.heapify(self._heap)
+        cancelled.clear()
 
     def pending(self) -> int:
         """Return the number of events still queued (including cancelled)."""

@@ -74,6 +74,11 @@ DROP_OSAV = BorderVerdict.DROP_OSAV.value
 DROP_DSAV = BorderVerdict.DROP_DSAV.value
 DROP_MARTIAN = BorderVerdict.DROP_MARTIAN.value
 DROP_SUBNET_SAV = BorderVerdict.DROP_SUBNET_SAV.value
+#: Fault-plan injections (see :mod:`repro.netsim.faults`): a windowed
+#: burst-loss roll, a blackholed destination prefix, a resolver outage.
+DROP_FAULT_LOSS = "fault-loss"
+DROP_FAULT_BLACKHOLE = "fault-blackhole"
+DROP_FAULT_OUTAGE = "fault-outage"
 
 #: The exhaustive set; ``Fabric._drop`` refuses anything else, so a new
 #: drop path cannot ship without registering its reason here.
@@ -87,6 +92,9 @@ DROP_REASONS = frozenset(
         DROP_DSAV,
         DROP_MARTIAN,
         DROP_SUBNET_SAV,
+        DROP_FAULT_LOSS,
+        DROP_FAULT_BLACKHOLE,
+        DROP_FAULT_OUTAGE,
     }
 )
 
@@ -133,6 +141,9 @@ class Fabric:
     #: optional event journal (duck-typed, see repro.obs.journal); when
     #: unset the per-packet cost is one attribute check in ``send``.
     _journal: object | None = field(default=None, repr=False)
+    #: optional fault injector (see :meth:`install_faults`); ``None``
+    #: keeps the packet path at one attribute check per send.
+    faults: object | None = field(default=None, repr=False)
 
     def bind_metrics(self, registry) -> None:
         """Collect delivery/drop counters into *registry* from now on."""
@@ -145,10 +156,26 @@ class Fabric:
             "packets discarded, by drop reason and border ASN",
             ("reason", "asn"),
         )
+        if self.faults is not None:
+            self.faults.bind_metrics(registry)
 
     def bind_journal(self, journal) -> None:
         """Record a ``fabric.path`` event per DNS query from now on."""
         self._journal = journal
+
+    def install_faults(self, injector) -> None:
+        """Subject the packet path to *injector*'s fault plan.
+
+        The injector (a :class:`repro.netsim.faults.FaultInjector`, or
+        anything duck-compatible) is consulted after the border filters
+        accept a packet — faults model the network misbehaving, not the
+        filters — and again when delivery latency is computed.  Pass
+        the result of ``FaultPlan.compile()``; a ``None`` (zero-fault
+        plan) is accepted and leaves the fabric untouched.
+        """
+        self.faults = injector
+        if injector is not None and self.metrics is not None:
+            injector.bind_metrics(self.metrics)
 
     # -- topology construction -------------------------------------------
 
@@ -292,6 +319,21 @@ class Fabric:
         else:
             rec_to_asn = dest_as.asn
 
+        faults = self.faults
+        if faults is not None:
+            reason = faults.drop_reason(
+                packet, origin_as.asn, dest_as.asn, self.loop.now
+            )
+            if reason is not None:
+                if rec is not None:
+                    jr.fabric_done(rec, origin_as.asn, rec_to_asn, reason)
+                self._drop(
+                    packet,
+                    reason,
+                    None if reason == DROP_FAULT_LOSS else dest_as.asn,
+                )
+                return
+
         target = self._hosts.get(packet.dst)
         if target is None:
             if rec is not None:
@@ -310,6 +352,28 @@ class Fabric:
         for tap in self._taps:
             tap(packet, target)
         latency = self._latency(origin.asn, dest_as.asn)
+        if faults is not None:
+            mods = faults.delivery_mods(
+                packet, origin_as.asn, dest_as.asn, self.loop.now
+            )
+            if mods is not None:
+                factor, extra, duplicate_delay, kinds = mods
+                latency = latency * factor + extra
+                if duplicate_delay is not None:
+                    self.loop.schedule(
+                        latency + duplicate_delay,
+                        lambda: self._deliver(target, packet),
+                    )
+                if rec is not None:
+                    jr.emit(
+                        "fault.injected",
+                        self.loop.now,
+                        None,
+                        src=jr.addr(packet.src),
+                        dst=jr.addr(packet.dst),
+                        sport=packet.sport,
+                        kinds=kinds,
+                    )
         self.loop.schedule(latency, lambda: self._deliver(target, packet))
 
     def _deliver(self, target: Host, packet: Packet) -> None:

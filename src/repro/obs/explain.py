@@ -36,6 +36,9 @@ class JournalIndex:
         self.by_probe: dict[str, list[dict[str, Any]]] = {}
         self.meta: dict[str, dict[str, Any]] = {}
         self.by_flow: dict[tuple[str, str, int], list[dict[str, Any]]] = {}
+        self.faults_by_flow: dict[
+            tuple[str, str, int], list[dict[str, Any]]
+        ] = {}
         self.qname_to_probe: dict[str, str] = {}
         self.classifications: list[dict[str, Any]] = []
         for event in events:
@@ -48,6 +51,10 @@ class JournalIndex:
                 self.qname_to_probe[event["qname"]] = event["probe"]
             elif kind == "fabric.path":
                 self.by_flow.setdefault(
+                    (event["src"], event["dst"], event["sport"]), []
+                ).append(event)
+            elif kind == "fault.injected":
+                self.faults_by_flow.setdefault(
                     (event["src"], event["dst"], event["sport"]), []
                 ).append(event)
             elif kind.startswith("classify."):
@@ -77,15 +84,17 @@ class JournalIndex:
             return None
         events = self.by_probe.get(pid, [])
         fabric: list[dict[str, Any]] = []
+        faults: list[dict[str, Any]] = []
         if meta["kind"] == "probe.sent":
             # The spoofed query's own traversal, joined by flow tuple
             # (the probe id never reaches the fabric layer).
-            fabric = self.by_flow.get(
-                (meta["src"], meta["dst"], meta["sport"]), []
-            )
+            flow = (meta["src"], meta["dst"], meta["sport"])
+            fabric = self.by_flow.get(flow, [])
+            faults = self.faults_by_flow.get(flow, [])
         picked = {
             kind: [e for e in events if e["kind"] == kind]
             for kind in (
+                "probe.retransmit",
                 "resolver.recursion",
                 "resolver.upstream",
                 "resolver.response",
@@ -99,7 +108,15 @@ class JournalIndex:
             "suppressed": (
                 meta if meta["kind"] == "probe.suppressed" else None
             ),
+            # Present when this probe is itself a retransmission; its
+            # ``prev`` field links back to the earlier attempt's chain.
+            "retransmit": (
+                picked["probe.retransmit"][0]
+                if picked["probe.retransmit"]
+                else None
+            ),
             "fabric": fabric,
+            "faults": faults,
             "recursion": picked["resolver.recursion"],
             "upstream": picked["resolver.upstream"],
             "response": picked["resolver.response"],
@@ -172,6 +189,12 @@ def _border_story(hop: dict[str, Any]) -> list[str]:
         lines.append(f"delivered to {hop['dst']}")
     elif outcome == "loss":
         lines.append("lost in flight (simulated congestion)")
+    elif outcome == "fault-loss":
+        lines.append("lost to an injected burst-loss fault")
+    elif outcome == "fault-blackhole":
+        lines.append("null-routed by an injected blackhole fault")
+    elif outcome == "fault-outage":
+        lines.append("destination down (injected resolver outage)")
     elif outcome in ("no-route", "unrouted-asn", "no-host"):
         lines.append(f"discarded: {outcome}")
     return lines
@@ -191,8 +214,18 @@ def render_narrative(chain: dict[str, Any]) -> str:
         f"probe {pid} spoofed {meta['src']}→{meta['dst']} "
         f"(AS{meta['asn']}) at t={meta['t']:.4f}, qname {meta['qname']}"
     ]
+    retransmit = chain.get("retransmit")
+    if retransmit is not None:
+        steps.append(
+            f"retransmission attempt {retransmit['attempt']} "
+            f"(previous attempt: probe {retransmit['prev']})"
+        )
     for hop in chain["fabric"]:
         steps.extend(_border_story(hop))
+    for fault in chain.get("faults", ()):
+        steps.append(
+            f"fault injected in flight: {', '.join(fault['kinds'])}"
+        )
     for rec in chain["recursion"]:
         if rec["forwarder"] is not None:
             steps.append(

@@ -53,7 +53,15 @@ JOURNAL_SCHEMA_VERSION = 1
 EVENT_KINDS = {
     "probe.sent": 0,
     "probe.suppressed": 0,
+    #: a retransmission of an unanswered probe; shares its timestamp
+    #: and probe id with the ``probe.sent`` it precedes, and cites the
+    #: previous attempt's probe id as ``prev``.
+    "probe.retransmit": 0,
     "fabric.path": 1,
+    #: a fault-plan clause touched a delivered packet (duplication,
+    #: slowdown, reorder jitter); drops surface as ``fabric.path``
+    #: outcomes (``fault-loss`` / ``fault-blackhole`` / ``fault-outage``).
+    "fault.injected": 1,
     "resolver.recursion": 2,
     "resolver.upstream": 3,
     "resolver.response": 4,

@@ -321,3 +321,60 @@ def test_artifact_schema_version_enforced():
     payload["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
     with pytest.raises(ValueError, match="schema_version"):
         CampaignSpec.from_payload(payload)
+
+
+# -- checksum envelope / quarantine ----------------------------------------
+
+
+def test_corrupt_shard_artifact_quarantined_on_resume(
+    sharded, monkeypatch, tmp_path
+):
+    """A truncated shard artifact fails its recorded checksum: the file
+    is quarantined and the resume raises the exit-code-4 error."""
+    from repro.core.pipeline import ArtifactCorruptError
+
+    _, run_dir, _ = sharded
+    copy = tmp_path / "run"
+    shutil.copytree(run_dir, copy)
+    for name in ("results.json", "report.txt", "observations.json"):
+        (copy / name).unlink()
+    victim = copy / "shard-002.json"
+    victim.write_text(victim.read_text()[:100])  # truncate mid-write
+
+    with pytest.raises(ArtifactCorruptError, match="checksum") as excinfo:
+        resume_pipeline(copy, workers=0)
+    assert excinfo.value.exit_code == 4
+    assert not victim.exists()
+    assert (copy / "shard-002.json.quarantined").exists()
+
+    # The quarantine cleared the way: a second resume regenerates the
+    # shard and completes.
+    resumed = resume_pipeline(copy, workers=0)
+    assert "scan[2]" in resumed.stages_run
+
+
+def test_corrupt_results_artifact_quarantined(sharded, tmp_path):
+    from repro.core.pipeline import ArtifactCorruptError
+
+    _, run_dir, _ = sharded
+    copy = tmp_path / "run"
+    shutil.copytree(run_dir, copy)
+    (copy / "results.json").write_text("{}")  # wrong bytes, valid JSON
+
+    with pytest.raises(ArtifactCorruptError, match="results artifact"):
+        resume_pipeline(copy, workers=0)
+    assert (copy / "results.json.quarantined").exists()
+
+
+def test_unrecorded_artifacts_still_readable(sharded, tmp_path):
+    """Run directories from before the checksum envelope (no
+    ``artifacts`` map in the manifest) resume as before."""
+    _, run_dir, outcome = sharded
+    copy = tmp_path / "run"
+    shutil.copytree(run_dir, copy)
+    manifest = json.loads((copy / "manifest.json").read_text())
+    manifest.pop("artifacts")
+    (copy / "manifest.json").write_text(json.dumps(manifest))
+
+    resumed = resume_pipeline(copy, workers=0)
+    assert resumed.results == outcome.results

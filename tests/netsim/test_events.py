@@ -203,3 +203,48 @@ class TestTombstoneBounding:
         loop.cancel(dropped)  # idempotent, after the reap
         assert fired == ["kept"]
         assert loop._cancelled == set()
+
+
+class TestHeapCompaction:
+    """Pending-cancel tombstones must not grow the heap unboundedly.
+
+    Retry-heavy scans cancel thousands of still-pending timeout timers
+    (the answer arrived first); compaction physically removes those
+    entries once tombstones dominate the heap.
+    """
+
+    def test_mass_pending_cancellation_compacts_heap(self):
+        loop = EventLoop()
+        threshold = EventLoop.COMPACT_MIN_TOMBSTONES
+        keep = [loop.schedule(1e9 + i, lambda: None) for i in range(10)]
+        handles = [
+            loop.schedule(float(i), lambda: None)
+            for i in range(3 * threshold)
+        ]
+        for handle in handles:
+            loop.cancel(handle)
+        # Compaction fired: tombstones stay under the threshold and the
+        # heap holds nothing but live events.
+        assert len(loop._cancelled) < threshold
+        assert len(loop._heap) <= len(keep) + len(loop._cancelled)
+
+    def test_compaction_preserves_behavior(self):
+        loop = EventLoop()
+        fired = []
+        threshold = EventLoop.COMPACT_MIN_TOMBSTONES
+        survivors = [
+            loop.schedule(
+                float(2 * threshold + i), lambda i=i: fired.append(i)
+            )
+            for i in range(5)
+        ]
+        doomed = [
+            loop.schedule(float(i), lambda i=i: fired.append(1000 + i))
+            for i in range(2 * threshold)
+        ]
+        for handle in doomed:
+            loop.cancel(handle)
+        assert survivors  # handles stay valid across compaction
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert loop._cancelled == set()

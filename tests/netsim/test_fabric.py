@@ -6,6 +6,9 @@ import pytest
 
 from repro.netsim.autonomous_system import AutonomousSystem, BorderVerdict
 from repro.netsim.fabric import (
+    DROP_FAULT_BLACKHOLE,
+    DROP_FAULT_LOSS,
+    DROP_FAULT_OUTAGE,
     DROP_LOSS,
     DROP_NO_HOST,
     DROP_NO_ROUTE,
@@ -338,6 +341,7 @@ def test_drop_reasons_are_exhaustive():
     assert border_reasons <= DROP_REASONS
     assert DROP_REASONS == border_reasons | {
         DROP_LOSS, DROP_NO_ROUTE, DROP_UNROUTED_ASN, DROP_NO_HOST,
+        DROP_FAULT_LOSS, DROP_FAULT_BLACKHOLE, DROP_FAULT_OUTAGE,
     }
 
 

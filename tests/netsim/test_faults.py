@@ -1,0 +1,211 @@
+"""Fault plans: serialization round trips, validation, and the
+content-keyed determinism of the compiled injector."""
+
+from ipaddress import ip_address
+
+import pytest
+
+from repro.netsim.faults import (
+    Blackhole,
+    BurstLoss,
+    Duplicate,
+    FAULT_SCHEMA_VERSION,
+    FaultPlan,
+    Reorder,
+    ResolverOutage,
+    ResolverSlowdown,
+    ShardCrash,
+    ShardCrashInjected,
+)
+from repro.netsim.packet import Packet
+
+
+def make_packet(dst="30.0.0.1", sport=40000, payload=b"q1"):
+    return Packet(
+        src=ip_address("20.0.0.1"),
+        dst=ip_address(dst),
+        sport=sport,
+        dport=53,
+        payload=payload,
+    )
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=42,
+        name="kitchen-sink",
+        clauses=[
+            BurstLoss(rate=0.5, start=10.0, end=20.0, src_asn=64496),
+            Blackhole(prefix="30.0.0.0/24", start=0.0, end=5.0),
+            ResolverOutage(address="30.0.1.1", start=1.0, end=2.0),
+            ResolverSlowdown(address="30.0.2.2", factor=3.0),
+            Duplicate(rate=0.2, delay=0.1),
+            Reorder(rate=0.3, jitter=0.5),
+            ShardCrash(shard=1, after_probes=10, times=2, mode="raise"),
+        ],
+    )
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def test_plan_round_trips_through_payload():
+    plan = full_plan()
+    restored = FaultPlan.from_payload(plan.to_payload())
+    assert restored == plan
+
+
+def test_plan_round_trips_through_file(tmp_path):
+    plan = full_plan()
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_load_rejects_garbage_json(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.load(path)
+
+
+def test_payload_version_enforced():
+    payload = full_plan().to_payload()
+    payload["schema_version"] = FAULT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema_version"):
+        FaultPlan.from_payload(payload)
+
+
+def test_unknown_clause_kind_rejected():
+    payload = FaultPlan().to_payload()
+    payload["clauses"] = [{"kind": "meteor-strike"}]
+    with pytest.raises(ValueError, match="unknown kind"):
+        FaultPlan.from_payload(payload)
+
+
+def test_unknown_clause_field_rejected():
+    payload = FaultPlan().to_payload()
+    payload["clauses"] = [{"kind": "burst-loss", "rate": 0.5, "oops": 1}]
+    with pytest.raises(ValueError, match="burst-loss"):
+        FaultPlan.from_payload(payload)
+
+
+# -- validation ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "clause",
+    [
+        BurstLoss(rate=0.0),
+        BurstLoss(rate=1.5),
+        BurstLoss(rate=0.5, start=-1.0),
+        BurstLoss(rate=0.5, start=10.0, end=10.0),
+        Blackhole(prefix="not-a-prefix"),
+        ResolverOutage(address="not-an-ip"),
+        ResolverSlowdown(address="30.0.0.1", factor=1.0),
+        Duplicate(rate=0.5, delay=0.0),
+        Reorder(rate=0.5, jitter=0.0),
+        ShardCrash(shard=-1, after_probes=5),
+        ShardCrash(shard=0, after_probes=0),
+        ShardCrash(shard=0, after_probes=5, times=0),
+        ShardCrash(shard=0, after_probes=5, mode="explode"),
+    ],
+)
+def test_invalid_clauses_rejected(clause):
+    with pytest.raises(ValueError):
+        FaultPlan(clauses=[clause])
+
+
+# -- compile / injector ----------------------------------------------------
+
+
+def test_empty_plan_compiles_to_none():
+    assert FaultPlan().compile() is None
+
+
+def test_crash_only_plan_compiles_to_none():
+    plan = FaultPlan(clauses=[ShardCrash(shard=0, after_probes=1)])
+    assert plan.compile() is None
+    assert plan.crash_clauses(0) == [(0, plan.clauses[0])]
+    assert plan.crash_clauses(1) == []
+
+
+def test_blackhole_drops_only_in_prefix_and_window():
+    injector = FaultPlan(
+        clauses=[Blackhole(prefix="30.0.0.0/24", start=0.0, end=5.0)]
+    ).compile()
+    inside = make_packet("30.0.0.77")
+    outside = make_packet("30.0.1.77")
+    assert injector.drop_reason(inside, 1, 2, 1.0) == "fault-blackhole"
+    assert injector.drop_reason(outside, 1, 2, 1.0) is None
+    assert injector.drop_reason(inside, 1, 2, 5.0) is None  # window over
+    assert injector.injections["blackhole"] == 1
+
+
+def test_outage_drops_exact_address_in_window():
+    injector = FaultPlan(
+        clauses=[ResolverOutage(address="30.0.1.1", start=2.0, end=4.0)]
+    ).compile()
+    hit = make_packet("30.0.1.1")
+    assert injector.drop_reason(hit, 1, 2, 1.0) is None
+    assert injector.drop_reason(hit, 1, 2, 2.0) == "fault-outage"
+    assert injector.drop_reason(make_packet("30.0.1.2"), 1, 2, 3.0) is None
+
+
+def test_burst_loss_scopes_to_as_pair_and_is_content_keyed():
+    injector = FaultPlan(
+        seed=5,
+        clauses=[BurstLoss(rate=1.0, src_asn=64496, dst_asn=65001)],
+    ).compile()
+    packet = make_packet()
+    # rate=1.0: every in-scope packet drops, any other AS pair passes.
+    assert injector.drop_reason(packet, 64496, 65001, 0.0) == "fault-loss"
+    assert injector.drop_reason(packet, 64496, 65002, 0.0) is None
+    assert injector.drop_reason(packet, 64497, 65001, 0.0) is None
+
+
+def test_rolls_are_deterministic_and_content_keyed():
+    clause = BurstLoss(rate=0.5)
+    a = FaultPlan(seed=1, clauses=[clause]).compile()
+    b = FaultPlan(seed=1, clauses=[clause]).compile()
+    other_seed = FaultPlan(seed=2, clauses=[clause]).compile()
+    packets = [make_packet(payload=f"q{i}".encode()) for i in range(200)]
+    verdict_a = [a.drop_reason(p, 1, 2, 0.0) for p in packets]
+    verdict_b = [b.drop_reason(p, 1, 2, 0.0) for p in packets]
+    assert verdict_a == verdict_b  # same plan, same fates
+    dropped = sum(v is not None for v in verdict_a)
+    assert 0 < dropped < len(packets)  # rate actually bites both ways
+    verdict_c = [other_seed.drop_reason(p, 1, 2, 0.0) for p in packets]
+    assert verdict_a != verdict_c  # the seed keys the rolls
+
+
+def test_delivery_mods_compose_and_rescale_jitter():
+    injector = FaultPlan(
+        clauses=[
+            ResolverSlowdown(address="30.0.0.1", factor=4.0),
+            Reorder(rate=1.0, jitter=0.5),
+            Duplicate(rate=1.0, delay=0.125),
+        ]
+    ).compile()
+    packet = make_packet("30.0.0.1")
+    factor, extra, duplicate_delay, kinds = injector.delivery_mods(
+        packet, 1, 2, 0.0
+    )
+    assert factor == 4.0
+    assert 0.0 <= extra < 0.5  # winning roll rescaled into [0, jitter)
+    assert duplicate_delay == 0.125
+    assert kinds == ["resolver-slowdown", "reorder", "duplicate"]
+
+
+def test_delivery_mods_none_when_nothing_applies():
+    injector = FaultPlan(
+        clauses=[ResolverSlowdown(address="30.0.0.1", factor=4.0)]
+    ).compile()
+    assert injector.delivery_mods(make_packet("30.0.9.9"), 1, 2, 0.0) is None
+
+
+def test_shard_crash_exception_carries_context():
+    exc = ShardCrashInjected(3, 1)
+    assert exc.shard == 3
+    assert exc.clause_index == 1
+    assert "shard 3" in str(exc)

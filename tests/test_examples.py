@@ -77,3 +77,16 @@ def test_trace_driven_scan(tmp_path):
     )
     assert "Round-trip check passed" in out
     assert "lack DSAV" in out
+
+
+def test_canned_fault_plans_are_valid():
+    """Every shipped fault plan loads through the schema validator."""
+    from repro.netsim.faults import FaultPlan
+
+    plans = sorted((EXAMPLES / "faultplans").glob("*.json"))
+    assert {p.name for p in plans} >= {
+        "burst-loss.json", "zero.json", "campaign-weather.json"
+    }
+    for path in plans:
+        plan = FaultPlan.load(path)
+        assert plan.name
