@@ -129,6 +129,13 @@ def cmd_scan(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.profile and args.resume is None and args.run_dir is None:
+        print(
+            "error: --profile requires --run-dir "
+            "(profile-NNN.pstats needs somewhere to live)",
+            file=sys.stderr,
+        )
+        return 2
 
     progress = None
     if not args.quiet:
@@ -145,12 +152,15 @@ def cmd_scan(args: argparse.Namespace) -> int:
             outcome = resume_pipeline(
                 args.resume, workers=args.workers, progress=progress,
                 hang_timeout=args.hang_timeout,
+                scenario_cache=args.scenario_cache,
+                profile=args.profile,
             )
         elif (
             args.shards > 1
             or args.run_dir is not None
             or args.metrics
             or args.journal
+            or args.scenario_cache is not None
             or faults_payload is not None
         ):
             from .core.pipeline import CampaignSpec, run_pipeline
@@ -169,6 +179,8 @@ def cmd_scan(args: argparse.Namespace) -> int:
             outcome = run_pipeline(
                 spec, run_dir=args.run_dir, workers=args.workers,
                 progress=progress, hang_timeout=args.hang_timeout,
+                scenario_cache=args.scenario_cache,
+                profile=args.profile,
             )
         else:
             campaign = Campaign.run_default(
@@ -201,6 +213,8 @@ def cmd_scan(args: argparse.Namespace) -> int:
 
     if progress is not None:
         progress.finish()
+    if outcome.scenario_source == "cache":
+        status("scenario served from the compiled-scenario cache")
     if outcome.stages_skipped:
         status(
             f"stages skipped (resumed): {', '.join(outcome.stages_skipped)}"
@@ -570,6 +584,18 @@ def build_parser() -> argparse.ArgumentParser:
         "events.ndjson in --run-dir; explore it with `repro-dsav "
         "explain`.  Results are byte-identical with or without this "
         "flag",
+    )
+    scan.add_argument(
+        "--scenario-cache", default=None, metavar="DIR",
+        help="content-keyed cache of compiled scenarios: a repeated "
+        "run of the same spec loads the built world from DIR instead "
+        "of rebuilding it (also honoured via $REPRO_SCENARIO_CACHE).  "
+        "Results are byte-identical with or without a cache hit",
+    )
+    scan.add_argument(
+        "--profile", action="store_true",
+        help="dump per-shard cProfile stats to profile-NNN.pstats in "
+        "the run directory (requires --run-dir or --resume)",
     )
     scan.add_argument(
         "--quiet", action="store_true",

@@ -17,9 +17,14 @@ stage                 artifact
 ====================  =====================================================
 
 The scan stage is *shard-parallel*: the target ASes are partitioned into
-``shards`` disjoint subsets (``asn % shards``) and each subset is
-scanned by its own worker process against a private, independently built
-copy of the synthetic Internet.  The merge in ``collect`` folds the
+``shards`` disjoint subsets — probe-weighted by default, so shards carry
+equal probe load and finish together (``asn % shards`` remains available
+as ``partition="modulo"``) — and each subset is scanned by its own
+worker process.  The scenario is built **once**, in the parent: forked
+workers inherit it copy-on-write, non-fork workers load the compiled
+scenario artifact the parent wrote into the run directory (see
+:mod:`repro.scenarios.compiled`), and only as a last resort does a
+worker rebuild from the spec.  The merge in ``collect`` folds the
 per-shard observations back together.
 
 Why the merge is byte-identical to the single-process run
@@ -33,9 +38,10 @@ measurement infrastructure:
   pure functions of ``(seed, packet content)`` — never a position in a
   consumed RNG stream (see :mod:`repro.netsim.determinism`);
 * per-AS behaviour (resolvers, ACLs, forwarders) is driven by per-AS
-  RNGs derived from ``(seed, asn)``, so building the full Internet in
-  every worker yields bit-identical ASes regardless of which shard
-  scans them;
+  RNGs derived from ``(seed, asn)``, so every way a worker can obtain
+  the full Internet — fork-inherited from the parent, loaded from the
+  compiled artifact, or rebuilt from the spec — yields bit-identical
+  ASes regardless of which shard scans them;
 * the shared public DNS service is *stateless* (``NullCache``), so its
   responses are pure functions of the individual query.
 
@@ -52,7 +58,10 @@ whose artifacts are missing.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
+import multiprocessing
+import multiprocessing.connection
 import os
 import signal
 import time
@@ -136,6 +145,12 @@ class CampaignSpec:
     seed: int = 2019
     n_ases: int = 150
     shards: int = 1
+    #: how target ASes are assigned to shards.  ``"weighted"`` (the
+    #: default) balances *planned probe counts* across shards with a
+    #: greedy longest-processing-time fit, so shards finish together;
+    #: ``"modulo"`` is the original ``asn % shards`` split.  Both yield
+    #: byte-identical merged results — only wall-clock balance differs.
+    partition: str = "weighted"
     #: collect campaign telemetry (metrics + spans) into
     #: ``telemetry.json``.  Never affects ``results.json``.
     metrics: bool = False
@@ -151,6 +166,11 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.partition not in ("weighted", "modulo"):
+            raise ValueError(
+                f"unknown partition scheme {self.partition!r} "
+                "(expected 'weighted' or 'modulo')"
+            )
         if self.faults is not None:
             # Validate eagerly: a bad plan should fail at spec time,
             # not inside a worker process mid-scan.
@@ -164,6 +184,7 @@ class CampaignSpec:
         n_ases: int,
         shards: int,
         config: ScanConfig,
+        partition: str = "weighted",
         metrics: bool = False,
         journal: bool = False,
         faults: dict[str, Any] | None = None,
@@ -172,6 +193,7 @@ class CampaignSpec:
             seed=seed,
             n_ases=n_ases,
             shards=shards,
+            partition=partition,
             metrics=metrics,
             journal=journal,
             faults=faults,
@@ -193,6 +215,7 @@ class CampaignSpec:
             "seed": self.seed,
             "n_ases": self.n_ases,
             "shards": self.shards,
+            "partition": self.partition,
             "metrics": self.metrics,
             "journal": self.journal,
             "scan": dict(self.scan),
@@ -208,6 +231,10 @@ class CampaignSpec:
             seed=payload["seed"],
             n_ases=payload["n_ases"],
             shards=payload["shards"],
+            # Manifests written before partition schemes existed were
+            # produced by the modulo split; defaulting to it keeps their
+            # reused shard artifacts consistent on resume.
+            partition=payload.get("partition", "modulo"),
             metrics=payload.get("metrics", False),
             journal=payload.get("journal", False),
             faults=payload.get("faults"),
@@ -271,6 +298,15 @@ class RunDirectory:
     @property
     def faults_path(self) -> Path:
         return self.path / "faults.json"
+
+    @property
+    def scenario_path(self) -> Path:
+        """The compiled-scenario artifact shared by non-fork workers."""
+        return self.path / "scenario.bin"
+
+    def profile_path(self, shard_id: int) -> Path:
+        """cProfile stats dumped by shard workers under ``--profile``."""
+        return self.path / f"profile-{shard_id:03d}.pstats"
 
     def heartbeat_path(self, shard_id: int) -> Path:
         return self.path / f"heartbeat-{shard_id:03d}.json"
@@ -541,24 +577,104 @@ class _CrashFuse:
 # scan stage (runs in worker processes)
 # ---------------------------------------------------------------------------
 
+#: the parent pipeline's live scenario, published just before shard
+#: workers fork so they inherit it copy-on-write.  Only ever *used* in a
+#: fork child (``_IN_FORK_CHILD``): the parent needs its copy pristine
+#: for the analyze stage, and each child's scan mutations stay private
+#: to that child's address space.
+_SHARED_SCENARIO = None
+#: serialized artifact of the same scenario, for workers that run in
+#: this very process (inline shards) and therefore must deserialize a
+#: private copy instead of touching the parent's object.
+_SHARED_BLOB: bytes | None = None
+#: content key both of the above were produced under.
+_SHARED_KEY: str | None = None
+#: set in the fork-pool child bootstrap, never in the parent.
+_IN_FORK_CHILD = False
+
+
+def _publish_scenario(scenario, blob: bytes | None, key: str) -> None:
+    global _SHARED_SCENARIO, _SHARED_BLOB, _SHARED_KEY
+    _SHARED_SCENARIO = scenario
+    _SHARED_BLOB = blob
+    _SHARED_KEY = key
+
+
+def _retract_scenario() -> None:
+    global _SHARED_SCENARIO, _SHARED_BLOB, _SHARED_KEY
+    _SHARED_SCENARIO = None
+    _SHARED_BLOB = None
+    _SHARED_KEY = None
+
+
+def _acquire_scenario(spec: CampaignSpec, payload: dict[str, Any]):
+    """Obtain the shard's scenario: inherit, load, or (last) rebuild.
+
+    Preference order and why:
+
+    1. **fork-inherited** — zero cost: the parent built it once and the
+       fork's copy-on-write pages carry it into the child.
+    2. **in-process blob** — inline shards deserialize a private copy so
+       their scan never mutates the parent's analyze-stage scenario.
+    3. **run-directory artifact** — workers with no process lineage to
+       the builder (spawn pools, a resumed run on another machine).
+    4. **rebuild from spec** — always available, always identical; the
+       other paths are purely faster routes to the same object graph.
+
+    Returns ``(scenario, source, seconds)`` where *source* names the
+    path taken (``inherited``/``blob``/``artifact``/``built``).
+    """
+    from ..scenarios import ScenarioParams, build_internet
+    from ..scenarios.compiled import (
+        ScenarioArtifactError,
+        content_key,
+        deserialize_scenario,
+        load_scenario,
+    )
+
+    params = ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+    key = content_key(params)
+    start = time.perf_counter()
+    if (
+        _IN_FORK_CHILD
+        and _SHARED_SCENARIO is not None
+        and _SHARED_KEY == key
+    ):
+        return _SHARED_SCENARIO, "inherited", time.perf_counter() - start
+    if _SHARED_BLOB is not None and _SHARED_KEY == key:
+        scenario = deserialize_scenario(_SHARED_BLOB, expect_key=key)
+        return scenario, "blob", time.perf_counter() - start
+    run_dir = payload.get("run_dir")
+    if run_dir is not None:
+        artifact_path = RunDirectory(run_dir).scenario_path
+        if artifact_path.exists():
+            try:
+                scenario = load_scenario(artifact_path, expect_key=key)
+            except (ScenarioArtifactError, OSError):
+                pass  # stale or torn artifact: fall through to rebuild
+            else:
+                return scenario, "artifact", time.perf_counter() - start
+    scenario = build_internet(params)
+    return scenario, "built", time.perf_counter() - start
+
 
 def run_scan_shard(
     payload: dict[str, Any], progress=None
 ) -> dict[str, Any]:
     """Scan one shard of the target space; module-level for pickling.
 
-    The worker rebuilds the entire synthetic Internet from the spec —
-    scenario construction is a pure function of the seed, so every
-    worker's copy is identical — then scans only the targets whose
-    ``asn % shards`` equals its shard id.  The campaign duration is
-    pinned to the globally computed value so probes are paced exactly
-    as in the unsharded run.
+    The worker acquires the synthetic Internet via
+    :func:`_acquire_scenario` — fork-inherited from the parent when
+    possible, loaded from the compiled artifact otherwise, rebuilt from
+    the spec as a last resort; all three yield bit-identical worlds —
+    then scans only its assigned targets (the explicit ``asns`` list in
+    the job, or the legacy ``asn % shards`` split).  The campaign
+    duration is pinned to the globally computed value so probes are
+    paced exactly as in the unsharded run.
 
     ``progress`` (a live reporter, inline shards only — it does not
     survive pickling into a pool worker) receives per-probe callbacks.
     """
-    from ..scenarios import ScenarioParams, build_internet
-
     spec = CampaignSpec.from_payload(payload["spec"])
     shard_id = payload["shard_id"]
     run_dir = payload.get("run_dir")
@@ -594,18 +710,28 @@ def run_scan_shard(
                 in_worker=bool(payload.get("in_worker")),
             )
 
+    timings: dict[str, Any] = {}
+    shard_asns = payload.get("asns")
+    members = frozenset(shard_asns) if shard_asns is not None else None
+
     def _scan() -> tuple[Any, Any, float]:
         with span("scan.shard", shard=shard_id):
             with span("build"):
-                scenario = build_internet(
-                    ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+                scenario, source, acquire_wall = _acquire_scenario(
+                    spec, payload
                 )
+                timings["scenario_source"] = source
+                timings["acquire_seconds"] = acquire_wall
                 full = scenario.target_set()
                 shard_targets = TargetSet(
                     targets=[
                         t
                         for t in full.targets
-                        if t.asn % spec.shards == shard_id
+                        if (
+                            t.asn in members
+                            if members is not None
+                            else t.asn % spec.shards == shard_id
+                        )
                     ],
                     stats=full.stats,
                 )
@@ -650,27 +776,39 @@ def run_scan_shard(
                 harvest_scenario(registry, scenario)
             return scanner, collector, run_span.wall if run_span else 0.0
 
-    if recorder is not None:
-        with activate(recorder):
-            scanner, collector, wall = _scan()
-        # Per-shard wall time legitimately differs run to run and
-        # between shardings, hence deterministic=False.
-        assert registry is not None
-        registry.histogram(
-            "scan_shard_wall_seconds",
-            "wall-clock seconds each scan shard took",
-            buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
-            deterministic=False,
-        ).observe(wall)
-    else:
-        from time import perf_counter
+    profiler = None
+    if payload.get("profile") and rd is not None:
+        import cProfile
 
-        start = perf_counter()
-        scanner, collector, run_wall = _scan()
-        # Inline shards (workers=0) run under the parent pipeline's
-        # span recorder, so the run span still measured the scan
-        # proper; detached workers fall back to the outer clock.
-        wall = run_wall if run_wall else perf_counter() - start
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if recorder is not None:
+            with activate(recorder):
+                scanner, collector, wall = _scan()
+            # Per-shard wall time legitimately differs run to run and
+            # between shardings, hence deterministic=False.
+            assert registry is not None
+            registry.histogram(
+                "scan_shard_wall_seconds",
+                "wall-clock seconds each scan shard took",
+                buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
+                deterministic=False,
+            ).observe(wall)
+        else:
+            from time import perf_counter
+
+            start = perf_counter()
+            scanner, collector, run_wall = _scan()
+            # Inline shards (workers=0) run under the parent pipeline's
+            # span recorder, so the run span still measured the scan
+            # proper; detached workers fall back to the outer clock.
+            wall = run_wall if run_wall else perf_counter() - start
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(str(rd.profile_path(shard_id)))
+    timings["scan_seconds"] = wall
     metadata = ScanMetadata.from_scanner(scanner, wall_seconds=wall)
     if fault_plan is not None:
         metadata.fault_clauses = len(fault_plan.clauses)
@@ -680,6 +818,10 @@ def run_scan_shard(
         "shards": spec.shards,
         "spec": spec.to_payload(),
         "metadata": metadata.to_payload(),
+        # Provenance, not identity: how the worker obtained its scenario
+        # and how long each stage took.  Wall clocks differ run to run,
+        # so nothing here may feed the merged results.
+        "timings": timings,
         "collection": collector.to_payload(),
     }
     if registry is not None and recorder is not None:
@@ -690,23 +832,53 @@ def run_scan_shard(
     return artifact
 
 
-def _plan_census(
-    scenario: "BuiltScenario", targets: TargetSet, shards: int
-) -> tuple[int, list[int]]:
-    """Planned first-attempt probe counts: campaign total and per shard.
+def _probe_census(
+    scenario: "BuiltScenario", targets: TargetSet
+) -> dict[int, int]:
+    """Planned first-attempt probe count per target ASN.
 
     The spoof planner is per-target deterministic, so counting plans in
     the parent matches exactly what each worker will schedule.  The
-    totals feed two global-to-local pinnings: the duration stretch
-    under ``max_rate`` and the per-shard retry-budget split.
+    census drives three global-to-local decisions: the probe-weighted
+    shard partition, the duration stretch under ``max_rate``, and the
+    per-shard retry-budget split.  ASNs whose targets all lack a spoof
+    plan still appear (with weight 0) — every target ASN must land in
+    exactly one shard so merged metadata matches the unsharded run.
     """
     planner = scenario.make_planner()
-    per_shard = [0] * shards
+    per_asn: dict[int, int] = {}
     for target in targets.targets:
+        per_asn.setdefault(target.asn, 0)
         plan = planner.plan(target.address)
         if plan is not None:
-            per_shard[target.asn % shards] += len(plan.sources)
-    return sum(per_shard), per_shard
+            per_asn[target.asn] += len(plan.sources)
+    return per_asn
+
+
+def _partition_asns(
+    per_asn: dict[int, int], shards: int, scheme: str
+) -> list[list[int]]:
+    """Assign every census ASN to exactly one shard.
+
+    ``"modulo"`` reproduces the historical ``asn % shards`` split.
+    ``"weighted"`` runs a longest-processing-time greedy fit over the
+    probe census: heaviest ASN first, always onto the least-loaded
+    shard.  Ties break on (ASN, shard index), so the assignment is a
+    pure function of the census — any process that recomputes it (a
+    resume, a retry round) derives the identical partition.
+    """
+    groups: list[list[int]] = [[] for _ in range(shards)]
+    if scheme == "modulo":
+        for asn in sorted(per_asn):
+            groups[asn % shards].append(asn)
+        return groups
+    load: list[tuple[int, int]] = [(0, index) for index in range(shards)]
+    heapq.heapify(load)
+    for asn in sorted(per_asn, key=lambda a: (-per_asn[a], a)):
+        weight, index = heapq.heappop(load)
+        groups[index].append(asn)
+        heapq.heappush(load, (weight + per_asn[asn], index))
+    return [sorted(group) for group in groups]
 
 
 def _split_budget(budget: int, weights: list[int]) -> list[int]:
@@ -805,6 +977,113 @@ def _run_pool_round(
     return completed, failed
 
 
+#: whether this platform can fork — the cheap path to scenario sharing.
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _fork_shard_main(job: dict[str, Any], conn) -> None:
+    """Entry point of one forked shard worker.
+
+    Marks the process as a fork child (unlocking the inherited-scenario
+    fast path in :func:`_acquire_scenario`), runs the shard, and ships
+    the artifact — or the exception — back over the pipe.  Any death
+    without a message (scripted SIGKILL, OOM, hang reaper) surfaces to
+    the parent as EOF on the pipe.
+    """
+    global _IN_FORK_CHILD
+    _IN_FORK_CHILD = True
+    try:
+        artifact = run_scan_shard(job)
+    except BaseException as exc:  # noqa: BLE001 — relayed, not handled
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            conn.send(("err", RuntimeError(repr(exc))))
+        return
+    conn.send(("ok", artifact))
+
+
+def _run_fork_round(
+    jobs: list[dict[str, Any]],
+    workers: int,
+    rd: RunDirectory | None,
+    progress,
+    hang_timeout: float | None,
+) -> tuple[list[dict[str, Any]], list[tuple[dict[str, Any], BaseException]]]:
+    """One fork-per-job pass over *jobs*.
+
+    Each shard gets its own freshly forked process: the fork inherits
+    the parent's built scenario copy-on-write (no rebuild, no pickle),
+    and because the process serves exactly one job, its scan mutations
+    die with it — a pool worker reused across jobs would hand the
+    second job an already-mutated world.  Results return over a pipe;
+    a worker that dies without sending one (scripted crash, OOM kill,
+    hang reaper) is reported as failed, and the caller's retry rounds
+    re-execute it.
+    """
+    ctx = multiprocessing.get_context("fork")
+    completed: list[dict[str, Any]] = []
+    failed: list[tuple[dict[str, Any], BaseException]] = []
+    pending = list(jobs)
+    active: dict[Any, tuple[Any, dict[str, Any]]] = {}
+    limit = max(1, min(workers, len(jobs)))
+
+    def _launch() -> None:
+        job = pending.pop(0)
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_fork_shard_main, args=(job, sender), daemon=True
+        )
+        process.start()
+        sender.close()
+        active[receiver] = (process, job)
+
+    def _reap(process) -> None:
+        process.join(timeout=10.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+    while pending and len(active) < limit:
+        _launch()
+    while active:
+        ready = multiprocessing.connection.wait(
+            list(active),
+            timeout=_HANG_POLL if hang_timeout is not None else None,
+        )
+        for conn in ready:
+            process, job = active.pop(conn)
+            try:
+                kind, value = conn.recv()
+            except (EOFError, OSError):
+                kind, value = "died", None
+            conn.close()
+            _reap(process)
+            if kind == "ok":
+                completed.append(value)
+                if progress is not None:
+                    progress.shard_done()
+            elif kind == "err":
+                failed.append((job, value))
+            else:
+                failed.append(
+                    (
+                        job,
+                        RuntimeError(
+                            f"shard {job['shard_id']} worker died "
+                            f"without a result "
+                            f"(exitcode {process.exitcode})"
+                        ),
+                    )
+                )
+            if pending:
+                _launch()
+        if not ready and hang_timeout is not None and rd is not None:
+            for process, job in active.values():
+                _kill_if_hung(rd, job["shard_id"], hang_timeout)
+    return completed, failed
+
+
 # ---------------------------------------------------------------------------
 # the pipeline driver
 # ---------------------------------------------------------------------------
@@ -833,6 +1112,10 @@ class PipelineOutcome:
     #: reused shard counts 0, a shard re-executed after one crash 2.
     #: ``None`` when the scan stage was served entirely from disk.
     scan_stats: dict[int, int] | None = None
+    #: how the parent obtained its scenario: ``"built"`` (cold) or
+    #: ``"cache"`` (content-keyed cache hit).  ``None`` when the run
+    #: was served from disk without touching the builder.
+    scenario_source: str | None = None
 
 
 def run_pipeline(
@@ -842,6 +1125,8 @@ def run_pipeline(
     workers: int | None = None,
     progress=None,
     hang_timeout: float | None = None,
+    scenario_cache=None,
+    profile: bool = False,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -854,6 +1139,14 @@ def run_pipeline(
     ``hang_timeout`` (seconds) arms the hung-worker reaper: a pool
     worker whose heartbeat goes stale that long is killed and its shard
     re-executed like any other crash.
+
+    ``scenario_cache`` names a content-keyed scenario cache directory
+    (or passes a :class:`~repro.scenarios.compiled.ScenarioCache`);
+    ``None`` falls back to the ``REPRO_SCENARIO_CACHE`` environment
+    variable, and no cache at all simply builds cold.  The cache is an
+    execution detail, not campaign identity: hits and cold builds
+    produce byte-identical artifacts.  ``profile`` makes every scan
+    shard dump cProfile stats into the run directory.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
     if spec.journal and rd is None:
@@ -904,15 +1197,37 @@ def run_pipeline(
     registry = MetricsRegistry() if spec.metrics else None
 
     with activate(recorder), span("pipeline"):
-        # -- build: the parent's scenario copy (geo/routes/port history
-        # are needed by analyze; the scan workers build their own).
-        from ..scenarios import ScenarioParams, build_internet
+        # -- build: the one and only scenario construction.  Workers
+        # inherit this copy over fork (or load the artifact written
+        # below); analyze reads it directly.
+        from ..scenarios import ScenarioParams
+        from ..scenarios.compiled import (
+            ScenarioCache,
+            build_or_load,
+            content_key,
+            serialize_scenario,
+        )
 
+        params = ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+        if scenario_cache is None:
+            cache = ScenarioCache.from_env()
+        elif isinstance(scenario_cache, ScenarioCache):
+            cache = scenario_cache
+        else:
+            cache = ScenarioCache(scenario_cache)
         with span("build"):
-            scenario = build_internet(
-                ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+            scenario, blob, scenario_source = build_or_load(
+                params, cache=cache
             )
             targets = scenario.target_set()
+            if rd is not None and spec.shards > 1:
+                # Non-fork workers (and post-mortem debugging) load this
+                # instead of rebuilding; serialized once, shared by all.
+                if blob is None:
+                    blob = serialize_scenario(scenario)
+                from ..scenarios.compiled import write_artifact_bytes
+
+                write_artifact_bytes(rd.scenario_path, blob)
         stages_run.append("build")
 
         # -- scan + collect, or reload the merged observations artifact.
@@ -930,11 +1245,18 @@ def run_pipeline(
             stages_skipped.extend(["scan", "collect"])
         else:
             with span("scan"):
-                shard_payloads, scan_stats = _run_scan_stage(
-                    spec, scenario, targets, rd, workers,
-                    stages_run, stages_skipped, progress,
-                    hang_timeout=hang_timeout,
-                )
+                # Publish the built scenario for the duration of the
+                # scan: forked workers inherit the object, inline
+                # shards deserialize private copies from the blob.
+                _publish_scenario(scenario, blob, content_key(params))
+                try:
+                    shard_payloads, scan_stats = _run_scan_stage(
+                        spec, scenario, targets, rd, workers,
+                        stages_run, stages_skipped, progress,
+                        hang_timeout=hang_timeout, profile=profile,
+                    )
+                finally:
+                    _retract_scenario()
                 # Fold each shard's telemetry into the campaign-wide
                 # view: metrics merge deterministically, span trees
                 # graft under this scan span.
@@ -1030,6 +1352,7 @@ def run_pipeline(
         stages_skipped=stages_skipped,
         telemetry=telemetry,
         scan_stats=scan_stats,
+        scenario_source=scenario_source,
     )
 
 
@@ -1039,6 +1362,8 @@ def resume_pipeline(
     workers: int | None = None,
     progress=None,
     hang_timeout: float | None = None,
+    scenario_cache=None,
+    profile: bool = False,
 ) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
@@ -1053,6 +1378,8 @@ def resume_pipeline(
         workers=workers,
         progress=progress,
         hang_timeout=hang_timeout,
+        scenario_cache=scenario_cache,
+        profile=profile,
     )
 
 
@@ -1081,6 +1408,7 @@ def _run_scan_stage(
     stages_skipped: list[str],
     progress=None,
     hang_timeout: float | None = None,
+    profile: bool = False,
 ) -> tuple[list[dict[str, Any]], dict[int, int]]:
     """Produce every shard artifact, reusing any already on disk.
 
@@ -1093,8 +1421,19 @@ def _run_scan_stage(
     config = spec.scan_config()
     pinned = config.duration
     budget_shares = None
-    if config.max_rate is not None or config.retry_budget is not None:
-        total, per_shard = _plan_census(scenario, targets, spec.shards)
+    groups = None
+    weighted = spec.partition == "weighted" and spec.shards > 1
+    if (
+        weighted
+        or config.max_rate is not None
+        or config.retry_budget is not None
+    ):
+        per_asn = _probe_census(scenario, targets)
+        groups = _partition_asns(per_asn, spec.shards, spec.partition)
+        per_shard = [
+            sum(per_asn[asn] for asn in group) for group in groups
+        ]
+        total = sum(per_shard)
         if config.max_rate is not None and total:
             # Shards must pace probes on the full campaign's timeline,
             # but the duration/max_rate stretch in schedule_campaign is
@@ -1129,8 +1468,12 @@ def _run_scan_stage(
             "shard_id": shard_id,
             "pinned_duration": pinned,
         }
+        if weighted and groups is not None:
+            job["asns"] = groups[shard_id]
         if budget_shares is not None:
             job["pinned_retry_budget"] = budget_shares[shard_id]
+        if profile:
+            job["profile"] = True
         if rd is not None:
             job["run_dir"] = str(rd.path)
         shard_attempts[shard_id] = 0
@@ -1168,9 +1511,14 @@ def _run_scan_stage(
             else:
                 for job in remaining:
                     job["in_worker"] = True
-                round_results, failed = _run_pool_round(
-                    remaining, workers, rd, progress, hang_timeout
-                )
+                if _FORK_AVAILABLE:
+                    round_results, failed = _run_fork_round(
+                        remaining, workers, rd, progress, hang_timeout
+                    )
+                else:
+                    round_results, failed = _run_pool_round(
+                        remaining, workers, rd, progress, hang_timeout
+                    )
             # Persist survivors immediately (in shard order, so stage
             # bookkeeping stays deterministic despite pool races) —
             # work completed before a crash is never redone.

@@ -115,6 +115,14 @@ class ScanConfig:
     #: streaming scheduler keeps only this many pending probe events on
     #: the heap at a time instead of one closure per planned probe.
     scheduler_batch: int = 512
+    #: drive the campaign through the event loop's skip-ahead machinery:
+    #: probe batches are staged as parallel time/row arrays instead of
+    #: one heap entry (and one closure) per probe, and the loop jumps
+    #: the clock between live events rather than stepping cancelled
+    #: timers.  ``False`` selects the dense heap-backed path; both
+    #: produce byte-identical artifacts (asserted by the equivalence
+    #: suite), so this is purely a performance switch.
+    skip_ahead: bool = True
     #: when set, the campaign is paced over exactly this many seconds,
     #: overriding the duration/max_rate stretch computed from the local
     #: probe total.  The sharded pipeline pins the globally computed
@@ -254,6 +262,9 @@ class Scanner:
         self._probe_stream: Iterator[
             tuple[float, int, int, Address, int, SpoofedSource]
         ] | None = None
+        #: (target, asn, source) rows of the currently staged batch,
+        #: indexed by the loop's staged-fire position (sparse mode only).
+        self._batch_rows: list[tuple[Address, int, Address]] = []
         #: optional scan instruments (see ``bind_metrics``); ``None``
         #: keeps the probe path at one extra attribute check each.
         self._mx_sent = None
@@ -375,6 +386,10 @@ class Scanner:
                 for index, (target, plan) in enumerate(plans)
             )
         )
+        # The scanner owns the campaign's drain loop, so it picks the
+        # loop mode to match its pump: staged batches under skip-ahead,
+        # per-probe heap entries under dense.
+        self.fabric.loop.skip_ahead = self.config.skip_ahead
         self._pump()
 
     def _target_stream(
@@ -412,13 +427,34 @@ class Scanner:
             )
 
     def _pump(self) -> None:
-        """Materialize the next probe batch onto the event loop."""
+        """Materialize the next probe batch onto the event loop.
+
+        Sparse mode stages the batch as parallel arrays — no per-probe
+        heap entry or closure — and the loop fires straight through
+        :meth:`_fire_staged_probe`; dense mode pushes one event per
+        probe plus a re-arm.  Both consume the same sequence-number
+        stream, so they interleave with retries, follow-ups and fault
+        timers identically.
+        """
         stream = self._probe_stream
         if stream is None:
             return
         batch = list(islice(stream, self.config.scheduler_batch))
         if not batch:
             self._probe_stream = None
+            return
+        loop = self.fabric.loop
+        if self.config.skip_ahead:
+            whens = []
+            rows = self._batch_rows
+            rows.clear()
+            for when, _index, _j, target, asn, source in batch:
+                self.probe_index[(target, source.address)] = ProbeRecord(
+                    target, asn, source.address, source.category, when
+                )
+                whens.append(when)
+                rows.append((target, asn, source.address))
+            loop.stage_batch(whens, self._fire_staged_probe, self._pump)
             return
         events = []
         for when, _index, _j, target, asn, source in batch:
@@ -428,12 +464,15 @@ class Scanner:
             events.append(
                 (when, partial(self._send_probe, target, asn, source.address))
             )
-        loop = self.fabric.loop
         loop.schedule_many(events)
         # Re-arm at the batch's last timestamp: the final probe (lower
         # seq) fires first, then the pump refills — so equal-time probes
         # across batch boundaries still run in generator order.
         loop.schedule_at(batch[-1][0], self._pump)
+
+    def _fire_staged_probe(self, pos: int) -> None:
+        target, asn, source = self._batch_rows[pos]
+        self._send_probe(target, asn, source)
 
     def _send_probe(
         self, target: Address, asn: int, source: Address, attempt: int = 1

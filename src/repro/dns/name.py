@@ -163,6 +163,16 @@ class Name:
             self._hash = value
             return value
 
+    def __getstate__(self):
+        # The memoized hash must never cross a pickle boundary: tuple
+        # hashes are salted per process (PYTHONHASHSEED), so a name
+        # unpickled with the builder's hash silently misses in every
+        # dict keyed by names created in the loading process.
+        return (self.labels, self._key)
+
+    def __setstate__(self, state) -> None:
+        self.labels, self._key = state
+
     # -- text and wire ---------------------------------------------------
 
     def __str__(self) -> str:

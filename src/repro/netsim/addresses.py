@@ -208,6 +208,15 @@ class _InternedIPv4(IPv4Address):
     def __repr__(self) -> str:
         return f"IPv4Address({str(self)!r})"
 
+    def __reduce__(self):
+        # Re-intern on load rather than restoring the cached hash:
+        # ``ipaddress`` hashes are salted per process (PYTHONHASHSEED),
+        # so a hash pickled by the building process would disagree with
+        # fresh addresses in the loading process and silently break
+        # dictionary lookups.  Re-interning also dedupes the loaded
+        # object graph through the intern table.
+        return (_restore_interned, (4, int(self)))
+
 
 class _InternedIPv6(IPv6Address):
     """An :class:`IPv6Address` whose hash is computed once and cached."""
@@ -219,6 +228,15 @@ class _InternedIPv6(IPv6Address):
 
     def __repr__(self) -> str:
         return f"IPv6Address({str(self)!r})"
+
+    def __reduce__(self):
+        # See _InternedIPv4.__reduce__.
+        return (_restore_interned, (6, int(self)))
+
+
+def _restore_interned(version: int, value: int) -> Address:
+    address = IPv4Address(value) if version == 4 else IPv6Address(value)
+    return intern_address(address)
 
 
 _INTERNED: dict[Address, Address] = {}

@@ -1,25 +1,48 @@
 """Discrete-event clock for the simulation.
 
 The scan client, resolvers and authoritative servers all share one
-:class:`EventLoop`.  Events are (time, sequence, callback) triples in a
-heap; the sequence number makes scheduling stable for events that share a
-timestamp, which keeps every run bit-for-bit reproducible.
+:class:`EventLoop`.  Events are mutable ``[time, sequence, callback]``
+entries in a heap; the sequence number makes scheduling stable for
+events that share a timestamp, which keeps every run bit-for-bit
+reproducible.
+
+Two draining modes share one data structure:
+
+* **skip-ahead** (the default): cancellation nulls the entry's callback
+  in place, and the drain loop discards runs of dead entries without
+  treating each as a step — the clock jumps straight from one live
+  event to the next.  When everything left in the heap is cancelled
+  (the tail of a retry-heavy scan), the whole heap is dropped at once.
+* **dense**: the pre-skip-ahead behaviour — every heap entry, live or
+  cancelled, is popped one at a time.  Kept selectable so equivalence
+  tests can assert the two modes produce identical event orderings.
+
+The loop can also drive a *staged probe batch* (see :meth:`stage_batch`):
+the scanner hands over parallel arrays of fire times instead of pushing
+one closure per probe onto the heap.  Staged entries consume sequence
+numbers exactly as heap scheduling would, so the merged ``(when, seq)``
+ordering — and therefore every downstream artifact — is byte-identical
+to the heap-backed path.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=True)
 class ScheduledEvent:
     """Handle for a scheduled callback, usable for cancellation."""
 
     when: float
     seq: int
+    #: the loop's live heap entry; ``entry[2]`` is ``None`` once the
+    #: event has fired or been cancelled.  Excluded from equality so
+    #: handles still compare by ``(when, seq)``.
+    entry: list = field(default_factory=list, compare=False, repr=False)
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -30,21 +53,27 @@ class EventLoop:
     """A minimal, deterministic discrete-event scheduler.
 
     Time is a float in seconds.  ``run()`` drains the heap; ``run_until``
-    stops once the clock would pass a deadline.  Cancellation is handled
-    lazily with a tombstone set, the standard heapq idiom.
+    stops once the clock would pass a deadline.  Cancellation nulls the
+    heap entry in place — O(1), no auxiliary tombstone set — and
+    ``pending()`` counts only events that will actually fire.
     """
 
     now: float = 0.0
-    _heap: list[tuple[float, int, Callable[[], None]]] = field(
-        default_factory=list
-    )
+    #: skip cancelled entries wholesale instead of stepping each one
+    #: (see module docstring).  Both modes fire the same callbacks in
+    #: the same order; only the cost of traversing dead entries differs.
+    skip_ahead: bool = True
+    _heap: list[list] = field(default_factory=list)
     _seq: itertools.count = field(default_factory=lambda: itertools.count())
-    _cancelled: set[int] = field(default_factory=set)
-    #: (when, seq) of the most recently popped event.  The heap pops in
-    #: strict (when, seq) order, so anything at or below this mark has
-    #: already run (or been reaped) and can never need a tombstone.
-    _last_popped: tuple[float, int] = (float("-inf"), -1)
+    #: count of cancelled entries still physically in the heap.
+    _tombstones: int = 0
     events_processed: int = 0
+    # -- staged probe batch (see stage_batch) ---------------------------
+    _stage_when: Sequence[float] | None = field(default=None, repr=False)
+    _stage_fire: Callable[[int], None] | None = field(default=None, repr=False)
+    _stage_refill: Callable[[], None] | None = field(default=None, repr=False)
+    _stage_seq0: int = 0
+    _stage_pos: int = 0
     #: optional peak-occupancy gauges (see ``bind_metrics``); ``None``
     #: keeps scheduling at one extra attribute check when disabled.
     _mx_depth: object | None = field(default=None, repr=False)
@@ -82,12 +111,12 @@ class EventLoop:
         """Run *callback* at absolute simulated time *when*."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        seq = next(self._seq)
-        heapq.heappush(self._heap, (when, seq, callback))
+        entry = [when, next(self._seq), callback]
+        heapq.heappush(self._heap, entry)
         mx = self._mx_depth
         if mx is not None:
             mx.set_max(len(self._heap))
-        return ScheduledEvent(when, seq)
+        return ScheduledEvent(when, entry[1], entry)
 
     def schedule_many(
         self, events: Iterable[tuple[float, Callable[[], None]]]
@@ -100,13 +129,13 @@ class EventLoop:
         Callbacks sharing a timestamp fire in the order given, exactly
         as if scheduled one by one.
         """
-        added: list[tuple[float, int, Callable[[], None]]] = []
+        added: list[list] = []
         for when, callback in events:
             if when < self.now:
                 raise ValueError(
                     f"cannot schedule in the past: {when} < {self.now}"
                 )
-            added.append((when, next(self._seq), callback))
+            added.append([when, next(self._seq), callback])
         if not added:
             return []
         heap = self._heap
@@ -120,28 +149,80 @@ class EventLoop:
         mx = self._mx_depth
         if mx is not None:
             mx.set_max(len(heap))
-        return [ScheduledEvent(when, seq) for when, seq, _ in added]
+        return [
+            ScheduledEvent(entry[0], entry[1], entry) for entry in added
+        ]
+
+    def stage_batch(
+        self,
+        whens: Sequence[float],
+        fire: Callable[[int], None],
+        refill: Callable[[], None],
+    ) -> None:
+        """Feed a time-ordered probe batch without materializing heap entries.
+
+        *whens* is an ascending sequence of absolute fire times;
+        ``fire(i)`` sends probe *i*; ``refill()`` runs once the batch is
+        exhausted (at ``whens[-1]``, immediately after the final fire)
+        and typically stages the next batch.  One sequence number is
+        consumed per probe plus one for the refill — the same stream the
+        heap-backed pump would allocate for ``schedule_many`` plus its
+        re-arm event — so staged and heap-scheduled campaigns interleave
+        with other events identically.
+
+        Only one batch may be staged at a time; staged entries cannot be
+        cancelled (probe suppression happens inside the fire callback).
+        """
+        if not whens:
+            raise ValueError("cannot stage an empty batch")
+        if self._stage_when is not None:
+            raise RuntimeError("a staged batch is already active")
+        if whens[0] < self.now:
+            raise ValueError(
+                f"cannot stage in the past: {whens[0]} < {self.now}"
+            )
+        self._stage_when = whens
+        self._stage_fire = fire
+        self._stage_refill = refill
+        self._stage_seq0 = next(self._seq)
+        self._stage_pos = 0
+        # Burn one seq per remaining probe plus the refill slot.
+        for _ in range(len(whens)):
+            next(self._seq)
+
+    def _clear_stage(self) -> None:
+        self._stage_when = None
+        self._stage_fire = None
+        self._stage_refill = None
+
+    def _stage_head(self) -> tuple[float, int] | None:
+        whens = self._stage_when
+        if whens is None:
+            return None
+        pos = self._stage_pos
+        return (whens[pos], self._stage_seq0 + pos)
 
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a previously scheduled event (idempotent).
 
-        Cancelling an event that already fired (or was already reaped)
-        is a no-op and leaves no tombstone behind, so the tombstone set
-        stays bounded by the number of *pending* cancellations — and
-        when those come to dominate the heap (a retry-heavy scan
-        cancels one timeout timer per answered probe), the heap is
-        compacted so neither structure grows past roughly twice the
-        live event count.
+        Cancelling an event that already fired (or was already
+        cancelled) is a no-op.  A pending cancellation nulls the heap
+        entry in place; the entry is discarded when it surfaces, or
+        removed wholesale by compaction when dead entries come to
+        dominate the heap (a retry-heavy scan cancels one timeout timer
+        per answered probe).
         """
-        if (event.when, event.seq) <= self._last_popped:
+        entry = event.entry
+        if not entry or entry[2] is None:
             return
-        self._cancelled.add(event.seq)
+        entry[2] = None
+        self._tombstones += 1
         mx = self._mx_tombstones
         if mx is not None:
-            mx.set_max(len(self._cancelled))
+            mx.set_max(self._tombstones)
         if (
-            len(self._cancelled) >= self.COMPACT_MIN_TOMBSTONES
-            and len(self._cancelled) * 2 >= len(self._heap)
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= len(self._heap)
         ):
             self._compact()
 
@@ -151,19 +232,43 @@ class EventLoop:
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries.
 
-        Every tombstone references an entry still in the heap (``cancel``
-        refuses already-popped events), so dropping the matching entries
-        clears the whole set.  O(n) now against O(n) dead weight on
-        every subsequent push/pop.
+        O(n) now against O(n) dead weight on every subsequent
+        push/pop.  Handles stay valid: they reference the surviving
+        entries directly.
         """
-        cancelled = self._cancelled
-        self._heap = [e for e in self._heap if e[1] not in cancelled]
+        self._heap = [entry for entry in self._heap if entry[2] is not None]
         heapq.heapify(self._heap)
-        cancelled.clear()
+        self._tombstones = 0
 
     def pending(self) -> int:
-        """Return the number of events still queued (including cancelled)."""
-        return len(self._heap)
+        """Return the number of events still due to fire.
+
+        Cancelled-but-unpopped entries are excluded — skip-ahead mode
+        may drop them without ever popping them individually, so they
+        must not count as pending work.  Staged probes not yet fired
+        (plus their batch's refill slot) do count.
+        """
+        live = len(self._heap) - self._tombstones
+        whens = self._stage_when
+        if whens is not None:
+            live += len(whens) - self._stage_pos + 1
+        return live
+
+    def _skip_dead(self) -> None:
+        """Discard the run of cancelled entries at the top of the heap.
+
+        When *everything* left is cancelled (the tail of a retry-heavy
+        scan after its last answer arrived), the heap is dropped in one
+        ``clear`` instead of popping each dead timer individually.
+        """
+        heap = self._heap
+        if self._tombstones and self._tombstones == len(heap):
+            heap.clear()
+            self._tombstones = 0
+            return
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._tombstones -= 1
 
     def run(self, max_events: int | None = None) -> int:
         """Drain the event heap; return the number of callbacks invoked.
@@ -172,7 +277,16 @@ class EventLoop:
         accidental livelock in tests.
         """
         processed = 0
-        while self._heap:
+        if self.skip_ahead:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                self._skip_dead()
+                if not self._heap and self._stage_when is None:
+                    break
+                processed += self._step_sparse()
+            return processed
+        while self._heap or self._stage_when is not None:
             if max_events is not None and processed >= max_events:
                 break
             processed += self._step()
@@ -181,17 +295,83 @@ class EventLoop:
     def run_until(self, deadline: float) -> int:
         """Process events with timestamps <= *deadline*, then advance to it."""
         processed = 0
-        while self._heap and self._heap[0][0] <= deadline:
+        if self.skip_ahead:
+            while True:
+                self._skip_dead()
+                head = self._stage_head()
+                heap = self._heap
+                if heap and (
+                    head is None or (heap[0][0], heap[0][1]) < head
+                ):
+                    head = (heap[0][0], heap[0][1])
+                if head is None or head[0] > deadline:
+                    break
+                processed += self._step_sparse()
+            self.now = max(self.now, deadline)
+            return processed
+        while True:
+            head = self._stage_head()
+            heap = self._heap
+            if heap and (head is None or (heap[0][0], heap[0][1]) < head):
+                head = (heap[0][0], heap[0][1])
+            if head is None or head[0] > deadline:
+                break
             processed += self._step()
         self.now = max(self.now, deadline)
         return processed
 
+    def _fire_staged(self) -> int:
+        """Fire the next staged probe (and the refill when it was the last)."""
+        whens = self._stage_when
+        pos = self._stage_pos
+        when = whens[pos]
+        self._stage_pos = pos + 1
+        self.now = when
+        fire = self._stage_fire
+        fire(pos)
+        self.events_processed += 1
+        if self._stage_pos >= len(whens):
+            # The refill occupies the next sequence number at the
+            # batch's final timestamp, exactly like the heap pump's
+            # re-arm event: it runs before any same-time event
+            # scheduled later.
+            refill = self._stage_refill
+            self._clear_stage()
+            refill()
+            self.events_processed += 1
+            return 2
+        return 1
+
+    def _step_sparse(self) -> int:
+        """Fire the next live event (heap or staged); heap head is live."""
+        heap = self._heap
+        head = self._stage_head()
+        if head is not None and (
+            not heap or head < (heap[0][0], heap[0][1])
+        ):
+            return self._fire_staged()
+        entry = heapq.heappop(heap)
+        when, _seq, callback = entry
+        entry[2] = None
+        self.now = when
+        callback()
+        self.events_processed += 1
+        return 1
+
     def _step(self) -> int:
-        when, seq, callback = heapq.heappop(self._heap)
-        self._last_popped = (when, seq)
-        if seq in self._cancelled:
-            self._cancelled.discard(seq)
+        """Dense step: pop exactly one entry, dead or alive."""
+        heap = self._heap
+        head = self._stage_head()
+        if head is not None and (
+            not heap or head < (heap[0][0], heap[0][1])
+        ):
+            return self._fire_staged()
+        entry = heapq.heappop(heap)
+        when, _seq, callback = entry
+        if callback is None:
+            self._tombstones -= 1
             return 0
+        entry[2] = None
         self.now = when
         callback()
         self.events_processed += 1

@@ -60,6 +60,12 @@ class OSProfile:
         """Return the Table 6 acceptance row for IP *version*."""
         return self.accepts_v4 if version == 4 else self.accepts_v6
 
+    def __reduce__(self):
+        # Profiles are registry singletons whose ``default_pool`` may be
+        # a lambda; pickling by name keeps scenario artifacts small and
+        # side-steps the callable entirely.
+        return (os_profile, (self.name,))
+
 
 # TCP/IP SYN signatures.  Values are representative of each stack's
 # defaults: Linux and FreeBSD use TTL 64, Windows TTL 128; window sizes,
@@ -156,6 +162,10 @@ class SoftwareProfile:
     name: str
     pool_description: str
     allocator: Callable[[OSProfile, Random], PortAllocator]
+
+    def __reduce__(self):
+        # By-name pickling, same rationale as OSProfile.__reduce__.
+        return (software_profile, (self.name,))
 
 
 def _os_default(os_profile: OSProfile, rng: Random) -> PortAllocator:

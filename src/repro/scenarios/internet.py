@@ -917,30 +917,39 @@ class _AnalystWorkstation(Host):
         self.send(packet)
 
 
-def _install_ids(
-    scenario: BuiltScenario, ids_asns: set[int], infra: _Infra
-) -> None:
-    """Wire an IDS tap: a fraction of spoofed queries entering monitored
+class _IDSTap:
+    """Fabric tap: a fraction of spoofed queries entering monitored
     ASes get investigated by a human much later (Section 3.6.3).
 
     Which packets catch an analyst's eye — and how long the human takes
     — is decided by hashing the packet itself rather than consuming a
     shared RNG stream, so monitored ASes behave identically whether the
     campaign runs in one process or is partitioned across shard workers.
+    A class (not a closure) so the tap survives scenario serialization
+    into the compiled artifact shard workers load.
     """
-    params = scenario.params
-    analyst = _AnalystWorkstation(INFRA_ASN, params.seed)
-    analyst_v4 = ip_address(
-        int(ip_address("20.0.0.0")) + 250  # inside the infra /20
-    )
-    scenario.fabric.attach(analyst, analyst_v4)
-    auth_v4 = infra.auth_servers[0].addresses[0]
-    domain = scenario.codec.domain
-    seed = params.seed
 
-    def tap(packet: Packet, target: Host) -> None:
-        if target.asn not in ids_asns or packet.dport != 53:
+    def __init__(
+        self,
+        params: ScenarioParams,
+        analyst: _AnalystWorkstation,
+        auth_v4: Address,
+        domain: Name,
+        loop,
+        ids_asns: set[int],
+    ) -> None:
+        self.params = params
+        self.analyst = analyst
+        self.auth_v4 = auth_v4
+        self.domain = domain
+        self.loop = loop
+        self.ids_asns = ids_asns
+
+    def __call__(self, packet: Packet, target: Host) -> None:
+        if target.asn not in self.ids_asns or packet.dport != 53:
             return
+        params = self.params
+        seed = params.seed
         noticed = stable_fraction(
             seed, "ids-notice",
             int(packet.src), int(packet.dst),
@@ -955,13 +964,31 @@ def _install_ids(
         if message.question is None or message.is_response:
             return
         qname = message.question.qname
-        if not qname.is_subdomain_of(domain):
+        if not qname.is_subdomain_of(self.domain):
             return
         delay = params.analyst_delay_min + stable_fraction(
             seed, "ids-delay", packet.payload
         ) * (params.analyst_delay_max - params.analyst_delay_min)
-        scenario.fabric.loop.schedule(
+        analyst, auth_v4 = self.analyst, self.auth_v4
+        self.loop.schedule(
             delay, lambda: analyst.resolve_later(qname, auth_v4)
         )
 
-    scenario.fabric.add_tap(tap)
+
+def _install_ids(
+    scenario: BuiltScenario, ids_asns: set[int], infra: _Infra
+) -> None:
+    """Wire the :class:`_IDSTap` over the monitored ASes."""
+    params = scenario.params
+    analyst = _AnalystWorkstation(INFRA_ASN, params.seed)
+    analyst_v4 = ip_address(
+        int(ip_address("20.0.0.0")) + 250  # inside the infra /20
+    )
+    scenario.fabric.attach(analyst, analyst_v4)
+    auth_v4 = infra.auth_servers[0].addresses[0]
+    scenario.fabric.add_tap(
+        _IDSTap(
+            params, analyst, auth_v4, scenario.codec.domain,
+            scenario.fabric.loop, ids_asns,
+        )
+    )

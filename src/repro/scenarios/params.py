@@ -108,6 +108,12 @@ class ResolverKind:
     def os(self) -> OSProfile:
         return os_profile(self.os_name)
 
+    def __reduce__(self):
+        # Allocator factories are closures; kinds pickle by key against
+        # the registry built from RESOLVER_MIX below (scenario artifacts
+        # reference population-mix entries, never carry their code).
+        return (_resolver_kind, (self.key,))
+
 
 #: The population mix.  Weights are relative; the rare fixed-port and
 #: sequential kinds are oversampled ~2.5x relative to the paper's wild
@@ -182,6 +188,23 @@ RESOLVER_MIX: tuple[ResolverKind, ...] = (
         _tight_small_pool(), 0.70, 0.75, 0.05,
     ),
 )
+
+
+_KIND_REGISTRY: dict[str, ResolverKind] = {}
+
+
+def _resolver_kind(key: str) -> ResolverKind:
+    """Resolve a pickled :class:`ResolverKind` back to its registry entry."""
+    try:
+        return _KIND_REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"resolver kind {key!r} is not registered; the artifact was "
+            "built against a different resolver mix"
+        ) from None
+
+
+_KIND_REGISTRY.update((kind.key, kind) for kind in RESOLVER_MIX)
 
 
 @dataclass

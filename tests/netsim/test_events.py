@@ -1,5 +1,7 @@
 """Tests for the discrete-event loop."""
 
+from random import Random
+
 import pytest
 
 from repro.netsim.events import EventLoop
@@ -62,6 +64,7 @@ class TestCancellation:
         handle = loop.schedule(1.0, lambda: None)
         loop.cancel(handle)
         loop.cancel(handle)
+        assert loop._tombstones == 1
         loop.run()
 
     def test_cancel_one_of_many(self):
@@ -173,15 +176,16 @@ class TestTombstoneBounding:
         handle = loop.schedule(1.0, lambda: None)
         loop.run()
         loop.cancel(handle)  # too late: event already ran
-        assert loop._cancelled == set()
+        assert loop._tombstones == 0
 
     def test_pending_cancel_tombstone_is_reaped(self):
         loop = EventLoop()
         handle = loop.schedule(1.0, lambda: None)
         loop.cancel(handle)
-        assert loop._cancelled == {handle.seq}
+        assert loop._tombstones == 1
         loop.run()
-        assert loop._cancelled == set()
+        assert loop._tombstones == 0
+        assert loop._heap == []
 
     def test_mass_late_cancellation_stays_bounded(self):
         # The scanner cancels probe handles it may already have fired;
@@ -191,9 +195,9 @@ class TestTombstoneBounding:
         loop.run()
         for handle in handles:
             loop.cancel(handle)
-        assert loop._cancelled == set()
+        assert loop._tombstones == 0
 
-    def test_cancelled_event_still_counts_popped(self):
+    def test_cancelled_event_still_reaped_cleanly(self):
         loop = EventLoop()
         fired = []
         dropped = loop.schedule(1.0, lambda: fired.append("dropped"))
@@ -202,7 +206,45 @@ class TestTombstoneBounding:
         loop.run()
         loop.cancel(dropped)  # idempotent, after the reap
         assert fired == ["kept"]
-        assert loop._cancelled == set()
+        assert loop._tombstones == 0
+
+
+class TestPendingAccounting:
+    """``pending()`` counts only events that will actually fire.
+
+    Skip-ahead mode may discard cancelled timers wholesale without ever
+    popping them, so they must never be reported as pending work.
+    """
+
+    @pytest.mark.parametrize("skip_ahead", [True, False])
+    def test_pending_excludes_cancelled(self, skip_ahead):
+        loop = EventLoop(skip_ahead=skip_ahead)
+        handles = [loop.schedule(float(i + 1), lambda: None) for i in range(5)]
+        loop.cancel(handles[0])
+        loop.cancel(handles[3])
+        assert loop.pending() == 3
+
+    def test_pending_excludes_compacted_and_uncompacted(self):
+        loop = EventLoop()
+        keep = [loop.schedule(100.0 + i, lambda: None) for i in range(7)]
+        doomed = [loop.schedule(float(i + 1), lambda: None) for i in range(40)]
+        for handle in doomed:
+            loop.cancel(handle)
+        # Below the compaction threshold: dead entries physically remain.
+        assert len(loop._heap) == 47
+        assert loop.pending() == len(keep)
+
+    def test_all_cancelled_tail_dropped_wholesale(self):
+        loop = EventLoop()
+        handles = [loop.schedule(float(i + 1), lambda: None) for i in range(64)]
+        for handle in handles:
+            loop.cancel(handle)
+        assert loop.pending() == 0
+        assert loop.run() == 0
+        # The heap was cleared in one go, not popped entry by entry.
+        assert loop._heap == []
+        assert loop._tombstones == 0
+        assert loop.events_processed == 0
 
 
 class TestHeapCompaction:
@@ -224,9 +266,9 @@ class TestHeapCompaction:
         for handle in handles:
             loop.cancel(handle)
         # Compaction fired: tombstones stay under the threshold and the
-        # heap holds nothing but live events.
-        assert len(loop._cancelled) < threshold
-        assert len(loop._heap) <= len(keep) + len(loop._cancelled)
+        # heap holds nothing but live events plus bounded dead weight.
+        assert loop._tombstones < threshold
+        assert len(loop._heap) <= len(keep) + loop._tombstones
 
     def test_compaction_preserves_behavior(self):
         loop = EventLoop()
@@ -247,4 +289,171 @@ class TestHeapCompaction:
         assert survivors  # handles stay valid across compaction
         loop.run()
         assert fired == [0, 1, 2, 3, 4]
-        assert loop._cancelled == set()
+        assert loop._tombstones == 0
+
+    def test_cancel_after_compaction_is_noop(self):
+        loop = EventLoop()
+        threshold = EventLoop.COMPACT_MIN_TOMBSTONES
+        doomed = [
+            loop.schedule(float(i + 1), lambda: None)
+            for i in range(2 * threshold)
+        ]
+        for handle in doomed:
+            loop.cancel(handle)
+        before = loop._tombstones
+        loop.cancel(doomed[0])  # entry compacted away already
+        assert loop._tombstones == before
+
+
+def _run_script(loop: EventLoop, seed: int) -> list:
+    """Drive *loop* through a deterministic schedule/cancel script."""
+    rng = Random(seed)
+    fired = []
+    handles = []
+
+    def make_cb(label):
+        def cb():
+            fired.append((label, loop.now))
+            if rng_inner.random() < 0.3:
+                handles.append(
+                    loop.schedule(
+                        rng_inner.random() * 3.0, make_cb(f"{label}.n")
+                    )
+                )
+            if handles and rng_inner.random() < 0.4:
+                loop.cancel(handles[rng_inner.randrange(len(handles))])
+
+        return cb
+
+    # Separate RNG for in-callback decisions so both loops see the
+    # same stream regardless of internal implementation details.
+    rng_inner = Random(seed + 1)
+    for i in range(200):
+        when = rng.random() * 50.0
+        handles.append(loop.schedule_at(when, make_cb(f"e{i}")))
+    for _ in range(60):
+        loop.cancel(handles[rng.randrange(len(handles))])
+    loop.run_until(20.0)
+    loop.run()
+    return fired
+
+
+class TestSkipAheadEquivalence:
+    """Skip-ahead and dense draining fire identical event sequences."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_identical_orderings(self, seed):
+        dense = _run_script(EventLoop(skip_ahead=False), seed)
+        sparse = _run_script(EventLoop(skip_ahead=True), seed)
+        assert dense == sparse
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_identical_processed_counts(self, seed):
+        dense_loop = EventLoop(skip_ahead=False)
+        sparse_loop = EventLoop(skip_ahead=True)
+        _run_script(dense_loop, seed)
+        _run_script(sparse_loop, seed)
+        assert dense_loop.events_processed == sparse_loop.events_processed
+        assert dense_loop.now == sparse_loop.now
+
+
+class TestStagedBatches:
+    """stage_batch mirrors schedule_many + re-arm, without heap entries."""
+
+    @staticmethod
+    def _dense_reference(whens, order):
+        """The heap-backed pump pattern stage_batch must reproduce."""
+        loop = EventLoop(skip_ahead=False)
+        loop.schedule(1.5, lambda: order.append(("timer", loop.now)))
+        loop.schedule_many(
+            [
+                (when, lambda i=i, w=when: order.append(("probe", i)))
+                for i, when in enumerate(whens)
+            ]
+        )
+        loop.schedule_at(whens[-1], lambda: order.append(("refill", loop.now)))
+        loop.schedule(1.5, lambda: order.append(("late-timer", loop.now)))
+        loop.run()
+        return loop
+
+    @staticmethod
+    def _staged(whens, order):
+        loop = EventLoop()
+        loop.schedule(1.5, lambda: order.append(("timer", loop.now)))
+        loop.stage_batch(
+            whens,
+            lambda i: order.append(("probe", i)),
+            lambda: order.append(("refill", loop.now)),
+        )
+        loop.schedule(1.5, lambda: order.append(("late-timer", loop.now)))
+        loop.run()
+        return loop
+
+    def test_matches_heap_backed_pump(self):
+        whens = [0.5, 1.0, 1.5, 1.5, 2.0]
+        dense_order, staged_order = [], []
+        dense = self._dense_reference(whens, dense_order)
+        staged = self._staged(whens, staged_order)
+        assert staged_order == dense_order
+        assert staged.events_processed == dense.events_processed
+
+    def test_refill_stages_next_batch(self):
+        loop = EventLoop()
+        fired = []
+        batches = [[1.0, 2.0], [3.0, 4.0]]
+
+        def refill():
+            fired.append(("refill", loop.now))
+            if batches:
+                loop.stage_batch(batches.pop(0), fire, refill)
+
+        def fire(i):
+            fired.append(("probe", loop.now))
+
+        refill()
+        loop.run()
+        assert fired == [
+            ("refill", 0.0),
+            ("probe", 1.0),
+            ("probe", 2.0),
+            ("refill", 2.0),
+            ("probe", 3.0),
+            ("probe", 4.0),
+            ("refill", 4.0),
+        ]
+        assert loop.pending() == 0
+
+    def test_run_until_respects_staged_times(self):
+        loop = EventLoop()
+        fired = []
+        loop.stage_batch(
+            [1.0, 5.0], lambda i: fired.append(i), lambda: None
+        )
+        assert loop.run_until(2.0) == 1
+        assert fired == [0]
+        assert loop.now == 2.0
+        loop.run()
+        assert fired == [0, 1]
+
+    def test_double_stage_rejected(self):
+        loop = EventLoop()
+        loop.stage_batch([1.0], lambda i: None, lambda: None)
+        with pytest.raises(RuntimeError):
+            loop.stage_batch([2.0], lambda i: None, lambda: None)
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().stage_batch([], lambda i: None, lambda: None)
+
+    def test_stage_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.stage_batch([0.5], lambda i: None, lambda: None)
+
+    def test_pending_counts_staged(self):
+        loop = EventLoop()
+        loop.stage_batch([1.0, 2.0, 3.0], lambda i: None, lambda: None)
+        # Three probes plus the batch's refill slot.
+        assert loop.pending() == 4
