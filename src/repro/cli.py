@@ -41,6 +41,7 @@ _SCAN_DEFAULTS = {
     "duration": 180.0,
     "shards": 1,
     "retries": 0,
+    "topology": "star",
 }
 
 
@@ -60,6 +61,7 @@ def _resume_mismatches(
         "duration": spec.scan.get("duration"),
         "shards": spec.shards,
         "retries": spec.scan.get("max_retries", 0),
+        "topology": "tiered" if spec.topology is not None else "star",
     }
     mismatches = [
         f"{name}: run has {recorded_value}, flag says "
@@ -93,6 +95,12 @@ def cmd_scan(args: argparse.Namespace) -> int:
         # report / JSON and stays machine-parseable.
         if not args.quiet:
             print(message, file=sys.stderr)
+
+    topology_payload = None
+    if args.topology == "tiered":
+        from .netsim.topology import TopologySpec
+
+        topology_payload = TopologySpec().to_payload()
 
     faults_payload = None
     if args.faults is not None:
@@ -162,6 +170,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
             or args.journal
             or args.scenario_cache is not None
             or faults_payload is not None
+            or topology_payload is not None
         ):
             from .core.pipeline import CampaignSpec, run_pipeline
 
@@ -175,6 +184,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 metrics=args.metrics,
                 journal=args.journal,
                 faults=faults_payload,
+                topology=topology_payload,
             )
             outcome = run_pipeline(
                 spec, run_dir=args.run_dir, workers=args.workers,
@@ -551,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the deterministic fault plan (JSON, see "
         "examples/faultplans/) into the packet fabric; stored as "
         "faults.json in the run directory",
+    )
+    scan.add_argument(
+        "--topology", choices=("star", "tiered"), default=None,
+        help="inter-AS topology: 'star' (default) keeps the legacy "
+        "hub-and-spoke fabric, 'tiered' builds a policy-aware AS "
+        "graph with valley-free routing and per-hop border filtering",
     )
     scan.add_argument(
         "--hang-timeout", type=float, default=None, metavar="SECONDS",

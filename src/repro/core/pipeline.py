@@ -75,6 +75,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..netsim.faults import FaultPlan, ShardCrashInjected
+from ..netsim.topology import TopologySpec
 from ..obs.export import telemetry_payload, write_telemetry
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder, activate, span
@@ -161,6 +162,11 @@ class CampaignSpec:
     #: ``None`` for a fault-free campaign.  Stored as part of the spec
     #: so a resumed run injects exactly the same faults.
     faults: dict[str, Any] | None = None
+    #: serialized :class:`~repro.netsim.topology.TopologySpec` payload,
+    #: or ``None`` for the legacy star topology.  Part of the spec (and
+    #: hence the scenario content key), so shards and resumes build the
+    #: same world.
+    topology: dict[str, Any] | None = None
     scan: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -175,6 +181,8 @@ class CampaignSpec:
             # Validate eagerly: a bad plan should fail at spec time,
             # not inside a worker process mid-scan.
             FaultPlan.from_payload(self.faults)
+        if self.topology is not None:
+            TopologySpec.from_payload(self.topology)
 
     @classmethod
     def from_scan_config(
@@ -188,6 +196,7 @@ class CampaignSpec:
         metrics: bool = False,
         journal: bool = False,
         faults: dict[str, Any] | None = None,
+        topology: dict[str, Any] | None = None,
     ) -> "CampaignSpec":
         return cls(
             seed=seed,
@@ -197,11 +206,26 @@ class CampaignSpec:
             metrics=metrics,
             journal=journal,
             faults=faults,
+            topology=topology,
             scan=asdict(config),
         )
 
     def scan_config(self) -> ScanConfig:
         return ScanConfig(**self.scan)
+
+    def scenario_params(self) -> ScenarioParams:
+        """The scenario parameters this spec builds (one place, so the
+        parent pipeline and shard workers can never diverge)."""
+        from ..scenarios import ScenarioParams
+
+        topology = (
+            TopologySpec.from_payload(self.topology)
+            if self.topology is not None
+            else None
+        )
+        return ScenarioParams(
+            seed=self.seed, n_ases=self.n_ases, topology=topology
+        )
 
     def fault_plan(self) -> FaultPlan | None:
         """The fault plan this spec injects, or ``None``."""
@@ -222,6 +246,8 @@ class CampaignSpec:
         }
         if self.faults is not None:
             payload["faults"] = dict(self.faults)
+        if self.topology is not None:
+            payload["topology"] = dict(self.topology)
         return payload
 
     @classmethod
@@ -238,6 +264,7 @@ class CampaignSpec:
             metrics=payload.get("metrics", False),
             journal=payload.get("journal", False),
             faults=payload.get("faults"),
+            topology=payload.get("topology"),
             scan=dict(payload["scan"]),
         )
 
@@ -632,7 +659,7 @@ def _acquire_scenario(spec: CampaignSpec, payload: dict[str, Any]):
         load_scenario,
     )
 
-    params = ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+    params = spec.scenario_params()
     key = content_key(params)
     start = time.perf_counter()
     if (
@@ -1208,7 +1235,7 @@ def run_pipeline(
             serialize_scenario,
         )
 
-        params = ScenarioParams(seed=spec.seed, n_ases=spec.n_ases)
+        params = spec.scenario_params()
         if scenario_cache is None:
             cache = ScenarioCache.from_env()
         elif isinstance(scenario_cache, ScenarioCache):

@@ -134,6 +134,24 @@ class AutonomousSystem:
             return BorderVerdict.ACCEPT
         return BorderVerdict.DROP_OSAV
 
+    def transit_verdict(self, packet: Packet) -> BorderVerdict:
+        """Evaluate *packet* carried *through* this AS as third-party
+        transit traffic (policy-aware topologies only).
+
+        Transit networks do not run uRPF against customer cones in this
+        model, but they do commonly drop martian sources and packets
+        claiming to originate from the carrier's own address space —
+        the two filters with well-defined semantics at a transit
+        border.
+        """
+        if is_martian(packet.src):
+            if self.martian_filtering:
+                return BorderVerdict.DROP_MARTIAN
+            return BorderVerdict.ACCEPT
+        if self.dsav and self.originates(packet.src):
+            return BorderVerdict.DROP_DSAV
+        return BorderVerdict.ACCEPT
+
     def ingress_verdict(self, packet: Packet) -> BorderVerdict:
         """Evaluate *packet* entering this AS (DSAV + martian filtering)."""
         if is_martian(packet.src):

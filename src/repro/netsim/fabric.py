@@ -79,6 +79,10 @@ DROP_SUBNET_SAV = BorderVerdict.DROP_SUBNET_SAV.value
 DROP_FAULT_LOSS = "fault-loss"
 DROP_FAULT_BLACKHOLE = "fault-blackhole"
 DROP_FAULT_OUTAGE = "fault-outage"
+#: BGP-dynamics fault clauses: traffic swallowed by a prefix hijacker,
+#: or forwarded along a stale (stuck) route whose origin went dark.
+DROP_FAULT_HIJACK = "fault-hijacked"
+DROP_FAULT_STUCK = "fault-stuck-route"
 
 #: The exhaustive set; ``Fabric._drop`` refuses anything else, so a new
 #: drop path cannot ship without registering its reason here.
@@ -95,6 +99,8 @@ DROP_REASONS = frozenset(
         DROP_FAULT_LOSS,
         DROP_FAULT_BLACKHOLE,
         DROP_FAULT_OUTAGE,
+        DROP_FAULT_HIJACK,
+        DROP_FAULT_STUCK,
     }
 )
 
@@ -266,6 +272,13 @@ class Fabric:
                 packet.transport.value,
             )
 
+        faults = self.faults
+        if faults is not None and faults.next_route_event <= self.loop.now:
+            # BGP dynamics: apply every announcement mutation whose sim
+            # time has passed.  Keyed purely on packet timestamps, so
+            # any shard's packets observe the same table states.
+            faults.apply_route_events(self.routes, self.loop.now)
+
         dst_route = self.routes.lookup(packet.dst)
         if dst_route is None:
             if rec is not None:
@@ -282,8 +295,28 @@ class Fabric:
             return
 
         crossing_border = dest_as.asn != origin_as.asn
+        #: summed per-link latency when a multi-hop policy path is
+        #: walked; ``None`` keeps the legacy star pair latency.
+        path_latency: float | None = None
         if crossing_border:
             rec_to_asn = dest_as.asn
+            walk = None
+            policy = self.routes.policy
+            if policy is not None:
+                # Policy-aware mode: the packet follows the compiled
+                # valley-free AS path hop by hop.  ``as_path`` is a
+                # bounded memo over precomputed next-hop columns — no
+                # graph search happens here.
+                walk = policy.as_path(origin_as.asn, dest_as.asn)
+                if walk is None:
+                    if rec is not None:
+                        jr.fabric_done(
+                            rec, origin_as.asn, rec_to_asn, DROP_NO_ROUTE
+                        )
+                    self._drop(packet, DROP_NO_ROUTE, origin_as.asn)
+                    return
+                if rec is not None:
+                    rec += jr.fabric_aspath(walk[0], walk[1])
             verdict = origin_as.egress_verdict(packet)
             if rec is not None:
                 rec += jr.fabric_egress(
@@ -299,6 +332,27 @@ class Fabric:
                     )
                 self._drop(packet, verdict.value, origin_as.asn)
                 return
+            if walk is not None:
+                hops = walk[0]
+                total = 0.0
+                prev = hops[0]
+                for asn in hops[1:-1]:
+                    total += self._latency(prev, asn)
+                    prev = asn
+                    transit_as = self._systems.get(asn)
+                    if transit_as is None:
+                        continue
+                    verdict = transit_as.transit_verdict(packet)
+                    if verdict is not BorderVerdict.ACCEPT:
+                        if rec is not None:
+                            rec += jr.fabric_transit(asn, verdict.value)
+                            jr.fabric_done(
+                                rec, origin_as.asn, rec_to_asn, verdict.value
+                            )
+                        self._drop(packet, verdict.value, asn)
+                        return
+                total += self._latency(prev, hops[-1])
+                path_latency = total
             verdict = dest_as.ingress_verdict(packet)
             if rec is not None:
                 rec += jr.fabric_ingress(
@@ -315,11 +369,12 @@ class Fabric:
                     )
                 self._drop(packet, verdict.value, dest_as.asn)
                 return
-            packet = packet.hop()
+            # One TTL decrement per inter-AS link on the walked path;
+            # star mode keeps its single origin→destination crossing.
+            packet = packet.hop(len(walk[0]) - 1 if walk is not None else 1)
         else:
             rec_to_asn = dest_as.asn
 
-        faults = self.faults
         if faults is not None:
             reason = faults.drop_reason(
                 packet, origin_as.asn, dest_as.asn, self.loop.now
@@ -351,7 +406,11 @@ class Fabric:
             jr.fabric_done(rec, origin_as.asn, rec_to_asn, "delivered")
         for tap in self._taps:
             tap(packet, target)
-        latency = self._latency(origin.asn, dest_as.asn)
+        latency = (
+            path_latency
+            if path_latency is not None
+            else self._latency(origin.asn, dest_as.asn)
+        )
         if faults is not None:
             mods = faults.delivery_mods(
                 packet, origin_as.asn, dest_as.asn, self.loop.now

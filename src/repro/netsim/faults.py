@@ -5,7 +5,8 @@ paths, rate-limited resolvers, partial outages, collector crashes.  This
 module lets a reproduction *schedule* that hostility: a serializable
 :class:`FaultPlan` composes windowed fault clauses (burst loss between
 AS pairs, blackholed prefixes, resolver outages and slowdowns, packet
-duplication, reordering jitter, and scripted shard-worker crashes) that
+duplication, reordering jitter, BGP route dynamics — withdrawals,
+prefix hijacks, stuck routes — and scripted shard-worker crashes) that
 the fabric and the pipeline replay exactly.
 
 Determinism contract
@@ -126,6 +127,55 @@ class Reorder:
 
 
 @dataclass(frozen=True)
+class RouteWithdrawal:
+    """Withdraw ``prefix`` from the routing table at sim time ``at``.
+
+    Packets toward the prefix drop with ``no-route`` until
+    ``restore_at`` (if given) re-installs the original announcement.
+    The mutation is applied lazily when the first packet at or past
+    ``at`` enters the fabric, so it is a pure function of packet
+    timestamps and replays identically at any shard count.
+    """
+
+    prefix: str
+    at: float = 0.0
+    restore_at: float | None = None
+
+
+@dataclass(frozen=True)
+class PrefixHijack:
+    """Announce ``prefix`` from ``by_asn`` during ``[at, end)``.
+
+    The hijacker's announcement displaces (or shadows, for a
+    more-specific) the legitimate origin: lookups resolve to
+    ``by_asn``, packets walk the policy path toward the hijacker and
+    are swallowed there with ``fault-hijacked``.  ``end`` of ``None``
+    leaves the hijack in place for the rest of the run.
+    """
+
+    prefix: str
+    by_asn: int
+    at: float = 0.0
+    end: float | None = None
+
+
+@dataclass(frozen=True)
+class StuckRoute:
+    """Model slow convergence: a dead route that lingers in the table.
+
+    The origin of ``prefix`` goes dark at ``at`` but the announcement
+    stays installed for ``linger`` seconds — packets still forward
+    along the stale path and drop with ``fault-stuck-route`` — before
+    the withdrawal finally propagates and subsequent packets see
+    ``no-route``.
+    """
+
+    prefix: str
+    at: float = 0.0
+    linger: float = 30.0
+
+
+@dataclass(frozen=True)
 class ShardCrash:
     """Kill shard ``shard``'s worker after it sends ``after_probes``.
 
@@ -151,6 +201,9 @@ _CLAUSE_KINDS = {
     "resolver-slowdown": ResolverSlowdown,
     "duplicate": Duplicate,
     "reorder": Reorder,
+    "route-withdrawal": RouteWithdrawal,
+    "prefix-hijack": PrefixHijack,
+    "stuck-route": StuckRoute,
     "shard-crash": ShardCrash,
 }
 _KIND_BY_CLASS = {cls: kind for kind, cls in _CLAUSE_KINDS.items()}
@@ -181,6 +234,22 @@ def _validate_clause(index: int, clause) -> None:
         fail(f"duplicate delay {clause.delay} must be positive")
     if isinstance(clause, Reorder) and clause.jitter <= 0:
         fail(f"jitter {clause.jitter} must be positive")
+    if isinstance(clause, (RouteWithdrawal, PrefixHijack, StuckRoute)):
+        ip_network(clause.prefix)  # raises ValueError on garbage
+        if clause.at < 0:
+            fail(f"negative event time {clause.at}")
+    if isinstance(clause, RouteWithdrawal):
+        if clause.restore_at is not None and clause.restore_at <= clause.at:
+            fail(
+                f"restore_at {clause.restore_at} must follow at {clause.at}"
+            )
+    if isinstance(clause, PrefixHijack):
+        if clause.by_asn < 1:
+            fail(f"invalid hijacking ASN {clause.by_asn}")
+        if clause.end is not None and clause.end <= clause.at:
+            fail(f"empty hijack window [{clause.at}, {clause.end})")
+    if isinstance(clause, StuckRoute) and clause.linger <= 0:
+        fail(f"linger {clause.linger} must be positive")
     if isinstance(clause, ShardCrash):
         if clause.shard < 0:
             fail(f"negative shard {clause.shard}")
@@ -314,6 +383,12 @@ class FaultInjector:
         "_slowdowns",
         "_duplicates",
         "_reorders",
+        "_stucks",
+        "_hijacks",
+        "_route_events",
+        "_route_cursor",
+        "next_route_event",
+        "_displaced",
         "injections",
         "_mx_injections",
     )
@@ -327,6 +402,21 @@ class FaultInjector:
         self._slowdowns: list[tuple] = []
         self._duplicates: list[tuple[int, Duplicate]] = []
         self._reorders: list[tuple[int, Reorder]] = []
+        #: (version, lo, hi, start, end) windows where a stale route
+        #: still forwards but the origin swallows the traffic.
+        self._stucks: list[tuple] = []
+        #: (version, lo, hi, start, end) windows owned by a hijacker.
+        self._hijacks: list[tuple] = []
+        #: (time, order, op, prefix, asn) announcements mutations,
+        #: applied lazily in time order as packet timestamps pass them.
+        self._route_events: list[tuple[float, int, str, str, int]] = []
+        self._route_cursor = 0
+        #: earliest unapplied route event; the fabric compares this to
+        #: ``loop.now`` once per packet (one float compare).
+        self.next_route_event = float("inf")
+        #: prefix -> announcement displaced by a withdraw/hijack, so a
+        #: restore re-installs exactly what was there.
+        self._displaced: dict[str, Any] = {}
         #: injection counts by clause kind (mirrors the metric).
         self.injections: Counter = Counter()
         self._mx_injections = None
@@ -359,8 +449,92 @@ class FaultInjector:
                 self._duplicates.append((index, clause))
             elif isinstance(clause, Reorder):
                 self._reorders.append((index, clause))
+            elif isinstance(clause, RouteWithdrawal):
+                self._route_events.append(
+                    (clause.at, index, "withdraw", clause.prefix, 0)
+                )
+                if clause.restore_at is not None:
+                    self._route_events.append(
+                        (clause.restore_at, index, "restore",
+                         clause.prefix, 0)
+                    )
+            elif isinstance(clause, PrefixHijack):
+                net = ip_network(clause.prefix)
+                self._route_events.append(
+                    (clause.at, index, "hijack", clause.prefix,
+                     clause.by_asn)
+                )
+                if clause.end is not None:
+                    self._route_events.append(
+                        (clause.end, index, "unhijack", clause.prefix, 0)
+                    )
+                self._hijacks.append(
+                    (
+                        net.version,
+                        int(net.network_address),
+                        int(net.broadcast_address),
+                        clause.at,
+                        clause.end,
+                    )
+                )
+            elif isinstance(clause, StuckRoute):
+                net = ip_network(clause.prefix)
+                self._route_events.append(
+                    (clause.at + clause.linger, index, "withdraw",
+                     clause.prefix, 0)
+                )
+                self._stucks.append(
+                    (
+                        net.version,
+                        int(net.network_address),
+                        int(net.broadcast_address),
+                        clause.at,
+                        clause.at + clause.linger,
+                    )
+                )
             else:  # pragma: no cover - compile() filters these
                 raise TypeError(f"not a packet clause: {clause!r}")
+        self._route_events.sort()
+        if self._route_events:
+            self.next_route_event = self._route_events[0][0]
+
+    def apply_route_events(self, routes, now: float) -> None:
+        """Apply every due announcement mutation to *routes*.
+
+        Called by the fabric when ``next_route_event <= now``.  Events
+        fire strictly in (time, clause index) order, so the table state
+        any packet observes is a pure function of that packet's
+        timestamp — the property that keeps N-shard faulted runs
+        byte-identical to 1-shard.
+        """
+        events = self._route_events
+        cursor = self._route_cursor
+        while cursor < len(events) and events[cursor][0] <= now:
+            _at, _index, op, prefix, asn = events[cursor]
+            cursor += 1
+            if op == "withdraw":
+                displaced = routes.announcement_for(prefix)
+                if displaced is not None:
+                    self._displaced[prefix] = displaced
+                    routes.withdraw(prefix)
+            elif op == "restore":
+                displaced = self._displaced.pop(prefix, None)
+                if displaced is not None:
+                    routes.announce(displaced.prefix, displaced.asn)
+            elif op == "hijack":
+                displaced = routes.announcement_for(prefix)
+                if displaced is not None:
+                    self._displaced[prefix] = displaced
+                routes.announce(prefix, asn)
+            else:  # unhijack
+                routes.withdraw(prefix)
+                displaced = self._displaced.pop(prefix, None)
+                if displaced is not None:
+                    routes.announce(displaced.prefix, displaced.asn)
+        self._route_cursor = cursor
+        self.next_route_event = (
+            events[cursor][0] if cursor < len(events) else float("inf")
+        )
 
     def bind_metrics(self, registry) -> None:
         """Count injections into *registry* from now on.
@@ -415,6 +589,26 @@ class FaultInjector:
             if lo <= dst_int <= hi:
                 self._record("blackhole")
                 return "fault-blackhole"
+        for version, lo, hi, start, end in self._stucks:
+            if packet.dst.version != version:
+                continue
+            if not _window_contains(start, end, now):
+                continue
+            if dst_int is None:
+                dst_int = int(packet.dst)
+            if lo <= dst_int <= hi:
+                self._record("stuck-route")
+                return "fault-stuck-route"
+        for version, lo, hi, start, end in self._hijacks:
+            if packet.dst.version != version:
+                continue
+            if not _window_contains(start, end, now):
+                continue
+            if dst_int is None:
+                dst_int = int(packet.dst)
+            if lo <= dst_int <= hi:
+                self._record("prefix-hijack")
+                return "fault-hijacked"
         for index, address, start, end in self._outages:
             if packet.dst == address and _window_contains(start, end, now):
                 self._record("resolver-outage")

@@ -124,9 +124,9 @@ class Packet:
         fields.update(overrides)
         return Packet(**fields)  # type: ignore[arg-type]
 
-    def hop(self) -> "Packet":
-        """Return a copy of the packet after one border crossing."""
-        return replace(self, hops=self.hops + 1)
+    def hop(self, count: int = 1) -> "Packet":
+        """Return a copy of the packet after *count* border crossings."""
+        return replace(self, hops=self.hops + count)
 
     def flow(self) -> tuple[Address, int, Address, int, Transport]:
         """Return the 5-tuple identifying this packet's flow."""

@@ -23,9 +23,14 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from ipaddress import ip_network
+from typing import TYPE_CHECKING
 
 from .addresses import Address, Network
+
+if TYPE_CHECKING:
+    from .topology import ASGraph
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +99,48 @@ class RoutingTable:
     #: keeps the lookup fast path at one extra attribute check.
     _mx_hits: object | None = field(default=None, repr=False)
     _mx_misses: object | None = field(default=None, repr=False)
+    #: optional AS-relationship graph + its compiled valley-free paths.
+    #: ``None`` (the default) is the legacy star topology: every
+    #: inter-AS packet crosses exactly the origin and destination
+    #: borders, and nothing below changes behaviour.
+    _graph: "ASGraph | None" = field(default=None, repr=False)
+    _policy: "PolicyView | None" = field(default=None, repr=False)
+
+    @property
+    def policy(self) -> "PolicyView | None":
+        """The compiled valley-free view, or ``None`` in star mode."""
+        return self._policy
+
+    @property
+    def graph(self) -> "ASGraph | None":
+        return self._graph
+
+    def attach_graph(self, graph: "ASGraph") -> None:
+        """Attach an AS-relationship graph and compile its path tables.
+
+        The graph is immutable for the lifetime of a scenario, so the
+        policy view compiles once here (at build time — the artifact
+        then carries the tables) and is never invalidated by
+        announcement churn: withdrawals and hijacks change *which
+        origin* a lookup resolves to, not how ASes reach each other.
+        """
+        self._policy = PolicyView.compile(graph)
+        self._graph = graph
+
+    def as_path(
+        self, src_asn: int, dst_asn: int
+    ) -> tuple[tuple[int, ...], tuple[str, ...]] | None:
+        """Valley-free AS path + per-hop relationship labels, or ``None``."""
+        policy = self._policy
+        if policy is None:
+            return None
+        return policy.as_path(src_asn, dst_asn)
+
+    def announcement_for(self, prefix: Network | str) -> Announcement | None:
+        """The exact-prefix announcement currently installed, if any."""
+        if isinstance(prefix, str):
+            prefix = ip_network(prefix)
+        return self._announcements.get(prefix)
 
     def bind_metrics(self, registry) -> None:
         """Count route-cache hits/misses into *registry* from now on.
@@ -118,6 +165,14 @@ class RoutingTable:
         if isinstance(prefix, str):
             prefix = ip_network(prefix)
         announcement = Announcement(prefix, asn)
+        existing = self._announcements.get(prefix)
+        if existing == announcement:
+            # Identical re-announcement: the table's state is unchanged,
+            # so don't invalidate the compiled view or drop the route
+            # cache.  BGP fault clauses restore withdrawn/hijacked
+            # prefixes mid-scan and must not pay a recompile when the
+            # restore lands on an already-identical entry.
+            return existing
         node = self._roots[prefix.version]
         bits = _address_bits(int(prefix.network_address), prefix.max_prefixlen)
         for _, bit in zip(range(prefix.prefixlen), bits):
@@ -282,3 +337,251 @@ class RoutingTable:
 
     def __contains__(self, prefix: Network) -> bool:
         return prefix in self._announcements
+
+
+#: Unreachable-distance sentinel in the compiled policy tables.
+_UNREACHABLE = 1 << 30
+
+#: Ceiling on memoized (src, dst) AS paths; flushed wholesale like the
+#: route cache.  Never invalidated: the graph is immutable per scenario.
+PATH_CACHE_LIMIT = 1 << 16
+
+
+class PolicyView:
+    """Valley-free (Gao–Rexford) forwarding state compiled from a graph.
+
+    BGP policy routing in the standard model: every AS prefers routes
+    learned from customers over routes from peers over routes from
+    providers (classes 1/2/3 below), breaks ties by AS-path length and
+    then by lowest next-hop ASN, and exports customer routes to
+    everyone but peer/provider routes only to its customers — the
+    Gao–Rexford conditions that make every used path *valley-free*
+    (once a path goes peer→peer or provider→customer it may only
+    continue provider→customer).
+
+    Compilation runs the textbook per-destination propagation over the
+    **transit skeleton** — every AS with customers, peers, or anything
+    other than exactly one provider — in three stages (customer-route
+    BFS up provider links, one peer-exchange round, provider-route
+    Dijkstra down customer links).  Stub ASes hang off a single
+    provider, so their best paths are their provider's best paths
+    extended by one hop, uniformly in both class and length; the
+    decomposition is therefore *exact*, not an approximation, which the
+    property tests check against a brute-force oracle.
+
+    Per-packet work is array chasing only: ``as_path`` walks the
+    precomputed next-hop columns (one O(1) index per hop) behind a
+    bounded memo — no graph search ever runs at packet time.
+    """
+
+    __slots__ = (
+        "graph",
+        "_transit",
+        "_index",
+        "_stub_provider",
+        "_tables",
+        "_path_cache",
+    )
+
+    def __init__(
+        self,
+        graph: "ASGraph",
+        transit: list[int],
+        stub_provider: dict[int, int],
+        tables: list[tuple[list[int], list[int], list[int]]],
+    ) -> None:
+        self.graph = graph
+        self._transit = transit
+        self._index = {asn: i for i, asn in enumerate(transit)}
+        self._stub_provider = stub_provider
+        self._tables = tables
+        self._path_cache: dict[
+            tuple[int, int], tuple[tuple[int, ...], tuple[str, ...]] | None
+        ] = {}
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.graph, self._transit, self._stub_provider, self._tables),
+        )
+
+    @classmethod
+    def compile(cls, graph: "ASGraph") -> "PolicyView":
+        """Run per-destination Gao–Rexford propagation over the skeleton."""
+        transit = graph.transit_asns()
+        index = {asn: i for i, asn in enumerate(transit)}
+        stub_provider = {
+            asn: graph.providers[asn][0]
+            for asn in graph.tiers
+            if asn not in index
+        }
+        n = len(transit)
+        providers_idx: list[list[int]] = [[] for _ in range(n)]
+        customers_idx: list[list[int]] = [[] for _ in range(n)]
+        peers_idx: list[list[int]] = [[] for _ in range(n)]
+        for asn, i in index.items():
+            for p in graph.providers.get(asn, ()):
+                pi = index.get(p)
+                if pi is not None:
+                    providers_idx[i].append(pi)
+            for c in graph.customers.get(asn, ()):
+                ci = index.get(c)
+                if ci is not None:
+                    customers_idx[i].append(ci)
+            for q in graph.peers.get(asn, ()):
+                qi = index.get(q)
+                if qi is not None:
+                    peers_idx[i].append(qi)
+
+        tables = [
+            cls._propagate(
+                ti, n, transit, providers_idx, customers_idx, peers_idx
+            )
+            for ti in range(n)
+        ]
+        return cls(graph, transit, stub_provider, tables)
+
+    @staticmethod
+    def _propagate(
+        ti: int,
+        n: int,
+        transit: list[int],
+        providers_idx: list[list[int]],
+        customers_idx: list[list[int]],
+        peers_idx: list[list[int]],
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Best (class, length, next-hop) from every AS toward ``transit[ti]``.
+
+        Classes: 0 self, 1 customer route, 2 peer route, 3 provider
+        route, 4 unreachable.  Ties break by length then by lowest
+        next-hop ASN, all deterministically — no RNG anywhere.
+        """
+        cls_ = [4] * n
+        dist = [_UNREACHABLE] * n
+        nxt = [-1] * n
+        cls_[ti] = 0
+        dist[ti] = 0
+
+        # Stage 1 — customer routes climb provider links from the
+        # destination, level-synchronous BFS (shortest wins; equal
+        # levels prefer the lowest learning-customer ASN).
+        level = [ti]
+        depth = 0
+        while level:
+            depth += 1
+            candidates: dict[int, int] = {}
+            for xi in level:
+                for pi in providers_idx[xi]:
+                    if dist[pi] != _UNREACHABLE:
+                        continue
+                    best = candidates.get(pi)
+                    if best is None or transit[xi] < transit[best]:
+                        candidates[pi] = xi
+            for pi, via in candidates.items():
+                cls_[pi] = 1
+                dist[pi] = depth
+                nxt[pi] = via
+            level = sorted(candidates)
+
+        # Stage 2 — one peer exchange: a peer exports only its
+        # customer routes (and itself).
+        peer_grants: list[tuple[int, int, int]] = []
+        for yi in range(n):
+            if dist[yi] != _UNREACHABLE:
+                continue
+            best_key = None
+            best_via = -1
+            for qi in peers_idx[yi]:
+                if cls_[qi] <= 1:
+                    key = (dist[qi] + 1, transit[qi])
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_via = qi
+            if best_key is not None:
+                peer_grants.append((yi, best_key[0], best_via))
+        for yi, d, via in peer_grants:
+            cls_[yi] = 2
+            dist[yi] = d
+            nxt[yi] = via
+
+        # Stage 3 — provider routes cascade down customer links from
+        # every AS that already selected a route (Dijkstra; ties
+        # prefer the lowest providing ASN, first-pop wins).
+        heap: list[tuple[int, int, int, int]] = []
+        for xi in range(n):
+            if cls_[xi] <= 2:
+                for ci in customers_idx[xi]:
+                    if cls_[ci] > 2:
+                        heappush(
+                            heap, (dist[xi] + 1, transit[xi], ci, xi)
+                        )
+        while heap:
+            d, _via_asn, ci, from_xi = heappop(heap)
+            if cls_[ci] <= 2 or dist[ci] <= d:
+                continue
+            cls_[ci] = 3
+            dist[ci] = d
+            nxt[ci] = from_xi
+            for c2 in customers_idx[ci]:
+                if cls_[c2] > 2 and dist[c2] > d + 1:
+                    heappush(heap, (d + 1, transit[ci], c2, ci))
+        return cls_, dist, nxt
+
+    def as_path(
+        self, src_asn: int, dst_asn: int
+    ) -> tuple[tuple[int, ...], tuple[str, ...]] | None:
+        """``(hops, rels)`` for src→dst, or ``None`` if policy-unreachable.
+
+        ``hops`` runs from the source AS to the destination AS
+        inclusive; ``rels[i]`` labels ``hops[i+1]`` from ``hops[i]``'s
+        perspective (``provider``/``peer``/``customer``).
+        """
+        key = (src_asn, dst_asn)
+        cached = self._path_cache.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            return cached  # type: ignore[return-value]
+        result = self._assemble(src_asn, dst_asn)
+        if len(self._path_cache) >= PATH_CACHE_LIMIT:
+            self._path_cache.clear()
+        self._path_cache[key] = result
+        return result
+
+    def _assemble(
+        self, src_asn: int, dst_asn: int
+    ) -> tuple[tuple[int, ...], tuple[str, ...]] | None:
+        if src_asn == dst_asn:
+            return (src_asn,), ()
+        index = self._index
+        hops: list[int] = []
+        entry = src_asn
+        if src_asn not in index:
+            provider = self._stub_provider.get(src_asn)
+            if provider is None:
+                return None
+            hops.append(src_asn)
+            entry = provider
+        exit_ = dst_asn
+        if dst_asn not in index:
+            provider = self._stub_provider.get(dst_asn)
+            if provider is None:
+                return None
+            exit_ = provider
+        ei = index[entry]
+        xi = index[exit_]
+        _cls, dist, nxt = self._tables[xi]
+        if dist[ei] >= _UNREACHABLE:
+            return None
+        transit = self._transit
+        cur = ei
+        while cur != xi:
+            hops.append(transit[cur])
+            cur = nxt[cur]
+        hops.append(exit_)
+        if dst_asn != exit_:
+            hops.append(dst_asn)
+        graph = self.graph
+        rels = tuple(
+            graph.relationship(a, b) or "unknown"
+            for a, b in zip(hops, hops[1:])
+        )
+        return tuple(hops), rels

@@ -143,6 +143,18 @@ def load_index(events_path) -> JournalIndex:
 def _border_story(hop: dict[str, Any]) -> list[str]:
     """Narrate one fabric traversal's border decisions."""
     lines = []
+    # Policy-aware traversals carry the compiled valley-free AS path;
+    # narrate the hop chain with each inter-AS relationship label.
+    path = hop.get("as_path")
+    if path is not None:
+        rels = hop.get("rels", ())
+        segments = [f"AS{path[0]}"]
+        for asn, rel in zip(path[1:], rels):
+            segments.append(f"-[{rel}]-> AS{asn}")
+        lines.append(
+            f"valley-free path ({len(path) - 1} hops): "
+            + " ".join(segments)
+        )
     egress = hop.get("egress")
     if egress is not None:
         if egress["verdict"] == _ACCEPT:
@@ -157,6 +169,16 @@ def _border_story(hop: dict[str, Any]) -> list[str]:
                 f"(source outside the AS's announced space)"
             )
             return lines
+    transit = hop.get("transit")
+    if transit is not None:
+        what = _DROPPED_BY_BORDER.get(
+            transit["verdict"], transit["verdict"]
+        )
+        lines.append(
+            f"dropped by {what} at transit AS{transit['asn']} "
+            f"(mid-path border, before reaching the destination AS)"
+        )
+        return lines
     ingress = hop.get("ingress")
     if ingress is not None:
         asn = ingress["asn"]
@@ -195,6 +217,16 @@ def _border_story(hop: dict[str, Any]) -> list[str]:
         lines.append("null-routed by an injected blackhole fault")
     elif outcome == "fault-outage":
         lines.append("destination down (injected resolver outage)")
+    elif outcome == "fault-hijacked":
+        lines.append(
+            "swallowed by an injected prefix hijack "
+            "(a bogus origin AS attracted the route)"
+        )
+    elif outcome == "fault-stuck-route":
+        lines.append(
+            "blackholed by a stale route an injected fault kept "
+            "alive past its withdrawal"
+        )
     elif outcome in ("no-route", "unrouted-asn", "no-host"):
         lines.append(f"discarded: {outcome}")
     return lines

@@ -290,6 +290,21 @@ class Journal:
             f'"transport":"{transport}"'
         )
 
+    def fabric_aspath(self, hops, rels) -> str:
+        """Segment recording the policy path a packet is walking.
+
+        Only emitted in policy-aware topology mode; legacy star events
+        keep their exact byte layout.  ``rels[i]`` labels ``hops[i+1]``
+        from ``hops[i]``'s perspective.
+        """
+        hop_list = ",".join(str(h) for h in hops)
+        rel_list = ",".join(f'"{r}"' for r in rels)
+        return f',"as_path":[{hop_list}],"rels":[{rel_list}]'
+
+    def fabric_transit(self, asn, verdict) -> str:
+        """Segment naming the transit border that filtered the packet."""
+        return f',"transit":{{"asn":{asn},"verdict":"{verdict}"}}'
+
     def fabric_egress(self, asn, osav, verdict, prefix) -> str:
         filt = "null" if prefix is None else f'"{self.addr(prefix)}"'
         return (

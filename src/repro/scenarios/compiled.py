@@ -52,7 +52,10 @@ SCENARIO_SCHEMA_VERSION = 1
 #: ``build_internet`` changes what it produces for the same params —
 #: the content key folds this in, so stale cache entries miss instead
 #: of resurrecting an old world.
-SCENARIO_CODE_VERSION = 1
+#: 2: policy-aware topology engine (graph + compiled valley-free path
+#: tables ride inside the artifact; ``BuiltScenario`` gained a
+#: ``topology`` field, so version-1 pickles must not be resurrected).
+SCENARIO_CODE_VERSION = 2
 
 _MAGIC = "repro-compiled-scenario"
 
@@ -88,6 +91,8 @@ def params_payload(params: ScenarioParams) -> dict[str, Any]:
         value = getattr(params, field.name)
         if field.name == "resolver_mix":
             value = [_kind_payload(kind) for kind in value]
+        elif field.name == "topology":
+            value = value.to_payload() if value is not None else None
         payload[field.name] = value
     return payload
 

@@ -35,6 +35,13 @@ from ..netsim.determinism import stable_fraction, stable_hash
 from ..netsim.fabric import Fabric, Host
 from ..netsim.geo import GeoDatabase, draw_country
 from ..netsim.packet import Packet, TCPSignature, Transport
+from ..netsim.topology import (
+    ASGraph,
+    generate_topology,
+    v4_prefix_count,
+    v4_prefix_lengths,
+    v6_prefix_lengths,
+)
 from ..oskernel.ports import UniformPoolAllocator
 from ..oskernel.profiles import os_profile
 from .params import ResolverKind, ScenarioParams
@@ -100,6 +107,8 @@ class BuiltScenario:
     hitlist: frozenset[Network]
     port_history: dict[Address, list[int]]
     ground_truth: GroundTruth
+    #: policy-aware AS graph, or ``None`` for legacy star scenarios.
+    topology: ASGraph | None = None
     truth: GroundTruth = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -219,17 +228,35 @@ class _SpaceAllocator:
         self._v6_block = 0
 
     def next_v4(self, prefixlen: int) -> IPv4Network:
-        """Allocate a fresh v4 prefix (20 <= prefixlen <= 24)."""
+        """Allocate a fresh v4 prefix (16 <= prefixlen <= 24).
+
+        Prefixes of /20 and longer take one 2^12-address block each —
+        the legacy layout, byte-identical to pre-topology scenarios.
+        Shorter prefixes (tier-1/2 aggregates) take naturally aligned
+        runs of blocks; the 20.0.0.0 base is /8-aligned, so rounding
+        the block cursor up to a multiple of the run length aligns the
+        prefix itself.
+        """
+        blocks = 1 << max(0, 20 - prefixlen)
+        if blocks > 1:
+            self._v4_block = -(-self._v4_block // blocks) * blocks
         base = int(ip_address("20.0.0.0")) + self._v4_block * (1 << 12)
-        self._v4_block += 1
+        self._v4_block += blocks
         if base >= int(ip_address("100.0.0.0")):
             raise RuntimeError("v4 scenario space exhausted")
         return ip_network((base, prefixlen))
 
     def next_v6(self, prefixlen: int) -> IPv6Network:
-        """Allocate a fresh v6 prefix (56 <= prefixlen <= 64)."""
+        """Allocate a fresh v6 prefix (48 <= prefixlen <= 64).
+
+        /56 and longer keep the legacy one-block layout; shorter
+        allocations take aligned runs, as for v4.
+        """
+        blocks = 1 << max(0, 56 - prefixlen)
+        if blocks > 1:
+            self._v6_block = -(-self._v6_block // blocks) * blocks
         base = int(ip_address("2a00::")) + self._v6_block * (1 << 72)
-        self._v6_block += 1
+        self._v6_block += blocks
         return ip_network((base, prefixlen))
 
 
@@ -506,6 +533,20 @@ def build_internet(
     space = _SpaceAllocator()
     truth = GroundTruth()
 
+    # Policy-aware topology (opt-in): generate the AS-relationship
+    # graph up front so per-AS prefix draws can skew by tier.  Every
+    # graph draw is content-keyed on (seed, asn), independent of the
+    # builder's consumed RNG streams, so the legacy star build below is
+    # untouched when ``params.topology`` is None.
+    graph = None
+    if params.topology is not None:
+        graph = generate_topology(
+            params.topology,
+            params.seed,
+            [FIRST_TARGET_ASN + i for i in range(params.n_ases)],
+            forced_stubs=(MEASUREMENT_ASN, INFRA_ASN, PUBLIC_DNS_ASN),
+        )
+
     infra = _build_infrastructure(
         fabric, space, rng, wildcard_answers=wildcard_answers
     )
@@ -562,22 +603,41 @@ def build_internet(
         if not system.martian_filtering:
             truth.martian_unfiltered_asns.add(asn)
 
-        n_v4_prefixes = 1 + min(int(as_rng.expovariate(0.8)), 6)
+        tier = graph.tier_of(asn) if graph is not None else 3
+        if graph is None:
+            n_v4_prefixes = 1 + min(int(as_rng.expovariate(0.8)), 6)
+        else:
+            # Tiered address-space skew: transit networks hold more,
+            # and shorter, allocations than the stub edge.
+            n_v4_prefixes = v4_prefix_count(tier, as_rng)
         for _ in range(n_v4_prefixes):
-            prefixlen = as_rng.choice((20, 22, 22, 23, 24, 24))
+            if graph is None:
+                prefixlen = as_rng.choice((20, 22, 22, 23, 24, 24))
+            else:
+                prefixlen = as_rng.choice(v4_prefix_lengths(tier))
             prefix = system.add_prefix(space.next_v4(prefixlen))
             geo.assign(
                 prefix,
                 country if as_rng.random() < 0.9 else draw_country(as_rng),
             )
-        has_v6 = as_rng.random() < params.v6_as_fraction
+        v6_fraction = params.v6_as_fraction
+        if graph is not None and tier <= 2:
+            v6_fraction = 0.85  # transit networks are near-universally v6
+        has_v6 = as_rng.random() < v6_fraction
         if has_v6:
             # Mostly single /64s: in the wild the median number of
             # *active* IPv6 subnets per AS is tiny, which is why the
             # paper's IPv6 reachability is dominated by same-prefix and
             # destination-as-source rather than other-prefix sources.
-            for _ in range(1 + min(int(as_rng.expovariate(2.0)), 1)):
-                prefixlen = as_rng.choice((64, 64, 64, 60, 56))
+            if graph is not None and tier <= 2:
+                n_v6 = 1 + min(int(as_rng.expovariate(1.0)), 3)
+            else:
+                n_v6 = 1 + min(int(as_rng.expovariate(2.0)), 1)
+            for _ in range(n_v6):
+                if graph is not None and tier <= 2:
+                    prefixlen = as_rng.choice(v6_prefix_lengths(tier))
+                else:
+                    prefixlen = as_rng.choice((64, 64, 64, 60, 56))
                 prefix = system.add_prefix(space.next_v6(prefixlen))
                 geo.assign(
                     prefix,
@@ -603,7 +663,12 @@ def build_internet(
     # Every announcement is installed: compile the flat LPM view and the
     # per-AS prefix index once, so the first routed packet (and the
     # planner's prefixes_for_asn calls) already hit the fast path
-    # instead of paying the recompile inside the campaign.
+    # instead of paying the recompile inside the campaign.  Attaching
+    # the graph first also compiles the valley-free path tables here,
+    # at build time — the compiled-scenario artifact then carries them
+    # to every shard.
+    if graph is not None:
+        fabric.routes.attach_graph(graph)
     fabric.routes.compile()
 
     scenario = BuiltScenario(
@@ -619,6 +684,7 @@ def build_internet(
         hitlist=frozenset(hitlist),
         port_history=port_history,
         ground_truth=truth,
+        topology=graph,
     )
     if ids_asns:
         _install_ids(scenario, ids_asns, infra)

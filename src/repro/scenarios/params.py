@@ -15,6 +15,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from random import Random
 
+from ..netsim.topology import TopologySpec
 from ..oskernel.ports import FixedPortAllocator, IncrementingAllocator, PortAllocator
 from ..oskernel.profiles import OSProfile, SOFTWARE_PROFILES, os_profile
 
@@ -298,8 +299,20 @@ class ScenarioParams:
     country_exposure_bias: dict[str, float] = field(
         default_factory=lambda: dict(COUNTRY_EXPOSURE_BIAS)
     )
+    #: policy-aware AS topology (see :mod:`repro.netsim.topology`).
+    #: ``None`` keeps the legacy star wiring — every inter-AS packet
+    #: crosses exactly the origin and destination borders — and stays
+    #: byte-identical to scenarios built before the topology engine.
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
+        if self.topology is not None and not isinstance(
+            self.topology, TopologySpec
+        ):
+            raise ValueError(
+                f"topology must be a TopologySpec or None, "
+                f"got {self.topology!r}"
+            )
         if self.n_ases < 3:
             raise ValueError("need at least 3 ASes")
         if not 0 <= self.dsav_lacking_rate <= 1:

@@ -8,7 +8,9 @@ from repro.netsim.autonomous_system import AutonomousSystem, BorderVerdict
 from repro.netsim.fabric import (
     DROP_FAULT_BLACKHOLE,
     DROP_FAULT_LOSS,
+    DROP_FAULT_HIJACK,
     DROP_FAULT_OUTAGE,
+    DROP_FAULT_STUCK,
     DROP_LOSS,
     DROP_NO_HOST,
     DROP_NO_ROUTE,
@@ -342,6 +344,7 @@ def test_drop_reasons_are_exhaustive():
     assert DROP_REASONS == border_reasons | {
         DROP_LOSS, DROP_NO_ROUTE, DROP_UNROUTED_ASN, DROP_NO_HOST,
         DROP_FAULT_LOSS, DROP_FAULT_BLACKHOLE, DROP_FAULT_OUTAGE,
+        DROP_FAULT_HIJACK, DROP_FAULT_STUCK,
     }
 
 

@@ -11,13 +11,17 @@ from repro.netsim.faults import (
     Duplicate,
     FAULT_SCHEMA_VERSION,
     FaultPlan,
+    PrefixHijack,
     Reorder,
     ResolverOutage,
     ResolverSlowdown,
+    RouteWithdrawal,
     ShardCrash,
     ShardCrashInjected,
+    StuckRoute,
 )
 from repro.netsim.packet import Packet
+from repro.netsim.routing import RoutingTable
 
 
 def make_packet(dst="30.0.0.1", sport=40000, payload=b"q1"):
@@ -42,6 +46,9 @@ def full_plan() -> FaultPlan:
             Duplicate(rate=0.2, delay=0.1),
             Reorder(rate=0.3, jitter=0.5),
             ShardCrash(shard=1, after_probes=10, times=2, mode="raise"),
+            RouteWithdrawal(prefix="30.0.3.0/24", at=5.0, restore_at=15.0),
+            PrefixHijack(prefix="30.0.4.0/24", by_asn=666, at=2.0, end=9.0),
+            StuckRoute(prefix="30.0.5.0/24", at=1.0, linger=4.0),
         ],
     )
 
@@ -109,6 +116,12 @@ def test_unknown_clause_field_rejected():
         ShardCrash(shard=0, after_probes=0),
         ShardCrash(shard=0, after_probes=5, times=0),
         ShardCrash(shard=0, after_probes=5, mode="explode"),
+        RouteWithdrawal(prefix="not-a-prefix"),
+        RouteWithdrawal(prefix="30.0.0.0/24", at=-1.0),
+        RouteWithdrawal(prefix="30.0.0.0/24", at=5.0, restore_at=5.0),
+        PrefixHijack(prefix="30.0.0.0/24", by_asn=0),
+        PrefixHijack(prefix="30.0.0.0/24", by_asn=666, at=3.0, end=3.0),
+        StuckRoute(prefix="30.0.0.0/24", linger=0.0),
     ],
 )
 def test_invalid_clauses_rejected(clause):
@@ -209,3 +222,102 @@ def test_shard_crash_exception_carries_context():
     assert exc.shard == 3
     assert exc.clause_index == 1
     assert "shard 3" in str(exc)
+
+
+# -- BGP dynamics: lazy, timestamp-keyed route events -----------------------
+
+
+def seeded_table() -> RoutingTable:
+    table = RoutingTable()
+    table.announce("30.0.0.0/24", 100)
+    table.announce("30.0.1.0/24", 200)
+    table.compile()
+    return table
+
+
+def test_withdrawal_fires_lazily_and_restores():
+    injector = FaultPlan(
+        clauses=[
+            RouteWithdrawal(prefix="30.0.0.0/24", at=5.0, restore_at=15.0)
+        ]
+    ).compile()
+    table = seeded_table()
+    victim = ip_address("30.0.0.9")
+    assert injector.next_route_event == 5.0
+
+    injector.apply_route_events(table, 4.9)
+    assert table.origin_asn(victim) == 100  # not yet due
+
+    injector.apply_route_events(table, 5.0)
+    assert table.origin_asn(victim) is None  # withdrawn
+    assert table.origin_asn(ip_address("30.0.1.9")) == 200  # untouched
+    assert injector.next_route_event == 15.0
+
+    injector.apply_route_events(table, 20.0)
+    assert table.origin_asn(victim) == 100  # original origin restored
+    assert injector.next_route_event == float("inf")
+
+
+def test_hijack_displaces_then_restores_the_legit_origin():
+    injector = FaultPlan(
+        clauses=[
+            PrefixHijack(prefix="30.0.0.0/24", by_asn=666, at=2.0, end=9.0)
+        ]
+    ).compile()
+    table = seeded_table()
+    victim = ip_address("30.0.0.9")
+
+    injector.apply_route_events(table, 3.0)
+    assert table.origin_asn(victim) == 666
+    # Packets toward the hijacked prefix drop inside the window...
+    assert injector.drop_reason(make_packet("30.0.0.9"), 1, 666, 3.0) == (
+        "fault-hijacked"
+    )
+    # ... but not outside it, and other prefixes never drop.
+    assert injector.drop_reason(make_packet("30.0.0.9"), 1, 666, 9.0) is None
+    assert injector.drop_reason(make_packet("30.0.1.9"), 1, 200, 3.0) is None
+
+    injector.apply_route_events(table, 9.0)
+    assert table.origin_asn(victim) == 100  # legit origin back
+
+
+def test_stuck_route_lingers_then_withdraws():
+    injector = FaultPlan(
+        clauses=[StuckRoute(prefix="30.0.0.0/24", at=1.0, linger=4.0)]
+    ).compile()
+    table = seeded_table()
+    packet = make_packet("30.0.0.9")
+
+    # During the linger window the stale route still attracts (and
+    # swallows) traffic.
+    assert injector.drop_reason(packet, 1, 100, 0.5) is None
+    assert injector.drop_reason(packet, 1, 100, 2.0) == "fault-stuck-route"
+    injector.apply_route_events(table, 2.0)
+    assert table.origin_asn(ip_address("30.0.0.9")) == 100  # still routed
+
+    # At at+linger the withdrawal finally propagates.
+    injector.apply_route_events(table, 5.0)
+    assert table.origin_asn(ip_address("30.0.0.9")) is None
+    assert injector.drop_reason(packet, 1, 100, 5.0) is None
+
+
+def test_route_events_fire_in_time_order_regardless_of_clause_order():
+    injector = FaultPlan(
+        clauses=[
+            RouteWithdrawal(prefix="30.0.1.0/24", at=8.0),
+            RouteWithdrawal(prefix="30.0.0.0/24", at=3.0),
+        ]
+    ).compile()
+    table = seeded_table()
+    assert injector.next_route_event == 3.0
+    injector.apply_route_events(table, 4.0)
+    assert table.origin_asn(ip_address("30.0.0.9")) is None
+    assert table.origin_asn(ip_address("30.0.1.9")) == 200
+    assert injector.next_route_event == 8.0
+
+
+def test_plans_without_route_clauses_never_schedule_events():
+    injector = FaultPlan(
+        clauses=[Blackhole(prefix="30.0.0.0/24", start=0.0, end=5.0)]
+    ).compile()
+    assert injector.next_route_event == float("inf")

@@ -38,6 +38,23 @@ class TestBasics:
         assert table.origin_asn(ip_address("20.0.0.1")) == 200
         assert len(table) == 1
 
+    def test_identical_reannounce_is_a_noop(self):
+        """Re-announcing an identical (prefix, origin) pair must not
+        invalidate the compiled view or drop the route cache — BGP
+        fault clauses restore routes mid-scan and rely on this."""
+        table = RoutingTable()
+        first = table.announce("20.0.0.0/24", 100)
+        table.compile()
+        assert table.origin_asn(ip_address("20.0.0.1")) == 100  # warm
+        again = table.announce("20.0.0.0/24", 100)
+        assert again is first  # the installed entry, untouched
+        assert table._dirty is False
+        assert table._cache  # warm lookups survived
+        assert len(table) == 1
+        # A genuinely different origin still invalidates.
+        table.announce("20.0.0.0/24", 200)
+        assert table._dirty is True
+
     def test_v6_independent_of_v4(self):
         table = RoutingTable()
         table.announce("2a00::/32", 600)

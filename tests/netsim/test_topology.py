@@ -1,0 +1,312 @@
+"""The tiered AS-graph generator and the valley-free path engine.
+
+Two properties carry the whole topology feature:
+
+* **determinism** — the same spec + seed must yield an identical graph
+  in every process (the compiled-scenario artifact and shard-identical
+  campaigns depend on it);
+* **exactness** — the skeleton-decomposed path computation in
+  :class:`PolicyView` must agree with a brute-force textbook
+  per-destination Gao–Rexford propagation run over the *full* graph,
+  and every path it returns must be valley-free.
+"""
+
+import random
+import re
+from heapq import heappop, heappush
+
+import pytest
+
+from repro.netsim.routing import PolicyView, RoutingTable
+from repro.netsim.topology import (
+    ASGraph,
+    TopologySpec,
+    generate_topology,
+    v4_prefix_lengths,
+    v6_prefix_lengths,
+)
+
+_INF = 1 << 30
+
+
+# -- spec ------------------------------------------------------------------
+
+
+def test_spec_round_trips_through_payload():
+    spec = TopologySpec(tier1=5, tier2=20, peer_degree=2.5)
+    assert TopologySpec.from_payload(spec.to_payload()) == spec
+
+
+def test_spec_rejects_unknown_kind_and_keys():
+    with pytest.raises(ValueError):
+        TopologySpec(kind="full-mesh")
+    with pytest.raises(ValueError):
+        TopologySpec.from_payload({"kind": "tiered", "bogus": 1})
+    with pytest.raises(ValueError):
+        TopologySpec(tier1=0)
+    with pytest.raises(ValueError):
+        TopologySpec(peer_degree=-1.0)
+
+
+# -- generator structure ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def graph():
+    asns = [1000 + i for i in range(80)]
+    return generate_topology(
+        TopologySpec(), seed=11, asns=asns, forced_stubs=(64496, 64497)
+    )
+
+
+def test_tiers_partition_the_population(graph):
+    bands = {1: 0, 2: 0, 3: 0}
+    for asn in graph.tiers:
+        bands[graph.tier_of(asn)] += 1
+    assert bands[1] >= 1
+    assert bands[2] >= 1
+    assert bands[3] >= 1
+    assert sum(bands.values()) == 82  # 80 targets + 2 forced stubs
+
+
+def test_adjacency_is_symmetric(graph):
+    for a, provs in graph.providers.items():
+        for p in provs:
+            assert a in graph.customers[p]
+    for a, custs in graph.customers.items():
+        for c in custs:
+            assert a in graph.providers[c]
+    for a, prs in graph.peers.items():
+        for q in prs:
+            assert a in graph.peers[q]
+
+
+def test_tier1_is_a_settlement_free_clique(graph):
+    tier1 = [a for a in graph.tiers if graph.tier_of(a) == 1]
+    for a in tier1:
+        assert not graph.providers[a]
+        for b in tier1:
+            if a != b:
+                assert graph.relationship(a, b) == "peer"
+
+
+def test_tier2_buys_transit_from_the_core(graph):
+    for a in graph.tiers:
+        if graph.tier_of(a) != 2:
+            continue
+        assert 2 <= len(graph.providers[a]) <= 3
+        assert all(graph.tier_of(p) == 1 for p in graph.providers[a])
+
+
+def test_forced_stubs_are_single_homed_stubs(graph):
+    for asn in (64496, 64497):
+        assert graph.is_stub(asn)
+        assert graph.tier_of(asn) == 3
+
+
+def test_every_stub_is_single_homed(graph):
+    for asn in graph.stub_asns():
+        assert len(graph.providers[asn]) == 1
+        assert not graph.customers[asn]
+        assert not graph.peers[asn]
+
+
+def test_generation_is_deterministic(graph):
+    asns = [1000 + i for i in range(80)]
+    again = generate_topology(
+        TopologySpec(), seed=11, asns=asns, forced_stubs=(64496, 64497)
+    )
+    assert again.digest() == graph.digest()
+    assert again.tiers == graph.tiers
+    assert again.providers == graph.providers
+    assert again.peers == graph.peers
+
+
+def test_different_seed_changes_the_graph(graph):
+    asns = [1000 + i for i in range(80)]
+    other = generate_topology(
+        TopologySpec(), seed=12, asns=asns, forced_stubs=(64496, 64497)
+    )
+    assert other.digest() != graph.digest()
+
+
+def test_prefix_length_tables_skew_by_tier():
+    assert min(v4_prefix_lengths(1)) < min(v4_prefix_lengths(3))
+    assert min(v6_prefix_lengths(1)) < min(v6_prefix_lengths(3))
+    # Unknown tiers fall back to the stub band.
+    assert v4_prefix_lengths(9) == v4_prefix_lengths(3)
+
+
+# -- valley-free exactness vs a brute-force oracle -------------------------
+
+
+def _random_graph(rng: random.Random) -> ASGraph:
+    """A random policy graph: an arbitrary transit core (acyclic
+    provider hierarchy + arbitrary peering) with single-homed stub
+    leaves — the exact shape the skeleton decomposition claims to
+    solve exactly."""
+    n_transit = rng.randint(3, 9)
+    transit = [100 + i for i in range(n_transit)]
+    providers = {a: [] for a in transit}
+    customers = {a: [] for a in transit}
+    peers = {a: [] for a in transit}
+    # Providers point strictly "up" the index order, keeping the
+    # customer-provider digraph acyclic (a Gao-Rexford precondition).
+    for i in range(1, n_transit):
+        for p in rng.sample(transit[:i], rng.randint(0, min(2, i))):
+            providers[transit[i]].append(p)
+            customers[p].append(transit[i])
+    for i in range(n_transit):
+        for j in range(i + 1, n_transit):
+            a, b = transit[i], transit[j]
+            if b in providers[a] or a in providers[b]:
+                continue
+            if rng.random() >= 0.25:
+                continue
+            peers[a].append(b)
+            peers[b].append(a)
+    tiers = {a: 2 for a in transit}
+    for s in range(rng.randint(2, 8)):
+        asn = 1000 + s
+        p = rng.choice(transit)
+        providers[asn] = [p]
+        customers[asn] = []
+        peers[asn] = []
+        customers[p].append(asn)
+        tiers[asn] = 3
+    return ASGraph(
+        spec=TopologySpec(),
+        seed=0,
+        tiers=tiers,
+        providers={a: tuple(sorted(v)) for a, v in providers.items()},
+        customers={a: tuple(sorted(v)) for a, v in customers.items()},
+        peers={a: tuple(sorted(v)) for a, v in peers.items()},
+    )
+
+
+def _oracle(graph: ASGraph, dest: int) -> dict[int, tuple[int, int]]:
+    """Textbook per-destination Gao-Rexford propagation over the FULL
+    graph (stubs included): best (class, length) of every AS's selected
+    route toward *dest*.  Class 1 customer, 2 peer, 3 provider, 4
+    unreachable."""
+    cls = {a: 4 for a in graph.tiers}
+    dist = {a: _INF for a in graph.tiers}
+    cls[dest], dist[dest] = 0, 0
+    # Customer routes climb provider links, level-synchronous.
+    level, depth = [dest], 0
+    while level:
+        depth += 1
+        cand: dict[int, int] = {}
+        for x in level:
+            for p in graph.providers.get(x, ()):
+                if dist[p] != _INF:
+                    continue
+                if p not in cand or x < cand[p]:
+                    cand[p] = x
+        for p in cand:
+            cls[p], dist[p] = 1, depth
+        level = sorted(cand)
+    # One peer exchange: peers export only customer routes and self.
+    grants = []
+    for y in graph.tiers:
+        if dist[y] != _INF:
+            continue
+        best = None
+        for q in graph.peers.get(y, ()):
+            if cls[q] <= 1:
+                key = (dist[q] + 1, q)
+                if best is None or key < best:
+                    best = key
+        if best is not None:
+            grants.append((y, best[0]))
+    for y, d in grants:
+        cls[y], dist[y] = 2, d
+    # Provider routes cascade down customer links.
+    heap: list[tuple[int, int, int]] = []
+    for x in graph.tiers:
+        if cls[x] <= 2:
+            for c in graph.customers.get(x, ()):
+                if cls[c] > 2:
+                    heappush(heap, (dist[x] + 1, x, c))
+    while heap:
+        d, via, c = heappop(heap)
+        if cls[c] <= 2 or dist[c] <= d:
+            continue
+        cls[c], dist[c] = 3, d
+        for c2 in graph.customers.get(c, ()):
+            if cls[c2] > 2 and dist[c2] > d + 1:
+                heappush(heap, (d + 1, c, c2))
+    return {a: (cls[a], dist[a]) for a in graph.tiers}
+
+
+def _path_class(rels: tuple[str, ...]) -> int:
+    if not rels:
+        return 0
+    return {"customer": 1, "peer": 2, "provider": 3}[rels[0]]
+
+
+def _assert_valley_free(graph: ASGraph, hops, rels) -> None:
+    assert len(rels) == len(hops) - 1
+    assert len(set(hops)) == len(hops), "path revisits an AS"
+    for a, b, rel in zip(hops, hops[1:], rels):
+        assert graph.relationship(a, b) == rel
+    # provider* peer? customer*: once the path stops climbing it may
+    # never climb (or go lateral) again.
+    pattern = "".join({"provider": "u", "peer": "p", "customer": "d"}[r]
+                      for r in rels)
+    assert re.fullmatch(r"u*p?d*", pattern), f"valley in path: {pattern}"
+
+
+@pytest.mark.parametrize("trial", range(25))
+def test_policy_paths_match_bruteforce_oracle(trial):
+    rng = random.Random(9000 + trial)
+    graph = _random_graph(rng)
+    view = PolicyView.compile(graph)
+    nodes = sorted(graph.tiers)
+    for dest in nodes:
+        selected = _oracle(graph, dest)
+        for src in nodes:
+            walk = view.as_path(src, dest)
+            want_cls, want_dist = selected[src]
+            if want_cls == 4:
+                assert walk is None, (src, dest)
+                continue
+            assert walk is not None, (src, dest)
+            hops, rels = walk
+            assert hops[0] == src and hops[-1] == dest
+            assert len(rels) == want_dist, (src, dest, walk)
+            assert _path_class(rels) == want_cls, (src, dest, walk)
+            _assert_valley_free(graph, hops, rels)
+
+
+def test_generated_graph_paths_are_valley_free_and_complete():
+    asns = [1000 + i for i in range(60)]
+    graph = generate_topology(TopologySpec(), seed=5, asns=asns)
+    view = PolicyView.compile(graph)
+    nodes = sorted(graph.tiers)
+    for src in nodes[::7]:
+        for dest in nodes:
+            walk = view.as_path(src, dest)
+            # A tiered graph with a full tier-1 mesh is connected.
+            assert walk is not None, (src, dest)
+            _assert_valley_free(graph, *walk)
+
+
+def test_path_engine_survives_pickling():
+    import pickle
+
+    asns = [1000 + i for i in range(30)]
+    graph = generate_topology(TopologySpec(), seed=3, asns=asns)
+    table = RoutingTable()
+    table.attach_graph(graph)
+    clone = pickle.loads(pickle.dumps(table))
+    nodes = sorted(graph.tiers)
+    for src in nodes[::5]:
+        for dest in nodes[::3]:
+            assert clone.as_path(src, dest) == table.as_path(src, dest)
+
+
+def test_star_mode_has_no_paths():
+    table = RoutingTable()
+    assert table.policy is None
+    assert table.as_path(1, 2) is None

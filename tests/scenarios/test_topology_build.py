@@ -1,0 +1,100 @@
+"""Scenario builds in topology mode: graph attachment, content keys,
+and artifact round trips.
+
+The legacy star scenario (``topology=None``) must be byte-identical to
+what earlier releases built; the tiered scenario must carry its graph
+and compiled path tables through the compiled-scenario artifact.
+"""
+
+import pytest
+
+from repro.netsim.topology import TopologySpec
+from repro.scenarios import (
+    INFRA_ASN,
+    MEASUREMENT_ASN,
+    PUBLIC_DNS_ASN,
+    ScenarioParams,
+    build_internet,
+)
+from repro.scenarios.compiled import (
+    content_key,
+    deserialize_scenario,
+    serialize_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def tiered():
+    return build_internet(
+        ScenarioParams(seed=2019, n_ases=30, topology=TopologySpec())
+    )
+
+
+def test_star_scenario_has_no_topology():
+    scenario = build_internet(ScenarioParams(seed=2019, n_ases=12))
+    assert scenario.topology is None
+    assert scenario.fabric.routes.policy is None
+
+
+def test_tiered_scenario_attaches_graph_and_policy(tiered):
+    graph = tiered.topology
+    assert graph is not None
+    assert tiered.fabric.routes.graph is graph
+    assert tiered.fabric.routes.policy is not None
+    # Every target AS plus the three infrastructure ASes is placed.
+    assert len(graph.tiers) == 30 + 3
+    for asn in (MEASUREMENT_ASN, INFRA_ASN, PUBLIC_DNS_ASN):
+        assert graph.is_stub(asn)
+
+
+def test_tiered_paths_reach_every_target(tiered):
+    routes = tiered.fabric.routes
+    targets = [asn for asn in tiered.topology.tiers if asn < 64000]
+    for asn in sorted(targets):
+        walk = routes.as_path(MEASUREMENT_ASN, asn)
+        assert walk is not None, asn
+        hops, rels = walk
+        assert hops[0] == MEASUREMENT_ASN and hops[-1] == asn
+        assert len(rels) == len(hops) - 1
+
+
+def test_topology_changes_the_content_key():
+    star = ScenarioParams(seed=2019, n_ases=30)
+    tiered_params = ScenarioParams(
+        seed=2019, n_ases=30, topology=TopologySpec()
+    )
+    assert content_key(star) != content_key(tiered_params)
+    # Deterministic: the same params hash identically every time.
+    assert content_key(tiered_params) == content_key(
+        ScenarioParams(seed=2019, n_ases=30, topology=TopologySpec())
+    )
+
+
+def test_tiered_scenario_round_trips_through_artifact(tiered):
+    key = content_key(tiered.params)
+    clone = deserialize_scenario(serialize_scenario(tiered), expect_key=key)
+    assert clone.topology is not None
+    assert clone.topology.digest() == tiered.topology.digest()
+    original = tiered.fabric.routes
+    restored = clone.fabric.routes
+    assert restored.policy is not None
+    for asn in sorted(clone.topology.tiers)[::5]:
+        assert restored.as_path(MEASUREMENT_ASN, asn) == original.as_path(
+            MEASUREMENT_ASN, asn
+        )
+
+
+def test_tiered_prefixes_skew_with_tier(tiered):
+    """Transit-tier ASes hold more, shorter prefixes than stubs."""
+    graph = tiered.topology
+    by_band: dict[int, list[int]] = {1: [], 2: [], 3: []}
+    for asn, as_obj in tiered.fabric._systems.items():
+        if asn >= 64000:
+            continue
+        lengths = [p.prefixlen for p in as_obj.prefixes(4)]
+        by_band[graph.tier_of(asn)].extend(lengths)
+    populated = [band for band, lens in by_band.items() if lens]
+    assert 3 in populated  # stubs always exist
+    if 1 in populated or 2 in populated:
+        transit = by_band[1] + by_band[2]
+        assert min(transit) <= min(by_band[3])

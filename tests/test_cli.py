@@ -251,3 +251,24 @@ def test_scan_resume_missing_dir_errors(capsys, tmp_path):
     assert main(["scan", "--resume", str(tmp_path / "nowhere"),
                  "--quiet"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_scan_topology_tiered_runs_the_pipeline(capsys, tmp_path):
+    """--topology tiered routes through the staged pipeline and records
+    the spec so resume validation can detect contradictions."""
+    import json
+
+    run_dir = tmp_path / "run"
+    assert main(["scan", "--n-ases", "15", "--seed", "3",
+                 "--duration", "30", "--workers", "0", "--quiet",
+                 "--topology", "tiered", "--run-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["spec"]["topology"]["kind"] == "tiered"
+    assert (run_dir / "results.json").exists()
+
+    # An explicit contradictory topology flag is refused on resume.
+    assert main(["scan", "--resume", str(run_dir),
+                 "--topology", "star"]) == 2
+    err = capsys.readouterr().err
+    assert "topology: run has tiered, flag says star" in err
