@@ -112,3 +112,106 @@ def test_bench_obs_overhead(emit):
             ]
         ),
     )
+
+
+def _run_pipeline_streamed(tmp_path, name, interval):
+    """One full single-shard pipeline run; interval=None disables
+    streaming."""
+    from repro.core.pipeline import CampaignSpec, run_pipeline
+
+    spec = CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=1,
+        config=ScanConfig(duration=DURATION),
+        stream=interval is not None,
+    )
+    run_dir = tmp_path / name
+    start = time.perf_counter()
+    outcome = run_pipeline(
+        spec,
+        run_dir=run_dir,
+        workers=0,
+        snapshot_interval=interval if interval is not None else 1.0,
+    )
+    wall = time.perf_counter() - start
+    events = 0
+    for path in run_dir.glob("telemetry-stream-*.ndjson"):
+        events += sum(1 for _ in path.open())
+    row = {
+        "snapshots": interval is not None,
+        "interval_seconds": interval,
+        "wall_seconds": round(wall, 3),
+        "stream_events": events,
+    }
+    results = {
+        k: v for k, v in outcome.results.items() if k != "provenance"
+    }
+    return row, results
+
+
+def test_bench_stream_overhead(emit, tmp_path):
+    """Snapshot-stream overhead at the default and a relaxed interval.
+
+    The stream rides the progress-hook fan-out, so its disabled cost is
+    one attribute check per probe and its enabled cost is paced by the
+    snapshot interval, not by traffic.  Asserted contract: results are
+    identical with streaming off, at 1s, and at 5s.
+    """
+    off_row, off_results = _run_pipeline_streamed(tmp_path, "off", None)
+    one_row, one_results = _run_pipeline_streamed(tmp_path, "one", 1.0)
+    five_row, five_results = _run_pipeline_streamed(tmp_path, "five", 5.0)
+
+    assert one_results == off_results, (
+        "1s snapshots changed the campaign results"
+    )
+    assert five_results == off_results, (
+        "5s snapshots changed the campaign results"
+    )
+
+    rows = [off_row, one_row, five_row]
+    overhead = {
+        f"{row['interval_seconds']:g}s": round(
+            row["wall_seconds"] / off_row["wall_seconds"] - 1.0, 4
+        )
+        for row in (one_row, five_row)
+    }
+    section = {
+        "harness": (
+            f"seed={SEED}, n_ases={N_ASES}, "
+            f"ScanConfig(duration={DURATION}), run_pipeline(workers=0), "
+            "single shard, streaming off vs --snapshot-interval 1/5"
+        ),
+        "results_identical_snapshots_on_off": True,
+        "runs": rows,
+        "overhead_fraction_by_interval": overhead,
+        "target": "advisory-only: results byte-identical at any interval",
+    }
+    merged = {}
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+    merged["stream"] = section
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+    emit(
+        "obs-stream",
+        "\n".join(
+            [
+                "telemetry-stream snapshot overhead",
+                "",
+                *(
+                    f"snapshots={'on ' if row['snapshots'] else 'off'}"
+                    f" interval={row['interval_seconds'] or '-'}: "
+                    f"{row['wall_seconds']}s wall, "
+                    f"{row['stream_events']} stream events"
+                    for row in rows
+                ),
+                "",
+                *(
+                    f"{name} interval overhead: {frac:+.1%}"
+                    for name, frac in overhead.items()
+                ),
+                "results byte-identical snapshots on/off",
+            ]
+        ),
+    )

@@ -8,6 +8,9 @@ Subcommands:
 * ``attack`` — the exposure demonstrations (poisoning, NXNS, reflection).
 * ``obs``    — render a run directory's ``telemetry.json`` (from
   ``scan --metrics``): span timings, counters, histograms.
+* ``watch``  — live dashboard over a running (or finished) campaign's
+  telemetry streams (from ``scan --snapshots``): per-shard rates and
+  health, merged ``--json`` event stream, Prometheus textfile.
 * ``explain`` — reconstruct per-probe causal chains from a run
   directory's ``events.ndjson`` (from ``scan --journal``), or audit
   that every classification is backed by journal evidence.
@@ -81,6 +84,8 @@ def _resume_mismatches(
         mismatches.append("metrics: run has False, flag says True")
     if args.journal and not spec.journal:
         mismatches.append("journal: run has False, flag says True")
+    if args.snapshots and not spec.stream:
+        mismatches.append("snapshots: run has False, flag says True")
     return mismatches
 
 
@@ -137,6 +142,13 @@ def cmd_scan(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.snapshots and args.resume is None and args.run_dir is None:
+        print(
+            "error: --snapshots requires --run-dir "
+            "(telemetry-stream-NNN.ndjson needs somewhere to live)",
+            file=sys.stderr,
+        )
+        return 2
     if args.profile and args.resume is None and args.run_dir is None:
         print(
             "error: --profile requires --run-dir "
@@ -162,12 +174,14 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 hang_timeout=args.hang_timeout,
                 scenario_cache=args.scenario_cache,
                 profile=args.profile,
+                snapshot_interval=args.snapshot_interval,
             )
         elif (
             args.shards > 1
             or args.run_dir is not None
             or args.metrics
             or args.journal
+            or args.snapshots
             or args.scenario_cache is not None
             or faults_payload is not None
             or topology_payload is not None
@@ -183,6 +197,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 ),
                 metrics=args.metrics,
                 journal=args.journal,
+                stream=args.snapshots,
                 faults=faults_payload,
                 topology=topology_payload,
             )
@@ -191,6 +206,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 progress=progress, hang_timeout=args.hang_timeout,
                 scenario_cache=args.scenario_cache,
                 profile=args.profile,
+                snapshot_interval=args.snapshot_interval,
             )
         else:
             campaign = Campaign.run_default(
@@ -267,14 +283,21 @@ def cmd_scan(args: argparse.Namespace) -> int:
         events = Path(outcome.run_dir) / "events.ndjson"
         if events.exists():
             status(f"probe journal written to {events}")
+        if any(Path(outcome.run_dir).glob("telemetry-stream-*.ndjson")):
+            status(
+                f"telemetry streams in {outcome.run_dir} — replay with "
+                f"`repro-dsav watch {outcome.run_dir}`"
+            )
     return 0
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
     from pathlib import Path
 
     from .obs.export import (
         load_telemetry,
+        obs_json_payload,
         payload_to_prometheus,
         render_telemetry,
     )
@@ -294,9 +317,33 @@ def cmd_obs(args: argparse.Namespace) -> int:
         return 1
     if args.prom:
         print(payload_to_prometheus(payload), end="")
+    elif args.json:
+        print(_json.dumps(obs_json_payload(payload), indent=2))
     else:
         print(render_telemetry(payload))
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs.watch import run_watch
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"error: {run_dir} is not a directory", file=sys.stderr)
+        return 1
+    try:
+        return run_watch(
+            run_dir,
+            json_mode=args.json,
+            prom_textfile=args.prom_textfile,
+            interval=args.interval,
+            once=args.once,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        return 130
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -602,6 +649,19 @@ def build_parser() -> argparse.ArgumentParser:
         "flag",
     )
     scan.add_argument(
+        "--snapshots", action="store_true",
+        help="stream periodic telemetry snapshots (shard health + "
+        "metric deltas) to telemetry-stream-NNN.ndjson in --run-dir; "
+        "tail them live with `repro-dsav watch`.  Results are "
+        "byte-identical with or without this flag",
+    )
+    scan.add_argument(
+        "--snapshot-interval", type=float, default=1.0,
+        metavar="SECONDS",
+        help="wall-clock seconds between telemetry snapshots "
+        "(default 1.0; only meaningful with --snapshots)",
+    )
+    scan.add_argument(
         "--scenario-cache", default=None, metavar="DIR",
         help="content-keyed cache of compiled scenarios: a repeated "
         "run of the same spec loads the built world from DIR instead "
@@ -629,7 +689,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition format instead of the "
         "human-readable summary",
     )
+    obs.add_argument(
+        "--json", action="store_true",
+        help="emit the telemetry payload as JSON, extended with "
+        "derived histogram percentile summaries (p50/p95/p99)",
+    )
     obs.set_defaults(func=cmd_obs)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a run's telemetry streams "
+        "(scan --snapshots)",
+    )
+    watch.add_argument("run_dir", metavar="RUN_DIR")
+    watch.add_argument(
+        "--json", action="store_true",
+        help="emit the merged event stream as NDJSON on stdout "
+        "instead of the dashboard",
+    )
+    watch.add_argument(
+        "--prom-textfile", default=None, metavar="PATH",
+        help="continuously rewrite PATH with the run's accumulated "
+        "metrics in Prometheus text format (node-exporter textfile "
+        "collector compatible)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll/redraw interval (default 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render (or emit) the current state once and exit — "
+        "replays the full stream of a finished run",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="exit 2 if no stream events appear within SECONDS on a "
+        "run that is not finished",
+    )
+    watch.set_defaults(func=cmd_watch)
 
     explain = sub.add_parser(
         "explain",
@@ -684,7 +782,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e …) closed stdout; that is a
+        # normal way to stop reading any of our output.  Detach stdout
+        # so the interpreter's exit-time flush doesn't error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

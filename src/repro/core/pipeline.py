@@ -57,6 +57,7 @@ whose artifacts are missing.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import heapq
 import json
@@ -158,6 +159,11 @@ class CampaignSpec:
     #: record the per-probe event journal into ``events.ndjson``.
     #: Requires a run directory; never affects ``results.json``.
     journal: bool = False
+    #: stream periodic telemetry snapshots into per-shard
+    #: ``telemetry-stream-NNN.ndjson`` files for live observation
+    #: (``repro watch``).  Requires a run directory; advisory only —
+    #: never affects ``results.json`` or ``telemetry.json``.
+    stream: bool = False
     #: serialized :class:`~repro.netsim.faults.FaultPlan` payload, or
     #: ``None`` for a fault-free campaign.  Stored as part of the spec
     #: so a resumed run injects exactly the same faults.
@@ -195,6 +201,7 @@ class CampaignSpec:
         partition: str = "weighted",
         metrics: bool = False,
         journal: bool = False,
+        stream: bool = False,
         faults: dict[str, Any] | None = None,
         topology: dict[str, Any] | None = None,
     ) -> "CampaignSpec":
@@ -205,6 +212,7 @@ class CampaignSpec:
             partition=partition,
             metrics=metrics,
             journal=journal,
+            stream=stream,
             faults=faults,
             topology=topology,
             scan=asdict(config),
@@ -242,6 +250,7 @@ class CampaignSpec:
             "partition": self.partition,
             "metrics": self.metrics,
             "journal": self.journal,
+            "stream": self.stream,
             "scan": dict(self.scan),
         }
         if self.faults is not None:
@@ -263,6 +272,7 @@ class CampaignSpec:
             partition=payload.get("partition", "modulo"),
             metrics=payload.get("metrics", False),
             journal=payload.get("journal", False),
+            stream=payload.get("stream", False),
             faults=payload.get("faults"),
             topology=payload.get("topology"),
             scan=dict(payload["scan"]),
@@ -321,6 +331,10 @@ class RunDirectory:
 
     def shard_events_path(self, shard_id: int) -> Path:
         return self.path / f"events-{shard_id:03d}.ndjson"
+
+    def stream_path(self, shard_id: int) -> Path:
+        """Per-shard live telemetry stream (``repro watch`` tails these)."""
+        return self.path / f"telemetry-stream-{shard_id:03d}.ndjson"
 
     @property
     def faults_path(self) -> Path:
@@ -706,7 +720,13 @@ def run_scan_shard(
     shard_id = payload["shard_id"]
     run_dir = payload.get("run_dir")
     rd = RunDirectory(run_dir) if run_dir is not None else None
-    registry = MetricsRegistry() if spec.metrics else None
+    # Streaming needs a registry to diff for metrics.delta events, but
+    # a SpanRecorder only when the spec asked for telemetry proper —
+    # the shard artifact's "telemetry" key is gated on *both*, so a
+    # stream-only run leaves artifacts and telemetry.json untouched.
+    registry = (
+        MetricsRegistry() if (spec.metrics or spec.stream) else None
+    )
     recorder = SpanRecorder() if spec.metrics else None
     journal = None
     if spec.journal:
@@ -717,6 +737,20 @@ def run_scan_shard(
         journal = Journal(
             shard_id=shard_id,
             path=Path(run_dir) / f"events-{shard_id:03d}.ndjson",
+        )
+    snapshotter = None
+    if spec.stream:
+        from ..obs.stream import TelemetrySnapshotter
+
+        if rd is None:
+            raise ValueError(
+                "telemetry streaming requires a run directory"
+            )
+        snapshotter = TelemetrySnapshotter(
+            rd.stream_path(shard_id),
+            shard_id=shard_id,
+            interval=payload.get("snapshot_interval", 1.0),
+            registry=registry,
         )
     fault_plan = spec.fault_plan()
     heartbeat = None
@@ -785,13 +819,19 @@ def run_scan_shard(
 
                     journal_scenario(journal, scenario)
                     scanner.bind_journal(journal)
+                if snapshotter is not None:
+                    snapshotter.attach(scanner)
                 if (
                     progress is not None
                     or heartbeat is not None
                     or fuse is not None
+                    or snapshotter is not None
                 ):
+                    # The snapshotter rides before the crash fuse so the
+                    # stream records a probe before a scripted crash
+                    # fires on it.
                     scanner.bind_progress(
-                        _ScanHooks(progress, heartbeat, fuse)
+                        _ScanHooks(progress, heartbeat, snapshotter, fuse)
                     )
             with span("run") as run_span:
                 scanner.run()
@@ -801,7 +841,37 @@ def run_scan_shard(
                 from ..obs.instrument import harvest_scenario
 
                 harvest_scenario(registry, scenario)
+            if snapshotter is not None:
+                # After the harvest, so the final metrics.delta carries
+                # the end-of-run counters (cache hits, loop totals).
+                snapshotter.close()
             return scanner, collector, run_span.wall if run_span else 0.0
+
+    # Flush buffered observability tails when a worker is torn down
+    # early: the hang reaper's SIGTERM, a pool shutdown, or a plain
+    # process exit.  Only complete, already-serialized lines are
+    # written, so a half-dead worker still leaves parseable files.
+    flush_tail = None
+    previous_sigterm = None
+    if payload.get("in_worker") and (
+        journal is not None or snapshotter is not None
+    ):
+
+        def flush_tail(signum=None, frame=None):
+            try:
+                if journal is not None:
+                    journal.flush()
+                if snapshotter is not None:
+                    snapshotter.close(status="sigterm")
+            finally:
+                if signum is not None:
+                    os._exit(128 + signum)
+
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, flush_tail)
+        except ValueError:
+            previous_sigterm = None  # non-main thread: atexit only
+        atexit.register(flush_tail)
 
     profiler = None
     if payload.get("profile") and rd is not None:
@@ -835,6 +905,15 @@ def run_scan_shard(
         if profiler is not None:
             profiler.disable()
             profiler.dump_stats(str(rd.profile_path(shard_id)))
+        if flush_tail is not None:
+            # Pool workers are reused across jobs: this job's handler
+            # must not outlive it.
+            atexit.unregister(flush_tail)
+            if previous_sigterm is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous_sigterm)
+                except ValueError:
+                    pass
     timings["scan_seconds"] = wall
     metadata = ScanMetadata.from_scanner(scanner, wall_seconds=wall)
     if fault_plan is not None:
@@ -930,10 +1009,25 @@ def _split_budget(budget: int, weights: list[int]) -> list[int]:
     return shares
 
 
+#: Seconds a SIGTERMed hung worker gets to flush its observability
+#: tail (journal, telemetry stream) before the reaper escalates to
+#: SIGKILL.
+_TERM_GRACE = 5.0
+
+
 def _kill_if_hung(
-    rd: RunDirectory, shard_id: int, hang_timeout: float
+    rd: RunDirectory,
+    shard_id: int,
+    hang_timeout: float,
+    termed: dict[int, float],
 ) -> None:
-    """SIGKILL a worker whose heartbeat is older than *hang_timeout*.
+    """Reap a worker whose heartbeat is older than *hang_timeout*.
+
+    SIGTERM first — the worker's flush handler writes its buffered
+    journal/stream tail and exits — then SIGKILL if it is still
+    heartbeat-stale :data:`_TERM_GRACE` seconds later (wedged in
+    uninterruptible state, or ignoring signals).  *termed* tracks
+    first-signal times per shard for the current round.
 
     Stale heartbeat files from earlier attempts are deleted before a
     job is (re)submitted, so any file present here was written by the
@@ -951,11 +1045,17 @@ def _kill_if_hung(
     if time.time() - hb.get("time", 0.0) < hang_timeout:
         return
     pid = hb.get("pid")
-    if pid and pid != os.getpid():
-        try:
+    if not pid or pid == os.getpid():
+        return
+    first_term = termed.get(shard_id)
+    try:
+        if first_term is None:
+            termed[shard_id] = time.time()
+            os.kill(pid, signal.SIGTERM)
+        elif time.time() - first_term >= _TERM_GRACE:
             os.kill(pid, signal.SIGKILL)
-        except OSError:
-            pass
+    except OSError:
+        pass
 
 
 def _run_pool_round(
@@ -975,6 +1075,7 @@ def _run_pool_round(
     """
     completed: list[dict[str, Any]] = []
     failed: list[tuple[dict[str, Any], BaseException]] = []
+    termed: dict[int, float] = {}
     with ProcessPoolExecutor(
         max_workers=min(workers, len(jobs))
     ) as pool:
@@ -999,7 +1100,8 @@ def _run_pool_round(
             if not_done and hang_timeout is not None and rd is not None:
                 for future in not_done:
                     _kill_if_hung(
-                        rd, futures[future]["shard_id"], hang_timeout
+                        rd, futures[future]["shard_id"], hang_timeout,
+                        termed,
                     )
     return completed, failed
 
@@ -1051,6 +1153,7 @@ def _run_fork_round(
     ctx = multiprocessing.get_context("fork")
     completed: list[dict[str, Any]] = []
     failed: list[tuple[dict[str, Any], BaseException]] = []
+    termed: dict[int, float] = {}
     pending = list(jobs)
     active: dict[Any, tuple[Any, dict[str, Any]]] = {}
     limit = max(1, min(workers, len(jobs)))
@@ -1107,7 +1210,7 @@ def _run_fork_round(
                 _launch()
         if not ready and hang_timeout is not None and rd is not None:
             for process, job in active.values():
-                _kill_if_hung(rd, job["shard_id"], hang_timeout)
+                _kill_if_hung(rd, job["shard_id"], hang_timeout, termed)
     return completed, failed
 
 
@@ -1154,6 +1257,7 @@ def run_pipeline(
     hang_timeout: float | None = None,
     scenario_cache=None,
     profile: bool = False,
+    snapshot_interval: float = 1.0,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -1174,12 +1278,20 @@ def run_pipeline(
     execution detail, not campaign identity: hits and cold builds
     produce byte-identical artifacts.  ``profile`` makes every scan
     shard dump cProfile stats into the run directory.
+    ``snapshot_interval`` (wall seconds) paces the telemetry stream
+    when the spec enables it; like everything observational it never
+    affects results.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
     if spec.journal and rd is None:
         raise ValueError(
             "journal=True requires a run directory (events.ndjson needs "
             "somewhere to live)"
+        )
+    if spec.stream and rd is None:
+        raise ValueError(
+            "stream=True requires a run directory (the telemetry "
+            "stream files need somewhere to live)"
         )
     if rd is not None:
         rd.bind_spec(spec)
@@ -1281,6 +1393,7 @@ def run_pipeline(
                         spec, scenario, targets, rd, workers,
                         stages_run, stages_skipped, progress,
                         hang_timeout=hang_timeout, profile=profile,
+                        snapshot_interval=snapshot_interval,
                     )
                 finally:
                     _retract_scenario()
@@ -1391,6 +1504,7 @@ def resume_pipeline(
     hang_timeout: float | None = None,
     scenario_cache=None,
     profile: bool = False,
+    snapshot_interval: float = 1.0,
 ) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
@@ -1407,6 +1521,7 @@ def resume_pipeline(
         hang_timeout=hang_timeout,
         scenario_cache=scenario_cache,
         profile=profile,
+        snapshot_interval=snapshot_interval,
     )
 
 
@@ -1436,6 +1551,7 @@ def _run_scan_stage(
     progress=None,
     hang_timeout: float | None = None,
     profile: bool = False,
+    snapshot_interval: float = 1.0,
 ) -> tuple[list[dict[str, Any]], dict[int, int]]:
     """Produce every shard artifact, reusing any already on disk.
 
@@ -1488,6 +1604,14 @@ def _run_scan_stage(
             shard_attempts[shard_id] = 0
             stages_skipped.append(f"scan[{shard_id}]")
             if progress is not None:
+                # Credit the reused shard's work to the totals without
+                # letting it inflate the rate — on --resume, probes
+                # served from disk took no wall time in this process.
+                meta = ScanMetadata.from_payload(artifact["metadata"])
+                progress.add_planned(meta.probes_scheduled)
+                seed = getattr(progress, "seed_completed", None)
+                if seed is not None:
+                    seed(meta.probes_sent)
                 progress.shard_done()
             continue
         job = {
@@ -1495,6 +1619,8 @@ def _run_scan_stage(
             "shard_id": shard_id,
             "pinned_duration": pinned,
         }
+        if spec.stream:
+            job["snapshot_interval"] = snapshot_interval
         if weighted and groups is not None:
             job["asns"] = groups[shard_id]
         if budget_shares is not None:

@@ -270,6 +270,7 @@ class Scanner:
         self._mx_sent = None
         self._mx_suppressed = None
         self._mx_penetrations = None
+        self._mx_penetrations_by_asn = None
         self._mx_probe_sim = None
         #: optional event journal / live progress reporter, both
         #: duck-typed like the metrics instruments above.
@@ -292,6 +293,11 @@ class Scanner:
         self._mx_penetrations = registry.counter(
             "scan_penetrations_total",
             "targets whose spoofed probe reached our authoritative servers",
+        )
+        self._mx_penetrations_by_asn = registry.counter(
+            "scan_penetrations_by_asn_total",
+            "penetrated targets per originating AS",
+            ("asn",),
         )
         self._mx_probe_sim = registry.histogram(
             "scan_probe_sim_seconds",
@@ -318,6 +324,18 @@ class Scanner:
     def bind_progress(self, reporter) -> None:
         """Feed live probe/penetration counts into *reporter*."""
         self._progress = reporter
+
+    def progress_stats(self) -> dict[str, int]:
+        """Current scan counters, for health snapshots mid-run."""
+        return {
+            "planned": self.probes_scheduled,
+            "sent": self.probes_sent,
+            "suppressed": self.probes_suppressed,
+            "penetrations": len(self._followed_up),
+            "retransmitted": self.probes_retransmitted,
+            "retries_shed": self.retries_shed,
+            "retries_exhausted": self.retries_exhausted,
+        }
 
     def opt_out(self, prefix) -> None:
         """Stop sending any further queries toward *prefix*."""
@@ -635,6 +653,7 @@ class Scanner:
         mx = self._mx_penetrations
         if mx is not None:
             mx.inc()
+            self._mx_penetrations_by_asn.inc(1, (str(decoded.asn),))
         jr = self._journal
         if jr is not None:
             jr.emit(

@@ -31,6 +31,16 @@ This package gives the reproduction the same property:
 ``progress``
     A live rate/ETA progress line on stderr fed by the scanner, so
     long campaigns are not silent.
+``stream``
+    The live data plane: a :class:`TelemetrySnapshotter` appending
+    periodic metric deltas and ``shard.health`` events to per-shard
+    ``telemetry-stream-NNN.ndjson`` files, plus the
+    :class:`StreamReader`/:class:`RunStream`/:class:`RunHealth` layer
+    that tails and merges them into derived run health.
+``watch``
+    The ``repro watch`` CLI: a TTY dashboard over a live or finished
+    run, ``--json`` event streaming, and a continuously rewritten
+    Prometheus textfile.
 
 Telemetry is strictly observational: it never enters
 ``results_dict``, so campaign results stay byte-identical with metrics
@@ -41,7 +51,13 @@ untouched.
 from .journal import Journal, probe_id
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .progress import ProgressReporter
-from .spans import Span, SpanRecorder, activate, span
+from .spans import Span, SpanRecorder, activate, current_stack, span
+from .stream import (
+    RunHealth,
+    RunStream,
+    StreamReader,
+    TelemetrySnapshotter,
+)
 
 __all__ = [
     "Counter",
@@ -50,9 +66,14 @@ __all__ = [
     "Journal",
     "MetricsRegistry",
     "ProgressReporter",
+    "RunHealth",
+    "RunStream",
     "Span",
     "SpanRecorder",
+    "StreamReader",
+    "TelemetrySnapshotter",
     "activate",
+    "current_stack",
     "probe_id",
     "span",
 ]

@@ -33,6 +33,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     deterministic_samples,
+    histogram_quantile,
 )
 from .spans import SPANS_SCHEMA_VERSION, SpanRecorder, render_span_nodes
 
@@ -147,6 +148,67 @@ def validate_telemetry(payload: dict) -> None:
             fail("spans section has wrong schema_version")
         if not isinstance(spans.get("spans"), list):
             fail("spans.spans is not a list")
+
+
+#: Quantiles summarized for every histogram in human/JSON output.
+SUMMARY_QUANTILES = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+
+
+def histogram_summaries(payload: dict) -> dict:
+    """Per-histogram percentile estimates from the fixed buckets.
+
+    Returns ``{name: [[labels, {count, sum, p50, p95, p99}], ...]}``
+    for every histogram family in a telemetry (or bare registry)
+    payload, so scripts get latencies without re-deriving quantiles
+    from bucket counts.
+    """
+    metrics = payload.get("metrics", payload)
+    if "metrics" in metrics and "schema_version" in metrics:
+        families = metrics["metrics"]
+    else:
+        families = payload["metrics"]
+    summaries: dict = {}
+    for family in families:
+        if family["kind"] != "histogram":
+            continue
+        buckets = family["buckets"]
+        rows = []
+        for labels, sample in family["samples"]:
+            row = {"count": sample["count"], "sum": sample["sum"]}
+            for key, q in SUMMARY_QUANTILES:
+                row[key] = round(
+                    histogram_quantile(buckets, sample["counts"], q), 6
+                )
+            rows.append([labels, row])
+        summaries[family["name"]] = rows
+    return summaries
+
+
+def obs_json_payload(payload: dict) -> dict:
+    """The machine-readable ``obs --json`` document.
+
+    The telemetry payload as stored, extended with derived
+    ``histogram_summaries`` — scriptable without parsing Prometheus
+    text or re-implementing quantile math.
+    """
+    validate_telemetry(payload)
+    out = dict(payload)
+    out["histogram_summaries"] = histogram_summaries(payload)
+    return out
+
+
+def write_prom_textfile(path: Path | str, text: str) -> Path:
+    """Atomically (re)write a Prometheus textfile.
+
+    Node-exporter's textfile collector reads these on its own
+    schedule; tmp-then-rename means it never sees a half-written
+    scrape.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
 
 
 def deterministic_counters(payload: dict) -> dict:
@@ -274,9 +336,14 @@ def render_telemetry(payload: dict) -> str:
             assert isinstance(metric, Histogram)
             for labels, sample in metric.samples():
                 label_text = _label_text(metric.label_names, labels)
+                quantiles = "  ".join(
+                    f"{key}={histogram_quantile(metric.buckets, sample['counts'], q):g}"
+                    for key, q in SUMMARY_QUANTILES
+                )
                 lines.append(
                     f"{metric.name}{label_text}: "
-                    f"count={sample['count']} sum={sample['sum']:.2f}"
+                    f"count={sample['count']} sum={sample['sum']:.2f}  "
+                    f"{quantiles}"
                 )
                 peak = max(sample["counts"]) or 1
                 bounds = [f"<={b:g}" for b in metric.buckets] + ["+Inf"]

@@ -347,6 +347,44 @@ class MetricsRegistry:
         self.merge_payload(other.to_payload())
 
 
+def histogram_quantile(
+    buckets: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+) -> float:
+    """Estimate the *q*-quantile of a fixed-bucket histogram sample.
+
+    *buckets* are the registered upper bounds and *counts* the
+    per-bucket (non-cumulative) observation counts, one longer than
+    *buckets* for the implicit ``+Inf`` tail.  Interpolates linearly
+    within the bucket containing the target rank, assuming a lower
+    bound of 0 for the first bucket; ranks landing in the ``+Inf``
+    bucket are clamped to the last finite bound (the classic
+    Prometheus-style estimate).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        seen += count
+        if seen < rank:
+            continue
+        if index >= len(buckets):
+            # +Inf bucket: no upper bound to interpolate towards.
+            return float(buckets[-1])
+        lower = buckets[index - 1] if index > 0 else 0.0
+        upper = buckets[index]
+        within = rank - (seen - count)
+        return lower + (upper - lower) * (within / count)
+    return float(buckets[-1])
+
+
 def deterministic_samples(payload: dict) -> dict:
     """The shard-order-independent slice of a registry payload.
 

@@ -45,6 +45,10 @@ class ProgressReporter:
         self.sent = 0
         self.penetrations = 0
         self.shards_done = 0
+        # Work completed before this reporter started (resumed runs).
+        # Counts toward the sent/planned totals but not the rate/ETA:
+        # no wall time was spent on it in this process.
+        self._seeded_sent = 0
         self._started = time.perf_counter()
         self._last_render = 0.0
         self._rendered_any = False
@@ -57,6 +61,19 @@ class ProgressReporter:
 
     def add_planned(self, count: int) -> None:
         self.planned += count
+        self._render()
+
+    def seed_completed(self, sent: int, penetrations: int = 0) -> None:
+        """Credit work finished before this reporter started.
+
+        A resumed run reuses shard artifacts from disk; their probes
+        count toward the totals but must not count toward the rate —
+        otherwise the rate spikes and the ETA collapses to near zero
+        right after ``--resume``.
+        """
+        self.sent += sent
+        self._seeded_sent += sent
+        self.penetrations += penetrations
         self._render()
 
     def probe_sent(self) -> None:
@@ -82,7 +99,7 @@ class ProgressReporter:
 
     def _line(self) -> str:
         elapsed = max(time.perf_counter() - self._started, 1e-9)
-        rate = self.sent / elapsed
+        rate = (self.sent - self._seeded_sent) / elapsed
         parts = [f"probes {self.sent:,}/{self.planned:,}"]
         parts.append(f"{rate:,.0f}/s")
         parts.append(f"penetrations {self.penetrations:,}")

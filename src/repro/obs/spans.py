@@ -258,3 +258,17 @@ def span(name: str, **attrs):
     if recorder is None:
         return NULL_SPAN
     return recorder.span(name, **attrs)
+
+
+def current_stack() -> list[str]:
+    """Names of the spans currently open on the active recorder.
+
+    Ordered outermost-first (e.g. ``["scan.shard", "run"]``).  Returns
+    ``[]`` when no recorder is active — this is the telemetry stream's
+    view of "where is this shard right now", so it must be safe to call
+    from any process state.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return []
+    return [open_span.name for open_span in recorder._stack]

@@ -105,3 +105,57 @@ def test_render_telemetry_sections():
     assert "Gauges (peaks)" in text
     assert "Histograms" in text
     assert "lat_seconds: count=3" in text
+
+
+def test_histogram_quantile_interpolates():
+    from repro.obs.metrics import histogram_quantile
+
+    buckets = (0.1, 1.0)
+    counts = [1, 1, 1]  # one observation per bucket incl. +Inf
+    assert histogram_quantile(buckets, counts, 0.0) == 0.0
+    # Median falls in the (0.1, 1.0] bucket, halfway through it.
+    assert histogram_quantile(buckets, counts, 0.5) == pytest.approx(0.55)
+    # Quantiles landing in the +Inf bucket clamp to the last finite bound.
+    assert histogram_quantile(buckets, counts, 0.99) == 1.0
+    # Empty histogram renders as 0 rather than NaN.
+    assert histogram_quantile(buckets, [0, 0, 0], 0.5) == 0.0
+    with pytest.raises(ValueError, match="quantile"):
+        histogram_quantile(buckets, counts, 1.5)
+
+
+def test_histogram_summaries_and_json_payload():
+    from repro.obs.export import histogram_summaries, obs_json_payload
+
+    payload = telemetry_payload(sample_registry())
+    summaries = histogram_summaries(payload)
+    assert set(summaries) == {"lat_seconds"}
+    ((labels, summary),) = summaries["lat_seconds"]
+    assert labels == []
+    assert summary["count"] == 3
+    assert summary["sum"] == pytest.approx(5.55)
+    assert summary["p50"] == pytest.approx(0.55)
+    assert summary["p99"] == 1.0  # +Inf bucket clamps
+    enriched = obs_json_payload(payload)
+    assert enriched["histogram_summaries"] == summaries
+    # The source payload is untouched.
+    assert "histogram_summaries" not in payload
+
+
+def test_render_telemetry_includes_percentiles():
+    text = render_telemetry(telemetry_payload(sample_registry()))
+    assert "p50=" in text
+    assert "p95=" in text
+    assert "p99=" in text
+
+
+def test_write_prom_textfile_atomic(tmp_path):
+    from repro.obs.export import write_prom_textfile
+
+    path = tmp_path / "node" / "repro.prom"
+    path.parent.mkdir()
+    write_prom_textfile(path, to_prometheus(sample_registry()))
+    assert "depth_peak 12" in path.read_text()
+    # Rewrites replace in place and leave no tmp litter behind.
+    write_prom_textfile(path, "changed 1\n")
+    assert path.read_text() == "changed 1\n"
+    assert [p.name for p in path.parent.iterdir()] == ["repro.prom"]

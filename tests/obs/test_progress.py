@@ -71,3 +71,34 @@ def test_silent_when_nothing_rendered():
     # a reporter created and immediately finished renders final state.
     reporter.finish()
     assert stream.getvalue().startswith("\r")
+
+
+def test_seed_completed_counts_toward_totals_not_rate():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream)
+    reporter.add_planned(1_000)
+    # A resumed run credits 900 probes of prior work instantly; the
+    # rate must come only from the 1 live probe, so the ETA does not
+    # collapse to ~0.
+    reporter.seed_completed(900, penetrations=12)
+    reporter.probe_sent()
+    assert reporter.sent == 901
+    assert reporter.penetrations == 12
+    elapsed = 10.0
+    reporter._started -= elapsed
+    line = reporter._line()
+    assert "probes 901/1,000" in line
+    # Rate reflects live work only (1 probe / ~10s ≈ 0/s rendered),
+    # nowhere near the 90/s a naive sent/elapsed would claim.
+    rate = (reporter.sent - reporter._seeded_sent) / elapsed
+    assert rate < 1.0
+    assert f"{rate:,.0f}/s" in line
+
+
+def test_seeding_everything_disables_eta():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream)
+    reporter.add_planned(500)
+    reporter.seed_completed(500)
+    # Fully-resumed run: no live probes, rate 0, no bogus ETA.
+    assert "eta" not in reporter._line()
