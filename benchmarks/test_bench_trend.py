@@ -1,0 +1,145 @@
+"""Observatory cost over a longitudinal ledger.
+
+Builds a 10-epoch ledger — ten runs of the same campaign spec under
+ten different fault-plan seeds, the canonical remediation-experiment
+series — then times the cross-run readers against it: incremental
+ledger appends (already paid during the runs), a full ``--rebuild``,
+a structural diff of the first and last epochs, and the trend fold
+over the whole lineage.  While it is at it, the benchmark asserts the
+load-bearing contracts: rebuild is byte-identical to the incremental
+ledger, ``diff(A, A)`` is empty, and the diff is antisymmetric.
+
+Results land in machine-readable form at ``BENCH_trend.json`` in the
+repo root.  Wall times on shared CI hardware are noisy, so the
+assertions are the determinism contracts, not perf floors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, run_pipeline
+from repro.obs.diff import mirror, render_diff, run_diff
+from repro.obs.ledger import Ledger
+from repro.obs.trend import build_trend, render_trend
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_trend.json"
+
+SEED = 2019
+N_ASES = 40
+DURATION = 40.0
+EPOCHS = 10
+
+
+def _fault_plan(seed: int) -> dict:
+    return {
+        "schema_version": 1,
+        "seed": seed,
+        "name": f"epoch-loss-{seed}",
+        "clauses": [
+            {
+                "kind": "burst-loss",
+                "rate": 0.4,
+                "start": 0.0,
+                "end": None,
+                "src_asn": None,
+                "dst_asn": None,
+            }
+        ],
+    }
+
+
+def test_bench_trend(emit, tmp_path):
+    base = tmp_path / "ledger"
+    base.mkdir()
+
+    build_wall = time.perf_counter()
+    runs = []
+    for epoch in range(EPOCHS):
+        spec = CampaignSpec.from_scan_config(
+            seed=SEED,
+            n_ases=N_ASES,
+            shards=1,
+            config=ScanConfig(duration=DURATION),
+            journal=True,
+            faults=_fault_plan(epoch * 7 + 3),
+        )
+        run_dir = base / f"epoch-{epoch:03d}"
+        run_pipeline(spec, run_dir=run_dir, workers=0, ledger=base)
+        runs.append(run_dir)
+    build_wall = time.perf_counter() - build_wall
+
+    ledger = Ledger(base)
+    incremental = ledger.path.read_bytes()
+    start = time.perf_counter()
+    ledger.rebuild()
+    rebuild_wall = time.perf_counter() - start
+    assert ledger.path.read_bytes() == incremental, (
+        "rebuild diverged from the incrementally appended ledger"
+    )
+
+    start = time.perf_counter()
+    envelope = run_diff(runs[0], runs[-1])
+    render_diff(envelope)
+    diff_wall = time.perf_counter() - start
+    assert mirror(envelope) == run_diff(runs[-1], runs[0])
+    assert run_diff(runs[0], runs[0])["empty"] is True
+
+    start = time.perf_counter()
+    trend = build_trend(base)
+    render_trend(trend)
+    trend_wall = time.perf_counter() - start
+    (lineage,) = trend["lineages"]
+    assert len(lineage["runs"]) == EPOCHS
+
+    result = {
+        "harness": (
+            f"seed={SEED}, n_ases={N_ASES}, "
+            f"ScanConfig(duration={DURATION}), run_pipeline(workers=0), "
+            f"{EPOCHS} journaled epochs differing only in fault seed"
+        ),
+        "epochs": EPOCHS,
+        "ledger_rows": EPOCHS,
+        "tracked_ases": len(lineage["timeline"]),
+        "flips_first_vs_last": len(envelope["flips"]),
+        "campaigns_wall_seconds": round(build_wall, 3),
+        "ledger_rebuild_wall_seconds": round(rebuild_wall, 3),
+        "diff_wall_seconds": round(diff_wall, 3),
+        "trend_wall_seconds": round(trend_wall, 3),
+        "rebuild_identical_to_incremental": True,
+        "self_diff_empty": True,
+        "diff_antisymmetric": True,
+        "target": (
+            "advisory-only: readers deterministic; rebuild == "
+            "incremental; diff(A,A) empty"
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    counts = lineage["counts"]
+    emit(
+        "trend",
+        "\n".join(
+            [
+                f"cross-run observatory over {EPOCHS} epochs",
+                "",
+                f"campaigns:      {build_wall:7.2f}s "
+                f"({EPOCHS} runs incl. ledger appends)",
+                f"ledger rebuild: {rebuild_wall:7.3f}s "
+                f"(byte-identical to incremental)",
+                f"diff first/last:{diff_wall:7.3f}s "
+                f"({len(envelope['flips'])} AS flips)",
+                f"trend fold:     {trend_wall:7.3f}s "
+                f"({len(lineage['timeline'])} AS timelines)",
+                "",
+                f"remediation: {counts['remediated']} closed, "
+                f"{counts['whac-a-mole']} whac-a-mole, "
+                f"{counts['regressed']} regressed, "
+                f"{counts['stable-open']} stayed open",
+            ]
+        ),
+    )

@@ -14,6 +14,14 @@ Subcommands:
 * ``explain`` — reconstruct per-probe causal chains from a run
   directory's ``events.ndjson`` (from ``scan --journal``), or audit
   that every classification is backed by journal evidence.
+* ``ledger`` — index run directories into a cross-run ``ledger.json``
+  (rows auto-appended by ``scan --ledger``; ``--rebuild`` re-derives
+  the whole file from the run artifacts).
+* ``diff``   — structural comparison of two run directories: per-AS
+  DSAV flips with journal evidence, penetration-rate / drop-reason /
+  telemetry deltas, with comparability gating.
+* ``trend``  — longitudinal report over a ledger: per-AS flip
+  timelines, metric trajectories, remediation vs whac-a-mole counts.
 
 All commands are deterministic for a given ``--seed``.  Reports and
 JSON go to stdout; progress and status chatter go to stderr (suppress
@@ -156,6 +164,13 @@ def cmd_scan(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.ledger is not None and args.resume is None and args.run_dir is None:
+        print(
+            "error: --ledger requires --run-dir "
+            "(the ledger indexes run artifacts on disk)",
+            file=sys.stderr,
+        )
+        return 2
 
     progress = None
     if not args.quiet:
@@ -175,6 +190,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 scenario_cache=args.scenario_cache,
                 profile=args.profile,
                 snapshot_interval=args.snapshot_interval,
+                ledger=args.ledger,
             )
         elif (
             args.shards > 1
@@ -207,6 +223,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 scenario_cache=args.scenario_cache,
                 profile=args.profile,
                 snapshot_interval=args.snapshot_interval,
+                ledger=args.ledger,
             )
         else:
             campaign = Campaign.run_default(
@@ -288,6 +305,11 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 f"telemetry streams in {outcome.run_dir} — replay with "
                 f"`repro-dsav watch {outcome.run_dir}`"
             )
+    if args.ledger is not None:
+        status(
+            f"run recorded in {args.ledger}/ledger.json — compare "
+            f"epochs with `repro-dsav trend {args.ledger}`"
+        )
     return 0
 
 
@@ -327,12 +349,15 @@ def cmd_obs(args: argparse.Namespace) -> int:
 def cmd_watch(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .obs.ledger import ObservatoryError, require_run_dir
     from .obs.watch import run_watch
 
     run_dir = Path(args.run_dir)
-    if not run_dir.is_dir():
-        print(f"error: {run_dir} is not a directory", file=sys.stderr)
-        return 1
+    try:
+        require_run_dir(run_dir)
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     try:
         return run_watch(
             run_dir,
@@ -344,6 +369,72 @@ def cmd_watch(args: argparse.Namespace) -> int:
         )
     except KeyboardInterrupt:
         return 130
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    from .obs.ledger import Ledger, ObservatoryError, render_ledger
+
+    ledger = Ledger(args.ledger_dir)
+    try:
+        if args.rebuild:
+            payload = ledger.rebuild()
+            print(
+                f"ledger rebuilt: {len(payload['rows'])} run(s) -> "
+                f"{ledger.path}",
+                file=sys.stderr,
+            )
+        else:
+            payload = ledger.require()
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    if args.json:
+        from .obs.export import dump_envelope
+
+        print(dump_envelope(payload), end="")
+    else:
+        print(render_ledger(payload))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .obs.diff import render_diff, run_diff
+    from .obs.ledger import ObservatoryError
+
+    try:
+        envelope = run_diff(
+            args.run_a, args.run_b, advisory=args.advisory
+        )
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    if args.json:
+        from .obs.export import dump_envelope
+
+        print(dump_envelope(envelope), end="")
+    else:
+        text = render_diff(envelope)
+        if text:
+            print(text)
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    from .obs.ledger import ObservatoryError
+    from .obs.trend import build_trend, render_trend
+
+    try:
+        envelope = build_trend(args.ledger_dir, metric=args.metric)
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    if args.json:
+        from .obs.export import dump_envelope
+
+        print(dump_envelope(envelope), end="")
+    else:
+        print(render_trend(envelope))
+    return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -662,6 +753,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1.0; only meaningful with --snapshots)",
     )
     scan.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="after the run completes, append (or refresh) its row in "
+        "DIR/ledger.json — the cross-run index `repro-dsav diff` and "
+        "`repro-dsav trend` consume.  Requires --run-dir; results are "
+        "byte-identical with or without it",
+    )
+    scan.add_argument(
         "--scenario-cache", default=None, metavar="DIR",
         help="content-keyed cache of compiled scenarios: a repeated "
         "run of the same spec loads the built world from DIR instead "
@@ -728,6 +826,59 @@ def build_parser() -> argparse.ArgumentParser:
         "run that is not finished",
     )
     watch.set_defaults(func=cmd_watch)
+
+    ledger = sub.add_parser(
+        "ledger",
+        help="index run directories into a cross-run ledger.json",
+    )
+    ledger.add_argument("ledger_dir", metavar="LEDGER_DIR")
+    ledger.add_argument(
+        "--rebuild", action="store_true",
+        help="re-derive every row by scanning LEDGER_DIR's run "
+        "subdirectories; byte-identical to incremental --ledger "
+        "appends over the same runs",
+    )
+    ledger.add_argument(
+        "--json", action="store_true",
+        help="emit the ledger payload as canonical JSON",
+    )
+    ledger.set_defaults(func=cmd_ledger)
+
+    diff = sub.add_parser(
+        "diff",
+        help="structural diff between two run directories",
+    )
+    diff.add_argument("run_a", metavar="RUN_A")
+    diff.add_argument("run_b", metavar="RUN_B")
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned diff envelope as canonical JSON "
+        "instead of the human rendering",
+    )
+    diff.add_argument(
+        "--advisory", action="store_true",
+        help="compare runs with different scenario/topology keys "
+        "anyway, downgrading the envelope to advisory instead of "
+        "refusing (exit 2)",
+    )
+    diff.set_defaults(func=cmd_diff)
+
+    trend = sub.add_parser(
+        "trend",
+        help="longitudinal flip timelines and metric trajectories "
+        "over a ledger",
+    )
+    trend.add_argument("ledger_dir", metavar="LEDGER_DIR")
+    trend.add_argument(
+        "--metric", default="asn-rate-v4",
+        help="ledger stat to plot per lineage (default asn-rate-v4; "
+        "see repro.obs.trend.METRIC_PATHS for choices)",
+    )
+    trend.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned trend envelope as canonical JSON",
+    )
+    trend.set_defaults(func=cmd_trend)
 
     explain = sub.add_parser(
         "explain",

@@ -67,8 +67,13 @@ if TYPE_CHECKING:
 #: Version of the :meth:`Campaign.results_dict` JSON schema.  Bumped
 #: whenever keys move or change meaning so downstream consumers of a
 #: data release can dispatch on it.  2 = added ``schema_version`` +
-#: ``provenance`` header (staged-pipeline release).
-RESULTS_SCHEMA_VERSION = 2
+#: ``provenance`` header (staged-pipeline release); 3 = provenance
+#: carries the run's identity keys (``scenario_content_key``,
+#: ``topology``, ``fault_plan_digest``) so the cross-run observatory
+#: can gate comparability without re-reading ``scenario.bin``.  Version
+#: 2 artifacts stay readable via
+#: :func:`repro.core.report.normalize_results`.
+RESULTS_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -212,6 +217,11 @@ class Campaign:
     scan_wall_seconds: float = 0.0
     #: scan accounting; derived from ``scanner`` when not provided.
     metadata: ScanMetadata | None = None
+    #: serialized fault plan the run injected (``None`` for a clean
+    #: fabric); its digest lands in the results provenance so two runs
+    #: of the same scenario under different fault seeds are
+    #: distinguishable from the artifacts alone.
+    faults: dict | None = None
     results: CampaignResults = field(init=False)
 
     def __post_init__(self) -> None:
@@ -429,6 +439,9 @@ class Campaign:
         # only when retries or a fault plan were active, so an
         # untouched run's results.json stays byte-identical to builds
         # that predate the chaos fabric.
+        from ..netsim.faults import plan_digest
+        from ..scenarios.compiled import content_key
+
         provenance = {
             "seed": self.scenario.params.seed,
             "n_ases": self.scenario.params.n_ases,
@@ -436,6 +449,18 @@ class Campaign:
             "probes_sent": self.metadata.probes_sent,
             "effective_duration": self.metadata.effective_duration,
             "wall_seconds": self.metadata.wall_seconds,
+            # Run-identity keys (schema v3): everything `repro-dsav
+            # diff` needs to decide whether two runs are comparable,
+            # without re-reading scenario.bin or the manifest.
+            "scenario_content_key": content_key(self.scenario.params),
+            "topology": (
+                "tiered"
+                if self.scenario.params.topology is not None
+                else "star"
+            ),
+            "fault_plan_digest": (
+                plan_digest(self.faults) if self.faults else None
+            ),
         }
         if self.metadata.retry_enabled or self.metadata.fault_clauses:
             provenance["resilience"] = {

@@ -1258,6 +1258,7 @@ def run_pipeline(
     scenario_cache=None,
     profile: bool = False,
     snapshot_interval: float = 1.0,
+    ledger=None,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -1280,9 +1281,17 @@ def run_pipeline(
     shard dump cProfile stats into the run directory.
     ``snapshot_interval`` (wall seconds) paces the telemetry stream
     when the spec enables it; like everything observational it never
-    affects results.
+    affects results.  ``ledger`` names a cross-run ledger directory:
+    after the run completes its row is appended to (or refreshed in)
+    ``<ledger>/ledger.json`` — observational only, results are
+    byte-identical with or without it.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
+    if ledger is not None and rd is None:
+        raise ValueError(
+            "ledger requires a run directory (the ledger indexes run "
+            "artifacts on disk)"
+        )
     if spec.journal and rd is None:
         raise ValueError(
             "journal=True requires a run directory (events.ndjson needs "
@@ -1319,6 +1328,7 @@ def run_pipeline(
             if rd.telemetry_path.exists()
             else None
         )
+        _append_ledger(ledger, rd)
         return PipelineOutcome(
             campaign=None,
             results=results,
@@ -1452,6 +1462,7 @@ def run_pipeline(
                 collector,
                 scan_wall_seconds=metadata.wall_seconds,
                 metadata=metadata,
+                faults=spec.faults,
             )
             results = campaign.results_dict()
             if spec.journal and rd is not None and rd.events_path.exists():
@@ -1483,6 +1494,8 @@ def run_pipeline(
         if rd is not None:
             write_telemetry(rd.telemetry_path, telemetry)
 
+    _append_ledger(ledger, rd)
+
     return PipelineOutcome(
         campaign=campaign,
         results=results,
@@ -1505,6 +1518,7 @@ def resume_pipeline(
     scenario_cache=None,
     profile: bool = False,
     snapshot_interval: float = 1.0,
+    ledger=None,
 ) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
@@ -1522,7 +1536,17 @@ def resume_pipeline(
         scenario_cache=scenario_cache,
         profile=profile,
         snapshot_interval=snapshot_interval,
+        ledger=ledger,
     )
+
+
+def _append_ledger(ledger, rd: RunDirectory | None) -> None:
+    """Record a completed run in the cross-run ledger (if one is set)."""
+    if ledger is None or rd is None:
+        return
+    from ..obs.ledger import Ledger
+
+    Ledger(ledger).record(rd.path)
 
 
 def _fresh_collector(scenario: "BuiltScenario") -> Collector:

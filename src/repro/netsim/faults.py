@@ -27,6 +27,7 @@ trip the schema-versioned payload the pipeline stores as the
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import Counter
 from dataclasses import dataclass
@@ -38,6 +39,20 @@ from .determinism import stable_fraction
 
 #: Version stamped into every serialized plan; readers refuse others.
 FAULT_SCHEMA_VERSION = 1
+
+
+def plan_digest(payload: dict) -> str:
+    """Content address of a serialized fault plan.
+
+    Canonical-JSON sha256 over the full payload (seed included), so two
+    plans with identical clauses but different seeds — which inject
+    different packet fates — digest differently.  This is the identity
+    the results provenance and the cross-run ledger carry.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 #: Shard-crash behaviours (see :class:`ShardCrash`).
 CRASH_MODES = ("kill", "raise", "hang")
@@ -337,6 +352,10 @@ class FaultPlan:
 
     def save(self, path) -> None:
         Path(path).write_text(json.dumps(self.to_payload(), indent=2) + "\n")
+
+    def digest(self) -> str:
+        """Content address of this plan (see :func:`plan_digest`)."""
+        return plan_digest(self.to_payload())
 
     # -- queries ---------------------------------------------------------
 

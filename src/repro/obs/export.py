@@ -42,6 +42,47 @@ TELEMETRY_SCHEMA_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
+# generic versioned-envelope helpers
+# ---------------------------------------------------------------------------
+#
+# Every machine-readable observatory document (ledger.json, the diff
+# and trend --json payloads) shares one envelope convention:
+# ``schema_version`` + ``kind`` at the top level, canonical rendering
+# (sorted keys, two-space indent, trailing newline) so identical
+# content is identical bytes, and an atomic tmp-then-rename write.
+
+
+def validate_envelope(payload: dict, *, kind: str, version: int) -> None:
+    """Check the envelope header; raises ValueError with a diagnosis."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"{kind} artifact: top level is not an object")
+    got = payload.get("schema_version")
+    if got != version:
+        raise ValueError(
+            f"{kind} artifact has schema_version={got!r}, "
+            f"this code reads version {version}"
+        )
+    if payload.get("kind") != kind:
+        raise ValueError(
+            f"artifact kind={payload.get('kind')!r}, expected {kind!r}"
+        )
+
+
+def dump_envelope(payload: dict) -> str:
+    """Canonical text form: byte-identical for identical content."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_envelope(path: Path | str, payload: dict) -> Path:
+    """Atomically write *payload* in the canonical envelope form."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(dump_envelope(payload))
+    os.replace(tmp, path)
+    return path
+
+
+# ---------------------------------------------------------------------------
 # telemetry.json
 # ---------------------------------------------------------------------------
 

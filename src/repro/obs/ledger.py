@@ -1,0 +1,317 @@
+"""Cross-run ledger: a versioned index of campaign run directories.
+
+One row per completed run, derived **only** from the artifacts already
+on disk (``manifest.json``, ``results.json``, ``telemetry.json``), so
+the ledger is a pure function of the run directories it indexes:
+appending rows one run at a time and rebuilding from scratch with
+``repro-dsav ledger <dir> --rebuild`` produce byte-identical
+``ledger.json`` files — CI asserts this.
+
+Each row carries the run's identity (spec content key, scenario
+``content_key``, topology mode, fault-plan digest), the schema/code
+versions that produced it, headline stats, a results digest (the same
+"results minus provenance" slice CI's equivalence checks hash), a
+telemetry digest over the deterministic metric families, and wall
+timings.  ``repro-dsav trend`` consumes the ledger as its time-series
+store; ``repro-dsav diff`` shares this module's run-directory loading
+and comparability keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .export import dump_envelope, validate_envelope, write_envelope
+
+#: Version of the ledger.json envelope.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Spec fields that identify *what was measured*.  Observability flags
+#: (metrics/journal/stream), sharding, and partition scheme are
+#: execution details — results are byte-identical across them — so
+#: they stay out of the spec content key.
+_SPEC_IDENTITY_FIELDS = ("seed", "n_ases", "scan", "faults", "topology")
+
+
+class ObservatoryError(RuntimeError):
+    """An observatory command cannot proceed; maps to CLI exit 2."""
+
+    exit_code = 2
+
+
+def _sha256(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def spec_key(spec_payload: dict) -> str:
+    """Content address of a campaign spec's measurement identity."""
+    identity = {
+        field: spec_payload.get(field) for field in _SPEC_IDENTITY_FIELDS
+    }
+    return _sha256(identity)
+
+
+def require_run_dir(path) -> dict:
+    """Load and vet a run directory's manifest, or raise a one-liner.
+
+    Every observatory entry point (``watch``, ``diff``, ``trend``, the
+    ledger) funnels through here so a missing or legacy manifest yields
+    one actionable error line (CLI exit 2) instead of a traceback.
+    """
+    from ..core.pipeline import ARTIFACT_SCHEMA_VERSION
+
+    path = Path(path)
+    if not path.is_dir():
+        raise ObservatoryError(f"{path} is not a directory")
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise ObservatoryError(
+            f"{path} has no manifest.json — not a pipeline run "
+            "directory (create runs with `repro-dsav scan --run-dir`)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise ObservatoryError(
+            f"{manifest_path} is not valid JSON ({exc}) — the run "
+            "directory cannot be trusted"
+        )
+    version = manifest.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ObservatoryError(
+            f"{manifest_path} has schema_version={version!r}, this "
+            f"code reads version {ARTIFACT_SCHEMA_VERSION} — re-run "
+            "the campaign with this release"
+        )
+    return manifest
+
+
+def load_results(path) -> dict:
+    """A run's normalized ``results.json`` (v2 artifacts upgraded)."""
+    from ..core.report import normalize_results
+
+    path = Path(path)
+    results_path = path / "results.json"
+    if not results_path.exists():
+        raise ObservatoryError(
+            f"{path} has no results.json — the run has not completed "
+            "its analyze stage (finish it with `repro-dsav scan "
+            f"--resume {path}`)"
+        )
+    try:
+        payload = json.loads(results_path.read_text())
+    except ValueError as exc:
+        raise ObservatoryError(
+            f"{results_path} is not valid JSON ({exc})"
+        )
+    try:
+        return normalize_results(payload)
+    except ValueError as exc:
+        raise ObservatoryError(f"{results_path}: {exc}")
+
+
+def results_digest(results: dict) -> str:
+    """Digest of the equivalence slice: results minus ``provenance``."""
+    return _sha256(
+        {k: v for k, v in results.items() if k != "provenance"}
+    )
+
+
+def telemetry_digest(run_path) -> str | None:
+    """Digest of the deterministic metric slice, or None without one."""
+    from .export import deterministic_counters, load_telemetry
+
+    path = Path(run_path) / "telemetry.json"
+    if not path.exists():
+        return None
+    try:
+        payload = load_telemetry(path)
+    except ValueError:
+        return None
+    return _sha256(deterministic_counters(payload))
+
+
+def run_row(run_path, *, base=None) -> dict:
+    """One ledger row, derived purely from *run_path*'s artifacts."""
+    run_path = Path(run_path)
+    manifest = require_run_dir(run_path)
+    results = load_results(run_path)
+    spec = manifest.get("spec", {})
+    provenance = results.get("provenance", {})
+
+    def family(side: dict) -> dict:
+        return {
+            "targeted_addresses": side.get("targeted_addresses"),
+            "reachable_addresses": side.get("reachable_addresses"),
+            "targeted_asns": side.get("targeted_asns"),
+            "reachable_asns": side.get("reachable_asns"),
+            "address_rate": side.get("address_rate"),
+            "asn_rate": side.get("asn_rate"),
+        }
+
+    headline = results.get("headline", {})
+    if base is not None:
+        try:
+            run_name = run_path.resolve().relative_to(
+                Path(base).resolve()
+            ).as_posix()
+        except ValueError:
+            run_name = str(run_path.resolve())
+    else:
+        run_name = str(run_path)
+    return {
+        "run": run_name,
+        "spec_key": spec_key(spec),
+        "scenario_key": provenance.get("scenario_content_key"),
+        "topology": provenance.get("topology")
+        or ("tiered" if spec.get("topology") is not None else "star"),
+        "fault_digest": provenance.get("fault_plan_digest"),
+        "seed": results.get("seed"),
+        "n_ases": results.get("n_ases"),
+        "shards": provenance.get("shards"),
+        "schema_versions": {
+            "manifest": manifest.get("schema_version"),
+            "results": json.loads(
+                (run_path / "results.json").read_text()
+            ).get("schema_version"),
+        },
+        "results_digest": results_digest(results),
+        "telemetry_digest": telemetry_digest(run_path),
+        "stats": {
+            "probes": results.get("probes"),
+            "probes_sent": provenance.get("probes_sent"),
+            "v4": family(headline.get("v4", {})),
+            "v6": family(headline.get("v6", {})),
+        },
+        "wall_seconds": provenance.get("wall_seconds"),
+    }
+
+
+class Ledger:
+    """The ``ledger.json`` under one ledger directory."""
+
+    def __init__(self, base) -> None:
+        self.base = Path(base)
+
+    @property
+    def path(self) -> Path:
+        return self.base / "ledger.json"
+
+    # -- I/O -------------------------------------------------------------
+
+    def load(self) -> dict:
+        """The stored payload, or an empty ledger when none exists."""
+        if not self.path.exists():
+            return {
+                "schema_version": LEDGER_SCHEMA_VERSION,
+                "kind": "ledger",
+                "rows": [],
+            }
+        try:
+            payload = json.loads(self.path.read_text())
+        except ValueError as exc:
+            raise ObservatoryError(
+                f"{self.path} is not valid JSON ({exc}) — rebuild it "
+                f"with `repro-dsav ledger {self.base} --rebuild`"
+            )
+        try:
+            validate_envelope(
+                payload, kind="ledger", version=LEDGER_SCHEMA_VERSION
+            )
+        except ValueError as exc:
+            raise ObservatoryError(str(exc))
+        return payload
+
+    def require(self) -> dict:
+        """Like :meth:`load`, but a missing ledger is an error."""
+        if not self.path.exists():
+            raise ObservatoryError(
+                f"{self.path} not found — index runs with `repro-dsav "
+                f"scan --ledger {self.base}` or `repro-dsav ledger "
+                f"{self.base} --rebuild`"
+            )
+        return self.load()
+
+    def save(self, payload: dict) -> Path:
+        self.base.mkdir(parents=True, exist_ok=True)
+        return write_envelope(self.path, payload)
+
+    # -- mutation --------------------------------------------------------
+
+    def record(self, run_path) -> dict:
+        """Insert (or refresh) *run_path*'s row; returns the payload.
+
+        Rows stay sorted by run name, and recording is idempotent, so
+        incremental appends converge on exactly the bytes a
+        :meth:`rebuild` over the same directories produces.
+        """
+        payload = self.load()
+        row = run_row(run_path, base=self.base)
+        rows = [r for r in payload["rows"] if r.get("run") != row["run"]]
+        rows.append(row)
+        rows.sort(key=lambda r: r.get("run", ""))
+        payload["rows"] = rows
+        self.save(payload)
+        return payload
+
+    def rebuild(self) -> dict:
+        """Re-derive every row by scanning the ledger directory.
+
+        Indexes each immediate subdirectory holding a ``manifest.json``
+        and a completed ``results.json``; runs recorded from outside
+        the ledger directory are not rediscovered (co-locate run dirs
+        under the ledger dir to keep it fully reconstructible).
+        """
+        if not self.base.is_dir():
+            raise ObservatoryError(f"{self.base} is not a directory")
+        rows = []
+        for child in sorted(self.base.iterdir()):
+            if not (child / "manifest.json").exists():
+                continue
+            if not (child / "results.json").exists():
+                continue
+            rows.append(run_row(child, base=self.base))
+        payload = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "kind": "ledger",
+            "rows": rows,
+        }
+        self.save(payload)
+        return payload
+
+
+def render_ledger(payload: dict) -> str:
+    """Human-readable table of the ledger rows."""
+    from ..core.report import _format_table
+
+    def short(value) -> str:
+        return value[:10] if isinstance(value, str) else "-"
+
+    def rate(value) -> str:
+        return f"{value:.1%}" if isinstance(value, (int, float)) else "-"
+
+    rows = [
+        (
+            row.get("run"),
+            short(row.get("scenario_key")),
+            row.get("topology"),
+            short(row.get("fault_digest")),
+            row.get("shards"),
+            row.get("stats", {}).get("probes_sent"),
+            rate(row.get("stats", {}).get("v4", {}).get("asn_rate")),
+            rate(row.get("stats", {}).get("v6", {}).get("asn_rate")),
+            f"{row.get('wall_seconds', 0) or 0:.2f}",
+        )
+        for row in payload.get("rows", [])
+    ]
+    table = _format_table(
+        (
+            "run", "scenario", "topo", "faults", "shards",
+            "probes", "v4 asn%", "v6 asn%", "wall s",
+        ),
+        rows,
+    )
+    return f"{len(rows)} run(s) indexed\n{table}"

@@ -83,11 +83,74 @@ def test_equivalence_covers_both_families(baseline_results):
 
 def test_provenance_records_sharding(baseline_results, sharded):
     _, _, outcome = sharded
-    assert baseline_results["schema_version"] == 2
+    assert baseline_results["schema_version"] == 3
     assert baseline_results["provenance"]["shards"] == 1
     assert outcome.results["provenance"]["shards"] == 4
     assert outcome.results["provenance"]["seed"] == SEED
     assert outcome.results["provenance"]["n_ases"] == N_ASES
+
+
+def test_provenance_records_run_identity(baseline_results, sharded):
+    """Schema v3: provenance carries the comparability keys."""
+    from repro.scenarios import ScenarioParams
+    from repro.scenarios.compiled import content_key
+
+    _, _, outcome = sharded
+    for results in (baseline_results, outcome.results):
+        provenance = results["provenance"]
+        assert provenance["scenario_content_key"] == content_key(
+            ScenarioParams(seed=SEED, n_ases=N_ASES)
+        )
+        assert provenance["topology"] == "star"
+        assert provenance["fault_plan_digest"] is None
+
+
+def test_normalize_results_reads_v2_artifacts(baseline_results):
+    from repro.core.report import normalize_results
+
+    legacy = json.loads(json.dumps(baseline_results))
+    legacy["schema_version"] = 2
+    for key in (
+        "scenario_content_key", "topology", "fault_plan_digest"
+    ):
+        legacy["provenance"].pop(key)
+    normalized = normalize_results(legacy)
+    assert normalized["provenance"]["scenario_content_key"] is None
+    assert normalized["provenance"]["topology"] is None
+    assert normalized["provenance"]["fault_plan_digest"] is None
+    with pytest.raises(ValueError):
+        normalize_results({"schema_version": 99})
+
+
+def test_pipeline_ledger_hook_records_run(sharded, tmp_path):
+    """run_pipeline(ledger=...) appends the run's ledger row."""
+    from repro.obs.ledger import Ledger
+
+    spec, run_dir, outcome = sharded
+    ledger_dir = tmp_path / "ledger"
+    # The run is complete, so this is the served-from-disk path — the
+    # ledger hook must fire there too.
+    again = run_pipeline(
+        spec, run_dir=run_dir, workers=0, ledger=ledger_dir
+    )
+    assert again.stages_run == []
+    payload = Ledger(ledger_dir).load()
+    assert len(payload["rows"]) == 1
+    row = payload["rows"][0]
+    assert row["run"] == str(run_dir.resolve())
+    assert row["shards"] == 4
+    assert row["scenario_key"] == (
+        outcome.results["provenance"]["scenario_content_key"]
+    )
+
+
+def test_ledger_without_run_dir_is_an_error():
+    spec = CampaignSpec.from_scan_config(
+        seed=SEED, n_ases=N_ASES, shards=1,
+        config=ScanConfig(duration=DURATION),
+    )
+    with pytest.raises(ValueError, match="ledger requires"):
+        run_pipeline(spec, ledger="somewhere")
 
 
 def test_shard_counters_sum_to_campaign_totals(sharded):

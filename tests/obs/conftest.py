@@ -1,0 +1,59 @@
+"""Shared fixtures for the observatory tests.
+
+Two small journaled + metered campaigns over the *same* scenario but
+different fault-plan seeds — the canonical remediation-experiment pair
+the ledger/diff/trend trio exists to compare.  They run once per
+session and are shared read-only; their ledger directory is the
+campaigns' parent, so rebuild and incremental appends index the same
+run set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, run_pipeline
+
+SEED = 7
+N_ASES = 24
+DURATION = 40.0
+
+FAULT_CLAUSE = {
+    "kind": "burst-loss",
+    "rate": 0.5,
+    "start": 0.0,
+    "end": None,
+    "src_asn": None,
+    "dst_asn": None,
+}
+
+
+def _fault_plan(seed: int) -> dict:
+    return {
+        "schema_version": 1,
+        "seed": seed,
+        "name": f"loss-{seed}",
+        "clauses": [dict(FAULT_CLAUSE)],
+    }
+
+
+@pytest.fixture(scope="session")
+def observatory_runs(tmp_path_factory):
+    """``(base, run_a, run_b)``: a ledger dir holding two epochs."""
+    base = tmp_path_factory.mktemp("observatory")
+    paths = []
+    for name, fault_seed in (("epoch-000", 3), ("epoch-001", 11)):
+        spec = CampaignSpec.from_scan_config(
+            seed=SEED,
+            n_ases=N_ASES,
+            shards=2,
+            config=ScanConfig(duration=DURATION),
+            metrics=True,
+            journal=True,
+            faults=_fault_plan(fault_seed),
+        )
+        run_dir = base / name
+        run_pipeline(spec, run_dir=run_dir, workers=0, ledger=base)
+        paths.append(run_dir)
+    return base, paths[0], paths[1]

@@ -123,6 +123,44 @@ def test_histogram_quantile_interpolates():
         histogram_quantile(buckets, counts, 1.5)
 
 
+def test_histogram_quantile_edge_cases():
+    from repro.obs.metrics import histogram_quantile
+
+    buckets = (0.1, 1.0)
+    # Empty histogram: every quantile is 0, not NaN or a crash.
+    assert histogram_quantile(buckets, [0, 0, 0], 0.0) == 0.0
+    assert histogram_quantile(buckets, [0, 0, 0], 1.0) == 0.0
+    # All observations in one (interior) bucket: quantiles interpolate
+    # linearly within that bucket's bounds and never leave it.
+    counts = [0, 10, 0]
+    assert histogram_quantile(buckets, counts, 0.0) == pytest.approx(0.1)
+    assert histogram_quantile(buckets, counts, 0.5) == pytest.approx(0.55)
+    assert histogram_quantile(buckets, counts, 1.0) == pytest.approx(1.0)
+    # All observations beyond the last finite bound (+Inf-only): every
+    # quantile clamps to the last finite bucket bound.
+    inf_only = [0, 0, 7]
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert histogram_quantile(buckets, inf_only, q) == 1.0
+    # All observations in the *first* bucket interpolate down from 0.
+    first_only = [4, 0, 0]
+    assert histogram_quantile(buckets, first_only, 0.5) == pytest.approx(
+        0.05
+    )
+
+
+def test_obs_json_payload_with_zero_histograms():
+    from repro.obs.export import obs_json_payload
+
+    registry = MetricsRegistry()
+    registry.counter("probes_total", "probes").inc(3)
+    payload = telemetry_payload(registry)
+    enriched = obs_json_payload(payload)
+    # No histogram families → an explicit empty mapping, not a missing
+    # key and not a crash.
+    assert enriched["histogram_summaries"] == {}
+    assert enriched["metrics"] == payload["metrics"]
+
+
 def test_histogram_summaries_and_json_payload():
     from repro.obs.export import histogram_summaries, obs_json_payload
 

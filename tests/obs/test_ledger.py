@@ -1,0 +1,125 @@
+"""The cross-run ledger: rows, rebuild identity, and error gating."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    ObservatoryError,
+    render_ledger,
+    require_run_dir,
+    run_row,
+    spec_key,
+)
+
+
+def test_pipeline_appends_rows(observatory_runs):
+    base, _, _ = observatory_runs
+    payload = Ledger(base).load()
+    assert payload["schema_version"] == LEDGER_SCHEMA_VERSION
+    assert payload["kind"] == "ledger"
+    assert [row["run"] for row in payload["rows"]] == [
+        "epoch-000", "epoch-001",
+    ]
+
+
+def test_rebuild_is_byte_identical_to_incremental(observatory_runs):
+    base, _, _ = observatory_runs
+    ledger = Ledger(base)
+    incremental = ledger.path.read_bytes()
+    ledger.rebuild()
+    assert ledger.path.read_bytes() == incremental
+
+
+def test_record_is_idempotent(observatory_runs):
+    base, run_a, _ = observatory_runs
+    ledger = Ledger(base)
+    before = ledger.path.read_bytes()
+    ledger.record(run_a)
+    assert ledger.path.read_bytes() == before
+
+
+def test_row_carries_run_identity(observatory_runs):
+    base, run_a, run_b = observatory_runs
+    row_a = run_row(run_a, base=base)
+    row_b = run_row(run_b, base=base)
+    # Same scenario, same topology — only the fault plans (and hence
+    # the measured outcomes) differ between the two epochs.
+    assert row_a["scenario_key"] == row_b["scenario_key"]
+    assert row_a["topology"] == row_b["topology"] == "star"
+    assert row_a["fault_digest"] != row_b["fault_digest"]
+    assert row_a["spec_key"] != row_b["spec_key"]
+    assert row_a["schema_versions"] == {"manifest": 1, "results": 3}
+    assert row_a["results_digest"] != row_b["results_digest"]
+    assert row_a["telemetry_digest"] is not None
+    assert row_a["shards"] == 2
+    assert row_a["stats"]["v4"]["asn_rate"] is not None
+    results = json.loads((run_a / "results.json").read_text())
+    assert row_a["stats"]["probes"] == results["probes"]
+
+
+def test_spec_key_ignores_execution_details():
+    spec = {
+        "seed": 1, "n_ases": 10, "scan": {"duration": 40.0},
+        "faults": None, "topology": None,
+        "shards": 1, "metrics": False, "journal": False,
+    }
+    variant = dict(
+        spec, shards=8, metrics=True, journal=True, stream=True,
+        partition="modulo",
+    )
+    assert spec_key(spec) == spec_key(variant)
+    assert spec_key(spec) != spec_key(dict(spec, seed=2))
+    assert spec_key(spec) != spec_key(
+        dict(spec, faults={"seed": 9})
+    )
+
+
+def test_render_ledger_lists_runs(observatory_runs):
+    base, _, _ = observatory_runs
+    text = render_ledger(Ledger(base).load())
+    assert "2 run(s) indexed" in text
+    assert "epoch-000" in text and "epoch-001" in text
+
+
+def test_require_missing_ledger_errors(tmp_path):
+    with pytest.raises(ObservatoryError, match="ledger.json"):
+        Ledger(tmp_path).require()
+
+
+def test_require_run_dir_gates(tmp_path):
+    with pytest.raises(ObservatoryError, match="not a directory"):
+        require_run_dir(tmp_path / "nope")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ObservatoryError, match="no manifest.json"):
+        require_run_dir(empty)
+    legacy = tmp_path / "legacy"
+    legacy.mkdir()
+    (legacy / "manifest.json").write_text(
+        json.dumps({"schema_version": 99, "spec": {}})
+    )
+    with pytest.raises(ObservatoryError, match="schema_version=99"):
+        require_run_dir(legacy)
+
+
+def test_incomplete_run_is_skipped_by_rebuild(observatory_runs, tmp_path):
+    """A run without results.json is not indexed (and not an error)."""
+    base, run_a, _ = observatory_runs
+    partial = base / "epoch-partial"
+    partial.mkdir(exist_ok=True)
+    (partial / "manifest.json").write_text(
+        (run_a / "manifest.json").read_text()
+    )
+    try:
+        ledger = Ledger(base)
+        before = ledger.path.read_bytes()
+        ledger.rebuild()
+        assert ledger.path.read_bytes() == before
+        with pytest.raises(ObservatoryError, match="no results.json"):
+            ledger.record(partial)
+    finally:
+        (partial / "manifest.json").unlink()
+        partial.rmdir()

@@ -1,0 +1,110 @@
+"""Longitudinal trends: lineage grouping, timelines, verdicts."""
+
+import pytest
+
+from repro.obs.diff import run_diff
+from repro.obs.export import dump_envelope
+from repro.obs.ledger import ObservatoryError
+from repro.obs.trend import (
+    TREND_SCHEMA_VERSION,
+    _verdict,
+    build_trend,
+    render_trend,
+)
+
+
+def test_trend_groups_same_scenario_into_one_lineage(observatory_runs):
+    base, _, _ = observatory_runs
+    envelope = build_trend(base)
+    assert envelope["schema_version"] == TREND_SCHEMA_VERSION
+    assert envelope["kind"] == "trend"
+    assert envelope["metric"] == "asn-rate-v4"
+    assert len(envelope["lineages"]) == 1
+    lineage = envelope["lineages"][0]
+    assert lineage["runs"] == ["epoch-000", "epoch-001"]
+    assert lineage["topology"] == "star"
+    assert len(lineage["series"]) == 2
+    assert all(value is not None for value in lineage["series"])
+    assert len(lineage["fault_digests"]) == 2
+    assert lineage["fault_digests"][0] != lineage["fault_digests"][1]
+
+
+def test_timeline_agrees_with_diff_flips(observatory_runs):
+    """A remediated flip in diff(A, B) shows reached→filtered here."""
+    base, run_a, run_b = observatory_runs
+    lineage = build_trend(base)["lineages"][0]
+    statuses = {
+        (entry["family"], entry["asn"]): entry["statuses"]
+        for entry in lineage["timeline"]
+    }
+    flips = run_diff(run_a, run_b)["flips"]
+    assert flips
+    for flip in flips:
+        seq = statuses[(flip["family"], flip["asn"])]
+        if flip["direction"] == "remediated":
+            assert seq == ["reached", "filtered"]
+        elif flip["direction"] == "regressed":
+            assert seq == ["filtered", "reached"]
+        else:  # partial: reached on both sides, target sets differ
+            assert seq == ["reached", "reached"]
+
+
+def test_counts_sum_to_timeline_length(observatory_runs):
+    base, _, _ = observatory_runs
+    lineage = build_trend(base)["lineages"][0]
+    assert sum(lineage["counts"].values()) == len(lineage["timeline"])
+
+
+def test_trend_json_is_deterministic(observatory_runs):
+    base, _, _ = observatory_runs
+    assert dump_envelope(build_trend(base)) == dump_envelope(
+        build_trend(base)
+    )
+
+
+def test_render_trend_mentions_lineage_and_glyphs(observatory_runs):
+    base, _, _ = observatory_runs
+    text = render_trend(build_trend(base, metric="probes-sent"))
+    assert "lineage" in text
+    assert "per-AS timeline" in text
+    assert "remediation:" in text
+    assert "probes-sent:" in text
+
+
+def test_unknown_metric_is_an_error(observatory_runs):
+    base, _, _ = observatory_runs
+    with pytest.raises(ObservatoryError, match="unknown --metric"):
+        build_trend(base, metric="nonexistent")
+
+
+def test_missing_ledger_is_an_error(tmp_path):
+    with pytest.raises(ObservatoryError) as excinfo:
+        build_trend(tmp_path)
+    assert excinfo.value.exit_code == 2
+
+
+def test_render_empty_ledger():
+    envelope = {
+        "schema_version": TREND_SCHEMA_VERSION,
+        "kind": "trend",
+        "metric": "asn-rate-v4",
+        "lineages": [],
+    }
+    assert "nothing to trend" in render_trend(envelope)
+
+
+@pytest.mark.parametrize(
+    ("statuses", "expected"),
+    [
+        (["reached", "filtered"], "remediated"),
+        (["filtered", "reached"], "regressed"),
+        (["reached", "filtered", "reached"], "whac-a-mole"),
+        (["filtered", "reached", "filtered"], "whac-a-mole"),
+        (["reached", "reached"], "stable-open"),
+        (["filtered", "filtered"], "remediated"),
+        (["reached", "unknown", "filtered"], "remediated"),
+        (["unknown", "reached"], "stable-open"),
+    ],
+)
+def test_verdict_classification(statuses, expected):
+    assert _verdict(statuses) == expected

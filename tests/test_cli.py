@@ -272,3 +272,107 @@ def test_scan_topology_tiered_runs_the_pipeline(capsys, tmp_path):
                  "--topology", "star"]) == 2
     err = capsys.readouterr().err
     assert "topology: run has tiered, flag says star" in err
+
+
+@pytest.fixture(scope="module")
+def observatory_cli_base(tmp_path_factory):
+    """Two CLI-driven epochs in one ledger dir: same spec, new faults."""
+    from repro.netsim.faults import BurstLoss, FaultPlan
+
+    base = tmp_path_factory.mktemp("obs-cli")
+    for name, fault_seed in (("epoch-000", 3), ("epoch-001", 11)):
+        plan_path = base / f"plan-{fault_seed}.json"
+        FaultPlan(
+            seed=fault_seed,
+            name=f"loss-{fault_seed}",
+            clauses=[BurstLoss(rate=0.5)],
+        ).save(plan_path)
+        assert main(["scan", "--n-ases", "12", "--seed", "3",
+                     "--duration", "30", "--workers", "0", "--quiet",
+                     "--metrics", "--journal",
+                     "--faults", str(plan_path),
+                     "--run-dir", str(base / name),
+                     "--ledger", str(base)]) == 0
+    return base
+
+
+def test_scan_ledger_requires_run_dir(capsys):
+    assert main(["scan", "--n-ases", "12", "--ledger", "/tmp/x",
+                 "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "--ledger requires --run-dir" in err
+
+
+def test_ledger_command_lists_runs(capsys, observatory_cli_base):
+    import json as json_module
+
+    base = observatory_cli_base
+    assert main(["ledger", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "2 run(s) indexed" in out
+    assert "epoch-000" in out and "epoch-001" in out
+
+    assert main(["ledger", str(base), "--json"]) == 0
+    payload = json_module.loads(capsys.readouterr().out)
+    assert payload["kind"] == "ledger"
+    assert len(payload["rows"]) == 2
+
+
+def test_ledger_rebuild_matches_incremental(capsys, observatory_cli_base):
+    base = observatory_cli_base
+    before = (base / "ledger.json").read_bytes()
+    assert main(["ledger", str(base), "--rebuild"]) == 0
+    captured = capsys.readouterr()
+    assert "ledger rebuilt: 2 run(s)" in captured.err
+    assert (base / "ledger.json").read_bytes() == before
+
+
+def test_diff_command_flow(capsys, observatory_cli_base):
+    import json as json_module
+
+    base = observatory_cli_base
+    run_a, run_b = str(base / "epoch-000"), str(base / "epoch-001")
+
+    assert main(["diff", run_a, run_b, "--json"]) == 0
+    envelope = json_module.loads(capsys.readouterr().out)
+    assert envelope["kind"] == "run-diff"
+    assert envelope["empty"] is False
+    assert envelope["comparability"]["verdict"] == "comparable"
+
+    # Self-diff: empty envelope renders as *no* stdout at all.
+    assert main(["diff", run_a, run_a]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+
+    assert main(["diff", run_a, str(base / "nowhere")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_trend_command_flow(capsys, observatory_cli_base):
+    import json as json_module
+
+    base = observatory_cli_base
+    assert main(["trend", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "lineage" in out
+    assert "asn-rate-v4:" in out
+
+    assert main(["trend", str(base), "--json",
+                 "--metric", "probes-sent"]) == 0
+    envelope = json_module.loads(capsys.readouterr().out)
+    assert envelope["kind"] == "trend"
+    assert envelope["metric"] == "probes-sent"
+    assert envelope["lineages"][0]["runs"] == ["epoch-000", "epoch-001"]
+
+    assert main(["trend", str(base / "epoch-000")]) == 2
+    assert "ledger.json" in capsys.readouterr().err
+
+
+def test_watch_requires_run_artifacts(capsys, tmp_path):
+    """Satellite: watch on a non-run dir fails fast with exit 2."""
+    assert main(["watch", str(tmp_path), "--once"]) == 2
+    err = capsys.readouterr().err
+    assert "no manifest.json" in err
+
+    assert main(["watch", str(tmp_path / "gone"), "--once"]) == 2
+    assert "not a directory" in capsys.readouterr().err
