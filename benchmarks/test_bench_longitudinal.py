@@ -1,0 +1,136 @@
+"""Longitudinal campaign throughput and incremental-rescan payoff.
+
+Runs the same low-churn 6-epoch evolution campaign twice — once with
+the content-keyed shard cache disabled (every epoch re-executes every
+shard) and once with it enabled — and reports epochs per minute, the
+wall-time ratio, and the shard-reuse ratio.  The load-bearing contract
+asserted alongside the timings: the incremental campaign's per-epoch
+results digests and ledger digest are byte-identical to the full
+rescan's, i.e. the cache is an execution detail, never an answer
+change.
+
+The plan is deliberately low-churn (a few percent of ASes move per
+epoch) and the partition is ``modulo`` so shard membership is stable
+across epochs — the regime incremental rescans exist for.  Results
+land at ``BENCH_longitudinal.json`` in the repo root; wall times on
+shared hardware are noisy, so the assertions are the identity
+contracts, not perf floors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.campaigns import (
+    CampaignPolicy,
+    EvolutionPlan,
+    ResolverChurn,
+    SavRemediation,
+    SavRegression,
+    run_campaign,
+)
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec
+from repro.obs.ledger import ledger_digest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_longitudinal.json"
+
+SEED = 2019
+N_ASES = 80
+DURATION = 60.0
+SHARDS = 8
+EPOCHS = 6
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.from_scan_config(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=SHARDS,
+        partition="modulo",
+        config=ScanConfig(duration=DURATION),
+    )
+
+
+def _plan() -> EvolutionPlan:
+    return EvolutionPlan(
+        seed=5,
+        name="low-churn",
+        clauses=(
+            ResolverChurn(rate=0.02),
+            SavRemediation(rate=0.03),
+            SavRegression(rate=0.01),
+        ),
+    )
+
+
+def _digests(status: dict) -> list:
+    return [
+        entry["results_digest"]
+        for entry in status["schedule"]["epochs"]
+    ]
+
+
+def test_bench_longitudinal(emit, tmp_path):
+    start = time.perf_counter()
+    full = run_campaign(
+        _spec(), _plan(), EPOCHS, tmp_path / "full", workers=0,
+        policy=CampaignPolicy(incremental=False),
+    )
+    full_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    inc = run_campaign(
+        _spec(), _plan(), EPOCHS, tmp_path / "inc", workers=0,
+        policy=CampaignPolicy(incremental=True),
+    )
+    inc_wall = time.perf_counter() - start
+
+    assert _digests(full) == _digests(inc)
+    full_ledger = ledger_digest(
+        json.loads((tmp_path / "full" / "ledger.json").read_text())
+    )
+    inc_ledger = ledger_digest(
+        json.loads((tmp_path / "inc" / "ledger.json").read_text())
+    )
+    assert full_ledger == inc_ledger
+
+    hits = [
+        entry["cache_hits"] for entry in inc["schedule"]["epochs"]
+    ]
+    reusable = SHARDS * (EPOCHS - 1)  # epoch 0 always runs cold
+    reuse_ratio = sum(hits[1:]) / reusable
+    assert sum(hits[1:]) > 0, "low churn must reuse shards"
+
+    payload = {
+        "harness": (
+            f"seed={SEED}, n_ases={N_ASES}, shards={SHARDS} (modulo), "
+            f"ScanConfig(duration={DURATION}), {EPOCHS}-epoch "
+            "low-churn evolution campaign (churn 2%, remediation 3%, "
+            "regression 1%), run_campaign(workers=0)"
+        ),
+        "epochs": EPOCHS,
+        "full_rescan_wall_seconds": round(full_wall, 3),
+        "incremental_wall_seconds": round(inc_wall, 3),
+        "incremental_speedup": round(full_wall / inc_wall, 2),
+        "epochs_per_minute_full": round(EPOCHS / (full_wall / 60), 2),
+        "epochs_per_minute_incremental": round(
+            EPOCHS / (inc_wall / 60), 2
+        ),
+        "shard_cache_hits_per_epoch": hits,
+        "shard_reuse_ratio": round(reuse_ratio, 3),
+        "ledger_digest_identical": full_ledger == inc_ledger,
+        "results_digests_identical": _digests(full) == _digests(inc),
+        "target": (
+            "advisory-only: incremental must be byte-identical to "
+            "full rescan; reuse ratio > 0 under low churn"
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        "bench_longitudinal",
+        json.dumps(payload, indent=2),
+    )

@@ -1,0 +1,70 @@
+"""Longitudinal campaigns: scenario evolution + the epoch supervisor.
+
+:mod:`repro.campaigns.evolution` is import-light (scenario builders pull
+it in); :mod:`repro.campaigns.supervisor` imports the full pipeline, so
+it is exposed lazily to keep ``scenarios → campaigns.evolution`` free of
+the ``supervisor → core.pipeline → scenarios`` cycle.
+"""
+
+from .evolution import (
+    EVOLUTION_SCHEMA_VERSION,
+    AddressReassignment,
+    EpochAsState,
+    EvolutionError,
+    EvolutionPlan,
+    EvolutionView,
+    FaultCycle,
+    ResolverChurn,
+    SavRegression,
+    SavRemediation,
+    SoftwareDrift,
+    epoch_as_digest,
+    epoch_as_state,
+    evolve_spec,
+    lineage_key,
+    validate_evolution_payload,
+)
+
+_SUPERVISOR_NAMES = {
+    "SCHEDULE_SCHEMA_VERSION",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignError",
+    "CampaignPolicy",
+    "CampaignSupervisor",
+    "campaign_status",
+    "render_status",
+    "resume_campaign",
+    "run_campaign",
+}
+
+__all__ = sorted(
+    {
+        "EVOLUTION_SCHEMA_VERSION",
+        "AddressReassignment",
+        "EpochAsState",
+        "EvolutionError",
+        "EvolutionPlan",
+        "EvolutionView",
+        "FaultCycle",
+        "ResolverChurn",
+        "SavRegression",
+        "SavRemediation",
+        "SoftwareDrift",
+        "epoch_as_digest",
+        "epoch_as_state",
+        "evolve_spec",
+        "lineage_key",
+        "validate_evolution_payload",
+    }
+    | _SUPERVISOR_NAMES
+)
+
+
+def __getattr__(name):
+    if name in _SUPERVISOR_NAMES:
+        from . import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

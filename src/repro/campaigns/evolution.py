@@ -1,0 +1,583 @@
+"""Deterministic scenario evolution for longitudinal campaigns.
+
+"Whac-A-Mole: Six Years of DNS Spoofing" shows the interesting DSAV
+story is temporal: operators deploy filtering, regress, redeploy their
+resolver fleets, renumber.  This module models those processes as a
+versioned, serializable :class:`EvolutionPlan` composed of per-epoch
+transform clauses, with one hard contract:
+
+    **epoch N's scenario is a pure function of (base spec, plan, N).**
+
+No clause consumes shared RNG state across epochs.  Every transition is
+content-keyed via :func:`~repro.netsim.determinism.stable_fraction` on
+``(plan seed, clause index, epoch, asn, ...)``, so jumping straight to
+epoch N builds a world byte-identical to stepping through epochs
+0..N — which is what lets a crashed campaign resume anywhere, and what
+lets the incremental-rescan cache compare per-AS *state digests*
+(:func:`epoch_as_digest`) between epochs without building either
+scenario.
+
+Clause semantics:
+
+* :class:`SavRemediation` / :class:`SavRegression` — per-epoch, per-AS
+  chance (optionally per-tier) that the AS flips its DSAV posture.
+  Transitions are forced last-write-wins events independent of the
+  base state, so the effective override is computable without a build.
+* :class:`ResolverChurn` — per-epoch chance that an AS turns over its
+  entire resolver fleet (a new deployment generation: new counts,
+  kinds, addresses, ACLs).
+* :class:`SoftwareDrift` — per-epoch chance of a software refresh that
+  re-picks the resolver kind for a fraction of the AS's slots.
+* :class:`AddressReassignment` — per-epoch chance of renumbering a
+  fraction of the AS's resolver slots within its own prefixes.
+* :class:`FaultCycle` — re-seeds the campaign's fault plan every
+  ``stride`` epochs, modelling changing network weather between
+  measurement rounds without touching the scenario itself.
+
+A plan with zero clauses maps every epoch to the *unchanged* base
+spec — byte-identical, content key included (test-asserted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from random import Random
+from typing import Any
+
+from ..netsim.determinism import stable_fraction, stable_hash
+from ..netsim.faults import plan_digest
+
+#: Version of the serialized evolution-plan payload.
+EVOLUTION_SCHEMA_VERSION = 1
+
+__all__ = [
+    "EVOLUTION_SCHEMA_VERSION",
+    "AddressReassignment",
+    "EpochAsState",
+    "EvolutionError",
+    "EvolutionPlan",
+    "EvolutionView",
+    "FaultCycle",
+    "ResolverChurn",
+    "SavRegression",
+    "SavRemediation",
+    "SoftwareDrift",
+    "epoch_as_digest",
+    "epoch_as_state",
+    "evolve_spec",
+    "lineage_key",
+    "validate_evolution_payload",
+]
+
+
+class EvolutionError(ValueError):
+    """Raised for malformed evolution plans or payloads."""
+
+
+def _rate(name: str, value: Any) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise EvolutionError(f"{name} must be a number, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise EvolutionError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _tier_rates(name: str, value: Any) -> None:
+    if not isinstance(value, dict):
+        raise EvolutionError(f"{name} must be a dict of tier → rate")
+    for tier, rate in value.items():
+        if not str(tier).isdigit():
+            raise EvolutionError(f"{name} tier {tier!r} is not an int")
+        _rate(f"{name}[{tier}]", rate)
+
+
+# ---------------------------------------------------------------------------
+# clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SavClause:
+    """Shared shape of the two SAV-transition clauses.
+
+    ``tier_rates`` (JSON keys are strings) overrides ``rate`` per
+    topology tier — remediation concentrating in the transit core and
+    regression at the stub edge is the per-tier story the plan can
+    tell.  Star-topology worlds are all tier 3.
+    """
+
+    rate: float = 0.0
+    tier_rates: dict | None = None
+
+    def __post_init__(self) -> None:
+        _rate(f"{type(self).__name__}.rate", self.rate)
+        if self.tier_rates is not None:
+            _tier_rates(f"{type(self).__name__}.tier_rates", self.tier_rates)
+            # JSON object keys are strings; normalize so a plan built in
+            # Python with int tiers serializes (and digests) identically
+            # to one round-tripped through its payload.
+            object.__setattr__(
+                self,
+                "tier_rates",
+                {str(k): float(v) for k, v in self.tier_rates.items()},
+            )
+
+    def rate_for(self, tier: int) -> float:
+        if self.tier_rates is not None:
+            value = self.tier_rates.get(str(tier))
+            if value is not None:
+                return float(value)
+        return float(self.rate)
+
+
+@dataclass(frozen=True)
+class SavRemediation(_SavClause):
+    """An AS deploys DSAV filtering (forced ``lacking = False``)."""
+
+
+@dataclass(frozen=True)
+class SavRegression(_SavClause):
+    """An AS loses its DSAV filtering (forced ``lacking = True``)."""
+
+
+@dataclass(frozen=True)
+class ResolverChurn:
+    """Full resolver-fleet turnover: a new population generation."""
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _rate("ResolverChurn.rate", self.rate)
+
+
+@dataclass(frozen=True)
+class SoftwareDrift:
+    """Software refresh re-picking the kind of a fraction of slots."""
+
+    rate: float = 0.0
+    slot_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        _rate("SoftwareDrift.rate", self.rate)
+        _rate("SoftwareDrift.slot_fraction", self.slot_fraction)
+
+
+@dataclass(frozen=True)
+class AddressReassignment:
+    """Renumbering: a fraction of slots redraw their IPv4 address."""
+
+    rate: float = 0.0
+    slot_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        _rate("AddressReassignment.rate", self.rate)
+        _rate("AddressReassignment.slot_fraction", self.slot_fraction)
+
+
+@dataclass(frozen=True)
+class FaultCycle:
+    """Re-seed the campaign fault plan every ``stride`` epochs.
+
+    The scenario is untouched — only the packet-fate keys change, which
+    is exactly the "same world, different weather" epoch pair the diff
+    and trend tooling annotate as fault-only drift.
+    """
+
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stride, int) or self.stride < 1:
+            raise EvolutionError(
+                f"FaultCycle.stride must be a positive int, got "
+                f"{self.stride!r}"
+            )
+
+
+_CLAUSE_KINDS: dict[str, type] = {
+    "sav-remediation": SavRemediation,
+    "sav-regression": SavRegression,
+    "resolver-churn": ResolverChurn,
+    "software-drift": SoftwareDrift,
+    "address-reassignment": AddressReassignment,
+    "fault-cycle": FaultCycle,
+}
+_KIND_BY_CLASS = {cls: kind for kind, cls in _CLAUSE_KINDS.items()}
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+
+class EvolutionPlan:
+    """An ordered composition of per-epoch transform clauses."""
+
+    def __init__(self, seed: int = 0, name: str = "", clauses=()) -> None:
+        self.seed = int(seed)
+        self.name = str(name)
+        self.clauses = tuple(clauses)
+        for index, clause in enumerate(self.clauses):
+            if type(clause) not in _KIND_BY_CLASS:
+                raise EvolutionError(
+                    f"evolution clause {index}: {clause!r} is not a "
+                    f"known clause type"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EvolutionPlan):
+            return NotImplemented
+        return (
+            self.seed == other.seed
+            and self.name == other.name
+            and self.clauses == other.clauses
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seed, self.name, self.clauses))
+
+    def __repr__(self) -> str:
+        return (
+            f"EvolutionPlan(seed={self.seed}, name={self.name!r}, "
+            f"clauses={self.clauses!r})"
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        clauses = []
+        for clause in self.clauses:
+            payload: dict[str, Any] = {"kind": _KIND_BY_CLASS[type(clause)]}
+            payload.update(vars(clause))
+            clauses.append(payload)
+        return {
+            "schema_version": EVOLUTION_SCHEMA_VERSION,
+            "seed": self.seed,
+            "name": self.name,
+            "clauses": clauses,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "EvolutionPlan":
+        version = payload.get("schema_version")
+        if version != EVOLUTION_SCHEMA_VERSION:
+            raise EvolutionError(
+                f"evolution plan has schema_version={version!r}, this "
+                f"code reads version {EVOLUTION_SCHEMA_VERSION}"
+            )
+        clauses = []
+        for index, item in enumerate(payload.get("clauses", [])):
+            kind = item.get("kind")
+            clause_cls = _CLAUSE_KINDS.get(kind)
+            if clause_cls is None:
+                raise EvolutionError(
+                    f"evolution clause {index}: unknown kind {kind!r} "
+                    f"(known: {sorted(_CLAUSE_KINDS)})"
+                )
+            fields = {k: v for k, v in item.items() if k != "kind"}
+            try:
+                clauses.append(clause_cls(**fields))
+            except TypeError as exc:
+                raise EvolutionError(
+                    f"evolution clause {index} ({kind}): {exc}"
+                )
+        return cls(
+            seed=payload.get("seed", 0),
+            name=payload.get("name", ""),
+            clauses=clauses,
+        )
+
+    @classmethod
+    def load(cls, path) -> "EvolutionPlan":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise EvolutionError(f"{path}: not valid JSON ({exc})")
+        return cls.from_payload(payload)
+
+    def save(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=2) + "\n"
+        )
+
+    def digest(self) -> str:
+        """Content address (canonical-JSON sha256) of this plan."""
+        return plan_digest(self.to_payload())
+
+
+def validate_evolution_payload(payload: Any) -> None:
+    """Reject malformed ``{"plan": ..., "epoch": N}`` spec payloads."""
+    if not isinstance(payload, dict):
+        raise EvolutionError(
+            f"evolution payload must be a dict, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - {"plan", "epoch"}
+    if unknown:
+        raise EvolutionError(
+            f"evolution payload has unknown keys {sorted(unknown)}"
+        )
+    epoch = payload.get("epoch")
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        raise EvolutionError(
+            f"evolution epoch must be a non-negative int, got {epoch!r}"
+        )
+    EvolutionPlan.from_payload(payload.get("plan") or {})
+
+
+def lineage_key(base_scenario_key: str, plan: EvolutionPlan) -> str:
+    """Identity of a campaign's time series: base world × plan.
+
+    Every epoch of one campaign shares this key even though each epoch
+    has its own scenario content key — it is what the ledger, trend and
+    diff tooling group on.
+    """
+    canonical = json.dumps(
+        {"base": base_scenario_key, "plan": plan.digest()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# per-AS epoch state — the pure function the whole module exists for
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochAsState:
+    """Everything evolution changed about one AS by epoch N.
+
+    ``lacking_override`` is the last-write-wins outcome of all SAV
+    transition events in epochs 1..N (``None`` = base state stands).
+    ``pop_gen`` counts resolver-churn events (the population
+    generation).  ``gens`` holds one counter per plan clause: for
+    drift/reassignment clauses it counts events *since the last churn*
+    (a fleet turnover resets accumulated slot-level drift).  Equal
+    states ⇒ byte-identical AS content, which is the incremental-rescan
+    cache's correctness argument.
+    """
+
+    lacking_override: bool | None
+    pop_gen: int
+    gens: tuple[int, ...]
+
+
+def _event(plan: EvolutionPlan, index: int, kind: str,
+           epoch: int, asn: int, rate: float) -> bool:
+    """Did clause *index* fire for *asn* at *epoch*?  Content-keyed."""
+    if rate <= 0.0:
+        return False
+    return stable_fraction(
+        plan.seed, "evo", index, kind, epoch, asn
+    ) < rate
+
+
+def epoch_as_state(
+    plan: EvolutionPlan, epoch: int, asn: int, tier: int = 3
+) -> EpochAsState:
+    """State of *asn* at *epoch* — pure in ``(plan, epoch, asn, tier)``."""
+    clauses = list(enumerate(plan.clauses))
+    churn = [
+        (i, c) for i, c in clauses if isinstance(c, ResolverChurn)
+    ]
+    pop_gen = 0
+    last_churn = 0
+    for e in range(1, epoch + 1):
+        for index, clause in churn:
+            if _event(plan, index, "resolver-churn", e, asn, clause.rate):
+                pop_gen += 1
+                last_churn = e
+
+    lacking: bool | None = None
+    gens = []
+    for index, clause in clauses:
+        count = 0
+        if isinstance(clause, ResolverChurn):
+            for e in range(1, epoch + 1):
+                if _event(plan, index, "resolver-churn", e, asn,
+                          clause.rate):
+                    count += 1
+        elif isinstance(clause, (SoftwareDrift, AddressReassignment)):
+            kind = _KIND_BY_CLASS[type(clause)]
+            for e in range(last_churn + 1, epoch + 1):
+                if _event(plan, index, kind, e, asn, clause.rate):
+                    count += 1
+        gens.append(count)
+
+    for e in range(1, epoch + 1):
+        for index, clause in clauses:
+            if isinstance(clause, SavRemediation):
+                if _event(plan, index, "sav-remediation", e, asn,
+                          clause.rate_for(tier)):
+                    lacking = False
+            elif isinstance(clause, SavRegression):
+                if _event(plan, index, "sav-regression", e, asn,
+                          clause.rate_for(tier)):
+                    lacking = True
+
+    return EpochAsState(
+        lacking_override=lacking, pop_gen=pop_gen, gens=tuple(gens)
+    )
+
+
+def epoch_as_digest(
+    plan: EvolutionPlan, epoch: int, asn: int, tier: int = 3
+) -> int:
+    """64-bit digest of :func:`epoch_as_state` — the rescan cache key.
+
+    Two epochs where an AS digests equally build byte-identical AS
+    content (same SAV posture, same population generation, same
+    slot-level drift), so a shard whose member ASes all digest equally
+    can be served from the previous epoch's cached artifact.
+    """
+    state = epoch_as_state(plan, epoch, asn, tier)
+    code = -1 if state.lacking_override is None else int(
+        state.lacking_override
+    )
+    return stable_hash("evo-digest", code, state.pop_gen, *state.gens)
+
+
+# ---------------------------------------------------------------------------
+# the builder-side view
+# ---------------------------------------------------------------------------
+
+
+class _AsPopulation:
+    """Per-AS population handle handed to the resolver builder.
+
+    ``rng`` replaces the AS's population RNG stream: it is seeded from
+    the population *generation*, not from the builder's consumed
+    stream, so churn regenerates one AS without disturbing any other.
+    The slot hooks apply drift/renumbering overrides keyed purely on
+    ``(plan seed, clause, asn, slot, generation)``.
+    """
+
+    def __init__(self, view: "EvolutionView", asn: int,
+                 state: EpochAsState, host_in) -> None:
+        self._view = view
+        self._asn = asn
+        self._state = state
+        self._host_in = host_in
+        self.rng = Random(
+            stable_hash(view.plan.seed, "evo-pop", asn, state.pop_gen)
+        )
+
+    def _override(self, kinds: tuple[type, ...], tag: str, slot: int):
+        """Highest-indexed firing clause wins, mirroring payload order."""
+        plan = self._view.plan
+        hit = None
+        for index, clause in enumerate(plan.clauses):
+            if not isinstance(clause, kinds):
+                continue
+            gen = self._state.gens[index]
+            if gen == 0:
+                continue
+            roll = stable_fraction(
+                plan.seed, "evo", index, tag, self._asn, slot, gen
+            )
+            if roll < clause.slot_fraction:
+                hit = (index, gen)
+        return hit
+
+    def kind(self, slot: int, mix, default):
+        hit = self._override((SoftwareDrift,), "soft-slot", slot)
+        if hit is None:
+            return default
+        index, gen = hit
+        rng = Random(stable_hash(
+            self._view.plan.seed, "evo-kind", index, self._asn, slot, gen
+        ))
+        return rng.choices(mix, weights=[k.weight for k in mix], k=1)[0]
+
+    def v4_address(self, slot: int, prefixes, default):
+        hit = self._override((AddressReassignment,), "addr-slot", slot)
+        if hit is None:
+            return default
+        index, gen = hit
+        rng = Random(stable_hash(
+            self._view.plan.seed, "evo-addr", index, self._asn, slot, gen
+        ))
+        return self._host_in(rng.choice(prefixes), rng)
+
+
+class EvolutionView:
+    """One epoch's read-only view of a plan, as the builder consumes it."""
+
+    def __init__(self, plan: EvolutionPlan, epoch: int) -> None:
+        if epoch < 0:
+            raise EvolutionError(f"epoch must be >= 0, got {epoch}")
+        self.plan = plan
+        self.epoch = epoch
+        self._states: dict[tuple[int, int], EpochAsState] = {}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EvolutionView":
+        validate_evolution_payload(payload)
+        return cls(
+            EvolutionPlan.from_payload(payload.get("plan") or {}),
+            int(payload["epoch"]),
+        )
+
+    def state(self, asn: int, tier: int) -> EpochAsState:
+        key = (asn, tier)
+        if key not in self._states:
+            self._states[key] = epoch_as_state(
+                self.plan, self.epoch, asn, tier
+            )
+        return self._states[key]
+
+    def lacking(self, asn: int, tier: int, base: bool) -> bool:
+        override = self.state(asn, tier).lacking_override
+        return base if override is None else override
+
+    def roll(self, tag: str, asn: int) -> float:
+        """Epoch-invariant stable roll replacing a consumed-stream draw.
+
+        The legacy builder's martian/subnet-SAV draws short-circuit on
+        the DSAV outcome, so overriding DSAV would shift the per-AS RNG
+        stream (and, through the sequential address allocator, every
+        later AS).  In evolution mode those rolls come from here
+        instead — content-keyed, stream-free, identical at every epoch.
+        """
+        return stable_fraction(self.plan.seed, "evo-roll", tag, asn)
+
+    def population(self, asn: int, tier: int, host_in) -> _AsPopulation:
+        return _AsPopulation(self, asn, self.state(asn, tier), host_in)
+
+
+# ---------------------------------------------------------------------------
+# spec evolution
+# ---------------------------------------------------------------------------
+
+
+def evolve_spec(spec, plan: EvolutionPlan, epoch: int):
+    """Epoch *epoch*'s campaign spec — pure in ``(spec, plan, epoch)``.
+
+    *spec* is a :class:`~repro.core.pipeline.CampaignSpec` (any
+    dataclass with ``evolution`` and ``faults`` fields works).  A plan
+    with no clauses returns the base spec unchanged — byte-identical
+    payload and scenario content key, which is the steady-state
+    re-measurement campaign.  Otherwise the spec carries the full plan
+    payload plus the epoch index (folded into the scenario content
+    key), and any :class:`FaultCycle` clauses re-seed the fault plan.
+    """
+    if epoch < 0:
+        raise EvolutionError(f"epoch must be >= 0, got {epoch}")
+    if not plan.clauses:
+        return replace(spec, evolution=None)
+    faults = spec.faults
+    for index, clause in enumerate(plan.clauses):
+        if isinstance(clause, FaultCycle) and faults is not None:
+            seed = stable_hash(
+                plan.seed, "evo-fault", index, epoch // clause.stride
+            ) % 2**31
+            from ..netsim.faults import reseed_payload
+
+            faults = reseed_payload(faults, seed)
+    return replace(
+        spec,
+        evolution={"plan": plan.to_payload(), "epoch": epoch},
+        faults=faults,
+    )

@@ -1,0 +1,606 @@
+"""Epoch supervisor: crash-anywhere longitudinal campaigns.
+
+A longitudinal campaign runs one evolved scenario per epoch — epoch N's
+spec is :func:`~repro.campaigns.evolution.evolve_spec` of the base spec,
+which is a pure function of ``(base, plan, N)`` — into one campaign
+directory that doubles as the cross-run ledger.  The supervisor's job is
+to make the whole campaign *resumable from any instant*: a SIGKILL
+mid-epoch, mid-ledger-append, or mid-schedule-write must leave a
+directory that ``resume_campaign`` drives to a final ledger whose
+:func:`~repro.obs.ledger.ledger_digest` is byte-identical to an
+uninterrupted run's.
+
+The mechanism is a write-ahead schedule (``schedule.json``): every
+status transition is persisted — fsynced, whole-file, write-then-rename
+— *before* the work it describes, so on resume the schedule never
+claims more progress than the artifacts on disk can back.  The
+transitions are chosen so every crash window is safe:
+
+* ``pending → running`` is written before the epoch's pipeline starts;
+  re-entering a ``running`` epoch resumes its run directory, whose own
+  stage artifacts are checksummed and individually resumable.
+* Degradation decisions (deadline exceeded → sampled-AS subset) are
+  made **once**, while the epoch is still ``pending``, and recorded in
+  the same write that marks it ``running`` — resume honors the recorded
+  decision instead of re-deciding with a different wall clock.
+* ``running → done`` is written only after the pipeline has appended
+  the epoch's ledger row; the append is insert-or-replace keyed on the
+  run name and derived purely from on-disk artifacts, so the crash
+  window between "ledger appended" and "done recorded" merely repeats
+  an idempotent append.
+
+Campaign layout (everything under one directory)::
+
+    campaign.json    identity: base spec, plan, epoch count, policy
+    schedule.json    the write-ahead schedule (one entry per epoch)
+    ledger.json      cross-run ledger (epoch rows; pipeline-appended)
+    epoch-NNN/       one pipeline run directory per epoch
+    shardcache/      content-keyed shard results for incremental rescans
+    quarantine/      run directories that failed their trust checks
+
+Failure policy: each epoch gets ``max_attempts`` tries with exponential
+backoff; corrupt artifacts are quarantined (single files by the
+pipeline's checksum layer, whole run directories by the supervisor when
+the manifest itself cannot be trusted) and regenerated on retry.  When
+an epoch exhausts its attempts the campaign either ``abort``\\ s (exit
+code 1, resumable later) or ``skip``\\ s it — marked ``skipped`` in the
+schedule so the gap is explicit, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.pipeline import (
+    CampaignSpec,
+    PipelineError,
+    PipelineOutcome,
+    run_pipeline,
+)
+from ..obs.ledger import ledger_digest, results_digest
+from .evolution import EvolutionPlan, evolve_spec
+
+#: Version of the ``schedule.json`` write-ahead schedule.
+SCHEDULE_SCHEMA_VERSION = 1
+
+#: Version of the ``campaign.json`` identity record.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+_SCHEDULE_STATUSES = ("pending", "running", "done", "failed", "skipped")
+
+
+class CampaignError(RuntimeError):
+    """A campaign cannot proceed; maps to CLI exit 1 (resumable)."""
+
+    exit_code = 1
+
+
+@dataclass(frozen=True)
+class CampaignPolicy:
+    """Failure-handling and degradation knobs for one campaign.
+
+    ``failure_policy`` decides what happens when an epoch exhausts its
+    ``max_attempts``: ``"abort"`` stops the campaign (resumable),
+    ``"skip"`` marks the epoch ``skipped`` and moves on.  ``backoff``
+    seconds (doubled per attempt) separate retries.  ``deadline`` is a
+    wall-clock budget in seconds: once elapsed, epochs not yet started
+    are degraded to a deterministic sampled-AS subset (``degrade_rate``
+    of ASes, seeded by the base spec) instead of being dropped — the
+    degradation is recorded in both the schedule and the epoch's
+    provenance.  ``incremental`` enables the content-keyed shard cache
+    so epochs re-execute only the shards whose AS inputs evolved.
+    """
+
+    failure_policy: str = "abort"
+    max_attempts: int = 3
+    backoff: float = 0.0
+    deadline: float | None = None
+    degrade_rate: float = 0.25
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failure_policy not in ("abort", "skip"):
+            raise ValueError(
+                f"failure_policy must be 'abort' or 'skip', got "
+                f"{self.failure_policy!r}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        if not 0 < self.degrade_rate <= 1:
+            raise ValueError("degrade_rate must be in (0, 1]")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "failure_policy": self.failure_policy,
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "deadline": self.deadline,
+            "degrade_rate": self.degrade_rate,
+            "incremental": self.incremental,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CampaignPolicy":
+        return cls(
+            failure_policy=payload.get("failure_policy", "abort"),
+            max_attempts=int(payload.get("max_attempts", 3)),
+            backoff=float(payload.get("backoff", 0.0)),
+            deadline=(
+                None
+                if payload.get("deadline") is None
+                else float(payload["deadline"])
+            ),
+            degrade_rate=float(payload.get("degrade_rate", 0.25)),
+            incremental=bool(payload.get("incremental", True)),
+        )
+
+
+def _fsync_write_json(path: Path, payload: dict[str, Any]) -> None:
+    """Whole-file durable write: tmp + fsync + rename + dir fsync.
+
+    The pipeline's ``_write_json`` is atomic (rename) but not durable
+    (no fsync) — fine for artifacts that resume can regenerate, not for
+    the write-ahead schedule whose whole point is surviving the crash
+    that follows it.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _epoch_dir_name(epoch: int) -> str:
+    return f"epoch-{epoch:03d}"
+
+
+class CampaignSupervisor:
+    """Drives one campaign directory through its epochs.
+
+    Construct via :func:`run_campaign` (new campaign) or
+    :func:`resume_campaign` (existing directory); both funnel into
+    :meth:`drive`, which walks the write-ahead schedule and runs every
+    epoch that is not already ``done`` or ``skipped``.
+    """
+
+    def __init__(
+        self,
+        base: Path,
+        spec: CampaignSpec,
+        plan: EvolutionPlan,
+        epochs: int,
+        policy: CampaignPolicy,
+        *,
+        workers: int | None = None,
+        echo: Callable[[str], None] | None = None,
+    ) -> None:
+        if epochs < 1:
+            raise CampaignError("a campaign needs at least one epoch")
+        if spec.evolution is not None:
+            raise CampaignError(
+                "the base spec must not carry an evolution block — the "
+                "supervisor stamps one per epoch"
+            )
+        self.base = Path(base)
+        self.spec = spec
+        self.plan = plan
+        self.epochs = int(epochs)
+        self.policy = policy
+        self.workers = workers
+        self.echo = echo or (lambda line: None)
+
+    # -- identity and schedule persistence ------------------------------
+
+    @property
+    def campaign_path(self) -> Path:
+        return self.base / "campaign.json"
+
+    @property
+    def schedule_path(self) -> Path:
+        return self.base / "schedule.json"
+
+    def campaign_payload(self) -> dict[str, Any]:
+        return {
+            "schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "kind": "campaign",
+            "spec": self.spec.to_payload(),
+            "plan": self.plan.to_payload(),
+            "epochs": self.epochs,
+            "policy": self.policy.to_payload(),
+        }
+
+    def bind(self) -> None:
+        """Record the campaign identity, or verify it matches.
+
+        A campaign directory belongs to exactly one (spec, plan,
+        epochs) triple; re-entering it with different parameters would
+        mix epochs from two different longitudinal studies.  The
+        *policy* is runtime control, not identity — resuming with a
+        longer deadline or a different failure policy is legitimate, so
+        a changed policy is re-recorded rather than refused.
+        """
+        if self.campaign_path.exists():
+            recorded = json.loads(self.campaign_path.read_text())
+            mine = self.campaign_payload()
+            for key in ("spec", "plan", "epochs"):
+                if recorded.get(key) != mine[key]:
+                    raise CampaignError(
+                        f"{self.campaign_path} records a different "
+                        f"campaign ({key} differs) — refusing to mix "
+                        "epochs from two studies in one directory"
+                    )
+            if recorded.get("policy") != mine["policy"]:
+                _fsync_write_json(self.campaign_path, mine)
+            return
+        _fsync_write_json(self.campaign_path, self.campaign_payload())
+
+    def load_schedule(self) -> dict[str, Any]:
+        if not self.schedule_path.exists():
+            return {
+                "schema_version": SCHEDULE_SCHEMA_VERSION,
+                "kind": "campaign-schedule",
+                "epochs": [
+                    {
+                        "epoch": epoch,
+                        "status": "pending",
+                        "attempts": 0,
+                        "run_dir": _epoch_dir_name(epoch),
+                        "degraded": None,
+                        "results_digest": None,
+                        "cache_hits": None,
+                        "error": None,
+                    }
+                    for epoch in range(self.epochs)
+                ],
+            }
+        try:
+            payload = json.loads(self.schedule_path.read_text())
+        except ValueError as exc:
+            raise CampaignError(
+                f"{self.schedule_path} is not valid JSON ({exc}) — the "
+                "schedule cannot be trusted; restore it or restart the "
+                "campaign in a fresh directory"
+            ) from exc
+        version = payload.get("schema_version")
+        if version != SCHEDULE_SCHEMA_VERSION:
+            raise CampaignError(
+                f"{self.schedule_path} has schema_version={version!r}, "
+                f"this code reads version {SCHEDULE_SCHEMA_VERSION}"
+            )
+        entries = payload.get("epochs", [])
+        if len(entries) != self.epochs:
+            raise CampaignError(
+                f"{self.schedule_path} schedules {len(entries)} "
+                f"epoch(s), campaign declares {self.epochs}"
+            )
+        for entry in entries:
+            if entry.get("status") not in _SCHEDULE_STATUSES:
+                raise CampaignError(
+                    f"{self.schedule_path} has an unknown status "
+                    f"{entry.get('status')!r} for epoch "
+                    f"{entry.get('epoch')}"
+                )
+        return payload
+
+    def save_schedule(self, payload: dict[str, Any]) -> None:
+        _fsync_write_json(self.schedule_path, payload)
+
+    # -- epoch execution -------------------------------------------------
+
+    def epoch_spec(self, entry: dict[str, Any]) -> CampaignSpec:
+        spec = evolve_spec(self.spec, self.plan, int(entry["epoch"]))
+        if entry.get("degraded"):
+            spec = replace(spec, asn_sample=dict(entry["degraded"]))
+        return spec
+
+    def _untrusted(self, run_dir: Path, entry: dict[str, Any]) -> bool:
+        """Whether *run_dir*'s manifest cannot anchor a resume.
+
+        True when the manifest is unparseable or records a spec other
+        than this epoch's — retrying in place would fail identically
+        forever, so the whole directory must be quarantined.  A missing
+        manifest is fine (the retry binds a fresh one).
+        """
+        manifest = run_dir / "manifest.json"
+        if not manifest.exists():
+            return False
+        try:
+            payload = json.loads(manifest.read_text())
+            recorded = CampaignSpec.from_payload(payload["spec"])
+        except (ValueError, KeyError, TypeError):
+            return True
+        return recorded != self.epoch_spec(entry)
+
+    def _quarantine_run_dir(self, run_dir: Path, attempt: int) -> Path:
+        aside = self.base / "quarantine" / (
+            f"{run_dir.name}.attempt-{attempt}"
+        )
+        aside.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(run_dir, aside)
+        return aside
+
+    def _attempt(self, entry: dict[str, Any]) -> PipelineOutcome:
+        run_dir = self.base / entry["run_dir"]
+        shard_cache = (
+            self.base / "shardcache" if self.policy.incremental else None
+        )
+        return run_pipeline(
+            self.epoch_spec(entry),
+            run_dir=run_dir,
+            workers=self.workers,
+            ledger=self.base,
+            shard_cache=shard_cache,
+        )
+
+    def _run_epoch(
+        self, schedule: dict[str, Any], entry: dict[str, Any], started: float
+    ) -> None:
+        """Drive one epoch to ``done`` or ``skipped`` (or raise)."""
+        epoch = int(entry["epoch"])
+        while True:
+            if entry["status"] == "pending" and entry["degraded"] is None:
+                # The degrade decision is made exactly once, before the
+                # epoch first runs, and persisted with the `running`
+                # mark below — a resumed campaign replays the recorded
+                # decision instead of consulting a different clock.
+                over_budget = (
+                    self.policy.deadline is not None
+                    and time.monotonic() - started >= self.policy.deadline
+                )
+                if over_budget:
+                    entry["degraded"] = {
+                        "rate": self.policy.degrade_rate,
+                        "seed": self.spec.seed,
+                    }
+                    self.echo(
+                        f"epoch {epoch}: wall budget exhausted — "
+                        f"degrading to a "
+                        f"{self.policy.degrade_rate:.0%} AS sample"
+                    )
+            entry["status"] = "running"
+            entry["attempts"] = int(entry["attempts"]) + 1
+            entry["error"] = None
+            self.save_schedule(schedule)
+            try:
+                outcome = self._attempt(entry)
+            except (PipelineError, ValueError, OSError) as exc:
+                entry["status"] = "failed"
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                self.save_schedule(schedule)
+                run_dir = self.base / entry["run_dir"]
+                if run_dir.is_dir() and self._untrusted(run_dir, entry):
+                    # The run directory's trust root (its manifest) is
+                    # unreadable or records a different spec: move the
+                    # whole directory aside so the retry starts clean.
+                    # Single corrupt stage artifacts were already
+                    # quarantined in place by the pipeline's checksum
+                    # layer and regenerate on retry.
+                    aside = self._quarantine_run_dir(
+                        run_dir, int(entry["attempts"])
+                    )
+                    self.echo(
+                        f"epoch {epoch}: quarantined untrusted run "
+                        f"directory to {aside}"
+                    )
+                if int(entry["attempts"]) >= self.policy.max_attempts:
+                    if self.policy.failure_policy == "skip":
+                        entry["status"] = "skipped"
+                        self.save_schedule(schedule)
+                        self.echo(
+                            f"epoch {epoch}: skipped after "
+                            f"{entry['attempts']} attempt(s) — {exc}"
+                        )
+                        return
+                    raise CampaignError(
+                        f"epoch {epoch} failed after "
+                        f"{entry['attempts']} attempt(s): {exc} — fix "
+                        f"the cause and `repro-dsav campaign resume "
+                        f"{self.base}`"
+                    ) from exc
+                delay = self.policy.backoff * (
+                    2 ** (int(entry["attempts"]) - 1)
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                self.echo(
+                    f"epoch {epoch}: attempt {entry['attempts']} "
+                    f"failed ({exc}); retrying"
+                )
+                continue
+            # The pipeline has already appended this epoch's ledger row
+            # (idempotently), so `done` never gets ahead of the ledger.
+            entry["results_digest"] = results_digest(outcome.results)
+            entry["cache_hits"] = len(outcome.cache_hits)
+            entry["status"] = "done"
+            entry["error"] = None
+            self.save_schedule(schedule)
+            self.echo(
+                f"epoch {epoch}: done "
+                f"({entry['cache_hits']} shard(s) from cache)"
+            )
+            return
+
+    def drive(self) -> dict[str, Any]:
+        """Run every unfinished epoch; returns the final status payload."""
+        self.base.mkdir(parents=True, exist_ok=True)
+        self.bind()
+        schedule = self.load_schedule()
+        # Persist the initial schedule before any epoch runs so a crash
+        # during epoch 0 still finds a schedule to resume from.
+        self.save_schedule(schedule)
+        started = time.monotonic()
+        for entry in schedule["epochs"]:
+            if entry["status"] in ("done", "skipped"):
+                continue
+            self._run_epoch(schedule, entry, started)
+        return campaign_status(self.base)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    plan: EvolutionPlan,
+    epochs: int,
+    campaign_dir,
+    *,
+    policy: CampaignPolicy | None = None,
+    workers: int | None = None,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run (or continue) a longitudinal campaign in *campaign_dir*.
+
+    Re-invoking over an existing directory with the same spec, plan,
+    and epoch count continues where the schedule left off — the normal
+    way to extend a crashed campaign is :func:`resume_campaign`, which
+    reloads those from ``campaign.json``.
+    """
+    supervisor = CampaignSupervisor(
+        campaign_dir,
+        spec,
+        plan,
+        epochs,
+        policy or CampaignPolicy(),
+        workers=workers,
+        echo=echo,
+    )
+    return supervisor.drive()
+
+
+def resume_campaign(
+    campaign_dir,
+    *,
+    policy: CampaignPolicy | None = None,
+    workers: int | None = None,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Resume the campaign recorded in *campaign_dir*.
+
+    Spec, plan, and epoch count come from ``campaign.json``; *policy*
+    optionally overrides the recorded one (e.g. a longer deadline for
+    the retry).
+    """
+    base = Path(campaign_dir)
+    path = base / "campaign.json"
+    if not path.exists():
+        raise CampaignError(
+            f"{path} not found — not a campaign directory (start one "
+            "with `repro-dsav campaign run`)"
+        )
+    try:
+        recorded = json.loads(path.read_text())
+    except ValueError as exc:
+        raise CampaignError(
+            f"{path} is not valid JSON ({exc}) — the campaign cannot "
+            "be trusted"
+        ) from exc
+    version = recorded.get("schema_version")
+    if version != CAMPAIGN_SCHEMA_VERSION:
+        raise CampaignError(
+            f"{path} has schema_version={version!r}, this code reads "
+            f"version {CAMPAIGN_SCHEMA_VERSION}"
+        )
+    supervisor = CampaignSupervisor(
+        base,
+        CampaignSpec.from_payload(recorded["spec"]),
+        EvolutionPlan.from_payload(recorded["plan"]),
+        int(recorded["epochs"]),
+        (
+            policy
+            if policy is not None
+            else CampaignPolicy.from_payload(recorded.get("policy", {}))
+        ),
+        workers=workers,
+        echo=echo,
+    )
+    return supervisor.drive()
+
+
+def campaign_status(campaign_dir) -> dict[str, Any]:
+    """Snapshot of a campaign directory: identity, schedule, ledger."""
+    base = Path(campaign_dir)
+    campaign_path = base / "campaign.json"
+    if not campaign_path.exists():
+        raise CampaignError(
+            f"{campaign_path} not found — not a campaign directory"
+        )
+    campaign = json.loads(campaign_path.read_text())
+    schedule_path = base / "schedule.json"
+    if schedule_path.exists():
+        schedule = json.loads(schedule_path.read_text())
+    else:
+        schedule = {
+            "schema_version": SCHEDULE_SCHEMA_VERSION,
+            "kind": "campaign-schedule",
+            "epochs": [],
+        }
+    counts = {status: 0 for status in _SCHEDULE_STATUSES}
+    for entry in schedule.get("epochs", []):
+        counts[entry.get("status", "pending")] += 1
+    ledger_path = base / "ledger.json"
+    digest = None
+    if ledger_path.exists():
+        try:
+            digest = ledger_digest(json.loads(ledger_path.read_text()))
+        except ValueError:
+            digest = None
+    return {
+        "campaign_dir": str(base),
+        "campaign": campaign,
+        "schedule": schedule,
+        "counts": counts,
+        "ledger_digest": digest,
+    }
+
+
+def render_status(payload: dict[str, Any]) -> str:
+    """Human-readable campaign status table."""
+    campaign = payload["campaign"]
+    counts = payload["counts"]
+    plan = campaign.get("plan", {})
+    lines = [
+        f"campaign {payload['campaign_dir']}: "
+        f"{campaign.get('epochs')} epoch(s), plan "
+        f"{plan.get('name') or '(unnamed)'} "
+        f"[{len(plan.get('clauses', []))} clause(s)]",
+        "  "
+        + ", ".join(
+            f"{counts[status]} {status}"
+            for status in _SCHEDULE_STATUSES
+            if counts[status]
+        ),
+    ]
+    for entry in payload["schedule"].get("epochs", []):
+        flags = []
+        if entry.get("degraded"):
+            flags.append(
+                f"degraded rate={entry['degraded'].get('rate')}"
+            )
+        if entry.get("cache_hits"):
+            flags.append(f"{entry['cache_hits']} cached shard(s)")
+        if entry.get("error"):
+            flags.append(entry["error"])
+        suffix = f" ({'; '.join(flags)})" if flags else ""
+        digest = entry.get("results_digest")
+        short = f" {digest[:12]}…" if digest else ""
+        lines.append(
+            f"  epoch {entry['epoch']:>3} {entry['status']:<8} "
+            f"attempts={entry['attempts']}{short}{suffix}"
+        )
+    if payload.get("ledger_digest"):
+        lines.append(f"  ledger digest {payload['ledger_digest'][:16]}…")
+    return "\n".join(lines)

@@ -437,6 +437,102 @@ def cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .campaigns import (
+        CampaignError,
+        CampaignPolicy,
+        EvolutionPlan,
+        campaign_status,
+        render_status,
+        resume_campaign,
+        run_campaign,
+    )
+    from .core.pipeline import CampaignSpec, PipelineError
+    from .obs.ledger import ObservatoryError
+
+    def echo(message: str) -> None:
+        if not getattr(args, "quiet", False):
+            print(message, file=sys.stderr)
+
+    try:
+        if args.campaign_cmd == "status":
+            payload = campaign_status(args.campaign_dir)
+            if args.json:
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(render_status(payload))
+            return 0
+        if args.campaign_cmd == "resume":
+            payload = resume_campaign(
+                args.campaign_dir, workers=args.workers, echo=echo
+            )
+            print(render_status(payload))
+            return 0
+        try:
+            plan = EvolutionPlan.load(args.plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: --plan {args.plan}: {exc}", file=sys.stderr)
+            return 2
+        faults_payload = None
+        if args.faults is not None:
+            from .netsim.faults import FaultPlan
+
+            try:
+                faults_payload = FaultPlan.load(args.faults).to_payload()
+            except (OSError, ValueError) as exc:
+                print(
+                    f"error: --faults {args.faults}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        topology_payload = None
+        if args.topology == "tiered":
+            from .netsim.topology import TopologySpec
+
+            topology_payload = TopologySpec().to_payload()
+        spec = CampaignSpec.from_scan_config(
+            seed=args.seed,
+            n_ases=args.n_ases,
+            shards=args.shards,
+            config=ScanConfig(duration=args.duration),
+            partition=args.partition,
+            faults=faults_payload,
+            topology=topology_payload,
+        )
+        policy = CampaignPolicy(
+            failure_policy=args.failure_policy,
+            max_attempts=args.max_attempts,
+            backoff=args.backoff,
+            deadline=args.deadline,
+            degrade_rate=args.degrade_rate,
+            incremental=not args.no_incremental,
+        )
+        payload = run_campaign(
+            spec,
+            plan,
+            args.epochs,
+            args.campaign_dir,
+            policy=policy,
+            workers=args.workers,
+            echo=echo,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (CampaignError, PipelineError, ObservatoryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    print(render_status(payload))
+    echo(
+        f"compare epochs with `repro-dsav trend {args.campaign_dir}` "
+        f"or `repro-dsav diff {args.campaign_dir}/epoch-000 "
+        f"{args.campaign_dir}/epoch-001`"
+    )
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     import json as _json
     from pathlib import Path
@@ -862,6 +958,102 @@ def build_parser() -> argparse.ArgumentParser:
         "refusing (exit 2)",
     )
     diff.set_defaults(func=cmd_diff)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="crash-anywhere longitudinal campaigns: one evolved "
+        "scenario per epoch, driven by a write-ahead schedule",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_cmd", required=True
+    )
+    camp_run = campaign_sub.add_parser(
+        "run",
+        help="run a longitudinal campaign: N epochs of an evolving "
+        "scenario into one campaign/ledger directory",
+    )
+    camp_run.add_argument("campaign_dir", metavar="DIR")
+    camp_run.add_argument(
+        "--plan", required=True, metavar="FILE",
+        help="evolution plan JSON (see examples/evolution/) — per-"
+        "epoch resolver churn, SAV remediation/regression, software "
+        "drift, address reassignment",
+    )
+    camp_run.add_argument(
+        "--epochs", type=int, required=True, metavar="N",
+        help="number of epochs to schedule",
+    )
+    camp_run.add_argument("--seed", type=int, default=2019)
+    camp_run.add_argument("--n-ases", type=int, default=120)
+    camp_run.add_argument(
+        "--duration", type=float, default=180.0, metavar="SECONDS",
+        help="simulated scan duration per epoch",
+    )
+    camp_run.add_argument("--shards", type=int, default=1)
+    camp_run.add_argument(
+        "--partition", choices=("weighted", "modulo"), default="weighted",
+        help="shard partition scheme; 'modulo' keeps shard membership "
+        "stable across epochs, maximizing incremental-rescan reuse",
+    )
+    camp_run.add_argument(
+        "--topology", choices=("star", "tiered"), default="star",
+    )
+    camp_run.add_argument(
+        "--faults", default=None, metavar="FILE",
+        help="fault plan applied to every epoch (reseeded per epoch "
+        "by any fault-cycle clause in the evolution plan)",
+    )
+    camp_run.add_argument("--workers", type=int, default=None)
+    camp_run.add_argument(
+        "--failure-policy", choices=("abort", "skip"), default="abort",
+        help="what to do when an epoch exhausts its attempts: abort "
+        "the campaign (resumable) or mark it skipped and continue",
+    )
+    camp_run.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per epoch before the failure policy applies",
+    )
+    camp_run.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base retry delay, doubled per attempt",
+    )
+    camp_run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget: once exceeded, later epochs degrade "
+        "to a deterministic sampled-AS subset instead of running full "
+        "(recorded in schedule and provenance)",
+    )
+    camp_run.add_argument(
+        "--degrade-rate", type=float, default=0.25, metavar="RATE",
+        help="fraction of ASes a degraded epoch still scans",
+    )
+    camp_run.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the content-keyed shard cache (every epoch "
+        "re-executes every shard)",
+    )
+    camp_run.add_argument("--quiet", action="store_true")
+    camp_run.set_defaults(func=cmd_campaign)
+    camp_resume = campaign_sub.add_parser(
+        "resume",
+        help="resume a crashed or aborted campaign from its "
+        "write-ahead schedule",
+    )
+    camp_resume.add_argument("campaign_dir", metavar="DIR")
+    camp_resume.add_argument("--workers", type=int, default=None)
+    camp_resume.add_argument("--quiet", action="store_true")
+    camp_resume.set_defaults(func=cmd_campaign)
+    camp_status = campaign_sub.add_parser(
+        "status",
+        help="show a campaign's schedule, per-epoch digests, and "
+        "ledger digest",
+    )
+    camp_status.add_argument("campaign_dir", metavar="DIR")
+    camp_status.add_argument(
+        "--json", action="store_true",
+        help="emit the status payload as JSON",
+    )
+    camp_status.set_defaults(func=cmd_campaign)
 
     trend = sub.add_parser(
         "trend",

@@ -222,6 +222,16 @@ class Campaign:
     #: of the same scenario under different fault seeds are
     #: distinguishable from the artifacts alone.
     faults: dict | None = None
+    #: longitudinal lineage of a campaign epoch (``plan_digest`` /
+    #: ``epoch`` / ``base_scenario_key`` / ``lineage``), or ``None``
+    #: outside evolution campaigns — absent from provenance entirely so
+    #: non-campaign results stay byte-identical to earlier releases.
+    evolution: dict | None = None
+    #: deterministic AS-sampling spec applied to the target list when a
+    #: campaign deadline degraded this epoch, or ``None``.  Recorded
+    #: under ``provenance["degraded"]`` so sampled epochs are flagged
+    #: in the artifacts themselves.
+    sample: dict | None = None
     results: CampaignResults = field(init=False)
 
     def __post_init__(self) -> None:
@@ -462,6 +472,10 @@ class Campaign:
                 plan_digest(self.faults) if self.faults else None
             ),
         }
+        if self.evolution is not None:
+            provenance["evolution"] = dict(self.evolution)
+        if self.sample is not None:
+            provenance["degraded"] = {"asn_sample": dict(self.sample)}
         if self.metadata.retry_enabled or self.metadata.fault_clauses:
             provenance["resilience"] = {
                 "retry_enabled": self.metadata.retry_enabled,

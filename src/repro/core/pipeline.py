@@ -71,10 +71,11 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..netsim.determinism import stable_fraction
 from ..netsim.faults import FaultPlan, ShardCrashInjected
 from ..netsim.topology import TopologySpec
 from ..obs.export import telemetry_payload, write_telemetry
@@ -173,6 +174,16 @@ class CampaignSpec:
     #: hence the scenario content key), so shards and resumes build the
     #: same world.
     topology: dict[str, Any] | None = None
+    #: longitudinal evolution payload ``{"plan": <EvolutionPlan
+    #: payload>, "epoch": N}``, or ``None`` outside campaigns.  Folded
+    #: into the scenario content key (epoch N is a different world),
+    #: while ``None`` leaves legacy keys untouched.
+    evolution: dict[str, Any] | None = None
+    #: deterministic AS sampling ``{"rate": f, "seed": s}`` applied to
+    #: the target list, or ``None`` for the full population.  The
+    #: campaign supervisor sets this when a wall-clock deadline degrades
+    #: late epochs to a subset instead of dying; recorded in provenance.
+    asn_sample: dict[str, Any] | None = None
     scan: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -189,6 +200,21 @@ class CampaignSpec:
             FaultPlan.from_payload(self.faults)
         if self.topology is not None:
             TopologySpec.from_payload(self.topology)
+        if self.evolution is not None:
+            from ..campaigns.evolution import validate_evolution_payload
+
+            validate_evolution_payload(self.evolution)
+        if self.asn_sample is not None:
+            rate = self.asn_sample.get("rate")
+            seed = self.asn_sample.get("seed")
+            if not isinstance(rate, (int, float)) or not 0 < rate <= 1:
+                raise ValueError(
+                    f"asn_sample rate must be in (0, 1], got {rate!r}"
+                )
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ValueError(
+                    f"asn_sample seed must be an int, got {seed!r}"
+                )
 
     @classmethod
     def from_scan_config(
@@ -204,6 +230,8 @@ class CampaignSpec:
         stream: bool = False,
         faults: dict[str, Any] | None = None,
         topology: dict[str, Any] | None = None,
+        evolution: dict[str, Any] | None = None,
+        asn_sample: dict[str, Any] | None = None,
     ) -> "CampaignSpec":
         return cls(
             seed=seed,
@@ -215,6 +243,8 @@ class CampaignSpec:
             stream=stream,
             faults=faults,
             topology=topology,
+            evolution=evolution,
+            asn_sample=asn_sample,
             scan=asdict(config),
         )
 
@@ -232,7 +262,10 @@ class CampaignSpec:
             else None
         )
         return ScenarioParams(
-            seed=self.seed, n_ases=self.n_ases, topology=topology
+            seed=self.seed,
+            n_ases=self.n_ases,
+            topology=topology,
+            evolution=self.evolution,
         )
 
     def fault_plan(self) -> FaultPlan | None:
@@ -257,6 +290,10 @@ class CampaignSpec:
             payload["faults"] = dict(self.faults)
         if self.topology is not None:
             payload["topology"] = dict(self.topology)
+        if self.evolution is not None:
+            payload["evolution"] = dict(self.evolution)
+        if self.asn_sample is not None:
+            payload["asn_sample"] = dict(self.asn_sample)
         return payload
 
     @classmethod
@@ -275,6 +312,8 @@ class CampaignSpec:
             stream=payload.get("stream", False),
             faults=payload.get("faults"),
             topology=payload.get("topology"),
+            evolution=payload.get("evolution"),
+            asn_sample=payload.get("asn_sample"),
             scan=dict(payload["scan"]),
         )
 
@@ -788,7 +827,8 @@ def run_scan_shard(
                     targets=[
                         t
                         for t in full.targets
-                        if (
+                        if _sample_keeps(spec.asn_sample, t.asn)
+                        and (
                             t.asn in members
                             if members is not None
                             else t.asn % spec.shards == shard_id
@@ -1007,6 +1047,189 @@ def _split_budget(budget: int, weights: list[int]) -> list[int]:
     for _, index in sorted(remainders)[:leftover]:
         shares[index] += 1
     return shares
+
+
+def _sample_keeps(sample: dict[str, Any] | None, asn: int) -> bool:
+    """Deterministic AS-sampling predicate (``spec.asn_sample``).
+
+    Content-keyed on ``(sample seed, asn)`` so parent and every worker
+    — and a crashed run's resume — select the identical subset.
+    """
+    if sample is None:
+        return True
+    return stable_fraction(
+        int(sample["seed"]), "as-sample", int(asn)
+    ) < float(sample["rate"])
+
+
+def _sample_targets(
+    sample: dict[str, Any] | None, targets: TargetSet
+) -> TargetSet:
+    if sample is None:
+        return targets
+    return TargetSet(
+        targets=[
+            t for t in targets.targets if _sample_keeps(sample, t.asn)
+        ],
+        stats=targets.stats,
+    )
+
+
+#: Version of the shard-cache entry envelope.
+SHARD_CACHE_VERSION = 1
+
+
+class ShardCache:
+    """Content-keyed on-disk cache of completed scan-shard artifacts.
+
+    The incremental-rescan store for longitudinal campaigns: a shard
+    whose *inputs* — base scenario key, per-AS evolution state digests
+    of its member ASes, fault plan, scan config, pinned pacing figures,
+    sampling — are unchanged between epochs is served from here instead
+    of re-executed.  Entries carry their own sha256 so a torn write or
+    bit rot misses (and is evicted) rather than corrupting an epoch.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def entry_key(payload: dict[str, Any]) -> str:
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"shard-{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(path.read_text())
+        except ValueError:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        body = envelope.get("body")
+        canonical = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        )
+        if (
+            envelope.get("schema_version") != SHARD_CACHE_VERSION
+            or hashlib.sha256(canonical.encode()).hexdigest()
+            != envelope.get("sha256")
+        ):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    def store(self, key: str, body: dict[str, Any]) -> None:
+        canonical = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        )
+        _write_json(
+            self._path(key),
+            {
+                "schema_version": SHARD_CACHE_VERSION,
+                "sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+                "body": body,
+            },
+        )
+
+
+class _ShardCacheContext:
+    """One run's view of the shard cache: key derivation + fetch/store.
+
+    The key folds in everything that can change a shard artifact's
+    *measurements*: the base scenario content key (evolution stripped),
+    the plan digest, each member AS's epoch-state digest, the fault
+    plan payload (fault-cycle clauses re-seed it per epoch), the scan
+    config, the globally derived pinned duration / retry-budget share
+    (cross-shard couplings), sampling, and the shard geometry.  Within
+    a hit only the embedded spec payload can differ (the epoch index),
+    so it is patched on fetch — the merged results are then
+    byte-identical to a full re-execution, which the determinism suite
+    asserts.
+    """
+
+    def __init__(
+        self, cache: ShardCache, spec: CampaignSpec, params, scenario
+    ) -> None:
+        from ..scenarios.compiled import content_key
+
+        self.cache = cache
+        self.spec = spec
+        self.base_key = content_key(replace(params, evolution=None))
+        self.plan_digest = None
+        self._digests: dict[int, int] = {}
+        if spec.evolution is not None:
+            from ..campaigns.evolution import (
+                EvolutionPlan,
+                epoch_as_digest,
+            )
+
+            plan = EvolutionPlan.from_payload(spec.evolution["plan"])
+            epoch = spec.evolution["epoch"]
+            self.plan_digest = plan.digest()
+            graph = getattr(scenario, "topology", None)
+            for target in scenario.target_set().targets:
+                if target.asn in self._digests:
+                    continue
+                tier = (
+                    graph.tier_of(target.asn)
+                    if graph is not None
+                    else 3
+                )
+                self._digests[target.asn] = epoch_as_digest(
+                    plan, epoch, target.asn, tier
+                )
+
+    def key_for(
+        self,
+        shard_id: int,
+        member_asns,
+        pinned: float,
+        budget_share: int | None,
+    ) -> str:
+        spec = self.spec
+        return ShardCache.entry_key(
+            {
+                "v": SHARD_CACHE_VERSION,
+                "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+                "base": self.base_key,
+                "plan": self.plan_digest,
+                "scan": dict(spec.scan),
+                "journal": spec.journal,
+                "metrics": spec.metrics,
+                "faults": spec.faults,
+                "sample": spec.asn_sample,
+                "shards": spec.shards,
+                "shard": shard_id,
+                "pinned": pinned,
+                "budget": budget_share,
+                "asns": [
+                    [asn, self._digests.get(asn, 0)]
+                    for asn in sorted(member_asns)
+                ],
+            }
+        )
+
+    def fetch(self, key: str) -> dict[str, Any] | None:
+        return self.cache.load(key)
+
+    def store_artifact(
+        self, key: str, artifact: dict[str, Any], events: str | None
+    ) -> None:
+        self.cache.store(key, {"artifact": artifact, "events": events})
 
 
 #: Seconds a SIGTERMed hung worker gets to flush its observability
@@ -1246,6 +1469,9 @@ class PipelineOutcome:
     #: ``"cache"`` (content-keyed cache hit).  ``None`` when the run
     #: was served from disk without touching the builder.
     scenario_source: str | None = None
+    #: scan shards served from the incremental-rescan shard cache this
+    #: invocation (their executions count 0 in ``scan_stats``).
+    cache_hits: tuple[int, ...] = ()
 
 
 def run_pipeline(
@@ -1259,6 +1485,7 @@ def run_pipeline(
     profile: bool = False,
     snapshot_interval: float = 1.0,
     ledger=None,
+    shard_cache=None,
 ) -> PipelineOutcome:
     """Run the staged campaign described by *spec*.
 
@@ -1284,7 +1511,11 @@ def run_pipeline(
     affects results.  ``ledger`` names a cross-run ledger directory:
     after the run completes its row is appended to (or refreshed in)
     ``<ledger>/ledger.json`` — observational only, results are
-    byte-identical with or without it.
+    byte-identical with or without it.  ``shard_cache`` names (or
+    passes) a :class:`ShardCache` for incremental rescans: shards whose
+    content-keyed inputs are unchanged since a previous epoch are
+    served from the cache instead of re-executed, with merged results
+    byte-identical to a full re-execution.
     """
     rd = RunDirectory(run_dir) if run_dir is not None else None
     if ledger is not None and rd is None:
@@ -1368,7 +1599,9 @@ def run_pipeline(
             scenario, blob, scenario_source = build_or_load(
                 params, cache=cache
             )
-            targets = scenario.target_set()
+            targets = _sample_targets(
+                spec.asn_sample, scenario.target_set()
+            )
             if rd is not None and spec.shards > 1:
                 # Non-fork workers (and post-mortem debugging) load this
                 # instead of rebuilding; serialized once, shared by all.
@@ -1382,6 +1615,14 @@ def run_pipeline(
         # -- scan + collect, or reload the merged observations artifact.
         collector: Collector
         scan_stats: dict[int, int] | None = None
+        cache_hits: list[int] = []
+        shard_ctx = None
+        if shard_cache is not None and rd is not None:
+            if not isinstance(shard_cache, ShardCache):
+                shard_cache = ShardCache(shard_cache)
+            shard_ctx = _ShardCacheContext(
+                shard_cache, spec, params, scenario
+            )
         if rd is not None and rd.observations_path.exists():
             artifact = _read_artifact(
                 rd, rd.observations_path, "observations artifact"
@@ -1399,11 +1640,14 @@ def run_pipeline(
                 # shards deserialize private copies from the blob.
                 _publish_scenario(scenario, blob, content_key(params))
                 try:
-                    shard_payloads, scan_stats = _run_scan_stage(
-                        spec, scenario, targets, rd, workers,
-                        stages_run, stages_skipped, progress,
-                        hang_timeout=hang_timeout, profile=profile,
-                        snapshot_interval=snapshot_interval,
+                    shard_payloads, scan_stats, cache_hits = (
+                        _run_scan_stage(
+                            spec, scenario, targets, rd, workers,
+                            stages_run, stages_skipped, progress,
+                            hang_timeout=hang_timeout, profile=profile,
+                            snapshot_interval=snapshot_interval,
+                            shard_ctx=shard_ctx,
+                        )
                     )
                 finally:
                     _retract_scenario()
@@ -1454,6 +1698,18 @@ def run_pipeline(
 
         # -- analyze
         metadata.wall_seconds = recorder.elapsed()
+        evolution_prov = None
+        if spec.evolution is not None:
+            from ..campaigns.evolution import EvolutionPlan, lineage_key
+
+            plan = EvolutionPlan.from_payload(spec.evolution["plan"])
+            base_key = content_key(replace(params, evolution=None))
+            evolution_prov = {
+                "plan_digest": plan.digest(),
+                "epoch": spec.evolution["epoch"],
+                "base_scenario_key": base_key,
+                "lineage": lineage_key(base_key, plan),
+            }
         with span("analyze"):
             campaign = Campaign(
                 scenario,
@@ -1463,6 +1719,8 @@ def run_pipeline(
                 scan_wall_seconds=metadata.wall_seconds,
                 metadata=metadata,
                 faults=spec.faults,
+                evolution=evolution_prov,
+                sample=spec.asn_sample,
             )
             results = campaign.results_dict()
             if spec.journal and rd is not None and rd.events_path.exists():
@@ -1506,6 +1764,7 @@ def run_pipeline(
         telemetry=telemetry,
         scan_stats=scan_stats,
         scenario_source=scenario_source,
+        cache_hits=tuple(cache_hits),
     )
 
 
@@ -1519,6 +1778,7 @@ def resume_pipeline(
     profile: bool = False,
     snapshot_interval: float = 1.0,
     ledger=None,
+    shard_cache=None,
 ) -> PipelineOutcome:
     """Resume the campaign recorded in *run_dir*'s manifest."""
     rd = RunDirectory(run_dir)
@@ -1537,6 +1797,7 @@ def resume_pipeline(
         profile=profile,
         snapshot_interval=snapshot_interval,
         ledger=ledger,
+        shard_cache=shard_cache,
     )
 
 
@@ -1576,14 +1837,21 @@ def _run_scan_stage(
     hang_timeout: float | None = None,
     profile: bool = False,
     snapshot_interval: float = 1.0,
-) -> tuple[list[dict[str, Any]], dict[int, int]]:
+    shard_ctx: "_ShardCacheContext | None" = None,
+) -> tuple[list[dict[str, Any]], dict[int, int], list[int]]:
     """Produce every shard artifact, reusing any already on disk.
 
-    Returns ``(artifacts in shard order, {shard_id: executions})`` —
-    a reused shard counts zero executions, a shard that survived one
-    crash counts two.  Crashed or killed workers are re-executed up to
-    :data:`MAX_SHARD_ATTEMPTS` times; only the failed shards re-run,
-    every completed artifact is persisted the round it lands.
+    Returns ``(artifacts in shard order, {shard_id: executions},
+    cache-hit shard ids)`` — a reused shard counts zero executions, a
+    shard that survived one crash counts two.  Crashed or killed
+    workers are re-executed up to :data:`MAX_SHARD_ATTEMPTS` times;
+    only the failed shards re-run, every completed artifact is
+    persisted the round it lands.
+
+    With *shard_ctx* (incremental rescans), a shard absent from the run
+    directory whose content key hits the cache is materialized from the
+    cached artifact — spec payload patched to the current epoch — and
+    then flows through the ordinary reuse path, executions 0.
     """
     config = spec.scan_config()
     pinned = config.duration
@@ -1610,8 +1878,39 @@ def _run_scan_stage(
         if config.retry_budget is not None:
             budget_shares = _split_budget(config.retry_budget, per_shard)
 
+    shard_keys: dict[int, str] = {}
+    if shard_ctx is not None and rd is not None:
+        members_of: dict[int, list[int]] = {}
+        if weighted and groups is not None:
+            members_of = {
+                shard_id: groups[shard_id]
+                for shard_id in range(spec.shards)
+            }
+        else:
+            target_asns = sorted(
+                {
+                    t.asn
+                    for t in targets.targets
+                    if _sample_keeps(spec.asn_sample, t.asn)
+                }
+            )
+            for shard_id in range(spec.shards):
+                members_of[shard_id] = [
+                    asn
+                    for asn in target_asns
+                    if asn % spec.shards == shard_id
+                ]
+        for shard_id in range(spec.shards):
+            shard_keys[shard_id] = shard_ctx.key_for(
+                shard_id,
+                members_of[shard_id],
+                pinned,
+                None if budget_shares is None else budget_shares[shard_id],
+            )
+
     payloads: dict[int, dict[str, Any]] = {}
     shard_attempts: dict[int, int] = {}
+    cache_hits: list[int] = []
     pending: list[dict[str, Any]] = []
     for shard_id in range(spec.shards):
         reusable = rd is not None and rd.shard_path(shard_id).exists()
@@ -1619,6 +1918,25 @@ def _run_scan_stage(
             # A journaled shard is only complete once its events file
             # exists too; otherwise re-run to regenerate both.
             reusable = rd.shard_events_path(shard_id).exists()
+        if not reusable and shard_id in shard_keys:
+            body = shard_ctx.fetch(shard_keys[shard_id])
+            if body is not None:
+                # Materialize the cached shard into the run directory —
+                # spec payload patched to this epoch's — so the normal
+                # reuse path below (checksum recording included) serves
+                # it exactly like a shard found on disk after a resume.
+                artifact = dict(body["artifact"])
+                artifact["spec"] = spec.to_payload()
+                if spec.journal:
+                    events = body.get("events")
+                    if events is not None:
+                        rd.shard_events_path(shard_id).write_text(events)
+                _write_json(rd.shard_path(shard_id), artifact)
+                rd.record_artifact(rd.shard_path(shard_id))
+                cache_hits.append(shard_id)
+                reusable = True
+                if spec.journal:
+                    reusable = rd.shard_events_path(shard_id).exists()
         if reusable:
             artifact = _read_artifact(
                 rd, rd.shard_path(shard_id), f"shard {shard_id} artifact"
@@ -1734,8 +2052,18 @@ def _run_scan_stage(
                 )
             remaining = retry_jobs
         for artifact in sorted(results, key=lambda a: a["shard_id"]):
-            payloads[artifact["shard_id"]] = artifact
-            stages_run.append(f"scan[{artifact['shard_id']}]")
+            shard_id = artifact["shard_id"]
+            payloads[shard_id] = artifact
+            stages_run.append(f"scan[{shard_id}]")
+            if shard_id in shard_keys:
+                events = None
+                if spec.journal and rd is not None:
+                    events_path = rd.shard_events_path(shard_id)
+                    if events_path.exists():
+                        events = events_path.read_text()
+                shard_ctx.store_artifact(
+                    shard_keys[shard_id], artifact, events
+                )
     if rd is not None:
         rd.mark_stage("scan")
 
@@ -1743,4 +2071,5 @@ def _run_scan_stage(
     return (
         [payloads[shard_id] for shard_id in range(spec.shards)],
         shard_attempts,
+        cache_hits,
     )

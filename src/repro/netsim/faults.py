@@ -54,6 +54,18 @@ def plan_digest(payload: dict) -> str:
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
 
+
+def reseed_payload(payload: dict, seed: int) -> dict:
+    """The same clauses under a different seed — new packet fates.
+
+    Longitudinal campaigns use this for per-epoch fault scheduling (the
+    ``fault-cycle`` evolution clause): the plan's structure is held
+    fixed while every content-keyed roll re-keys, giving each epoch its
+    own network weather.  The payload is round-tripped through
+    :class:`FaultPlan` so malformed input fails here, not mid-epoch.
+    """
+    return FaultPlan.from_payload(payload).with_seed(seed).to_payload()
+
 #: Shard-crash behaviours (see :class:`ShardCrash`).
 CRASH_MODES = ("kill", "raise", "hang")
 
@@ -356,6 +368,12 @@ class FaultPlan:
     def digest(self) -> str:
         """Content address of this plan (see :func:`plan_digest`)."""
         return plan_digest(self.to_payload())
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of this plan rolling its fates under *seed*."""
+        return FaultPlan(
+            seed=int(seed), name=self.name, clauses=self.clauses
+        )
 
     # -- queries ---------------------------------------------------------
 

@@ -68,6 +68,7 @@ def _load_facts(run_path) -> dict:
         or ("tiered" if spec.get("topology") is not None else "star"),
         "fault_digest": provenance.get("fault_plan_digest"),
         "spec_key": spec_key(spec),
+        "lineage": (provenance.get("evolution") or {}).get("lineage"),
         "legacy": provenance.get("scenario_content_key") is None,
     }
 
@@ -151,7 +152,9 @@ def _drop_totals(telemetry: dict) -> dict:
 
 def _identity(a: dict, b: dict) -> dict:
     out = {}
-    for key in ("scenario_key", "topology", "fault_digest", "spec_key"):
+    for key in (
+        "scenario_key", "topology", "fault_digest", "spec_key", "lineage",
+    ):
         out[key] = {
             "a": a[key],
             "b": b[key],
@@ -177,9 +180,22 @@ def _comparability(a: dict, b: dict, identity: dict) -> dict:
             comparable = False
             notes.append("manifest specs describe different worlds")
     else:
+        same_lineage = (
+            a["lineage"] is not None and a["lineage"] == b["lineage"]
+        )
         if not identity["scenario_key"]["equal"]:
-            comparable = False
-            notes.append("scenario content keys differ")
+            if same_lineage:
+                # Epochs of one evolved campaign: the worlds differ on
+                # purpose, and that drift is exactly what the diff is
+                # for.
+                notes.append(
+                    "scenario content keys differ but both runs are "
+                    "epochs of one evolution lineage — flips below "
+                    "reflect evolved-world drift"
+                )
+            else:
+                comparable = False
+                notes.append("scenario content keys differ")
         if not identity["topology"]["equal"]:
             comparable = False
             notes.append("topology modes differ")

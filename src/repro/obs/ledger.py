@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from pathlib import Path
 
 from .export import dump_envelope, validate_envelope, write_envelope
@@ -162,7 +164,7 @@ def run_row(run_path, *, base=None) -> dict:
             run_name = str(run_path.resolve())
     else:
         run_name = str(run_path)
-    return {
+    row = {
         "run": run_name,
         "spec_key": spec_key(spec),
         "scenario_key": provenance.get("scenario_content_key"),
@@ -188,6 +190,114 @@ def run_row(run_path, *, base=None) -> dict:
         },
         "wall_seconds": provenance.get("wall_seconds"),
     }
+    evolution = provenance.get("evolution")
+    if isinstance(evolution, dict):
+        # Longitudinal runs: the lineage ties every epoch of one
+        # campaign together even though each epoch's evolved spec has
+        # its own scenario key; trend groups on it.
+        row["lineage"] = evolution.get("lineage")
+        row["epoch"] = evolution.get("epoch")
+    degraded = provenance.get("degraded")
+    if degraded is not None:
+        row["degraded"] = degraded
+    return row
+
+
+def ledger_digest(payload: dict) -> str:
+    """Digest of a ledger payload with per-row wall timings nulled.
+
+    Wall seconds are the one nondeterministic field a row carries; the
+    crash drills compare an interrupted-and-resumed campaign against an
+    uninterrupted one through this digest, so it must not depend on how
+    long each epoch actually took.
+    """
+    scrubbed = dict(payload)
+    scrubbed["rows"] = [
+        dict(row, wall_seconds=None) for row in payload.get("rows", [])
+    ]
+    return _sha256(scrubbed)
+
+
+#: How long a lock may sit untouched before a waiter may take it over.
+_LOCK_STALE_SECONDS = 30.0
+
+#: How long :meth:`Ledger.record` waits for the lock before giving up.
+_LOCK_WAIT_SECONDS = 60.0
+
+
+class _LedgerLock:
+    """Exclusive advisory lock guarding the ledger read-modify-write.
+
+    ``Ledger.record`` is a load/insert/save cycle over ``ledger.json``;
+    two pipelines sharing ``--ledger DIR`` could otherwise interleave
+    those cycles and silently lose whichever row saved first.  The lock
+    is an ``O_CREAT | O_EXCL`` file beside the ledger recording the
+    holder's pid and acquisition time.  A holder that died (a crashed
+    or SIGKILLed run) is taken over once the lock is provably stale:
+    its pid no longer exists, or it is older than
+    :data:`_LOCK_STALE_SECONDS`.
+    """
+
+    def __init__(self, base) -> None:
+        self.path = Path(base) / "ledger.lock"
+
+    def __enter__(self) -> "_LedgerLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + _LOCK_WAIT_SECONDS
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._take_over_if_stale()
+                if time.monotonic() >= deadline:
+                    raise ObservatoryError(
+                        f"{self.path} is held by another run — waited "
+                        f"{_LOCK_WAIT_SECONDS:.0f}s; remove the lock "
+                        "file if no run is active"
+                    )
+                time.sleep(0.05)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                json.dump(
+                    {"pid": os.getpid(), "time": time.time()}, handle
+                )
+            return self
+
+    def __exit__(self, *exc) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def _take_over_if_stale(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            # Mid-write, vanished, or corrupt: only its age can judge.
+            payload = None
+        stale = False
+        if isinstance(payload, dict):
+            pid = payload.get("pid")
+            if isinstance(pid, int) and pid > 0:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    stale = True
+                except PermissionError:
+                    pass
+            held = payload.get("time")
+            if (
+                isinstance(held, (int, float))
+                and time.time() - held > _LOCK_STALE_SECONDS
+            ):
+                stale = True
+        else:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return  # gone — the next open attempt will win
+            stale = age > _LOCK_STALE_SECONDS
+        if stale:
+            self.path.unlink(missing_ok=True)
 
 
 class Ledger:
@@ -226,14 +336,27 @@ class Ledger:
         return payload
 
     def require(self) -> dict:
-        """Like :meth:`load`, but a missing ledger is an error."""
+        """Like :meth:`load`, but a missing or empty ledger is an error.
+
+        Commands that *read* the ledger (``ledger``, ``trend``) have
+        nothing to say about zero rows, so both absence and emptiness
+        map to the same one-line exit-2 hint instead of a traceback or
+        a vacuous report.
+        """
         if not self.path.exists():
             raise ObservatoryError(
                 f"{self.path} not found — index runs with `repro-dsav "
                 f"scan --ledger {self.base}` or `repro-dsav ledger "
                 f"{self.base} --rebuild`"
             )
-        return self.load()
+        payload = self.load()
+        if not payload.get("rows"):
+            raise ObservatoryError(
+                f"{self.path} has no rows — index runs with "
+                f"`repro-dsav scan --ledger {self.base}` or "
+                f"`repro-dsav ledger {self.base} --rebuild`"
+            )
+        return payload
 
     def save(self, payload: dict) -> Path:
         self.base.mkdir(parents=True, exist_ok=True)
@@ -247,14 +370,22 @@ class Ledger:
         Rows stay sorted by run name, and recording is idempotent, so
         incremental appends converge on exactly the bytes a
         :meth:`rebuild` over the same directories produces.
+
+        The load/insert/save is guarded by an exclusive lock file, so
+        two runs sharing ``--ledger DIR`` serialize their appends
+        instead of silently dropping whichever row lost the
+        read-modify-write race.
         """
-        payload = self.load()
         row = run_row(run_path, base=self.base)
-        rows = [r for r in payload["rows"] if r.get("run") != row["run"]]
-        rows.append(row)
-        rows.sort(key=lambda r: r.get("run", ""))
-        payload["rows"] = rows
-        self.save(payload)
+        with _LedgerLock(self.base):
+            payload = self.load()
+            rows = [
+                r for r in payload["rows"] if r.get("run") != row["run"]
+            ]
+            rows.append(row)
+            rows.sort(key=lambda r: r.get("run", ""))
+            payload["rows"] = rows
+            self.save(payload)
         return payload
 
     def rebuild(self) -> dict:

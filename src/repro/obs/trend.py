@@ -3,7 +3,9 @@
 ``repro-dsav trend <ledger-dir>`` reads ``ledger.json`` (see
 :mod:`repro.obs.ledger`), groups its rows into **lineages** — runs of
 the same scenario content key and topology, i.e. repeated measurements
-of the same world — and reports, per lineage:
+of the same world, or epochs of one evolved campaign sharing an
+explicit lineage key (see :mod:`repro.campaigns.evolution`) — and
+reports, per lineage:
 
 * the trajectory of a chosen headline metric (``--metric``),
 * per-AS flip timelines derived from each run's ``observations.json``
@@ -117,7 +119,14 @@ def build_trend(ledger_dir, *, metric: str = "asn-rate-v4") -> dict:
     lineages: dict = {}
     order: list = []
     for row in payload["rows"]:
-        key = (row.get("scenario_key"), row.get("topology"))
+        # Evolved campaigns stamp an explicit lineage key into each
+        # epoch's row: the scenario content key *changes* every epoch
+        # (the world evolved), but the rows are still one longitudinal
+        # series.  Rows without one group the classic way.
+        key = (
+            row.get("lineage") or row.get("scenario_key"),
+            row.get("topology"),
+        )
         if key not in lineages:
             lineages[key] = []
             order.append(key)
@@ -126,20 +135,22 @@ def build_trend(ledger_dir, *, metric: str = "asn-rate-v4") -> dict:
     out = []
     for key in order:
         rows = lineages[key]
-        scenario_key, topology = key
+        _, topology = key
         run_paths = [ledger.base / row["run"] for row in rows]
         lineage = _lineage_timeline(run_paths)
-        out.append(
-            {
-                "scenario_key": scenario_key,
-                "topology": topology,
-                "runs": [row["run"] for row in rows],
-                "fault_digests": [row.get("fault_digest") for row in rows],
-                "series": [_metric_value(row, metric) for row in rows],
-                "timeline": lineage["timeline"],
-                "counts": lineage["counts"],
-            }
-        )
+        entry = {
+            "scenario_key": rows[0].get("scenario_key"),
+            "topology": topology,
+            "runs": [row["run"] for row in rows],
+            "fault_digests": [row.get("fault_digest") for row in rows],
+            "series": [_metric_value(row, metric) for row in rows],
+            "timeline": lineage["timeline"],
+            "counts": lineage["counts"],
+        }
+        if any("lineage" in row for row in rows):
+            entry["lineage"] = rows[0].get("lineage")
+            entry["epochs"] = [row.get("epoch") for row in rows]
+        out.append(entry)
     return {
         "schema_version": TREND_SCHEMA_VERSION,
         "kind": "trend",
@@ -155,7 +166,7 @@ def render_trend(envelope: dict) -> str:
     if not envelope["lineages"]:
         return "ledger is empty — nothing to trend"
     for lineage in envelope["lineages"]:
-        scenario = lineage["scenario_key"]
+        scenario = lineage.get("lineage") or lineage["scenario_key"]
         label = scenario[:12] + "…" if scenario else "(legacy runs)"
         runs = lineage["runs"]
         lines.append(

@@ -93,6 +93,11 @@ def params_payload(params: ScenarioParams) -> dict[str, Any]:
             value = [_kind_payload(kind) for kind in value]
         elif field.name == "topology":
             value = value.to_payload() if value is not None else None
+        elif field.name == "evolution":
+            # Absent — not null — when unset, so every pre-evolution
+            # content key (including the CI-pinned star hash) survives.
+            if value is None:
+                continue
         payload[field.name] = value
     return payload
 

@@ -576,25 +576,52 @@ def build_internet(
     port_history: dict[Address, list[int]] = {}
     ids_asns: set[int] = set()
 
+    # Longitudinal evolution (opt-in): a per-epoch view whose per-AS
+    # state is a pure function of (plan, epoch, asn, tier).  Evolved
+    # worlds replace the consumed-stream martian/subnet/population
+    # draws with content-keyed ones, so overriding one AS's DSAV
+    # posture or regenerating its resolver fleet cannot shift any other
+    # AS's draws (or the sequential address allocator) between epochs.
+    evo = None
+    if params.evolution is not None:
+        from ..campaigns.evolution import EvolutionView
+
+        evo = EvolutionView.from_payload(params.evolution)
+
     for index in range(params.n_ases):
         asn = FIRST_TARGET_ASN + index
         as_rng = Random((params.seed << 20) ^ (asn * 2654435761 % 2**31))
         country = draw_country(as_rng)
         bias = params.country_dsav_bias.get(country, 1.0)
+        tier = graph.tier_of(asn) if graph is not None else 3
         lacking = as_rng.random() < min(
             params.dsav_lacking_rate * bias, 0.95
         )
+        osav = as_rng.random() < params.osav_rate
+        if evo is None:
+            martian_filtering = not (
+                lacking and as_rng.random() < params.martian_unfiltered_rate
+            )
+            subnet_sav_v4 = (
+                lacking and as_rng.random() < params.subnet_sav_v4_rate
+            )
+        else:
+            lacking = evo.lacking(asn, tier, lacking)
+            martian_filtering = not (
+                lacking
+                and evo.roll("martian", asn) < params.martian_unfiltered_rate
+            )
+            subnet_sav_v4 = (
+                lacking
+                and evo.roll("subnet", asn) < params.subnet_sav_v4_rate
+            )
         system = AutonomousSystem(
             asn,
             name=f"AS{asn}-{country}",
-            osav=as_rng.random() < params.osav_rate,
+            osav=osav,
             dsav=not lacking,
-            martian_filtering=not (
-                lacking and as_rng.random() < params.martian_unfiltered_rate
-            ),
-            subnet_sav_v4=(
-                lacking and as_rng.random() < params.subnet_sav_v4_rate
-            ),
+            martian_filtering=martian_filtering,
+            subnet_sav_v4=subnet_sav_v4,
             subnet_sav_coverage=params.subnet_sav_coverage,
             country=country,
         )
@@ -603,7 +630,6 @@ def build_internet(
         if not system.martian_filtering:
             truth.martian_unfiltered_asns.add(asn)
 
-        tier = graph.tier_of(asn) if graph is not None else 3
         if graph is None:
             n_v4_prefixes = 1 + min(int(as_rng.expovariate(0.8)), 6)
         else:
@@ -647,10 +673,22 @@ def build_internet(
         if as_rng.random() < params.ids_as_fraction:
             ids_asns.add(asn)
 
-        _populate_as_resolvers(
-            params, fabric, infra, system, as_rng, country,
-            truth, ditl_candidates, hitlist, port_history,
-        )
+        if evo is None:
+            _populate_as_resolvers(
+                params, fabric, infra, system, as_rng, country,
+                truth, ditl_candidates, hitlist, port_history,
+            )
+        else:
+            # The population stream is seeded from the AS's churn
+            # generation — a turnover event regenerates this one fleet
+            # while every other AS (and every other epoch's unchurned
+            # ASes) keep their exact draws.
+            population = evo.population(asn, tier, _host_in)
+            _populate_as_resolvers(
+                params, fabric, infra, system, population.rng, country,
+                truth, ditl_candidates, hitlist, port_history,
+                evo=population,
+            )
 
     # DITL pollution: special-purpose and unrouted sources (Section 3.1).
     for i in range(params.special_purpose_candidates):
@@ -702,8 +740,16 @@ def _populate_as_resolvers(
     ditl_candidates: list[Address],
     hitlist: set[Network],
     port_history: dict[Address, list[int]],
+    *,
+    evo=None,
 ) -> None:
-    """Create the resolver population of one AS."""
+    """Create the resolver population of one AS.
+
+    In evolution mode *as_rng* is the AS's generation-seeded population
+    stream and *evo* (an ``_AsPopulation``) applies content-keyed
+    software-drift / address-reassignment slot overrides; both hooks
+    are no-ops for the legacy path.
+    """
     exposure = params.country_exposure_bias.get(country, 1.0)
     v4_prefixes = system.prefixes(4)
     v6_prefixes = system.prefixes(6)
@@ -712,10 +758,14 @@ def _populate_as_resolvers(
 
     for slot in range(count):
         kind = _pick_kind(as_rng, params.resolver_mix)
+        if evo is not None:
+            kind = evo.kind(slot, params.resolver_mix, kind)
         is_central = slot == 0
         alive = is_central or as_rng.random() >= params.dead_address_rate
 
         v4_addr = _host_in(as_rng.choice(v4_prefixes), as_rng)
+        if evo is not None:
+            v4_addr = evo.v4_address(slot, v4_prefixes, v4_addr)
         addresses: list[Address] = [v4_addr]
         if v6_prefixes and (
             is_central or as_rng.random() < params.dual_stack_rate

@@ -304,8 +304,18 @@ class ScenarioParams:
     #: crosses exactly the origin and destination borders — and stays
     #: byte-identical to scenarios built before the topology engine.
     topology: TopologySpec | None = None
+    #: longitudinal evolution payload ``{"plan": <EvolutionPlan
+    #: payload>, "epoch": N}`` (see :mod:`repro.campaigns.evolution`).
+    #: ``None`` — the default for every non-campaign scan — is omitted
+    #: from the content-key payload entirely, so legacy scenario keys
+    #: (and the CI-pinned star hash) are untouched.
+    evolution: dict | None = None
 
     def __post_init__(self) -> None:
+        if self.evolution is not None:
+            from ..campaigns.evolution import validate_evolution_payload
+
+            validate_evolution_payload(self.evolution)
         if self.topology is not None and not isinstance(
             self.topology, TopologySpec
         ):

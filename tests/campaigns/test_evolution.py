@@ -1,0 +1,287 @@
+"""Scenario evolution: determinism, purity, and clause semantics."""
+
+import json
+
+import pytest
+
+from repro.campaigns.evolution import (
+    EVOLUTION_SCHEMA_VERSION,
+    AddressReassignment,
+    EvolutionError,
+    EvolutionPlan,
+    FaultCycle,
+    ResolverChurn,
+    SavRegression,
+    SavRemediation,
+    SoftwareDrift,
+    epoch_as_digest,
+    epoch_as_state,
+    evolve_spec,
+    lineage_key,
+    validate_evolution_payload,
+)
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, run_pipeline
+from repro.obs.ledger import results_digest
+from repro.scenarios.compiled import content_key, serialize_scenario
+from repro.scenarios.internet import build_internet
+
+SEED = 11
+N_ASES = 20
+DURATION = 10.0
+
+
+def _spec(**overrides) -> CampaignSpec:
+    values = dict(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=1,
+        config=ScanConfig(duration=DURATION),
+    )
+    values.update(overrides)
+    return CampaignSpec.from_scan_config(**values)
+
+
+def _plan(**overrides) -> EvolutionPlan:
+    values = dict(
+        seed=5,
+        name="test",
+        clauses=(
+            ResolverChurn(rate=0.15),
+            SavRemediation(rate=0.2, tier_rates={1: 0.5}),
+            SavRegression(rate=0.1),
+            SoftwareDrift(rate=0.2),
+            AddressReassignment(rate=0.1),
+        ),
+    )
+    values.update(overrides)
+    return EvolutionPlan(**values)
+
+
+# ---------------------------------------------------------------------------
+# plan serialization
+# ---------------------------------------------------------------------------
+
+
+def test_plan_round_trips_and_digest_is_stable():
+    plan = _plan()
+    payload = plan.to_payload()
+    assert payload["schema_version"] == EVOLUTION_SCHEMA_VERSION
+    clone = EvolutionPlan.from_payload(payload)
+    assert clone.to_payload() == payload
+    assert clone.digest() == plan.digest()
+
+
+def test_json_round_trip_preserves_digest(tmp_path):
+    """A plan loaded back from disk keys the same events.
+
+    ``tier_rates`` built with int keys in Python serializes to string
+    keys in JSON — the digest must not depend on which path built it.
+    """
+    plan = _plan()
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    loaded = EvolutionPlan.load(path)
+    assert loaded.digest() == plan.digest()
+    assert loaded == plan
+
+
+def test_validation_rejects_bad_clauses():
+    with pytest.raises(EvolutionError):
+        ResolverChurn(rate=1.5)
+    with pytest.raises(EvolutionError):
+        SavRemediation(rate=-0.1)
+    with pytest.raises(EvolutionError):
+        SoftwareDrift(rate=0.1, slot_fraction=1.5)
+    with pytest.raises(EvolutionError):
+        FaultCycle(stride=0)
+    with pytest.raises(EvolutionError):
+        EvolutionPlan.from_payload(
+            {"schema_version": 99, "seed": 0, "name": "", "clauses": []}
+        )
+
+
+def test_evolution_payload_validation():
+    plan = _plan()
+    validate_evolution_payload({"plan": plan.to_payload(), "epoch": 3})
+    with pytest.raises(EvolutionError):
+        validate_evolution_payload({"plan": plan.to_payload()})
+    with pytest.raises(EvolutionError):
+        validate_evolution_payload(
+            {"plan": plan.to_payload(), "epoch": -1}
+        )
+    with pytest.raises(EvolutionError):
+        validate_evolution_payload(
+            {"plan": plan.to_payload(), "epoch": 1, "extra": True}
+        )
+
+
+def test_lineage_key_depends_on_base_and_plan():
+    plan = _plan()
+    other = _plan(seed=6)
+    assert lineage_key("abc", plan) == lineage_key("abc", plan)
+    assert lineage_key("abc", plan) != lineage_key("abd", plan)
+    assert lineage_key("abc", plan) != lineage_key("abc", other)
+
+
+# ---------------------------------------------------------------------------
+# evolution determinism
+# ---------------------------------------------------------------------------
+
+
+def test_zero_clause_plan_is_byte_identical_to_base():
+    base = _spec()
+    empty = EvolutionPlan(seed=9, name="noop", clauses=())
+    evolved = evolve_spec(base, empty, 4)
+    assert evolved == base
+    assert content_key(evolved.scenario_params()) == content_key(
+        base.scenario_params()
+    )
+    assert serialize_scenario(
+        build_internet(evolved.scenario_params())
+    ) == serialize_scenario(build_internet(base.scenario_params()))
+
+
+def test_epoch_zero_differs_only_via_fired_events():
+    """Epoch specs are distinct params but share the base world shape."""
+    base = _spec()
+    plan = _plan()
+    keys = {
+        content_key(
+            evolve_spec(base, plan, epoch).scenario_params()
+        )
+        for epoch in range(4)
+    }
+    assert len(keys) == 4  # every epoch is its own addressable world
+    for key in keys:
+        assert key != content_key(base.scenario_params())
+
+
+def test_direct_build_equals_step_through_build():
+    """Jumping to epoch N is byte-identical to stepping through 0..N.
+
+    Epoch N's spec is a pure function of (base, plan, N); building the
+    intermediate epochs must not perturb it.
+    """
+    base = _spec()
+    plan = _plan()
+    direct = serialize_scenario(
+        build_internet(evolve_spec(base, plan, 3).scenario_params())
+    )
+    stepped = None
+    for epoch in range(4):
+        stepped = serialize_scenario(
+            build_internet(
+                evolve_spec(base, plan, epoch).scenario_params()
+            )
+        )
+    assert stepped == direct
+
+
+def test_epoch_sequence_invariant_under_shard_count():
+    """Evolved-epoch results are byte-identical across shard counts."""
+    base_1 = _spec(shards=1)
+    base_3 = _spec(shards=3)
+    plan = _plan()
+    out_1 = run_pipeline(evolve_spec(base_1, plan, 2), workers=0)
+    out_3 = run_pipeline(evolve_spec(base_3, plan, 2), workers=0)
+    assert results_digest(out_1.results) == results_digest(out_3.results)
+
+
+# ---------------------------------------------------------------------------
+# per-AS epoch state
+# ---------------------------------------------------------------------------
+
+
+def test_epoch_state_is_deterministic_and_digestable():
+    plan = _plan()
+    for asn in (1000, 1007, 1013):
+        a = epoch_as_state(plan, 3, asn, tier=2)
+        b = epoch_as_state(plan, 3, asn, tier=2)
+        assert a == b
+        assert epoch_as_digest(plan, 3, asn, tier=2) == epoch_as_digest(
+            plan, 3, asn, tier=2
+        )
+
+
+def test_epoch_digest_moves_only_with_events():
+    """An AS with no fired events keeps its digest across epochs."""
+    plan = EvolutionPlan(
+        seed=5, name="rare", clauses=(ResolverChurn(rate=0.01),)
+    )
+    unchanged = 0
+    for asn in range(1000, 1040):
+        if epoch_as_digest(plan, 0, asn) == epoch_as_digest(plan, 5, asn):
+            unchanged += 1
+    # rate 0.01 over 5 epochs: the vast majority of ASes never churn.
+    assert unchanged >= 30
+
+
+def test_full_rate_remediation_forces_all_filtering():
+    base = _spec()
+    plan = EvolutionPlan(
+        seed=5, name="total", clauses=(SavRemediation(rate=1.0),)
+    )
+    world = build_internet(
+        evolve_spec(base, plan, 1).scenario_params()
+    )
+    assert not world.ground_truth.dsav_lacking_asns
+
+
+def test_full_rate_regression_forces_all_lacking():
+    base = _spec()
+    plan = EvolutionPlan(
+        seed=5, name="collapse", clauses=(SavRegression(rate=1.0),)
+    )
+    world = build_internet(
+        evolve_spec(base, plan, 2).scenario_params()
+    )
+    lacking = world.ground_truth.dsav_lacking_asns
+    resolver_asns = {
+        info.asn for info in world.ground_truth.resolvers
+    }
+    assert resolver_asns and resolver_asns <= lacking
+
+
+def test_fault_cycle_reseeds_fault_plan_per_stride():
+    faults = {
+        "schema_version": 1,
+        "seed": 3,
+        "name": "loss",
+        "clauses": [
+            {
+                "kind": "burst-loss",
+                "rate": 0.5,
+                "start": 0.0,
+                "end": None,
+                "src_asn": None,
+                "dst_asn": None,
+            }
+        ],
+    }
+    base = _spec(faults=faults)
+    plan = EvolutionPlan(
+        seed=5, name="cycle", clauses=(FaultCycle(stride=2),)
+    )
+    seeds = [
+        evolve_spec(base, plan, epoch).faults["seed"]
+        for epoch in range(4)
+    ]
+    assert seeds[0] == seeds[1]
+    assert seeds[2] == seeds[3]
+    assert seeds[0] != seeds[2]
+    # everything but the seed is untouched
+    for epoch in range(4):
+        evolved = evolve_spec(base, plan, epoch).faults
+        assert evolved["clauses"] == faults["clauses"]
+        assert evolved["name"] == faults["name"]
+
+
+def test_evolved_spec_round_trips_through_payload():
+    base = _spec()
+    plan = _plan()
+    evolved = evolve_spec(base, plan, 2)
+    clone = CampaignSpec.from_payload(
+        json.loads(json.dumps(evolved.to_payload()))
+    )
+    assert clone == evolved

@@ -1,0 +1,421 @@
+"""Epoch supervisor: write-ahead schedule, crash resume, policies."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.campaigns.supervisor as supervisor_mod
+from repro.campaigns import (
+    CampaignError,
+    CampaignPolicy,
+    EvolutionPlan,
+    ResolverChurn,
+    SavRemediation,
+    campaign_status,
+    render_status,
+    resume_campaign,
+    run_campaign,
+)
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec, PipelineError
+from repro.obs.ledger import ledger_digest
+
+SEED = 7
+N_ASES = 24
+DURATION = 10.0
+
+
+def _spec(**overrides) -> CampaignSpec:
+    values = dict(
+        seed=SEED,
+        n_ases=N_ASES,
+        shards=2,
+        partition="modulo",
+        config=ScanConfig(duration=DURATION),
+    )
+    values.update(overrides)
+    return CampaignSpec.from_scan_config(**values)
+
+
+def _plan(**overrides) -> EvolutionPlan:
+    values = dict(
+        seed=3,
+        name="drill",
+        clauses=(
+            ResolverChurn(rate=0.05),
+            SavRemediation(rate=0.1),
+        ),
+    )
+    values.update(overrides)
+    return EvolutionPlan(**values)
+
+
+def _ledger_digest_of(base: Path) -> str:
+    return ledger_digest(json.loads((base / "ledger.json").read_text()))
+
+
+def _epoch_digests(status: dict) -> list:
+    return [
+        entry["results_digest"]
+        for entry in status["schedule"]["epochs"]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# happy path
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_runs_every_epoch(tmp_path):
+    status = run_campaign(
+        _spec(), _plan(), 3, tmp_path / "camp", workers=0
+    )
+    assert status["counts"]["done"] == 3
+    rows = json.loads(
+        (tmp_path / "camp" / "ledger.json").read_text()
+    )["rows"]
+    assert [row["run"] for row in rows] == [
+        "epoch-000", "epoch-001", "epoch-002",
+    ]
+    assert [row["epoch"] for row in rows] == [0, 1, 2]
+    lineages = {row["lineage"] for row in rows}
+    assert len(lineages) == 1 and None not in lineages
+    assert all(_epoch_digests(status))
+    text = render_status(status)
+    assert "3 done" in text and "epoch   2" in text
+
+
+def test_identical_campaigns_are_byte_identical(tmp_path):
+    a = run_campaign(_spec(), _plan(), 3, tmp_path / "a", workers=0)
+    b = run_campaign(_spec(), _plan(), 3, tmp_path / "b", workers=0)
+    assert _ledger_digest_of(tmp_path / "a") == _ledger_digest_of(
+        tmp_path / "b"
+    )
+    assert _epoch_digests(a) == _epoch_digests(b)
+
+
+def test_incremental_matches_full_rescan(tmp_path):
+    """Cache-served shards merge byte-identically to full re-execution."""
+    spec = _spec(shards=4)
+    plan = _plan()
+    full = run_campaign(
+        spec, plan, 3, tmp_path / "full", workers=0,
+        policy=CampaignPolicy(incremental=False),
+    )
+    inc = run_campaign(
+        spec, plan, 3, tmp_path / "inc", workers=0,
+        policy=CampaignPolicy(incremental=True),
+    )
+    assert _epoch_digests(full) == _epoch_digests(inc)
+    assert _ledger_digest_of(tmp_path / "full") == _ledger_digest_of(
+        tmp_path / "inc"
+    )
+    hits = [
+        entry["cache_hits"] for entry in inc["schedule"]["epochs"]
+    ]
+    assert sum(hits[1:]) > 0, "low churn should reuse some shards"
+    assert all(
+        entry["cache_hits"] == 0
+        for entry in full["schedule"]["epochs"]
+    )
+
+
+def test_resume_of_finished_campaign_is_a_noop(tmp_path):
+    run_campaign(_spec(), _plan(), 2, tmp_path / "camp", workers=0)
+    before = _ledger_digest_of(tmp_path / "camp")
+    schedule_before = (tmp_path / "camp" / "schedule.json").read_text()
+    status = resume_campaign(tmp_path / "camp", workers=0)
+    assert status["counts"]["done"] == 2
+    assert _ledger_digest_of(tmp_path / "camp") == before
+    assert (
+        tmp_path / "camp" / "schedule.json"
+    ).read_text() == schedule_before
+
+
+# ---------------------------------------------------------------------------
+# identity guards
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_dir_binds_its_identity(tmp_path):
+    run_campaign(_spec(), _plan(), 2, tmp_path / "camp", workers=0)
+    with pytest.raises(CampaignError, match="epochs differs"):
+        run_campaign(_spec(), _plan(), 3, tmp_path / "camp", workers=0)
+    with pytest.raises(CampaignError, match="plan differs"):
+        run_campaign(
+            _spec(), _plan(seed=99), 2, tmp_path / "camp", workers=0
+        )
+
+
+def test_resume_requires_a_campaign_dir(tmp_path):
+    with pytest.raises(CampaignError, match="not a campaign directory"):
+        resume_campaign(tmp_path)
+    with pytest.raises(CampaignError, match="not a campaign directory"):
+        campaign_status(tmp_path)
+
+
+def test_base_spec_must_not_carry_evolution(tmp_path):
+    from repro.campaigns.evolution import evolve_spec
+
+    evolved = evolve_spec(_spec(), _plan(), 1)
+    with pytest.raises(CampaignError, match="evolution block"):
+        run_campaign(evolved, _plan(), 2, tmp_path / "camp", workers=0)
+
+
+# ---------------------------------------------------------------------------
+# failure policies
+# ---------------------------------------------------------------------------
+
+
+class _FlakyPipeline:
+    """Fails epoch 1 a configurable number of times, then succeeds."""
+
+    def __init__(self, failures: int) -> None:
+        self.remaining = failures
+        self.real = supervisor_mod.run_pipeline
+
+    def __call__(self, spec, **kwargs):
+        if (
+            spec.evolution is not None
+            and spec.evolution["epoch"] == 1
+            and self.remaining > 0
+        ):
+            self.remaining -= 1
+            raise PipelineError("scripted epoch-1 failure")
+        return self.real(spec, **kwargs)
+
+
+def test_retry_recovers_from_transient_failures(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        supervisor_mod, "run_pipeline", _FlakyPipeline(failures=2)
+    )
+    status = run_campaign(
+        _spec(), _plan(), 3, tmp_path / "camp", workers=0,
+        policy=CampaignPolicy(max_attempts=3),
+    )
+    assert status["counts"]["done"] == 3
+    entry = status["schedule"]["epochs"][1]
+    assert entry["attempts"] == 3
+    assert entry["error"] is None
+
+
+def test_abort_policy_stops_and_resume_completes(tmp_path, monkeypatch):
+    real_pipeline = supervisor_mod.run_pipeline
+    control = run_campaign(
+        _spec(), _plan(), 3, tmp_path / "control", workers=0
+    )
+    monkeypatch.setattr(
+        supervisor_mod, "run_pipeline", _FlakyPipeline(failures=99)
+    )
+    with pytest.raises(CampaignError, match="epoch 1 failed after 2"):
+        run_campaign(
+            _spec(), _plan(), 3, tmp_path / "camp", workers=0,
+            policy=CampaignPolicy(
+                failure_policy="abort", max_attempts=2
+            ),
+        )
+    status = campaign_status(tmp_path / "camp")
+    assert status["counts"]["done"] == 1
+    assert status["counts"]["failed"] == 1
+    assert status["counts"]["pending"] == 1
+    assert "scripted" in status["schedule"]["epochs"][1]["error"]
+    # Fixed cause → resume finishes the campaign byte-identically.
+    monkeypatch.setattr(supervisor_mod, "run_pipeline", real_pipeline)
+    resumed = resume_campaign(tmp_path / "camp", workers=0)
+    assert resumed["counts"]["done"] == 3
+    assert _epoch_digests(resumed) == _epoch_digests(control)
+    assert _ledger_digest_of(tmp_path / "camp") == _ledger_digest_of(
+        tmp_path / "control"
+    )
+
+
+def test_skip_policy_marks_and_moves_on(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        supervisor_mod, "run_pipeline", _FlakyPipeline(failures=99)
+    )
+    status = run_campaign(
+        _spec(), _plan(), 3, tmp_path / "camp", workers=0,
+        policy=CampaignPolicy(failure_policy="skip", max_attempts=2),
+    )
+    assert status["counts"]["done"] == 2
+    assert status["counts"]["skipped"] == 1
+    entry = status["schedule"]["epochs"][1]
+    assert entry["status"] == "skipped"
+    assert entry["attempts"] == 2
+    rows = json.loads(
+        (tmp_path / "camp" / "ledger.json").read_text()
+    )["rows"]
+    assert [row["epoch"] for row in rows] == [0, 2]
+
+
+def test_corrupt_epoch_manifest_is_quarantined(tmp_path):
+    camp = tmp_path / "camp"
+    poisoned = camp / "epoch-000"
+    poisoned.mkdir(parents=True)
+    (poisoned / "manifest.json").write_text("{not json")
+    status = run_campaign(_spec(), _plan(), 2, camp, workers=0)
+    assert status["counts"]["done"] == 2
+    aside = camp / "quarantine" / "epoch-000.attempt-1"
+    assert aside.is_dir()
+    assert (aside / "manifest.json").read_text() == "{not json"
+    assert status["schedule"]["epochs"][0]["attempts"] == 2
+
+
+# ---------------------------------------------------------------------------
+# deadline degradation
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_degrades_late_epochs_deterministically(tmp_path):
+    policy = CampaignPolicy(deadline=0.0, degrade_rate=0.5)
+    status = run_campaign(
+        _spec(), _plan(), 2, tmp_path / "camp", workers=0, policy=policy
+    )
+    assert status["counts"]["done"] == 2
+    sample = {"rate": 0.5, "seed": SEED}
+    for entry in status["schedule"]["epochs"]:
+        assert entry["degraded"] == sample
+    for name in ("epoch-000", "epoch-001"):
+        results = json.loads(
+            (tmp_path / "camp" / name / "results.json").read_text()
+        )
+        assert results["provenance"]["degraded"] == {
+            "asn_sample": sample
+        }
+    rows = json.loads(
+        (tmp_path / "camp" / "ledger.json").read_text()
+    )["rows"]
+    assert all(
+        row["degraded"] == {"asn_sample": sample} for row in rows
+    )
+    # The sample is a strict, deterministic subset of the full scan.
+    full = run_campaign(
+        _spec(), _plan(), 1, tmp_path / "full", workers=0
+    )
+    degraded_targets = json.loads(
+        (tmp_path / "camp" / "epoch-000" / "results.json").read_text()
+    )["headline"]["v4"]["targeted_asns"]
+    full_targets = json.loads(
+        (tmp_path / "full" / "epoch-000" / "results.json").read_text()
+    )["headline"]["v4"]["targeted_asns"]
+    assert 0 < degraded_targets < full_targets
+    again = run_campaign(
+        _spec(), _plan(), 2, tmp_path / "again", workers=0, policy=policy
+    )
+    assert _epoch_digests(again) == _epoch_digests(status)
+
+
+def test_degrade_decision_is_frozen_in_the_schedule(tmp_path):
+    """A resumed campaign replays the recorded decision, not the clock."""
+    run_campaign(
+        _spec(), _plan(), 2, tmp_path / "camp", workers=0,
+        policy=CampaignPolicy(deadline=0.0, degrade_rate=0.5),
+    )
+    schedule = json.loads(
+        (tmp_path / "camp" / "schedule.json").read_text()
+    )
+    # Un-finish epoch 1: resume must re-run it with the *recorded*
+    # degradation even though the recorded policy has a deadline that
+    # a fresh clock would also trip — flip the policy to deadline-free
+    # to prove the recorded decision wins over re-deciding.
+    before = schedule["epochs"][1]["results_digest"]
+    schedule["epochs"][1]["status"] = "pending"
+    schedule["epochs"][1]["results_digest"] = None
+    (tmp_path / "camp" / "schedule.json").write_text(
+        json.dumps(schedule)
+    )
+    status = resume_campaign(
+        tmp_path / "camp", workers=0, policy=CampaignPolicy()
+    )
+    entry = status["schedule"]["epochs"][1]
+    assert entry["degraded"] == {"rate": 0.5, "seed": SEED}
+    assert entry["results_digest"] == before
+
+
+# ---------------------------------------------------------------------------
+# crash-anywhere drill
+# ---------------------------------------------------------------------------
+
+
+_CHILD = """
+import sys
+from repro.core import ScanConfig
+from repro.core.pipeline import CampaignSpec
+from repro.campaigns import EvolutionPlan, ResolverChurn, \
+    SavRemediation, run_campaign
+
+spec = CampaignSpec.from_scan_config(
+    seed={seed}, n_ases={n_ases}, shards=2, partition="modulo",
+    config=ScanConfig(duration={duration}),
+)
+plan = EvolutionPlan(seed=3, name="drill", clauses=(
+    ResolverChurn(rate=0.05), SavRemediation(rate=0.1),
+))
+run_campaign(spec, plan, {epochs}, sys.argv[1], workers=0)
+"""
+
+
+def test_sigkill_mid_epoch_resumes_byte_identical(tmp_path):
+    """SIGKILL the supervisor mid-epoch; resume must converge exactly."""
+    control = run_campaign(
+        _spec(), _plan(), 4, tmp_path / "control", workers=0
+    )
+    camp = tmp_path / "camp"
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _CHILD.format(
+                seed=SEED, n_ases=N_ASES, duration=DURATION, epochs=4
+            ),
+            str(camp),
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=Path(__file__).resolve().parents[2],
+    )
+    try:
+        # Kill as soon as epoch 2 starts — mid-pipeline, with epochs
+        # 0/1 done and 3 never attempted.
+        deadline = time.monotonic() + 120
+        while not (camp / "epoch-002" / "manifest.json").exists():
+            if child.poll() is not None or time.monotonic() > deadline:
+                break
+            time.sleep(0.002)
+        child.kill()
+    finally:
+        child.wait()
+    assert (camp / "schedule.json").exists()
+    interrupted = campaign_status(camp)
+    assert interrupted["counts"]["done"] < 4
+    status = resume_campaign(camp, workers=0)
+    assert status["counts"]["done"] == 4
+    assert _epoch_digests(status) == _epoch_digests(control)
+    assert _ledger_digest_of(camp) == _ledger_digest_of(
+        tmp_path / "control"
+    )
+    # Per-epoch results artifacts byte-identical to the uninterrupted
+    # campaign's (modulo the wall-clock provenance field).
+    for name in ("epoch-000", "epoch-001", "epoch-002", "epoch-003"):
+        a = json.loads((camp / name / "results.json").read_text())
+        b = json.loads(
+            (tmp_path / "control" / name / "results.json").read_text()
+        )
+        a["provenance"].pop("wall_seconds", None)
+        b["provenance"].pop("wall_seconds", None)
+        assert a == b, f"{name} diverged after crash-resume"
+
+
+def test_schedule_survives_torn_write(tmp_path):
+    """A stale schedule tmp file never shadows the real schedule."""
+    run_campaign(_spec(), _plan(), 1, tmp_path / "camp", workers=0)
+    schedule = tmp_path / "camp" / "schedule.json"
+    torn = schedule.with_suffix(".json.tmp99999")
+    torn.write_text("{torn")
+    status = resume_campaign(tmp_path / "camp", workers=0)
+    assert status["counts"]["done"] == 1

@@ -123,3 +123,121 @@ def test_incomplete_run_is_skipped_by_rebuild(observatory_runs, tmp_path):
     finally:
         (partial / "manifest.json").unlink()
         partial.rmdir()
+
+
+# ---------------------------------------------------------------------------
+# concurrency: the ledger lock
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_records_lose_no_rows(observatory_runs, tmp_path):
+    """Two writers sharing a ledger serialize instead of racing.
+
+    Without the lock, interleaved load/insert/save cycles drop
+    whichever row saved first; with it, every row survives an
+    aggressive thread hammer.
+    """
+    import threading
+
+    base, run_a, run_b = observatory_runs
+    ledger = Ledger(tmp_path)
+    errors = []
+
+    def hammer(run_path):
+        try:
+            for _ in range(6):
+                ledger.record(run_path)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(path,))
+        for path in (run_a, run_b) * 4
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    rows = ledger.load()["rows"]
+    assert len(rows) == 2
+    assert not (tmp_path / "ledger.lock").exists()
+
+
+def test_stale_lock_from_dead_process_is_taken_over(
+    observatory_runs, tmp_path
+):
+    import time as _time
+
+    base, run_a, _ = observatory_runs
+    # A plausible-but-dead pid: fork a child that exits immediately.
+    import subprocess
+    import sys
+
+    dead = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+    )
+    dead_pid = int(dead.stdout)
+    (tmp_path / "ledger.lock").write_text(
+        json.dumps({"pid": dead_pid, "time": _time.time()})
+    )
+    ledger = Ledger(tmp_path)
+    ledger.record(run_a)
+    assert len(ledger.load()["rows"]) == 1
+    assert not (tmp_path / "ledger.lock").exists()
+
+
+def test_aged_lock_is_taken_over_even_if_pid_lives(
+    observatory_runs, tmp_path
+):
+    import os as _os
+    import time as _time
+
+    from repro.obs import ledger as ledger_mod
+
+    base, run_a, _ = observatory_runs
+    (tmp_path / "ledger.lock").write_text(
+        json.dumps(
+            {
+                "pid": _os.getpid(),  # alive: only age can free it
+                "time": _time.time() - ledger_mod._LOCK_STALE_SECONDS - 1,
+            }
+        )
+    )
+    Ledger(tmp_path).record(run_a)
+    assert not (tmp_path / "ledger.lock").exists()
+
+
+def test_live_lock_times_out_with_a_clear_error(
+    observatory_runs, tmp_path, monkeypatch
+):
+    import os as _os
+    import time as _time
+
+    from repro.obs import ledger as ledger_mod
+
+    base, run_a, _ = observatory_runs
+    monkeypatch.setattr(ledger_mod, "_LOCK_WAIT_SECONDS", 0.2)
+    (tmp_path / "ledger.lock").write_text(
+        json.dumps({"pid": _os.getpid(), "time": _time.time()})
+    )
+    with pytest.raises(ObservatoryError, match="held by another run"):
+        Ledger(tmp_path).record(run_a)
+    # the foreign lock is left in place for its (live) holder
+    assert (tmp_path / "ledger.lock").exists()
+
+
+def test_require_empty_rows_is_an_error(tmp_path):
+    ledger = Ledger(tmp_path)
+    ledger.save(
+        {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "kind": "ledger",
+            "rows": [],
+        }
+    )
+    with pytest.raises(ObservatoryError, match="no rows") as excinfo:
+        ledger.require()
+    assert excinfo.value.exit_code == 2

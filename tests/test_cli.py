@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -376,3 +378,110 @@ def test_watch_requires_run_artifacts(capsys, tmp_path):
 
     assert main(["watch", str(tmp_path / "gone"), "--once"]) == 2
     assert "not a directory" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# campaign (longitudinal epochs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def campaign_cli_dir(tmp_path_factory):
+    """One small 3-epoch campaign driven entirely through the CLI."""
+    base = tmp_path_factory.mktemp("campaign-cli")
+    plan = base / "plan.json"
+    plan.write_text(
+        json.dumps(
+            {
+                "schema_version": 1,
+                "seed": 3,
+                "name": "cli-drill",
+                "clauses": [
+                    {"kind": "resolver-churn", "rate": 0.1},
+                    {"kind": "sav-remediation", "rate": 0.2},
+                ],
+            }
+        )
+    )
+    camp = base / "camp"
+    assert main([
+        "campaign", "run", str(camp), "--plan", str(plan),
+        "--epochs", "3", "--n-ases", "24", "--shards", "2",
+        "--duration", "10", "--partition", "modulo", "--quiet",
+    ]) == 0
+    return camp
+
+
+def test_campaign_run_produces_epochs_and_ledger(
+    capsys, campaign_cli_dir
+):
+    camp = campaign_cli_dir
+    capsys.readouterr()
+    for name in ("epoch-000", "epoch-001", "epoch-002"):
+        assert (camp / name / "results.json").exists()
+    assert (camp / "schedule.json").exists()
+    assert (camp / "campaign.json").exists()
+    rows = json.loads((camp / "ledger.json").read_text())["rows"]
+    assert [row["epoch"] for row in rows] == [0, 1, 2]
+
+
+def test_campaign_status_and_resume_flow(capsys, campaign_cli_dir):
+    camp = campaign_cli_dir
+    assert main(["campaign", "status", str(camp)]) == 0
+    out = capsys.readouterr().out
+    assert "3 done" in out
+
+    assert main(["campaign", "status", str(camp), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["done"] == 3
+    assert payload["ledger_digest"]
+
+    assert main(["campaign", "resume", str(camp), "--quiet"]) == 0
+    capsys.readouterr()
+
+    assert main(["campaign", "status", str(camp / "missing")]) == 1
+    assert "not a campaign directory" in capsys.readouterr().err
+
+
+def test_campaign_feeds_trend_and_diff(capsys, campaign_cli_dir):
+    camp = campaign_cli_dir
+    assert main(["trend", str(camp), "--json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert len(envelope["lineages"]) == 1
+    lineage = envelope["lineages"][0]
+    assert lineage["runs"] == ["epoch-000", "epoch-001", "epoch-002"]
+    assert lineage["epochs"] == [0, 1, 2]
+    assert lineage["lineage"]
+
+    assert main([
+        "diff", str(camp / "epoch-000"), str(camp / "epoch-001"),
+        "--json",
+    ]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["comparability"]["verdict"] == "comparable"
+    assert any(
+        "evolution lineage" in note
+        for note in envelope["comparability"]["notes"]
+    )
+
+
+def test_campaign_rejects_bad_plan(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main([
+        "campaign", "run", str(tmp_path / "camp"), "--plan", str(bad),
+        "--epochs", "2", "--quiet",
+    ]) == 2
+    assert "--plan" in capsys.readouterr().err
+
+
+def test_ledger_with_empty_rows_exits_two(capsys, tmp_path):
+    (tmp_path / "ledger.json").write_text(
+        json.dumps(
+            {"schema_version": 1, "kind": "ledger", "rows": []}
+        )
+    )
+    assert main(["ledger", str(tmp_path)]) == 2
+    assert "no rows" in capsys.readouterr().err
+    assert main(["trend", str(tmp_path)]) == 2
+    assert "no rows" in capsys.readouterr().err
